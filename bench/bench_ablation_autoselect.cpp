@@ -1,0 +1,50 @@
+// Ablation: cost-model-driven strategy auto-selection vs the two fixed pure
+// algorithms, across message lengths and node counts (including a prime
+// count, where the paper notes hybrids cannot help because the group size
+// has no useful factorization).  The selected strategy must match the best
+// fixed algorithm at the extremes and beat both in the crossover region
+// whenever a true hybrid exists.
+#include "common.hpp"
+
+using namespace intercom;
+
+int main() {
+  bench::print_header(
+      "Ablation: hybrid auto-selection vs fixed algorithms (broadcast)",
+      "simulated linear arrays, Paragon parameters; 'auto' is the planner's\n"
+      "choice; expected shape: auto == MST left, auto == SC right, auto\n"
+      "strictly best in the middle (except p=31, prime).");
+
+  const MachineParams machine = MachineParams::paragon();
+  SimParams params;
+  params.machine = machine;
+
+  for (int p : {30, 31, 64}) {
+    std::cout << "p = " << p << " (linear array)\n";
+    const Group g = Group::contiguous(p);
+    const Planner planner(machine);
+    const WormholeSimulator sim(Mesh2D(1, p), params);
+    TextTable table(
+        {"bytes", "MST (s)", "scatter-collect (s)", "auto (s)", "auto strategy"});
+    for (std::size_t n : bench::sweep_lengths()) {
+      const double mst_t =
+          sim.run(planner.plan_with_strategy(
+                      Collective::kBroadcast, g, n, 1, 0,
+                      HybridStrategy{{p}, InnerAlg::kShortVector, false}))
+              .seconds;
+      const double sc_t =
+          sim.run(planner.plan_with_strategy(
+                      Collective::kBroadcast, g, n, 1, 0,
+                      HybridStrategy{{p}, InnerAlg::kScatterCollect, false}))
+              .seconds;
+      const Schedule auto_plan = planner.plan(Collective::kBroadcast, g, n, 1, 0);
+      const double auto_t = sim.run(auto_plan).seconds;
+      table.add_row({format_bytes(n), format_seconds(mst_t),
+                     format_seconds(sc_t), format_seconds(auto_t),
+                     auto_plan.algorithm()});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: exact optimal-depth hybrids vs the depth-3 enumeration.
+//
+// Section 6 leaves "the theoretical aspects of choosing the optimal hybrid"
+// open; the DP in model/optimal.hpp searches every factorization depth.
+// Two findings, both verified in simulation here:
+//   * broadcast: depth <= 3 is already optimal (extra scatter/collect levels
+//     add beta and only trim alpha) — the enumeration planner is certified;
+//   * combine-to-all: for short/medium vectors the optimum is the all-2
+//     depth-log2(p) factorization — recursive halving + doubling, the
+//     algorithm modern MPI implementations adopted.
+#include "common.hpp"
+
+using namespace intercom;
+
+int main() {
+  bench::print_header(
+      "Ablation: optimal hybrid depth (DP) vs depth-3 enumeration, p = 512",
+      "linear array, Paragon parameters; predicted and simulated seconds.");
+
+  const int p = 512;
+  const Group g = Group::contiguous(p);
+  const MachineParams machine = MachineParams::paragon();
+  const Planner planner(machine);
+  SimParams params;
+  params.machine = machine;
+  const WormholeSimulator sim(Mesh2D(1, p), params);
+
+  for (auto collective :
+       {Collective::kBroadcast, Collective::kCombineToAll}) {
+    std::cout << to_string(collective) << ":\n";
+    TextTable table({"bytes", "enum strategy", "enum pred (s)", "dp strategy",
+                     "dp pred (s)", "dp sim (s)", "gain"});
+    for (std::size_t n : {std::size_t{8}, std::size_t{1} << 12,
+                          std::size_t{1} << 16, std::size_t{1} << 20}) {
+      const auto strat = planner.select_strategy(collective, g, n);
+      const double enum_pred =
+          planner.predict(collective, strat, n).seconds(machine);
+      const OptimalHybrid best =
+          collective == Collective::kBroadcast
+              ? optimal_broadcast_hybrid(p, static_cast<double>(n), machine)
+              : optimal_combine_to_all_hybrid(p, static_cast<double>(n),
+                                              machine);
+      const Schedule dp_plan =
+          planner.plan_with_strategy(collective, g, n, 1, 0, best.strategy);
+      const double dp_sim = sim.run(dp_plan).seconds;
+      table.add_row({format_bytes(n), strat.label(),
+                     format_seconds(enum_pred), best.strategy.label(),
+                     format_seconds(best.seconds), format_seconds(dp_sim),
+                     format_seconds(enum_pred / best.seconds)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "expected shape: gain = 1 everywhere for broadcast (the\n"
+               "enumeration is certified optimal); gain > 1 for short and\n"
+               "medium combine-to-all, where the DP picks 2x2x...x2 —\n"
+               "recursive halving/doubling.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Section 11 ablation: portability via machine parameters.
+//
+// "To port the library between platforms or tune it for new operating
+//  system releases, it suffices to enter a few parameters that describe the
+//  latency, bandwidth and computation characteristics of the system."
+//
+// Shows how the selected broadcast strategy and the MST/scatter-collect
+// crossover move across the four machine presets (Touchstone Delta,
+// Paragon/OSF, Paragon/SUNMOS, iPSC/860) for a 64-node partition — the
+// entire "port" is the parameter swap.
+#include "common.hpp"
+
+using namespace intercom;
+
+namespace {
+
+std::size_t crossover_bytes(const Planner& planner, const Group& g) {
+  // First sweep length where the planner abandons the pure MST strategy.
+  for (std::size_t n = 8; n <= (1u << 22); n *= 2) {
+    const auto strat =
+        planner.select_strategy(Collective::kBroadcast, g, n);
+    if (!(strat.dims.size() == 1 && strat.inner == InnerAlg::kShortVector)) {
+      return n;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Section 11 ablation: one library, four machines",
+      "p = 64 linear array; per preset: the broadcast strategy chosen at\n"
+      "three lengths and the length where MST stops winning.  Porting the\n"
+      "library is exactly this parameter swap.");
+
+  struct Preset {
+    const char* name;
+    MachineParams machine;
+  };
+  const std::vector<Preset> presets = {
+      {"Touchstone Delta", MachineParams::delta()},
+      {"Paragon (OSF)", MachineParams::paragon()},
+      {"Paragon (SUNMOS)", MachineParams::sunmos()},
+      {"iPSC/860", MachineParams::ipsc860()},
+  };
+  const Group g = Group::contiguous(64);
+
+  TextTable table({"machine", "alpha (us)", "beta (ns/B)", "strategy @1K",
+                   "strategy @64K", "strategy @1M", "MST crossover"});
+  for (const auto& preset : presets) {
+    const Planner planner(preset.machine);
+    auto pick = [&](std::size_t n) {
+      return planner.select_strategy(Collective::kBroadcast, g, n).label();
+    };
+    table.add_row({preset.name, format_seconds(preset.machine.alpha * 1e6),
+                   format_seconds(preset.machine.beta * 1e9), pick(1 << 10),
+                   pick(64 << 10), pick(1 << 20),
+                   format_bytes(crossover_bytes(planner, g))});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nexpected shape: the crossover scales with alpha/beta.  The\n"
+         "iPSC/860's slow links (huge beta) make bandwidth optimization pay\n"
+         "almost immediately; the Paragon's fast links push the crossover\n"
+         "out to tens of kilobytes.  SUNMOS cuts alpha and beta together,\n"
+         "so its crossover matches OSF's while every absolute time drops.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: simulation-feedback tuning vs pure model-driven selection.
+//
+// The analytic cost model charges hybrids worst-case link sharing for whole
+// stages; the fluid simulation resolves the actual contention.  On machines
+// with excess link bandwidth (the Paragon's capacity-2 links, Section 7.1)
+// the model is pessimistic about interleaved hybrids, and a short empirical
+// pass — simulate the model's top-6 candidates, keep the measured winner —
+// recovers the difference.  This mirrors the install-time tuning modern
+// collective libraries perform.
+#include "common.hpp"
+
+using namespace intercom;
+
+int main() {
+  bench::print_header(
+      "Ablation: model-driven selection vs simulation-feedback tuning",
+      "broadcast on a 30-node linear array, Paragon parameters (link\n"
+      "capacity 2); 'model' = predicted-cost argmin, 'tuned' = measured\n"
+      "winner among the model's top 6.");
+
+  const int p = 30;
+  const Group g = Group::contiguous(p);
+  const MachineParams machine = MachineParams::paragon();
+  const Planner planner(machine);
+  SimParams params;
+  params.machine = machine;
+  const WormholeSimulator sim(Mesh2D(1, p), params);
+
+  TextTable table({"bytes", "model pick", "model sim (s)", "tuned pick",
+                   "tuned sim (s)", "gain"});
+  for (std::size_t n : bench::sweep_lengths()) {
+    const auto model_pick =
+        planner.select_strategy(Collective::kBroadcast, g, n);
+    const double model_sim =
+        sim.run(planner.plan_with_strategy(Collective::kBroadcast, g, n, 1, 0,
+                                           model_pick))
+            .seconds;
+    const TuneResult tuned =
+        tune_strategy(planner, sim, Collective::kBroadcast, g, n, 1, 0, 6);
+    table.add_row({format_bytes(n), model_pick.label(),
+                   format_seconds(model_sim), tuned.best.label(),
+                   format_seconds(tuned.best_seconds),
+                   format_seconds(model_sim / tuned.best_seconds)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: gains concentrate in the crossover band\n"
+               "where the model's conflict pessimism matters; the extremes\n"
+               "(pure MST, pure scatter/collect) are conflict-free and the\n"
+               "model is already exact there.\n";
+  return 0;
+}

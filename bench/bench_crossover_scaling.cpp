@@ -1,0 +1,71 @@
+// Scalability study: how the algorithm-selection regimes move as the
+// machine grows.  For p = 8 .. 1024 (linear array, Paragon parameters)
+// prints the message length where the planner abandons pure MST and the
+// length where pure scatter/collect takes over — the width of the "hybrid
+// band" that Section 6's machinery exists to serve.
+#include <cmath>
+
+#include "common.hpp"
+
+using namespace intercom;
+
+namespace {
+
+struct Band {
+  std::size_t mst_end = 0;   // first length where MST stops being selected
+  std::size_t sc_start = 0;  // first length where pure SC is selected
+};
+
+Band find_band(const Planner& planner, const Group& g) {
+  Band band;
+  for (std::size_t n = 8; n <= (std::size_t{1} << 24); n *= 2) {
+    const auto strat =
+        planner.select_strategy(Collective::kBroadcast, g, n);
+    const bool is_mst =
+        strat.dims.size() == 1 && strat.inner == InnerAlg::kShortVector;
+    const bool is_sc =
+        strat.dims.size() == 1 && strat.inner == InnerAlg::kScatterCollect;
+    if (!is_mst && band.mst_end == 0) band.mst_end = n;
+    if (is_sc && band.sc_start == 0) band.sc_start = n;
+  }
+  return band;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Crossover scaling: the hybrid band vs machine size (broadcast)",
+      "linear arrays, Paragon parameters; 'MST until' = last regime where\n"
+      "pure MST wins, 'SC from' = first length where pure scatter/collect\n"
+      "wins; true hybrids occupy the band between.");
+
+  TextTable table({"p", "MST until", "SC from", "band width (x)",
+                   "hybrid @band-middle"});
+  for (int p : {8, 16, 32, 64, 128, 256, 512, 1024}) {
+    const Group g = Group::contiguous(p);
+    const Planner planner(MachineParams::paragon());
+    const Band band = find_band(planner, g);
+    std::string middle = "-";
+    double width = 0.0;
+    if (band.mst_end > 0 && band.sc_start > band.mst_end) {
+      width = static_cast<double>(band.sc_start) /
+              static_cast<double>(band.mst_end);
+      const std::size_t mid = band.mst_end *
+                              static_cast<std::size_t>(std::sqrt(width));
+      middle = planner.select_strategy(Collective::kBroadcast, g, mid).label();
+    }
+    table.add_row({std::to_string(p),
+                   band.mst_end > 0 ? format_bytes(band.mst_end / 2) : ">16M",
+                   band.sc_start > 0 ? format_bytes(band.sc_start) : ">16M",
+                   format_seconds(width), middle});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nexpected shape: the MST boundary is set by alpha/beta and barely\n"
+         "moves (both pure algorithms gain log p / p-1 startups together),\n"
+         "while the scatter/collect boundary grows ~linearly with p — so the\n"
+         "hybrid band WIDENS as the machine scales, which is exactly why the\n"
+         "paper's hybrid machinery matters on big partitions.\n";
+  return 0;
+}

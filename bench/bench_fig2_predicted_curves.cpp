@@ -1,0 +1,57 @@
+// Reproduces paper Fig. 2: predicted performance of the Table 2 broadcast
+// hybrids on a 30-node linear array across message lengths, with machine
+// parameters similar to those of the Paragon.  Prints one series per hybrid
+// (time in seconds) and marks the per-length winner — the crossover
+// structure is the figure's point.
+#include "common.hpp"
+
+using namespace intercom;
+
+int main() {
+  bench::print_header(
+      "Fig. 2: predicted broadcast time on a 30-node linear array",
+      "Paragon-like parameters; one column per hybrid strategy, rows are\n"
+      "message lengths; '*' marks the winner per row.");
+
+  const std::vector<HybridStrategy> strategies = {
+      {{30}, InnerAlg::kShortVector, false},
+      {{2, 15}, InnerAlg::kShortVector, false},
+      {{2, 3, 5}, InnerAlg::kShortVector, false},
+      {{3, 10}, InnerAlg::kShortVector, false},
+      {{3, 10}, InnerAlg::kScatterCollect, false},
+      {{5, 6}, InnerAlg::kScatterCollect, false},
+      {{2, 15}, InnerAlg::kScatterCollect, false},
+      {{30}, InnerAlg::kScatterCollect, false},
+  };
+  const MachineParams paragon = MachineParams::paragon();
+
+  std::vector<std::string> header{"bytes"};
+  for (const auto& s : strategies) header.push_back(s.label());
+  TextTable table(header);
+  for (std::size_t n : bench::sweep_lengths()) {
+    std::vector<std::string> row{format_bytes(n)};
+    double best = 0.0;
+    std::size_t best_i = 0;
+    std::vector<double> times;
+    for (std::size_t i = 0; i < strategies.size(); ++i) {
+      const double t =
+          hybrid_cost(Collective::kBroadcast, strategies[i],
+                      static_cast<double>(n))
+              .seconds(paragon);
+      times.push_back(t);
+      if (i == 0 || t < best) {
+        best = t;
+        best_i = i;
+      }
+    }
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      row.push_back(format_seconds(times[i]) + (i == best_i ? " *" : ""));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: pure MST (1x30,M) wins for short vectors;\n"
+               "SSCC hybrids win in the middle; pure scatter/collect\n"
+               "(1x30,SC) wins for the longest vectors.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces paper Fig. 4 (right): broadcast on a 15 x 30 physical mesh
+// (450 nodes) across message lengths — the partition that "deviates
+// significantly from a power-of-two mesh".  The hybrid machinery must keep
+// its advantage despite the awkward 2 x 3 x 5^2 factorization structure.
+#include "common.hpp"
+
+using namespace intercom;
+
+int main() {
+  bench::print_header(
+      "Fig. 4 (right): broadcast on a 15x30 mesh (simulated Paragon)",
+      "non-power-of-two partition (450 nodes); expected shape: NX's flat\n"
+      "MST competitive only for short vectors, InterCom hybrids win for\n"
+      "everything else.");
+
+  const Mesh2D mesh(15, 30);
+  const Group whole = whole_mesh_group(mesh);
+  const MachineParams machine = MachineParams::paragon();
+  const Planner planner(machine, mesh);
+  SimParams params;
+  params.machine = machine;
+  const WormholeSimulator sim(mesh, params);
+
+  TextTable table({"bytes", "NX (s)", "iCC (s)", "iCC predicted (s)", "ratio",
+                   "icc algorithm"});
+  for (std::size_t n : bench::sweep_lengths()) {
+    const Schedule nx_plan = nx::broadcast(whole, n, 1, 0);
+    const HybridStrategy strat =
+        planner.select_strategy(Collective::kBroadcast, whole, n);
+    const Schedule icc_plan = planner.plan_with_strategy(
+        Collective::kBroadcast, whole, n, 1, 0, strat);
+    const double nx_t = sim.run(nx_plan).seconds;
+    const double icc_t = sim.run(icc_plan).seconds;
+    // Cost::seconds already charges the per-level software overhead.
+    const double predicted =
+        planner.predict(Collective::kBroadcast, strat, n).seconds(machine);
+    table.add_row({format_bytes(n), format_seconds(nx_t),
+                   format_seconds(icc_t), format_seconds(predicted),
+                   format_seconds(nx_t / icc_t), icc_plan.algorithm()});
+  }
+  table.print(std::cout);
+  return 0;
+}

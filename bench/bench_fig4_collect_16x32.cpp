@@ -1,0 +1,43 @@
+// Reproduces paper Fig. 4 (left): collect on a 16 x 32 physical mesh across
+// message lengths — the power-of-two partition case.  Prints the NX series,
+// the InterCom hybrid series (simulated), the analytic prediction for the
+// selected hybrid, and achieved bandwidth.
+#include "common.hpp"
+
+using namespace intercom;
+
+int main() {
+  bench::print_header(
+      "Fig. 4 (left): collect on a 16x32 mesh (simulated Paragon)",
+      "series: NX gcolx vs InterCom hybrid; expected shape: InterCom is an\n"
+      "order of magnitude faster across the whole range, with latency-bound\n"
+      "behaviour below ~1 KB and bandwidth-bound behaviour above.");
+
+  const Mesh2D mesh(16, 32);
+  const Group whole = whole_mesh_group(mesh);
+  const MachineParams machine = MachineParams::paragon();
+  const Planner planner(machine, mesh);
+  SimParams params;
+  params.machine = machine;
+  const WormholeSimulator sim(mesh, params);
+
+  TextTable table({"bytes", "NX (s)", "iCC (s)", "iCC predicted (s)", "ratio",
+                   "icc algorithm"});
+  for (std::size_t n : bench::sweep_lengths()) {
+    const Schedule nx_plan = nx::collect(whole, n, 1);
+    const HybridStrategy strat =
+        planner.select_strategy(Collective::kCollect, whole, n);
+    const Schedule icc_plan = planner.plan_with_strategy(
+        Collective::kCollect, whole, n, 1, 0, strat);
+    const double nx_t = sim.run(nx_plan).seconds;
+    const double icc_t = sim.run(icc_plan).seconds;
+    // Cost::seconds already charges the per-level software overhead.
+    const double predicted =
+        planner.predict(Collective::kCollect, strat, n).seconds(machine);
+    table.add_row({format_bytes(n), format_seconds(nx_t),
+                   format_seconds(icc_t), format_seconds(predicted),
+                   format_seconds(nx_t / icc_t), icc_plan.algorithm()});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Section 9 study: group collective communication.
+//
+// The paper's mechanism: "In cases where a group comprises a physical
+// rectangular submesh, the same row- and column-based techniques are used as
+// in the whole-mesh operations.  When a group is unstructured ... it is
+// treated as though it were a linear array."
+//
+// This bench isolates the value of that structure detection: for each group
+// it plans the same 1 MB combine-to-all twice — once with the mesh-aware
+// planner (rectangular-submesh fast path available) and once with a
+// mesh-blind planner (every group is a linear array) — and simulates both on
+// Touchstone-Delta-like parameters (link capacity 1, where interleaved-group
+// conflicts actually hurt).
+#include "common.hpp"
+
+using namespace intercom;
+
+int main() {
+  bench::print_header(
+      "Section 9: group collectives, structure-aware vs linear-array",
+      "combine-to-all of 1 MB within 64-node groups on a 16x32 mesh,\n"
+      "Delta-like parameters; 'aware' may use the rectangular-submesh fast\n"
+      "path, 'blind' always treats the group as a linear array.");
+
+  const Mesh2D mesh(16, 32);
+  const MachineParams machine = MachineParams::delta();
+  const Planner aware(machine, mesh);
+  const Planner blind(machine);  // no mesh: linear-array treatment only
+  SimParams params;
+  params.machine = machine;
+  const WormholeSimulator sim(mesh, params);
+
+  struct Case {
+    const char* name;
+    Group group;
+  };
+  std::vector<Case> cases;
+  {
+    std::vector<int> members;
+    for (int r = 4; r < 6; ++r) {
+      for (int c = 0; c < 32; ++c) members.push_back(mesh.node_at(r, c));
+    }
+    cases.push_back({"2x32 rect submesh", Group(members)});
+  }
+  {
+    std::vector<int> members;
+    for (int r = 0; r < 4; ++r) {
+      for (int c = 8; c < 24; ++c) members.push_back(mesh.node_at(r, c));
+    }
+    cases.push_back({"4x16 rect submesh", Group(members)});
+  }
+  {
+    std::vector<int> members;
+    for (int r = 8; r < 16; ++r) {
+      for (int c = 0; c < 8; ++c) members.push_back(mesh.node_at(r, c));
+    }
+    cases.push_back({"8x8 rect submesh", Group(members)});
+  }
+  {
+    std::vector<int> members;
+    for (int i = 0; i < 64; ++i) members.push_back(i * 8);
+    cases.push_back({"strided by 8 (unstructured)", Group(members)});
+  }
+
+  TextTable table({"group", "structure", "bytes", "aware (s)", "blind (s)",
+                   "speedup", "aware algorithm"});
+  for (const auto& c : cases) {
+    const GroupLayout layout = analyze_group(mesh, c.group);
+    const char* structure = "unstructured";
+    if (layout.structure == GroupStructure::kRectSubmesh) {
+      structure = "rect submesh";
+    }
+    for (std::size_t n : {std::size_t{1} << 12, std::size_t{1} << 16,
+                          std::size_t{1} << 20}) {
+      const Schedule aware_plan =
+          aware.plan(Collective::kCombineToAll, c.group, n, 1, 0);
+      const Schedule blind_plan =
+          blind.plan(Collective::kCombineToAll, c.group, n, 1, 0);
+      const double aware_t = sim.run(aware_plan).seconds;
+      const double blind_t = sim.run(blind_plan).seconds;
+      table.add_row({c.name, structure, format_bytes(n),
+                     format_seconds(aware_t), format_seconds(blind_t),
+                     format_seconds(blind_t / aware_t),
+                     aware_plan.algorithm()});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: speedup > 1 for the rectangular submeshes\n"
+               "(the fast path avoids interleaved-group conflicts), ~1 for\n"
+               "the unstructured group (both planners see a linear array).\n";
+  return 0;
+}

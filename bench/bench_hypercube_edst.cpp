@@ -1,0 +1,75 @@
+// Section 8 / Section 11: the hypercube (iPSC/860) version of the library.
+//
+// "On hypercubes Ho and Johnsson's EDST broadcast will outperform our
+//  scatter/collect broadcast by a factor of two for long vectors.  However,
+//  ... such theoretically superior algorithms are often outperformed by
+//  simpler algorithms when implemented on real systems."
+//
+// Compares three broadcasts on a simulated 64-node iPSC/860 hypercube:
+// binomial MST (short-vector), scatter + recursive-doubling collect (the
+// library's simple long-vector algorithm), and the EDST-class pipelined
+// Gray-ring broadcast — clean and under timing jitter.
+#include "common.hpp"
+
+using namespace intercom;
+
+int main() {
+  bench::print_header(
+      "Hypercube broadcast: MST vs scatter/collect vs EDST-class pipelined",
+      "simulated 64-node iPSC/860 (6-cube); expected shape: pipelined\n"
+      "approaches a 2x win over scatter/collect for the longest vectors on\n"
+      "a clean machine, and loses that edge under OS timing jitter.");
+
+  const int d = 6;
+  const int p = 1 << d;
+  auto cube = std::make_shared<Hypercube>(d);
+  const Group g = Group::contiguous(p);
+  const MachineParams machine = MachineParams::ipsc860();
+
+  auto make_mst = [&](std::size_t n) {
+    Schedule s;
+    planner::Ctx ctx{s, 1};
+    planner::mst_broadcast(ctx, g, ElemRange{0, n}, 0);
+    s.set_levels(0);
+    return s;
+  };
+  auto make_sc = [&](std::size_t n) {
+    Schedule s;
+    planner::Ctx ctx{s, 1};
+    hypercube::long_broadcast(ctx, g, ElemRange{0, n}, 0);
+    s.set_levels(0);
+    return s;
+  };
+  auto make_pipe = [&](std::size_t n) {
+    Schedule s;
+    planner::Ctx ctx{s, 1};
+    const int segments =
+        planner::optimal_segments(p, static_cast<double>(n), machine);
+    hypercube::gray_ring_pipelined_broadcast(ctx, *cube, ElemRange{0, n}, 0,
+                                             segments);
+    s.set_levels(0);
+    return s;
+  };
+
+  for (double jitter_x : {0.0, 5.0}) {
+    SimParams params;
+    params.machine = machine;
+    params.jitter_mean = jitter_x * machine.alpha;
+    params.jitter_seed = 11;
+    const WormholeSimulator sim(cube, params);
+    std::cout << "jitter mean = " << jitter_x << " x alpha:\n";
+    TextTable table({"bytes", "MST (s)", "scatter+RDcollect (s)",
+                     "EDST-pipelined (s)", "SC/pipelined"});
+    for (std::size_t n : bench::sweep_lengths()) {
+      const double mst_t = sim.run(make_mst(n)).seconds;
+      const double sc_t = sim.run(make_sc(n)).seconds;
+      const double pipe_t = sim.run(make_pipe(n)).seconds;
+      table.add_row({format_bytes(n), format_seconds(mst_t),
+                     format_seconds(sc_t), format_seconds(pipe_t),
+                     format_seconds(sc_t / pipe_t)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Wall-clock microbenchmarks of the threaded multicomputer runtime
+// (google-benchmark).  These measure the real in-process implementation —
+// planning, message copies, thread synchronization — not the simulated
+// Paragon, so they answer "is the library itself efficient?" rather than
+// reproducing a paper figure.
+#include <benchmark/benchmark.h>
+
+#include "intercom/intercom.hpp"
+
+namespace {
+
+using namespace intercom;
+
+void bm_broadcast(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t elems = static_cast<std::size_t>(state.range(1));
+  Multicomputer mc(Mesh2D(1, p));
+  for (auto _ : state) {
+    mc.run_spmd([&](Node& node) {
+      Communicator world = node.world();
+      std::vector<double> data(elems, node.id() == 0 ? 1.0 : 0.0);
+      world.broadcast(std::span<double>(data), 0);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elems * sizeof(double)));
+}
+BENCHMARK(bm_broadcast)
+    ->Args({4, 64})
+    ->Args({4, 65536})
+    ->Args({8, 64})
+    ->Args({8, 65536})
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_all_reduce(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t elems = static_cast<std::size_t>(state.range(1));
+  Multicomputer mc(Mesh2D(1, p));
+  for (auto _ : state) {
+    mc.run_spmd([&](Node& node) {
+      Communicator world = node.world();
+      std::vector<double> data(elems, 1.0 * node.id());
+      world.all_reduce_sum(std::span<double>(data));
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elems * sizeof(double)));
+}
+BENCHMARK(bm_all_reduce)
+    ->Args({4, 64})
+    ->Args({4, 65536})
+    ->Args({8, 16384})
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_collect(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t elems = static_cast<std::size_t>(state.range(1));
+  Multicomputer mc(Mesh2D(1, p));
+  for (auto _ : state) {
+    mc.run_spmd([&](Node& node) {
+      Communicator world = node.world();
+      std::vector<double> data(elems, 0.0);
+      const ElemRange piece = world.piece_of(elems, world.rank());
+      for (std::size_t i = piece.lo; i < piece.hi; ++i) data[i] = 1.0;
+      world.collect(std::span<double>(data));
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+}
+BENCHMARK(bm_collect)
+    ->Args({4, 4096})
+    ->Args({8, 4096})
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_planner_only(benchmark::State& state) {
+  // Planning cost in isolation: schedules for a 512-node mesh collective.
+  const Mesh2D mesh(16, 32);
+  const Planner planner(MachineParams::paragon(), mesh);
+  const Group whole = whole_mesh_group(mesh);
+  for (auto _ : state) {
+    const Schedule s = planner.plan(Collective::kBroadcast, whole,
+                                    static_cast<std::size_t>(state.range(0)),
+                                    1, 0);
+    benchmark::DoNotOptimize(&s);
+  }
+}
+BENCHMARK(bm_planner_only)->Arg(8)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+
+void bm_simulator_only(benchmark::State& state) {
+  // Simulation cost for a 512-node staged collect (the heaviest Fig. 4 case).
+  const Mesh2D mesh(16, 32);
+  const MachineParams machine = MachineParams::paragon();
+  const Planner planner(machine, mesh);
+  const Group whole = whole_mesh_group(mesh);
+  const Schedule s = planner.plan(Collective::kCollect, whole,
+                                  static_cast<std::size_t>(state.range(0)), 1,
+                                  0);
+  SimParams params;
+  params.machine = machine;
+  const WormholeSimulator sim(mesh, params);
+  for (auto _ : state) {
+    const SimResult r = sim.run(s);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(bm_simulator_only)
+    ->Arg(1 << 10)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Reproduces paper Table 3: time for representative collective
+// communications on a (simulated) 512-node Paragon, 16 x 32 mesh, NX vs
+// the InterCom library, for 8 B / 64 KB / 1 MB vectors.
+//
+// Absolute seconds come from the back-derived Paragon constants; the shapes
+// to reproduce are: broadcast and global-sum ratios slightly below 1 for 8
+// bytes (iCC's recursion overhead), large ratios for 64 KB and 1 MB, and the
+// serial NX collect losing by an order of magnitude at every length.
+#include "common.hpp"
+
+using namespace intercom;
+
+int main() {
+  bench::print_header(
+      "Table 3: NX vs InterCom on a simulated 16x32 Paragon (512 nodes)",
+      "paper values for reference: bcast 0.0012/0.0013 (0.92), "
+      "0.32/0.013 (24.6), 0.94/0.075 (12.5);\ncollect 0.27/0.0035 (77.1), "
+      "0.32/0.013* (24.6), 0.51/0.10 (5.10);\nglobal sum 0.0036/0.0041 "
+      "(0.88), 0.17/0.024 (7.10), 2.72/0.17 (16.0).");
+
+  const Mesh2D mesh(16, 32);
+  const Group whole = whole_mesh_group(mesh);
+  const MachineParams machine = MachineParams::paragon();
+  const Planner planner(machine, mesh);
+  SimParams params;
+  params.machine = machine;
+  const WormholeSimulator sim(mesh, params);
+
+  struct Case {
+    Collective collective;
+    const char* name;
+  };
+  const std::vector<Case> cases = {
+      {Collective::kBroadcast, "Broadcast"},
+      {Collective::kCollect, "Collect"},
+      {Collective::kCombineToAll, "Global Sum"},
+  };
+  const std::vector<std::size_t> lengths = {8, 64 << 10, 1 << 20};
+
+  TextTable table({"Operation", "length", "NX (s)", "Intercom (s)", "ratio",
+                   "icc algorithm"});
+  for (const auto& c : cases) {
+    for (std::size_t n : lengths) {
+      const Schedule nx_plan = nx::plan(c.collective, whole, n, 1, 0);
+      const Schedule icc_plan = planner.plan(c.collective, whole, n, 1, 0);
+      const double nx_t = sim.run(nx_plan).seconds;
+      const double icc_t = sim.run(icc_plan).seconds;
+      table.add_row({c.name, format_bytes(n), format_seconds(nx_t),
+                     format_seconds(icc_t), format_seconds(nx_t / icc_t),
+                     icc_plan.algorithm()});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each bench binary regenerates one table or figure of the paper: it builds
+// the schedules, runs them through the worm-hole simulator with the Paragon
+// parameter preset, and prints the same rows/series the paper reports.
+// Absolute seconds depend on the back-derived machine constants; the
+// reproduction targets are the *shapes* (who wins, by what factor, where
+// crossovers fall) recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <iostream>
+#include <vector>
+
+#include "intercom/intercom.hpp"
+
+namespace intercom::bench {
+
+/// Message lengths (bytes) used by the figure sweeps: 8 B to 1 MB, roughly
+/// logarithmic, matching Fig. 2 / Fig. 4's axis range.
+inline std::vector<std::size_t> sweep_lengths() {
+  return {8,      32,      128,     512,      2048,    8192,
+          32768,  131072,  524288,  1048576};
+}
+
+/// Simulates a schedule on `mesh` with Paragon-like parameters.
+inline double simulate_paragon(const Mesh2D& mesh, const Schedule& schedule) {
+  SimParams params;
+  params.machine = MachineParams::paragon();
+  return WormholeSimulator(mesh, params).run(schedule).seconds;
+}
+
+/// Prints a section header so the combined bench output stays navigable.
+inline void print_header(const std::string& title, const std::string& note) {
+  std::cout << "\n== " << title << " ==\n";
+  if (!note.empty()) std::cout << note << "\n";
+  std::cout << "\n";
+}
+
+}  // namespace intercom::bench

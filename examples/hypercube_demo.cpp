@@ -1,0 +1,50 @@
+// The hypercube (iPSC/860) version of the library, end to end: plan with
+// the HypercubePlanner, inspect the chosen algorithms across message
+// lengths, and verify timing/conflicts on the simulated cube — Section 11's
+// "same functionality, but uses algorithms more appropriate for hypercubes".
+//
+// Build & run:  ./build/examples/hypercube_demo [dims]
+#include <cstdlib>
+#include <iostream>
+
+#include "intercom/intercom.hpp"
+
+int main(int argc, char** argv) {
+  using namespace intercom;
+
+  const int dims = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int p = 1 << dims;
+  auto cube = std::make_shared<Hypercube>(dims);
+  const MachineParams machine = MachineParams::ipsc860();
+  const hypercube::HypercubePlanner planner(machine);
+  SimParams params;
+  params.machine = machine;
+  const WormholeSimulator sim(cube, params);
+  const Group g = Group::contiguous(p);
+
+  std::cout << "hypercube: " << dims << "-cube (" << p
+            << " nodes), iPSC/860 parameters\n\n";
+
+  for (auto collective : {Collective::kBroadcast, Collective::kCollect,
+                          Collective::kCombineToAll}) {
+    std::cout << to_string(collective) << ":\n";
+    TextTable table({"bytes", "algorithm", "simulated (s)", "alpha depth",
+                     "peak link sharing"});
+    for (std::size_t n : {std::size_t{8}, std::size_t{1} << 12,
+                          std::size_t{1} << 16, std::size_t{1} << 20}) {
+      const Schedule s = planner.plan(collective, g, n, 1, 0);
+      const SimResult r = sim.run(s);
+      const ScheduleStats stats = analyze(s, machine);
+      table.add_row({format_bytes(n), s.algorithm(),
+                     format_seconds(r.seconds),
+                     std::to_string(stats.alpha_depth),
+                     std::to_string(r.peak_link_load)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "note: peak link sharing 1 everywhere — every dimension-\n"
+               "exchange step crosses its own cube edge, the hypercube\n"
+               "analogue of the paper's 'no network conflicts' property.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Distributed power iteration: estimates the dominant eigenvalue of a
+// row-partitioned matrix using three library collectives per step —
+// collect (allgather) to assemble the full iterate, combine-to-all to
+// compute the norm, and a final broadcast-free convergence check via the
+// shared reduction result.  The workload the paper's global combine and
+// collect operations exist for.
+//
+// Build & run:  ./build/examples/power_iteration
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "intercom/intercom.hpp"
+
+namespace {
+
+using namespace intercom;
+
+constexpr int kP = 6;     // nodes (1 x 6 linear array)
+constexpr int kN = 96;    // matrix dimension
+constexpr int kIters = 60;
+
+// A symmetric matrix with a known dominant eigenvalue: diag(1..N)/N plus a
+// small off-diagonal coupling.  Dominant eigenvalue ~ 1 + coupling effects.
+double matrix(int i, int j) {
+  if (i == j) return static_cast<double>(i + 1) / kN;
+  return 0.001 / (1.0 + std::abs(i - j));
+}
+
+}  // namespace
+
+int main() {
+  Multicomputer machine((Mesh2D(1, kP)));
+  double estimate = 0.0;
+
+  machine.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    const ElemRange rows = world.piece_of(kN, world.rank());
+
+    std::vector<double> x(kN, 1.0 / std::sqrt(static_cast<double>(kN)));
+    std::vector<double> y(kN, 0.0);
+    double lambda = 0.0;
+
+    for (int iter = 0; iter < kIters; ++iter) {
+      // Local matvec for my rows.
+      for (std::size_t i = rows.lo; i < rows.hi; ++i) {
+        double acc = 0.0;
+        for (int j = 0; j < kN; ++j) {
+          acc += matrix(static_cast<int>(i), j) * x[static_cast<std::size_t>(j)];
+        }
+        y[i] = acc;
+      }
+      // Collect everyone's rows of y (in place, canonical pieces).
+      world.collect(std::span<double>(y));
+      // Rayleigh quotient pieces and norm via global sums.
+      double local[2] = {0.0, 0.0};  // {x.y, y.y} over my rows
+      for (std::size_t i = rows.lo; i < rows.hi; ++i) {
+        local[0] += x[i] * y[i];
+        local[1] += y[i] * y[i];
+      }
+      world.all_reduce_sum(std::span<double>(local, 2));
+      lambda = local[0];
+      const double norm = std::sqrt(local[1]);
+      for (int i = 0; i < kN; ++i) {
+        x[static_cast<std::size_t>(i)] = y[static_cast<std::size_t>(i)] / norm;
+      }
+    }
+    if (world.rank() == 0) estimate = lambda;
+  });
+
+  // Serial reference via the same iteration.
+  std::vector<double> x(kN, 1.0 / std::sqrt(static_cast<double>(kN)));
+  double want = 0.0;
+  for (int iter = 0; iter < kIters; ++iter) {
+    std::vector<double> y(kN, 0.0);
+    for (int i = 0; i < kN; ++i) {
+      for (int j = 0; j < kN; ++j) {
+        y[static_cast<std::size_t>(i)] +=
+            matrix(i, j) * x[static_cast<std::size_t>(j)];
+      }
+    }
+    double xy = 0.0;
+    double yy = 0.0;
+    for (int i = 0; i < kN; ++i) {
+      xy += x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+      yy += y[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+    }
+    want = xy;
+    const double norm = std::sqrt(yy);
+    for (int i = 0; i < kN; ++i) {
+      x[static_cast<std::size_t>(i)] = y[static_cast<std::size_t>(i)] / norm;
+    }
+  }
+
+  const double err = std::abs(estimate - want);
+  std::cout << "power iteration on " << kP << " nodes: lambda_max ~ "
+            << estimate << " (serial reference " << want << ", |diff| = "
+            << err << ")" << (err < 1e-12 ? "  [OK]" : "  [FAIL]") << "\n";
+  return err < 1e-12 ? 0 : 1;
+}

@@ -1,0 +1,42 @@
+// Quickstart: create an in-process multicomputer, broadcast a vector from
+// node 0, and global-sum a vector across all nodes — the two most common
+// collectives, in a dozen lines.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+#include <vector>
+
+#include "intercom/intercom.hpp"
+
+int main() {
+  using namespace intercom;
+
+  // An 2 x 4 mesh of 8 nodes, each backed by a thread.  The planner uses
+  // Paragon-like machine parameters to choose hybrid algorithms.
+  Multicomputer machine(Mesh2D(2, 4));
+
+  machine.run_spmd([](Node& node) {
+    Communicator world = node.world();
+
+    // Broadcast: node 0 fills the vector, everyone receives it.
+    std::vector<double> message(16, 0.0);
+    if (world.rank() == 0) {
+      for (std::size_t i = 0; i < message.size(); ++i) {
+        message[i] = static_cast<double>(i) * 1.5;
+      }
+    }
+    world.broadcast(std::span<double>(message), /*root=*/0);
+
+    // Combine-to-all (global sum): every node contributes its rank.
+    std::vector<double> sums{static_cast<double>(world.rank()), 1.0};
+    world.all_reduce_sum(std::span<double>(sums));
+
+    if (world.rank() == 0) {
+      std::cout << "broadcast delivered message[15] = " << message[15]
+                << " (expected 22.5)\n";
+      std::cout << "global sum of ranks = " << sums[0] << " (expected 28), "
+                << "node count = " << sums[1] << " (expected 8)\n";
+    }
+  });
+  return 0;
+}

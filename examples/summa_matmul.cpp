@@ -1,0 +1,135 @@
+// SUMMA matrix multiplication on a logical 2-D node grid — the canonical
+// application of group collective communication (paper Section 9: "many
+// applications require parallel implementations formulated in terms of
+// computation and communication within node groups (e.g. rows and columns
+// of a logical mesh)").
+//
+// C = A * B with square matrices block-distributed over an r x c grid.  For
+// each panel k: the owner column broadcasts its A panel within each grid
+// row, the owner row broadcasts its B panel within each grid column, and
+// every node accumulates a local rank-kb update.  The result is checked
+// against a serial multiplication.
+//
+// Build & run:  ./build/examples/summa_matmul
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "intercom/intercom.hpp"
+
+namespace {
+
+using namespace intercom;
+
+constexpr int kGridRows = 2;
+constexpr int kGridCols = 3;
+constexpr int kN = 48;          // matrix dimension (multiple of grid dims)
+constexpr int kPanel = 8;       // SUMMA panel width
+
+double element_a(int i, int j) { return 0.01 * i + 0.02 * j + 1.0; }
+double element_b(int i, int j) { return 0.03 * i - 0.01 * j + 0.5; }
+
+}  // namespace
+
+int main() {
+  const int block_rows = kN / kGridRows;
+  const int block_cols = kN / kGridCols;
+
+  Multicomputer machine(Mesh2D(kGridRows, kGridCols));
+  std::vector<double> c_result(static_cast<std::size_t>(kN) * kN, 0.0);
+
+  machine.run_spmd([&](Node& node) {
+    const Coord me = machine.mesh().coord_of(node.id());
+    const int row0 = me.row * block_rows;
+    const int col0 = me.col * block_cols;
+
+    // Local blocks, stored dense row-major.
+    std::vector<double> a_block(static_cast<std::size_t>(block_rows) *
+                                block_cols);
+    std::vector<double> b_block(static_cast<std::size_t>(block_rows) *
+                                block_cols);
+    std::vector<double> c_block(static_cast<std::size_t>(block_rows) *
+                                    block_cols,
+                                0.0);
+    for (int i = 0; i < block_rows; ++i) {
+      for (int j = 0; j < block_cols; ++j) {
+        a_block[static_cast<std::size_t>(i) * block_cols + j] =
+            element_a(row0 + i, col0 + j);
+        b_block[static_cast<std::size_t>(i) * block_cols + j] =
+            element_b(row0 + i, col0 + j);
+      }
+    }
+
+    Communicator row_comm = node.group(row_group(machine.mesh(), me.row));
+    Communicator col_comm = node.group(col_group(machine.mesh(), me.col));
+
+    // Panels of A (block_rows x kPanel) and B (kPanel x block_cols).
+    std::vector<double> a_panel(static_cast<std::size_t>(block_rows) * kPanel);
+    std::vector<double> b_panel(static_cast<std::size_t>(kPanel) * block_cols);
+
+    for (int k = 0; k < kN; k += kPanel) {
+      // Which grid column owns A(:, k:k+kb), which grid row owns B rows.
+      const int owner_col = k / block_cols;
+      const int owner_row = k / block_rows;
+      // The panel may straddle a block boundary only if kPanel divides the
+      // block sizes; we chose kN, kPanel so it does not.
+      if (me.col == owner_col) {
+        for (int i = 0; i < block_rows; ++i) {
+          for (int j = 0; j < kPanel; ++j) {
+            a_panel[static_cast<std::size_t>(i) * kPanel + j] =
+                a_block[static_cast<std::size_t>(i) * block_cols +
+                        (k - owner_col * block_cols) + j];
+          }
+        }
+      }
+      if (me.row == owner_row) {
+        for (int i = 0; i < kPanel; ++i) {
+          for (int j = 0; j < block_cols; ++j) {
+            b_panel[static_cast<std::size_t>(i) * block_cols + j] =
+                b_block[static_cast<std::size_t>(
+                            (k - owner_row * block_rows) + i) *
+                            block_cols +
+                        j];
+          }
+        }
+      }
+      // Group broadcasts within rows and columns of the grid.
+      row_comm.broadcast(std::span<double>(a_panel), owner_col);
+      col_comm.broadcast(std::span<double>(b_panel), owner_row);
+      // Local rank-kPanel update: C += A_panel * B_panel.
+      for (int i = 0; i < block_rows; ++i) {
+        for (int kk = 0; kk < kPanel; ++kk) {
+          const double a = a_panel[static_cast<std::size_t>(i) * kPanel + kk];
+          for (int j = 0; j < block_cols; ++j) {
+            c_block[static_cast<std::size_t>(i) * block_cols + j] +=
+                a * b_panel[static_cast<std::size_t>(kk) * block_cols + j];
+          }
+        }
+      }
+    }
+
+    // Stash the block into the shared result (disjoint regions per node).
+    for (int i = 0; i < block_rows; ++i) {
+      for (int j = 0; j < block_cols; ++j) {
+        c_result[static_cast<std::size_t>(row0 + i) * kN + (col0 + j)] =
+            c_block[static_cast<std::size_t>(i) * block_cols + j];
+      }
+    }
+  });
+
+  // Verify against a serial multiplication.
+  double max_err = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      double want = 0.0;
+      for (int k = 0; k < kN; ++k) want += element_a(i, k) * element_b(k, j);
+      max_err = std::max(
+          max_err,
+          std::abs(want - c_result[static_cast<std::size_t>(i) * kN + j]));
+    }
+  }
+  std::cout << "SUMMA on a " << kGridRows << "x" << kGridCols
+            << " node grid, N = " << kN << ": max |error| = " << max_err
+            << (max_err < 1e-9 ? "  [OK]" : "  [FAIL]") << "\n";
+  return max_err < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,133 @@
+// Bucket (ring) long-vector primitives.
+//
+// The group is viewed as a unidirectional ring: rank i forwards to rank
+// (i+1) mod d and receives from (i-1) mod d simultaneously (the machine
+// model's full-duplex ports).  Due to worm-hole routing, the wrap-around
+// message of a linear array travels over the reverse-direction channels and
+// conflicts with nothing, which is why the paper treats linear arrays as
+// rings (Section 4).  Both primitives take d-1 steps.
+#include <algorithm>
+
+#include "intercom/core/primitives.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom::planner {
+
+namespace {
+
+void check_runs(const Group& group, const std::vector<ElemRange>& pieces) {
+  INTERCOM_REQUIRE(static_cast<int>(pieces.size()) == group.size(),
+                   "one piece per group member required");
+  for (std::size_t i = 1; i < pieces.size(); ++i) {
+    INTERCOM_REQUIRE(pieces[i].lo == pieces[i - 1].hi,
+                     "pieces must be ascending and contiguous");
+  }
+}
+
+int wrap(int v, int d) { return ((v % d) + d) % d; }
+
+}  // namespace
+
+void bucket_collect(Ctx& ctx, const Group& group,
+                    const std::vector<ElemRange>& pieces) {
+  check_runs(group, pieces);
+  const int d = group.size();
+  const ElemRange whole{pieces.front().lo, pieces.back().hi};
+  for (int r = 0; r < d; ++r) {
+    ctx.sched.reserve_slice(group.physical(r),
+                            slice_of(whole, ctx.elem_size, kUserBuf));
+  }
+  for (int s = 0; s <= d - 2; ++s) {
+    // Tag for the bucket crossing edge i -> i+1 this step (when non-empty).
+    std::vector<int> tags(static_cast<std::size_t>(d), -1);
+    for (int i = 0; i < d; ++i) {
+      if (!pieces[static_cast<std::size_t>(wrap(i - s, d))].empty()) {
+        tags[static_cast<std::size_t>(i)] = ctx.sched.fresh_tag();
+      }
+    }
+    for (int i = 0; i < d; ++i) {
+      const int next = wrap(i + 1, d);
+      const int prev = wrap(i - 1, d);
+      const ElemRange send_piece = pieces[static_cast<std::size_t>(wrap(i - s, d))];
+      const ElemRange recv_piece =
+          pieces[static_cast<std::size_t>(wrap(i - s - 1, d))];
+      const int send_tag = tags[static_cast<std::size_t>(i)];
+      const int recv_tag = tags[static_cast<std::size_t>(prev)];
+      auto& ops = ctx.sched.program(group.physical(i)).ops;
+      const BufSlice src = slice_of(send_piece, ctx.elem_size, kUserBuf);
+      const BufSlice dst = slice_of(recv_piece, ctx.elem_size, kUserBuf);
+      if (!send_piece.empty() && !recv_piece.empty()) {
+        ops.push_back(Op::sendrecv(group.physical(next), src, send_tag,
+                                   group.physical(prev), dst, recv_tag));
+      } else if (!send_piece.empty()) {
+        ops.push_back(Op::send(group.physical(next), src, send_tag));
+      } else if (!recv_piece.empty()) {
+        ops.push_back(Op::recv(group.physical(prev), dst, recv_tag));
+      }
+    }
+  }
+}
+
+void bucket_distributed_combine(Ctx& ctx, const Group& group,
+                                const std::vector<ElemRange>& pieces) {
+  check_runs(group, pieces);
+  const int d = group.size();
+  const ElemRange whole{pieces.front().lo, pieces.back().hi};
+  std::size_t max_piece_bytes = 0;
+  for (const auto& piece : pieces) {
+    max_piece_bytes = std::max(max_piece_bytes, piece.elems() * ctx.elem_size);
+  }
+  for (int r = 0; r < d; ++r) {
+    ctx.sched.reserve_slice(group.physical(r),
+                            slice_of(whole, ctx.elem_size, kUserBuf));
+    if (d > 1 && max_piece_bytes > 0) {
+      ctx.sched.reserve_slice(group.physical(r),
+                              BufSlice{kScratchBuf, 0, max_piece_bytes});
+    }
+  }
+  for (int s = 0; s <= d - 2; ++s) {
+    std::vector<int> tags(static_cast<std::size_t>(d), -1);
+    for (int i = 0; i < d; ++i) {
+      if (!pieces[static_cast<std::size_t>(wrap(i - s - 1, d))].empty()) {
+        tags[static_cast<std::size_t>(i)] = ctx.sched.fresh_tag();
+      }
+    }
+    for (int i = 0; i < d; ++i) {
+      const int next = wrap(i + 1, d);
+      const int prev = wrap(i - 1, d);
+      // At step s, rank i passes on the partial bucket it combined last step
+      // and accumulates the bucket that will be one hop closer to complete.
+      const ElemRange send_piece =
+          pieces[static_cast<std::size_t>(wrap(i - s - 1, d))];
+      const ElemRange recv_piece =
+          pieces[static_cast<std::size_t>(wrap(i - s - 2, d))];
+      const int send_tag = tags[static_cast<std::size_t>(i)];
+      const int recv_tag = tags[static_cast<std::size_t>(prev)];
+      auto& ops = ctx.sched.program(group.physical(i)).ops;
+      const BufSlice src = slice_of(send_piece, ctx.elem_size, kUserBuf);
+      const BufSlice user_dst = slice_of(recv_piece, ctx.elem_size, kUserBuf);
+      const BufSlice scratch{kScratchBuf, 0, user_dst.bytes};
+      if (!send_piece.empty() && !recv_piece.empty()) {
+        ops.push_back(Op::sendrecv(group.physical(next), src, send_tag,
+                                   group.physical(prev), scratch, recv_tag));
+        ops.push_back(Op::combine(scratch, user_dst));
+      } else if (!send_piece.empty()) {
+        ops.push_back(Op::send(group.physical(next), src, send_tag));
+      } else if (!recv_piece.empty()) {
+        ops.push_back(Op::recv(group.physical(prev), scratch, recv_tag));
+        ops.push_back(Op::combine(scratch, user_dst));
+      }
+    }
+  }
+}
+
+void bucket_collect(Ctx& ctx, const Group& group, ElemRange range) {
+  bucket_collect(ctx, group, block_partition(range, group.size()));
+}
+
+void bucket_distributed_combine(Ctx& ctx, const Group& group,
+                                ElemRange range) {
+  bucket_distributed_combine(ctx, group, block_partition(range, group.size()));
+}
+
+}  // namespace intercom::planner

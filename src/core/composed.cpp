@@ -1,0 +1,42 @@
+// Composed single-group algorithms (paper Section 5).
+#include "intercom/core/algorithms.hpp"
+
+namespace intercom::planner {
+
+void long_broadcast(Ctx& ctx, const Group& group, ElemRange range, int root) {
+  const auto pieces = block_partition(range, group.size());
+  mst_scatter(ctx, group, pieces, root);
+  bucket_collect(ctx, group, pieces);
+}
+
+void short_collect(Ctx& ctx, const Group& group, ElemRange range) {
+  // Gather to rank 0, then MST broadcast (Section 5.1); the gather root is
+  // arbitrary because the result lands everywhere.
+  mst_gather(ctx, group, range, 0);
+  mst_broadcast(ctx, group, range, 0);
+}
+
+void long_combine_to_one(Ctx& ctx, const Group& group, ElemRange range,
+                         int root) {
+  const auto pieces = block_partition(range, group.size());
+  bucket_distributed_combine(ctx, group, pieces);
+  mst_gather(ctx, group, pieces, root);
+}
+
+void short_combine_to_all(Ctx& ctx, const Group& group, ElemRange range) {
+  mst_combine_to_one(ctx, group, range, 0);
+  mst_broadcast(ctx, group, range, 0);
+}
+
+void long_combine_to_all(Ctx& ctx, const Group& group, ElemRange range) {
+  const auto pieces = block_partition(range, group.size());
+  bucket_distributed_combine(ctx, group, pieces);
+  bucket_collect(ctx, group, pieces);
+}
+
+void short_distributed_combine(Ctx& ctx, const Group& group, ElemRange range) {
+  mst_combine_to_one(ctx, group, range, 0);
+  mst_scatter(ctx, group, range, 0);
+}
+
+}  // namespace intercom::planner

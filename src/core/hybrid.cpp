@@ -1,0 +1,217 @@
+// Hybrid algorithm generators (paper Section 6, Fig. 3 template).
+//
+// A group of p = d1*...*dk nodes is viewed as a logical mesh whose rank
+// layout puts dimension 1 fastest-varying (see algorithms.hpp).  Root-based
+// hybrids (broadcast, combine-to-one) distribute/collapse work through the
+// dimensions recursively; all-to-all-shaped hybrids (collect, distributed
+// combine, combine-to-all) run staged ring primitives across every group of
+// every dimension.
+#include "intercom/core/algorithms.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom::planner {
+
+namespace {
+
+// Number of logical columns (sub-mesh size) once dim 1 of size d is peeled
+// off a group of p ranks.
+int peel(const Group& group, int d) {
+  INTERCOM_REQUIRE(d >= 1 && group.size() % d == 0,
+                   "hybrid dims must factor the group size");
+  return group.size() / d;
+}
+
+// Contiguous runs covering the canonical pieces of ranks [a, b).
+ElemRange run_of(const std::vector<ElemRange>& pieces, int a, int b) {
+  return ElemRange{pieces[static_cast<std::size_t>(a)].lo,
+                   pieces[static_cast<std::size_t>(b - 1)].hi};
+}
+
+}  // namespace
+
+void hybrid_broadcast(Ctx& ctx, const Group& group, ElemRange range, int root,
+                      std::span<const int> dims, InnerAlg inner) {
+  INTERCOM_REQUIRE(!dims.empty(), "hybrid needs at least one dimension");
+  if (dims.size() == 1) {
+    INTERCOM_REQUIRE(dims[0] == group.size(),
+                     "hybrid dims must factor the group size");
+    if (inner == InnerAlg::kShortVector) {
+      mst_broadcast(ctx, group, range, root);
+    } else {
+      long_broadcast(ctx, group, range, root);
+    }
+    return;
+  }
+  const int d1 = dims[0];
+  const int cols = peel(group, d1);
+  const auto pieces = block_partition(range, d1);
+  // Stage 1: scatter within the root's dim-1 group only.
+  const int row_start = (root / d1) * d1;
+  const Group root_row = group.slice(row_start, 1, d1);
+  mst_scatter(ctx, root_row, pieces, root - row_start);
+  // Recurse within each logical column (fixed dim-1 coordinate).
+  const int sub_root = row_start / d1;
+  for (int x1 = 0; x1 < d1; ++x1) {
+    const Group col = group.slice(x1, d1, cols);
+    hybrid_broadcast(ctx, col, pieces[static_cast<std::size_t>(x1)], sub_root,
+                     dims.subspan(1), inner);
+  }
+  // Stage 2: bucket collect within every dim-1 group.
+  for (int q = 0; q < cols; ++q) {
+    const Group row = group.slice(q * d1, 1, d1);
+    bucket_collect(ctx, row, pieces);
+  }
+}
+
+void hybrid_combine_to_one(Ctx& ctx, const Group& group, ElemRange range,
+                           int root, std::span<const int> dims,
+                           InnerAlg inner) {
+  INTERCOM_REQUIRE(!dims.empty(), "hybrid needs at least one dimension");
+  if (dims.size() == 1) {
+    INTERCOM_REQUIRE(dims[0] == group.size(),
+                     "hybrid dims must factor the group size");
+    if (inner == InnerAlg::kShortVector) {
+      mst_combine_to_one(ctx, group, range, root);
+    } else {
+      long_combine_to_one(ctx, group, range, root);
+    }
+    return;
+  }
+  const int d1 = dims[0];
+  const int cols = peel(group, d1);
+  const auto pieces = block_partition(range, d1);
+  // Stage 1: distributed combine within every dim-1 group (all nodes hold
+  // full-length partials).
+  for (int q = 0; q < cols; ++q) {
+    const Group row = group.slice(q * d1, 1, d1);
+    bucket_distributed_combine(ctx, row, pieces);
+  }
+  // Recurse within each logical column, reducing piece x1 to the column
+  // member that lies in the root's dim-1 group.
+  const int row_start = (root / d1) * d1;
+  const int sub_root = row_start / d1;
+  for (int x1 = 0; x1 < d1; ++x1) {
+    const Group col = group.slice(x1, d1, cols);
+    hybrid_combine_to_one(ctx, col, pieces[static_cast<std::size_t>(x1)],
+                          sub_root, dims.subspan(1), inner);
+  }
+  // Stage 2: gather the fully combined pieces to the root within its row.
+  const Group root_row = group.slice(row_start, 1, d1);
+  mst_gather(ctx, root_row, pieces, root - row_start);
+}
+
+void hybrid_combine_to_all(Ctx& ctx, const Group& group, ElemRange range,
+                           std::span<const int> dims, InnerAlg inner) {
+  INTERCOM_REQUIRE(!dims.empty(), "hybrid needs at least one dimension");
+  if (dims.size() == 1) {
+    INTERCOM_REQUIRE(dims[0] == group.size(),
+                     "hybrid dims must factor the group size");
+    if (inner == InnerAlg::kShortVector) {
+      short_combine_to_all(ctx, group, range);
+    } else {
+      long_combine_to_all(ctx, group, range);
+    }
+    return;
+  }
+  const int d1 = dims[0];
+  const int cols = peel(group, d1);
+  const auto pieces = block_partition(range, d1);
+  for (int q = 0; q < cols; ++q) {
+    bucket_distributed_combine(ctx, group.slice(q * d1, 1, d1), pieces);
+  }
+  for (int x1 = 0; x1 < d1; ++x1) {
+    hybrid_combine_to_all(ctx, group.slice(x1, d1, cols),
+                          pieces[static_cast<std::size_t>(x1)],
+                          dims.subspan(1), inner);
+  }
+  for (int q = 0; q < cols; ++q) {
+    bucket_collect(ctx, group.slice(q * d1, 1, d1), pieces);
+  }
+}
+
+void hybrid_collect(Ctx& ctx, const Group& group, ElemRange range,
+                    std::span<const int> dims, InnerAlg inner) {
+  INTERCOM_REQUIRE(!dims.empty(), "hybrid needs at least one dimension");
+  const int p = group.size();
+  {
+    int prod = 1;
+    for (int d : dims) prod *= d;
+    INTERCOM_REQUIRE(prod == p, "hybrid dims must factor the group size");
+  }
+  const auto pieces = block_partition(range, p);
+  // Stage i collects within groups of size dims[i] strided by the product of
+  // the earlier dims; each member contributes the contiguous run of pieces
+  // it assembled in the previous stages.
+  int stride = 1;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    const int d = dims[i];
+    const int block = stride * d;  // ranks covered by one stage-i group span
+    for (int base = 0; base < p; base += block) {
+      for (int offset = 0; offset < stride; ++offset) {
+        const Group sub = group.slice(base + offset, stride, d);
+        std::vector<ElemRange> runs(static_cast<std::size_t>(d));
+        for (int j = 0; j < d; ++j) {
+          runs[static_cast<std::size_t>(j)] =
+              run_of(pieces, base + j * stride, base + (j + 1) * stride);
+        }
+        if (i == 0 && inner == InnerAlg::kShortVector) {
+          // Short-vector collect within the innermost groups (Section 5.1).
+          const ElemRange whole = run_of(pieces, base, base + block);
+          mst_gather(ctx, sub, runs, 0);
+          mst_broadcast(ctx, sub, whole, 0);
+        } else {
+          bucket_collect(ctx, sub, runs);
+        }
+      }
+    }
+    stride = block;
+  }
+}
+
+void hybrid_distributed_combine(Ctx& ctx, const Group& group, ElemRange range,
+                                std::span<const int> dims, InnerAlg inner) {
+  INTERCOM_REQUIRE(!dims.empty(), "hybrid needs at least one dimension");
+  const int p = group.size();
+  std::vector<int> strides(dims.size());
+  {
+    int prod = 1;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      strides[i] = prod;
+      prod *= dims[i];
+    }
+    INTERCOM_REQUIRE(prod == p, "hybrid dims must factor the group size");
+  }
+  const auto pieces = block_partition(range, p);
+  // Mirror of hybrid_collect: stages run outermost first and each stage's
+  // reduce-scatter shrinks every member's live run by a factor dims[i].
+  for (std::size_t i = dims.size(); i-- > 0;) {
+    const int d = dims[i];
+    const int stride = strides[i];
+    const int block = stride * d;
+    for (int base = 0; base < p; base += block) {
+      for (int offset = 0; offset < stride; ++offset) {
+        const Group sub = group.slice(base + offset, stride, d);
+        std::vector<ElemRange> runs(static_cast<std::size_t>(d));
+        for (int j = 0; j < d; ++j) {
+          runs[static_cast<std::size_t>(j)] =
+              run_of(pieces, base + j * stride, base + (j + 1) * stride);
+        }
+        if (i == 0 && inner == InnerAlg::kShortVector) {
+          // Short-vector distributed combine within the innermost groups.
+          const ElemRange whole = run_of(pieces, base, base + block);
+          mst_combine_to_one(ctx, sub, whole, 0);
+          std::vector<ElemRange> scatter_pieces(static_cast<std::size_t>(d));
+          for (int j = 0; j < d; ++j) {
+            scatter_pieces[static_cast<std::size_t>(j)] =
+                runs[static_cast<std::size_t>(j)];
+          }
+          mst_scatter(ctx, sub, scatter_pieces, 0);
+        } else {
+          bucket_distributed_combine(ctx, sub, runs);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace intercom::planner

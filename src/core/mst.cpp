@@ -1,0 +1,187 @@
+// Minimum-spanning-tree (recursive halving) primitives.
+//
+// All four work on an arbitrary contiguous *rank* interval [a, b) of the
+// group and recursively split it at its midpoint, so no power-of-two group
+// size is required and each completes in ceil(log2 d) steps.  At every step,
+// messages of sibling subtrees connect disjoint rank intervals, which map to
+// disjoint physical intervals for contiguous or uniformly strided groups —
+// hence no network conflicts within one group (paper Section 4).
+#include <algorithm>
+
+#include "intercom/core/primitives.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom::planner {
+
+namespace {
+
+// Midpoint split of [a, b): left half [a, m), right half [m, b).
+int mid(int a, int b) { return a + (b - a) / 2; }
+
+void check_pieces(const Group& group, const std::vector<ElemRange>& pieces) {
+  INTERCOM_REQUIRE(static_cast<int>(pieces.size()) == group.size(),
+                   "one piece per group member required");
+  for (std::size_t i = 1; i < pieces.size(); ++i) {
+    INTERCOM_REQUIRE(pieces[i].lo == pieces[i - 1].hi,
+                     "pieces must be ascending and contiguous");
+  }
+}
+
+// Union of pieces[a..b) as a single contiguous element range.
+ElemRange piece_union(const std::vector<ElemRange>& pieces, int a, int b) {
+  return ElemRange{pieces[static_cast<std::size_t>(a)].lo,
+                   pieces[static_cast<std::size_t>(b - 1)].hi};
+}
+
+void add_transfer_checked(Ctx& ctx, int from, int to, ElemRange range,
+                          int buffer = kUserBuf) {
+  if (range.empty()) return;
+  const BufSlice s = slice_of(range, ctx.elem_size, buffer);
+  ctx.sched.add_transfer(from, to, s, s);
+}
+
+void bcast_rec(Ctx& ctx, const Group& g, ElemRange range, int a, int b,
+               int root) {
+  if (b - a <= 1) return;
+  const int m = mid(a, b);
+  int partner;
+  if (root < m) {
+    partner = m;  // first rank of the right half becomes its root
+  } else {
+    partner = a;  // first rank of the left half becomes its root
+  }
+  add_transfer_checked(ctx, g.physical(root), g.physical(partner), range);
+  if (root < m) {
+    bcast_rec(ctx, g, range, a, m, root);
+    bcast_rec(ctx, g, range, m, b, partner);
+  } else {
+    bcast_rec(ctx, g, range, a, m, partner);
+    bcast_rec(ctx, g, range, m, b, root);
+  }
+}
+
+void combine_rec(Ctx& ctx, const Group& g, ElemRange range, int a, int b,
+                 int root) {
+  if (b - a <= 1) return;
+  const int m = mid(a, b);
+  const int partner = root < m ? m : a;
+  // Reduce each half to its local root first, then fold the partner's
+  // accumulated vector into the root through scratch space.
+  if (root < m) {
+    combine_rec(ctx, g, range, a, m, root);
+    combine_rec(ctx, g, range, m, b, partner);
+  } else {
+    combine_rec(ctx, g, range, a, m, partner);
+    combine_rec(ctx, g, range, m, b, root);
+  }
+  if (range.empty()) return;
+  const BufSlice user = slice_of(range, ctx.elem_size, kUserBuf);
+  const BufSlice scratch{kScratchBuf, 0, user.bytes};
+  const int tag = ctx.sched.fresh_tag();
+  const int root_node = g.physical(root);
+  const int partner_node = g.physical(partner);
+  ctx.sched.reserve_slice(partner_node, user);
+  ctx.sched.reserve_slice(root_node, user);
+  ctx.sched.reserve_slice(root_node, scratch);
+  ctx.sched.program(partner_node).ops.push_back(
+      Op::send(root_node, user, tag));
+  ctx.sched.program(root_node).ops.push_back(
+      Op::recv(partner_node, scratch, tag));
+  ctx.sched.program(root_node).ops.push_back(Op::combine(scratch, user));
+}
+
+void scatter_rec(Ctx& ctx, const Group& g,
+                 const std::vector<ElemRange>& pieces, int a, int b,
+                 int root) {
+  if (b - a <= 1) return;
+  const int m = mid(a, b);
+  if (root < m) {
+    const int partner = m;
+    add_transfer_checked(ctx, g.physical(root), g.physical(partner),
+                         piece_union(pieces, m, b));
+    scatter_rec(ctx, g, pieces, a, m, root);
+    scatter_rec(ctx, g, pieces, m, b, partner);
+  } else {
+    const int partner = a;
+    add_transfer_checked(ctx, g.physical(root), g.physical(partner),
+                         piece_union(pieces, a, m));
+    scatter_rec(ctx, g, pieces, a, m, partner);
+    scatter_rec(ctx, g, pieces, m, b, root);
+  }
+}
+
+void gather_rec(Ctx& ctx, const Group& g, const std::vector<ElemRange>& pieces,
+                int a, int b, int root) {
+  if (b - a <= 1) return;
+  const int m = mid(a, b);
+  if (root < m) {
+    const int partner = m;
+    gather_rec(ctx, g, pieces, a, m, root);
+    gather_rec(ctx, g, pieces, m, b, partner);
+    add_transfer_checked(ctx, g.physical(partner), g.physical(root),
+                         piece_union(pieces, m, b));
+  } else {
+    const int partner = a;
+    gather_rec(ctx, g, pieces, a, m, partner);
+    gather_rec(ctx, g, pieces, m, b, root);
+    add_transfer_checked(ctx, g.physical(partner), g.physical(root),
+                         piece_union(pieces, a, m));
+  }
+}
+
+}  // namespace
+
+void mst_broadcast(Ctx& ctx, const Group& group, ElemRange range, int root) {
+  INTERCOM_REQUIRE(root >= 0 && root < group.size(), "root rank out of range");
+  // Reserve the range on every member even when no transfer touches it
+  // (p == 1), so downstream executors always see a consistent buffer size.
+  for (int r = 0; r < group.size(); ++r) {
+    ctx.sched.reserve_slice(group.physical(r),
+                            slice_of(range, ctx.elem_size, kUserBuf));
+  }
+  bcast_rec(ctx, group, range, 0, group.size(), root);
+}
+
+void mst_combine_to_one(Ctx& ctx, const Group& group, ElemRange range,
+                        int root) {
+  INTERCOM_REQUIRE(root >= 0 && root < group.size(), "root rank out of range");
+  for (int r = 0; r < group.size(); ++r) {
+    ctx.sched.reserve_slice(group.physical(r),
+                            slice_of(range, ctx.elem_size, kUserBuf));
+  }
+  combine_rec(ctx, group, range, 0, group.size(), root);
+}
+
+void mst_scatter(Ctx& ctx, const Group& group,
+                 const std::vector<ElemRange>& pieces, int root) {
+  INTERCOM_REQUIRE(root >= 0 && root < group.size(), "root rank out of range");
+  check_pieces(group, pieces);
+  for (int r = 0; r < group.size(); ++r) {
+    ctx.sched.reserve_slice(
+        group.physical(r),
+        slice_of(pieces[static_cast<std::size_t>(r)], ctx.elem_size, kUserBuf));
+  }
+  scatter_rec(ctx, group, pieces, 0, group.size(), root);
+}
+
+void mst_gather(Ctx& ctx, const Group& group,
+                const std::vector<ElemRange>& pieces, int root) {
+  INTERCOM_REQUIRE(root >= 0 && root < group.size(), "root rank out of range");
+  check_pieces(group, pieces);
+  for (int r = 0; r < group.size(); ++r) {
+    ctx.sched.reserve_slice(
+        group.physical(r),
+        slice_of(pieces[static_cast<std::size_t>(r)], ctx.elem_size, kUserBuf));
+  }
+  gather_rec(ctx, group, pieces, 0, group.size(), root);
+}
+
+void mst_scatter(Ctx& ctx, const Group& group, ElemRange range, int root) {
+  mst_scatter(ctx, group, block_partition(range, group.size()), root);
+}
+
+void mst_gather(Ctx& ctx, const Group& group, ElemRange range, int root) {
+  mst_gather(ctx, group, block_partition(range, group.size()), root);
+}
+
+}  // namespace intercom::planner

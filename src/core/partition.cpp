@@ -1,0 +1,30 @@
+#include "intercom/core/partition.hpp"
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+ElemRange block_piece(ElemRange range, int d, int i) {
+  INTERCOM_REQUIRE(d >= 1, "partition must have at least one piece");
+  INTERCOM_REQUIRE(i >= 0 && i < d, "piece index out of range");
+  INTERCOM_REQUIRE(range.hi >= range.lo, "element range must be well formed");
+  const std::size_t e = range.elems();
+  const std::size_t du = static_cast<std::size_t>(d);
+  const std::size_t iu = static_cast<std::size_t>(i);
+  return ElemRange{range.lo + iu * e / du, range.lo + (iu + 1) * e / du};
+}
+
+std::vector<ElemRange> block_partition(ElemRange range, int d) {
+  std::vector<ElemRange> pieces(static_cast<std::size_t>(d));
+  for (int i = 0; i < d; ++i) {
+    pieces[static_cast<std::size_t>(i)] = block_piece(range, d, i);
+  }
+  return pieces;
+}
+
+BufSlice slice_of(ElemRange range, std::size_t elem_size, int buffer) {
+  INTERCOM_REQUIRE(elem_size >= 1, "element size must be at least 1");
+  return BufSlice{buffer, range.lo * elem_size, range.elems() * elem_size};
+}
+
+}  // namespace intercom

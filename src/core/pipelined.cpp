@@ -1,0 +1,94 @@
+#include "intercom/core/pipelined.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom::planner {
+
+void pipelined_broadcast(Ctx& ctx, const Group& group, ElemRange range,
+                         int root, int segments) {
+  const int p = group.size();
+  INTERCOM_REQUIRE(root >= 0 && root < p, "root rank out of range");
+  INTERCOM_REQUIRE(segments >= 1, "segment count must be positive");
+  for (int r = 0; r < p; ++r) {
+    ctx.sched.reserve_slice(group.physical(r),
+                            slice_of(range, ctx.elem_size, kUserBuf));
+  }
+  if (p == 1 || range.empty()) return;
+  const int s_count = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(segments), range.elems()));
+  const auto segs = block_partition(range, s_count);
+  // Ring order: root, root+1, ..., wrapping around; the last node in ring
+  // order only receives.
+  auto ring_member = [&](int pos) { return (root + pos) % p; };
+  // One tag per (segment, hop) so matching stays unambiguous.
+  std::vector<std::vector<int>> tags(
+      segs.size(), std::vector<int>(static_cast<std::size_t>(p - 1)));
+  for (std::size_t s = 0; s < segs.size(); ++s) {
+    for (int h = 0; h < p - 1; ++h) {
+      tags[s][static_cast<std::size_t>(h)] = ctx.sched.fresh_tag();
+    }
+  }
+  // Root streams all segments to ring position 1.
+  {
+    auto& ops = ctx.sched.program(group.physical(ring_member(0))).ops;
+    for (std::size_t s = 0; s < segs.size(); ++s) {
+      ops.push_back(Op::send(group.physical(ring_member(1)),
+                             slice_of(segs[s], ctx.elem_size, kUserBuf),
+                             tags[s][0]));
+    }
+  }
+  // Interior ring positions receive segment s while forwarding segment s-1.
+  for (int pos = 1; pos < p - 1; ++pos) {
+    auto& ops = ctx.sched.program(group.physical(ring_member(pos))).ops;
+    const int prev = group.physical(ring_member(pos - 1));
+    const int next = group.physical(ring_member(pos + 1));
+    const std::size_t in_hop = static_cast<std::size_t>(pos - 1);
+    const std::size_t out_hop = static_cast<std::size_t>(pos);
+    ops.push_back(Op::recv(prev, slice_of(segs[0], ctx.elem_size, kUserBuf),
+                           tags[0][in_hop]));
+    for (std::size_t s = 1; s < segs.size(); ++s) {
+      ops.push_back(Op::sendrecv(
+          next, slice_of(segs[s - 1], ctx.elem_size, kUserBuf),
+          tags[s - 1][out_hop], prev, slice_of(segs[s], ctx.elem_size, kUserBuf),
+          tags[s][in_hop]));
+    }
+    ops.push_back(Op::send(next,
+                           slice_of(segs.back(), ctx.elem_size, kUserBuf),
+                           tags[segs.size() - 1][out_hop]));
+  }
+  // The tail of the ring only receives.
+  if (p >= 2) {
+    auto& ops = ctx.sched.program(group.physical(ring_member(p - 1))).ops;
+    const int prev = group.physical(ring_member(p - 2));
+    const std::size_t in_hop = static_cast<std::size_t>(p - 2);
+    for (std::size_t s = 0; s < segs.size(); ++s) {
+      ops.push_back(Op::recv(prev, slice_of(segs[s], ctx.elem_size, kUserBuf),
+                             tags[s][in_hop]));
+    }
+  }
+}
+
+Cost pipelined_broadcast_cost(int p, double nbytes, int segments) {
+  INTERCOM_REQUIRE(p >= 1, "group size must be at least 1");
+  INTERCOM_REQUIRE(segments >= 1, "segment count must be positive");
+  if (p == 1) return {};
+  // Segment 0 reaches the ring tail after p-1 hops; the remaining S-1
+  // segments then arrive back to back.
+  const double steps = static_cast<double>(p - 2 + segments);
+  const double seg_bytes = nbytes / segments;
+  return Cost{steps, steps * seg_bytes, 0.0, 1.0};
+}
+
+int optimal_segments(int p, double nbytes, const MachineParams& params,
+                     int max_segments) {
+  if (p <= 2 || nbytes <= 0.0 || params.alpha <= 0.0) return 1;
+  const double s =
+      std::sqrt(nbytes * params.beta * static_cast<double>(p - 2) /
+                params.alpha);
+  return std::clamp(static_cast<int>(std::lround(s)), 1, max_segments);
+}
+
+}  // namespace intercom::planner

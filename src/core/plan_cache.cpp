@@ -1,0 +1,26 @@
+#include "intercom/core/plan_cache.hpp"
+
+namespace intercom {
+
+std::shared_ptr<const Schedule> PlanCache::find(const Key& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+std::shared_ptr<const Schedule> PlanCache::insert(const Key& key,
+                                                  Schedule schedule) {
+  auto shared = std::make_shared<const Schedule>(std::move(schedule));
+  if (capacity_ == 0) return shared;
+  if (entries_.size() >= capacity_ && !entries_.contains(key)) {
+    entries_.erase(entries_.begin());
+  }
+  entries_[key] = shared;
+  return shared;
+}
+
+}  // namespace intercom

@@ -1,0 +1,214 @@
+#include "intercom/core/planner.hpp"
+
+#include <cmath>
+
+#include "intercom/core/algorithms.hpp"
+#include "intercom/model/primitive_costs.hpp"
+#include "intercom/topo/submesh.hpp"
+#include "intercom/util/error.hpp"
+#include "intercom/util/factorization.hpp"
+
+namespace intercom {
+
+Planner::Planner(MachineParams params, std::optional<Mesh2D> mesh,
+                 int max_dims)
+    : params_(params), mesh_(std::move(mesh)), max_dims_(max_dims) {
+  INTERCOM_REQUIRE(max_dims_ >= 1, "max_dims must be at least 1");
+}
+
+std::vector<HybridStrategy> Planner::candidate_strategies(
+    const Group& group) const {
+  const int p = group.size();
+  auto candidates = enumerate_strategies(p, max_dims_);
+  if (mesh_) {
+    const GroupLayout layout = analyze_group(*mesh_, group);
+    if (layout.structure == GroupStructure::kRectSubmesh) {
+      // Mesh-aligned family: dim 1 spans a full physical row of the submesh,
+      // the remaining dims factor the row count.  Stage 1 then runs within
+      // disjoint rows, later stages within columns — no interleaved-group
+      // conflicts across rows/columns (Section 7.1).
+      const int rows = layout.submesh->rows;
+      const int cols = layout.submesh->cols;
+      for (const auto& rdims64 :
+           all_ordered_factorizations(rows, max_dims_ - 1, 2)) {
+        std::vector<int> dims;
+        dims.push_back(cols);
+        dims.insert(dims.end(), rdims64.begin(), rdims64.end());
+        candidates.push_back(
+            HybridStrategy{dims, InnerAlg::kShortVector, true});
+        candidates.push_back(
+            HybridStrategy{dims, InnerAlg::kScatterCollect, true});
+      }
+    }
+  }
+  return candidates;
+}
+
+HybridStrategy Planner::select_strategy(Collective collective,
+                                        const Group& group,
+                                        std::size_t nbytes) const {
+  if (collective == Collective::kScatter ||
+      collective == Collective::kGather) {
+    // The MST primitive is both the short- and long-vector algorithm.
+    return HybridStrategy{{group.size()}, InnerAlg::kShortVector, false};
+  }
+  const auto candidates = candidate_strategies(group);
+  INTERCOM_CHECK(!candidates.empty());
+  const HybridStrategy* best = nullptr;
+  double best_seconds = 0.0;
+  for (const auto& candidate : candidates) {
+    const double seconds =
+        hybrid_cost(collective, candidate, static_cast<double>(nbytes))
+            .seconds(params_);
+    if (best == nullptr || seconds < best_seconds) {
+      best = &candidate;
+      best_seconds = seconds;
+    }
+  }
+  return *best;
+}
+
+Cost Planner::predict(Collective collective, const HybridStrategy& strategy,
+                      std::size_t nbytes) const {
+  return hybrid_cost(collective, strategy, static_cast<double>(nbytes));
+}
+
+Schedule Planner::plan(Collective collective, const Group& group,
+                       std::size_t elems, std::size_t elem_size,
+                       int root) const {
+  const HybridStrategy strategy =
+      select_strategy(collective, group, elems * elem_size);
+  return plan_with_strategy(collective, group, elems, elem_size, root,
+                            strategy);
+}
+
+Schedule Planner::plan_with_strategy(Collective collective, const Group& group,
+                                     std::size_t elems, std::size_t elem_size,
+                                     int root,
+                                     const HybridStrategy& strategy) const {
+  INTERCOM_REQUIRE(elem_size >= 1, "element size must be at least 1");
+  INTERCOM_REQUIRE(strategy.node_count() == group.size(),
+                   "strategy dimensions must factor the group size");
+  INTERCOM_REQUIRE(root >= 0 && root < group.size(), "root rank out of range");
+  Schedule sched;
+  planner::Ctx ctx{sched, elem_size};
+  const ElemRange range{0, elems};
+  const std::span<const int> dims(strategy.dims);
+  switch (collective) {
+    case Collective::kBroadcast:
+      planner::hybrid_broadcast(ctx, group, range, root, dims,
+                                strategy.inner);
+      break;
+    case Collective::kScatter:
+      planner::mst_scatter(ctx, group, range, root);
+      break;
+    case Collective::kGather:
+      planner::mst_gather(ctx, group, range, root);
+      break;
+    case Collective::kCollect:
+      planner::hybrid_collect(ctx, group, range, dims, strategy.inner);
+      break;
+    case Collective::kCombineToOne:
+      planner::hybrid_combine_to_one(ctx, group, range, root, dims,
+                                     strategy.inner);
+      break;
+    case Collective::kCombineToAll:
+      planner::hybrid_combine_to_all(ctx, group, range, dims, strategy.inner);
+      break;
+    case Collective::kDistributedCombine:
+      planner::hybrid_distributed_combine(ctx, group, range, dims,
+                                          strategy.inner);
+      break;
+  }
+  sched.set_algorithm(to_string(collective) + "/" + strategy.label());
+  // Recursion-level metadata feeds the simulator's per-level software
+  // overhead, mirroring what the cost model charges during selection.
+  const Cost c =
+      hybrid_cost(collective, strategy, static_cast<double>(elems * elem_size));
+  sched.set_levels(static_cast<int>(std::lround(c.levels)));
+  return sched;
+}
+
+namespace {
+
+// Pieces from explicit per-rank counts: ascending contiguous runs.
+std::vector<ElemRange> pieces_from_counts(
+    const Group& group, const std::vector<std::size_t>& counts) {
+  INTERCOM_REQUIRE(counts.size() == static_cast<std::size_t>(group.size()),
+                   "one element count per group member required");
+  std::vector<ElemRange> pieces(counts.size());
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    pieces[i] = ElemRange{at, at + counts[i]};
+    at += counts[i];
+  }
+  return pieces;
+}
+
+}  // namespace
+
+Schedule Planner::plan_scatterv(const Group& group,
+                                const std::vector<std::size_t>& counts,
+                                std::size_t elem_size, int root) const {
+  INTERCOM_REQUIRE(elem_size >= 1, "element size must be at least 1");
+  Schedule sched;
+  planner::Ctx ctx{sched, elem_size};
+  planner::mst_scatter(ctx, group, pieces_from_counts(group, counts), root);
+  sched.set_algorithm("scatterv/mst");
+  sched.set_levels(ceil_log2(group.size()));
+  return sched;
+}
+
+Schedule Planner::plan_gatherv(const Group& group,
+                               const std::vector<std::size_t>& counts,
+                               std::size_t elem_size, int root) const {
+  INTERCOM_REQUIRE(elem_size >= 1, "element size must be at least 1");
+  Schedule sched;
+  planner::Ctx ctx{sched, elem_size};
+  planner::mst_gather(ctx, group, pieces_from_counts(group, counts), root);
+  sched.set_algorithm("gatherv/mst");
+  sched.set_levels(ceil_log2(group.size()));
+  return sched;
+}
+
+Schedule Planner::plan_collectv(const Group& group,
+                                const std::vector<std::size_t>& counts,
+                                std::size_t elem_size) const {
+  INTERCOM_REQUIRE(elem_size >= 1, "element size must be at least 1");
+  const auto pieces = pieces_from_counts(group, counts);
+  const std::size_t total = pieces.empty() ? 0 : pieces.back().hi;
+  const double nbytes = static_cast<double>(total * elem_size);
+  const int p = group.size();
+  // Ring vs gather+broadcast by predicted cost (irregular pieces make the
+  // hybrid staging's contiguous-run bookkeeping inapplicable in general).
+  const Cost ring = costs::bucket_collect(p, nbytes);
+  const Cost gb = costs::mst_gather(p, nbytes) + costs::mst_broadcast(p, nbytes);
+  Schedule sched;
+  planner::Ctx ctx{sched, elem_size};
+  if (ring.seconds(params_) <= gb.seconds(params_)) {
+    planner::bucket_collect(ctx, group, pieces);
+    sched.set_algorithm("collectv/bucket");
+    sched.set_levels(1);
+  } else {
+    planner::mst_gather(ctx, group, pieces, 0);
+    planner::mst_broadcast(ctx, group, ElemRange{0, total}, 0);
+    sched.set_algorithm("collectv/gather+bcast");
+    sched.set_levels(2 * ceil_log2(p));
+  }
+  return sched;
+}
+
+Schedule Planner::plan_distributed_combinev(
+    const Group& group, const std::vector<std::size_t>& counts,
+    std::size_t elem_size) const {
+  INTERCOM_REQUIRE(elem_size >= 1, "element size must be at least 1");
+  Schedule sched;
+  planner::Ctx ctx{sched, elem_size};
+  planner::bucket_distributed_combine(ctx, group,
+                                      pieces_from_counts(group, counts));
+  sched.set_algorithm("distributed-combinev/bucket");
+  sched.set_levels(1);
+  return sched;
+}
+
+}  // namespace intercom

@@ -1,0 +1,49 @@
+#include "intercom/core/tuner.hpp"
+
+#include <algorithm>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+TuneResult tune_strategy(const Planner& planner, const WormholeSimulator& sim,
+                         Collective collective, const Group& group,
+                         std::size_t elems, std::size_t elem_size, int root,
+                         int top_k) {
+  INTERCOM_REQUIRE(top_k >= 1, "top_k must be at least 1");
+  const std::size_t nbytes = elems * elem_size;
+
+  std::vector<TuneEntry> ranked;
+  for (const auto& strategy : planner.candidate_strategies(group)) {
+    TuneEntry entry;
+    entry.strategy = strategy;
+    entry.predicted_seconds =
+        planner.predict(collective, strategy, nbytes).seconds(
+            planner.params());
+    ranked.push_back(std::move(entry));
+  }
+  INTERCOM_CHECK(!ranked.empty());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const TuneEntry& a, const TuneEntry& b) {
+              return a.predicted_seconds < b.predicted_seconds;
+            });
+  if (static_cast<int>(ranked.size()) > top_k) {
+    ranked.resize(static_cast<std::size_t>(top_k));
+  }
+  for (TuneEntry& entry : ranked) {
+    const Schedule schedule = planner.plan_with_strategy(
+        collective, group, elems, elem_size, root, entry.strategy);
+    entry.simulated_seconds = sim.run(schedule).seconds;
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const TuneEntry& a, const TuneEntry& b) {
+              return a.simulated_seconds < b.simulated_seconds;
+            });
+  TuneResult result;
+  result.best = ranked.front().strategy;
+  result.best_seconds = ranked.front().simulated_seconds;
+  result.entries = std::move(ranked);
+  return result;
+}
+
+}  // namespace intercom

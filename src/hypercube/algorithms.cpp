@@ -1,0 +1,223 @@
+#include "intercom/hypercube/algorithms.hpp"
+
+#include <algorithm>
+
+#include "intercom/core/algorithms.hpp"
+#include "intercom/core/pipelined.hpp"
+#include "intercom/model/primitive_costs.hpp"
+#include "intercom/util/error.hpp"
+#include "intercom/util/factorization.hpp"
+
+namespace intercom::hypercube {
+
+namespace {
+
+int log2_exact(int p) {
+  INTERCOM_REQUIRE(is_power_of_two(p),
+                   "dimension-exchange algorithms require a power-of-two "
+                   "group size");
+  return ceil_log2(p);
+}
+
+// Contiguous run of canonical pieces for ranks [a, b).
+ElemRange run_of(const std::vector<ElemRange>& pieces, int a, int b) {
+  return ElemRange{pieces[static_cast<std::size_t>(a)].lo,
+                   pieces[static_cast<std::size_t>(b - 1)].hi};
+}
+
+// Emits a simultaneous bidirectional exchange between group ranks i and j:
+// i sends `from_i` and receives `from_j` into `into_i` (and symmetrically).
+void exchange(planner::Ctx& ctx, const Group& g, int i, int j,
+              const BufSlice& send_i, const BufSlice& recv_i,
+              const BufSlice& send_j, const BufSlice& recv_j) {
+  const int node_i = g.physical(i);
+  const int node_j = g.physical(j);
+  const int tag_ij = ctx.sched.fresh_tag();
+  const int tag_ji = ctx.sched.fresh_tag();
+  ctx.sched.reserve_slice(node_i, send_i);
+  ctx.sched.reserve_slice(node_i, recv_i);
+  ctx.sched.reserve_slice(node_j, send_j);
+  ctx.sched.reserve_slice(node_j, recv_j);
+  auto& ops_i = ctx.sched.program(node_i).ops;
+  auto& ops_j = ctx.sched.program(node_j).ops;
+  const bool i_sends = send_i.bytes > 0;
+  const bool j_sends = send_j.bytes > 0;
+  if (i_sends && j_sends) {
+    ops_i.push_back(Op::sendrecv(node_j, send_i, tag_ij, node_j, recv_i,
+                                 tag_ji));
+    ops_j.push_back(Op::sendrecv(node_i, send_j, tag_ji, node_i, recv_j,
+                                 tag_ij));
+  } else if (i_sends) {
+    ops_i.push_back(Op::send(node_j, send_i, tag_ij));
+    ops_j.push_back(Op::recv(node_i, recv_j, tag_ij));
+  } else if (j_sends) {
+    ops_j.push_back(Op::send(node_i, send_j, tag_ji));
+    ops_i.push_back(Op::recv(node_j, recv_i, tag_ji));
+  }
+}
+
+}  // namespace
+
+void dimension_exchange_collect(planner::Ctx& ctx, const Group& group,
+                                ElemRange range) {
+  const int p = group.size();
+  const int d = log2_exact(p);
+  const auto pieces = block_partition(range, p);
+  for (int r = 0; r < p; ++r) {
+    ctx.sched.reserve_slice(group.physical(r),
+                            slice_of(range, ctx.elem_size, kUserBuf));
+  }
+  // After step k, rank i holds the pieces of every rank agreeing with i on
+  // bits >= k+1; the exchange across bit k merges the two half-blocks.
+  for (int k = 0; k < d; ++k) {
+    const int block = 1 << k;
+    for (int i = 0; i < p; ++i) {
+      const int j = i ^ block;
+      if (j < i) continue;  // emit each pair once
+      const int my_base = (i >> k) << k;
+      const int peer_base = (j >> k) << k;
+      const ElemRange mine = run_of(pieces, my_base, my_base + block);
+      const ElemRange theirs = run_of(pieces, peer_base, peer_base + block);
+      exchange(ctx, group, i, j, slice_of(mine, ctx.elem_size),
+               slice_of(theirs, ctx.elem_size),
+               slice_of(theirs, ctx.elem_size),
+               slice_of(mine, ctx.elem_size));
+    }
+  }
+}
+
+void dimension_exchange_distributed_combine(planner::Ctx& ctx,
+                                            const Group& group,
+                                            ElemRange range) {
+  const int p = group.size();
+  const int d = log2_exact(p);
+  const auto pieces = block_partition(range, p);
+  std::size_t max_half_bytes = 0;
+  for (int r = 0; r < p; ++r) {
+    ctx.sched.reserve_slice(group.physical(r),
+                            slice_of(range, ctx.elem_size, kUserBuf));
+  }
+  if (p > 1) {
+    max_half_bytes =
+        run_of(pieces, 0, p / 2).elems() * ctx.elem_size;
+    for (int r = 0; r < p; ++r) {
+      if (max_half_bytes > 0) {
+        ctx.sched.reserve_slice(group.physical(r),
+                                BufSlice{kScratchBuf, 0, max_half_bytes});
+      }
+    }
+  }
+  // Recursive halving: step k (k = d-1 .. 0) splits each rank's live run at
+  // bit k; the half belonging to the partner's side is sent away, the kept
+  // half is combined with what arrives.
+  for (int k = d - 1; k >= 0; --k) {
+    const int block = 1 << k;
+    for (int i = 0; i < p; ++i) {
+      const int j = i ^ block;
+      if (j < i) continue;
+      // Live run of rank i before this step: ranks agreeing on bits > k.
+      const int base = (i >> (k + 1)) << (k + 1);
+      const ElemRange lower = run_of(pieces, base, base + block);
+      const ElemRange upper = run_of(pieces, base + block, base + 2 * block);
+      // i has bit k == 0 (since j = i ^ block > i): keeps `lower`.
+      const BufSlice i_keep = slice_of(lower, ctx.elem_size);
+      const BufSlice i_give = slice_of(upper, ctx.elem_size);
+      const BufSlice j_keep = slice_of(upper, ctx.elem_size);
+      const BufSlice j_give = slice_of(lower, ctx.elem_size);
+      const BufSlice i_scr{kScratchBuf, 0, i_keep.bytes};
+      const BufSlice j_scr{kScratchBuf, 0, j_keep.bytes};
+      exchange(ctx, group, i, j, i_give, i_scr, j_give, j_scr);
+      if (i_keep.bytes > 0) {
+        ctx.sched.program(group.physical(i))
+            .ops.push_back(Op::combine(i_scr, i_keep));
+      }
+      if (j_keep.bytes > 0) {
+        ctx.sched.program(group.physical(j))
+            .ops.push_back(Op::combine(j_scr, j_keep));
+      }
+    }
+  }
+}
+
+void exchange_combine_to_all(planner::Ctx& ctx, const Group& group,
+                             ElemRange range) {
+  const int p = group.size();
+  const int d = log2_exact(p);
+  const BufSlice whole = slice_of(range, ctx.elem_size);
+  const BufSlice scratch{kScratchBuf, 0, whole.bytes};
+  for (int r = 0; r < p; ++r) {
+    ctx.sched.reserve_slice(group.physical(r), whole);
+    if (whole.bytes > 0 && p > 1) {
+      ctx.sched.reserve_slice(group.physical(r), scratch);
+    }
+  }
+  if (whole.bytes == 0) return;
+  for (int k = 0; k < d; ++k) {
+    const int block = 1 << k;
+    for (int i = 0; i < p; ++i) {
+      const int j = i ^ block;
+      if (j < i) continue;
+      exchange(ctx, group, i, j, whole, scratch, whole, scratch);
+      ctx.sched.program(group.physical(i))
+          .ops.push_back(Op::combine(scratch, whole));
+      ctx.sched.program(group.physical(j))
+          .ops.push_back(Op::combine(scratch, whole));
+    }
+  }
+}
+
+void long_combine_to_all(planner::Ctx& ctx, const Group& group,
+                         ElemRange range) {
+  dimension_exchange_distributed_combine(ctx, group, range);
+  dimension_exchange_collect(ctx, group, range);
+}
+
+void long_broadcast(planner::Ctx& ctx, const Group& group, ElemRange range,
+                    int root) {
+  const int p = group.size();
+  log2_exact(p);
+  // The MST scatter's midpoint splits align with address bits on a
+  // power-of-two group, so every transfer is a single hypercube hop when
+  // the group is the whole cube in id order.
+  planner::mst_scatter(ctx, group, block_partition(range, p), root);
+  dimension_exchange_collect(ctx, group, range);
+}
+
+void gray_ring_pipelined_broadcast(planner::Ctx& ctx, const Hypercube& cube,
+                                   ElemRange range, int root, int segments) {
+  const std::vector<int> ring = cube.gray_ring();
+  const Group ring_group(ring);
+  const int root_pos = ring_group.rank_of(root);
+  INTERCOM_REQUIRE(root_pos >= 0, "root must be a hypercube node");
+  planner::pipelined_broadcast(ctx, ring_group, range, root_pos, segments);
+}
+
+Cost dimension_exchange_collect_cost(int p, double nbytes) {
+  const double d = log2_exact(p);
+  const double frac = p > 1 ? static_cast<double>(p - 1) / p : 0.0;
+  return Cost{d, frac * nbytes, 0.0, d};
+}
+
+Cost dimension_exchange_distributed_combine_cost(int p, double nbytes) {
+  Cost c = dimension_exchange_collect_cost(p, nbytes);
+  c.gamma_bytes = c.beta_bytes;
+  return c;
+}
+
+Cost exchange_combine_to_all_cost(int p, double nbytes) {
+  const double d = log2_exact(p);
+  return Cost{d, d * nbytes, d * nbytes, d};
+}
+
+Cost long_combine_to_all_cost(int p, double nbytes) {
+  Cost c = dimension_exchange_distributed_combine_cost(p, nbytes);
+  c += dimension_exchange_collect_cost(p, nbytes);
+  return c;
+}
+
+Cost long_broadcast_cost(int p, double nbytes) {
+  return intercom::costs::mst_scatter(p, nbytes) +
+         dimension_exchange_collect_cost(p, nbytes);
+}
+
+}  // namespace intercom::hypercube

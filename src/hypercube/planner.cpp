@@ -1,0 +1,149 @@
+#include "intercom/hypercube/planner.hpp"
+
+#include <cmath>
+
+#include "intercom/core/algorithms.hpp"
+#include "intercom/model/primitive_costs.hpp"
+#include "intercom/util/error.hpp"
+#include "intercom/util/factorization.hpp"
+
+namespace intercom::hypercube {
+
+namespace {
+
+double seconds(const Cost& c, const MachineParams& p) { return c.seconds(p); }
+
+}  // namespace
+
+std::string to_string(CubeAlgorithm algorithm) {
+  switch (algorithm) {
+    case CubeAlgorithm::kMstBroadcast:
+      return "mst-broadcast";
+    case CubeAlgorithm::kScatterRdCollect:
+      return "scatter+rd-collect";
+    case CubeAlgorithm::kExchangeAllreduce:
+      return "exchange-allreduce";
+    case CubeAlgorithm::kHalvingDoubling:
+      return "halving-doubling";
+    case CubeAlgorithm::kDimExchange:
+      return "dimension-exchange";
+    case CubeAlgorithm::kMstPrimitive:
+      return "mst-primitive";
+    case CubeAlgorithm::kShortCollect:
+      return "gather+broadcast";
+  }
+  return "?";
+}
+
+HypercubePlanner::HypercubePlanner(MachineParams params) : params_(params) {}
+
+CubeAlgorithm HypercubePlanner::select_algorithm(Collective collective, int p,
+                                                 std::size_t nbytes) const {
+  INTERCOM_REQUIRE(is_power_of_two(p), "hypercube groups are powers of two");
+  const double n = static_cast<double>(nbytes);
+  switch (collective) {
+    case Collective::kBroadcast: {
+      const double mst = seconds(costs::mst_broadcast(p, n), params_);
+      const double sc = seconds(
+          costs::mst_scatter(p, n) + dimension_exchange_collect_cost(p, n),
+          params_);
+      return mst <= sc ? CubeAlgorithm::kMstBroadcast
+                       : CubeAlgorithm::kScatterRdCollect;
+    }
+    case Collective::kCombineToAll: {
+      const double exchange =
+          seconds(exchange_combine_to_all_cost(p, n), params_);
+      const double hd = seconds(long_combine_to_all_cost(p, n), params_);
+      return exchange <= hd ? CubeAlgorithm::kExchangeAllreduce
+                            : CubeAlgorithm::kHalvingDoubling;
+    }
+    case Collective::kCollect: {
+      // Recursive doubling dominates gather+broadcast in both terms, but we
+      // keep the comparison for parameter sets with extreme per-level
+      // overheads.
+      const double rd =
+          seconds(dimension_exchange_collect_cost(p, n), params_);
+      const double gb = seconds(
+          costs::mst_gather(p, n) + costs::mst_broadcast(p, n), params_);
+      return rd <= gb ? CubeAlgorithm::kDimExchange
+                      : CubeAlgorithm::kShortCollect;
+    }
+    case Collective::kDistributedCombine:
+      return CubeAlgorithm::kDimExchange;
+    case Collective::kCombineToOne: {
+      // MST reduce vs halving + gather.
+      const double mst = seconds(costs::mst_combine_to_one(p, n), params_);
+      const double hg = seconds(
+          dimension_exchange_distributed_combine_cost(p, n) +
+              costs::mst_gather(p, n),
+          params_);
+      return mst <= hg ? CubeAlgorithm::kMstPrimitive
+                       : CubeAlgorithm::kHalvingDoubling;
+    }
+    case Collective::kScatter:
+    case Collective::kGather:
+      return CubeAlgorithm::kMstPrimitive;
+  }
+  INTERCOM_REQUIRE(false, "unknown collective");
+  return CubeAlgorithm::kMstPrimitive;
+}
+
+Schedule HypercubePlanner::plan(Collective collective, const Group& group,
+                                std::size_t elems, std::size_t elem_size,
+                                int root) const {
+  const int p = group.size();
+  INTERCOM_REQUIRE(is_power_of_two(p), "hypercube groups are powers of two");
+  INTERCOM_REQUIRE(elem_size >= 1, "element size must be at least 1");
+  INTERCOM_REQUIRE(root >= 0 && root < p, "root rank out of range");
+  const CubeAlgorithm algorithm =
+      select_algorithm(collective, p, elems * elem_size);
+  Schedule sched;
+  planner::Ctx ctx{sched, elem_size};
+  const ElemRange range{0, elems};
+  switch (collective) {
+    case Collective::kBroadcast:
+      if (algorithm == CubeAlgorithm::kMstBroadcast) {
+        planner::mst_broadcast(ctx, group, range, root);
+      } else {
+        hypercube::long_broadcast(ctx, group, range, root);
+      }
+      break;
+    case Collective::kCombineToAll:
+      if (algorithm == CubeAlgorithm::kExchangeAllreduce) {
+        exchange_combine_to_all(ctx, group, range);
+      } else {
+        hypercube::long_combine_to_all(ctx, group, range);
+      }
+      break;
+    case Collective::kCollect:
+      if (algorithm == CubeAlgorithm::kDimExchange) {
+        dimension_exchange_collect(ctx, group, range);
+      } else {
+        planner::short_collect(ctx, group, range);
+      }
+      break;
+    case Collective::kDistributedCombine:
+      dimension_exchange_distributed_combine(ctx, group, range);
+      break;
+    case Collective::kCombineToOne:
+      if (algorithm == CubeAlgorithm::kMstPrimitive) {
+        planner::mst_combine_to_one(ctx, group, range, root);
+      } else {
+        dimension_exchange_distributed_combine(ctx, group, range);
+        planner::mst_gather(ctx, group, range, root);
+      }
+      break;
+    case Collective::kScatter:
+      planner::mst_scatter(ctx, group, range, root);
+      break;
+    case Collective::kGather:
+      planner::mst_gather(ctx, group, range, root);
+      break;
+  }
+  sched.set_algorithm("cube-" + intercom::to_string(collective) + "/" +
+                      to_string(algorithm));
+  sched.set_levels(ceil_log2(p));
+  return sched;
+}
+
+}  // namespace intercom::hypercube

@@ -1,0 +1,48 @@
+#include "intercom/icc/icc.hpp"
+
+namespace intercom::icc {
+
+namespace {
+
+std::span<std::byte> bytes_of(void* buf, std::size_t nbytes) {
+  return std::span<std::byte>(static_cast<std::byte*>(buf), nbytes);
+}
+
+}  // namespace
+
+void icc_bcast(Communicator& comm, void* buf, std::size_t nbytes, int root) {
+  comm.broadcast_bytes(bytes_of(buf, nbytes), 1, root);
+}
+
+void icc_gcolx(Communicator& comm, void* buf, std::size_t nbytes) {
+  comm.collect_bytes(bytes_of(buf, nbytes), 1);
+}
+
+void icc_gather(Communicator& comm, void* buf, std::size_t nbytes, int root) {
+  comm.gather_bytes(bytes_of(buf, nbytes), 1, root);
+}
+
+void icc_gscatter(Communicator& comm, void* buf, std::size_t nbytes,
+                  int root) {
+  comm.scatter_bytes(bytes_of(buf, nbytes), 1, root);
+}
+
+void icc_gdsum(Communicator& comm, double* x, std::size_t n) {
+  comm.all_reduce_sum(std::span<double>(x, n));
+}
+
+void icc_gdhigh(Communicator& comm, double* x, std::size_t n) {
+  comm.combine_to_all_bytes(
+      std::as_writable_bytes(std::span<double>(x, n)), max_op<double>());
+}
+
+void icc_gdlow(Communicator& comm, double* x, std::size_t n) {
+  comm.combine_to_all_bytes(
+      std::as_writable_bytes(std::span<double>(x, n)), min_op<double>());
+}
+
+void icc_gisum(Communicator& comm, int* x, std::size_t n) {
+  comm.all_reduce_sum(std::span<int>(x, n));
+}
+
+}  // namespace intercom::icc

@@ -1,0 +1,60 @@
+// NX-like baseline collectives.
+//
+// The paper's Table 3 and Fig. 4 compare the InterCom library against "the
+// current implementations that are part of the NX operating system for the
+// Intel Paragon".  We reproduce that baseline's observed behaviour:
+//   * broadcast (csend(-1)): a flat binomial MST over node ids — competitive
+//     for short vectors (it beats iCC's recursive implementation slightly,
+//     the 0.92 ratio) but no long-vector pipelining;
+//   * collect (gcolx): a serial fan-in gather to node 0 followed by a
+//     full-vector MST broadcast — the catastrophically serial behaviour
+//     behind the paper's 77x ratio at 8 bytes;
+//   * global combine (gdsum/gdhigh...): MST reduce to node 0 plus MST
+//     broadcast — fine for short vectors (0.88 ratio), ~2 log p * n * beta
+//     for long ones.
+// All baseline schedules carry levels = 0: the native NX calls have no
+// recursive per-level software overhead.
+#pragma once
+
+#include <cstddef>
+
+#include "intercom/collective.hpp"
+#include "intercom/ir/schedule.hpp"
+#include "intercom/topo/group.hpp"
+
+namespace intercom::nx {
+
+/// Flat binomial-tree broadcast over node-id order.
+Schedule broadcast(const Group& group, std::size_t elems,
+                   std::size_t elem_size, int root);
+
+/// Serial fan-in gather of the canonical pieces to rank `root`.
+Schedule gather(const Group& group, std::size_t elems, std::size_t elem_size,
+                int root);
+
+/// Serial fan-out scatter of the canonical pieces from rank `root`.
+Schedule scatter(const Group& group, std::size_t elems, std::size_t elem_size,
+                 int root);
+
+/// gcolx: serial gather to rank 0, then MST broadcast of the full vector.
+Schedule collect(const Group& group, std::size_t elems,
+                 std::size_t elem_size);
+
+/// MST combine-to-one at `root`.
+Schedule combine_to_one(const Group& group, std::size_t elems,
+                        std::size_t elem_size, int root);
+
+/// gdsum-style global combine: MST reduce to rank 0, then MST broadcast.
+Schedule combine_to_all(const Group& group, std::size_t elems,
+                        std::size_t elem_size);
+
+/// Combine-to-all followed by keeping only the local piece (NX had no
+/// dedicated reduce-scatter; applications used the global combine).
+Schedule distributed_combine(const Group& group, std::size_t elems,
+                             std::size_t elem_size);
+
+/// Dispatch by collective (root ignored where not applicable).
+Schedule plan(Collective collective, const Group& group, std::size_t elems,
+              std::size_t elem_size, int root = 0);
+
+}  // namespace intercom::nx

@@ -1,0 +1,35 @@
+// The target collective communication operations (paper Table 1).
+//
+// Vector x of n items is partitioned into subvectors x_0..x_{p-1} (x_j of
+// length n_j ~ n/p); y^(j) denotes node j's length-n input to a combine.
+//
+//   Broadcast          : x at P_k            -> x at all P_j
+//   Scatter            : x at P_k            -> x_j at P_j
+//   Gather             : x_j at P_j          -> x at P_k
+//   Collect            : x_j at P_j          -> x at all P_j        (allgather)
+//   Combine-to-one     : y^(j) at P_j        -> sum_j y^(j) at P_k  (reduce)
+//   Combine-to-all     : y^(j) at P_j        -> sum_j y^(j) at all  (allreduce)
+//   Distributed combine: y^(j) at P_j        -> (sum_j y^(j))_i at P_i
+//                                                           (reduce-scatter)
+#pragma once
+
+#include <string>
+
+namespace intercom {
+
+/// The seven target collectives, using the paper's names (modern MPI
+/// equivalents in comments).
+enum class Collective {
+  kBroadcast,          ///< MPI_Bcast
+  kScatter,            ///< MPI_Scatter
+  kGather,             ///< MPI_Gather
+  kCollect,            ///< MPI_Allgather
+  kCombineToOne,       ///< MPI_Reduce
+  kCombineToAll,       ///< MPI_Allreduce
+  kDistributedCombine, ///< MPI_Reduce_scatter
+};
+
+/// Paper-style name of a collective ("broadcast", "collect", ...).
+std::string to_string(Collective collective);
+
+}  // namespace intercom

@@ -1,0 +1,88 @@
+// Whole-group collective algorithms (paper Section 5) and logical-mesh
+// hybrids (Section 6, Fig. 3 template).
+//
+// The Section 5 functions compose the building blocks into short-vector
+// (latency-optimized) and long-vector (bandwidth-optimized) implementations
+// of all seven target collectives for a single group.  The hybrid functions
+// generalize both: a hybrid with dims = {p} and InnerAlg::kShortVector *is*
+// the short-vector algorithm, and dims = {p} with kScatterCollect is the
+// long-vector one, so the hybrid entry points are the single code path the
+// library plans through.
+//
+// Data contracts (Table 1), with pieces always the canonical block partition
+// of the element range over the group:
+//   broadcast(root):            root's range -> range everywhere
+//   scatter(root):              root's range -> piece(i) at rank i
+//   gather(root):               piece(i) at rank i -> range at root
+//   collect:                    piece(i) at rank i -> range everywhere
+//   combine_to_one(root):       partial range everywhere -> reduced at root
+//   combine_to_all:             partial range everywhere -> reduced everywhere
+//   distributed_combine:        partial range everywhere -> reduced piece(i)
+#pragma once
+
+#include <span>
+
+#include "intercom/core/primitives.hpp"
+#include "intercom/model/strategy.hpp"
+
+namespace intercom::planner {
+
+// ---- Section 5.1 / 5.2: composed single-group algorithms ------------------
+
+/// Long-vector broadcast: scatter followed by bucket collect.
+void long_broadcast(Ctx& ctx, const Group& group, ElemRange range, int root);
+
+/// Short-vector collect: gather followed by MST broadcast.
+void short_collect(Ctx& ctx, const Group& group, ElemRange range);
+
+/// Long-vector combine-to-one: distributed combine followed by gather.
+void long_combine_to_one(Ctx& ctx, const Group& group, ElemRange range,
+                         int root);
+
+/// Short-vector combine-to-all: combine-to-one followed by broadcast.
+void short_combine_to_all(Ctx& ctx, const Group& group, ElemRange range);
+
+/// Long-vector combine-to-all: distributed combine followed by collect.
+void long_combine_to_all(Ctx& ctx, const Group& group, ElemRange range);
+
+/// Short-vector distributed combine: combine-to-one followed by scatter.
+void short_distributed_combine(Ctx& ctx, const Group& group, ElemRange range);
+
+// ---- Section 6: hybrid algorithms over a logical d1 x ... x dk mesh -------
+//
+// Rank layout: logical coordinate x_i of group rank r is digit i of r in
+// mixed radix (d1 fastest-varying), so dim-1 groups are contiguous rank runs
+// and dim-i groups are strided by d1*...*d_{i-1}.  This matches the Fig. 1
+// walk-through and the Table 2 conflict factors.
+
+/// Hybrid broadcast: scatter through dims 1..k-1 (root's groups only), the
+/// inner algorithm in dim k, then bucket collects back out through all
+/// groups of dims k-1..1.
+void hybrid_broadcast(Ctx& ctx, const Group& group, ElemRange range, int root,
+                      std::span<const int> dims, InnerAlg inner);
+
+/// Hybrid combine-to-one: the mirror of hybrid_broadcast — distributed
+/// combines through dims 1..k-1 (all groups), the inner algorithm in dim k,
+/// then gathers back out through the root's groups of dims k-1..1.
+void hybrid_combine_to_one(Ctx& ctx, const Group& group, ElemRange range,
+                           int root, std::span<const int> dims,
+                           InnerAlg inner);
+
+/// Hybrid combine-to-all: distributed combines in, inner algorithm, bucket
+/// collects out; every group of every dimension is active.
+void hybrid_combine_to_all(Ctx& ctx, const Group& group, ElemRange range,
+                           std::span<const int> dims, InnerAlg inner);
+
+/// Hybrid collect: staged ring collects from dim 1 outward; each stage's
+/// members contribute the contiguous runs assembled by the previous stage.
+/// Rank i contributes the canonical piece(i) of `range`.
+void hybrid_collect(Ctx& ctx, const Group& group, ElemRange range,
+                    std::span<const int> dims, InnerAlg inner);
+
+/// Hybrid distributed combine: the exact mirror of hybrid_collect (stages
+/// run outermost first; the live vector shrinks).  Rank i ends with the
+/// canonical piece(i) fully combined.
+void hybrid_distributed_combine(Ctx& ctx, const Group& group, ElemRange range,
+                                std::span<const int> dims, InnerAlg inner);
+
+}  // namespace intercom::planner

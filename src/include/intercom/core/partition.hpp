@@ -1,0 +1,38 @@
+// Element-range partitioning.
+//
+// Collectives operate on vectors of `elems` elements of `elem_size` bytes.
+// Scatter/gather/collect-style operations partition an element range into
+// per-rank pieces; partitioning always happens on element boundaries so that
+// combine operations stay element-aligned.  Pieces use the balanced block
+// rule piece(i) = [lo + floor(i*E/d), lo + floor((i+1)*E/d)), which handles
+// the paper's explicit non-power-of-two and non-divisible cases (n_i ~ n/p).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "intercom/ir/schedule.hpp"
+
+namespace intercom {
+
+/// Half-open range of vector elements [lo, hi).
+struct ElemRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+
+  std::size_t elems() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+  friend bool operator==(const ElemRange&, const ElemRange&) = default;
+};
+
+/// The i-th of d balanced pieces of `range` (0 <= i < d).
+ElemRange block_piece(ElemRange range, int d, int i);
+
+/// All d balanced pieces of `range`, in order; they tile `range` exactly.
+std::vector<ElemRange> block_partition(ElemRange range, int d);
+
+/// Byte slice of buffer `buffer` covering `range` for a given element size.
+BufSlice slice_of(ElemRange range, std::size_t elem_size,
+                  int buffer = kUserBuf);
+
+}  // namespace intercom

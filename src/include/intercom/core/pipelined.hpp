@@ -1,0 +1,33 @@
+// Pipelined (segmented ring) broadcast — the "theoretically superior"
+// long-vector algorithm family of paper Section 8.
+//
+// The message is cut into S segments that stream around the ring starting at
+// the root; every interior node forwards segment s-1 while receiving segment
+// s (full-duplex ports).  Asymptotic cost (p - 2 + S)(alpha + (n/S) beta),
+// i.e. n*beta for large S — twice as good as scatter/collect's 2*n*beta.
+// Section 8 reports that on real machines such tightly coupled pipelines
+// lose to the simpler algorithms because they are "more susceptible to
+// timing irregularities resulting from the more complex operating systems";
+// the simulator's jitter injection reproduces that reversal
+// (bench_ablation_pipelined).
+#pragma once
+
+#include "intercom/core/primitives.hpp"
+#include "intercom/model/cost.hpp"
+
+namespace intercom::planner {
+
+/// Appends a segmented ring-pipeline broadcast of `range` from group rank
+/// `root`.  `segments` >= 1 is clamped to the number of elements.
+void pipelined_broadcast(Ctx& ctx, const Group& group, ElemRange range,
+                         int root, int segments);
+
+/// Analytic cost of the pipelined broadcast in the absence of jitter.
+Cost pipelined_broadcast_cost(int p, double nbytes, int segments);
+
+/// The asymptotically best segment count for the machine: sqrt(n*beta*(p-2)
+/// / alpha), clamped to [1, max_segments].
+int optimal_segments(int p, double nbytes, const MachineParams& params,
+                     int max_segments = 1024);
+
+}  // namespace intercom::planner

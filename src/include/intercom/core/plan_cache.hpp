@@ -1,0 +1,47 @@
+// Plan caching.
+//
+// Planning is a pure function of the request, so repeated collectives with
+// the same shape (the overwhelmingly common case in iterative applications)
+// can reuse a cached schedule instead of re-running strategy selection and
+// schedule generation.  The Communicator consults a per-instance PlanCache;
+// the cache is not thread-safe (each node thread owns its communicators).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "intercom/collective.hpp"
+#include "intercom/ir/schedule.hpp"
+
+namespace intercom {
+
+/// LRU-less bounded cache of planned schedules keyed by the request shape
+/// (the group is fixed per cache instance, so it is not part of the key).
+class PlanCache {
+ public:
+  /// `capacity` bounds the number of cached schedules (0 disables caching).
+  explicit PlanCache(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  using Key = std::tuple<Collective, std::size_t /*elems*/,
+                         std::size_t /*elem_size*/, int /*root*/>;
+
+  /// Returns the cached schedule or nullptr.
+  std::shared_ptr<const Schedule> find(const Key& key) const;
+
+  /// Inserts a schedule (evicting arbitrarily at capacity) and returns it.
+  std::shared_ptr<const Schedule> insert(const Key& key, Schedule schedule);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  std::size_t capacity_;
+  std::map<Key, std::shared_ptr<const Schedule>> entries_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+}  // namespace intercom

@@ -1,0 +1,100 @@
+// The library's planning facade.
+//
+// A Planner turns a collective request (operation, group, vector size, root)
+// into a Schedule.  When no strategy is forced it ranks candidate hybrid
+// strategies with the analytic cost model — including per-recursion-level
+// software overhead, so short vectors pick MST algorithms and long vectors
+// pick scatter/collect or staged-ring hybrids, with the crossovers falling
+// where the model puts them ("an accurate model for their expense as a
+// function of message length" is what Section 7.1 says good hybrids need).
+//
+// When the planner is constructed with a physical mesh and the group is a
+// rectangular submesh (Section 9's fast path), mesh-aligned strategies whose
+// stage groups are physical rows and columns join the candidate set; they
+// incur no interleaved-group conflicts and cut bucket latency from (p-1) to
+// (r+c-2) startups (Section 7.1).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "intercom/collective.hpp"
+#include "intercom/ir/schedule.hpp"
+#include "intercom/model/hybrid_costs.hpp"
+#include "intercom/model/machine_params.hpp"
+#include "intercom/model/strategy.hpp"
+#include "intercom/topo/group.hpp"
+#include "intercom/topo/mesh.hpp"
+
+namespace intercom {
+
+/// Plans collective schedules over groups, selecting hybrid strategies with
+/// the cost model unless a strategy is forced.
+class Planner {
+ public:
+  /// `params` drives strategy selection; `mesh`, when provided, enables the
+  /// rectangular-submesh fast path for groups that map onto it.
+  explicit Planner(MachineParams params = MachineParams::unit(),
+                   std::optional<Mesh2D> mesh = std::nullopt,
+                   int max_dims = 3);
+
+  const MachineParams& params() const { return params_; }
+
+  /// Candidate strategies for this collective/group/size, linear-array plus
+  /// (when applicable) mesh-aligned ones.
+  std::vector<HybridStrategy> candidate_strategies(const Group& group) const;
+
+  /// The minimum-predicted-cost strategy for moving `nbytes` user bytes.
+  HybridStrategy select_strategy(Collective collective, const Group& group,
+                                 std::size_t nbytes) const;
+
+  /// Plans with automatic strategy selection.  `root` is a group rank and is
+  /// ignored by the un-rooted collectives.  `elems`/`elem_size` describe the
+  /// full vector (Table 1's x or y).
+  Schedule plan(Collective collective, const Group& group, std::size_t elems,
+                std::size_t elem_size, int root = 0) const;
+
+  /// Plans with a forced strategy (used by benchmarks that sweep strategies).
+  Schedule plan_with_strategy(Collective collective, const Group& group,
+                              std::size_t elems, std::size_t elem_size,
+                              int root, const HybridStrategy& strategy) const;
+
+  /// Predicted cost of a strategy for this collective and vector size.
+  Cost predict(Collective collective, const HybridStrategy& strategy,
+               std::size_t nbytes) const;
+
+  // ---- irregular ("v") variants -------------------------------------------
+  //
+  // The regular collectives use the canonical balanced block partition
+  // (Table 1's n_i ~ n/p).  The v-variants take explicit per-rank element
+  // counts instead; rank i's piece covers elements
+  // [sum(counts[0..i)), sum(counts[0..i])).  Zero counts are allowed.
+
+  /// Scatter with per-rank element counts; root holds the concatenation.
+  Schedule plan_scatterv(const Group& group,
+                         const std::vector<std::size_t>& counts,
+                         std::size_t elem_size, int root) const;
+
+  /// Gather with per-rank element counts.
+  Schedule plan_gatherv(const Group& group,
+                        const std::vector<std::size_t>& counts,
+                        std::size_t elem_size, int root) const;
+
+  /// Collect (allgather) with per-rank element counts.  Chooses between the
+  /// bucket ring and the gather+broadcast short algorithm by predicted cost.
+  Schedule plan_collectv(const Group& group,
+                         const std::vector<std::size_t>& counts,
+                         std::size_t elem_size) const;
+
+  /// Distributed combine (reduce-scatter) with per-rank element counts.
+  Schedule plan_distributed_combinev(const Group& group,
+                                     const std::vector<std::size_t>& counts,
+                                     std::size_t elem_size) const;
+
+ private:
+  MachineParams params_;
+  std::optional<Mesh2D> mesh_;
+  int max_dims_;
+};
+
+}  // namespace intercom

@@ -1,0 +1,74 @@
+// Building-block schedule generators (paper Section 4).
+//
+// Each function appends the operations of one primitive, executed within a
+// group of nodes over an element range, to a Schedule.  All primitives
+//   * are simple to implement,
+//   * do not require power-of-two size partitions, and
+//   * incur no network conflicts within a single group on a linear array
+// (the properties Section 4 demands).  Conflicts *between* simultaneously
+// active interleaved groups are what the hybrid cost model's bold factors
+// account for, and what the simulator reproduces.
+//
+// Short-vector primitives (minimum-spanning-tree, recursive halving;
+// ceil(log2 d) steps): broadcast, combine-to-one, scatter, gather.
+// Long-vector primitives (bucket/ring; d-1 steps): collect, distributed
+// combine; scatter and gather double as long-vector primitives.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "intercom/core/partition.hpp"
+#include "intercom/ir/schedule.hpp"
+#include "intercom/topo/group.hpp"
+
+namespace intercom::planner {
+
+/// Shared planning context: the schedule under construction plus the element
+/// size (all partitioning is element-aligned).
+struct Ctx {
+  Schedule& sched;
+  std::size_t elem_size = 1;
+};
+
+/// MST broadcast of `range` from group rank `root` to the whole group.
+void mst_broadcast(Ctx& ctx, const Group& group, ElemRange range, int root);
+
+/// MST combine-to-one: every node holds a full `range` of partials; the
+/// element-wise reduction lands at group rank `root`.  Receives stage through
+/// scratch buffer kScratchBuf and are combined into the user buffer.
+void mst_combine_to_one(Ctx& ctx, const Group& group, ElemRange range,
+                        int root);
+
+/// MST scatter: `root` holds all of `range`; rank i ends with pieces[i].
+/// `pieces` must be ascending and tile `range` (use block_partition for the
+/// canonical split).
+void mst_scatter(Ctx& ctx, const Group& group,
+                 const std::vector<ElemRange>& pieces, int root);
+
+/// MST gather: rank i holds pieces[i]; `root` ends with all of `range`.
+/// Interior nodes assemble contiguous runs in the user buffer, which must be
+/// large enough to address the full range on every group member.
+void mst_gather(Ctx& ctx, const Group& group,
+                const std::vector<ElemRange>& pieces, int root);
+
+/// Bucket (ring) collect: rank i starts owning pieces[i] (a contiguous run;
+/// runs must be ascending and tile a range); after d-1 simultaneous
+/// send/receive steps every rank owns all pieces.
+void bucket_collect(Ctx& ctx, const Group& group,
+                    const std::vector<ElemRange>& pieces);
+
+/// Bucket distributed combine (ring reduce-scatter): every rank starts with
+/// full-length partials covering the union of `pieces`; after d-1 steps rank
+/// i holds the fully combined pieces[i].  Incoming buckets stage through
+/// kScratchBuf.
+void bucket_distributed_combine(Ctx& ctx, const Group& group,
+                                const std::vector<ElemRange>& pieces);
+
+/// Convenience overloads using the canonical block partition of `range`.
+void mst_scatter(Ctx& ctx, const Group& group, ElemRange range, int root);
+void mst_gather(Ctx& ctx, const Group& group, ElemRange range, int root);
+void bucket_collect(Ctx& ctx, const Group& group, ElemRange range);
+void bucket_distributed_combine(Ctx& ctx, const Group& group, ElemRange range);
+
+}  // namespace intercom::planner

@@ -1,0 +1,44 @@
+// Simulation-feedback strategy tuning.
+//
+// Section 7.1: "we have refined our techniques to the point where very good
+// hybrids can be obtained as long as good short and long vector primitives
+// are provided as well as an accurate model for their expense".  The
+// analytic model intentionally over-charges hybrids (worst-case link
+// sharing for whole stages), so a short empirical pass — simulate the
+// model's top-k candidates, keep the measured winner — recovers hybrids the
+// model rejects.  This is the offline-autotuning step modern collective
+// libraries run at install time; on the original Paragon it corresponds to
+// the few hours of measurement the paper says a port took.
+#pragma once
+
+#include <vector>
+
+#include "intercom/core/planner.hpp"
+#include "intercom/sim/engine.hpp"
+
+namespace intercom {
+
+/// One evaluated candidate.
+struct TuneEntry {
+  HybridStrategy strategy;
+  double predicted_seconds = 0.0;
+  double simulated_seconds = 0.0;
+};
+
+/// Outcome of a tuning pass: the measured winner plus every evaluated
+/// candidate (sorted by simulated time, best first).
+struct TuneResult {
+  HybridStrategy best;
+  double best_seconds = 0.0;
+  std::vector<TuneEntry> entries;
+};
+
+/// Ranks the planner's candidates by predicted cost, simulates the top
+/// `top_k` on `sim`, and returns the measured winner.  `root` is a group
+/// rank for rooted collectives.
+TuneResult tune_strategy(const Planner& planner, const WormholeSimulator& sim,
+                         Collective collective, const Group& group,
+                         std::size_t elems, std::size_t elem_size, int root,
+                         int top_k = 6);
+
+}  // namespace intercom

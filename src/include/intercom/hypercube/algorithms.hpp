@@ -1,0 +1,80 @@
+// Hypercube collective algorithms (paper Sections 8 and 11).
+//
+// "In addition to the Paragon and Delta versions, we also have a version
+//  tuned for the iPSC/860 that has the same functionality, but uses
+//  algorithms more appropriate for hypercubes (including the EDST
+//  broadcast)."
+//
+// On a d-dimensional hypercube the natural building blocks are
+// dimension-exchange algorithms: log p steps, one per dimension, each a
+// pairwise exchange across that dimension's (dedicated, conflict-free)
+// links.  Recursive doubling (collect) and recursive halving (distributed
+// combine) achieve the bucket algorithms' optimal beta terms with only
+// log p startups — the reason hypercubes get their own algorithm set.
+//
+// For the Section 8 "theoretically superior" long-vector broadcast we
+// provide a pipelined broadcast over the binary-reflected Gray-code
+// Hamiltonian ring: every hop is a hypercube link, all hops are
+// edge-disjoint, and the asymptotic cost is n*beta — the same factor-two
+// improvement over scatter/collect that Ho and Johnsson's EDST achieves
+// (the true edge-disjoint-spanning-binomial-tree construction additionally
+// requires d-port nodes, which the one-port machine model rules out; see
+// DESIGN.md).
+#pragma once
+
+#include "intercom/core/primitives.hpp"
+#include "intercom/model/cost.hpp"
+#include "intercom/topo/topology.hpp"
+
+namespace intercom::hypercube {
+
+/// Recursive-doubling collect (allgather) over a group whose size is a
+/// power of two; rank i contributes the canonical piece i.  log2(p) steps.
+void dimension_exchange_collect(planner::Ctx& ctx, const Group& group,
+                                ElemRange range);
+
+/// Recursive-halving distributed combine (reduce-scatter); rank i ends with
+/// the canonical piece i fully combined.  log2(p) steps.
+void dimension_exchange_distributed_combine(planner::Ctx& ctx,
+                                            const Group& group,
+                                            ElemRange range);
+
+/// Full-exchange combine-to-all: log2(p) steps of pairwise exchange-and-
+/// combine of the whole vector — the latency-optimal short-vector allreduce.
+void exchange_combine_to_all(planner::Ctx& ctx, const Group& group,
+                             ElemRange range);
+
+/// Long-vector combine-to-all: recursive halving followed by recursive
+/// doubling (optimal beta and gamma terms, 2 log2(p) startups).
+void long_combine_to_all(planner::Ctx& ctx, const Group& group,
+                         ElemRange range);
+
+/// Long-vector broadcast: MST scatter followed by recursive-doubling
+/// collect — log-latency version of the mesh library's scatter/collect.
+void long_broadcast(planner::Ctx& ctx, const Group& group, ElemRange range,
+                    int root);
+
+/// Pipelined broadcast over the Gray-code Hamiltonian ring of `cube`
+/// (EDST-class asymptotics: ~ n*beta for large segment counts).  The group
+/// is the whole hypercube; `root` is a node id.
+void gray_ring_pipelined_broadcast(planner::Ctx& ctx, const Hypercube& cube,
+                                   ElemRange range, int root, int segments);
+
+// ---- analytic costs --------------------------------------------------------
+
+/// log2(p) alpha + ((p-1)/p) n beta.
+Cost dimension_exchange_collect_cost(int p, double nbytes);
+
+/// log2(p) alpha + ((p-1)/p) n (beta + gamma).
+Cost dimension_exchange_distributed_combine_cost(int p, double nbytes);
+
+/// log2(p) (alpha + n beta + n gamma).
+Cost exchange_combine_to_all_cost(int p, double nbytes);
+
+/// 2 log2(p) alpha + 2 ((p-1)/p) n beta + ((p-1)/p) n gamma.
+Cost long_combine_to_all_cost(int p, double nbytes);
+
+/// 2 log2(p) alpha + 2 ((p-1)/p) n beta.
+Cost long_broadcast_cost(int p, double nbytes);
+
+}  // namespace intercom::hypercube

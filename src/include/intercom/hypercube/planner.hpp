@@ -1,0 +1,54 @@
+// Hypercube planning facade (the iPSC/860 version's brain, Section 11).
+//
+// Mirrors the mesh/linear-array Planner: given a collective request it
+// chooses, by analytic cost, among the hypercube algorithm set —
+// dimension-exchange (recursive doubling/halving), MST, scatter +
+// RD-collect, full exchange — and emits the schedule.  Requires the group
+// size to be a power of two (pad or fall back to the generic Planner
+// otherwise, exactly as the original library shipped separate versions).
+#pragma once
+
+#include <cstddef>
+
+#include "intercom/collective.hpp"
+#include "intercom/hypercube/algorithms.hpp"
+#include "intercom/ir/schedule.hpp"
+#include "intercom/model/machine_params.hpp"
+#include "intercom/topo/group.hpp"
+
+namespace intercom::hypercube {
+
+/// Algorithm families the hypercube planner chooses among.
+enum class CubeAlgorithm {
+  kMstBroadcast,       ///< binomial tree
+  kScatterRdCollect,   ///< MST scatter + recursive-doubling collect
+  kExchangeAllreduce,  ///< full-vector dimension exchange
+  kHalvingDoubling,    ///< recursive halving + recursive doubling
+  kDimExchange,        ///< recursive doubling (collect) / halving (rs)
+  kMstPrimitive,       ///< MST scatter/gather/reduce
+  kShortCollect,       ///< gather + MST broadcast
+};
+
+std::string to_string(CubeAlgorithm algorithm);
+
+/// Plans hypercube collectives by analytic cost.
+class HypercubePlanner {
+ public:
+  explicit HypercubePlanner(MachineParams params = MachineParams::ipsc860());
+
+  const MachineParams& params() const { return params_; }
+
+  /// The algorithm the cost model selects for this request.
+  CubeAlgorithm select_algorithm(Collective collective, int p,
+                                 std::size_t nbytes) const;
+
+  /// Plans a schedule.  `group` must have power-of-two size; `root` is a
+  /// group rank for rooted collectives.
+  Schedule plan(Collective collective, const Group& group, std::size_t elems,
+                std::size_t elem_size, int root = 0) const;
+
+ private:
+  MachineParams params_;
+};
+
+}  // namespace intercom::hypercube

@@ -1,0 +1,41 @@
+// iCC calling-sequence compatibility layer (paper Section 10).
+//
+// The released InterCom library exposed C/Fortran entry points (iCC_bcast and
+// friends) plus an NX interface that "converts all NX collective operations
+// to Intercom collective operations".  This shim provides those calling
+// sequences over a Communicator, so a program written against the NX-style
+// API ports by swapping the handle — the migration story the paper tells.
+#pragma once
+
+#include <cstddef>
+
+#include "intercom/runtime/communicator.hpp"
+
+namespace intercom::icc {
+
+/// Broadcast `nbytes` bytes from group rank `root` (csend(-1) replacement).
+void icc_bcast(Communicator& comm, void* buf, std::size_t nbytes, int root);
+
+/// Collect: rank i contributes the canonical i-th piece of the `nbytes`
+/// vector; afterwards every rank holds the full vector (gcolx replacement).
+void icc_gcolx(Communicator& comm, void* buf, std::size_t nbytes);
+
+/// Gather the canonical pieces to `root`.
+void icc_gather(Communicator& comm, void* buf, std::size_t nbytes, int root);
+
+/// Scatter the canonical pieces from `root`.
+void icc_gscatter(Communicator& comm, void* buf, std::size_t nbytes, int root);
+
+/// Global sum of `n` doubles, result everywhere (gdsum replacement).
+void icc_gdsum(Communicator& comm, double* x, std::size_t n);
+
+/// Global max of `n` doubles, result everywhere (gdhigh replacement).
+void icc_gdhigh(Communicator& comm, double* x, std::size_t n);
+
+/// Global min of `n` doubles, result everywhere (gdlow replacement).
+void icc_gdlow(Communicator& comm, double* x, std::size_t n);
+
+/// Global sum of `n` ints, result everywhere (gisum replacement).
+void icc_gisum(Communicator& comm, int* x, std::size_t n);
+
+}  // namespace intercom::icc

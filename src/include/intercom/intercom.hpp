@@ -1,0 +1,52 @@
+// Umbrella header for the InterCom reproduction library.
+//
+// Layers, bottom up:
+//   util/   error handling, factorization, RNG, table output
+//   topo/   2-D worm-hole mesh, groups, submesh detection
+//   ir/     communication-schedule IR and validator
+//   model/  alpha-beta-gamma cost model, hybrid strategies, Table 2 formulas
+//   core/   schedule planners: building blocks, composed algorithms,
+//           hybrids, pipelined broadcast, cost-driven auto-selection
+//   sim/    discrete-event worm-hole network simulator (the Paragon stand-in)
+//   runtime/ threaded multicomputer + MPI-like group communicators
+//   baseline/ NX-like baseline collectives
+//   icc/    iCC calling-sequence compatibility shim
+#pragma once
+
+#include "intercom/baseline/nx.hpp"
+#include "intercom/collective.hpp"
+#include "intercom/core/algorithms.hpp"
+#include "intercom/core/partition.hpp"
+#include "intercom/core/pipelined.hpp"
+#include "intercom/core/plan_cache.hpp"
+#include "intercom/core/planner.hpp"
+#include "intercom/core/primitives.hpp"
+#include "intercom/core/tuner.hpp"
+#include "intercom/hypercube/algorithms.hpp"
+#include "intercom/hypercube/planner.hpp"
+#include "intercom/icc/icc.hpp"
+#include "intercom/ir/analysis.hpp"
+#include "intercom/ir/schedule.hpp"
+#include "intercom/ir/validate.hpp"
+#include "intercom/model/cost.hpp"
+#include "intercom/model/hybrid_costs.hpp"
+#include "intercom/model/machine_params.hpp"
+#include "intercom/model/optimal.hpp"
+#include "intercom/model/primitive_costs.hpp"
+#include "intercom/model/strategy.hpp"
+#include "intercom/mpi/mpi.hpp"
+#include "intercom/runtime/communicator.hpp"
+#include "intercom/runtime/executor.hpp"
+#include "intercom/runtime/multicomputer.hpp"
+#include "intercom/runtime/reduce.hpp"
+#include "intercom/runtime/transport.hpp"
+#include "intercom/sim/engine.hpp"
+#include "intercom/sim/network.hpp"
+#include "intercom/topo/group.hpp"
+#include "intercom/topo/mesh.hpp"
+#include "intercom/topo/submesh.hpp"
+#include "intercom/topo/topology.hpp"
+#include "intercom/util/error.hpp"
+#include "intercom/util/factorization.hpp"
+#include "intercom/util/rng.hpp"
+#include "intercom/util/table.hpp"

@@ -1,0 +1,38 @@
+// Static schedule analysis.
+//
+// Computes, without simulation, structural metrics of a schedule:
+//   * message/byte totals and per-node op counts,
+//   * the critical path under the alpha + n*beta + n*gamma model assuming
+//     zero link contention — a lower bound on the simulated time (they are
+//     equal exactly when the schedule is conflict-free, which is how the
+//     tests pin the building blocks' optimality),
+//   * the maximum startup count (alpha depth) along any dependence chain.
+//
+// The dependence graph: each op depends on its predecessor in node program
+// order, and each transfer's completion joins the sender's and receiver's
+// chains (rendezvous).  The schedule must be valid (validate() passes).
+#pragma once
+
+#include <cstddef>
+
+#include "intercom/ir/schedule.hpp"
+#include "intercom/model/machine_params.hpp"
+
+namespace intercom {
+
+/// Structural metrics of a schedule.
+struct ScheduleStats {
+  std::size_t transfers = 0;       ///< matched transfers (send/recv pairs)
+  std::size_t bytes_moved = 0;     ///< total bytes across transfers
+  std::size_t combine_bytes = 0;   ///< total bytes through combine ops
+  std::size_t max_node_ops = 0;    ///< longest single-node program
+  int alpha_depth = 0;             ///< max startups on any dependence chain
+  double critical_seconds = 0.0;   ///< zero-contention critical path time
+};
+
+/// Analyzes `schedule` under `params`.  Throws intercom::Error if the
+/// schedule is not well formed (it is executed abstractly, like the
+/// validator, to discover the dependence structure).
+ScheduleStats analyze(const Schedule& schedule, const MachineParams& params);
+
+}  // namespace intercom

@@ -1,0 +1,164 @@
+// Communication-schedule intermediate representation.
+//
+// Every collective algorithm in this library is a *schedule generator*: it
+// emits, for each participating node, a straight-line program of blocking
+// Send / Recv / Combine / Copy operations on symbolic buffers.  The same
+// schedule is then interpreted by two substrates:
+//
+//   * the worm-hole mesh simulator (src/sim), which assigns times under the
+//     alpha + n*beta model with link contention, reproducing the paper's
+//     analysis and Paragon measurements; and
+//   * the threaded multicomputer runtime (src/runtime), which executes the
+//     operations on real byte buffers, proving data correctness.
+//
+// Execution semantics: each node executes its ops in program order; Send and
+// Recv block until the transfer completes.  For analysis purposes (validator,
+// simulator) transfers are rendezvous: a send completes together with the
+// matching receive.  The thread runtime uses buffered channels, which only
+// weakens blocking, so rendezvous-deadlock-freedom implies it runs there too.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace intercom {
+
+/// Operation kinds in a node program.
+///
+/// kSendRecv exists because the machine model (paper Section 2) states that
+/// "a processor can both send and receive at the same time"; ring (bucket)
+/// algorithms depend on this — a pure rendezvous send-then-recv program
+/// around a ring would deadlock, and serializing the two halves would double
+/// the bucket primitives' cost.
+enum class OpKind : std::uint8_t {
+  kSend,      ///< transmit `src` to node `peer`
+  kRecv,      ///< receive into `dst` from node `peer`
+  kSendRecv,  ///< simultaneously send `src` to `peer` and receive `dst` from `peer2`
+  kCombine,   ///< dst[i] = reduce(dst[i], src[i]) element-wise
+  kCopy,      ///< dst = src (local memory copy)
+};
+
+/// Well-known buffer ids.  Buffer 0 is the user's data buffer (collective
+/// input and/or output); higher ids are library-managed scratch space.
+inline constexpr int kUserBuf = 0;
+inline constexpr int kScratchBuf = 1;
+
+/// A byte range within one of a node's logical buffers.
+struct BufSlice {
+  int buffer = kUserBuf;
+  std::size_t offset = 0;
+  std::size_t bytes = 0;
+  friend bool operator==(const BufSlice&, const BufSlice&) = default;
+};
+
+/// One operation of a node program.
+///
+/// Field usage by kind:
+///   kSend:     peer, tag, src
+///   kRecv:     peer, tag, dst
+///   kSendRecv: peer, tag, src (outgoing) and peer2, tag2, dst (incoming)
+///   kCombine:  src, dst (equal length; element count = bytes / elem_size)
+///   kCopy:     src, dst (equal length)
+struct Op {
+  OpKind kind = OpKind::kCopy;
+  int peer = -1;   ///< send peer
+  int tag = 0;     ///< send tag
+  int peer2 = -1;  ///< recv peer (kSendRecv only)
+  int tag2 = 0;    ///< recv tag (kSendRecv only)
+  BufSlice src;
+  BufSlice dst;
+
+  static Op send(int peer, BufSlice src, int tag);
+  static Op recv(int peer, BufSlice dst, int tag);
+  static Op sendrecv(int send_peer, BufSlice src, int send_tag, int recv_peer,
+                     BufSlice dst, int recv_tag);
+  static Op combine(BufSlice src, BufSlice dst);
+  static Op copy(BufSlice src, BufSlice dst);
+
+  /// True for kinds that have an outgoing half.
+  bool has_send() const {
+    return kind == OpKind::kSend || kind == OpKind::kSendRecv;
+  }
+  /// True for kinds that have an incoming half.
+  bool has_recv() const {
+    return kind == OpKind::kRecv || kind == OpKind::kSendRecv;
+  }
+  /// Peer of the incoming half (valid when has_recv()).
+  int recv_peer() const { return kind == OpKind::kSendRecv ? peer2 : peer; }
+  /// Tag of the incoming half (valid when has_recv()).
+  int recv_tag() const { return kind == OpKind::kSendRecv ? tag2 : tag; }
+};
+
+/// Straight-line program for a single physical node.
+struct NodeProgram {
+  int node = -1;                          ///< physical node id
+  std::vector<Op> ops;                    ///< executed in order
+  std::vector<std::size_t> buffer_bytes;  ///< required size of each buffer id
+};
+
+/// A complete collective schedule: one program per participating node, plus
+/// metadata used for reporting and software-overhead modeling.
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// Program for `node`, creating an empty one on first access.
+  NodeProgram& program(int node);
+
+  /// Program for `node`, or nullptr if the node does not participate.
+  const NodeProgram* find_program(int node) const;
+
+  const std::vector<NodeProgram>& programs() const { return programs_; }
+
+  /// Human-readable algorithm label, e.g. "hybrid[2x3x5,SSMCC]".
+  const std::string& algorithm() const { return algorithm_; }
+  void set_algorithm(std::string name) { algorithm_ = std::move(name); }
+
+  /// Recursion depth of the generating algorithm.  The paper observes that
+  /// iCC's recursive short-vector implementation carries measurable call
+  /// overhead (Table 3's sub-1.0 ratios); the simulator charges a per-level
+  /// software overhead using this value.
+  int levels() const { return levels_; }
+  void set_levels(int levels) { levels_ = levels; }
+
+  /// Total number of Send ops across all programs.
+  std::size_t total_sends() const;
+
+  /// Total bytes moved by Send ops across all programs.
+  std::size_t total_bytes_sent() const;
+
+  /// Ensures node's buffer table covers `slice` (grows as needed).
+  void reserve_slice(int node, const BufSlice& slice);
+
+  /// Appends a matched send/recv pair with a fresh tag; convenience used by
+  /// planners.  `src` lives on `from`, `dst` on `to`.
+  void add_transfer(int from, int to, const BufSlice& src, const BufSlice& dst);
+
+  /// Next unique message tag for this schedule.
+  int fresh_tag() { return next_tag_++; }
+
+ private:
+  std::vector<NodeProgram> programs_;
+  std::unordered_map<int, std::size_t> index_;  // node id -> programs_ index
+  std::string algorithm_;
+  int levels_ = 1;
+  int next_tag_ = 0;
+};
+
+/// Debug rendering of a schedule (one line per op).
+std::string to_string(const Schedule& schedule);
+std::string to_string(OpKind kind);
+
+/// Concatenates schedules into one: every node's program is the
+/// concatenation of its programs in order, buffer requirements are merged,
+/// and levels accumulate.  Valid when the parts' traffic cannot be confused
+/// — either they touch disjoint node sets (concurrent group collectives,
+/// e.g. simultaneous per-row broadcasts) or they run back-to-back on the
+/// same nodes (tag collisions are impossible in the first case and harmless
+/// in the second because per-pair matching is ordered).
+Schedule merge_schedules(std::vector<Schedule> parts);
+
+}  // namespace intercom

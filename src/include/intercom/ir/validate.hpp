@@ -1,0 +1,34 @@
+// Static schedule validation.
+//
+// Checks, without running either substrate, that a schedule is well formed
+// and deadlock-free under rendezvous semantics:
+//   * slices stay within their declared buffers,
+//   * every Send has a matching Recv (peer, tag, length) and vice versa,
+//   * executing all programs under rendezvous send/recv terminates.
+//
+// Planner unit tests run every generated schedule through this validator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "intercom/ir/schedule.hpp"
+
+namespace intercom {
+
+/// Result of validating a schedule.
+struct ValidationResult {
+  bool ok = false;
+  std::vector<std::string> errors;  ///< empty iff ok
+
+  /// All errors joined with newlines (empty string when ok).
+  std::string message() const;
+};
+
+/// Validates `schedule`; see file comment for the properties checked.
+ValidationResult validate(const Schedule& schedule);
+
+/// Convenience: validates and throws intercom::Error when invalid.
+void validate_or_throw(const Schedule& schedule);
+
+}  // namespace intercom

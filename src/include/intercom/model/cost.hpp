@@ -1,0 +1,41 @@
+// Cost algebra for the alpha + n*beta (+ n*gamma) model.
+//
+// Every analytic cost in the paper has the shape
+//     A*alpha + B*beta + C*gamma  (+ L*delta)
+// where A counts message startups, B counts bytes on the critical path,
+// C counts combined bytes, and L counts recursion levels (delta is the
+// per-level software overhead of Section 7.2's discussion).  Cost carries
+// those four coefficients so costs compose by addition and evaluate against
+// any MachineParams.
+#pragma once
+
+#include <string>
+
+#include "intercom/model/machine_params.hpp"
+
+namespace intercom {
+
+/// A symbolic cost: coefficients of alpha, beta, gamma and the per-level
+/// overhead.  beta_bytes/gamma_bytes are byte counts (already multiplied by
+/// the message length), so evaluate() is a dot product with MachineParams.
+struct Cost {
+  double alpha_terms = 0.0;  ///< number of message startups on critical path
+  double beta_bytes = 0.0;   ///< bytes transferred on critical path
+  double gamma_bytes = 0.0;  ///< bytes combined on critical path
+  double levels = 0.0;       ///< recursion levels (per-level overhead count)
+
+  /// Predicted wall time in seconds under `params`.
+  double seconds(const MachineParams& params) const;
+
+  Cost& operator+=(const Cost& other);
+  friend Cost operator+(Cost a, const Cost& b) {
+    a += b;
+    return a;
+  }
+
+  /// "16a + 8.000nb + 0g" style rendering; `normalize_bytes`, when > 0,
+  /// divides the byte terms so Table 2's (x/p) presentation can be printed.
+  std::string to_string(double normalize_bytes = 0.0) const;
+};
+
+}  // namespace intercom

@@ -1,0 +1,29 @@
+// Analytic cost of a hybrid strategy for each target collective
+// (paper Section 6, generalized to all collectives via the Fig. 3 template).
+//
+// Stage bookkeeping for strategy d1 x ... x dk on a linear array:
+//   * live vector length at stage i:   n_i = n / (d1*...*d_{i-1})
+//   * conflict factor at stage i:      c_i = d1*...*d_{i-1}
+//     (the number of interleaved subgroups whose messages share links; 1 for
+//     every stage when the strategy is mesh_aligned, i.e. stage groups map to
+//     disjoint physical mesh rows/columns).
+// Note n_i * c_i = n, which is why the scatter/collect beta terms of the
+// paper's Table 2 formulas all reduce to ((d_i - 1)/d_i) * n * beta on a
+// linear array.  These formulas reproduce every legible Table 2 entry
+// exactly (see DESIGN.md).
+#pragma once
+
+#include "intercom/collective.hpp"
+#include "intercom/model/cost.hpp"
+#include "intercom/model/strategy.hpp"
+
+namespace intercom {
+
+/// Predicted cost of performing `collective` over `nbytes` bytes with the
+/// given hybrid strategy.  For kScatter/kGather, the strategy's staging is
+/// irrelevant (the MST primitive is optimal in both regimes) and the
+/// primitive cost is returned.
+Cost hybrid_cost(Collective collective, const HybridStrategy& strategy,
+                 double nbytes);
+
+}  // namespace intercom

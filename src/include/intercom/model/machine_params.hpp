@@ -1,0 +1,87 @@
+// Machine performance parameters (paper Section 2 and Section 7).
+//
+// The communication model: sending n bytes between any two nodes costs
+// alpha + n*beta in the absence of conflicts; conflicting messages share link
+// bandwidth; an arithmetic combine costs gamma per byte.  Porting the library
+// between platforms "suffices to enter a few parameters that describe the
+// latency, bandwidth and computation characteristics of the system"
+// (Section 11) — these presets are those parameter sets.
+#pragma once
+
+#include <cstddef>
+
+namespace intercom {
+
+/// Alpha/beta/gamma machine model plus the two refinements Section 7.1
+/// identifies on real hardware.
+struct MachineParams {
+  /// Message startup latency in seconds (the alpha term).
+  double alpha = 1.0;
+  /// Transfer time per byte in seconds (the beta term).
+  double beta = 1.0;
+  /// Combine-operation time per byte in seconds (the gamma term).
+  double gamma = 1.0;
+  /// Number of messages one directed link carries at full rate before
+  /// bandwidth sharing kicks in.  Models the Paragon's "excess of bandwidth
+  /// on each link ... compared to the bandwidth from a node to the network"
+  /// (Section 7.1).  1.0 is the plain model used in the paper's analysis.
+  double link_capacity = 1.0;
+  /// Software overhead per recursion level of an algorithm, in seconds.
+  /// Models the "measurable overhead" of iCC's recursive short-vector
+  /// implementation that makes it slightly slower than NX for 8-byte
+  /// messages (Table 3 ratios 0.92 / 0.88).
+  double per_level_overhead = 0.0;
+
+  // ---- Section 7.1 refinements ("the model for communication is
+  // considerably more complex: details of how messages are sent greatly
+  // affect the parameters in the model, alpha and beta"). -------------------
+
+  /// Per-hop worm-hole header latency in seconds (the tiny
+  /// distance-dependent component the first-order model drops).  Applied by
+  /// the simulator per route hop; 0 keeps the distance-free model.
+  double tau_per_hop = 0.0;
+  /// Message-protocol switch: transfers of at least this many bytes use the
+  /// long-message protocol (alpha_long / beta_long) instead of alpha / beta
+  /// — the eager-vs-rendezvous split of real message layers.  0 disables
+  /// (single-regime model).
+  std::size_t long_threshold_bytes = 0;
+  double alpha_long = 0.0;
+  double beta_long = 0.0;
+
+  /// Effective startup latency for one message of `bytes` (protocol-aware).
+  double alpha_for(std::size_t bytes) const {
+    return (long_threshold_bytes > 0 && bytes >= long_threshold_bytes)
+               ? alpha_long
+               : alpha;
+  }
+  /// Effective per-byte time for one message of `bytes` (protocol-aware).
+  double beta_for(std::size_t bytes) const {
+    return (long_threshold_bytes > 0 && bytes >= long_threshold_bytes)
+               ? beta_long
+               : beta;
+  }
+
+  /// Unit parameters (alpha = beta = gamma = 1): used by analytic tests so
+  /// coefficients can be read off directly.
+  static MachineParams unit();
+
+  /// Intel Paragon under OSF R1.1, back-derived from the paper's Table 3
+  /// (see DESIGN.md): alpha = 140 us, beta = 35 ns/B (~28.6 MB/s effective),
+  /// gamma = 25 ns/B, generous link capacity, 15 us per recursion level.
+  static MachineParams paragon();
+
+  /// Intel Touchstone Delta (the library's original target): higher latency
+  /// and lower bandwidth than the Paragon, no excess link capacity.
+  static MachineParams delta();
+
+  /// Intel iPSC/860 (the hypercube version of the library, Section 11):
+  /// moderate latency, low link bandwidth.
+  static MachineParams ipsc860();
+
+  /// Paragon under the SUNMOS lightweight kernel (the planned port,
+  /// Section 11): same hardware as paragon() but far lower software
+  /// overheads — latency drops by several times.
+  static MachineParams sunmos();
+};
+
+}  // namespace intercom

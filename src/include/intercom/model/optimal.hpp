@@ -1,0 +1,41 @@
+// Exact optimal-hybrid search (the theory the paper leaves open).
+//
+// Section 6: "We have not had a chance to fully study the theoretical
+// aspects of choosing the optimal hybrid."  For broadcast-shaped hybrids on
+// a linear array the optimum over *unbounded* factorization depth admits a
+// clean dynamic program: a hybrid is either the pure short-vector algorithm,
+// the scatter/collect pair, or "peel one dimension d | p" — scatter within
+// groups of d, recurse on the p/d sub-array with vector n/d and conflict
+// multiplier c*d, collect back.  Because n*c is invariant along any branch
+// (the Table 2 cancellation), the state space is just (remaining p,
+// accumulated dimension product), which is tiny.
+//
+// The DP both certifies the enumeration-based planner (equal cost whenever
+// the optimum has <= max_dims dimensions) and finds deeper hybrids where
+// they pay (bench_ablation_depth).
+#pragma once
+
+#include "intercom/collective.hpp"
+#include "intercom/model/cost.hpp"
+#include "intercom/model/strategy.hpp"
+
+namespace intercom {
+
+/// Result of the exact search: the minimizing strategy and its cost.
+struct OptimalHybrid {
+  HybridStrategy strategy;
+  Cost cost;
+  double seconds = 0.0;
+};
+
+/// Exact minimum-cost broadcast hybrid over all logical-mesh factorizations
+/// of any depth, for a p-node linear array moving nbytes, under `params`.
+OptimalHybrid optimal_broadcast_hybrid(int p, double nbytes,
+                                       const MachineParams& params);
+
+/// Exact minimum-cost combine-to-all hybrid (same search over the
+/// allreduce stage structure).
+OptimalHybrid optimal_combine_to_all_hybrid(int p, double nbytes,
+                                            const MachineParams& params);
+
+}  // namespace intercom

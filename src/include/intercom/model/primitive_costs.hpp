@@ -1,0 +1,51 @@
+// Analytic costs of the building-block primitives (paper Section 4) and of
+// the composed short/long algorithms (Section 5).
+//
+// All functions model a group of d nodes moving a vector of `nbytes` bytes
+// (for scatter/gather/collect, `nbytes` is the *full* vector at that stage).
+// `conflict` is the network-conflict compensation factor: the number of
+// interleaved subgroups whose messages share the same physical links (1 when
+// groups map to disjoint physical rows/columns or the whole linear array).
+#pragma once
+
+#include "intercom/collective.hpp"
+#include "intercom/model/cost.hpp"
+
+namespace intercom::costs {
+
+/// Minimum-spanning-tree broadcast: ceil(log2 d) * (alpha + n*conflict*beta).
+Cost mst_broadcast(int d, double nbytes, double conflict = 1.0);
+
+/// MST combine-to-one: ceil(log2 d) * (alpha + n*conflict*beta + n*gamma).
+Cost mst_combine_to_one(int d, double nbytes, double conflict = 1.0);
+
+/// MST scatter: ceil(log2 d)*alpha + ((d-1)/d)*n*conflict*beta.
+Cost mst_scatter(int d, double nbytes, double conflict = 1.0);
+
+/// MST gather: same cost as the scatter run in reverse.
+Cost mst_gather(int d, double nbytes, double conflict = 1.0);
+
+/// Bucket (ring) collect: (d-1)*alpha + ((d-1)/d)*n*conflict*beta, where n is
+/// the total collected length.  `latency_steps` overrides the (d-1) startup
+/// count for mesh-optimized variants (Section 7.1's (r+c-2) refinement).
+Cost bucket_collect(int d, double nbytes, double conflict = 1.0,
+                    int latency_steps = -1);
+
+/// Bucket distributed combine (ring reduce-scatter):
+/// (d-1)*alpha + ((d-1)/d)*n*conflict*beta + ((d-1)/d)*n*gamma.
+Cost bucket_distributed_combine(int d, double nbytes, double conflict = 1.0,
+                                int latency_steps = -1);
+
+/// Composed short-vector algorithm costs (Section 5.1) for a whole group of
+/// d nodes (no hybrids, conflict 1): the four primitives are themselves the
+/// implementations of broadcast/scatter/gather/combine-to-one; collect =
+/// gather + broadcast; distributed combine = combine-to-one + scatter;
+/// combine-to-all = combine-to-one + broadcast.
+Cost short_vector_cost(Collective collective, int d, double nbytes);
+
+/// Composed long-vector algorithm costs (Section 5.2): broadcast = scatter +
+/// collect; combine-to-one = distributed combine + gather; combine-to-all =
+/// distributed combine + collect; the rest are the long primitives.
+Cost long_vector_cost(Collective collective, int d, double nbytes);
+
+}  // namespace intercom::costs

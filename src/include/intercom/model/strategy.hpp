@@ -1,0 +1,57 @@
+// Hybrid strategy descriptors (paper Section 6).
+//
+// A hybrid views a group of p nodes as a logical d1 x ... x dk mesh.  For a
+// broadcast, the strategy "S...S M C...C" runs a scatter in dimensions
+// 1..k-1 (halving the live vector each time), a minimum-spanning-tree
+// broadcast in dimension k, and collects back out through dimensions k-1..1.
+// The "S...S C...C" family instead runs scatter down *all* k dimensions and
+// collects back up (the innermost dimension performs the scatter/collect
+// pair).  (1 x p, M) is the pure MST algorithm and (1 x p, SC) is the pure
+// scatter/collect long-vector algorithm.
+//
+// The same two families generate hybrids for every target collective by
+// substituting that collective's stage-1/stage-2 long-vector primitives and
+// short-vector inner algorithm (Fig. 3's template); see hybrid_costs.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "intercom/collective.hpp"
+
+namespace intercom {
+
+/// What runs in the innermost logical dimension.
+enum class InnerAlg {
+  kShortVector,     ///< the collective's short-vector (MST-based) algorithm
+  kScatterCollect,  ///< the collective's long-vector stage-1/stage-2 pair
+};
+
+/// A logical-mesh hybrid strategy.
+struct HybridStrategy {
+  /// Logical mesh dimensions d1..dk, outermost (stage 1) first.  Product
+  /// must equal the group size.  dims = {p} with kShortVector is the pure
+  /// short-vector algorithm; dims = {p} with kScatterCollect is the pure
+  /// long-vector algorithm.
+  std::vector<int> dims;
+  InnerAlg inner = InnerAlg::kShortVector;
+  /// True when stage groups map onto disjoint physical mesh rows/columns, in
+  /// which case no interleaved subgroups share links (conflict factor 1) and
+  /// the paper's Section 7.1 refinements apply.
+  bool mesh_aligned = false;
+
+  int node_count() const;
+
+  /// Paper-style label, e.g. "2x3x5,SSMCC" or "1x30,M" or "2x15,SSCC".
+  std::string label() const;
+
+  friend bool operator==(const HybridStrategy&, const HybridStrategy&) = default;
+};
+
+/// Enumerates candidate strategies for a group of p nodes: for every ordered
+/// factorization of p into at most `max_dims` factors (each >= 2), both inner
+/// algorithms, plus the pure short-vector strategy {p},M.  This is the search
+/// space the auto-selection heuristic ranks with the cost model.
+std::vector<HybridStrategy> enumerate_strategies(int p, int max_dims = 3);
+
+}  // namespace intercom

@@ -1,0 +1,94 @@
+// MPI-like interface (paper Section 9).
+//
+// "As a result, it was relatively straightforward for us to provide a
+//  MPI-like interface to our collective communications, thereby extending
+//  our high-performance hybrid algorithms to group collective
+//  communication."   (The paper predates MPI-1.0 by months; InterCom's
+//  authors expected their algorithms to land inside MPI implementations,
+//  which they did.)
+//
+// This layer wraps the library's Communicator in MPI-shaped calls: distinct
+// send/receive buffers, element counts + datatype/op enums, integer error
+// codes, and communicator splitting.  It is intentionally a thin veneer —
+// every call lowers onto the hybrid-planned collectives.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "intercom/runtime/communicator.hpp"
+
+namespace intercom::mpi {
+
+/// Subset of MPI datatypes the veneer supports.
+enum class Datatype { kByte, kInt, kLongLong, kFloat, kDouble };
+
+/// Subset of MPI reduction operations.
+enum class ReduceKind { kSum, kProd, kMax, kMin };
+
+/// Error codes (MPI_SUCCESS-style).
+inline constexpr int kSuccess = 0;
+inline constexpr int kErrArg = 1;
+
+/// Size in bytes of a datatype element.
+std::size_t datatype_size(Datatype dt);
+
+/// The type-erased reducer for (datatype, op).
+ReduceOp reduce_op_for(Datatype dt, ReduceKind op);
+
+/// An MPI_Comm-shaped handle: a Communicator plus convenience queries.
+class Comm {
+ public:
+  explicit Comm(Communicator inner) : inner_(std::move(inner)) {}
+
+  int rank() const { return inner_.rank(); }
+  int size() const { return inner_.size(); }
+  Communicator& communicator() { return inner_; }
+
+ private:
+  Communicator inner_;
+};
+
+/// MPI_COMM_WORLD for a node.
+Comm comm_world(Node& node);
+
+/// MPI_Bcast: broadcast count elements of buffer from root.
+int bcast(void* buffer, std::size_t count, Datatype dt, int root, Comm& comm);
+
+/// MPI_Reduce: element-wise reduction of sendbuf into recvbuf at root
+/// (recvbuf significant only at root; may alias sendbuf).
+int reduce(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt,
+           ReduceKind op, int root, Comm& comm);
+
+/// MPI_Allreduce.
+int allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+              Datatype dt, ReduceKind op, Comm& comm);
+
+/// MPI_Scatter: root's sendbuf holds size()*count elements; every rank
+/// receives its count-element piece into recvbuf.
+int scatter(const void* sendbuf, std::size_t count, void* recvbuf, int root,
+            Datatype dt, Comm& comm);
+
+/// MPI_Gather: every rank contributes count elements; root's recvbuf holds
+/// size()*count elements.
+int gather(const void* sendbuf, std::size_t count, void* recvbuf, int root,
+           Datatype dt, Comm& comm);
+
+/// MPI_Allgather.
+int allgather(const void* sendbuf, std::size_t count, void* recvbuf,
+              Datatype dt, Comm& comm);
+
+/// MPI_Reduce_scatter with per-rank receive counts.
+int reduce_scatter(const void* sendbuf, void* recvbuf,
+                   const std::vector<std::size_t>& recvcounts, Datatype dt,
+                   ReduceKind op, Comm& comm);
+
+/// MPI_Barrier.
+int barrier(Comm& comm);
+
+/// MPI_Comm_split: collective over `comm`; members with equal `color` form
+/// a new communicator, ordered by (key, old rank).  Returns std::nullopt
+/// for color < 0 (MPI_UNDEFINED).
+std::optional<Comm> comm_split(Node& node, Comm& comm, int color, int key);
+
+}  // namespace intercom::mpi

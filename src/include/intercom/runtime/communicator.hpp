@@ -1,0 +1,164 @@
+// SPMD node handle and group communicator (the paper's Section 9/10
+// MPI-like interface).
+//
+// Inside Multicomputer::run_spmd, each node thread gets a Node from which it
+// creates Communicators: `world()` spans all nodes; `group(...)` spans any
+// ordered subset, with the same logical-to-physical mapping mechanism the
+// paper describes ("using the group array to provide the logical-to-physical
+// mapping").  Every member of a communicator must call the same sequence of
+// collectives; message isolation between communicators and between
+// successive operations uses a context id derived from the group and an
+// operation sequence number.
+//
+// Data contracts mirror Table 1 with the canonical block partition (pieces
+// live at their global offsets inside the full-length buffer, so scatter /
+// collect operate in place):
+//   broadcast:   root's buf -> everyone's buf
+//   scatter:     root's buf -> piece(rank) valid at each rank
+//   gather:      piece(rank) at each rank -> root's buf
+//   collect:     piece(rank) at each rank -> everyone's buf
+//   combine_*:   full-length partials in -> reduced data out (at root /
+//                everywhere / piece(rank)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "intercom/core/partition.hpp"
+#include "intercom/core/plan_cache.hpp"
+#include "intercom/runtime/multicomputer.hpp"
+#include "intercom/runtime/reduce.hpp"
+#include "intercom/topo/group.hpp"
+
+namespace intercom {
+
+class Communicator;
+
+/// Per-thread handle to one node of the multicomputer.
+class Node {
+ public:
+  Node(Multicomputer& machine, int id) : machine_(&machine), id_(id) {}
+
+  int id() const { return id_; }
+  Multicomputer& machine() { return *machine_; }
+
+  /// Communicator over all nodes (logical rank == node id).
+  Communicator world();
+
+  /// Communicator over `group`, which must contain this node.  Members
+  /// constructing communicators over the same group with the same `color`
+  /// address the same message context; use distinct colors for communicators
+  /// over identical groups that are alive at the same time.
+  Communicator group(const Group& group, std::uint32_t color = 0);
+
+ private:
+  Multicomputer* machine_;
+  int id_;
+};
+
+/// Group collective interface executing planned schedules on real data.
+class Communicator {
+ public:
+  Communicator(Multicomputer& machine, Group group, int my_rank,
+               std::uint32_t color);
+
+  int rank() const { return my_rank_; }
+  int size() const { return group_.size(); }
+  const Group& group() const { return group_; }
+
+  // Byte-level collectives; `buf` is the full-length vector (elems *
+  // elem_size bytes) on every member.
+  void broadcast_bytes(std::span<std::byte> buf, std::size_t elem_size,
+                       int root);
+  void scatter_bytes(std::span<std::byte> buf, std::size_t elem_size,
+                     int root);
+  void gather_bytes(std::span<std::byte> buf, std::size_t elem_size, int root);
+  void collect_bytes(std::span<std::byte> buf, std::size_t elem_size);
+  void combine_to_one_bytes(std::span<std::byte> buf, const ReduceOp& op,
+                            int root);
+  void combine_to_all_bytes(std::span<std::byte> buf, const ReduceOp& op);
+  void distributed_combine_bytes(std::span<std::byte> buf, const ReduceOp& op);
+
+  // Typed conveniences.
+  template <typename T>
+  void broadcast(std::span<T> data, int root) {
+    broadcast_bytes(std::as_writable_bytes(data), sizeof(T), root);
+  }
+  template <typename T>
+  void scatter(std::span<T> data, int root) {
+    scatter_bytes(std::as_writable_bytes(data), sizeof(T), root);
+  }
+  template <typename T>
+  void gather(std::span<T> data, int root) {
+    gather_bytes(std::as_writable_bytes(data), sizeof(T), root);
+  }
+  template <typename T>
+  void collect(std::span<T> data) {
+    collect_bytes(std::as_writable_bytes(data), sizeof(T));
+  }
+  template <typename T>
+  void all_reduce_sum(std::span<T> data) {
+    combine_to_all_bytes(std::as_writable_bytes(data), sum_op<T>());
+  }
+  template <typename T>
+  void reduce_sum(std::span<T> data, int root) {
+    combine_to_one_bytes(std::as_writable_bytes(data), sum_op<T>(), root);
+  }
+  template <typename T>
+  void reduce_scatter_sum(std::span<T> data) {
+    distributed_combine_bytes(std::as_writable_bytes(data), sum_op<T>());
+  }
+
+  // Irregular ("v") variants: explicit per-rank element counts; rank i's
+  // piece covers elements [sum(counts[0..i)), sum(counts[0..i])) of `buf`.
+  void scatterv_bytes(std::span<std::byte> buf,
+                      const std::vector<std::size_t>& counts,
+                      std::size_t elem_size, int root);
+  void gatherv_bytes(std::span<std::byte> buf,
+                     const std::vector<std::size_t>& counts,
+                     std::size_t elem_size, int root);
+  void collectv_bytes(std::span<std::byte> buf,
+                      const std::vector<std::size_t>& counts,
+                      std::size_t elem_size);
+  void reduce_scatterv_bytes(std::span<std::byte> buf,
+                             const std::vector<std::size_t>& counts,
+                             const ReduceOp& op);
+
+  template <typename T>
+  void collectv(std::span<T> data, const std::vector<std::size_t>& counts) {
+    collectv_bytes(std::as_writable_bytes(data), counts, sizeof(T));
+  }
+  template <typename T>
+  void scatterv(std::span<T> data, const std::vector<std::size_t>& counts,
+                int root) {
+    scatterv_bytes(std::as_writable_bytes(data), counts, sizeof(T), root);
+  }
+  template <typename T>
+  void gatherv(std::span<T> data, const std::vector<std::size_t>& counts,
+               int root) {
+    gatherv_bytes(std::as_writable_bytes(data), counts, sizeof(T), root);
+  }
+
+  /// Canonical piece of a full vector owned by `rank` (element indices).
+  ElemRange piece_of(std::size_t elems, int rank) const;
+
+  /// Simple barrier built from an 8-byte combine-to-all.
+  void barrier();
+
+  /// Plan-cache statistics (regular collectives reuse cached schedules for
+  /// repeated shapes — the common case in iterative applications).
+  const PlanCache& plan_cache() const { return cache_; }
+
+ private:
+  void run(Collective collective, std::span<std::byte> buf,
+           std::size_t elem_size, int root, const ReduceOp* op);
+
+  Multicomputer* machine_;
+  Group group_;
+  int my_rank_;
+  std::uint64_t ctx_base_;
+  std::uint64_t seq_ = 0;
+  PlanCache cache_;
+};
+
+}  // namespace intercom

@@ -1,0 +1,27 @@
+// Schedule execution on real byte buffers.
+//
+// Interprets one node's program against the Transport: sends/receives move
+// real payloads, combines apply the caller's ReduceOp, copies are memcpys.
+// Buffer 0 (kUserBuf) is the caller's data span; higher buffer ids are
+// library-managed scratch allocated per execution from the program's
+// declared sizes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "intercom/ir/schedule.hpp"
+#include "intercom/runtime/reduce.hpp"
+#include "intercom/runtime/transport.hpp"
+
+namespace intercom {
+
+/// Executes `node`'s program of `schedule` (a no-op when the node has none).
+/// `user` must be at least as large as the program's declared kUserBuf size.
+/// `ctx` isolates this collective's messages from other concurrent traffic.
+/// `reduce` is required when the program contains combine ops.
+void execute_program(Transport& transport, const Schedule& schedule, int node,
+                     std::span<std::byte> user, std::uint64_t ctx,
+                     const ReduceOp* reduce = nullptr);
+
+}  // namespace intercom

@@ -1,0 +1,44 @@
+// The threaded multicomputer: an in-process stand-in for a message-passing
+// machine (one thread per node) that really executes the library's
+// schedules on real data.  This is the substrate the examples and the
+// data-correctness tests run on; the worm-hole simulator (src/sim) is the
+// substrate the performance studies run on.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "intercom/core/planner.hpp"
+#include "intercom/model/machine_params.hpp"
+#include "intercom/runtime/transport.hpp"
+#include "intercom/topo/mesh.hpp"
+
+namespace intercom {
+
+class Node;
+
+/// A mesh-shaped collection of in-process nodes with a shared transport and
+/// a planner configured for the mesh (so group collectives get the
+/// rectangular-submesh fast path of Section 9).
+class Multicomputer {
+ public:
+  explicit Multicomputer(Mesh2D mesh,
+                         MachineParams params = MachineParams::paragon());
+
+  int node_count() const { return mesh_.node_count(); }
+  const Mesh2D& mesh() const { return mesh_; }
+  Transport& transport() { return transport_; }
+  const Planner& planner() const { return planner_; }
+
+  /// Runs `body` on every node concurrently (SPMD), one thread per node, and
+  /// joins them all.  The first exception thrown by any node is rethrown
+  /// here after all threads finish or abort their collectives.
+  void run_spmd(const std::function<void(Node&)>& body);
+
+ private:
+  Mesh2D mesh_;
+  Transport transport_;
+  Planner planner_;
+};
+
+}  // namespace intercom

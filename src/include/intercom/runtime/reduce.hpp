@@ -1,0 +1,36 @@
+// Type-erased combine operations.
+//
+// The paper's combine "represents an associative and commutative combine
+// operation such as an element-wise summation or element-wise product"; the
+// schedule IR is byte-oriented, so execution carries a type-erased reducer
+// that folds a source byte range into a destination byte range element-wise.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace intercom {
+
+/// Element-wise reduction: dst[i] = op(dst[i], src[i]) over bytes/elem_size
+/// elements.  `fn` receives raw byte pointers and the byte count, which is
+/// always a multiple of elem_size by construction of the schedules.
+struct ReduceOp {
+  std::function<void(std::byte* dst, const std::byte* src, std::size_t bytes)>
+      fn;
+  std::size_t elem_size = 1;
+};
+
+/// Built-in reducers over arithmetic element type T.
+template <typename T>
+ReduceOp sum_op();
+template <typename T>
+ReduceOp prod_op();
+template <typename T>
+ReduceOp max_op();
+template <typename T>
+ReduceOp min_op();
+
+// Explicitly instantiated in reduce_ops.cpp for: float, double, int,
+// long long, unsigned, unsigned long, unsigned long long.
+
+}  // namespace intercom

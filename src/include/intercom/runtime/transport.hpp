@@ -1,0 +1,78 @@
+// In-process message transport for the threaded multicomputer.
+//
+// One mailbox per node; messages are matched by (source node, context id,
+// tag).  Sends are eager (buffered): the payload is copied into the
+// receiver's mailbox and the sender returns immediately, which strictly
+// weakens the rendezvous blocking the schedules were validated under — any
+// rendezvous-deadlock-free schedule therefore executes correctly here.
+// Receives block until a matching message arrives.
+//
+// The context id separates concurrent collectives (different communicators
+// or successive operations on one communicator), playing the role MPI gives
+// to the communicator context.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace intercom {
+
+/// Blocking mailbox transport between `node_count` in-process nodes.
+class Transport {
+ public:
+  explicit Transport(int node_count);
+
+  int node_count() const { return static_cast<int>(mailboxes_.size()); }
+
+  /// Arms a receive watchdog: any recv() still unmatched after
+  /// `milliseconds` throws intercom::Error instead of blocking forever —
+  /// turns mismatched collective sequences (the classic communicator-misuse
+  /// bug) into diagnosable failures.  0 disables (the default).
+  void set_recv_timeout_ms(long milliseconds);
+
+  /// Copies `data` into dst's mailbox under (src, ctx, tag); never blocks.
+  void send(int src, int dst, std::uint64_t ctx, int tag,
+            std::span<const std::byte> data);
+
+  /// Blocks until a message matching (src, ctx, tag) arrives at dst, then
+  /// copies it into `out`.  Throws if the message length differs from the
+  /// buffer length.
+  void recv(int src, int dst, std::uint64_t ctx, int tag,
+            std::span<std::byte> out);
+
+ private:
+  struct Key {
+    int src;
+    std::uint64_t ctx;
+    int tag;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = std::hash<std::uint64_t>{}(k.ctx);
+      h ^= std::hash<int>{}(k.src) + 0x9e3779b9 + (h << 6) + (h >> 2);
+      h ^= std::hash<int>{}(k.tag) + 0x9e3779b9 + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::unordered_map<Key, std::deque<std::vector<std::byte>>, KeyHash>
+        messages;
+  };
+
+  void check_node(int node) const;
+
+  std::vector<Mailbox> mailboxes_;
+  long recv_timeout_ms_ = 0;
+};
+
+}  // namespace intercom

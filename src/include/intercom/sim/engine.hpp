@@ -1,0 +1,98 @@
+// Discrete-event worm-hole mesh network simulator.
+//
+// Executes a Schedule under the paper's machine model (Section 2 plus the
+// Section 7.1 refinements):
+//   * sending n bytes costs alpha + n*beta_eff, where beta_eff reflects
+//     fluid (processor-sharing) bandwidth sharing over the XY route's links;
+//   * a node is one-ported (its blocking program order enforces this) but
+//     can send and receive simultaneously (kSendRecv);
+//   * element-wise combines cost gamma per byte;
+//   * an optional per-recursion-level software overhead and an optional
+//     exponential per-transfer jitter (Section 8's "timing irregularities")
+//     complete the model.
+//
+// Transfers are rendezvous: a flow is created when both halves are posted,
+// spends alpha (+ jitter) in its startup phase, then drains its bytes at the
+// shared-bandwidth rate; rates are recomputed whenever any flow starts or
+// finishes.  This reproduces the Table 2 conflict factors organically: the
+// interleaved subgroups of linear-array hybrids share links and slow each
+// other down exactly as the bold-face compensation factors predict.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "intercom/ir/schedule.hpp"
+#include "intercom/model/machine_params.hpp"
+#include "intercom/topo/topology.hpp"
+
+namespace intercom {
+
+/// Simulation inputs beyond the machine model.
+struct SimParams {
+  MachineParams machine;
+  /// Mean of the exponential extra startup delay added to every transfer
+  /// (0 disables jitter).  Used by the Section 8 ablation.
+  double jitter_mean = 0.0;
+  std::uint64_t jitter_seed = 0x1c0ffee;
+  /// When true, SimResult::trace records every transfer (posting, start of
+  /// the data phase, completion) for timeline inspection.
+  bool record_trace = false;
+};
+
+/// One completed transfer in a recorded trace.
+struct TransferRecord {
+  int src = -1;
+  int dst = -1;
+  std::size_t bytes = 0;
+  double posted = 0.0;      ///< when both halves were matched
+  double data_start = 0.0;  ///< after the alpha (startup) phase
+  double finish = 0.0;
+};
+
+/// Simulation outputs.
+struct SimResult {
+  /// Completion time of the last operation, in seconds (includes the
+  /// schedule's levels * per_level_overhead software charge).
+  double seconds = 0.0;
+  /// Highest number of flows simultaneously occupying one directed channel.
+  /// 1 certifies the paper's "incur no network conflicts" property.
+  int peak_link_load = 0;
+  /// Number of point-to-point transfers executed.
+  std::size_t transfers = 0;
+  /// Total bytes moved.
+  std::size_t bytes_moved = 0;
+  /// Per-transfer records (empty unless SimParams::record_trace).
+  std::vector<TransferRecord> trace;
+};
+
+/// Renders a recorded trace as a per-node text timeline ("Gantt" view with
+/// `columns` time buckets); nodes appear in schedule order.
+std::string render_timeline(const SimResult& result, int columns = 72);
+
+/// Simulates schedules over a fixed topology and parameter set.
+class WormholeSimulator {
+ public:
+  /// Simulate over an arbitrary worm-hole topology (mesh, hypercube, ...).
+  WormholeSimulator(std::shared_ptr<const Topology> topology,
+                    SimParams params);
+
+  /// Convenience: simulate over a 2-D mesh.
+  WormholeSimulator(Mesh2D mesh, SimParams params);
+
+  /// Runs `schedule` to completion and reports timing and conflict stats.
+  /// Throws intercom::Error if the schedule deadlocks or references nodes
+  /// outside the topology.
+  SimResult run(const Schedule& schedule) const;
+
+  const Topology& topology() const { return *topology_; }
+  const SimParams& params() const { return params_; }
+
+ private:
+  std::shared_ptr<const Topology> topology_;
+  SimParams params_;
+};
+
+}  // namespace intercom

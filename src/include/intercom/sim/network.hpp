@@ -1,0 +1,46 @@
+// Link-load bookkeeping for the worm-hole mesh simulator.
+//
+// Tracks how many active data flows occupy each directed channel and
+// converts a flow's route into its bandwidth-sharing factor:
+//     s = max over links of max(1, flows_on_link / link_capacity)
+// so that the flow drains at rate 1/(beta * s) bytes per second.  The
+// link_capacity parameter models the Paragon's excess link bandwidth
+// (Section 7.1: "each link can in effect accommodate more than one message
+// simultaneously without penalty").
+#pragma once
+
+#include <vector>
+
+#include "intercom/topo/mesh.hpp"
+
+namespace intercom {
+
+/// Per-directed-channel active-flow counter over a topology's channels.
+class LinkLoadTracker {
+ public:
+  explicit LinkLoadTracker(int directed_link_count);
+  explicit LinkLoadTracker(const Mesh2D& mesh);
+
+  /// Adds/removes one flow on every link of `route` (dense link indices).
+  void add(const std::vector<int>& route_links);
+  void remove(const std::vector<int>& route_links);
+
+  /// Bandwidth sharing factor for a route under the current load.
+  double sharing(const std::vector<int>& route_links,
+                 double link_capacity) const;
+
+  /// Highest instantaneous load seen on any single channel so far.
+  int peak_load() const { return peak_load_; }
+
+  /// Current load on a channel (for tests).
+  int load(int link_index) const;
+
+ private:
+  std::vector<int> load_;
+  int peak_load_ = 0;
+};
+
+/// Dense link indices of the XY route between two nodes.
+std::vector<int> route_links(const Mesh2D& mesh, int src, int dst);
+
+}  // namespace intercom

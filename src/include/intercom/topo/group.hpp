@@ -1,0 +1,57 @@
+// Process groups (Section 9 of the paper).
+//
+// A Group is an ordered list of physical node ids; position in the list is
+// the node's *logical rank* within the group.  This is exactly the paper's
+// mechanism: "the ring collect routine would treat those processors as a
+// group of contiguous nodes numbered 0 to r-1, using the group array to
+// provide the logical-to-physical mapping."
+//
+// Hybrid algorithms slice groups along logical dimensions; those slices are
+// themselves Groups, so every planner in the library is group-capable by
+// construction.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+namespace intercom {
+
+/// Ordered set of physical node ids; index == logical rank.
+class Group {
+ public:
+  /// The trivial group of p contiguous nodes 0..p-1.
+  static Group contiguous(int p);
+
+  /// A strided arithmetic progression: first, first+stride, ... (p members).
+  static Group strided(int first, int stride, int p);
+
+  Group() = default;
+  explicit Group(std::vector<int> members);
+  Group(std::initializer_list<int> members);
+
+  int size() const { return static_cast<int>(members_.size()); }
+  bool empty() const { return members_.empty(); }
+
+  /// Physical node id of a logical rank.  Requires 0 <= rank < size().
+  int physical(int rank) const;
+
+  /// Logical rank of a physical node id, or -1 if not a member.
+  int rank_of(int node) const;
+
+  bool contains(int node) const { return rank_of(node) >= 0; }
+
+  const std::vector<int>& members() const { return members_; }
+
+  /// Sub-group of ranks {offset, offset+stride, offset+2*stride, ...} with
+  /// `count` members.  Used by hybrid planners to slice a group into the
+  /// rows/columns of a logical mesh.
+  Group slice(int offset, int stride, int count) const;
+
+  friend bool operator==(const Group&, const Group&) = default;
+
+ private:
+  void check_distinct() const;
+  std::vector<int> members_;
+};
+
+}  // namespace intercom

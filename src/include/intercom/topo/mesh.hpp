@@ -1,0 +1,73 @@
+// Physical topology: a two-dimensional mesh of processing nodes with
+// bidirectional links and worm-hole (cut-through) routing, the paper's target
+// architecture (Section 2).
+//
+// Node numbering is row-major: node id = row * cols + col.  A 1 x p mesh
+// models the linear-array setting used throughout Sections 4-6.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace intercom {
+
+/// Row/column coordinates of a node on the mesh.
+struct Coord {
+  int row = 0;
+  int col = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// A directed physical channel between two adjacent nodes.  Bidirectional
+/// links are modeled as two independent directed channels (each direction has
+/// its own bandwidth), matching worm-hole meshes with full-duplex links.
+struct Link {
+  int from = 0;  ///< source node id
+  int to = 0;    ///< destination node id
+  friend bool operator==(const Link&, const Link&) = default;
+};
+
+/// Two-dimensional mesh topology with XY dimension-order routing.
+///
+/// XY routing (travel fully along the row first, then along the column) is
+/// deadlock-free and is what worm-hole meshes such as the Touchstone Delta
+/// and the Paragon implement in hardware.
+class Mesh2D {
+ public:
+  /// Constructs a rows x cols mesh.  Requires rows >= 1 and cols >= 1.
+  Mesh2D(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int node_count() const { return rows_ * cols_; }
+
+  /// Coordinates of a node id.  Requires 0 <= node < node_count().
+  Coord coord_of(int node) const;
+
+  /// Node id at the given coordinates.  Requires in-range coordinates.
+  int node_at(Coord c) const;
+  int node_at(int row, int col) const { return node_at(Coord{row, col}); }
+
+  /// The sequence of directed links traversed by a message from `src` to
+  /// `dst` under XY routing.  Empty when src == dst.
+  std::vector<Link> route(int src, int dst) const;
+
+  /// Number of directed links in the mesh (each physical bidirectional link
+  /// contributes two).
+  int directed_link_count() const;
+
+  /// Dense index of a directed link between adjacent nodes, in
+  /// [0, directed_link_count()).  Used by the simulator for per-link state.
+  int link_index(const Link& link) const;
+
+  /// Manhattan distance between two nodes.
+  int distance(int src, int dst) const;
+
+ private:
+  void check_node(int node) const;
+
+  int rows_;
+  int cols_;
+};
+
+}  // namespace intercom

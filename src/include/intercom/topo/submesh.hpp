@@ -1,0 +1,60 @@
+// Group structure analysis (Section 9).
+//
+// "Performance for group operations is maintained by extracting information
+//  about the physical layout of a user-specified group.  In cases where a
+//  group comprises a physical rectangular submesh, the same row- and
+//  column-based techniques are used as in the whole-mesh operations.  When a
+//  group is unstructured or its structure cannot be ascertained, it is
+//  treated as though it were a linear array."
+#pragma once
+
+#include <optional>
+
+#include "intercom/topo/group.hpp"
+#include "intercom/topo/mesh.hpp"
+
+namespace intercom {
+
+/// Classification of a group's physical layout on the mesh.
+enum class GroupStructure {
+  kSingleton,        ///< one node
+  kPhysicalRow,      ///< contiguous run within one mesh row
+  kPhysicalColumn,   ///< contiguous run within one mesh column
+  kRectSubmesh,      ///< full rectangular submesh in row-major group order
+  kUnstructured,     ///< anything else: treated as a linear array
+};
+
+/// A detected rectangular submesh: the group covers rows
+/// [row0, row0+rows) x cols [col0, col0+cols) of the physical mesh, listed in
+/// row-major order.
+struct SubmeshInfo {
+  int row0 = 0;
+  int col0 = 0;
+  int rows = 0;
+  int cols = 0;
+};
+
+/// Result of analyzing a group against a physical mesh.
+struct GroupLayout {
+  GroupStructure structure = GroupStructure::kUnstructured;
+  std::optional<SubmeshInfo> submesh;  ///< set for kRectSubmesh (and rows/cols)
+};
+
+/// Analyzes the physical layout of `group` on `mesh`.
+///
+/// Detection is exact: kRectSubmesh is reported only when the group members
+/// enumerate a full rectangle in row-major order, so that slicing the group by
+/// logical stride yields physical mesh rows and columns (the property the
+/// row/column long-vector primitives rely on to stay conflict-free).
+GroupLayout analyze_group(const Mesh2D& mesh, const Group& group);
+
+/// The group of nodes forming physical row `row` of the mesh (all columns).
+Group row_group(const Mesh2D& mesh, int row);
+
+/// The group of nodes forming physical column `col` of the mesh (all rows).
+Group col_group(const Mesh2D& mesh, int col);
+
+/// The whole mesh as a group in row-major order.
+Group whole_mesh_group(const Mesh2D& mesh);
+
+}  // namespace intercom

@@ -1,0 +1,101 @@
+// Topology abstraction for the network simulator.
+//
+// The paper's library shipped in two flavours: the mesh version (Touchstone
+// Delta, Paragon) and a hypercube version (iPSC/860, Section 11).  The
+// simulator prices schedules against a Topology: node count, per-transfer
+// routes as dense directed-channel indices, and the channel count.  Mesh2D
+// and Hypercube both provide implementations.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "intercom/topo/mesh.hpp"
+
+namespace intercom {
+
+/// Interface the worm-hole simulator routes against.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual int node_count() const = 0;
+  virtual int directed_link_count() const = 0;
+  /// Dense directed-channel indices traversed from src to dst (empty when
+  /// src == dst).  Deterministic (oblivious routing).
+  virtual std::vector<int> route(int src, int dst) const = 0;
+};
+
+/// Mesh2D as a Topology (XY dimension-order routing).
+class MeshTopology final : public Topology {
+ public:
+  explicit MeshTopology(Mesh2D mesh) : mesh_(mesh) {}
+
+  int node_count() const override { return mesh_.node_count(); }
+  int directed_link_count() const override {
+    return mesh_.directed_link_count();
+  }
+  std::vector<int> route(int src, int dst) const override;
+
+  const Mesh2D& mesh() const { return mesh_; }
+
+ private:
+  Mesh2D mesh_;
+};
+
+/// A d-dimensional binary hypercube with e-cube (ascending dimension-order)
+/// routing; node ids are the 2^d binary addresses, a link flips one bit.
+class Hypercube final : public Topology {
+ public:
+  /// Constructs a hypercube with 2^dims nodes.  Requires 0 <= dims <= 20.
+  explicit Hypercube(int dims);
+
+  int dims() const { return dims_; }
+  int node_count() const override { return 1 << dims_; }
+  /// Each node has `dims` outgoing channels (one per dimension).
+  int directed_link_count() const override { return node_count() * dims_; }
+  std::vector<int> route(int src, int dst) const override;
+
+  /// The neighbor of `node` across dimension `dim`.
+  int neighbor(int node, int dim) const;
+
+  /// Dense index of the directed channel node -> neighbor(node, dim).
+  int link_index(int node, int dim) const;
+
+  /// The binary-reflected Gray code sequence of all nodes: consecutive
+  /// entries (and the wrap-around pair) are hypercube neighbors — a
+  /// Hamiltonian ring used by the pipelined broadcast.
+  std::vector<int> gray_ring() const;
+
+ private:
+  void check_node(int node) const;
+  int dims_;
+};
+
+/// A two-dimensional wraparound mesh (torus) with dimension-order routing
+/// that takes the shorter way around each ring.  Wraparound meshes are the
+/// setting of Bermond/Michallon/Trystram's broadcasting work the paper
+/// cites; on a torus the bucket algorithms' ring is physical.
+class Torus2D final : public Topology {
+ public:
+  /// Constructs a rows x cols torus.  Requires rows >= 1 and cols >= 1.
+  Torus2D(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int node_count() const override { return rows_ * cols_; }
+  /// Four directed channels per node (East, West, South, North); channels
+  /// along a dimension of extent 1 exist but are never routed over.
+  int directed_link_count() const override { return node_count() * 4; }
+  std::vector<int> route(int src, int dst) const override;
+
+  /// Directed channel index for node's East(0)/West(1)/South(2)/North(3).
+  int link_index(int node, int direction) const;
+
+ private:
+  void check_node(int node) const;
+  int rows_;
+  int cols_;
+};
+
+}  // namespace intercom

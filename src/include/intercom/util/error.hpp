@@ -1,0 +1,42 @@
+// Error handling for the intercom library.
+//
+// The library throws `intercom::Error` (derived from std::runtime_error) for
+// precondition violations and unrecoverable internal faults.  Hot paths use
+// INTERCOM_CHECK / INTERCOM_REQUIRE which compile to a branch + cold throw.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace intercom {
+
+/// Exception type thrown on any library error.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+/// Throws intercom::Error with a formatted location-tagged message.
+[[noreturn]] void throw_error(const char* file, int line, const char* expr,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace intercom
+
+/// Validates a user-facing precondition; throws intercom::Error on failure.
+#define INTERCOM_REQUIRE(expr, message)                                     \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::intercom::detail::throw_error(__FILE__, __LINE__, #expr, (message)); \
+    }                                                                       \
+  } while (false)
+
+/// Validates an internal invariant; throws intercom::Error on failure.
+#define INTERCOM_CHECK(expr)                                                 \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::intercom::detail::throw_error(__FILE__, __LINE__, #expr,             \
+                                      "internal invariant violated");        \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,44 @@
+// Integer factorization utilities.
+//
+// Hybrid collective algorithms view a p-node linear array as a logical
+// d1 x ... x dk mesh; enumerating candidate hybrids requires enumerating
+// ordered factorizations of p.  The paper (Section 6) notes the "heavy
+// dependence on the integer factorization of the dimensions of the physical
+// mesh"; these helpers are the root of that machinery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace intercom {
+
+/// Prime factors of n in nondecreasing order (with multiplicity).
+/// n == 1 yields an empty vector.  Requires n >= 1.
+std::vector<std::int64_t> prime_factors(std::int64_t n);
+
+/// All divisors of n in increasing order (including 1 and n).  Requires n >= 1.
+std::vector<std::int64_t> divisors(std::int64_t n);
+
+/// All *ordered* factorizations of n into exactly k factors, each >= min_factor.
+/// Example: ordered_factorizations(12, 2, 2) = {{2,6},{3,4},{4,3},{6,2}}.
+std::vector<std::vector<std::int64_t>> ordered_factorizations(
+    std::int64_t n, int k, std::int64_t min_factor = 2);
+
+/// All ordered factorizations of n into between 1 and max_k factors, each
+/// >= min_factor.  The 1-factor case {n} is always included (if n >= min_factor).
+std::vector<std::vector<std::int64_t>> all_ordered_factorizations(
+    std::int64_t n, int max_k, std::int64_t min_factor = 2);
+
+/// ceil(log2(n)) for n >= 1; the number of MST (recursive-halving) steps on
+/// an n-node range.
+int ceil_log2(std::int64_t n);
+
+/// true iff n is a power of two (n >= 1).
+bool is_power_of_two(std::int64_t n);
+
+/// Ceiling division for nonnegative a and positive b.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace intercom

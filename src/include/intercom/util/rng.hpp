@@ -1,0 +1,34 @@
+// Deterministic pseudo-random numbers for tests, workload generators and the
+// simulator's timing-jitter injection (Section 8 of the paper attributes the
+// practical loss of "theoretically optimal" pipelined algorithms to timing
+// irregularities of real operating systems; we reproduce that with controlled
+// jitter).
+#pragma once
+
+#include <cstdint>
+
+namespace intercom {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit generator with reproducible
+/// streams.  Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace intercom

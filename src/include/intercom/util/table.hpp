@@ -1,0 +1,43 @@
+// Plain-text table and CSV emission used by the benchmark harnesses to print
+// paper-style tables (Table 2, Table 3) and figure series (Fig. 2, Fig. 4).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace intercom {
+
+/// Accumulates rows of strings and renders them as an aligned text table or
+/// as CSV.  Column count is fixed by the header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with aligned columns to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders the table as CSV (no quoting of commas; callers must not embed
+  /// commas in cells) to `os`.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds with engineering-style precision ("1.30e-03" style is
+/// avoided for small tables; we print 4 significant digits).
+std::string format_seconds(double seconds);
+
+/// Formats a byte count as a human-readable label: 8 -> "8", 65536 -> "64K",
+/// 1048576 -> "1M".
+std::string format_bytes(std::size_t bytes);
+
+}  // namespace intercom

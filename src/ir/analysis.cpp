@@ -1,0 +1,120 @@
+#include "intercom/ir/analysis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+
+// Abstract execution cursor carrying the zero-contention completion time and
+// the startup (alpha) depth of the node's chain.
+struct Cursor {
+  const NodeProgram* prog = nullptr;
+  std::size_t pc = 0;
+  bool send_done = false;
+  bool recv_done = false;
+  double time = 0.0;
+  int depth = 0;
+  // Finish time/depth of the halves of the current op.
+  double send_finish = 0.0;
+  double recv_finish = 0.0;
+  int send_depth = 0;
+  int recv_depth = 0;
+
+  bool done() const { return pc >= prog->ops.size(); }
+  const Op& op() const { return prog->ops[pc]; }
+  bool op_complete() const {
+    const Op& o = op();
+    return (!o.has_send() || send_done) && (!o.has_recv() || recv_done);
+  }
+  void finish_op() {
+    const Op& o = op();
+    if (o.has_send()) {
+      time = std::max(time, send_finish);
+      depth = std::max(depth, send_depth);
+    }
+    if (o.has_recv()) {
+      time = std::max(time, recv_finish);
+      depth = std::max(depth, recv_depth);
+    }
+    ++pc;
+    send_done = recv_done = false;
+  }
+};
+
+}  // namespace
+
+ScheduleStats analyze(const Schedule& schedule, const MachineParams& params) {
+  ScheduleStats stats;
+  std::unordered_map<int, Cursor> cursors;
+  for (const auto& prog : schedule.programs()) {
+    cursors[prog.node] = Cursor{&prog};
+    stats.max_node_ops = std::max(stats.max_node_ops, prog.ops.size());
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& [node, cur] : cursors) {
+      while (!cur.done()) {
+        const Op& op = cur.op();
+        if (op.kind == OpKind::kCopy) {
+          ++cur.pc;
+          progress = true;
+          continue;
+        }
+        if (op.kind == OpKind::kCombine) {
+          cur.time += static_cast<double>(op.src.bytes) * params.gamma;
+          stats.combine_bytes += op.src.bytes;
+          ++cur.pc;
+          progress = true;
+          continue;
+        }
+        if (op.has_send() && !cur.send_done) {
+          auto peer_it = cursors.find(op.peer);
+          if (peer_it != cursors.end() && !peer_it->second.done()) {
+            Cursor& peer = peer_it->second;
+            const Op& pop = peer.op();
+            if (pop.has_recv() && !peer.recv_done && pop.recv_peer() == node &&
+                pop.recv_tag() == op.tag && pop.dst.bytes == op.src.bytes) {
+              const double start = std::max(cur.time, peer.time);
+              const double finish =
+                  start + params.alpha +
+                  static_cast<double>(op.src.bytes) * params.beta;
+              const int depth = std::max(cur.depth, peer.depth) + 1;
+              cur.send_done = true;
+              cur.send_finish = finish;
+              cur.send_depth = depth;
+              peer.recv_done = true;
+              peer.recv_finish = finish;
+              peer.recv_depth = depth;
+              ++stats.transfers;
+              stats.bytes_moved += op.src.bytes;
+              if (peer.op_complete()) peer.finish_op();
+              progress = true;
+            }
+          }
+        }
+        if (cur.op_complete()) {
+          cur.finish_op();
+          progress = true;
+          continue;
+        }
+        break;
+      }
+    }
+  }
+  for (const auto& [node, cur] : cursors) {
+    INTERCOM_REQUIRE(cur.done(), "analysis deadlocked at node " +
+                                     std::to_string(node) + "; run validate()");
+    stats.critical_seconds = std::max(stats.critical_seconds, cur.time);
+    stats.alpha_depth = std::max(stats.alpha_depth, cur.depth);
+  }
+  stats.critical_seconds +=
+      schedule.levels() * params.per_level_overhead;
+  return stats;
+}
+
+}  // namespace intercom

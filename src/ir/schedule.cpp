@@ -1,0 +1,197 @@
+#include "intercom/ir/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+Op Op::send(int peer, BufSlice src, int tag) {
+  Op op;
+  op.kind = OpKind::kSend;
+  op.peer = peer;
+  op.tag = tag;
+  op.src = src;
+  return op;
+}
+
+Op Op::recv(int peer, BufSlice dst, int tag) {
+  Op op;
+  op.kind = OpKind::kRecv;
+  op.peer = peer;
+  op.tag = tag;
+  op.dst = dst;
+  return op;
+}
+
+Op Op::sendrecv(int send_peer, BufSlice src, int send_tag, int recv_peer,
+                BufSlice dst, int recv_tag) {
+  Op op;
+  op.kind = OpKind::kSendRecv;
+  op.peer = send_peer;
+  op.tag = send_tag;
+  op.peer2 = recv_peer;
+  op.tag2 = recv_tag;
+  op.src = src;
+  op.dst = dst;
+  return op;
+}
+
+Op Op::combine(BufSlice src, BufSlice dst) {
+  INTERCOM_REQUIRE(src.bytes == dst.bytes,
+                   "combine source and destination must have equal length");
+  Op op;
+  op.kind = OpKind::kCombine;
+  op.src = src;
+  op.dst = dst;
+  return op;
+}
+
+Op Op::copy(BufSlice src, BufSlice dst) {
+  INTERCOM_REQUIRE(src.bytes == dst.bytes,
+                   "copy source and destination must have equal length");
+  Op op;
+  op.kind = OpKind::kCopy;
+  op.src = src;
+  op.dst = dst;
+  return op;
+}
+
+NodeProgram& Schedule::program(int node) {
+  INTERCOM_REQUIRE(node >= 0, "node id must be nonnegative");
+  auto it = index_.find(node);
+  if (it != index_.end()) return programs_[it->second];
+  index_.emplace(node, programs_.size());
+  NodeProgram prog;
+  prog.node = node;
+  programs_.push_back(std::move(prog));
+  return programs_.back();
+}
+
+const NodeProgram* Schedule::find_program(int node) const {
+  auto it = index_.find(node);
+  return it == index_.end() ? nullptr : &programs_[it->second];
+}
+
+std::size_t Schedule::total_sends() const {
+  std::size_t n = 0;
+  for (const auto& prog : programs_) {
+    for (const auto& op : prog.ops) {
+      if (op.has_send()) ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t Schedule::total_bytes_sent() const {
+  std::size_t n = 0;
+  for (const auto& prog : programs_) {
+    for (const auto& op : prog.ops) {
+      if (op.has_send()) n += op.src.bytes;
+    }
+  }
+  return n;
+}
+
+void Schedule::reserve_slice(int node, const BufSlice& slice) {
+  INTERCOM_REQUIRE(slice.buffer >= 0, "buffer id must be nonnegative");
+  auto& prog = program(node);
+  auto needed = static_cast<std::size_t>(slice.buffer) + 1;
+  if (prog.buffer_bytes.size() < needed) prog.buffer_bytes.resize(needed, 0);
+  prog.buffer_bytes[static_cast<std::size_t>(slice.buffer)] =
+      std::max(prog.buffer_bytes[static_cast<std::size_t>(slice.buffer)],
+               slice.offset + slice.bytes);
+}
+
+void Schedule::add_transfer(int from, int to, const BufSlice& src,
+                            const BufSlice& dst) {
+  INTERCOM_REQUIRE(from != to, "transfer endpoints must differ");
+  INTERCOM_REQUIRE(src.bytes == dst.bytes,
+                   "transfer source and destination must have equal length");
+  const int tag = fresh_tag();
+  reserve_slice(from, src);
+  reserve_slice(to, dst);
+  program(from).ops.push_back(Op::send(to, src, tag));
+  program(to).ops.push_back(Op::recv(from, dst, tag));
+}
+
+Schedule merge_schedules(std::vector<Schedule> parts) {
+  Schedule merged;
+  std::string algorithm;
+  int levels = 0;
+  for (Schedule& part : parts) {
+    if (!algorithm.empty()) algorithm += " + ";
+    algorithm += part.algorithm();
+    levels = std::max(levels, part.levels());
+    for (const NodeProgram& prog : part.programs()) {
+      NodeProgram& dst = merged.program(prog.node);
+      dst.ops.insert(dst.ops.end(), prog.ops.begin(), prog.ops.end());
+      if (dst.buffer_bytes.size() < prog.buffer_bytes.size()) {
+        dst.buffer_bytes.resize(prog.buffer_bytes.size(), 0);
+      }
+      for (std::size_t b = 0; b < prog.buffer_bytes.size(); ++b) {
+        dst.buffer_bytes[b] = std::max(dst.buffer_bytes[b],
+                                       prog.buffer_bytes[b]);
+      }
+    }
+  }
+  merged.set_algorithm(algorithm);
+  merged.set_levels(levels);
+  return merged;
+}
+
+std::string to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSend:
+      return "send";
+    case OpKind::kRecv:
+      return "recv";
+    case OpKind::kSendRecv:
+      return "sendrecv";
+    case OpKind::kCombine:
+      return "combine";
+    case OpKind::kCopy:
+      return "copy";
+  }
+  return "?";
+}
+
+std::string to_string(const Schedule& schedule) {
+  std::ostringstream os;
+  os << "schedule " << schedule.algorithm() << " (levels="
+     << schedule.levels() << ")\n";
+  for (const auto& prog : schedule.programs()) {
+    os << "  node " << prog.node << ":\n";
+    for (const auto& op : prog.ops) {
+      os << "    " << to_string(op.kind);
+      switch (op.kind) {
+        case OpKind::kSend:
+          os << " to " << op.peer << " tag " << op.tag << " buf" << op.src.buffer
+             << "[" << op.src.offset << "+" << op.src.bytes << "]";
+          break;
+        case OpKind::kRecv:
+          os << " from " << op.peer << " tag " << op.tag << " buf"
+             << op.dst.buffer << "[" << op.dst.offset << "+" << op.dst.bytes
+             << "]";
+          break;
+        case OpKind::kSendRecv:
+          os << " to " << op.peer << " tag " << op.tag << " buf" << op.src.buffer
+             << "[" << op.src.offset << "+" << op.src.bytes << "] / from "
+             << op.peer2 << " tag " << op.tag2 << " buf" << op.dst.buffer << "["
+             << op.dst.offset << "+" << op.dst.bytes << "]";
+          break;
+        case OpKind::kCombine:
+        case OpKind::kCopy:
+          os << " buf" << op.src.buffer << "[" << op.src.offset << "+"
+             << op.src.bytes << "] -> buf" << op.dst.buffer << "["
+             << op.dst.offset << "+" << op.dst.bytes << "]";
+          break;
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace intercom

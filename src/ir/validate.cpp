@@ -1,0 +1,196 @@
+#include "intercom/ir/validate.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+std::string ValidationResult::message() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) os << '\n';
+    os << errors[i];
+  }
+  return os.str();
+}
+
+namespace {
+
+void check_slice(const NodeProgram& prog, const BufSlice& slice,
+                 const char* role, std::size_t op_index,
+                 std::vector<std::string>& errors) {
+  std::ostringstream os;
+  if (slice.buffer < 0 ||
+      static_cast<std::size_t>(slice.buffer) >= prog.buffer_bytes.size()) {
+    os << "node " << prog.node << " op " << op_index << ": " << role
+       << " references undeclared buffer " << slice.buffer;
+    errors.push_back(os.str());
+    return;
+  }
+  const std::size_t cap =
+      prog.buffer_bytes[static_cast<std::size_t>(slice.buffer)];
+  if (slice.offset + slice.bytes > cap) {
+    os << "node " << prog.node << " op " << op_index << ": " << role
+       << " slice [" << slice.offset << "+" << slice.bytes
+       << "] exceeds buffer " << slice.buffer << " size " << cap;
+    errors.push_back(os.str());
+  }
+}
+
+// Per-node execution cursor during the rendezvous simulation.  An op with
+// both halves (kSendRecv) advances only when both have matched.
+struct Cursor {
+  const NodeProgram* prog = nullptr;
+  std::size_t pc = 0;
+  bool send_done = false;
+  bool recv_done = false;
+
+  bool done() const { return pc >= prog->ops.size(); }
+  const Op& op() const { return prog->ops[pc]; }
+
+  // True when every half of the current op has completed.
+  bool op_complete() const {
+    const Op& o = op();
+    const bool need_send = o.has_send();
+    const bool need_recv = o.has_recv();
+    return (!need_send || send_done) && (!need_recv || recv_done);
+  }
+
+  void advance() {
+    ++pc;
+    send_done = false;
+    recv_done = false;
+  }
+};
+
+}  // namespace
+
+ValidationResult validate(const Schedule& schedule) {
+  ValidationResult result;
+  auto& errors = result.errors;
+
+  // Pass 1: per-op structural checks.
+  for (const auto& prog : schedule.programs()) {
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+      const Op& op = prog.ops[i];
+      std::ostringstream os;
+      if (op.has_send()) {
+        if (op.peer == prog.node || op.peer < 0) {
+          os << "node " << prog.node << " op " << i << ": bad send peer "
+             << op.peer;
+          errors.push_back(os.str());
+          os.str("");
+        }
+        if (op.src.bytes == 0) {
+          os << "node " << prog.node << " op " << i << ": zero-length send";
+          errors.push_back(os.str());
+          os.str("");
+        }
+        check_slice(prog, op.src, "send source", i, errors);
+      }
+      if (op.has_recv()) {
+        if (op.recv_peer() == prog.node || op.recv_peer() < 0) {
+          os << "node " << prog.node << " op " << i << ": bad recv peer "
+             << op.recv_peer();
+          errors.push_back(os.str());
+          os.str("");
+        }
+        if (op.dst.bytes == 0) {
+          os << "node " << prog.node << " op " << i << ": zero-length recv";
+          errors.push_back(os.str());
+          os.str("");
+        }
+        check_slice(prog, op.dst, "recv destination", i, errors);
+      }
+      if (op.kind == OpKind::kCombine || op.kind == OpKind::kCopy) {
+        if (op.src.bytes != op.dst.bytes) {
+          os << "node " << prog.node << " op " << i
+             << ": src/dst length mismatch";
+          errors.push_back(os.str());
+          os.str("");
+        }
+        check_slice(prog, op.src, "local source", i, errors);
+        check_slice(prog, op.dst, "local destination", i, errors);
+      }
+    }
+  }
+  if (!errors.empty()) {
+    result.ok = false;
+    return result;
+  }
+
+  // Pass 2: rendezvous execution with half-op matching.  A pending send half
+  // at node a targeting node b fires when b's current op has a pending recv
+  // half expecting a with the same tag and length; both halves complete
+  // together.  Local ops always fire.  Termination with unexecuted ops is a
+  // deadlock (or an unmatched transfer), reported per blocked node.
+  std::unordered_map<int, Cursor> cursors;
+  for (const auto& prog : schedule.programs()) {
+    cursors[prog.node] = Cursor{&prog, 0, false, false};
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& [node, cur] : cursors) {
+      while (!cur.done()) {
+        const Op& op = cur.op();
+        if (op.kind == OpKind::kCombine || op.kind == OpKind::kCopy) {
+          cur.advance();
+          progress = true;
+          continue;
+        }
+        // Try to complete the pending send half against the peer's cursor.
+        if (op.has_send() && !cur.send_done) {
+          auto peer_it = cursors.find(op.peer);
+          if (peer_it != cursors.end() && !peer_it->second.done()) {
+            Cursor& peer = peer_it->second;
+            const Op& pop = peer.op();
+            if (pop.has_recv() && !peer.recv_done && pop.recv_peer() == node &&
+                pop.recv_tag() == op.tag && pop.dst.bytes == op.src.bytes) {
+              cur.send_done = true;
+              peer.recv_done = true;
+              if (peer.op_complete()) peer.advance();
+              progress = true;
+            }
+          }
+        }
+        if (cur.op_complete()) {
+          cur.advance();
+          progress = true;
+          continue;
+        }
+        break;  // blocked
+      }
+    }
+  }
+  for (const auto& [node, cur] : cursors) {
+    if (cur.done()) continue;
+    const Op& op = cur.op();
+    std::ostringstream os;
+    os << "deadlock: node " << node << " blocked at op " << cur.pc << " ("
+       << to_string(op.kind);
+    if (op.has_send() && !cur.send_done) {
+      os << " send->" << op.peer << " tag " << op.tag << " len "
+         << op.src.bytes;
+    }
+    if (op.has_recv() && !cur.recv_done) {
+      os << " recv<-" << op.recv_peer() << " tag " << op.recv_tag() << " len "
+         << op.dst.bytes;
+    }
+    os << ")";
+    errors.push_back(os.str());
+  }
+
+  result.ok = errors.empty();
+  return result;
+}
+
+void validate_or_throw(const Schedule& schedule) {
+  auto result = validate(schedule);
+  INTERCOM_REQUIRE(result.ok, "invalid schedule for " + schedule.algorithm() +
+                                  ":\n" + result.message());
+}
+
+}  // namespace intercom

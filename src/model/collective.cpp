@@ -1,0 +1,28 @@
+#include "intercom/collective.hpp"
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+std::string to_string(Collective collective) {
+  switch (collective) {
+    case Collective::kBroadcast:
+      return "broadcast";
+    case Collective::kScatter:
+      return "scatter";
+    case Collective::kGather:
+      return "gather";
+    case Collective::kCollect:
+      return "collect";
+    case Collective::kCombineToOne:
+      return "combine-to-one";
+    case Collective::kCombineToAll:
+      return "combine-to-all";
+    case Collective::kDistributedCombine:
+      return "distributed-combine";
+  }
+  INTERCOM_REQUIRE(false, "unknown collective");
+  return {};
+}
+
+}  // namespace intercom

@@ -1,0 +1,33 @@
+#include "intercom/model/cost.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace intercom {
+
+double Cost::seconds(const MachineParams& params) const {
+  return alpha_terms * params.alpha + beta_bytes * params.beta +
+         gamma_bytes * params.gamma + levels * params.per_level_overhead;
+}
+
+Cost& Cost::operator+=(const Cost& other) {
+  alpha_terms += other.alpha_terms;
+  beta_bytes += other.beta_bytes;
+  gamma_bytes += other.gamma_bytes;
+  levels += other.levels;
+  return *this;
+}
+
+std::string Cost::to_string(double normalize_bytes) const {
+  std::ostringstream os;
+  os << std::setprecision(4) << std::defaultfloat;
+  os << alpha_terms << "a";
+  const double scale = normalize_bytes > 0.0 ? normalize_bytes : 1.0;
+  os << " + " << beta_bytes / scale << (normalize_bytes > 0.0 ? "nb" : "b");
+  if (gamma_bytes != 0.0) {
+    os << " + " << gamma_bytes / scale << (normalize_bytes > 0.0 ? "ng" : "g");
+  }
+  return os.str();
+}
+
+}  // namespace intercom

@@ -1,0 +1,179 @@
+#include "intercom/model/hybrid_costs.hpp"
+
+#include <cstddef>
+
+#include "intercom/model/primitive_costs.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+
+using costs::bucket_collect;
+using costs::bucket_distributed_combine;
+using costs::mst_broadcast;
+using costs::mst_combine_to_one;
+using costs::mst_gather;
+using costs::mst_scatter;
+
+// Per-stage live vector length and conflict factor (see file comment of the
+// header).  Stage indices are 0-based here; stage s corresponds to the
+// paper's dimension s+1.
+struct StageInfo {
+  double nbytes = 0.0;
+  double conflict = 1.0;
+};
+
+StageInfo stage_info(const HybridStrategy& s, std::size_t stage,
+                     double nbytes) {
+  double divisor = 1.0;
+  for (std::size_t j = 0; j < stage; ++j) divisor *= s.dims[j];
+  StageInfo info;
+  info.nbytes = nbytes / divisor;
+  if (!s.mesh_aligned) {
+    // Linear array: stage-i groups are strided by the product of the earlier
+    // dimensions, so that many groups interleave over the same links.
+    info.conflict = divisor;
+  } else if (stage == 0) {
+    // Mesh-aligned: stage 1 runs within physical rows (contiguous, disjoint).
+    info.conflict = 1.0;
+  } else {
+    // Later stages run within physical columns; only the interleave *within*
+    // a column (the product of the earlier column dimensions) shares links.
+    double col_divisor = 1.0;
+    for (std::size_t j = 1; j < stage; ++j) col_divisor *= s.dims[j];
+    info.conflict = col_divisor;
+  }
+  return info;
+}
+
+// Broadcast-shaped hybrids (root-based: distribute going in, reassemble
+// going out).  `stage1` and `stage2` are the collective's long-vector
+// primitives; `inner_short` its short-vector algorithm.
+template <typename Stage1Fn, typename InnerFn, typename Stage2Fn>
+Cost in_out_hybrid(const HybridStrategy& s, double nbytes, Stage1Fn stage1,
+                   InnerFn inner_short, Stage2Fn stage2) {
+  const std::size_t k = s.dims.size();
+  Cost total;
+  if (s.inner == InnerAlg::kShortVector) {
+    for (std::size_t i = 0; i + 1 < k; ++i) {
+      StageInfo si = stage_info(s, i, nbytes);
+      total += stage1(s.dims[i], si.nbytes, si.conflict);
+    }
+    StageInfo si = stage_info(s, k - 1, nbytes);
+    total += inner_short(s.dims[k - 1], si.nbytes, si.conflict);
+    for (std::size_t i = k - 1; i-- > 0;) {
+      StageInfo so = stage_info(s, i, nbytes);
+      total += stage2(s.dims[i], so.nbytes, so.conflict);
+    }
+  } else {
+    for (std::size_t i = 0; i < k; ++i) {
+      StageInfo si = stage_info(s, i, nbytes);
+      total += stage1(s.dims[i], si.nbytes, si.conflict);
+    }
+    for (std::size_t i = k; i-- > 0;) {
+      StageInfo so = stage_info(s, i, nbytes);
+      total += stage2(s.dims[i], so.nbytes, so.conflict);
+    }
+  }
+  return total;
+}
+
+// Collect-shaped hybrids: stage i (i = 1..k) collects within groups of size
+// d_i strided by d_1*...*d_{i-1}; each member enters the stage holding the
+// contiguous run it assembled in the previous stage, so the live vector
+// *grows* stage by stage: after stage i it is n * (d_1*...*d_i) / p.  The
+// dims = {c, r} mesh-aligned case is the paper's Section 7.1 whole-mesh
+// collect with (r + c - 2) alpha latency.
+Cost collect_hybrid(const HybridStrategy& s, double nbytes) {
+  const std::size_t k = s.dims.size();
+  const double p = s.node_count();
+  Cost total;
+  double cum = 1.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double conflict = stage_info(s, i, nbytes).conflict;
+    cum *= s.dims[i];
+    const double result_bytes = nbytes * cum / p;
+    if (i == 0 && s.inner == InnerAlg::kShortVector) {
+      // Short-vector collect: gather followed by MST broadcast (Section 5.1).
+      total += mst_gather(s.dims[i], result_bytes, conflict);
+      total += mst_broadcast(s.dims[i], result_bytes, conflict);
+    } else {
+      total += bucket_collect(s.dims[i], result_bytes, conflict);
+    }
+  }
+  return total;
+}
+
+// Reduce-scatter-shaped hybrids: the exact mirror of collect_hybrid — stages
+// run outermost first and the live vector *shrinks* stage by stage.
+Cost distributed_combine_hybrid(const HybridStrategy& s, double nbytes) {
+  const std::size_t k = s.dims.size();
+  const double p = s.node_count();
+  Cost total;
+  for (std::size_t i = k; i-- > 0;) {
+    const double conflict = stage_info(s, i, nbytes).conflict;
+    double cum = 1.0;
+    for (std::size_t j = 0; j <= i; ++j) cum *= s.dims[j];
+    const double stage_bytes = nbytes * cum / p;
+    if (i == 0 && s.inner == InnerAlg::kShortVector) {
+      // Short-vector distributed combine: combine-to-one then scatter.
+      total += mst_combine_to_one(s.dims[i], stage_bytes, conflict);
+      total += mst_scatter(s.dims[i], stage_bytes, conflict);
+    } else {
+      total += bucket_distributed_combine(s.dims[i], stage_bytes, conflict);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+Cost hybrid_cost(Collective collective, const HybridStrategy& strategy,
+                 double nbytes) {
+  INTERCOM_REQUIRE(!strategy.dims.empty(), "strategy must have dimensions");
+  for (int d : strategy.dims) {
+    INTERCOM_REQUIRE(d >= 1, "strategy dimensions must be positive");
+  }
+  const int p = strategy.node_count();
+  switch (collective) {
+    case Collective::kBroadcast:
+      return in_out_hybrid(
+          strategy, nbytes,
+          [](int d, double n, double c) { return mst_scatter(d, n, c); },
+          [](int d, double n, double c) { return mst_broadcast(d, n, c); },
+          [](int d, double n, double c) { return bucket_collect(d, n, c); });
+    case Collective::kCombineToOne:
+      return in_out_hybrid(
+          strategy, nbytes,
+          [](int d, double n, double c) {
+            return bucket_distributed_combine(d, n, c);
+          },
+          [](int d, double n, double c) {
+            return mst_combine_to_one(d, n, c);
+          },
+          [](int d, double n, double c) { return mst_gather(d, n, c); });
+    case Collective::kCombineToAll:
+      return in_out_hybrid(
+          strategy, nbytes,
+          [](int d, double n, double c) {
+            return bucket_distributed_combine(d, n, c);
+          },
+          [](int d, double n, double c) {
+            return mst_combine_to_one(d, n, c) + mst_broadcast(d, n, c);
+          },
+          [](int d, double n, double c) { return bucket_collect(d, n, c); });
+    case Collective::kCollect:
+      return collect_hybrid(strategy, nbytes);
+    case Collective::kDistributedCombine:
+      return distributed_combine_hybrid(strategy, nbytes);
+    case Collective::kScatter:
+      return mst_scatter(p, nbytes);
+    case Collective::kGather:
+      return mst_gather(p, nbytes);
+  }
+  INTERCOM_REQUIRE(false, "unknown collective");
+  return {};
+}
+
+}  // namespace intercom

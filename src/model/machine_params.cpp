@@ -1,0 +1,47 @@
+#include "intercom/model/machine_params.hpp"
+
+namespace intercom {
+
+MachineParams MachineParams::unit() {
+  return MachineParams{1.0, 1.0, 1.0, 1.0, 0.0};
+}
+
+MachineParams MachineParams::paragon() {
+  MachineParams p;
+  p.alpha = 140e-6;
+  p.beta = 35e-9;
+  p.gamma = 25e-9;
+  p.link_capacity = 2.0;
+  p.per_level_overhead = 15e-6;
+  return p;
+}
+
+MachineParams MachineParams::ipsc860() {
+  MachineParams p;
+  p.alpha = 75e-6;
+  p.beta = 360e-9;  // ~2.8 MB/s links
+  p.gamma = 80e-9;
+  p.link_capacity = 1.0;
+  p.per_level_overhead = 10e-6;
+  return p;
+}
+
+MachineParams MachineParams::sunmos() {
+  MachineParams p = paragon();
+  p.alpha = 25e-6;             // lightweight-kernel message latency
+  p.beta = 6e-9;               // ~170 MB/s effective under SUNMOS
+  p.per_level_overhead = 3e-6;
+  return p;
+}
+
+MachineParams MachineParams::delta() {
+  MachineParams p;
+  p.alpha = 160e-6;
+  p.beta = 125e-9;  // ~8 MB/s point-to-point on the Delta
+  p.gamma = 60e-9;
+  p.link_capacity = 1.0;
+  p.per_level_overhead = 15e-6;
+  return p;
+}
+
+}  // namespace intercom

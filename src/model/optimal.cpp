@@ -1,0 +1,142 @@
+#include "intercom/model/optimal.hpp"
+
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "intercom/model/primitive_costs.hpp"
+#include "intercom/util/error.hpp"
+#include "intercom/util/factorization.hpp"
+
+namespace intercom {
+
+namespace {
+
+using costs::bucket_collect;
+using costs::bucket_distributed_combine;
+using costs::mst_broadcast;
+using costs::mst_combine_to_one;
+using costs::mst_gather;
+using costs::mst_scatter;
+
+// Stage cost callbacks specializing the DP per collective.
+struct StageSet {
+  // Long-vector stage-1 primitive within groups of d (live n bytes,
+  // conflict c) and its matching stage-2 primitive.
+  std::function<Cost(int, double, double)> stage1;
+  std::function<Cost(int, double, double)> stage2;
+  // Whole-(sub)group short-vector algorithm and long-vector pair.
+  std::function<Cost(int, double, double)> inner_short;
+  std::function<Cost(int, double, double)> inner_pair;
+};
+
+struct Partial {
+  Cost cost;
+  double seconds = 0.0;
+  std::vector<int> dims;
+  InnerAlg inner = InnerAlg::kShortVector;
+};
+
+class Dp {
+ public:
+  Dp(const StageSet& stages, const MachineParams& params, double n0)
+      : stages_(stages), params_(params), n0_(n0) {}
+
+  Partial solve(int p, std::int64_t c) {
+    const auto key = std::make_pair(p, c);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    const double n = n0_ / static_cast<double>(c);
+    const double cd = static_cast<double>(c);
+
+    Partial best;
+    best.cost = stages_.inner_short(p, n, cd);
+    best.seconds = best.cost.seconds(params_);
+    best.dims = {p};
+    best.inner = InnerAlg::kShortVector;
+    if (p > 1) {
+      const Cost pair = stages_.inner_pair(p, n, cd);
+      const double pair_s = pair.seconds(params_);
+      if (pair_s < best.seconds) {
+        best = Partial{pair, pair_s, {p}, InnerAlg::kScatterCollect};
+      }
+      for (std::int64_t d64 : divisors(p)) {
+        const int d = static_cast<int>(d64);
+        if (d < 2 || d >= p) continue;
+        const Cost s1 = stages_.stage1(d, n, cd);
+        const Cost s2 = stages_.stage2(d, n, cd);
+        const Partial sub = solve(p / d, c * d);
+        const Cost total = s1 + sub.cost + s2;
+        const double total_s = total.seconds(params_);
+        if (total_s < best.seconds) {
+          best.cost = total;
+          best.seconds = total_s;
+          best.dims.assign(1, d);
+          best.dims.insert(best.dims.end(), sub.dims.begin(), sub.dims.end());
+          best.inner = sub.inner;
+        }
+      }
+    }
+    memo_.emplace(key, best);
+    return best;
+  }
+
+ private:
+  const StageSet& stages_;
+  const MachineParams& params_;
+  double n0_;
+  std::map<std::pair<int, std::int64_t>, Partial> memo_;
+};
+
+OptimalHybrid run_dp(const StageSet& stages, int p, double nbytes,
+                     const MachineParams& params) {
+  INTERCOM_REQUIRE(p >= 1, "group size must be at least 1");
+  INTERCOM_REQUIRE(nbytes >= 0.0, "vector length must be nonnegative");
+  Dp dp(stages, params, nbytes);
+  const Partial best = dp.solve(p, 1);
+  OptimalHybrid result;
+  result.strategy = HybridStrategy{best.dims, best.inner, false};
+  result.cost = best.cost;
+  result.seconds = best.seconds;
+  return result;
+}
+
+}  // namespace
+
+OptimalHybrid optimal_broadcast_hybrid(int p, double nbytes,
+                                       const MachineParams& params) {
+  StageSet stages;
+  stages.stage1 = [](int d, double n, double c) {
+    return mst_scatter(d, n, c);
+  };
+  stages.stage2 = [](int d, double n, double c) {
+    return bucket_collect(d, n, c);
+  };
+  stages.inner_short = [](int d, double n, double c) {
+    return mst_broadcast(d, n, c);
+  };
+  stages.inner_pair = [](int d, double n, double c) {
+    return mst_scatter(d, n, c) + bucket_collect(d, n, c);
+  };
+  return run_dp(stages, p, nbytes, params);
+}
+
+OptimalHybrid optimal_combine_to_all_hybrid(int p, double nbytes,
+                                            const MachineParams& params) {
+  StageSet stages;
+  stages.stage1 = [](int d, double n, double c) {
+    return bucket_distributed_combine(d, n, c);
+  };
+  stages.stage2 = [](int d, double n, double c) {
+    return bucket_collect(d, n, c);
+  };
+  stages.inner_short = [](int d, double n, double c) {
+    return mst_combine_to_one(d, n, c) + mst_broadcast(d, n, c);
+  };
+  stages.inner_pair = [](int d, double n, double c) {
+    return bucket_distributed_combine(d, n, c) + bucket_collect(d, n, c);
+  };
+  return run_dp(stages, p, nbytes, params);
+}
+
+}  // namespace intercom

@@ -1,0 +1,96 @@
+#include "intercom/model/primitive_costs.hpp"
+
+#include "intercom/util/error.hpp"
+#include "intercom/util/factorization.hpp"
+
+namespace intercom::costs {
+
+namespace {
+void check_args(int d, double nbytes) {
+  INTERCOM_REQUIRE(d >= 1, "group size must be at least 1");
+  INTERCOM_REQUIRE(nbytes >= 0.0, "vector length must be nonnegative");
+}
+}  // namespace
+
+Cost mst_broadcast(int d, double nbytes, double conflict) {
+  check_args(d, nbytes);
+  const double steps = ceil_log2(d);
+  return Cost{steps, steps * nbytes * conflict, 0.0, steps};
+}
+
+Cost mst_combine_to_one(int d, double nbytes, double conflict) {
+  check_args(d, nbytes);
+  const double steps = ceil_log2(d);
+  return Cost{steps, steps * nbytes * conflict, steps * nbytes, steps};
+}
+
+Cost mst_scatter(int d, double nbytes, double conflict) {
+  check_args(d, nbytes);
+  const double steps = ceil_log2(d);
+  const double frac = d > 1 ? static_cast<double>(d - 1) / d : 0.0;
+  return Cost{steps, frac * nbytes * conflict, 0.0, steps};
+}
+
+Cost mst_gather(int d, double nbytes, double conflict) {
+  return mst_scatter(d, nbytes, conflict);
+}
+
+Cost bucket_collect(int d, double nbytes, double conflict, int latency_steps) {
+  check_args(d, nbytes);
+  const double steps = latency_steps >= 0 ? latency_steps : d - 1;
+  const double frac = d > 1 ? static_cast<double>(d - 1) / d : 0.0;
+  return Cost{steps, frac * nbytes * conflict, 0.0, 1.0};
+}
+
+Cost bucket_distributed_combine(int d, double nbytes, double conflict,
+                                int latency_steps) {
+  Cost c = bucket_collect(d, nbytes, conflict, latency_steps);
+  const double frac = d > 1 ? static_cast<double>(d - 1) / d : 0.0;
+  c.gamma_bytes = frac * nbytes;
+  return c;
+}
+
+Cost short_vector_cost(Collective collective, int d, double nbytes) {
+  switch (collective) {
+    case Collective::kBroadcast:
+      return mst_broadcast(d, nbytes);
+    case Collective::kScatter:
+      return mst_scatter(d, nbytes);
+    case Collective::kGather:
+      return mst_gather(d, nbytes);
+    case Collective::kCombineToOne:
+      return mst_combine_to_one(d, nbytes);
+    case Collective::kCollect:
+      // Gather followed by broadcast: 2*ceil(log p)*alpha + ~2*ceil(log p)*n*beta.
+      return mst_gather(d, nbytes) + mst_broadcast(d, nbytes);
+    case Collective::kDistributedCombine:
+      return mst_combine_to_one(d, nbytes) + mst_scatter(d, nbytes);
+    case Collective::kCombineToAll:
+      return mst_combine_to_one(d, nbytes) + mst_broadcast(d, nbytes);
+  }
+  INTERCOM_REQUIRE(false, "unknown collective");
+  return {};
+}
+
+Cost long_vector_cost(Collective collective, int d, double nbytes) {
+  switch (collective) {
+    case Collective::kBroadcast:
+      return mst_scatter(d, nbytes) + bucket_collect(d, nbytes);
+    case Collective::kScatter:
+      return mst_scatter(d, nbytes);
+    case Collective::kGather:
+      return mst_gather(d, nbytes);
+    case Collective::kCollect:
+      return bucket_collect(d, nbytes);
+    case Collective::kCombineToOne:
+      return bucket_distributed_combine(d, nbytes) + mst_gather(d, nbytes);
+    case Collective::kDistributedCombine:
+      return bucket_distributed_combine(d, nbytes);
+    case Collective::kCombineToAll:
+      return bucket_distributed_combine(d, nbytes) + bucket_collect(d, nbytes);
+  }
+  INTERCOM_REQUIRE(false, "unknown collective");
+  return {};
+}
+
+}  // namespace intercom::costs

@@ -1,0 +1,59 @@
+#include "intercom/model/strategy.hpp"
+
+#include <sstream>
+
+#include "intercom/util/error.hpp"
+#include "intercom/util/factorization.hpp"
+
+namespace intercom {
+
+int HybridStrategy::node_count() const {
+  int p = 1;
+  for (int d : dims) p *= d;
+  return p;
+}
+
+std::string HybridStrategy::label() const {
+  std::ostringstream os;
+  if (dims.size() == 1) {
+    os << "1x" << dims[0];
+  } else {
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      if (i > 0) os << 'x';
+      os << dims[i];
+    }
+  }
+  os << ',';
+  const std::size_t k = dims.size();
+  if (inner == InnerAlg::kShortVector) {
+    // S...S M C...C with k-1 scatters/collects.
+    for (std::size_t i = 0; i + 1 < k; ++i) os << 'S';
+    os << 'M';
+    for (std::size_t i = 0; i + 1 < k; ++i) os << 'C';
+  } else {
+    for (std::size_t i = 0; i < k; ++i) os << 'S';
+    for (std::size_t i = 0; i < k; ++i) os << 'C';
+  }
+  return os.str();
+}
+
+std::vector<HybridStrategy> enumerate_strategies(int p, int max_dims) {
+  INTERCOM_REQUIRE(p >= 1, "group size must be at least 1");
+  INTERCOM_REQUIRE(max_dims >= 1, "max_dims must be at least 1");
+  std::vector<HybridStrategy> out;
+  // Pure short-vector algorithm.
+  out.push_back(HybridStrategy{{p}, InnerAlg::kShortVector, false});
+  if (p == 1) return out;
+  // Pure long-vector algorithm.
+  out.push_back(HybridStrategy{{p}, InnerAlg::kScatterCollect, false});
+  // True hybrids over every ordered factorization with k >= 2 factors.
+  for (const auto& dims64 : all_ordered_factorizations(p, max_dims, 2)) {
+    if (dims64.size() < 2) continue;
+    std::vector<int> dims(dims64.begin(), dims64.end());
+    out.push_back(HybridStrategy{dims, InnerAlg::kShortVector, false});
+    out.push_back(HybridStrategy{dims, InnerAlg::kScatterCollect, false});
+  }
+  return out;
+}
+
+}  // namespace intercom

@@ -1,0 +1,229 @@
+#include "intercom/mpi/mpi.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom::mpi {
+
+namespace {
+
+std::span<std::byte> bytes_of(void* p, std::size_t n) {
+  return std::span<std::byte>(static_cast<std::byte*>(p), n);
+}
+
+// MPI semantics use distinct send/recv buffers; the library's collectives
+// are in-place over the full vector, so the veneer stages through a scratch
+// vector when needed.
+std::vector<std::byte> staged(const void* src, std::size_t nbytes) {
+  std::vector<std::byte> v(nbytes);
+  if (nbytes > 0 && src != nullptr) std::memcpy(v.data(), src, nbytes);
+  return v;
+}
+
+template <typename T>
+ReduceOp pick(ReduceKind op) {
+  switch (op) {
+    case ReduceKind::kSum:
+      return sum_op<T>();
+    case ReduceKind::kProd:
+      return prod_op<T>();
+    case ReduceKind::kMax:
+      return max_op<T>();
+    case ReduceKind::kMin:
+      return min_op<T>();
+  }
+  INTERCOM_REQUIRE(false, "unknown reduce kind");
+  return {};
+}
+
+}  // namespace
+
+std::size_t datatype_size(Datatype dt) {
+  switch (dt) {
+    case Datatype::kByte:
+      return 1;
+    case Datatype::kInt:
+      return sizeof(int);
+    case Datatype::kLongLong:
+      return sizeof(long long);
+    case Datatype::kFloat:
+      return sizeof(float);
+    case Datatype::kDouble:
+      return sizeof(double);
+  }
+  INTERCOM_REQUIRE(false, "unknown datatype");
+  return 0;
+}
+
+ReduceOp reduce_op_for(Datatype dt, ReduceKind op) {
+  switch (dt) {
+    case Datatype::kByte:
+      // Byte reductions treat the buffer as unsigned integers.
+      return pick<unsigned char>(op);
+    case Datatype::kInt:
+      return pick<int>(op);
+    case Datatype::kLongLong:
+      return pick<long long>(op);
+    case Datatype::kFloat:
+      return pick<float>(op);
+    case Datatype::kDouble:
+      return pick<double>(op);
+  }
+  INTERCOM_REQUIRE(false, "unknown datatype");
+  return {};
+}
+
+Comm comm_world(Node& node) { return Comm(node.world()); }
+
+int bcast(void* buffer, std::size_t count, Datatype dt, int root, Comm& comm) {
+  if (buffer == nullptr && count > 0) return kErrArg;
+  if (root < 0 || root >= comm.size()) return kErrArg;
+  const std::size_t es = datatype_size(dt);
+  comm.communicator().broadcast_bytes(bytes_of(buffer, count * es), es, root);
+  return kSuccess;
+}
+
+int reduce(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt,
+           ReduceKind op, int root, Comm& comm) {
+  if (root < 0 || root >= comm.size()) return kErrArg;
+  if ((sendbuf == nullptr || recvbuf == nullptr) && count > 0) return kErrArg;
+  const std::size_t es = datatype_size(dt);
+  const std::size_t nbytes = count * es;
+  std::vector<std::byte> work = staged(sendbuf, nbytes);
+  comm.communicator().combine_to_one_bytes(work, reduce_op_for(dt, op), root);
+  if (comm.rank() == root && nbytes > 0) {
+    std::memcpy(recvbuf, work.data(), nbytes);
+  }
+  return kSuccess;
+}
+
+int allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+              Datatype dt, ReduceKind op, Comm& comm) {
+  if ((sendbuf == nullptr || recvbuf == nullptr) && count > 0) return kErrArg;
+  const std::size_t es = datatype_size(dt);
+  const std::size_t nbytes = count * es;
+  std::vector<std::byte> work = staged(sendbuf, nbytes);
+  comm.communicator().combine_to_all_bytes(work, reduce_op_for(dt, op));
+  if (nbytes > 0) std::memcpy(recvbuf, work.data(), nbytes);
+  return kSuccess;
+}
+
+int scatter(const void* sendbuf, std::size_t count, void* recvbuf, int root,
+            Datatype dt, Comm& comm) {
+  if (root < 0 || root >= comm.size()) return kErrArg;
+  if (recvbuf == nullptr && count > 0) return kErrArg;
+  const std::size_t es = datatype_size(dt);
+  const std::size_t p = static_cast<std::size_t>(comm.size());
+  const std::size_t total = p * count * es;
+  std::vector<std::byte> work(total);
+  if (comm.rank() == root) {
+    if (sendbuf == nullptr && total > 0) return kErrArg;
+    if (total > 0) std::memcpy(work.data(), sendbuf, total);
+  }
+  // Equal counts make the canonical block partition exact.
+  comm.communicator().scatter_bytes(work, es, root);
+  const std::size_t off = static_cast<std::size_t>(comm.rank()) * count * es;
+  if (count > 0) std::memcpy(recvbuf, work.data() + off, count * es);
+  return kSuccess;
+}
+
+int gather(const void* sendbuf, std::size_t count, void* recvbuf, int root,
+           Datatype dt, Comm& comm) {
+  if (root < 0 || root >= comm.size()) return kErrArg;
+  if (sendbuf == nullptr && count > 0) return kErrArg;
+  const std::size_t es = datatype_size(dt);
+  const std::size_t p = static_cast<std::size_t>(comm.size());
+  std::vector<std::byte> work(p * count * es);
+  const std::size_t off = static_cast<std::size_t>(comm.rank()) * count * es;
+  if (count > 0) std::memcpy(work.data() + off, sendbuf, count * es);
+  comm.communicator().gather_bytes(work, es, root);
+  if (comm.rank() == root && !work.empty()) {
+    if (recvbuf == nullptr) return kErrArg;
+    std::memcpy(recvbuf, work.data(), work.size());
+  }
+  return kSuccess;
+}
+
+int allgather(const void* sendbuf, std::size_t count, void* recvbuf,
+              Datatype dt, Comm& comm) {
+  if ((sendbuf == nullptr || recvbuf == nullptr) && count > 0) return kErrArg;
+  const std::size_t es = datatype_size(dt);
+  const std::size_t p = static_cast<std::size_t>(comm.size());
+  std::vector<std::byte> work(p * count * es);
+  const std::size_t off = static_cast<std::size_t>(comm.rank()) * count * es;
+  if (count > 0) std::memcpy(work.data() + off, sendbuf, count * es);
+  comm.communicator().collect_bytes(work, es);
+  if (!work.empty()) std::memcpy(recvbuf, work.data(), work.size());
+  return kSuccess;
+}
+
+int reduce_scatter(const void* sendbuf, void* recvbuf,
+                   const std::vector<std::size_t>& recvcounts, Datatype dt,
+                   ReduceKind op, Comm& comm) {
+  if (recvcounts.size() != static_cast<std::size_t>(comm.size())) {
+    return kErrArg;
+  }
+  const std::size_t es = datatype_size(dt);
+  std::size_t total = 0;
+  for (std::size_t c : recvcounts) total += c;
+  if ((sendbuf == nullptr || recvbuf == nullptr) && total > 0) return kErrArg;
+  std::vector<std::byte> work = staged(sendbuf, total * es);
+  comm.communicator().reduce_scatterv_bytes(work, recvcounts,
+                                            reduce_op_for(dt, op));
+  std::size_t off = 0;
+  for (int r = 0; r < comm.rank(); ++r) {
+    off += recvcounts[static_cast<std::size_t>(r)];
+  }
+  const std::size_t mine =
+      recvcounts[static_cast<std::size_t>(comm.rank())] * es;
+  if (mine > 0) std::memcpy(recvbuf, work.data() + off * es, mine);
+  return kSuccess;
+}
+
+int barrier(Comm& comm) {
+  comm.communicator().barrier();
+  return kSuccess;
+}
+
+std::optional<Comm> comm_split(Node& node, Comm& comm, int color, int key) {
+  // Allgather everyone's (color, key); then each member computes its new
+  // group locally — the same group array on every member.
+  const std::size_t p = static_cast<std::size_t>(comm.size());
+  std::vector<long long> pairs(2 * p, 0);
+  pairs[2 * static_cast<std::size_t>(comm.rank())] = color;
+  pairs[2 * static_cast<std::size_t>(comm.rank()) + 1] = key;
+  // One (color, key) pair per rank: collect with two elements per rank.
+  std::vector<std::size_t> counts(p, 2);
+  comm.communicator().collectv(std::span<long long>(pairs), counts);
+  if (color < 0) return std::nullopt;  // MPI_UNDEFINED
+
+  struct Entry {
+    int old_rank;
+    long long color;
+    long long key;
+  };
+  std::vector<Entry> members;
+  for (std::size_t r = 0; r < p; ++r) {
+    if (pairs[2 * r] == color) {
+      members.push_back(Entry{static_cast<int>(r), pairs[2 * r],
+                              pairs[2 * r + 1]});
+    }
+  }
+  std::stable_sort(members.begin(), members.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.key != b.key) return a.key < b.key;
+                     return a.old_rank < b.old_rank;
+                   });
+  std::vector<int> nodes;
+  nodes.reserve(members.size());
+  for (const Entry& e : members) {
+    nodes.push_back(comm.communicator().group().physical(e.old_rank));
+  }
+  // Color disambiguates concurrent sub-communicators derived from the same
+  // parent.
+  return Comm(node.group(Group(nodes), static_cast<std::uint32_t>(color)));
+}
+
+}  // namespace intercom::mpi

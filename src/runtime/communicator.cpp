@@ -1,0 +1,155 @@
+#include "intercom/runtime/communicator.hpp"
+
+#include <cstdint>
+
+#include "intercom/runtime/executor.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+
+// FNV-1a over the group membership and color: all members derive the same
+// context namespace without communicating.
+std::uint64_t context_base(const Group& group, std::uint32_t color) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (int m : group.members()) mix(static_cast<std::uint64_t>(m) + 1);
+  mix(static_cast<std::uint64_t>(color) + 0x9e3779b97f4a7c15ULL);
+  return h << 20;  // leave room for 2^20 sequenced operations per second bump
+}
+
+}  // namespace
+
+Communicator Node::world() {
+  return Communicator(*machine_, Group::contiguous(machine_->node_count()),
+                      id_, 0);
+}
+
+Communicator Node::group(const Group& g, std::uint32_t color) {
+  const int rank = g.rank_of(id_);
+  INTERCOM_REQUIRE(rank >= 0,
+                   "node must be a member of the communicator's group");
+  return Communicator(*machine_, g, rank, color);
+}
+
+Communicator::Communicator(Multicomputer& machine, Group group, int my_rank,
+                           std::uint32_t color)
+    : machine_(&machine),
+      group_(std::move(group)),
+      my_rank_(my_rank),
+      ctx_base_(context_base(group_, color)) {
+  INTERCOM_REQUIRE(my_rank_ >= 0 && my_rank_ < group_.size(),
+                   "communicator rank out of range");
+}
+
+void Communicator::run(Collective collective, std::span<std::byte> buf,
+                       std::size_t elem_size, int root, const ReduceOp* op) {
+  INTERCOM_REQUIRE(elem_size >= 1, "element size must be at least 1");
+  INTERCOM_REQUIRE(buf.size() % elem_size == 0,
+                   "buffer length must be a multiple of the element size");
+  const std::size_t elems = buf.size() / elem_size;
+  // Every member plans the same schedule deterministically; no coordination
+  // messages are needed (the plan is a pure function of the request).
+  // Repeated shapes hit the plan cache.
+  const PlanCache::Key key{collective, elems, elem_size, root};
+  std::shared_ptr<const Schedule> schedule = cache_.find(key);
+  if (schedule == nullptr) {
+    schedule = cache_.insert(
+        key, machine_->planner().plan(collective, group_, elems, elem_size,
+                                      root));
+  }
+  const std::uint64_t ctx = ctx_base_ + seq_++;
+  execute_program(machine_->transport(), *schedule, group_.physical(my_rank_),
+                  buf, ctx, op);
+}
+
+void Communicator::broadcast_bytes(std::span<std::byte> buf,
+                                   std::size_t elem_size, int root) {
+  run(Collective::kBroadcast, buf, elem_size, root, nullptr);
+}
+
+void Communicator::scatter_bytes(std::span<std::byte> buf,
+                                 std::size_t elem_size, int root) {
+  run(Collective::kScatter, buf, elem_size, root, nullptr);
+}
+
+void Communicator::gather_bytes(std::span<std::byte> buf,
+                                std::size_t elem_size, int root) {
+  run(Collective::kGather, buf, elem_size, root, nullptr);
+}
+
+void Communicator::collect_bytes(std::span<std::byte> buf,
+                                 std::size_t elem_size) {
+  run(Collective::kCollect, buf, elem_size, 0, nullptr);
+}
+
+void Communicator::combine_to_one_bytes(std::span<std::byte> buf,
+                                        const ReduceOp& op, int root) {
+  run(Collective::kCombineToOne, buf, op.elem_size, root, &op);
+}
+
+void Communicator::combine_to_all_bytes(std::span<std::byte> buf,
+                                        const ReduceOp& op) {
+  run(Collective::kCombineToAll, buf, op.elem_size, 0, &op);
+}
+
+void Communicator::distributed_combine_bytes(std::span<std::byte> buf,
+                                             const ReduceOp& op) {
+  run(Collective::kDistributedCombine, buf, op.elem_size, 0, &op);
+}
+
+void Communicator::scatterv_bytes(std::span<std::byte> buf,
+                                  const std::vector<std::size_t>& counts,
+                                  std::size_t elem_size, int root) {
+  const Schedule schedule =
+      machine_->planner().plan_scatterv(group_, counts, elem_size, root);
+  const std::uint64_t ctx = ctx_base_ + seq_++;
+  execute_program(machine_->transport(), schedule, group_.physical(my_rank_),
+                  buf, ctx, nullptr);
+}
+
+void Communicator::gatherv_bytes(std::span<std::byte> buf,
+                                 const std::vector<std::size_t>& counts,
+                                 std::size_t elem_size, int root) {
+  const Schedule schedule =
+      machine_->planner().plan_gatherv(group_, counts, elem_size, root);
+  const std::uint64_t ctx = ctx_base_ + seq_++;
+  execute_program(machine_->transport(), schedule, group_.physical(my_rank_),
+                  buf, ctx, nullptr);
+}
+
+void Communicator::collectv_bytes(std::span<std::byte> buf,
+                                  const std::vector<std::size_t>& counts,
+                                  std::size_t elem_size) {
+  const Schedule schedule =
+      machine_->planner().plan_collectv(group_, counts, elem_size);
+  const std::uint64_t ctx = ctx_base_ + seq_++;
+  execute_program(machine_->transport(), schedule, group_.physical(my_rank_),
+                  buf, ctx, nullptr);
+}
+
+void Communicator::reduce_scatterv_bytes(
+    std::span<std::byte> buf, const std::vector<std::size_t>& counts,
+    const ReduceOp& op) {
+  const Schedule schedule = machine_->planner().plan_distributed_combinev(
+      group_, counts, op.elem_size);
+  const std::uint64_t ctx = ctx_base_ + seq_++;
+  execute_program(machine_->transport(), schedule, group_.physical(my_rank_),
+                  buf, ctx, &op);
+}
+
+ElemRange Communicator::piece_of(std::size_t elems, int rank) const {
+  return block_piece(ElemRange{0, elems}, group_.size(), rank);
+}
+
+void Communicator::barrier() {
+  std::uint64_t token = 0;
+  std::span<std::uint64_t> data(&token, 1);
+  all_reduce_sum(data);
+}
+
+}  // namespace intercom

@@ -1,0 +1,76 @@
+#include "intercom/runtime/executor.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+
+// Resolves a slice to a concrete byte span over user data or scratch.
+std::span<std::byte> resolve(const BufSlice& slice, std::span<std::byte> user,
+                             std::vector<std::vector<std::byte>>& scratch) {
+  if (slice.buffer == kUserBuf) {
+    INTERCOM_REQUIRE(slice.offset + slice.bytes <= user.size(),
+                     "user buffer too small for this schedule");
+    return user.subspan(slice.offset, slice.bytes);
+  }
+  auto& buf = scratch[static_cast<std::size_t>(slice.buffer)];
+  INTERCOM_CHECK(slice.offset + slice.bytes <= buf.size());
+  return std::span<std::byte>(buf).subspan(slice.offset, slice.bytes);
+}
+
+}  // namespace
+
+void execute_program(Transport& transport, const Schedule& schedule, int node,
+                     std::span<std::byte> user, std::uint64_t ctx,
+                     const ReduceOp* reduce) {
+  const NodeProgram* prog = schedule.find_program(node);
+  if (prog == nullptr) return;
+  // Allocate declared scratch buffers (index 0 is the user span).
+  std::vector<std::vector<std::byte>> scratch(prog->buffer_bytes.size());
+  for (std::size_t b = 1; b < prog->buffer_bytes.size(); ++b) {
+    scratch[b].resize(prog->buffer_bytes[b]);
+  }
+  for (const Op& op : prog->ops) {
+    switch (op.kind) {
+      case OpKind::kSend: {
+        const auto src = resolve(op.src, user, scratch);
+        transport.send(node, op.peer, ctx, op.tag, src);
+        break;
+      }
+      case OpKind::kRecv: {
+        const auto dst = resolve(op.dst, user, scratch);
+        transport.recv(op.peer, node, ctx, op.tag, dst);
+        break;
+      }
+      case OpKind::kSendRecv: {
+        // Eager sends never block, so issuing the send first preserves the
+        // simultaneous-send-receive semantics without extra threads.
+        const auto src = resolve(op.src, user, scratch);
+        transport.send(node, op.peer, ctx, op.tag, src);
+        const auto dst = resolve(op.dst, user, scratch);
+        transport.recv(op.peer2, node, ctx, op.tag2, dst);
+        break;
+      }
+      case OpKind::kCombine: {
+        INTERCOM_REQUIRE(reduce != nullptr && reduce->fn,
+                         "schedule contains combines but no ReduceOp given");
+        const auto src = resolve(op.src, user, scratch);
+        const auto dst = resolve(op.dst, user, scratch);
+        reduce->fn(dst.data(), src.data(), src.size());
+        break;
+      }
+      case OpKind::kCopy: {
+        const auto src = resolve(op.src, user, scratch);
+        const auto dst = resolve(op.dst, user, scratch);
+        if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size());
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace intercom

@@ -1,0 +1,39 @@
+#include "intercom/runtime/multicomputer.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "intercom/runtime/communicator.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+Multicomputer::Multicomputer(Mesh2D mesh, MachineParams params)
+    : mesh_(mesh),
+      transport_(mesh.node_count()),
+      planner_(params, mesh) {}
+
+void Multicomputer::run_spmd(const std::function<void(Node&)>& body) {
+  INTERCOM_REQUIRE(static_cast<bool>(body), "SPMD body must be callable");
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(node_count()));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  for (int id = 0; id < node_count(); ++id) {
+    threads.emplace_back([this, id, &body, &error_mutex, &first_error] {
+      try {
+        Node node(*this, id);
+        body(node);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace intercom

@@ -1,0 +1,71 @@
+#include "intercom/runtime/reduce.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+
+template <typename T, typename Fold>
+ReduceOp make_op(Fold fold) {
+  ReduceOp op;
+  op.elem_size = sizeof(T);
+  op.fn = [fold](std::byte* dst, const std::byte* src, std::size_t bytes) {
+    INTERCOM_REQUIRE(bytes % sizeof(T) == 0,
+                     "combine length must be a multiple of the element size");
+    const std::size_t count = bytes / sizeof(T);
+    for (std::size_t i = 0; i < count; ++i) {
+      T a;
+      T b;
+      std::memcpy(&a, dst + i * sizeof(T), sizeof(T));
+      std::memcpy(&b, src + i * sizeof(T), sizeof(T));
+      a = fold(a, b);
+      std::memcpy(dst + i * sizeof(T), &a, sizeof(T));
+    }
+  };
+  return op;
+}
+
+}  // namespace
+
+template <typename T>
+ReduceOp sum_op() {
+  return make_op<T>([](T a, T b) { return static_cast<T>(a + b); });
+}
+
+template <typename T>
+ReduceOp prod_op() {
+  return make_op<T>([](T a, T b) { return static_cast<T>(a * b); });
+}
+
+template <typename T>
+ReduceOp max_op() {
+  return make_op<T>([](T a, T b) { return std::max(a, b); });
+}
+
+template <typename T>
+ReduceOp min_op() {
+  return make_op<T>([](T a, T b) { return std::min(a, b); });
+}
+
+#define INTERCOM_INSTANTIATE_REDUCE(T)   \
+  template ReduceOp sum_op<T>();         \
+  template ReduceOp prod_op<T>();        \
+  template ReduceOp max_op<T>();         \
+  template ReduceOp min_op<T>()
+
+INTERCOM_INSTANTIATE_REDUCE(float);
+INTERCOM_INSTANTIATE_REDUCE(double);
+INTERCOM_INSTANTIATE_REDUCE(int);
+INTERCOM_INSTANTIATE_REDUCE(long long);
+INTERCOM_INSTANTIATE_REDUCE(unsigned);
+INTERCOM_INSTANTIATE_REDUCE(unsigned char);
+INTERCOM_INSTANTIATE_REDUCE(unsigned long);
+INTERCOM_INSTANTIATE_REDUCE(unsigned long long);
+
+#undef INTERCOM_INSTANTIATE_REDUCE
+
+}  // namespace intercom

@@ -1,0 +1,71 @@
+#include "intercom/runtime/transport.hpp"
+
+#include <cstring>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+Transport::Transport(int node_count)
+    : mailboxes_(static_cast<std::size_t>(node_count)) {
+  INTERCOM_REQUIRE(node_count >= 1, "transport needs at least one node");
+}
+
+void Transport::check_node(int node) const {
+  INTERCOM_REQUIRE(node >= 0 && node < node_count(), "node id out of range");
+}
+
+void Transport::send(int src, int dst, std::uint64_t ctx, int tag,
+                     std::span<const std::byte> data) {
+  check_node(src);
+  check_node(dst);
+  INTERCOM_REQUIRE(src != dst, "self-sends are not allowed");
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  std::vector<std::byte> payload(data.begin(), data.end());
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages[Key{src, ctx, tag}].push_back(std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+void Transport::set_recv_timeout_ms(long milliseconds) {
+  INTERCOM_REQUIRE(milliseconds >= 0, "timeout must be nonnegative");
+  recv_timeout_ms_ = milliseconds;
+}
+
+void Transport::recv(int src, int dst, std::uint64_t ctx, int tag,
+                     std::span<std::byte> out) {
+  check_node(src);
+  check_node(dst);
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  const Key key{src, ctx, tag};
+  std::unique_lock<std::mutex> lock(box.mutex);
+  auto ready = [&] {
+    auto it = box.messages.find(key);
+    return it != box.messages.end() && !it->second.empty();
+  };
+  if (recv_timeout_ms_ > 0) {
+    const bool arrived = box.cv.wait_for(
+        lock, std::chrono::milliseconds(recv_timeout_ms_), ready);
+    INTERCOM_REQUIRE(arrived, "receive timed out at node " +
+                                  std::to_string(dst) + " waiting for node " +
+                                  std::to_string(src) + " tag " +
+                                  std::to_string(tag) +
+                                  " (mismatched collective sequence?)");
+  } else {
+    box.cv.wait(lock, ready);
+  }
+  auto it = box.messages.find(key);
+  std::vector<std::byte> payload = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) box.messages.erase(it);
+  lock.unlock();
+  INTERCOM_REQUIRE(payload.size() == out.size(),
+                   "received message length does not match the posted buffer");
+  if (!payload.empty()) {
+    std::memcpy(out.data(), payload.data(), payload.size());
+  }
+}
+
+}  // namespace intercom

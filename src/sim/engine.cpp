@@ -1,0 +1,387 @@
+#include "intercom/sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "intercom/sim/network.hpp"
+#include "intercom/topo/topology.hpp"
+#include "intercom/util/error.hpp"
+#include "intercom/util/rng.hpp"
+
+namespace intercom {
+
+namespace {
+
+// A rendezvous transfer in flight.  Created when both halves are posted;
+// spends its startup phase until data_start, then drains `remaining` bytes
+// at the shared-bandwidth rate.
+struct Flow {
+  int src = -1;
+  int dst = -1;
+  std::vector<int> links;
+  double remaining = 0.0;
+  double rate = 0.0;        // bytes per second under current sharing
+  double beta = 0.0;        // protocol-aware per-byte time for this message
+  bool active = false;      // in data phase (occupying links)
+  bool done = false;
+  std::uint64_t version = 0;  // invalidates stale finish events
+  std::size_t bytes = 0;
+  double posted = 0.0;
+  double data_start = 0.0;
+};
+
+struct NodeState {
+  const NodeProgram* prog = nullptr;
+  std::size_t pc = 0;
+  bool send_done = false;
+  bool recv_done = false;
+  bool send_posted = false;
+  bool recv_posted = false;
+  bool busy = false;  // combine in progress
+
+  bool done() const { return pc >= prog->ops.size(); }
+  const Op& op() const { return prog->ops[pc]; }
+  bool op_complete() const {
+    const Op& o = op();
+    return (!o.has_send() || send_done) && (!o.has_recv() || recv_done);
+  }
+  void advance() {
+    ++pc;
+    send_done = recv_done = false;
+    send_posted = recv_posted = false;
+  }
+};
+
+struct PendingHalf {
+  int peer = -1;
+  int tag = 0;
+  std::size_t bytes = 0;
+  bool valid = false;
+};
+
+enum class EventKind { kDataStart, kFlowFinish, kCombineDone };
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  // FIFO tie-break for equal times
+  EventKind kind = EventKind::kDataStart;
+  std::size_t flow = 0;       // kDataStart / kFlowFinish
+  std::uint64_t version = 0;  // kFlowFinish
+  int node = -1;              // kCombineDone
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+class Engine {
+ public:
+  Engine(const Topology& topology, const SimParams& params,
+         const Schedule& schedule)
+      : topology_(topology),
+        params_(params),
+        schedule_(schedule),
+        loads_(topology.directed_link_count()),
+        rng_(params.jitter_seed) {}
+
+  SimResult run() {
+    for (const auto& prog : schedule_.programs()) {
+      INTERCOM_REQUIRE(prog.node >= 0 && prog.node < topology_.node_count(),
+                       "schedule references a node outside the topology");
+      nodes_[prog.node] = NodeState{&prog, 0, false, false, false, false,
+                                    false};
+    }
+    for (auto& [node, state] : nodes_) {
+      (void)state;
+      progress(node, 0.0);
+    }
+    while (!events_.empty()) {
+      const double t = events_.top().time;
+      advance_flows(t);
+      // Drain every event scheduled for this instant before recomputing
+      // rates once; synchronized stages (e.g. ring steps) produce large
+      // same-time batches.
+      while (!events_.empty() && events_.top().time <= t) {
+        const Event ev = events_.top();
+        events_.pop();
+        handle(ev, t);
+      }
+      if (rates_dirty_) recompute_rates(t);
+    }
+    for (const auto& [node, state] : nodes_) {
+      if (!state.done()) {
+        INTERCOM_REQUIRE(false, "simulation deadlock at node " +
+                                    std::to_string(node) + " op " +
+                                    std::to_string(state.pc) + " of " +
+                                    schedule_.algorithm());
+      }
+    }
+    SimResult result;
+    result.seconds = finish_time_ + schedule_.levels() *
+                                        params_.machine.per_level_overhead;
+    result.peak_link_load = loads_.peak_load();
+    result.transfers = transfer_count_;
+    result.bytes_moved = bytes_moved_;
+    result.trace = std::move(trace_);
+    return result;
+  }
+
+ private:
+  void push(Event ev) {
+    ev.seq = ++seq_;
+    events_.push(ev);
+  }
+
+  void handle(const Event& ev, double t) {
+    switch (ev.kind) {
+      case EventKind::kDataStart: {
+        Flow& f = flows_[ev.flow];
+        f.active = true;
+        f.data_start = t;
+        loads_.add(f.links);
+        rates_dirty_ = true;
+        break;
+      }
+      case EventKind::kFlowFinish: {
+        Flow& f = flows_[ev.flow];
+        if (f.done || !f.active || ev.version != f.version) break;
+        f.done = true;
+        f.active = false;
+        loads_.remove(f.links);
+        rates_dirty_ = true;
+        finish_time_ = std::max(finish_time_, t);
+        if (params_.record_trace) {
+          trace_.push_back(TransferRecord{f.src, f.dst, f.bytes, f.posted,
+                                          f.data_start, t});
+        }
+        // Copy the endpoints: completing a half can create new flows, which
+        // reallocates flows_ and would dangle `f`.
+        const int src = f.src;
+        const int dst = f.dst;
+        complete_half(src, /*send=*/true, t);
+        complete_half(dst, /*send=*/false, t);
+        break;
+      }
+      case EventKind::kCombineDone: {
+        NodeState& n = nodes_.at(ev.node);
+        INTERCOM_CHECK(n.busy);
+        n.busy = false;
+        finish_time_ = std::max(finish_time_, t);
+        n.advance();
+        progress(ev.node, t);
+        break;
+      }
+    }
+  }
+
+  void complete_half(int node, bool send, double t) {
+    NodeState& n = nodes_.at(node);
+    INTERCOM_CHECK(!n.done());
+    if (send) {
+      n.send_done = true;
+    } else {
+      n.recv_done = true;
+    }
+    if (n.op_complete()) {
+      n.advance();
+      progress(node, t);
+    }
+  }
+
+  // Runs node forward until it blocks on communication, a combine, or the
+  // end of its program.
+  void progress(int node, double t) {
+    NodeState& n = nodes_.at(node);
+    while (!n.done() && !n.busy) {
+      const Op& op = n.op();
+      if (op.kind == OpKind::kCopy) {
+        n.advance();
+        continue;
+      }
+      if (op.kind == OpKind::kCombine) {
+        const double dt =
+            static_cast<double>(op.src.bytes) * params_.machine.gamma;
+        if (dt <= 0.0) {
+          finish_time_ = std::max(finish_time_, t);
+          n.advance();
+          continue;
+        }
+        n.busy = true;
+        push(Event{t + dt, 0, EventKind::kCombineDone, 0, 0, node});
+        return;
+      }
+      // Communication op: post halves once, then block until completion.
+      if (op.has_send() && !n.send_posted) {
+        n.send_posted = true;
+        PendingHalf& half = pending_send_[node];
+        INTERCOM_CHECK(!half.valid);
+        half = PendingHalf{op.peer, op.tag, op.src.bytes, true};
+        try_match(node, op.peer, t);
+      }
+      if (op.has_recv() && !n.recv_posted) {
+        n.recv_posted = true;
+        PendingHalf& half = pending_recv_[node];
+        INTERCOM_CHECK(!half.valid);
+        half = PendingHalf{op.recv_peer(), op.recv_tag(), op.dst.bytes, true};
+        try_match(op.recv_peer(), node, t);
+      }
+      if (n.op_complete()) {
+        n.advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  // Creates a flow when sender `a` and receiver `b` have matching pending
+  // halves.
+  void try_match(int a, int b, double t) {
+    auto sit = pending_send_.find(a);
+    auto rit = pending_recv_.find(b);
+    if (sit == pending_send_.end() || !sit->second.valid) return;
+    if (rit == pending_recv_.end() || !rit->second.valid) return;
+    if (sit->second.peer != b || rit->second.peer != a) return;
+    INTERCOM_REQUIRE(sit->second.tag == rit->second.tag,
+                     "mismatched transfer tags in simulation");
+    INTERCOM_REQUIRE(sit->second.bytes == rit->second.bytes,
+                     "mismatched transfer lengths in simulation");
+    const std::size_t bytes = sit->second.bytes;
+    sit->second.valid = false;
+    rit->second.valid = false;
+    Flow f;
+    f.src = a;
+    f.dst = b;
+    f.links = topology_.route(a, b);
+    f.remaining = static_cast<double>(bytes);
+    f.beta = params_.machine.beta_for(bytes);
+    f.bytes = bytes;
+    f.posted = t;
+    // Protocol-aware startup plus the per-hop worm-hole header latency.
+    double startup = params_.machine.alpha_for(bytes) +
+                     params_.machine.tau_per_hop *
+                         static_cast<double>(f.links.size());
+    flows_.push_back(std::move(f));
+    ++transfer_count_;
+    bytes_moved_ += bytes;
+    if (params_.jitter_mean > 0.0) {
+      startup += rng_.next_exponential(params_.jitter_mean);
+    }
+    push(Event{t + startup, 0, EventKind::kDataStart, flows_.size() - 1, 0,
+               -1});
+  }
+
+  // Integrates every active flow's drained bytes up to time t.
+  void advance_flows(double t) {
+    const double dt = t - last_time_;
+    if (dt > 0.0) {
+      for (Flow& f : flows_) {
+        if (f.active) f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+      }
+    }
+    last_time_ = std::max(last_time_, t);
+  }
+
+  // Recomputes shared-bandwidth rates and refreshes finish predictions for
+  // flows whose rate changed.
+  void recompute_rates(double t) {
+    rates_dirty_ = false;
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+      Flow& f = flows_[i];
+      if (!f.active) continue;
+      const double s = loads_.sharing(f.links, params_.machine.link_capacity);
+      double finish_dt = 0.0;
+      double rate = 0.0;
+      if (f.beta <= 0.0) {
+        rate = 0.0;  // infinite bandwidth: finishes immediately
+        finish_dt = 0.0;
+      } else {
+        rate = 1.0 / (f.beta * s);
+        finish_dt = f.remaining * f.beta * s;
+      }
+      if (rate == f.rate && f.version != 0) continue;  // prediction still valid
+      f.rate = rate;
+      ++f.version;
+      push(Event{t + finish_dt, 0, EventKind::kFlowFinish, i, f.version, -1});
+    }
+  }
+
+  const Topology& topology_;
+  const SimParams& params_;
+  const Schedule& schedule_;
+
+  std::unordered_map<int, NodeState> nodes_;
+  std::unordered_map<int, PendingHalf> pending_send_;
+  std::unordered_map<int, PendingHalf> pending_recv_;
+  std::vector<Flow> flows_;
+  LinkLoadTracker loads_;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::uint64_t seq_ = 0;
+  double last_time_ = 0.0;
+  double finish_time_ = 0.0;
+  bool rates_dirty_ = false;
+  std::size_t transfer_count_ = 0;
+  std::size_t bytes_moved_ = 0;
+  std::vector<TransferRecord> trace_;
+};
+
+}  // namespace
+
+WormholeSimulator::WormholeSimulator(std::shared_ptr<const Topology> topology,
+                                     SimParams params)
+    : topology_(std::move(topology)), params_(params) {
+  INTERCOM_REQUIRE(topology_ != nullptr, "topology must not be null");
+}
+
+WormholeSimulator::WormholeSimulator(Mesh2D mesh, SimParams params)
+    : WormholeSimulator(std::make_shared<MeshTopology>(mesh), params) {}
+
+SimResult WormholeSimulator::run(const Schedule& schedule) const {
+  Engine engine(*topology_, params_, schedule);
+  return engine.run();
+}
+
+std::string render_timeline(const SimResult& result, int columns) {
+  INTERCOM_REQUIRE(columns >= 1, "timeline needs at least one column");
+  if (result.trace.empty()) return "(no trace recorded)\n";
+  double horizon = 0.0;
+  std::map<int, std::string> rows;
+  for (const TransferRecord& r : result.trace) {
+    horizon = std::max(horizon, r.finish);
+    rows.try_emplace(r.src, std::string(static_cast<std::size_t>(columns), '.'));
+    rows.try_emplace(r.dst, std::string(static_cast<std::size_t>(columns), '.'));
+  }
+  if (horizon <= 0.0) horizon = 1.0;
+  auto bucket = [&](double t) {
+    int b = static_cast<int>(t / horizon * columns);
+    return std::clamp(b, 0, columns - 1);
+  };
+  for (const TransferRecord& r : result.trace) {
+    const int b0 = bucket(r.posted);
+    const int b1 = bucket(r.data_start);
+    const int b2 = bucket(r.finish);
+    for (auto* row : {&rows[r.src], &rows[r.dst]}) {
+      for (int b = b0; b <= b2; ++b) {
+        char& c = (*row)[static_cast<std::size_t>(b)];
+        const char mark = b < b1 ? '-' : '#';
+        if (c == '.' || (c == '-' && mark == '#')) c = mark;
+      }
+    }
+  }
+  std::ostringstream os;
+  os << "timeline (0 .. " << horizon << " s; '-' startup, '#' data)\n";
+  for (const auto& [node, row] : rows) {
+    os << "node " << node << '\t' << row << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace intercom

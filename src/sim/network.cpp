@@ -1,0 +1,59 @@
+#include "intercom/sim/network.hpp"
+
+#include <algorithm>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+LinkLoadTracker::LinkLoadTracker(int directed_link_count)
+    : load_(static_cast<std::size_t>(directed_link_count), 0) {
+  INTERCOM_REQUIRE(directed_link_count >= 0,
+                   "link count must be nonnegative");
+}
+
+LinkLoadTracker::LinkLoadTracker(const Mesh2D& mesh)
+    : LinkLoadTracker(mesh.directed_link_count()) {}
+
+void LinkLoadTracker::add(const std::vector<int>& route_links) {
+  for (int l : route_links) {
+    int& v = load_[static_cast<std::size_t>(l)];
+    ++v;
+    peak_load_ = std::max(peak_load_, v);
+  }
+}
+
+void LinkLoadTracker::remove(const std::vector<int>& route_links) {
+  for (int l : route_links) {
+    int& v = load_[static_cast<std::size_t>(l)];
+    INTERCOM_CHECK(v > 0);
+    --v;
+  }
+}
+
+double LinkLoadTracker::sharing(const std::vector<int>& route_links,
+                                double link_capacity) const {
+  INTERCOM_REQUIRE(link_capacity > 0.0, "link capacity must be positive");
+  double s = 1.0;
+  for (int l : route_links) {
+    const double shared =
+        static_cast<double>(load_[static_cast<std::size_t>(l)]) /
+        link_capacity;
+    s = std::max(s, shared);
+  }
+  return s;
+}
+
+int LinkLoadTracker::load(int link_index) const {
+  return load_[static_cast<std::size_t>(link_index)];
+}
+
+std::vector<int> route_links(const Mesh2D& mesh, int src, int dst) {
+  std::vector<int> ids;
+  for (const Link& link : mesh.route(src, dst)) {
+    ids.push_back(mesh.link_index(link));
+  }
+  return ids;
+}
+
+}  // namespace intercom

@@ -1,0 +1,63 @@
+#include "intercom/topo/group.hpp"
+
+#include <unordered_set>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+Group Group::contiguous(int p) {
+  INTERCOM_REQUIRE(p >= 1, "group must have at least one member");
+  std::vector<int> m(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) m[static_cast<std::size_t>(i)] = i;
+  return Group(std::move(m));
+}
+
+Group Group::strided(int first, int stride, int p) {
+  INTERCOM_REQUIRE(p >= 1, "group must have at least one member");
+  std::vector<int> m(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) m[static_cast<std::size_t>(i)] = first + i * stride;
+  return Group(std::move(m));
+}
+
+Group::Group(std::vector<int> members) : members_(std::move(members)) {
+  INTERCOM_REQUIRE(!members_.empty(), "group must have at least one member");
+  check_distinct();
+}
+
+Group::Group(std::initializer_list<int> members)
+    : Group(std::vector<int>(members)) {}
+
+void Group::check_distinct() const {
+  std::unordered_set<int> seen;
+  for (int m : members_) {
+    INTERCOM_REQUIRE(m >= 0, "group members must be nonnegative node ids");
+    INTERCOM_REQUIRE(seen.insert(m).second, "group members must be distinct");
+  }
+}
+
+int Group::physical(int rank) const {
+  INTERCOM_REQUIRE(rank >= 0 && rank < size(), "logical rank out of range");
+  return members_[static_cast<std::size_t>(rank)];
+}
+
+int Group::rank_of(int node) const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == node) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Group Group::slice(int offset, int stride, int count) const {
+  INTERCOM_REQUIRE(count >= 1, "slice must have at least one member");
+  INTERCOM_REQUIRE(stride >= 1, "slice stride must be positive");
+  INTERCOM_REQUIRE(offset >= 0 && offset + (count - 1) * stride < size(),
+                   "slice exceeds group bounds");
+  std::vector<int> m(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    m[static_cast<std::size_t>(i)] = physical(offset + i * stride);
+  }
+  return Group(std::move(m));
+}
+
+}  // namespace intercom

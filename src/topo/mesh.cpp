@@ -1,0 +1,86 @@
+#include "intercom/topo/mesh.hpp"
+
+#include <cstdlib>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+Mesh2D::Mesh2D(int rows, int cols) : rows_(rows), cols_(cols) {
+  INTERCOM_REQUIRE(rows >= 1 && cols >= 1,
+                   "mesh dimensions must be at least 1 x 1");
+}
+
+void Mesh2D::check_node(int node) const {
+  INTERCOM_REQUIRE(node >= 0 && node < node_count(), "node id out of range");
+}
+
+Coord Mesh2D::coord_of(int node) const {
+  check_node(node);
+  return Coord{node / cols_, node % cols_};
+}
+
+int Mesh2D::node_at(Coord c) const {
+  INTERCOM_REQUIRE(c.row >= 0 && c.row < rows_ && c.col >= 0 && c.col < cols_,
+                   "mesh coordinates out of range");
+  return c.row * cols_ + c.col;
+}
+
+std::vector<Link> Mesh2D::route(int src, int dst) const {
+  check_node(src);
+  check_node(dst);
+  std::vector<Link> links;
+  Coord s = coord_of(src);
+  Coord d = coord_of(dst);
+  // X first: walk along the row.
+  int col = s.col;
+  while (col != d.col) {
+    int next = col + (d.col > col ? 1 : -1);
+    links.push_back(Link{node_at(s.row, col), node_at(s.row, next)});
+    col = next;
+  }
+  // Then Y: walk along the column.
+  int row = s.row;
+  while (row != d.row) {
+    int next = row + (d.row > row ? 1 : -1);
+    links.push_back(Link{node_at(row, d.col), node_at(next, d.col)});
+    row = next;
+  }
+  return links;
+}
+
+int Mesh2D::directed_link_count() const {
+  // Horizontal: rows * (cols-1) physical links; vertical: (rows-1) * cols.
+  // Each physical link is two directed channels.
+  return 2 * (rows_ * (cols_ - 1) + (rows_ - 1) * cols_);
+}
+
+int Mesh2D::link_index(const Link& link) const {
+  check_node(link.from);
+  check_node(link.to);
+  Coord a = coord_of(link.from);
+  Coord b = coord_of(link.to);
+  const int horizontal_base = 0;
+  const int vertical_base = 2 * rows_ * (cols_ - 1);
+  if (a.row == b.row && std::abs(a.col - b.col) == 1) {
+    // Horizontal channel.  Index by (row, min col, direction).
+    int min_col = std::min(a.col, b.col);
+    int direction = (b.col > a.col) ? 0 : 1;
+    return horizontal_base + 2 * (a.row * (cols_ - 1) + min_col) + direction;
+  }
+  if (a.col == b.col && std::abs(a.row - b.row) == 1) {
+    int min_row = std::min(a.row, b.row);
+    int direction = (b.row > a.row) ? 0 : 1;
+    return vertical_base + 2 * (min_row * cols_ + a.col) + direction;
+  }
+  INTERCOM_REQUIRE(false, "link endpoints are not mesh-adjacent");
+  return -1;  // unreachable
+}
+
+int Mesh2D::distance(int src, int dst) const {
+  Coord s = coord_of(src);
+  Coord d = coord_of(dst);
+  return std::abs(s.row - d.row) + std::abs(s.col - d.col);
+}
+
+}  // namespace intercom

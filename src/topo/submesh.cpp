@@ -1,0 +1,77 @@
+#include "intercom/topo/submesh.hpp"
+
+#include <algorithm>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+Group row_group(const Mesh2D& mesh, int row) {
+  INTERCOM_REQUIRE(row >= 0 && row < mesh.rows(), "row out of range");
+  std::vector<int> m(static_cast<std::size_t>(mesh.cols()));
+  for (int c = 0; c < mesh.cols(); ++c) {
+    m[static_cast<std::size_t>(c)] = mesh.node_at(row, c);
+  }
+  return Group(std::move(m));
+}
+
+Group col_group(const Mesh2D& mesh, int col) {
+  INTERCOM_REQUIRE(col >= 0 && col < mesh.cols(), "column out of range");
+  std::vector<int> m(static_cast<std::size_t>(mesh.rows()));
+  for (int r = 0; r < mesh.rows(); ++r) {
+    m[static_cast<std::size_t>(r)] = mesh.node_at(r, col);
+  }
+  return Group(std::move(m));
+}
+
+Group whole_mesh_group(const Mesh2D& mesh) {
+  return Group::contiguous(mesh.node_count());
+}
+
+GroupLayout analyze_group(const Mesh2D& mesh, const Group& group) {
+  GroupLayout layout;
+  const int p = group.size();
+  if (p == 1) {
+    layout.structure = GroupStructure::kSingleton;
+    return layout;
+  }
+  // Bounding box of the member coordinates.
+  int rmin = mesh.rows(), rmax = -1, cmin = mesh.cols(), cmax = -1;
+  for (int rank = 0; rank < p; ++rank) {
+    int node = group.physical(rank);
+    if (node >= mesh.node_count()) {
+      layout.structure = GroupStructure::kUnstructured;
+      return layout;
+    }
+    Coord c = mesh.coord_of(node);
+    rmin = std::min(rmin, c.row);
+    rmax = std::max(rmax, c.row);
+    cmin = std::min(cmin, c.col);
+    cmax = std::max(cmax, c.col);
+  }
+  const int box_rows = rmax - rmin + 1;
+  const int box_cols = cmax - cmin + 1;
+  if (box_rows * box_cols != p) {
+    layout.structure = GroupStructure::kUnstructured;
+    return layout;
+  }
+  // The member count matches the bounding box; verify row-major enumeration.
+  for (int rank = 0; rank < p; ++rank) {
+    Coord expect{rmin + rank / box_cols, cmin + rank % box_cols};
+    if (mesh.coord_of(group.physical(rank)) != expect) {
+      layout.structure = GroupStructure::kUnstructured;
+      return layout;
+    }
+  }
+  layout.submesh = SubmeshInfo{rmin, cmin, box_rows, box_cols};
+  if (box_rows == 1) {
+    layout.structure = GroupStructure::kPhysicalRow;
+  } else if (box_cols == 1) {
+    layout.structure = GroupStructure::kPhysicalColumn;
+  } else {
+    layout.structure = GroupStructure::kRectSubmesh;
+  }
+  return layout;
+}
+
+}  // namespace intercom

@@ -1,0 +1,106 @@
+#include "intercom/topo/topology.hpp"
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+std::vector<int> MeshTopology::route(int src, int dst) const {
+  std::vector<int> ids;
+  for (const Link& link : mesh_.route(src, dst)) {
+    ids.push_back(mesh_.link_index(link));
+  }
+  return ids;
+}
+
+Hypercube::Hypercube(int dims) : dims_(dims) {
+  INTERCOM_REQUIRE(dims >= 0 && dims <= 20,
+                   "hypercube dimension must be in [0, 20]");
+}
+
+void Hypercube::check_node(int node) const {
+  INTERCOM_REQUIRE(node >= 0 && node < node_count(), "node id out of range");
+}
+
+int Hypercube::neighbor(int node, int dim) const {
+  check_node(node);
+  INTERCOM_REQUIRE(dim >= 0 && dim < dims_, "dimension out of range");
+  return node ^ (1 << dim);
+}
+
+int Hypercube::link_index(int node, int dim) const {
+  check_node(node);
+  INTERCOM_REQUIRE(dim >= 0 && dim < dims_, "dimension out of range");
+  return node * dims_ + dim;
+}
+
+std::vector<int> Hypercube::route(int src, int dst) const {
+  check_node(src);
+  check_node(dst);
+  std::vector<int> ids;
+  int at = src;
+  // e-cube: resolve differing address bits in ascending dimension order.
+  for (int dim = 0; dim < dims_; ++dim) {
+    if (((at ^ dst) >> dim) & 1) {
+      ids.push_back(link_index(at, dim));
+      at ^= (1 << dim);
+    }
+  }
+  return ids;
+}
+
+std::vector<int> Hypercube::gray_ring() const {
+  std::vector<int> ring(static_cast<std::size_t>(node_count()));
+  for (int i = 0; i < node_count(); ++i) {
+    const unsigned u = static_cast<unsigned>(i);
+    ring[static_cast<std::size_t>(i)] = static_cast<int>(u ^ (u >> 1));
+  }
+  return ring;
+}
+
+Torus2D::Torus2D(int rows, int cols) : rows_(rows), cols_(cols) {
+  INTERCOM_REQUIRE(rows >= 1 && cols >= 1,
+                   "torus dimensions must be at least 1 x 1");
+}
+
+void Torus2D::check_node(int node) const {
+  INTERCOM_REQUIRE(node >= 0 && node < node_count(), "node id out of range");
+}
+
+int Torus2D::link_index(int node, int direction) const {
+  check_node(node);
+  INTERCOM_REQUIRE(direction >= 0 && direction < 4, "bad direction");
+  return node * 4 + direction;
+}
+
+std::vector<int> Torus2D::route(int src, int dst) const {
+  check_node(src);
+  check_node(dst);
+  std::vector<int> ids;
+  int row = src / cols_;
+  int col = src % cols_;
+  const int drow = dst / cols_;
+  const int dcol = dst % cols_;
+  // Horizontal ring first, shorter way around.
+  if (cols_ > 1) {
+    const int east = ((dcol - col) % cols_ + cols_) % cols_;
+    const bool go_east = east <= cols_ - east;
+    int steps = go_east ? east : cols_ - east;
+    while (steps-- > 0) {
+      ids.push_back(link_index(row * cols_ + col, go_east ? 0 : 1));
+      col = ((col + (go_east ? 1 : -1)) % cols_ + cols_) % cols_;
+    }
+  }
+  // Then the vertical ring.
+  if (rows_ > 1) {
+    const int south = ((drow - row) % rows_ + rows_) % rows_;
+    const bool go_south = south <= rows_ - south;
+    int steps = go_south ? south : rows_ - south;
+    while (steps-- > 0) {
+      ids.push_back(link_index(row * cols_ + col, go_south ? 2 : 3));
+      row = ((row + (go_south ? 1 : -1)) % rows_ + rows_) % rows_;
+    }
+  }
+  return ids;
+}
+
+}  // namespace intercom

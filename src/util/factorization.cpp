@@ -1,0 +1,99 @@
+#include "intercom/util/factorization.hpp"
+
+#include <algorithm>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+std::vector<std::int64_t> prime_factors(std::int64_t n) {
+  INTERCOM_REQUIRE(n >= 1, "prime_factors requires n >= 1");
+  std::vector<std::int64_t> factors;
+  for (std::int64_t d = 2; d * d <= n; ++d) {
+    while (n % d == 0) {
+      factors.push_back(d);
+      n /= d;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+std::vector<std::int64_t> divisors(std::int64_t n) {
+  INTERCOM_REQUIRE(n >= 1, "divisors requires n >= 1");
+  std::vector<std::int64_t> small;
+  std::vector<std::int64_t> large;
+  for (std::int64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      small.push_back(d);
+      if (d != n / d) large.push_back(n / d);
+    }
+  }
+  small.insert(small.end(), large.rbegin(), large.rend());
+  return small;
+}
+
+namespace {
+
+void ordered_factorizations_rec(std::int64_t n, int k, std::int64_t min_factor,
+                                std::vector<std::int64_t>& prefix,
+                                std::vector<std::vector<std::int64_t>>& out) {
+  if (k == 1) {
+    if (n >= min_factor) {
+      prefix.push_back(n);
+      out.push_back(prefix);
+      prefix.pop_back();
+    }
+    return;
+  }
+  for (std::int64_t d : divisors(n)) {
+    if (d < min_factor) continue;
+    // The remaining k-1 factors must each be >= min_factor, so the remaining
+    // product must be at least min_factor^(k-1); pruning via d alone suffices
+    // because the recursion rejects infeasible leaves.
+    if (n / d < min_factor) continue;
+    prefix.push_back(d);
+    ordered_factorizations_rec(n / d, k - 1, min_factor, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::int64_t>> ordered_factorizations(
+    std::int64_t n, int k, std::int64_t min_factor) {
+  INTERCOM_REQUIRE(n >= 1, "ordered_factorizations requires n >= 1");
+  INTERCOM_REQUIRE(k >= 1, "ordered_factorizations requires k >= 1");
+  std::vector<std::vector<std::int64_t>> out;
+  std::vector<std::int64_t> prefix;
+  ordered_factorizations_rec(n, k, min_factor, prefix, out);
+  return out;
+}
+
+std::vector<std::vector<std::int64_t>> all_ordered_factorizations(
+    std::int64_t n, int max_k, std::int64_t min_factor) {
+  INTERCOM_REQUIRE(max_k >= 1, "all_ordered_factorizations requires max_k >= 1");
+  std::vector<std::vector<std::int64_t>> out;
+  for (int k = 1; k <= max_k; ++k) {
+    auto fk = ordered_factorizations(n, k, min_factor);
+    out.insert(out.end(), fk.begin(), fk.end());
+  }
+  return out;
+}
+
+int ceil_log2(std::int64_t n) {
+  INTERCOM_REQUIRE(n >= 1, "ceil_log2 requires n >= 1");
+  int bits = 0;
+  std::int64_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+bool is_power_of_two(std::int64_t n) {
+  return n >= 1 && (n & (n - 1)) == 0;
+}
+
+}  // namespace intercom

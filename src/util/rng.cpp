@@ -1,0 +1,35 @@
+#include "intercom/util/rng.hpp"
+
+#include <cmath>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::next_double() {
+  // 53 random bits into the mantissa.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::next_in_range(std::int64_t lo, std::int64_t hi) {
+  INTERCOM_REQUIRE(lo <= hi, "next_in_range requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double Rng::next_exponential(double mean) {
+  INTERCOM_REQUIRE(mean > 0.0, "next_exponential requires mean > 0");
+  double u = next_double();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+}  // namespace intercom

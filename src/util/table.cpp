@@ -1,0 +1,77 @@
+#include "intercom/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  INTERCOM_REQUIRE(!header_.empty(), "table must have at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  INTERCOM_REQUIRE(row.size() == header_.size(),
+                   "row arity must match header arity");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(width[c])) << row[c]
+         << " |";
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string format_seconds(double seconds) {
+  std::ostringstream os;
+  os << std::setprecision(4) << std::defaultfloat << seconds;
+  return os.str();
+}
+
+std::string format_bytes(std::size_t bytes) {
+  std::ostringstream os;
+  if (bytes >= (1u << 20) && bytes % (1u << 20) == 0) {
+    os << (bytes >> 20) << "M";
+  } else if (bytes >= (1u << 10) && bytes % (1u << 10) == 0) {
+    os << (bytes >> 10) << "K";
+  } else {
+    os << bytes;
+  }
+  return os.str();
+}
+
+}  // namespace intercom

@@ -1,0 +1,147 @@
+// Section 5 composed algorithm tests: each short-/long-vector composition
+// delivers the Table 1 semantics.
+#include <gtest/gtest.h>
+
+#include "intercom/core/algorithms.hpp"
+#include "intercom/ir/validate.hpp"
+#include "testing/reference.hpp"
+
+namespace intercom {
+namespace {
+
+using testing::RefExec;
+
+class ComposedP : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComposedP, LongBroadcastDelivers) {
+  const int p = GetParam();
+  const std::size_t elems = 50;
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  planner::long_broadcast(ctx, Group::contiguous(p), ElemRange{0, elems}, 0);
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (std::size_t i = 0; i < elems; ++i) exec.user(0)[i] = i + 0.25;
+  exec.run();
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < elems; ++i) {
+      EXPECT_DOUBLE_EQ(exec.user(r)[i], i + 0.25);
+    }
+  }
+}
+
+TEST_P(ComposedP, ShortCollectDelivers) {
+  const int p = GetParam();
+  const std::size_t elems = 40;
+  const Group g = Group::contiguous(p);
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  planner::short_collect(ctx, g, ElemRange{0, elems});
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  const auto pieces = block_partition(ElemRange{0, elems}, p);
+  for (int r = 0; r < p; ++r) {
+    const auto piece = pieces[static_cast<std::size_t>(r)];
+    for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+      exec.user(r)[i] = 7.0 * r + static_cast<double>(i);
+    }
+  }
+  exec.run();
+  for (int r = 0; r < p; ++r) {
+    for (int owner = 0; owner < p; ++owner) {
+      const auto piece = pieces[static_cast<std::size_t>(owner)];
+      for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+        EXPECT_DOUBLE_EQ(exec.user(r)[i], 7.0 * owner + static_cast<double>(i));
+      }
+    }
+  }
+}
+
+TEST_P(ComposedP, LongCombineToOneSums) {
+  const int p = GetParam();
+  const std::size_t elems = 33;
+  const int root = p - 1;
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  planner::long_combine_to_one(ctx, Group::contiguous(p), ElemRange{0, elems},
+                               root);
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < elems; ++i) exec.user(r)[i] = r + 1.0;
+  }
+  exec.run();
+  for (std::size_t i = 0; i < elems; ++i) {
+    EXPECT_DOUBLE_EQ(exec.user(root)[i], p * (p + 1) / 2.0);
+  }
+}
+
+TEST_P(ComposedP, ShortCombineToAllSumsEverywhere) {
+  const int p = GetParam();
+  const std::size_t elems = 11;
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  planner::short_combine_to_all(ctx, Group::contiguous(p),
+                                ElemRange{0, elems});
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < elems; ++i) {
+      exec.user(r)[i] = (r + 1.0) * (i + 1.0);
+    }
+  }
+  exec.run();
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < elems; ++i) {
+      EXPECT_DOUBLE_EQ(exec.user(r)[i], p * (p + 1) / 2.0 * (i + 1.0));
+    }
+  }
+}
+
+TEST_P(ComposedP, LongCombineToAllSumsEverywhere) {
+  const int p = GetParam();
+  const std::size_t elems = 64;
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  planner::long_combine_to_all(ctx, Group::contiguous(p), ElemRange{0, elems});
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < elems; ++i) exec.user(r)[i] = r * 2.0 + 1.0;
+  }
+  exec.run();
+  // Sum of (2r + 1) over r in [0, p) = p^2.
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < elems; ++i) {
+      EXPECT_DOUBLE_EQ(exec.user(r)[i], static_cast<double>(p) * p);
+    }
+  }
+}
+
+TEST_P(ComposedP, ShortDistributedCombineLeavesPieces) {
+  const int p = GetParam();
+  const std::size_t elems = 27;
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  planner::short_distributed_combine(ctx, Group::contiguous(p),
+                                     ElemRange{0, elems});
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < elems; ++i) exec.user(r)[i] = 1.0;
+  }
+  exec.run();
+  const auto pieces = block_partition(ElemRange{0, elems}, p);
+  for (int r = 0; r < p; ++r) {
+    const auto piece = pieces[static_cast<std::size_t>(r)];
+    for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+      EXPECT_DOUBLE_EQ(exec.user(r)[i], static_cast<double>(p));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ComposedP,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16, 30));
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,223 @@
+// Hybrid algorithm tests: every enumerable strategy must produce a valid,
+// semantically correct schedule — the property that makes strategy selection
+// purely a performance decision.
+#include <gtest/gtest.h>
+
+#include "intercom/core/algorithms.hpp"
+#include "intercom/ir/validate.hpp"
+#include "intercom/model/strategy.hpp"
+#include "testing/reference.hpp"
+
+namespace intercom {
+namespace {
+
+using testing::RefExec;
+
+struct HybridCase {
+  int p;
+  std::size_t elems;
+};
+
+class HybridAllStrategiesP : public ::testing::TestWithParam<HybridCase> {};
+
+TEST_P(HybridAllStrategiesP, BroadcastCorrectUnderEveryStrategy) {
+  const auto [p, elems] = GetParam();
+  const Group g = Group::contiguous(p);
+  const int root = (p > 2) ? 2 : 0;
+  for (const auto& strat : enumerate_strategies(p, 3)) {
+    Schedule s;
+    planner::Ctx ctx{s, sizeof(double)};
+    planner::hybrid_broadcast(ctx, g, ElemRange{0, elems}, root,
+                              std::span<const int>(strat.dims), strat.inner);
+    const auto v = validate(s);
+    ASSERT_TRUE(v.ok) << strat.label() << ": " << v.message();
+    RefExec<double> exec(s);
+    for (std::size_t i = 0; i < elems; ++i) {
+      exec.user(root)[i] = static_cast<double>(i) + 0.125;
+    }
+    exec.run();
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < elems; ++i) {
+        ASSERT_DOUBLE_EQ(exec.user(r)[i], static_cast<double>(i) + 0.125)
+            << strat.label() << " rank " << r;
+      }
+    }
+  }
+}
+
+TEST_P(HybridAllStrategiesP, CombineToOneCorrectUnderEveryStrategy) {
+  const auto [p, elems] = GetParam();
+  const Group g = Group::contiguous(p);
+  const int root = p - 1;
+  for (const auto& strat : enumerate_strategies(p, 3)) {
+    Schedule s;
+    planner::Ctx ctx{s, sizeof(double)};
+    planner::hybrid_combine_to_one(ctx, g, ElemRange{0, elems}, root,
+                                   std::span<const int>(strat.dims),
+                                   strat.inner);
+    const auto v = validate(s);
+    ASSERT_TRUE(v.ok) << strat.label() << ": " << v.message();
+    RefExec<double> exec(s);
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < elems; ++i) {
+        exec.user(r)[i] = (r + 1.0) + (static_cast<double>(i) * p);
+      }
+    }
+    exec.run();
+    for (std::size_t i = 0; i < elems; ++i) {
+      const double want =
+          p * (p + 1) / 2.0 + static_cast<double>(i) * p * p;
+      ASSERT_DOUBLE_EQ(exec.user(root)[i], want) << strat.label();
+    }
+  }
+}
+
+TEST_P(HybridAllStrategiesP, CombineToAllCorrectUnderEveryStrategy) {
+  const auto [p, elems] = GetParam();
+  const Group g = Group::contiguous(p);
+  for (const auto& strat : enumerate_strategies(p, 3)) {
+    Schedule s;
+    planner::Ctx ctx{s, sizeof(double)};
+    planner::hybrid_combine_to_all(ctx, g, ElemRange{0, elems},
+                                   std::span<const int>(strat.dims),
+                                   strat.inner);
+    const auto v = validate(s);
+    ASSERT_TRUE(v.ok) << strat.label() << ": " << v.message();
+    RefExec<double> exec(s);
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < elems; ++i) exec.user(r)[i] = r + 1.0;
+    }
+    exec.run();
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < elems; ++i) {
+        ASSERT_DOUBLE_EQ(exec.user(r)[i], p * (p + 1) / 2.0)
+            << strat.label() << " rank " << r;
+      }
+    }
+  }
+}
+
+TEST_P(HybridAllStrategiesP, CollectCorrectUnderEveryStrategy) {
+  const auto [p, elems] = GetParam();
+  const Group g = Group::contiguous(p);
+  const auto pieces = block_partition(ElemRange{0, elems}, p);
+  for (const auto& strat : enumerate_strategies(p, 3)) {
+    Schedule s;
+    planner::Ctx ctx{s, sizeof(double)};
+    planner::hybrid_collect(ctx, g, ElemRange{0, elems},
+                            std::span<const int>(strat.dims), strat.inner);
+    const auto v = validate(s);
+    ASSERT_TRUE(v.ok) << strat.label() << ": " << v.message();
+    RefExec<double> exec(s);
+    for (int r = 0; r < p; ++r) {
+      const auto piece = pieces[static_cast<std::size_t>(r)];
+      for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+        exec.user(r)[i] = 100.0 * r + static_cast<double>(i);
+      }
+    }
+    exec.run();
+    for (int r = 0; r < p; ++r) {
+      for (int owner = 0; owner < p; ++owner) {
+        const auto piece = pieces[static_cast<std::size_t>(owner)];
+        for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+          ASSERT_DOUBLE_EQ(exec.user(r)[i],
+                           100.0 * owner + static_cast<double>(i))
+              << strat.label() << " rank " << r;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(HybridAllStrategiesP, DistributedCombineCorrectUnderEveryStrategy) {
+  const auto [p, elems] = GetParam();
+  const Group g = Group::contiguous(p);
+  const auto pieces = block_partition(ElemRange{0, elems}, p);
+  for (const auto& strat : enumerate_strategies(p, 3)) {
+    Schedule s;
+    planner::Ctx ctx{s, sizeof(double)};
+    planner::hybrid_distributed_combine(ctx, g, ElemRange{0, elems},
+                                        std::span<const int>(strat.dims),
+                                        strat.inner);
+    const auto v = validate(s);
+    ASSERT_TRUE(v.ok) << strat.label() << ": " << v.message();
+    RefExec<double> exec(s);
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < elems; ++i) {
+        exec.user(r)[i] = (r + 1.0) * (static_cast<double>(i) + 1.0);
+      }
+    }
+    exec.run();
+    for (int r = 0; r < p; ++r) {
+      const auto piece = pieces[static_cast<std::size_t>(r)];
+      for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+        ASSERT_DOUBLE_EQ(exec.user(r)[i],
+                         p * (p + 1) / 2.0 * (static_cast<double>(i) + 1.0))
+            << strat.label() << " rank " << r;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, HybridAllStrategiesP,
+    ::testing::Values(HybridCase{1, 5}, HybridCase{4, 16}, HybridCase{6, 13},
+                      HybridCase{8, 8}, HybridCase{12, 48}, HybridCase{12, 5},
+                      HybridCase{16, 37}, HybridCase{30, 60},
+                      HybridCase{30, 7}));
+
+TEST(HybridTest, Fig1TwelveNodeSsmccWalkthrough) {
+  // The paper's Fig. 1: 12 nodes, scatter in subgroups of 2, scatter in the
+  // next dimension, MST broadcast in subgroups of 3, collects back out —
+  // strategy (2 x 2 x 3, SSMCC) with node 0 as root.
+  const Group g = Group::contiguous(12);
+  const std::vector<int> dims{2, 2, 3};
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  planner::hybrid_broadcast(ctx, g, ElemRange{0, 12}, 0,
+                            std::span<const int>(dims),
+                            InnerAlg::kShortVector);
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (std::size_t i = 0; i < 12; ++i) exec.user(0)[i] = 20.0 + i;  // "x0.."
+  exec.run();
+  for (int r = 0; r < 12; ++r) {
+    for (std::size_t i = 0; i < 12; ++i) {
+      EXPECT_DOUBLE_EQ(exec.user(r)[i], 20.0 + i);
+    }
+  }
+  // Message count: scatter dim1 (root's pair): 1; scatter dim2 (one pair per
+  // column): 2; MST broadcast in 4 groups of 3: 8; collect dim2 (2 columns x
+  // 3 pairs, 2 sends each): 12; collect dim1 (6 pairs): 12.  Total 35.
+  EXPECT_EQ(s.total_sends(), 35u);
+}
+
+TEST(HybridTest, StridedGroupHybridBroadcast) {
+  // Group collectives run hybrids over arbitrary member arrays (Section 9).
+  const Group g({5, 17, 2, 9, 30, 44});
+  const std::vector<int> dims{2, 3};
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  planner::hybrid_broadcast(ctx, g, ElemRange{0, 18}, 3,
+                            std::span<const int>(dims),
+                            InnerAlg::kScatterCollect);
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (std::size_t i = 0; i < 18; ++i) exec.user(9)[i] = 5.5;
+  exec.run();
+  for (int m : g.members()) EXPECT_DOUBLE_EQ(exec.user(m)[17], 5.5);
+}
+
+TEST(HybridTest, RejectsNonFactoringDims) {
+  const Group g = Group::contiguous(10);
+  const std::vector<int> dims{3, 4};
+  Schedule s;
+  planner::Ctx ctx{s, 8};
+  EXPECT_THROW(planner::hybrid_broadcast(ctx, g, ElemRange{0, 10}, 0,
+                                         std::span<const int>(dims),
+                                         InnerAlg::kShortVector),
+               Error);
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,210 @@
+// MST (recursive halving) primitive tests: correctness on arbitrary group
+// sizes (explicitly including non-powers-of-two), message-count optimality,
+// and schedule validity.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "intercom/core/primitives.hpp"
+#include "intercom/ir/validate.hpp"
+#include "intercom/util/factorization.hpp"
+#include "testing/reference.hpp"
+
+namespace intercom {
+namespace {
+
+using testing::RefExec;
+
+Schedule make_bcast(const Group& g, std::size_t elems, int root) {
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  planner::mst_broadcast(ctx, g, ElemRange{0, elems}, root);
+  return s;
+}
+
+class MstBroadcastP : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MstBroadcastP, DeliversRootDataToAll) {
+  const auto [p, root] = GetParam();
+  const Group g = Group::contiguous(p);
+  const std::size_t elems = 13;
+  Schedule s = make_bcast(g, elems, root);
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (std::size_t i = 0; i < elems; ++i) {
+    exec.user(root)[i] = 100.0 * root + static_cast<double>(i);
+  }
+  exec.run();
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < elems; ++i) {
+      EXPECT_DOUBLE_EQ(exec.user(r)[i], 100.0 * root + static_cast<double>(i))
+          << "rank " << r << " elem " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndRoots, MstBroadcastP,
+    ::testing::Values(std::make_tuple(1, 0), std::make_tuple(2, 0),
+                      std::make_tuple(2, 1), std::make_tuple(3, 1),
+                      std::make_tuple(5, 4), std::make_tuple(7, 3),
+                      std::make_tuple(8, 0), std::make_tuple(12, 11),
+                      std::make_tuple(16, 9), std::make_tuple(30, 17),
+                      std::make_tuple(31, 0)));
+
+TEST(MstBroadcastTest, UsesExactlyPMinus1Messages) {
+  for (int p : {2, 3, 7, 16, 30}) {
+    Schedule s = make_bcast(Group::contiguous(p), 4, 0);
+    EXPECT_EQ(s.total_sends(), static_cast<std::size_t>(p - 1));
+  }
+}
+
+TEST(MstBroadcastTest, CriticalPathIsCeilLog2) {
+  // No node sends or receives more than ceil(log2 p) times.
+  for (int p : {2, 3, 5, 8, 13, 30, 31, 32}) {
+    Schedule s = make_bcast(Group::contiguous(p), 4, 0);
+    std::size_t max_ops = 0;
+    for (const auto& prog : s.programs()) {
+      max_ops = std::max(max_ops, prog.ops.size());
+    }
+    EXPECT_LE(max_ops, static_cast<std::size_t>(ceil_log2(p))) << "p=" << p;
+  }
+}
+
+TEST(MstBroadcastTest, WorksOnStridedGroups) {
+  const Group g = Group::strided(3, 4, 6);  // nodes 3,7,11,15,19,23
+  Schedule s = make_bcast(g, 5, 2);
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (std::size_t i = 0; i < 5; ++i) exec.user(11)[i] = 7.0 + i;
+  exec.run();
+  for (int m : g.members()) {
+    EXPECT_DOUBLE_EQ(exec.user(m)[4], 11.0);
+  }
+}
+
+class MstScatterGatherP : public ::testing::TestWithParam<int> {};
+
+TEST_P(MstScatterGatherP, ScatterDeliversCanonicalPieces) {
+  const int p = GetParam();
+  const Group g = Group::contiguous(p);
+  const std::size_t elems = 37;  // not divisible by most p
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  const auto pieces = block_partition(ElemRange{0, elems}, p);
+  planner::mst_scatter(ctx, g, pieces, 0);
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (std::size_t i = 0; i < elems; ++i) {
+    exec.user(0)[i] = static_cast<double>(i) + 0.5;
+  }
+  exec.run();
+  for (int r = 0; r < p; ++r) {
+    const ElemRange piece = pieces[static_cast<std::size_t>(r)];
+    for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+      EXPECT_DOUBLE_EQ(exec.user(r)[i], static_cast<double>(i) + 0.5)
+          << "rank " << r;
+    }
+  }
+}
+
+TEST_P(MstScatterGatherP, GatherAssemblesAtRoot) {
+  const int p = GetParam();
+  const Group g = Group::contiguous(p);
+  const std::size_t elems = 41;
+  const int root = p / 2;
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  const auto pieces = block_partition(ElemRange{0, elems}, p);
+  planner::mst_gather(ctx, g, pieces, root);
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (int r = 0; r < p; ++r) {
+    const ElemRange piece = pieces[static_cast<std::size_t>(r)];
+    for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+      exec.user(r)[i] = static_cast<double>(i) * 2.0;
+    }
+  }
+  exec.run();
+  for (std::size_t i = 0; i < elems; ++i) {
+    EXPECT_DOUBLE_EQ(exec.user(root)[i], static_cast<double>(i) * 2.0);
+  }
+}
+
+TEST_P(MstScatterGatherP, GatherIsScatterInverse) {
+  const int p = GetParam();
+  const Group g = Group::contiguous(p);
+  const std::size_t elems = 23;
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  const ElemRange range{0, elems};
+  planner::mst_scatter(ctx, g, range, 0);
+  planner::mst_gather(ctx, g, range, 0);
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (std::size_t i = 0; i < elems; ++i) {
+    exec.user(0)[i] = 3.0 * static_cast<double>(i) + 1.0;
+  }
+  exec.run();
+  for (std::size_t i = 0; i < elems; ++i) {
+    EXPECT_DOUBLE_EQ(exec.user(0)[i], 3.0 * static_cast<double>(i) + 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MstScatterGatherP,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 16, 30, 31));
+
+class MstReduceP : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MstReduceP, SumsAllContributionsAtRoot) {
+  const auto [p, root] = GetParam();
+  const Group g = Group::contiguous(p);
+  const std::size_t elems = 9;
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  planner::mst_combine_to_one(ctx, g, ElemRange{0, elems}, root);
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < elems; ++i) {
+      exec.user(r)[i] = static_cast<double>(r + 1) * (i + 1.0);
+    }
+  }
+  exec.run();
+  const double rank_sum = p * (p + 1) / 2.0;
+  for (std::size_t i = 0; i < elems; ++i) {
+    EXPECT_DOUBLE_EQ(exec.user(root)[i], rank_sum * (i + 1.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndRoots, MstReduceP,
+    ::testing::Values(std::make_tuple(1, 0), std::make_tuple(2, 1),
+                      std::make_tuple(3, 0), std::make_tuple(6, 5),
+                      std::make_tuple(9, 4), std::make_tuple(16, 0),
+                      std::make_tuple(30, 29)));
+
+TEST(MstTest, RejectsInvalidRoot) {
+  Schedule s;
+  planner::Ctx ctx{s, 8};
+  const Group g = Group::contiguous(4);
+  EXPECT_THROW(planner::mst_broadcast(ctx, g, ElemRange{0, 4}, 4), Error);
+  EXPECT_THROW(planner::mst_broadcast(ctx, g, ElemRange{0, 4}, -1), Error);
+}
+
+TEST(MstTest, RejectsNonContiguousPieces) {
+  Schedule s;
+  planner::Ctx ctx{s, 8};
+  const Group g = Group::contiguous(2);
+  std::vector<ElemRange> gapped{{0, 2}, {3, 5}};
+  EXPECT_THROW(planner::mst_scatter(ctx, g, gapped, 0), Error);
+}
+
+TEST(MstTest, EmptyRangeProducesNoTraffic) {
+  Schedule s = make_bcast(Group::contiguous(8), 0, 0);
+  EXPECT_EQ(s.total_sends(), 0u);
+  EXPECT_TRUE(validate(s).ok);
+}
+
+}  // namespace
+}  // namespace intercom

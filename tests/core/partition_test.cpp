@@ -1,0 +1,75 @@
+#include "intercom/core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(PartitionTest, EvenSplit) {
+  const auto pieces = block_partition(ElemRange{0, 12}, 4);
+  ASSERT_EQ(pieces.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(pieces[static_cast<std::size_t>(i)],
+              (ElemRange{static_cast<std::size_t>(3 * i),
+                         static_cast<std::size_t>(3 * (i + 1))}));
+  }
+}
+
+TEST(PartitionTest, UnevenSplitIsBalancedAndTiles) {
+  // The paper's n_i ~ n/p case: pieces differ by at most one element.
+  for (std::size_t e : {1u, 7u, 29u, 100u}) {
+    for (int d : {1, 2, 3, 5, 13}) {
+      const auto pieces = block_partition(ElemRange{10, 10 + e}, d);
+      std::size_t total = 0;
+      std::size_t lo = 10;
+      std::size_t min_sz = e;
+      std::size_t max_sz = 0;
+      for (const auto& piece : pieces) {
+        EXPECT_EQ(piece.lo, lo);
+        lo = piece.hi;
+        total += piece.elems();
+        min_sz = std::min(min_sz, piece.elems());
+        max_sz = std::max(max_sz, piece.elems());
+      }
+      EXPECT_EQ(lo, 10 + e);
+      EXPECT_EQ(total, e);
+      EXPECT_LE(max_sz - min_sz, 1u);
+    }
+  }
+}
+
+TEST(PartitionTest, MorePiecesThanElementsYieldsEmpties) {
+  const auto pieces = block_partition(ElemRange{0, 2}, 5);
+  int nonempty = 0;
+  for (const auto& piece : pieces) {
+    if (!piece.empty()) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 2);
+}
+
+TEST(PartitionTest, PieceMatchesPartitionEntry) {
+  const ElemRange range{3, 40};
+  const auto pieces = block_partition(range, 7);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(block_piece(range, 7, i), pieces[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(PartitionTest, RejectsBadArguments) {
+  EXPECT_THROW(block_piece(ElemRange{0, 4}, 0, 0), Error);
+  EXPECT_THROW(block_piece(ElemRange{0, 4}, 2, 2), Error);
+  EXPECT_THROW(block_piece(ElemRange{0, 4}, 2, -1), Error);
+}
+
+TEST(SliceOfTest, ByteConversion) {
+  const BufSlice s = slice_of(ElemRange{4, 10}, 8, kScratchBuf);
+  EXPECT_EQ(s.buffer, kScratchBuf);
+  EXPECT_EQ(s.offset, 32u);
+  EXPECT_EQ(s.bytes, 48u);
+  EXPECT_THROW(slice_of(ElemRange{0, 1}, 0), Error);
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,98 @@
+// Pipelined (segmented ring) broadcast tests — the Section 8 "theoretically
+// superior" algorithm.
+#include <gtest/gtest.h>
+
+#include "intercom/core/pipelined.hpp"
+#include "intercom/ir/validate.hpp"
+#include "testing/reference.hpp"
+
+namespace intercom {
+namespace {
+
+using testing::RefExec;
+
+class PipelinedP
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PipelinedP, DeliversRootData) {
+  const auto [p, root, segments] = GetParam();
+  const std::size_t elems = 24;
+  const Group g = Group::contiguous(p);
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  planner::pipelined_broadcast(ctx, g, ElemRange{0, elems}, root, segments);
+  const auto v = validate(s);
+  ASSERT_TRUE(v.ok) << v.message();
+  RefExec<double> exec(s);
+  for (std::size_t i = 0; i < elems; ++i) {
+    exec.user(root)[i] = static_cast<double>(i) * 1.5;
+  }
+  exec.run();
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < elems; ++i) {
+      EXPECT_DOUBLE_EQ(exec.user(r)[i], static_cast<double>(i) * 1.5)
+          << "rank " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PipelinedP,
+    ::testing::Values(std::make_tuple(1, 0, 4), std::make_tuple(2, 0, 1),
+                      std::make_tuple(2, 1, 3), std::make_tuple(5, 2, 4),
+                      std::make_tuple(8, 0, 8), std::make_tuple(8, 3, 100),
+                      std::make_tuple(12, 11, 6)));
+
+TEST(PipelinedTest, SegmentCountClampedToElements) {
+  const Group g = Group::contiguous(3);
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  // 4 elements but 100 requested segments: must not emit empty transfers.
+  planner::pipelined_broadcast(ctx, g, ElemRange{0, 4}, 0, 100);
+  EXPECT_TRUE(validate(s).ok);
+  // 4 segments over 2 hops.
+  EXPECT_EQ(s.total_sends(), 8u);
+}
+
+TEST(PipelinedTest, MessageCountIsSegmentsTimesHops) {
+  const Group g = Group::contiguous(6);
+  Schedule s;
+  planner::Ctx ctx{s, 1};
+  planner::pipelined_broadcast(ctx, g, ElemRange{0, 600}, 0, 10);
+  EXPECT_EQ(s.total_sends(), 10u * 5u);
+}
+
+TEST(PipelinedCostTest, AsymptoticallyHalvesScatterCollectBeta) {
+  // (p - 2 + S)(alpha + (n/S) beta) -> ~ n beta for large S, vs 2 n beta for
+  // scatter/collect: the Section 8 factor-of-two claim.
+  const int p = 32;
+  const double n = 1 << 20;
+  const MachineParams params = MachineParams::unit();
+  const Cost pipe = planner::pipelined_broadcast_cost(
+      p, n, planner::optimal_segments(p, n, params, 1 << 16));
+  EXPECT_LT(pipe.beta_bytes, 1.2 * n);
+  EXPECT_GT(pipe.beta_bytes, n * 0.99);
+}
+
+TEST(PipelinedCostTest, SingleSegmentIsStoreAndForward) {
+  const Cost c = planner::pipelined_broadcast_cost(5, 100.0, 1);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 4.0);
+  EXPECT_DOUBLE_EQ(c.beta_bytes, 400.0);
+}
+
+TEST(PipelinedCostTest, OptimalSegmentsScalesWithLength) {
+  const MachineParams paragon = MachineParams::paragon();
+  const int small = planner::optimal_segments(30, 1024.0, paragon);
+  const int large = planner::optimal_segments(30, 1 << 20, paragon);
+  EXPECT_LE(small, large);
+  EXPECT_GE(small, 1);
+}
+
+TEST(PipelinedCostTest, TrivialGroups) {
+  EXPECT_DOUBLE_EQ(planner::pipelined_broadcast_cost(1, 100.0, 4).alpha_terms,
+                   0.0);
+  EXPECT_EQ(planner::optimal_segments(2, 1e6, MachineParams::paragon()), 1);
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,88 @@
+#include "intercom/core/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "intercom/runtime/communicator.hpp"
+
+namespace intercom {
+namespace {
+
+Schedule dummy(const char* name) {
+  Schedule s;
+  s.set_algorithm(name);
+  return s;
+}
+
+TEST(PlanCacheTest, MissThenHit) {
+  PlanCache cache(4);
+  const PlanCache::Key key{Collective::kBroadcast, 100, 8, 0};
+  EXPECT_EQ(cache.find(key), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  auto inserted = cache.insert(key, dummy("a"));
+  auto found = cache.find(key);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found.get(), inserted.get());
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PlanCacheTest, DistinctKeysDistinctEntries) {
+  PlanCache cache(4);
+  const PlanCache::Key a{Collective::kBroadcast, 100, 8, 0};
+  const PlanCache::Key b{Collective::kBroadcast, 100, 8, 1};  // other root
+  const PlanCache::Key c{Collective::kCollect, 100, 8, 0};
+  cache.insert(a, dummy("a"));
+  cache.insert(b, dummy("b"));
+  cache.insert(c, dummy("c"));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.find(a)->algorithm(), "a");
+  EXPECT_EQ(cache.find(b)->algorithm(), "b");
+  EXPECT_EQ(cache.find(c)->algorithm(), "c");
+}
+
+TEST(PlanCacheTest, CapacityBounded) {
+  PlanCache cache(2);
+  for (std::size_t n = 0; n < 10; ++n) {
+    cache.insert(PlanCache::Key{Collective::kBroadcast, n, 8, 0},
+                 dummy("x"));
+  }
+  EXPECT_LE(cache.size(), 2u);
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisables) {
+  PlanCache cache(0);
+  const PlanCache::Key key{Collective::kBroadcast, 1, 1, 0};
+  auto s = cache.insert(key, dummy("a"));
+  EXPECT_NE(s, nullptr);  // caller still gets the schedule
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(key), nullptr);
+}
+
+TEST(PlanCacheTest, CommunicatorReusesPlans) {
+  Multicomputer mc(Mesh2D(1, 4));
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    std::vector<double> v(64, 1.0);
+    for (int i = 0; i < 5; ++i) {
+      world.all_reduce_sum(std::span<double>(v));
+    }
+    // One miss (first call), four hits.
+    ASSERT_EQ(world.plan_cache().misses(), 1u);
+    ASSERT_EQ(world.plan_cache().hits(), 4u);
+  });
+}
+
+TEST(PlanCacheTest, CachedPlansStayCorrect) {
+  Multicomputer mc(Mesh2D(1, 4));
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    for (int round = 1; round <= 3; ++round) {
+      std::vector<int> v{world.rank() + round};
+      world.all_reduce_sum(std::span<int>(v));
+      // Sum over r of (r + round) = 6 + 4*round.
+      ASSERT_EQ(v[0], 6 + 4 * round);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace intercom

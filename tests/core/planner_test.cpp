@@ -1,0 +1,165 @@
+// Planner facade tests: auto-selection picks the right regime, forced
+// strategies are honored, schedules carry metadata, mesh-aligned candidates
+// appear for rectangular submesh groups.
+#include <gtest/gtest.h>
+
+#include "intercom/core/planner.hpp"
+#include "intercom/ir/validate.hpp"
+#include "intercom/topo/submesh.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(PlannerTest, ShortVectorsPickMst) {
+  const Planner planner(MachineParams::paragon());
+  const Group g = Group::contiguous(30);
+  const auto strat = planner.select_strategy(Collective::kBroadcast, g, 8);
+  EXPECT_EQ(strat.label(), "1x30,M");
+}
+
+TEST(PlannerTest, LongVectorsPickBandwidthOptimizedStrategy) {
+  const Planner planner(MachineParams::paragon());
+  const Group g = Group::contiguous(30);
+  const auto strat =
+      planner.select_strategy(Collective::kBroadcast, g, 1 << 20);
+  // Must not be the pure MST algorithm; its beta term is ceil(log p) n.
+  EXPECT_NE(strat.label(), "1x30,M");
+  const double mst = planner
+                         .predict(Collective::kBroadcast,
+                                  HybridStrategy{{30}, InnerAlg::kShortVector,
+                                                 false},
+                                  1 << 20)
+                         .seconds(planner.params());
+  const double chosen = planner.predict(Collective::kBroadcast, strat, 1 << 20)
+                            .seconds(planner.params());
+  EXPECT_LT(chosen, mst);
+}
+
+TEST(PlannerTest, MediumVectorsMayPickTrueHybrids) {
+  // Around the crossover the winning strategies are the multi-dimensional
+  // hybrids; verify the selected one beats both pure algorithms.
+  const Planner planner(MachineParams::paragon());
+  const Group g = Group::contiguous(30);
+  for (std::size_t n : {1024u, 4096u, 16384u}) {
+    const auto strat = planner.select_strategy(Collective::kBroadcast, g, n);
+    const double chosen =
+        planner.predict(Collective::kBroadcast, strat, n).seconds(
+            planner.params());
+    for (const auto& pure :
+         {HybridStrategy{{30}, InnerAlg::kShortVector, false},
+          HybridStrategy{{30}, InnerAlg::kScatterCollect, false}}) {
+      EXPECT_LE(chosen, planner.predict(Collective::kBroadcast, pure, n)
+                            .seconds(planner.params()) +
+                            1e-12)
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(PlannerTest, ScatterAndGatherAlwaysUseMstPrimitive) {
+  const Planner planner(MachineParams::paragon());
+  const Group g = Group::contiguous(24);
+  for (auto c : {Collective::kScatter, Collective::kGather}) {
+    for (std::size_t n : {8u, 1u << 20}) {
+      const auto strat = planner.select_strategy(c, g, n);
+      EXPECT_EQ(strat.dims, std::vector<int>{24});
+    }
+  }
+}
+
+TEST(PlannerTest, PlansValidateForAllCollectives) {
+  const Planner planner(MachineParams::paragon());
+  const Group g = Group::contiguous(12);
+  for (auto c : {Collective::kBroadcast, Collective::kScatter,
+                 Collective::kGather, Collective::kCollect,
+                 Collective::kCombineToOne, Collective::kCombineToAll,
+                 Collective::kDistributedCombine}) {
+    for (std::size_t elems : {1u, 100u, 100000u}) {
+      const Schedule s = planner.plan(c, g, elems, 8, 1);
+      const auto v = validate(s);
+      EXPECT_TRUE(v.ok) << to_string(c) << " elems=" << elems << "\n"
+                        << v.message();
+      EXPECT_FALSE(s.algorithm().empty());
+    }
+  }
+}
+
+TEST(PlannerTest, ForcedStrategyIsHonored) {
+  const Planner planner(MachineParams::paragon());
+  const Group g = Group::contiguous(12);
+  const HybridStrategy strat{{3, 4}, InnerAlg::kScatterCollect, false};
+  const Schedule s = planner.plan_with_strategy(Collective::kBroadcast, g, 64,
+                                                8, 0, strat);
+  EXPECT_NE(s.algorithm().find("3x4,SSCC"), std::string::npos);
+}
+
+TEST(PlannerTest, ForcedStrategyMustFactorGroup) {
+  const Planner planner;
+  const Group g = Group::contiguous(10);
+  const HybridStrategy bad{{3, 4}, InnerAlg::kShortVector, false};
+  EXPECT_THROW(
+      planner.plan_with_strategy(Collective::kBroadcast, g, 8, 1, 0, bad),
+      Error);
+}
+
+TEST(PlannerTest, RootBoundsChecked) {
+  const Planner planner;
+  const Group g = Group::contiguous(4);
+  EXPECT_THROW(planner.plan(Collective::kBroadcast, g, 8, 1, 4), Error);
+  EXPECT_THROW(planner.plan(Collective::kBroadcast, g, 8, 1, -1), Error);
+}
+
+TEST(PlannerTest, LevelsMetadataPositiveForMst) {
+  const Planner planner(MachineParams::paragon());
+  const Group g = Group::contiguous(16);
+  const Schedule s = planner.plan(Collective::kBroadcast, g, 1, 8, 0);
+  EXPECT_EQ(s.levels(), 4);  // ceil(log2 16) recursion levels
+}
+
+TEST(PlannerTest, MeshPlannerAddsAlignedCandidates) {
+  const Mesh2D mesh(16, 32);
+  const Planner planner(MachineParams::paragon(), mesh);
+  const Group whole = whole_mesh_group(mesh);
+  const auto candidates = planner.candidate_strategies(whole);
+  bool found_mesh_aligned = false;
+  for (const auto& c : candidates) {
+    if (c.mesh_aligned) {
+      found_mesh_aligned = true;
+      EXPECT_EQ(c.dims[0], 32);  // dim 1 spans a physical row
+    }
+  }
+  EXPECT_TRUE(found_mesh_aligned);
+}
+
+TEST(PlannerTest, MeshCollectPrefersRowColumnStaging) {
+  const Mesh2D mesh(16, 32);
+  const Planner planner(MachineParams::paragon(), mesh);
+  const Group whole = whole_mesh_group(mesh);
+  const auto strat =
+      planner.select_strategy(Collective::kCollect, whole, 1 << 20);
+  EXPECT_TRUE(strat.mesh_aligned);
+  // The (r + c - 2) startup count must beat the 1-D ring's (p - 1).
+  const Cost chosen = planner.predict(Collective::kCollect, strat, 1 << 20);
+  EXPECT_LT(chosen.alpha_terms, 511.0);
+}
+
+TEST(PlannerTest, UnstructuredGroupGetsNoMeshCandidates) {
+  const Mesh2D mesh(4, 4);
+  const Planner planner(MachineParams::paragon(), mesh);
+  const Group scattered({0, 5, 3, 9, 12, 151});
+  for (const auto& c : planner.candidate_strategies(scattered)) {
+    EXPECT_FALSE(c.mesh_aligned);
+  }
+}
+
+TEST(PlannerTest, AutoSelectionIsDeterministic) {
+  const Planner planner(MachineParams::paragon());
+  const Group g = Group::contiguous(30);
+  const auto a = planner.select_strategy(Collective::kCombineToAll, g, 4096);
+  const auto b = planner.select_strategy(Collective::kCombineToAll, g, 4096);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace intercom

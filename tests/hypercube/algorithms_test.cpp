@@ -1,0 +1,236 @@
+// Hypercube collective tests: dimension-exchange correctness, hop-locality
+// (every transfer a single cube edge), conflict-freedom, and the analytic
+// costs.
+#include <gtest/gtest.h>
+
+#include "intercom/hypercube/algorithms.hpp"
+#include "intercom/ir/validate.hpp"
+#include "intercom/sim/engine.hpp"
+#include "intercom/util/factorization.hpp"
+#include "testing/reference.hpp"
+
+namespace intercom {
+namespace {
+
+using testing::RefExec;
+
+class DimExchangeP : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DimExchangeP, CollectDeliversEverything) {
+  const auto [p, elems_i] = GetParam();
+  const std::size_t elems = static_cast<std::size_t>(elems_i);
+  const Group g = Group::contiguous(p);
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  hypercube::dimension_exchange_collect(ctx, g, ElemRange{0, elems});
+  validate_or_throw(s);
+  const auto pieces = block_partition(ElemRange{0, elems}, p);
+  RefExec<double> exec(s);
+  for (int r = 0; r < p; ++r) {
+    const auto piece = pieces[static_cast<std::size_t>(r)];
+    for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+      exec.user(r)[i] = 100.0 * r + static_cast<double>(i);
+    }
+  }
+  exec.run();
+  for (int r = 0; r < p; ++r) {
+    for (int owner = 0; owner < p; ++owner) {
+      const auto piece = pieces[static_cast<std::size_t>(owner)];
+      for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+        ASSERT_DOUBLE_EQ(exec.user(r)[i], 100.0 * owner + static_cast<double>(i))
+            << "rank " << r;
+      }
+    }
+  }
+}
+
+TEST_P(DimExchangeP, DistributedCombineReducesPieces) {
+  const auto [p, elems_i] = GetParam();
+  const std::size_t elems = static_cast<std::size_t>(elems_i);
+  const Group g = Group::contiguous(p);
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  hypercube::dimension_exchange_distributed_combine(ctx, g,
+                                                    ElemRange{0, elems});
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < elems; ++i) {
+      exec.user(r)[i] = (r + 1.0) * (static_cast<double>(i) + 1.0);
+    }
+  }
+  exec.run();
+  const auto pieces = block_partition(ElemRange{0, elems}, p);
+  for (int r = 0; r < p; ++r) {
+    const auto piece = pieces[static_cast<std::size_t>(r)];
+    for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+      ASSERT_DOUBLE_EQ(exec.user(r)[i],
+                       p * (p + 1) / 2.0 * (static_cast<double>(i) + 1.0))
+          << "rank " << r;
+    }
+  }
+}
+
+TEST_P(DimExchangeP, CombineToAllBothVariants) {
+  const auto [p, elems_i] = GetParam();
+  const std::size_t elems = static_cast<std::size_t>(elems_i);
+  const Group g = Group::contiguous(p);
+  for (int variant = 0; variant < 2; ++variant) {
+    Schedule s;
+    planner::Ctx ctx{s, sizeof(double)};
+    if (variant == 0) {
+      hypercube::exchange_combine_to_all(ctx, g, ElemRange{0, elems});
+    } else {
+      hypercube::long_combine_to_all(ctx, g, ElemRange{0, elems});
+    }
+    validate_or_throw(s);
+    RefExec<double> exec(s);
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < elems; ++i) exec.user(r)[i] = r + 1.0;
+    }
+    exec.run();
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < elems; ++i) {
+        ASSERT_DOUBLE_EQ(exec.user(r)[i], p * (p + 1) / 2.0)
+            << "variant " << variant << " rank " << r;
+      }
+    }
+  }
+}
+
+TEST_P(DimExchangeP, LongBroadcastDelivers) {
+  const auto [p, elems_i] = GetParam();
+  const std::size_t elems = static_cast<std::size_t>(elems_i);
+  const Group g = Group::contiguous(p);
+  const int root = p > 5 ? 5 : 0;
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  hypercube::long_broadcast(ctx, g, ElemRange{0, elems}, root);
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (std::size_t i = 0; i < elems; ++i) {
+    exec.user(root)[i] = static_cast<double>(i) * 2.0 + 1.0;
+  }
+  exec.run();
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < elems; ++i) {
+      ASSERT_DOUBLE_EQ(exec.user(r)[i], static_cast<double>(i) * 2.0 + 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DimExchangeP,
+    ::testing::Values(std::make_tuple(1, 4), std::make_tuple(2, 9),
+                      std::make_tuple(4, 16), std::make_tuple(8, 23),
+                      std::make_tuple(16, 64), std::make_tuple(32, 7)));
+
+TEST(DimExchangeTest, RequiresPowerOfTwo) {
+  Schedule s;
+  planner::Ctx ctx{s, 8};
+  EXPECT_THROW(hypercube::dimension_exchange_collect(
+                   ctx, Group::contiguous(6), ElemRange{0, 6}),
+               Error);
+}
+
+TEST(HypercubeSimTest, DimensionExchangeIsConflictFreeOnTheCube) {
+  // Every transfer of the dimension-exchange algorithms crosses exactly one
+  // cube edge, and the pairwise exchanges of a step use disjoint channels.
+  const int d = 4;
+  const int p = 1 << d;
+  auto cube = std::make_shared<Hypercube>(d);
+  SimParams params;
+  params.machine = MachineParams::unit();
+  WormholeSimulator sim(cube, params);
+  for (int variant = 0; variant < 3; ++variant) {
+    Schedule s;
+    planner::Ctx ctx{s, 1};
+    const Group g = Group::contiguous(p);
+    const ElemRange range{0, static_cast<std::size_t>(p) * 16};
+    if (variant == 0) {
+      hypercube::dimension_exchange_collect(ctx, g, range);
+    } else if (variant == 1) {
+      hypercube::dimension_exchange_distributed_combine(ctx, g, range);
+    } else {
+      hypercube::long_broadcast(ctx, g, range, 0);
+    }
+    s.set_levels(0);
+    const SimResult r = sim.run(s);
+    EXPECT_EQ(r.peak_link_load, 1) << "variant " << variant;
+  }
+}
+
+TEST(HypercubeSimTest, CollectTimeMatchesAnalyticCost) {
+  const int d = 4;
+  const int p = 1 << d;
+  auto cube = std::make_shared<Hypercube>(d);
+  SimParams params;
+  params.machine = MachineParams::unit();
+  WormholeSimulator sim(cube, params);
+  Schedule s;
+  planner::Ctx ctx{s, 1};
+  const std::size_t n = static_cast<std::size_t>(p) * 64;
+  hypercube::dimension_exchange_collect(ctx, Group::contiguous(p),
+                                        ElemRange{0, n});
+  s.set_levels(0);
+  Cost c = hypercube::dimension_exchange_collect_cost(p, static_cast<double>(n));
+  c.levels = 0;
+  EXPECT_DOUBLE_EQ(sim.run(s).seconds, c.seconds(MachineParams::unit()));
+}
+
+TEST(HypercubeSimTest, GrayPipelinedBroadcastIsConflictFree) {
+  const int d = 5;
+  auto cube = std::make_shared<Hypercube>(d);
+  SimParams params;
+  params.machine = MachineParams::unit();
+  WormholeSimulator sim(cube, params);
+  Schedule s;
+  planner::Ctx ctx{s, 1};
+  hypercube::gray_ring_pipelined_broadcast(ctx, *cube, ElemRange{0, 1 << 12},
+                                           /*root=*/3, /*segments=*/16);
+  s.set_levels(0);
+  EXPECT_EQ(sim.run(s).peak_link_load, 1);
+}
+
+TEST(HypercubeSimTest, GrayPipelinedDelivers) {
+  Hypercube cube(3);
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  hypercube::gray_ring_pipelined_broadcast(ctx, cube, ElemRange{0, 24}, 6, 4);
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (std::size_t i = 0; i < 24; ++i) exec.user(6)[i] = 0.5 * i;
+  exec.run();
+  for (int node = 0; node < 8; ++node) {
+    for (std::size_t i = 0; i < 24; ++i) {
+      ASSERT_DOUBLE_EQ(exec.user(node)[i], 0.5 * i) << "node " << node;
+    }
+  }
+}
+
+TEST(HypercubeCostTest, CostFormulas) {
+  // Recursive doubling: log p startups, (p-1)/p n beta — both optimal.
+  const Cost collect = hypercube::dimension_exchange_collect_cost(16, 160.0);
+  EXPECT_DOUBLE_EQ(collect.alpha_terms, 4.0);
+  EXPECT_DOUBLE_EQ(collect.beta_bytes, 150.0);
+  const Cost rs =
+      hypercube::dimension_exchange_distributed_combine_cost(16, 160.0);
+  EXPECT_DOUBLE_EQ(rs.gamma_bytes, 150.0);
+  const Cost ar = hypercube::long_combine_to_all_cost(16, 160.0);
+  EXPECT_DOUBLE_EQ(ar.alpha_terms, 8.0);
+  EXPECT_DOUBLE_EQ(ar.beta_bytes, 300.0);
+  // The hypercube long broadcast has log-latency, unlike the ring collect's
+  // (p-1) startups on a mesh.
+  const Cost bc = hypercube::long_broadcast_cost(16, 160.0);
+  EXPECT_DOUBLE_EQ(bc.alpha_terms, 8.0);
+}
+
+TEST(HypercubeCostTest, PresetsExist) {
+  const MachineParams ipsc = MachineParams::ipsc860();
+  const MachineParams sunmos = MachineParams::sunmos();
+  EXPECT_GT(ipsc.beta, MachineParams::paragon().beta);
+  EXPECT_LT(sunmos.alpha, MachineParams::paragon().alpha);
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,188 @@
+// The paper's headline claims, executed as tests.
+//
+//  * Section 4: the building blocks "incur no network conflicts" — simulated
+//    peak link load is exactly 1 on a linear array.
+//  * Section 5.1: short-vector startup counts are within a factor two of the
+//    optimal ceil(log2 p).
+//  * Table 3 shape: against the NX-like baseline on a simulated 512-node
+//    Paragon, iCC is comparable (slightly slower) for 8-byte vectors and
+//    many times faster for 64 KB / 1 MB vectors; the serial NX collect loses
+//    by an order of magnitude at every length.
+//  * Section 8: the pipelined broadcast beats scatter/collect in a clean
+//    simulation but loses once realistic OS timing jitter is injected.
+#include <gtest/gtest.h>
+
+#include "intercom/baseline/nx.hpp"
+#include "intercom/core/pipelined.hpp"
+#include "intercom/core/planner.hpp"
+#include "intercom/sim/engine.hpp"
+#include "intercom/topo/submesh.hpp"
+#include "intercom/util/factorization.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(PaperPropertyTest, BuildingBlocksIncurNoNetworkConflicts) {
+  const int p = 24;
+  const std::size_t n = 24 * 64;
+  const Group g = Group::contiguous(p);
+  SimParams params;
+  params.machine = MachineParams::unit();
+  WormholeSimulator sim(Mesh2D(1, p), params);
+
+  std::vector<std::pair<const char*, Schedule>> blocks;
+  auto add = [&](const char* name, auto&& gen) {
+    Schedule s;
+    planner::Ctx ctx{s, 1};
+    gen(ctx);
+    s.set_levels(0);
+    blocks.emplace_back(name, std::move(s));
+  };
+  const ElemRange range{0, n};
+  add("mst_broadcast", [&](planner::Ctx& c) {
+    planner::mst_broadcast(c, g, range, 0);
+  });
+  add("mst_combine_to_one", [&](planner::Ctx& c) {
+    planner::mst_combine_to_one(c, g, range, 0);
+  });
+  add("mst_scatter", [&](planner::Ctx& c) {
+    planner::mst_scatter(c, g, range, 0);
+  });
+  add("mst_gather", [&](planner::Ctx& c) {
+    planner::mst_gather(c, g, range, 0);
+  });
+  add("bucket_collect", [&](planner::Ctx& c) {
+    planner::bucket_collect(c, g, range);
+  });
+  add("bucket_distributed_combine", [&](planner::Ctx& c) {
+    planner::bucket_distributed_combine(c, g, range);
+  });
+  for (auto& [name, schedule] : blocks) {
+    const SimResult r = sim.run(schedule);
+    EXPECT_EQ(r.peak_link_load, 1) << name;
+  }
+}
+
+TEST(PaperPropertyTest, ShortVectorStartupWithinFactorTwoOfOptimal) {
+  // Per Section 5.1 the composed short-vector algorithms use at most
+  // 2 ceil(log2 p) startups (the primitives use exactly ceil(log2 p)).
+  const Planner planner(MachineParams::paragon());
+  for (int p : {5, 16, 30, 31, 512}) {
+    const Group g = Group::contiguous(p);
+    for (auto c : {Collective::kBroadcast, Collective::kCollect,
+                   Collective::kCombineToAll, Collective::kCombineToOne,
+                   Collective::kDistributedCombine}) {
+      const auto strat = planner.select_strategy(c, g, 8);
+      const Cost cost = planner.predict(c, strat, 8);
+      EXPECT_LE(cost.alpha_terms, 2.0 * ceil_log2(p) + 1e-9)
+          << to_string(c) << " p=" << p;
+    }
+  }
+}
+
+// ---- Table 3 shape ---------------------------------------------------------
+
+struct Table3Entry {
+  double nx = 0.0;
+  double icc = 0.0;
+  double ratio() const { return nx / icc; }
+};
+
+Table3Entry run_pair(Collective collective, const Mesh2D& mesh,
+                     std::size_t nbytes) {
+  SimParams params;
+  params.machine = MachineParams::paragon();
+  WormholeSimulator sim(mesh, params);
+  const Group whole = whole_mesh_group(mesh);
+  const Planner planner(params.machine, mesh);
+  Table3Entry e;
+  e.nx = sim.run(nx::plan(collective, whole, nbytes, 1, 0)).seconds;
+  e.icc = sim.run(planner.plan(collective, whole, nbytes, 1, 0)).seconds;
+  return e;
+}
+
+TEST(PaperPropertyTest, Table3BroadcastShape) {
+  const Mesh2D mesh(16, 32);
+  const auto tiny = run_pair(Collective::kBroadcast, mesh, 8);
+  // Paper: 0.92 — NX slightly wins on 8 bytes because iCC's recursion has
+  // per-level overhead.
+  EXPECT_GT(tiny.ratio(), 0.6);
+  EXPECT_LT(tiny.ratio(), 1.05);
+  const auto big = run_pair(Collective::kBroadcast, mesh, 1 << 20);
+  // Paper: 12.5 — our NX stand-in (flat MST) is better than the real NX, but
+  // iCC must still win by a wide margin.
+  EXPECT_GT(big.ratio(), 3.0);
+}
+
+TEST(PaperPropertyTest, Table3CollectShape) {
+  const Mesh2D mesh(16, 32);
+  // Paper: 77.1 at 8 B, 24.6 at 64 KB, 5.1 at 1 MB — the serial NX collect
+  // loses everywhere.
+  EXPECT_GT(run_pair(Collective::kCollect, mesh, 8).ratio(), 5.0);
+  EXPECT_GT(run_pair(Collective::kCollect, mesh, 64 << 10).ratio(), 3.0);
+  EXPECT_GT(run_pair(Collective::kCollect, mesh, 1 << 20).ratio(), 2.0);
+}
+
+TEST(PaperPropertyTest, Table3GlobalSumShape) {
+  const Mesh2D mesh(16, 32);
+  const auto tiny = run_pair(Collective::kCombineToAll, mesh, 8);
+  // Paper: 0.88 for 8 bytes.
+  EXPECT_GT(tiny.ratio(), 0.6);
+  EXPECT_LT(tiny.ratio(), 1.05);
+  // Paper: 7.10 at 64 KB, 16.0 at 1 MB.
+  EXPECT_GT(run_pair(Collective::kCombineToAll, mesh, 64 << 10).ratio(), 2.0);
+  EXPECT_GT(run_pair(Collective::kCombineToAll, mesh, 1 << 20).ratio(), 3.0);
+}
+
+TEST(PaperPropertyTest, NonPowerOfTwoMeshStillWins) {
+  // Fig. 4 right: broadcast on a 15 x 30 mesh "deviates significantly from a
+  // power-of-two mesh" and the hybrids must still deliver.
+  const Mesh2D mesh(15, 30);
+  EXPECT_GT(run_pair(Collective::kBroadcast, mesh, 1 << 20).ratio(), 3.0);
+}
+
+// ---- Section 8: pipelined algorithms vs reality ---------------------------
+
+TEST(PaperPropertyTest, PipelinedWinsCleanLosesUnderJitter) {
+  const int p = 30;
+  const std::size_t n = 100000;
+  const Group g = Group::contiguous(p);
+  MachineParams machine = MachineParams::unit();
+  machine.beta = 0.01;  // cheap bandwidth: startup effects matter
+
+  // Pipelined broadcast tuned for the clean machine.
+  Schedule pipelined;
+  {
+    planner::Ctx ctx{pipelined, 1};
+    const int segments = planner::optimal_segments(
+        p, static_cast<double>(n), machine);
+    planner::pipelined_broadcast(ctx, g, ElemRange{0, n}, 0, segments);
+    pipelined.set_levels(0);
+  }
+  // Scatter/collect broadcast (the library's simple long-vector algorithm).
+  const Planner planner(machine);
+  Schedule sc = planner.plan_with_strategy(
+      Collective::kBroadcast, g, n, 1, 0,
+      HybridStrategy{{p}, InnerAlg::kScatterCollect, false});
+  sc.set_levels(0);
+
+  SimParams clean;
+  clean.machine = machine;
+  WormholeSimulator clean_sim(Mesh2D(1, p), clean);
+  const double pipe_clean = clean_sim.run(pipelined).seconds;
+  const double sc_clean = clean_sim.run(sc).seconds;
+  EXPECT_LT(pipe_clean, sc_clean)
+      << "in theory the pipelined broadcast wins for long vectors";
+
+  SimParams jittery = clean;
+  jittery.jitter_mean = 5.0;  // OS timing irregularities (Section 8)
+  jittery.jitter_seed = 7;
+  WormholeSimulator jitter_sim(Mesh2D(1, p), jittery);
+  const double pipe_jitter = jitter_sim.run(pipelined).seconds;
+  const double sc_jitter = jitter_sim.run(sc).seconds;
+  EXPECT_GT(pipe_jitter, sc_jitter)
+      << "with timing irregularities the simple algorithm wins";
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,105 @@
+// Schedule analysis tests: the zero-contention critical path must equal the
+// analytic costs for conflict-free algorithms and lower-bound the simulator.
+#include <gtest/gtest.h>
+
+#include "intercom/core/algorithms.hpp"
+#include "intercom/core/planner.hpp"
+#include "intercom/ir/analysis.hpp"
+#include "intercom/model/primitive_costs.hpp"
+#include "intercom/sim/engine.hpp"
+#include "intercom/util/error.hpp"
+#include "intercom/util/factorization.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(AnalysisTest, SingleTransfer) {
+  Schedule s;
+  s.set_levels(0);
+  const BufSlice u{kUserBuf, 0, 100};
+  s.add_transfer(0, 1, u, u);
+  const ScheduleStats stats = analyze(s, MachineParams::unit());
+  EXPECT_EQ(stats.transfers, 1u);
+  EXPECT_EQ(stats.bytes_moved, 100u);
+  EXPECT_EQ(stats.alpha_depth, 1);
+  EXPECT_DOUBLE_EQ(stats.critical_seconds, 101.0);
+}
+
+TEST(AnalysisTest, MstBroadcastCriticalPathExact) {
+  for (int p : {2, 3, 8, 30, 31}) {
+    Schedule s;
+    planner::Ctx ctx{s, 1};
+    planner::mst_broadcast(ctx, Group::contiguous(p), ElemRange{0, 500}, 0);
+    s.set_levels(0);
+    const ScheduleStats stats = analyze(s, MachineParams::unit());
+    EXPECT_EQ(stats.alpha_depth, ceil_log2(p)) << "p=" << p;
+    EXPECT_DOUBLE_EQ(stats.critical_seconds, ceil_log2(p) * (1.0 + 500.0))
+        << "p=" << p;
+  }
+}
+
+TEST(AnalysisTest, BucketCollectCriticalPathExact) {
+  const int p = 10;
+  Schedule s;
+  planner::Ctx ctx{s, 1};
+  planner::bucket_collect(ctx, Group::contiguous(p), ElemRange{0, 1000});
+  s.set_levels(0);
+  const ScheduleStats stats = analyze(s, MachineParams::unit());
+  EXPECT_EQ(stats.alpha_depth, p - 1);
+  EXPECT_DOUBLE_EQ(stats.critical_seconds, (p - 1) * (1.0 + 100.0));
+}
+
+TEST(AnalysisTest, CombineBytesCounted) {
+  const int p = 4;
+  Schedule s;
+  planner::Ctx ctx{s, 1};
+  planner::mst_combine_to_one(ctx, Group::contiguous(p), ElemRange{0, 64}, 0);
+  s.set_levels(0);
+  const ScheduleStats stats = analyze(s, MachineParams::unit());
+  // p-1 receives are each combined: 3 * 64 bytes through gamma.
+  EXPECT_EQ(stats.combine_bytes, 3u * 64u);
+}
+
+TEST(AnalysisTest, LowerBoundsSimulatorOnConflictedSchedules) {
+  // For a strided hybrid the simulator charges link sharing; the analysis
+  // (zero contention) must lower-bound it, and they must agree for the
+  // conflict-free pure algorithms.
+  const Planner planner(MachineParams::unit());
+  const int p = 30;
+  SimParams params;
+  params.machine = MachineParams::unit();
+  WormholeSimulator sim(Mesh2D(1, p), params);
+  const Group g = Group::contiguous(p);
+  for (const auto& strat :
+       {HybridStrategy{{2, 15}, InnerAlg::kShortVector, false},
+        HybridStrategy{{30}, InnerAlg::kShortVector, false},
+        HybridStrategy{{30}, InnerAlg::kScatterCollect, false}}) {
+    const Schedule s = planner.plan_with_strategy(Collective::kBroadcast, g,
+                                                  3000, 1, 0, strat);
+    const double analyzed =
+        analyze(s, MachineParams::unit()).critical_seconds;
+    const double simulated = sim.run(s).seconds;
+    EXPECT_LE(analyzed, simulated + 1e-9) << strat.label();
+    if (strat.dims.size() == 1) {
+      EXPECT_NEAR(analyzed, simulated, simulated * 1e-9) << strat.label();
+    }
+  }
+}
+
+TEST(AnalysisTest, PerLevelOverheadIncluded) {
+  Schedule s;
+  s.set_levels(4);
+  MachineParams params = MachineParams::unit();
+  params.per_level_overhead = 10.0;
+  EXPECT_DOUBLE_EQ(analyze(s, params).critical_seconds, 40.0);
+}
+
+TEST(AnalysisTest, DeadlockedScheduleThrows) {
+  Schedule s;
+  s.reserve_slice(0, BufSlice{kUserBuf, 0, 8});
+  s.program(0).ops.push_back(Op::send(1, BufSlice{kUserBuf, 0, 8}, 0));
+  EXPECT_THROW(analyze(s, MachineParams::unit()), Error);
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,114 @@
+// Validator mutation testing: corrupting any transfer of a valid schedule —
+// retagging a receive, resizing it, deleting an op, or redirecting a peer —
+// must be caught by validate().  This pins the validator's sensitivity; a
+// validator that accepts corrupted schedules would let planner bugs reach
+// the simulator and runtime silently.
+#include <gtest/gtest.h>
+
+#include "intercom/core/planner.hpp"
+#include "intercom/ir/validate.hpp"
+#include "intercom/util/rng.hpp"
+
+namespace intercom {
+namespace {
+
+// Collects (node, op index) of ops with a recv/send half.
+std::vector<std::pair<int, std::size_t>> comm_ops(const Schedule& s,
+                                                  bool want_send) {
+  std::vector<std::pair<int, std::size_t>> out;
+  for (const auto& prog : s.programs()) {
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+      const Op& op = prog.ops[i];
+      if ((want_send && op.has_send()) || (!want_send && op.has_recv())) {
+        out.emplace_back(prog.node, i);
+      }
+    }
+  }
+  return out;
+}
+
+Op& op_at(Schedule& s, int node, std::size_t index) {
+  return s.program(node).ops[index];
+}
+
+class MutationP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationP, CorruptedSchedulesAreRejected) {
+  Rng rng(GetParam());
+  const Planner planner(MachineParams::paragon());
+  for (int trial = 0; trial < 30; ++trial) {
+    const int p = static_cast<int>(rng.next_in_range(2, 16));
+    const std::size_t elems =
+        static_cast<std::size_t>(rng.next_in_range(static_cast<int>(p), 200));
+    constexpr Collective kAll[] = {
+        Collective::kBroadcast, Collective::kCollect,
+        Collective::kCombineToAll, Collective::kDistributedCombine,
+        Collective::kGather};
+    const Collective collective = kAll[rng.next_in_range(0, 4)];
+    Schedule s =
+        planner.plan(collective, Group::contiguous(p), elems, 8, 0);
+    ASSERT_TRUE(validate(s).ok);
+
+    const auto mutation = rng.next_in_range(0, 3);
+    switch (mutation) {
+      case 0: {  // retag a random recv half
+        auto recvs = comm_ops(s, /*want_send=*/false);
+        if (recvs.empty()) continue;
+        const auto [node, idx] =
+            recvs[static_cast<std::size_t>(rng.next_in_range(
+                0, static_cast<std::int64_t>(recvs.size()) - 1))];
+        Op& op = op_at(s, node, idx);
+        if (op.kind == OpKind::kSendRecv) {
+          op.tag2 += 100000;
+        } else {
+          op.tag += 100000;
+        }
+        break;
+      }
+      case 1: {  // grow a random recv's length (reserve so pass 1 stays ok)
+        auto recvs = comm_ops(s, false);
+        if (recvs.empty()) continue;
+        const auto [node, idx] =
+            recvs[static_cast<std::size_t>(rng.next_in_range(
+                0, static_cast<std::int64_t>(recvs.size()) - 1))];
+        Op& op = op_at(s, node, idx);
+        op.dst.bytes += 8;
+        s.reserve_slice(node, op.dst);
+        break;
+      }
+      case 2: {  // delete a random communication op entirely
+        auto sends = comm_ops(s, true);
+        if (sends.empty()) continue;
+        const auto [node, idx] =
+            sends[static_cast<std::size_t>(rng.next_in_range(
+                0, static_cast<std::int64_t>(sends.size()) - 1))];
+        auto& ops = s.program(node).ops;
+        ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(idx));
+        break;
+      }
+      default: {  // redirect a random send to a different peer
+        if (p < 3) continue;  // needs a third node to redirect to
+        auto sends = comm_ops(s, true);
+        if (sends.empty()) continue;
+        const auto [node, idx] =
+            sends[static_cast<std::size_t>(rng.next_in_range(
+                0, static_cast<std::int64_t>(sends.size()) - 1))];
+        Op& op = op_at(s, node, idx);
+        op.peer = (op.peer + 1) % p == node ? (op.peer + 2) % p
+                                            : (op.peer + 1) % p;
+        if (op.peer == node) op.peer = (op.peer + 1) % p;
+        break;
+      }
+    }
+    const auto result = validate(s);
+    EXPECT_FALSE(result.ok)
+        << "trial " << trial << " mutation " << mutation << " on "
+        << s.algorithm() << " was not caught";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationP,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,154 @@
+#include "intercom/ir/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(OpTest, Factories) {
+  const BufSlice s{kUserBuf, 8, 16};
+  const Op send = Op::send(3, s, 7);
+  EXPECT_EQ(send.kind, OpKind::kSend);
+  EXPECT_EQ(send.peer, 3);
+  EXPECT_EQ(send.tag, 7);
+  EXPECT_TRUE(send.has_send());
+  EXPECT_FALSE(send.has_recv());
+
+  const Op recv = Op::recv(2, s, 9);
+  EXPECT_EQ(recv.kind, OpKind::kRecv);
+  EXPECT_TRUE(recv.has_recv());
+  EXPECT_EQ(recv.recv_peer(), 2);
+  EXPECT_EQ(recv.recv_tag(), 9);
+
+  const Op sr = Op::sendrecv(1, s, 4, 2, s, 5);
+  EXPECT_TRUE(sr.has_send());
+  EXPECT_TRUE(sr.has_recv());
+  EXPECT_EQ(sr.peer, 1);
+  EXPECT_EQ(sr.tag, 4);
+  EXPECT_EQ(sr.recv_peer(), 2);
+  EXPECT_EQ(sr.recv_tag(), 5);
+}
+
+TEST(OpTest, CombineRequiresEqualLengths) {
+  EXPECT_THROW(
+      Op::combine(BufSlice{0, 0, 8}, BufSlice{0, 0, 4}), Error);
+  EXPECT_THROW(Op::copy(BufSlice{0, 0, 8}, BufSlice{0, 8, 12}), Error);
+}
+
+TEST(ScheduleTest, ProgramCreationAndLookup) {
+  Schedule s;
+  s.program(4).ops.push_back(Op::copy(BufSlice{0, 0, 0}, BufSlice{0, 0, 0}));
+  EXPECT_NE(s.find_program(4), nullptr);
+  EXPECT_EQ(s.find_program(5), nullptr);
+  EXPECT_EQ(s.find_program(4)->node, 4);
+  EXPECT_EQ(s.programs().size(), 1u);
+}
+
+TEST(ScheduleTest, ReserveSliceGrowsBufferTable) {
+  Schedule s;
+  s.reserve_slice(0, BufSlice{kScratchBuf, 100, 50});
+  const NodeProgram* prog = s.find_program(0);
+  ASSERT_NE(prog, nullptr);
+  ASSERT_EQ(prog->buffer_bytes.size(), 2u);
+  EXPECT_EQ(prog->buffer_bytes[kScratchBuf], 150u);
+  // Smaller reservations never shrink.
+  s.reserve_slice(0, BufSlice{kScratchBuf, 0, 10});
+  EXPECT_EQ(s.find_program(0)->buffer_bytes[kScratchBuf], 150u);
+}
+
+TEST(ScheduleTest, AddTransferCreatesMatchedPair) {
+  Schedule s;
+  const BufSlice slice{kUserBuf, 0, 64};
+  s.add_transfer(1, 2, slice, slice);
+  const NodeProgram* sender = s.find_program(1);
+  const NodeProgram* receiver = s.find_program(2);
+  ASSERT_EQ(sender->ops.size(), 1u);
+  ASSERT_EQ(receiver->ops.size(), 1u);
+  EXPECT_EQ(sender->ops[0].kind, OpKind::kSend);
+  EXPECT_EQ(receiver->ops[0].kind, OpKind::kRecv);
+  EXPECT_EQ(sender->ops[0].tag, receiver->ops[0].tag);
+  EXPECT_EQ(s.total_sends(), 1u);
+  EXPECT_EQ(s.total_bytes_sent(), 64u);
+}
+
+TEST(ScheduleTest, AddTransferRejectsSelfAndMismatch) {
+  Schedule s;
+  const BufSlice a{kUserBuf, 0, 8};
+  const BufSlice b{kUserBuf, 0, 16};
+  EXPECT_THROW(s.add_transfer(1, 1, a, a), Error);
+  EXPECT_THROW(s.add_transfer(1, 2, a, b), Error);
+}
+
+TEST(ScheduleTest, FreshTagsAreUnique) {
+  Schedule s;
+  EXPECT_EQ(s.fresh_tag(), 0);
+  EXPECT_EQ(s.fresh_tag(), 1);
+  EXPECT_EQ(s.fresh_tag(), 2);
+}
+
+TEST(ScheduleTest, TotalsCountSendRecvHalves) {
+  Schedule s;
+  const BufSlice slice{kUserBuf, 0, 10};
+  s.program(0).ops.push_back(Op::sendrecv(1, slice, 0, 1, slice, 1));
+  EXPECT_EQ(s.total_sends(), 1u);
+  EXPECT_EQ(s.total_bytes_sent(), 10u);
+}
+
+TEST(ScheduleTest, ToStringMentionsOps) {
+  Schedule s;
+  s.set_algorithm("test-alg");
+  const BufSlice slice{kUserBuf, 0, 4};
+  s.add_transfer(0, 1, slice, slice);
+  const std::string text = to_string(s);
+  EXPECT_NE(text.find("test-alg"), std::string::npos);
+  EXPECT_NE(text.find("send"), std::string::npos);
+  EXPECT_NE(text.find("recv"), std::string::npos);
+}
+
+TEST(ScheduleTest, MergeDisjointGroups) {
+  // Two concurrent group collectives on disjoint node sets merge into one
+  // schedule that validates and preserves both traffic patterns.
+  Schedule a;
+  a.set_algorithm("left");
+  a.add_transfer(0, 1, BufSlice{kUserBuf, 0, 8}, BufSlice{kUserBuf, 0, 8});
+  Schedule b;
+  b.set_algorithm("right");
+  b.add_transfer(2, 3, BufSlice{kUserBuf, 0, 16}, BufSlice{kUserBuf, 0, 16});
+  std::vector<Schedule> parts;
+  parts.push_back(std::move(a));
+  parts.push_back(std::move(b));
+  const Schedule merged = merge_schedules(std::move(parts));
+  EXPECT_EQ(merged.total_sends(), 2u);
+  EXPECT_EQ(merged.total_bytes_sent(), 24u);
+  EXPECT_EQ(merged.algorithm(), "left + right");
+  EXPECT_NE(merged.find_program(0), nullptr);
+  EXPECT_NE(merged.find_program(3), nullptr);
+}
+
+TEST(ScheduleTest, MergeSequentialPhasesOnSameNodes) {
+  // Back-to-back phases on the same pair: per-pair FIFO ordering keeps the
+  // repeated tags unambiguous.
+  Schedule a;
+  a.add_transfer(0, 1, BufSlice{kUserBuf, 0, 8}, BufSlice{kUserBuf, 0, 8});
+  Schedule b;
+  b.add_transfer(0, 1, BufSlice{kUserBuf, 8, 8}, BufSlice{kUserBuf, 8, 8});
+  std::vector<Schedule> parts;
+  parts.push_back(std::move(a));
+  parts.push_back(std::move(b));
+  const Schedule merged = merge_schedules(std::move(parts));
+  ASSERT_NE(merged.find_program(0), nullptr);
+  EXPECT_EQ(merged.find_program(0)->ops.size(), 2u);
+  EXPECT_EQ(merged.find_program(0)->buffer_bytes[kUserBuf], 16u);
+}
+
+TEST(ScheduleTest, LevelsMetadataRoundTrips) {
+  Schedule s;
+  EXPECT_EQ(s.levels(), 1);
+  s.set_levels(9);
+  EXPECT_EQ(s.levels(), 9);
+}
+
+}  // namespace
+}  // namespace intercom

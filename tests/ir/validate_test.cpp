@@ -1,0 +1,145 @@
+#include "intercom/ir/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+BufSlice user(std::size_t offset, std::size_t bytes) {
+  return BufSlice{kUserBuf, offset, bytes};
+}
+
+TEST(ValidateTest, EmptyScheduleIsValid) {
+  Schedule s;
+  EXPECT_TRUE(validate(s).ok);
+}
+
+TEST(ValidateTest, MatchedTransferIsValid) {
+  Schedule s;
+  s.add_transfer(0, 1, user(0, 8), user(0, 8));
+  const auto result = validate(s);
+  EXPECT_TRUE(result.ok) << result.message();
+}
+
+TEST(ValidateTest, UnmatchedSendDeadlocks) {
+  Schedule s;
+  s.reserve_slice(0, user(0, 8));
+  s.program(0).ops.push_back(Op::send(1, user(0, 8), 0));
+  const auto result = validate(s);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message().find("deadlock"), std::string::npos);
+}
+
+TEST(ValidateTest, TagMismatchDeadlocks) {
+  Schedule s;
+  s.reserve_slice(0, user(0, 8));
+  s.reserve_slice(1, user(0, 8));
+  s.program(0).ops.push_back(Op::send(1, user(0, 8), 7));
+  s.program(1).ops.push_back(Op::recv(0, user(0, 8), 8));
+  EXPECT_FALSE(validate(s).ok);
+}
+
+TEST(ValidateTest, LengthMismatchDeadlocks) {
+  Schedule s;
+  s.reserve_slice(0, user(0, 8));
+  s.reserve_slice(1, user(0, 16));
+  s.program(0).ops.push_back(Op::send(1, user(0, 8), 0));
+  s.program(1).ops.push_back(Op::recv(0, user(0, 16), 0));
+  EXPECT_FALSE(validate(s).ok);
+}
+
+TEST(ValidateTest, OutOfBufferSliceRejected) {
+  Schedule s;
+  s.reserve_slice(0, user(0, 4));
+  s.reserve_slice(1, user(0, 8));
+  s.program(0).ops.push_back(Op::send(1, user(0, 8), 0));  // exceeds 4 bytes
+  s.program(1).ops.push_back(Op::recv(0, user(0, 8), 0));
+  const auto result = validate(s);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message().find("exceeds buffer"), std::string::npos);
+}
+
+TEST(ValidateTest, UndeclaredBufferRejected) {
+  Schedule s;
+  s.program(0).ops.push_back(
+      Op::copy(BufSlice{5, 0, 4}, BufSlice{5, 4, 4}));
+  EXPECT_FALSE(validate(s).ok);
+}
+
+TEST(ValidateTest, ZeroLengthTransferRejected) {
+  Schedule s;
+  s.reserve_slice(0, user(0, 8));
+  s.reserve_slice(1, user(0, 8));
+  s.program(0).ops.push_back(Op::send(1, user(0, 0), 0));
+  s.program(1).ops.push_back(Op::recv(0, user(0, 0), 0));
+  EXPECT_FALSE(validate(s).ok);
+}
+
+TEST(ValidateTest, SelfSendRejected) {
+  Schedule s;
+  s.reserve_slice(0, user(0, 8));
+  s.program(0).ops.push_back(Op::send(0, user(0, 8), 0));
+  EXPECT_FALSE(validate(s).ok);
+}
+
+TEST(ValidateTest, OrderSensitiveRendezvousDeadlockDetected) {
+  // Two nodes that both send first deadlock under rendezvous semantics.
+  Schedule s;
+  s.reserve_slice(0, user(0, 8));
+  s.reserve_slice(1, user(0, 8));
+  s.program(0).ops.push_back(Op::send(1, user(0, 8), 0));
+  s.program(0).ops.push_back(Op::recv(1, user(0, 8), 1));
+  s.program(1).ops.push_back(Op::send(0, user(0, 8), 1));
+  s.program(1).ops.push_back(Op::recv(0, user(0, 8), 0));
+  const auto result = validate(s);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(ValidateTest, SendRecvExchangeIsValid) {
+  // The same head-to-head exchange succeeds with fused sendrecv ops, which
+  // is exactly why the IR has them (ring steps).
+  Schedule s;
+  s.reserve_slice(0, user(0, 16));
+  s.reserve_slice(1, user(0, 16));
+  s.program(0).ops.push_back(
+      Op::sendrecv(1, user(0, 8), 0, 1, user(8, 8), 1));
+  s.program(1).ops.push_back(
+      Op::sendrecv(0, user(0, 8), 1, 0, user(8, 8), 0));
+  const auto result = validate(s);
+  EXPECT_TRUE(result.ok) << result.message();
+}
+
+TEST(ValidateTest, ThreeNodeRingOfSendRecvsIsValid) {
+  Schedule s;
+  for (int i = 0; i < 3; ++i) s.reserve_slice(i, user(0, 24));
+  for (int i = 0; i < 3; ++i) {
+    const int next = (i + 1) % 3;
+    const int prev = (i + 2) % 3;
+    // Tag by receiving node so both sides agree.
+    s.program(i).ops.push_back(
+        Op::sendrecv(next, user(0, 8), next, prev, user(8, 8), i));
+  }
+  const auto result = validate(s);
+  EXPECT_TRUE(result.ok) << result.message();
+}
+
+TEST(ValidateTest, LocalOpsAlwaysProgress) {
+  Schedule s;
+  s.reserve_slice(0, user(0, 16));
+  s.program(0).ops.push_back(Op::copy(user(0, 8), user(8, 8)));
+  s.program(0).ops.push_back(Op::combine(user(0, 8), user(8, 8)));
+  EXPECT_TRUE(validate(s).ok);
+}
+
+TEST(ValidateTest, ValidateOrThrowThrowsOnBadSchedule) {
+  Schedule s;
+  s.set_algorithm("broken");
+  s.reserve_slice(0, user(0, 8));
+  s.program(0).ops.push_back(Op::send(1, user(0, 8), 0));
+  EXPECT_THROW(validate_or_throw(s), Error);
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,62 @@
+#include "intercom/model/cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intercom {
+namespace {
+
+TEST(CostTest, SecondsIsDotProductWithParams) {
+  MachineParams p;
+  p.alpha = 2.0;
+  p.beta = 3.0;
+  p.gamma = 5.0;
+  p.per_level_overhead = 7.0;
+  const Cost c{1.0, 10.0, 100.0, 2.0};
+  EXPECT_DOUBLE_EQ(c.seconds(p), 2.0 + 30.0 + 500.0 + 14.0);
+}
+
+TEST(CostTest, AdditionAccumulatesAllTerms) {
+  const Cost a{1.0, 2.0, 3.0, 4.0};
+  const Cost b{10.0, 20.0, 30.0, 40.0};
+  const Cost c = a + b;
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 11.0);
+  EXPECT_DOUBLE_EQ(c.beta_bytes, 22.0);
+  EXPECT_DOUBLE_EQ(c.gamma_bytes, 33.0);
+  EXPECT_DOUBLE_EQ(c.levels, 44.0);
+}
+
+TEST(CostTest, ToStringNormalization) {
+  const Cost c{6.0, 150.0, 0.0, 0.0};
+  // Table 2 presentation: with n = 30 bytes the beta numerator prints as
+  // the coefficient over 30.
+  EXPECT_EQ(c.to_string(30.0), "6a + 5nb");
+  EXPECT_EQ(c.to_string(), "6a + 150b");
+}
+
+TEST(MachineParamsTest, UnitPreset) {
+  const MachineParams u = MachineParams::unit();
+  EXPECT_DOUBLE_EQ(u.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(u.beta, 1.0);
+  EXPECT_DOUBLE_EQ(u.gamma, 1.0);
+  EXPECT_DOUBLE_EQ(u.per_level_overhead, 0.0);
+}
+
+TEST(MachineParamsTest, ParagonPresetMatchesBackDerivation) {
+  const MachineParams p = MachineParams::paragon();
+  // Derived in DESIGN.md from Table 3: 8-byte broadcast ~ 9 alpha ~ 1.3 ms,
+  // 1 MB broadcast ~ 2 n beta ~ 0.075 s.
+  EXPECT_NEAR(9 * p.alpha, 1.3e-3, 0.4e-3);
+  EXPECT_NEAR(2.0 * (1 << 20) * p.beta, 0.075, 0.02);
+  EXPECT_GT(p.link_capacity, 1.0);  // Section 7.1 excess link bandwidth
+  EXPECT_GT(p.per_level_overhead, 0.0);
+}
+
+TEST(MachineParamsTest, DeltaSlowerThanParagon) {
+  const MachineParams d = MachineParams::delta();
+  const MachineParams p = MachineParams::paragon();
+  EXPECT_GT(d.beta, p.beta);
+  EXPECT_GE(d.alpha, p.alpha);
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,167 @@
+// Reproduction of the paper's Table 2: "Some choices of hybrids and their
+// expense when broadcasting on a linear array with 30 nodes."
+//
+// With n = 30 bytes and unit parameters, Cost.beta_bytes equals the
+// numerator of the paper's (x/30) n beta presentation.  Every legible row of
+// Table 2 is checked exactly.  The row the scan prints as
+// "(3x10, SMC) = 16a + (240/30) n b" is inconsistent with the formula that
+// reproduces all other rows (it gives 8a + (160/30) n b) and is attributed
+// to OCR damage; see DESIGN.md.
+#include "intercom/model/hybrid_costs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "intercom/model/primitive_costs.hpp"
+
+namespace intercom {
+namespace {
+
+Cost bcast30(const std::vector<int>& dims, InnerAlg inner) {
+  return hybrid_cost(Collective::kBroadcast,
+                     HybridStrategy{dims, inner, false}, 30.0);
+}
+
+TEST(Table2Test, PureMst_1x30_M) {
+  const Cost c = bcast30({30}, InnerAlg::kShortVector);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 5.0);
+  EXPECT_NEAR(c.beta_bytes, 150.0, 1e-9);
+}
+
+TEST(Table2Test, Smc_2x15) {
+  const Cost c = bcast30({2, 15}, InnerAlg::kShortVector);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 6.0);
+  EXPECT_NEAR(c.beta_bytes, 150.0, 1e-9);
+}
+
+TEST(Table2Test, Ssmcc_2x3x5) {
+  const Cost c = bcast30({2, 3, 5}, InnerAlg::kShortVector);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 9.0);
+  EXPECT_NEAR(c.beta_bytes, 160.0, 1e-9);
+}
+
+TEST(Table2Test, Smc_3x10_FormulaValue) {
+  const Cost c = bcast30({3, 10}, InnerAlg::kShortVector);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 8.0);
+  EXPECT_NEAR(c.beta_bytes, 160.0, 1e-9);
+}
+
+TEST(Table2Test, Sscc_3x10) {
+  const Cost c = bcast30({3, 10}, InnerAlg::kScatterCollect);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 17.0);
+  EXPECT_NEAR(c.beta_bytes, 94.0, 1e-9);
+}
+
+TEST(Table2Test, Sscc_10x3) {
+  const Cost c = bcast30({10, 3}, InnerAlg::kScatterCollect);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 17.0);
+  EXPECT_NEAR(c.beta_bytes, 94.0, 1e-9);
+}
+
+TEST(Table2Test, Sscc_2x15) {
+  const Cost c = bcast30({2, 15}, InnerAlg::kScatterCollect);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 20.0);
+  EXPECT_NEAR(c.beta_bytes, 86.0, 1e-9);
+}
+
+TEST(Table2Test, Sscc_5x6) {
+  const Cost c = bcast30({5, 6}, InnerAlg::kScatterCollect);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 15.0);
+  EXPECT_NEAR(c.beta_bytes, 98.0, 1e-9);
+}
+
+TEST(Table2Test, Sscc_6x5) {
+  const Cost c = bcast30({6, 5}, InnerAlg::kScatterCollect);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 15.0);
+  EXPECT_NEAR(c.beta_bytes, 98.0, 1e-9);
+}
+
+TEST(Table2Test, PureScatterCollectMatchesSection52) {
+  // (1x30, SC) must equal the Section 5.2 long-vector broadcast cost.
+  const Cost hybrid = bcast30({30}, InnerAlg::kScatterCollect);
+  const Cost composed =
+      costs::long_vector_cost(Collective::kBroadcast, 30, 30.0);
+  EXPECT_DOUBLE_EQ(hybrid.alpha_terms, composed.alpha_terms);
+  EXPECT_DOUBLE_EQ(hybrid.beta_bytes, composed.beta_bytes);
+}
+
+TEST(Table2Test, RowsOrderedByBetaTradeLatency) {
+  // The paper lists hybrids "in increasing order of the beta term ... at a
+  // cost of higher latency": SSCC variants have smaller beta but more alpha
+  // than pure MST.
+  const Cost mst = bcast30({30}, InnerAlg::kShortVector);
+  const Cost sscc = bcast30({2, 15}, InnerAlg::kScatterCollect);
+  EXPECT_LT(sscc.beta_bytes, mst.beta_bytes);
+  EXPECT_GT(sscc.alpha_terms, mst.alpha_terms);
+}
+
+// ---- mesh-aligned strategies (Section 7.1) --------------------------------
+
+TEST(MeshAlignedTest, CollectOn16x32HasRcMinus2Latency) {
+  const HybridStrategy s{{32, 16}, InnerAlg::kScatterCollect, true};
+  const Cost c = hybrid_cost(Collective::kCollect, s, 512.0);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 31.0 + 15.0);  // (r + c - 2) startups
+  // Beta within ~7% of the single-ring optimum (p-1)/p * n.
+  EXPECT_LT(c.beta_bytes, 512.0 * 1.05);
+  EXPECT_GT(c.beta_bytes, 511.0 * 511.0 / 512.0 / 511.0 * 0.9);
+}
+
+TEST(MeshAlignedTest, NoConflictPenaltyOnStage2) {
+  // Same dims, mesh-aligned vs linear array: the linear-array version pays
+  // interleaved-subgroup conflicts in its beta term.
+  const HybridStrategy mesh{{32, 16}, InnerAlg::kShortVector, true};
+  const HybridStrategy line{{32, 16}, InnerAlg::kShortVector, false};
+  const Cost cm = hybrid_cost(Collective::kBroadcast, mesh, 1 << 20);
+  const Cost cl = hybrid_cost(Collective::kBroadcast, line, 1 << 20);
+  EXPECT_LT(cm.beta_bytes, cl.beta_bytes);
+  EXPECT_DOUBLE_EQ(cm.alpha_terms, cl.alpha_terms);
+}
+
+TEST(MeshAlignedTest, ThreeLevelColumnSplitConflicts) {
+  // dims {c, r1, r2}: stage 3 interleaves r1 subgroups within each column.
+  const HybridStrategy s{{32, 4, 4}, InnerAlg::kShortVector, true};
+  const Cost c = hybrid_cost(Collective::kBroadcast, s, 512.0);
+  // Scatter stage 2 (within columns, conflict 1): ((4-1)/4) * 16 bytes-per-col
+  // ... full check: just assert it is strictly cheaper than the linear-array
+  // interpretation, which multiplies stage 2/3 by 32 and 128.
+  const HybridStrategy line{{32, 4, 4}, InnerAlg::kShortVector, false};
+  EXPECT_LT(c.beta_bytes,
+            hybrid_cost(Collective::kBroadcast, line, 512.0).beta_bytes);
+}
+
+// ---- generalization to the other collectives ------------------------------
+
+TEST(HybridCostTest, AllReduceHybridReducesToComposedForms) {
+  const HybridStrategy mst{{16}, InnerAlg::kShortVector, false};
+  const Cost c = hybrid_cost(Collective::kCombineToAll, mst, 64.0);
+  const Cost ref = costs::short_vector_cost(Collective::kCombineToAll, 16, 64.0);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, ref.alpha_terms);
+  EXPECT_DOUBLE_EQ(c.beta_bytes, ref.beta_bytes);
+  EXPECT_DOUBLE_EQ(c.gamma_bytes, ref.gamma_bytes);
+}
+
+TEST(HybridCostTest, CollectPureRingMatchesBucketCost) {
+  const HybridStrategy ring{{30}, InnerAlg::kScatterCollect, false};
+  const Cost c = hybrid_cost(Collective::kCollect, ring, 30.0);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 29.0);
+  EXPECT_NEAR(c.beta_bytes, 29.0, 1e-9);
+}
+
+TEST(HybridCostTest, DistributedCombineMirrorsCollect) {
+  const HybridStrategy s{{4, 8}, InnerAlg::kScatterCollect, false};
+  const Cost collect = hybrid_cost(Collective::kCollect, s, 4096.0);
+  const Cost rs = hybrid_cost(Collective::kDistributedCombine, s, 4096.0);
+  EXPECT_DOUBLE_EQ(collect.alpha_terms, rs.alpha_terms);
+  EXPECT_NEAR(collect.beta_bytes, rs.beta_bytes, 1e-9);
+  EXPECT_GT(rs.gamma_bytes, 0.0);
+}
+
+TEST(HybridCostTest, ScatterIgnoresStaging) {
+  const HybridStrategy staged{{4, 8}, InnerAlg::kScatterCollect, false};
+  const Cost c = hybrid_cost(Collective::kScatter, staged, 1024.0);
+  const Cost ref = costs::mst_scatter(32, 1024.0);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, ref.alpha_terms);
+  EXPECT_DOUBLE_EQ(c.beta_bytes, ref.beta_bytes);
+}
+
+}  // namespace
+}  // namespace intercom

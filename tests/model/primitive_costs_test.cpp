@@ -1,0 +1,141 @@
+#include "intercom/model/primitive_costs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+using namespace intercom::costs;
+
+// Section 4.1: MST broadcast on d nodes costs ceil(log2 d)(alpha + n beta).
+TEST(PrimitiveCostsTest, MstBroadcastFormula) {
+  const Cost c = mst_broadcast(30, 120.0);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 5.0);
+  EXPECT_DOUBLE_EQ(c.beta_bytes, 5.0 * 120.0);
+  EXPECT_DOUBLE_EQ(c.gamma_bytes, 0.0);
+}
+
+// Section 4.1: combine-to-one adds n gamma per stage.
+TEST(PrimitiveCostsTest, MstCombineToOneFormula) {
+  const Cost c = mst_combine_to_one(8, 100.0);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 3.0);
+  EXPECT_DOUBLE_EQ(c.beta_bytes, 300.0);
+  EXPECT_DOUBLE_EQ(c.gamma_bytes, 300.0);
+}
+
+// Section 4.1: scatter sends only what lands in the other half each stage.
+TEST(PrimitiveCostsTest, MstScatterFormula) {
+  const Cost c = mst_scatter(4, 100.0);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 2.0);
+  EXPECT_DOUBLE_EQ(c.beta_bytes, 75.0);  // (d-1)/d * n
+}
+
+TEST(PrimitiveCostsTest, GatherMatchesScatter) {
+  const Cost s = mst_scatter(30, 1000.0);
+  const Cost g = mst_gather(30, 1000.0);
+  EXPECT_DOUBLE_EQ(s.alpha_terms, g.alpha_terms);
+  EXPECT_DOUBLE_EQ(s.beta_bytes, g.beta_bytes);
+}
+
+// Section 4.2: bucket collect costs (p-1) alpha + ((p-1)/p) n beta.
+TEST(PrimitiveCostsTest, BucketCollectFormula) {
+  const Cost c = bucket_collect(30, 300.0);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 29.0);
+  EXPECT_DOUBLE_EQ(c.beta_bytes, 290.0);
+}
+
+TEST(PrimitiveCostsTest, BucketCollectLatencyOverride) {
+  // Section 7.1: on an r x c mesh the bucket latency drops to (r + c - 2).
+  const Cost c = bucket_collect(512, 512.0, 1.0, 16 + 32 - 2);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 46.0);
+}
+
+TEST(PrimitiveCostsTest, BucketDistributedCombineAddsGamma) {
+  const Cost c = bucket_distributed_combine(10, 100.0);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 9.0);
+  EXPECT_DOUBLE_EQ(c.beta_bytes, 90.0);
+  EXPECT_DOUBLE_EQ(c.gamma_bytes, 90.0);
+}
+
+TEST(PrimitiveCostsTest, ConflictFactorScalesBetaOnly) {
+  const Cost base = mst_broadcast(8, 100.0, 1.0);
+  const Cost shared = mst_broadcast(8, 100.0, 4.0);
+  EXPECT_DOUBLE_EQ(shared.alpha_terms, base.alpha_terms);
+  EXPECT_DOUBLE_EQ(shared.beta_bytes, 4.0 * base.beta_bytes);
+}
+
+TEST(PrimitiveCostsTest, SingleNodeGroupsAreFree) {
+  for (auto c : {mst_broadcast(1, 100.0), mst_scatter(1, 100.0),
+                 bucket_collect(1, 100.0), bucket_distributed_combine(1, 100.0)}) {
+    EXPECT_DOUBLE_EQ(c.alpha_terms, 0.0);
+    EXPECT_DOUBLE_EQ(c.beta_bytes, 0.0);
+    EXPECT_DOUBLE_EQ(c.gamma_bytes, 0.0);
+  }
+}
+
+TEST(PrimitiveCostsTest, RejectsBadArguments) {
+  EXPECT_THROW(mst_broadcast(0, 8.0), Error);
+  EXPECT_THROW(bucket_collect(4, -1.0), Error);
+}
+
+// Section 5.1: short collect = gather + broadcast; the startup count is
+// 2 ceil(log p), within a factor two of optimal.
+TEST(ComposedCostsTest, ShortVectorCollect) {
+  const Cost c = short_vector_cost(Collective::kCollect, 30, 30.0);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 10.0);
+}
+
+// Section 5.1: global combine-to-all = combine-to-one + broadcast with
+// 2 ceil(log p) alpha + 2 ceil(log p) n beta + ceil(log p) n gamma.
+TEST(ComposedCostsTest, ShortVectorCombineToAll) {
+  const Cost c = short_vector_cost(Collective::kCombineToAll, 30, 1.0);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 10.0);
+  EXPECT_DOUBLE_EQ(c.beta_bytes, 10.0);
+  EXPECT_DOUBLE_EQ(c.gamma_bytes, 5.0);
+}
+
+// Section 5.2: long broadcast = scatter + collect with
+// (ceil(log p) + p - 1) alpha + 2 (p-1)/p n beta.
+TEST(ComposedCostsTest, LongVectorBroadcast) {
+  const Cost c = long_vector_cost(Collective::kBroadcast, 30, 30.0);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 5.0 + 29.0);
+  EXPECT_DOUBLE_EQ(c.beta_bytes, 2.0 * 29.0);
+}
+
+// Section 5.2: long combine-to-all = distributed combine + collect with
+// 2 (p-1)/p n beta + (p-1)/p n gamma — the beta term is asymptotically
+// optimal.
+TEST(ComposedCostsTest, LongVectorCombineToAll) {
+  const Cost c = long_vector_cost(Collective::kCombineToAll, 30, 30.0);
+  EXPECT_DOUBLE_EQ(c.alpha_terms, 2.0 * 29.0);
+  EXPECT_DOUBLE_EQ(c.beta_bytes, 2.0 * 29.0);
+  EXPECT_DOUBLE_EQ(c.gamma_bytes, 29.0);
+}
+
+TEST(ComposedCostsTest, LongBeatsShortForLongVectors) {
+  const double huge = 1e6;
+  for (auto col : {Collective::kBroadcast, Collective::kCollect,
+                   Collective::kCombineToAll, Collective::kCombineToOne,
+                   Collective::kDistributedCombine}) {
+    const MachineParams paragon = MachineParams::paragon();
+    EXPECT_LT(long_vector_cost(col, 64, huge).seconds(paragon),
+              short_vector_cost(col, 64, huge).seconds(paragon))
+        << to_string(col);
+  }
+}
+
+TEST(ComposedCostsTest, ShortBeatsLongForShortVectors) {
+  const double tiny = 8.0;
+  for (auto col : {Collective::kBroadcast, Collective::kCollect,
+                   Collective::kCombineToAll}) {
+    const MachineParams paragon = MachineParams::paragon();
+    EXPECT_LT(short_vector_cost(col, 64, tiny).seconds(paragon),
+              long_vector_cost(col, 64, tiny).seconds(paragon))
+        << to_string(col);
+  }
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,92 @@
+#include "intercom/model/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace intercom {
+namespace {
+
+TEST(StrategyTest, LabelsMatchPaperNotation) {
+  EXPECT_EQ((HybridStrategy{{30}, InnerAlg::kShortVector, false}).label(),
+            "1x30,M");
+  EXPECT_EQ((HybridStrategy{{30}, InnerAlg::kScatterCollect, false}).label(),
+            "1x30,SC");
+  EXPECT_EQ((HybridStrategy{{2, 15}, InnerAlg::kShortVector, false}).label(),
+            "2x15,SMC");
+  EXPECT_EQ((HybridStrategy{{2, 15}, InnerAlg::kScatterCollect, false}).label(),
+            "2x15,SSCC");
+  EXPECT_EQ(
+      (HybridStrategy{{2, 3, 5}, InnerAlg::kShortVector, false}).label(),
+      "2x3x5,SSMCC");
+  EXPECT_EQ(
+      (HybridStrategy{{2, 3, 5}, InnerAlg::kScatterCollect, false}).label(),
+      "2x3x5,SSSCCC");
+}
+
+TEST(StrategyTest, NodeCountIsDimProduct) {
+  EXPECT_EQ((HybridStrategy{{2, 3, 5}, InnerAlg::kShortVector, false})
+                .node_count(),
+            30);
+  EXPECT_EQ((HybridStrategy{{7}, InnerAlg::kShortVector, false}).node_count(),
+            7);
+}
+
+TEST(StrategyTest, EnumerationIncludesPureAlgorithms) {
+  const auto all = enumerate_strategies(30, 3);
+  const HybridStrategy mst{{30}, InnerAlg::kShortVector, false};
+  const HybridStrategy sc{{30}, InnerAlg::kScatterCollect, false};
+  EXPECT_NE(std::find(all.begin(), all.end(), mst), all.end());
+  EXPECT_NE(std::find(all.begin(), all.end(), sc), all.end());
+}
+
+TEST(StrategyTest, EnumerationCoversTable2Hybrids) {
+  const auto all = enumerate_strategies(30, 3);
+  // Every hybrid named in Table 2 must be in the candidate set.
+  for (const char* label :
+       {"1x30,M", "2x15,SMC", "2x3x5,SSMCC", "3x10,SMC", "3x10,SSCC",
+        "10x3,SSCC", "2x15,SSCC", "5x6,SSCC", "6x5,SSCC"}) {
+    bool found = false;
+    for (const auto& s : all) {
+      if (s.label() == label) found = true;
+    }
+    EXPECT_TRUE(found) << label;
+  }
+}
+
+TEST(StrategyTest, EnumerationCountFor30) {
+  // Factorizations of 30 with k<=3 factors >= 2: k=1 (1), k=2 (6), k=3 (6).
+  // Each k>=2 factorization yields 2 strategies (inner M or SC); k=1 yields
+  // the two pure strategies.
+  const auto all = enumerate_strategies(30, 3);
+  EXPECT_EQ(all.size(), 2u + 2u * 12u);
+}
+
+TEST(StrategyTest, PrimeGroupOnlyPureStrategies) {
+  const auto all = enumerate_strategies(31, 3);
+  EXPECT_EQ(all.size(), 2u);  // the paper's "dimensions are prime" caveat
+}
+
+TEST(StrategyTest, SingletonGroup) {
+  const auto all = enumerate_strategies(1, 3);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].dims, std::vector<int>{1});
+}
+
+TEST(StrategyTest, AllStrategiesFactorP) {
+  for (int p : {12, 30, 450, 512}) {
+    for (const auto& s : enumerate_strategies(p, 4)) {
+      EXPECT_EQ(s.node_count(), p) << s.label();
+    }
+  }
+}
+
+TEST(StrategyTest, LabelsAreUniqueWithinEnumeration) {
+  const auto all = enumerate_strategies(24, 3);
+  std::set<std::string> labels;
+  for (const auto& s : all) labels.insert(s.label());
+  EXPECT_EQ(labels.size(), all.size());
+}
+
+}  // namespace
+}  // namespace intercom

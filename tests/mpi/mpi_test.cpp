@@ -1,0 +1,204 @@
+// MPI-like interface tests (paper Section 9): MPI-shaped semantics — distinct
+// send/recv buffers, datatype/op dispatch, error codes, comm_split.
+#include <gtest/gtest.h>
+
+#include "intercom/mpi/mpi.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(MpiTest, BcastDouble) {
+  Multicomputer mc(Mesh2D(1, 5));
+  mc.run_spmd([&](Node& node) {
+    mpi::Comm world = mpi::comm_world(node);
+    std::vector<double> v(8, world.rank() == 2 ? 3.25 : 0.0);
+    ASSERT_EQ(mpi::bcast(v.data(), v.size(), mpi::Datatype::kDouble, 2, world),
+              mpi::kSuccess);
+    ASSERT_DOUBLE_EQ(v[7], 3.25);
+  });
+}
+
+TEST(MpiTest, ReduceKeepsSendBufferIntact) {
+  Multicomputer mc(Mesh2D(1, 4));
+  mc.run_spmd([&](Node& node) {
+    mpi::Comm world = mpi::comm_world(node);
+    std::vector<int> send(3, world.rank() + 1);
+    std::vector<int> recv(3, -1);
+    ASSERT_EQ(mpi::reduce(send.data(), recv.data(), 3, mpi::Datatype::kInt,
+                          mpi::ReduceKind::kSum, 0, world),
+              mpi::kSuccess);
+    // Send buffer untouched (distinct-buffer MPI semantics).
+    ASSERT_EQ(send[0], world.rank() + 1);
+    if (world.rank() == 0) {
+      ASSERT_EQ(recv[0], 10);
+    } else {
+      ASSERT_EQ(recv[0], -1);  // only significant at root
+    }
+  });
+}
+
+TEST(MpiTest, AllreduceOps) {
+  Multicomputer mc(Mesh2D(1, 4));
+  mc.run_spmd([&](Node& node) {
+    mpi::Comm world = mpi::comm_world(node);
+    const double mine = world.rank() + 1.0;
+    double sum = 0.0;
+    double prod = 0.0;
+    double hi = 0.0;
+    double lo = 0.0;
+    mpi::allreduce(&mine, &sum, 1, mpi::Datatype::kDouble,
+                   mpi::ReduceKind::kSum, world);
+    mpi::allreduce(&mine, &prod, 1, mpi::Datatype::kDouble,
+                   mpi::ReduceKind::kProd, world);
+    mpi::allreduce(&mine, &hi, 1, mpi::Datatype::kDouble,
+                   mpi::ReduceKind::kMax, world);
+    mpi::allreduce(&mine, &lo, 1, mpi::Datatype::kDouble,
+                   mpi::ReduceKind::kMin, world);
+    ASSERT_DOUBLE_EQ(sum, 10.0);
+    ASSERT_DOUBLE_EQ(prod, 24.0);
+    ASSERT_DOUBLE_EQ(hi, 4.0);
+    ASSERT_DOUBLE_EQ(lo, 1.0);
+  });
+}
+
+TEST(MpiTest, ScatterGatherRoundTrip) {
+  Multicomputer mc(Mesh2D(1, 4));
+  mc.run_spmd([&](Node& node) {
+    mpi::Comm world = mpi::comm_world(node);
+    std::vector<int> send;
+    if (world.rank() == 1) {
+      for (int i = 0; i < 12; ++i) send.push_back(100 + i);
+    }
+    std::vector<int> mine(3, -1);
+    ASSERT_EQ(mpi::scatter(send.data(), 3, mine.data(), 1, mpi::Datatype::kInt,
+                           world),
+              mpi::kSuccess);
+    ASSERT_EQ(mine[0], 100 + world.rank() * 3);
+    for (int& v : mine) v += 1000;
+    std::vector<int> out(world.rank() == 1 ? 12 : 0);
+    ASSERT_EQ(mpi::gather(mine.data(), 3, out.data(), 1, mpi::Datatype::kInt,
+                          world),
+              mpi::kSuccess);
+    if (world.rank() == 1) {
+      for (int i = 0; i < 12; ++i) ASSERT_EQ(out[static_cast<std::size_t>(i)], 1100 + i);
+    }
+  });
+}
+
+TEST(MpiTest, Allgather) {
+  Multicomputer mc(Mesh2D(1, 6));
+  mc.run_spmd([&](Node& node) {
+    mpi::Comm world = mpi::comm_world(node);
+    const long long mine = 7ll * world.rank();
+    std::vector<long long> all(6, -1);
+    ASSERT_EQ(mpi::allgather(&mine, 1, all.data(), mpi::Datatype::kLongLong,
+                             world),
+              mpi::kSuccess);
+    for (int r = 0; r < 6; ++r) ASSERT_EQ(all[static_cast<std::size_t>(r)], 7ll * r);
+  });
+}
+
+TEST(MpiTest, ReduceScatterWithUnevenCounts) {
+  Multicomputer mc(Mesh2D(1, 3));
+  mc.run_spmd([&](Node& node) {
+    mpi::Comm world = mpi::comm_world(node);
+    const std::vector<std::size_t> counts{1, 2, 3};
+    std::vector<float> send(6);
+    for (int i = 0; i < 6; ++i) {
+      send[static_cast<std::size_t>(i)] =
+          static_cast<float>((world.rank() + 1) * (i + 1));
+    }
+    std::vector<float> recv(counts[static_cast<std::size_t>(world.rank())],
+                            -1.0f);
+    ASSERT_EQ(mpi::reduce_scatter(send.data(), recv.data(), counts,
+                                  mpi::Datatype::kFloat, mpi::ReduceKind::kSum,
+                                  world),
+              mpi::kSuccess);
+    // Sum over ranks of (r+1)*(i+1) = 6*(i+1).
+    std::size_t base = 0;
+    for (int r = 0; r < world.rank(); ++r) base += counts[static_cast<std::size_t>(r)];
+    for (std::size_t k = 0; k < recv.size(); ++k) {
+      ASSERT_FLOAT_EQ(recv[k], 6.0f * static_cast<float>(base + k + 1));
+    }
+  });
+}
+
+TEST(MpiTest, CommSplitByParity) {
+  Multicomputer mc(Mesh2D(1, 6));
+  mc.run_spmd([&](Node& node) {
+    mpi::Comm world = mpi::comm_world(node);
+    const int color = world.rank() % 2;
+    // Reverse ordering within the evens via descending keys.
+    const int key = color == 0 ? -world.rank() : world.rank();
+    auto sub = mpi::comm_split(node, world, color, key);
+    ASSERT_TRUE(sub.has_value());
+    ASSERT_EQ(sub->size(), 3);
+    if (color == 0) {
+      // Members 0, 2, 4 sorted by key -rank: 4, 2, 0.
+      ASSERT_EQ(sub->communicator().group().members(),
+                (std::vector<int>{4, 2, 0}));
+    } else {
+      ASSERT_EQ(sub->communicator().group().members(),
+                (std::vector<int>{1, 3, 5}));
+    }
+    // The sub-communicator works: sum ranks' node ids.
+    double v = node.id();
+    double total = 0.0;
+    mpi::allreduce(&v, &total, 1, mpi::Datatype::kDouble,
+                   mpi::ReduceKind::kSum, *sub);
+    ASSERT_DOUBLE_EQ(total, color == 0 ? 6.0 : 9.0);
+  });
+}
+
+TEST(MpiTest, CommSplitUndefinedColor) {
+  Multicomputer mc(Mesh2D(1, 4));
+  mc.run_spmd([&](Node& node) {
+    mpi::Comm world = mpi::comm_world(node);
+    const int color = world.rank() == 3 ? -1 : 0;
+    auto sub = mpi::comm_split(node, world, color, 0);
+    if (world.rank() == 3) {
+      ASSERT_FALSE(sub.has_value());
+    } else {
+      ASSERT_TRUE(sub.has_value());
+      ASSERT_EQ(sub->size(), 3);
+    }
+  });
+}
+
+TEST(MpiTest, ErrorCodes) {
+  Multicomputer mc(Mesh2D(1, 2));
+  mc.run_spmd([&](Node& node) {
+    mpi::Comm world = mpi::comm_world(node);
+    double v = 0.0;
+    ASSERT_EQ(mpi::bcast(nullptr, 4, mpi::Datatype::kDouble, 0, world),
+              mpi::kErrArg);
+    ASSERT_EQ(mpi::bcast(&v, 1, mpi::Datatype::kDouble, 9, world),
+              mpi::kErrArg);
+    ASSERT_EQ(mpi::reduce(&v, nullptr, 1, mpi::Datatype::kDouble,
+                          mpi::ReduceKind::kSum, 0, world),
+              mpi::kErrArg);
+    // Zero-count operations succeed trivially.
+    ASSERT_EQ(mpi::bcast(nullptr, 0, mpi::Datatype::kDouble, 0, world),
+              mpi::kSuccess);
+  });
+}
+
+TEST(MpiTest, DatatypeSizes) {
+  EXPECT_EQ(mpi::datatype_size(mpi::Datatype::kByte), 1u);
+  EXPECT_EQ(mpi::datatype_size(mpi::Datatype::kInt), sizeof(int));
+  EXPECT_EQ(mpi::datatype_size(mpi::Datatype::kDouble), sizeof(double));
+  EXPECT_EQ(mpi::datatype_size(mpi::Datatype::kFloat), sizeof(float));
+  EXPECT_EQ(mpi::datatype_size(mpi::Datatype::kLongLong), sizeof(long long));
+}
+
+TEST(MpiTest, BarrierRuns) {
+  Multicomputer mc(Mesh2D(1, 3));
+  mc.run_spmd([&](Node& node) {
+    mpi::Comm world = mpi::comm_world(node);
+    ASSERT_EQ(mpi::barrier(world), mpi::kSuccess);
+  });
+}
+
+}  // namespace
+}  // namespace intercom

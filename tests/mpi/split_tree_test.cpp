@@ -1,0 +1,78 @@
+// MPI comm_split stress: random recursive split trees — every node keeps
+// splitting its current communicator by random colors/keys and running a
+// collective at every level.  Exercises group creation, context isolation,
+// and the collectv-based split agreement under heavy concurrency.
+#include <gtest/gtest.h>
+
+#include "intercom/mpi/mpi.hpp"
+#include "intercom/util/rng.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(MpiSplitTreeTest, RecursiveRandomSplits) {
+  Multicomputer mc(Mesh2D(2, 6));
+  mc.run_spmd([&](Node& node) {
+    mpi::Comm comm = mpi::comm_world(node);
+    // Same seed everywhere: every member draws identical split decisions
+    // for its rank, so the trees agree without communication.
+    for (int level = 0; level < 4; ++level) {
+      // Collective sanity check at this level: the sum of ones equals the
+      // communicator size.
+      double one = 1.0;
+      double total = 0.0;
+      ASSERT_EQ(mpi::allreduce(&one, &total, 1, mpi::Datatype::kDouble,
+                               mpi::ReduceKind::kSum, comm),
+                mpi::kSuccess);
+      ASSERT_DOUBLE_EQ(total, static_cast<double>(comm.size()));
+      if (comm.size() == 1) break;
+      // Deterministic pseudo-random color from (level, rank) — the same
+      // function on every node.
+      Rng rng(static_cast<std::uint64_t>(level) * 1000003u +
+              static_cast<std::uint64_t>(comm.rank()));
+      const int color = static_cast<int>(rng.next_u64() % 2);
+      const int key = static_cast<int>(rng.next_u64() % 7);
+      auto sub = mpi::comm_split(node, comm, color, key);
+      ASSERT_TRUE(sub.has_value());
+      comm = std::move(*sub);
+    }
+  });
+}
+
+TEST(MpiSplitTreeTest, SplitPreservesKeyOrdering) {
+  Multicomputer mc(Mesh2D(1, 6));
+  mc.run_spmd([&](Node& node) {
+    mpi::Comm world = mpi::comm_world(node);
+    // All same color; keys reverse the rank order.
+    auto sub = mpi::comm_split(node, world, 7, -world.rank());
+    ASSERT_TRUE(sub.has_value());
+    ASSERT_EQ(sub->rank(), 5 - world.rank());
+    // Broadcast from new rank 0 (= old rank 5).
+    int v = world.rank() == 5 ? 1234 : 0;
+    ASSERT_EQ(mpi::bcast(&v, 1, mpi::Datatype::kInt, 0, *sub),
+              mpi::kSuccess);
+    ASSERT_EQ(v, 1234);
+  });
+}
+
+TEST(MpiSplitTreeTest, SiblingCommunicatorsIsolated) {
+  // Two sibling communicators from one split run interleaved collectives;
+  // their traffic must not mix.
+  Multicomputer mc(Mesh2D(1, 8));
+  mc.run_spmd([&](Node& node) {
+    mpi::Comm world = mpi::comm_world(node);
+    auto sub = mpi::comm_split(node, world, node.id() % 2, node.id());
+    ASSERT_TRUE(sub.has_value());
+    for (int round = 0; round < 5; ++round) {
+      long long mine = node.id() % 2 == 0 ? 1 : 100;
+      long long total = 0;
+      ASSERT_EQ(mpi::allreduce(&mine, &total, 1, mpi::Datatype::kLongLong,
+                               mpi::ReduceKind::kSum, *sub),
+                mpi::kSuccess);
+      ASSERT_EQ(total, node.id() % 2 == 0 ? 4 : 400);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace intercom

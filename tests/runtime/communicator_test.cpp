@@ -1,0 +1,192 @@
+// SPMD communicator tests on the threaded multicomputer: every collective's
+// Table 1 contract, on real threads with real data.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "intercom/runtime/communicator.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(MulticomputerTest, SpmdRunsEveryNode) {
+  Multicomputer mc(Mesh2D(2, 3));
+  std::atomic<int> visits{0};
+  std::atomic<int> id_sum{0};
+  mc.run_spmd([&](Node& node) {
+    visits.fetch_add(1);
+    id_sum.fetch_add(node.id());
+  });
+  EXPECT_EQ(visits.load(), 6);
+  EXPECT_EQ(id_sum.load(), 15);
+}
+
+TEST(MulticomputerTest, ExceptionsPropagate) {
+  Multicomputer mc(Mesh2D(1, 2));
+  EXPECT_THROW(mc.run_spmd([&](Node& node) {
+    // Both nodes throw, so no collective is left half-entered.
+    if (node.id() >= 0) throw Error("boom");
+  }),
+               Error);
+}
+
+TEST(CommunicatorTest, BroadcastWorld) {
+  Multicomputer mc(Mesh2D(1, 6));
+  const std::size_t elems = 17;
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    std::vector<double> data(elems, -1.0);
+    if (world.rank() == 2) {
+      for (std::size_t i = 0; i < elems; ++i) data[i] = 3.0 * i;
+    }
+    world.broadcast(std::span<double>(data), 2);
+    for (std::size_t i = 0; i < elems; ++i) {
+      ASSERT_DOUBLE_EQ(data[i], 3.0 * i) << "node " << node.id();
+    }
+  });
+}
+
+TEST(CommunicatorTest, AllReduceSum) {
+  Multicomputer mc(Mesh2D(2, 4));
+  const std::size_t elems = 9;
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    std::vector<double> data(elems);
+    for (std::size_t i = 0; i < elems; ++i) {
+      data[i] = node.id() + static_cast<double>(i) * 0.5;
+    }
+    world.all_reduce_sum(std::span<double>(data));
+    const int p = world.size();
+    for (std::size_t i = 0; i < elems; ++i) {
+      ASSERT_DOUBLE_EQ(data[i], p * (p - 1) / 2.0 + p * i * 0.5);
+    }
+  });
+}
+
+TEST(CommunicatorTest, ReduceToRoot) {
+  Multicomputer mc(Mesh2D(1, 5));
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    std::vector<long long> data{node.id() + 1ll, 100ll};
+    world.combine_to_one_bytes(std::as_writable_bytes(std::span<long long>(data)),
+                               sum_op<long long>(), 3);
+    if (world.rank() == 3) {
+      EXPECT_EQ(data[0], 15);
+      EXPECT_EQ(data[1], 500);
+    }
+  });
+}
+
+TEST(CommunicatorTest, CollectAssemblesPieces) {
+  Multicomputer mc(Mesh2D(1, 7));
+  const std::size_t elems = 23;
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    std::vector<double> data(elems, 0.0);
+    const ElemRange piece = world.piece_of(elems, world.rank());
+    for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+      data[i] = 100.0 * world.rank() + static_cast<double>(i);
+    }
+    world.collect(std::span<double>(data));
+    for (int owner = 0; owner < world.size(); ++owner) {
+      const ElemRange op = world.piece_of(elems, owner);
+      for (std::size_t i = op.lo; i < op.hi; ++i) {
+        ASSERT_DOUBLE_EQ(data[i], 100.0 * owner + static_cast<double>(i));
+      }
+    }
+  });
+}
+
+TEST(CommunicatorTest, ScatterGatherRoundTrip) {
+  Multicomputer mc(Mesh2D(1, 4));
+  const std::size_t elems = 12;
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    std::vector<double> data(elems, 0.0);
+    if (world.rank() == 0) {
+      for (std::size_t i = 0; i < elems; ++i) data[i] = i + 0.5;
+    }
+    world.scatter(std::span<double>(data), 0);
+    const ElemRange piece = world.piece_of(elems, world.rank());
+    for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+      ASSERT_DOUBLE_EQ(data[i], i + 0.5);
+      data[i] += 1000.0;  // transform in place
+    }
+    world.gather(std::span<double>(data), 0);
+    if (world.rank() == 0) {
+      for (std::size_t i = 0; i < elems; ++i) {
+        ASSERT_DOUBLE_EQ(data[i], i + 0.5 + 1000.0);
+      }
+    }
+  });
+}
+
+TEST(CommunicatorTest, ReduceScatterLeavesCombinedPieces) {
+  Multicomputer mc(Mesh2D(1, 6));
+  const std::size_t elems = 18;
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    std::vector<double> data(elems);
+    for (std::size_t i = 0; i < elems; ++i) data[i] = node.id() + 1.0;
+    world.reduce_scatter_sum(std::span<double>(data));
+    const int p = world.size();
+    const ElemRange piece = world.piece_of(elems, world.rank());
+    for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+      ASSERT_DOUBLE_EQ(data[i], p * (p + 1) / 2.0);
+    }
+  });
+}
+
+TEST(CommunicatorTest, SequencedCollectivesDoNotCrosstalk) {
+  // Two back-to-back broadcasts with different roots: sequence numbers keep
+  // their messages apart.
+  Multicomputer mc(Mesh2D(1, 4));
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    std::vector<int> a{node.id() == 0 ? 111 : 0};
+    std::vector<int> b{node.id() == 3 ? 222 : 0};
+    world.broadcast(std::span<int>(a), 0);
+    world.broadcast(std::span<int>(b), 3);
+    ASSERT_EQ(a[0], 111);
+    ASSERT_EQ(b[0], 222);
+  });
+}
+
+TEST(CommunicatorTest, BarrierCompletes) {
+  Multicomputer mc(Mesh2D(1, 5));
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    for (int i = 0; i < 3; ++i) world.barrier();
+    (void)node;
+  });
+}
+
+TEST(CommunicatorTest, MaxAndMinReductions) {
+  Multicomputer mc(Mesh2D(1, 4));
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    std::vector<double> hi{static_cast<double>(node.id())};
+    std::vector<double> lo{static_cast<double>(node.id())};
+    world.combine_to_all_bytes(std::as_writable_bytes(std::span<double>(hi)),
+                               max_op<double>());
+    world.combine_to_all_bytes(std::as_writable_bytes(std::span<double>(lo)),
+                               min_op<double>());
+    ASSERT_DOUBLE_EQ(hi[0], 3.0);
+    ASSERT_DOUBLE_EQ(lo[0], 0.0);
+  });
+}
+
+TEST(CommunicatorTest, BufferMustBeElementMultiple) {
+  Multicomputer mc(Mesh2D(1, 2));
+  EXPECT_THROW(mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    std::vector<std::byte> odd(7);
+    world.broadcast_bytes(odd, 2, 0);
+  }),
+               Error);
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,157 @@
+// Executor tests: schedules drive real byte movement through the transport,
+// combines apply the ReduceOp, scratch buffers are provisioned per program.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "intercom/runtime/executor.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(ExecutorTest, NoProgramIsNoOp) {
+  Transport t(2);
+  Schedule s;
+  std::vector<std::byte> buf(8);
+  EXPECT_NO_THROW(execute_program(t, s, 0, buf, 1));
+}
+
+TEST(ExecutorTest, TransferMovesBytes) {
+  Transport t(2);
+  Schedule s;
+  const BufSlice slice{kUserBuf, 0, 4};
+  s.add_transfer(0, 1, slice, slice);
+  std::vector<std::byte> buf0{std::byte{1}, std::byte{2}, std::byte{3},
+                              std::byte{4}};
+  std::vector<std::byte> buf1(4);
+  std::thread t0([&] { execute_program(t, s, 0, buf0, 42); });
+  std::thread t1([&] { execute_program(t, s, 1, buf1, 42); });
+  t0.join();
+  t1.join();
+  EXPECT_EQ(buf1, buf0);
+}
+
+TEST(ExecutorTest, CombineUsesReduceOp) {
+  Transport t(2);
+  Schedule s;
+  // Node 1 receives 2 doubles into scratch and combines into its user buffer.
+  const BufSlice user{kUserBuf, 0, 16};
+  const BufSlice scratch{kScratchBuf, 0, 16};
+  s.reserve_slice(0, user);
+  s.reserve_slice(1, user);
+  s.reserve_slice(1, scratch);
+  s.program(0).ops.push_back(Op::send(1, user, 0));
+  s.program(1).ops.push_back(Op::recv(0, scratch, 0));
+  s.program(1).ops.push_back(Op::combine(scratch, user));
+  std::vector<double> d0{1.5, 2.5};
+  std::vector<double> d1{10.0, 20.0};
+  const ReduceOp op = sum_op<double>();
+  std::thread th0([&] {
+    execute_program(t, s, 0, std::as_writable_bytes(std::span<double>(d0)), 1,
+                    &op);
+  });
+  std::thread th1([&] {
+    execute_program(t, s, 1, std::as_writable_bytes(std::span<double>(d1)), 1,
+                    &op);
+  });
+  th0.join();
+  th1.join();
+  EXPECT_DOUBLE_EQ(d1[0], 11.5);
+  EXPECT_DOUBLE_EQ(d1[1], 22.5);
+}
+
+TEST(ExecutorTest, CombineWithoutReduceOpThrows) {
+  Transport t(1);
+  Schedule s;
+  const BufSlice a{kUserBuf, 0, 8};
+  const BufSlice b{kScratchBuf, 0, 8};
+  s.reserve_slice(0, a);
+  s.reserve_slice(0, b);
+  s.program(0).ops.push_back(Op::combine(b, a));
+  std::vector<std::byte> buf(8);
+  EXPECT_THROW(execute_program(t, s, 0, buf, 1), Error);
+}
+
+TEST(ExecutorTest, CopyMovesWithinBuffers) {
+  Transport t(1);
+  Schedule s;
+  s.reserve_slice(0, BufSlice{kUserBuf, 0, 8});
+  s.program(0).ops.push_back(
+      Op::copy(BufSlice{kUserBuf, 0, 4}, BufSlice{kUserBuf, 4, 4}));
+  std::vector<std::byte> buf{std::byte{9}, std::byte{8}, std::byte{7},
+                             std::byte{6}, std::byte{0}, std::byte{0},
+                             std::byte{0}, std::byte{0}};
+  execute_program(t, s, 0, buf, 1);
+  EXPECT_EQ(buf[4], std::byte{9});
+  EXPECT_EQ(buf[7], std::byte{6});
+}
+
+TEST(ExecutorTest, UserBufferTooSmallThrows) {
+  Transport t(2);
+  Schedule s;
+  const BufSlice slice{kUserBuf, 0, 100};
+  s.reserve_slice(0, slice);
+  s.program(0).ops.push_back(Op::send(1, slice, 0));
+  std::vector<std::byte> tiny(10);
+  EXPECT_THROW(execute_program(t, s, 0, tiny, 1), Error);
+}
+
+TEST(ExecutorTest, SendRecvExchangesWithoutDeadlock) {
+  Transport t(2);
+  Schedule s;
+  const BufSlice mine{kUserBuf, 0, 8};
+  const BufSlice theirs{kUserBuf, 8, 8};
+  for (int n : {0, 1}) s.reserve_slice(n, BufSlice{kUserBuf, 0, 16});
+  s.program(0).ops.push_back(Op::sendrecv(1, mine, 0, 1, theirs, 1));
+  s.program(1).ops.push_back(Op::sendrecv(0, mine, 1, 0, theirs, 0));
+  std::vector<double> d0{5.0, 0.0};
+  std::vector<double> d1{6.0, 0.0};
+  std::thread th0([&] {
+    execute_program(t, s, 0, std::as_writable_bytes(std::span<double>(d0)), 3);
+  });
+  std::thread th1([&] {
+    execute_program(t, s, 1, std::as_writable_bytes(std::span<double>(d1)), 3);
+  });
+  th0.join();
+  th1.join();
+  EXPECT_DOUBLE_EQ(d0[1], 6.0);
+  EXPECT_DOUBLE_EQ(d1[1], 5.0);
+}
+
+TEST(ReduceOpsTest, BuiltinsFoldCorrectly) {
+  auto apply = [](const ReduceOp& op, std::vector<double> dst,
+                  std::vector<double> src) {
+    op.fn(reinterpret_cast<std::byte*>(dst.data()),
+          reinterpret_cast<const std::byte*>(src.data()),
+          dst.size() * sizeof(double));
+    return dst;
+  };
+  EXPECT_EQ(apply(sum_op<double>(), {1, 2}, {10, 20}),
+            (std::vector<double>{11, 22}));
+  EXPECT_EQ(apply(prod_op<double>(), {2, 3}, {4, 5}),
+            (std::vector<double>{8, 15}));
+  EXPECT_EQ(apply(max_op<double>(), {1, 9}, {5, 2}),
+            (std::vector<double>{5, 9}));
+  EXPECT_EQ(apply(min_op<double>(), {1, 9}, {5, 2}),
+            (std::vector<double>{1, 2}));
+}
+
+TEST(ReduceOpsTest, IntegerOps) {
+  std::vector<int> dst{1, 2, 3};
+  std::vector<int> src{10, 20, 30};
+  const ReduceOp op = sum_op<int>();
+  op.fn(reinterpret_cast<std::byte*>(dst.data()),
+        reinterpret_cast<const std::byte*>(src.data()), 3 * sizeof(int));
+  EXPECT_EQ(dst, (std::vector<int>{11, 22, 33}));
+  EXPECT_EQ(op.elem_size, sizeof(int));
+}
+
+TEST(ReduceOpsTest, MisalignedLengthThrows) {
+  const ReduceOp op = sum_op<double>();
+  std::vector<std::byte> buf(12);
+  EXPECT_THROW(op.fn(buf.data(), buf.data(), 12), Error);
+}
+
+}  // namespace
+}  // namespace intercom

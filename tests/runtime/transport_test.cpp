@@ -1,0 +1,121 @@
+#include "intercom/runtime/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+std::string string_of(std::span<const std::byte> v) {
+  return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+TEST(TransportTest, SendThenRecvDelivers) {
+  Transport t(2);
+  const auto msg = bytes_of("hello");
+  t.send(0, 1, 7, 3, msg);
+  std::vector<std::byte> out(5);
+  t.recv(0, 1, 7, 3, out);
+  EXPECT_EQ(string_of(out), "hello");
+}
+
+TEST(TransportTest, RecvBlocksUntilSend) {
+  Transport t(2);
+  std::vector<std::byte> out(3);
+  std::thread receiver([&] { t.recv(0, 1, 1, 0, out); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.send(0, 1, 1, 0, bytes_of("abc"));
+  receiver.join();
+  EXPECT_EQ(string_of(out), "abc");
+}
+
+TEST(TransportTest, MessagesMatchedByTag) {
+  Transport t(2);
+  t.send(0, 1, 1, 5, bytes_of("five"));
+  t.send(0, 1, 1, 4, bytes_of("four"));
+  std::vector<std::byte> out(4);
+  t.recv(0, 1, 1, 4, out);
+  EXPECT_EQ(string_of(out), "four");
+  t.recv(0, 1, 1, 5, out);
+  EXPECT_EQ(string_of(out), "five");
+}
+
+TEST(TransportTest, MessagesMatchedByContext) {
+  Transport t(2);
+  t.send(0, 1, 100, 0, bytes_of("ctxA"));
+  t.send(0, 1, 200, 0, bytes_of("ctxB"));
+  std::vector<std::byte> out(4);
+  t.recv(0, 1, 200, 0, out);
+  EXPECT_EQ(string_of(out), "ctxB");
+}
+
+TEST(TransportTest, MessagesMatchedBySender) {
+  Transport t(3);
+  t.send(0, 2, 1, 0, bytes_of("from0"));
+  t.send(1, 2, 1, 0, bytes_of("from1"));
+  std::vector<std::byte> out(5);
+  t.recv(1, 2, 1, 0, out);
+  EXPECT_EQ(string_of(out), "from1");
+}
+
+TEST(TransportTest, SameKeyIsFifo) {
+  Transport t(2);
+  t.send(0, 1, 1, 0, bytes_of("one"));
+  t.send(0, 1, 1, 0, bytes_of("two"));
+  std::vector<std::byte> out(3);
+  t.recv(0, 1, 1, 0, out);
+  EXPECT_EQ(string_of(out), "one");
+  t.recv(0, 1, 1, 0, out);
+  EXPECT_EQ(string_of(out), "two");
+}
+
+TEST(TransportTest, LengthMismatchThrows) {
+  Transport t(2);
+  t.send(0, 1, 1, 0, bytes_of("abc"));
+  std::vector<std::byte> out(5);
+  EXPECT_THROW(t.recv(0, 1, 1, 0, out), Error);
+}
+
+TEST(TransportTest, RejectsBadNodes) {
+  Transport t(2);
+  EXPECT_THROW(t.send(0, 2, 1, 0, bytes_of("x")), Error);
+  EXPECT_THROW(t.send(0, 0, 1, 0, bytes_of("x")), Error);
+  EXPECT_THROW(Transport(0), Error);
+}
+
+TEST(TransportTest, ManyThreadsExchange) {
+  const int p = 8;
+  Transport t(p);
+  std::vector<std::thread> threads;
+  std::vector<int> received(static_cast<std::size_t>(p), -1);
+  for (int i = 0; i < p; ++i) {
+    threads.emplace_back([&, i] {
+      const int next = (i + 1) % p;
+      const int prev = (i + p - 1) % p;
+      std::vector<std::byte> payload(sizeof(int));
+      std::memcpy(payload.data(), &i, sizeof(int));
+      t.send(i, next, 9, 0, payload);
+      std::vector<std::byte> in(sizeof(int));
+      t.recv(prev, i, 9, 0, in);
+      std::memcpy(&received[static_cast<std::size_t>(i)], in.data(),
+                  sizeof(int));
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int i = 0; i < p; ++i) {
+    EXPECT_EQ(received[static_cast<std::size_t>(i)], (i + p - 1) % p);
+  }
+}
+
+}  // namespace
+}  // namespace intercom

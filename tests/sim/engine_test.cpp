@@ -1,0 +1,191 @@
+// Worm-hole simulator behaviour on hand-built schedules: the alpha + n*beta
+// law, bandwidth sharing, one-port blocking, combine costs, jitter, and the
+// per-level software overhead.
+#include <gtest/gtest.h>
+
+#include "intercom/sim/engine.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+SimParams unit_params() {
+  SimParams p;
+  p.machine = MachineParams::unit();
+  return p;
+}
+
+BufSlice user(std::size_t offset, std::size_t bytes) {
+  return BufSlice{kUserBuf, offset, bytes};
+}
+
+TEST(SimEngineTest, SingleTransferCostsAlphaPlusNBeta) {
+  WormholeSimulator sim(Mesh2D(1, 8), unit_params());
+  Schedule s;
+  s.set_levels(0);
+  s.add_transfer(0, 5, user(0, 100), user(0, 100));
+  const SimResult r = sim.run(s);
+  EXPECT_DOUBLE_EQ(r.seconds, 1.0 + 100.0);
+  EXPECT_EQ(r.transfers, 1u);
+  EXPECT_EQ(r.bytes_moved, 100u);
+  EXPECT_EQ(r.peak_link_load, 1);
+}
+
+TEST(SimEngineTest, DistanceDoesNotChangeCost) {
+  // Worm-hole routing: the alpha + n beta model is distance-insensitive.
+  WormholeSimulator sim(Mesh2D(1, 32), unit_params());
+  Schedule near;
+  near.set_levels(0);
+  near.add_transfer(0, 1, user(0, 64), user(0, 64));
+  Schedule far;
+  far.set_levels(0);
+  far.add_transfer(0, 31, user(0, 64), user(0, 64));
+  EXPECT_DOUBLE_EQ(sim.run(near).seconds, sim.run(far).seconds);
+}
+
+TEST(SimEngineTest, SequentialSendsSerialize) {
+  // One-port model: a node's two sends cannot overlap.
+  WormholeSimulator sim(Mesh2D(1, 4), unit_params());
+  Schedule s;
+  s.set_levels(0);
+  s.add_transfer(0, 1, user(0, 50), user(0, 50));
+  s.add_transfer(0, 2, user(0, 50), user(0, 50));
+  EXPECT_DOUBLE_EQ(sim.run(s).seconds, 2 * (1.0 + 50.0));
+}
+
+TEST(SimEngineTest, DisjointTransfersRunConcurrently) {
+  WormholeSimulator sim(Mesh2D(1, 4), unit_params());
+  Schedule s;
+  s.set_levels(0);
+  s.add_transfer(0, 1, user(0, 50), user(0, 50));
+  s.add_transfer(2, 3, user(0, 50), user(0, 50));
+  const SimResult r = sim.run(s);
+  EXPECT_DOUBLE_EQ(r.seconds, 1.0 + 50.0);
+  EXPECT_EQ(r.peak_link_load, 1);
+}
+
+TEST(SimEngineTest, SharedLinkHalvesBandwidth) {
+  // Two same-direction transfers over the middle link share its bandwidth.
+  WormholeSimulator sim(Mesh2D(1, 4), unit_params());
+  Schedule s;
+  s.set_levels(0);
+  s.add_transfer(0, 2, user(0, 100), user(0, 100));
+  s.add_transfer(1, 3, user(100, 100), user(100, 100));
+  const SimResult r = sim.run(s);
+  EXPECT_DOUBLE_EQ(r.seconds, 1.0 + 200.0);
+  EXPECT_EQ(r.peak_link_load, 2);
+}
+
+TEST(SimEngineTest, LinkCapacityAbsorbsSharing) {
+  SimParams params = unit_params();
+  params.machine.link_capacity = 2.0;  // Section 7.1 excess link bandwidth
+  WormholeSimulator sim(Mesh2D(1, 4), params);
+  Schedule s;
+  s.set_levels(0);
+  s.add_transfer(0, 2, user(0, 100), user(0, 100));
+  s.add_transfer(1, 3, user(100, 100), user(100, 100));
+  EXPECT_DOUBLE_EQ(sim.run(s).seconds, 1.0 + 100.0);
+}
+
+TEST(SimEngineTest, OppositeDirectionsDoNotConflict) {
+  WormholeSimulator sim(Mesh2D(1, 4), unit_params());
+  Schedule s;
+  s.set_levels(0);
+  // 0 -> 3 rightward and 3 -> 0 leftward simultaneously (full duplex).
+  s.program(0).ops.push_back(Op::sendrecv(3, user(0, 80), 0, 3, user(80, 80), 1));
+  s.program(3).ops.push_back(Op::sendrecv(0, user(80, 80), 1, 0, user(0, 80), 0));
+  s.reserve_slice(0, user(0, 160));
+  s.reserve_slice(3, user(0, 160));
+  const SimResult r = sim.run(s);
+  EXPECT_DOUBLE_EQ(r.seconds, 1.0 + 80.0);
+  EXPECT_EQ(r.peak_link_load, 1);
+}
+
+TEST(SimEngineTest, RendezvousWaitsForLateReceiver) {
+  // The receiver is busy combining before it posts the recv; the transfer
+  // cannot start earlier.
+  WormholeSimulator sim(Mesh2D(1, 2), unit_params());
+  Schedule s;
+  s.set_levels(0);
+  s.reserve_slice(1, user(0, 100));
+  s.reserve_slice(1, BufSlice{kScratchBuf, 0, 100});
+  s.reserve_slice(0, user(0, 10));
+  // Node 1 combines 100 bytes (gamma = 1 -> 100 s), then receives.
+  s.program(1).ops.push_back(
+      Op::combine(BufSlice{kScratchBuf, 0, 100}, user(0, 100)));
+  s.program(1).ops.push_back(Op::recv(0, user(0, 10), 0));
+  s.program(0).ops.push_back(Op::send(1, user(0, 10), 0));
+  EXPECT_DOUBLE_EQ(sim.run(s).seconds, 100.0 + 1.0 + 10.0);
+}
+
+TEST(SimEngineTest, CombineCostsGammaPerByte) {
+  SimParams params = unit_params();
+  params.machine.gamma = 2.0;
+  WormholeSimulator sim(Mesh2D(1, 1), params);
+  Schedule s;
+  s.set_levels(0);
+  s.reserve_slice(0, user(0, 64));
+  s.reserve_slice(0, BufSlice{kScratchBuf, 0, 32});
+  s.program(0).ops.push_back(
+      Op::combine(BufSlice{kScratchBuf, 0, 32}, user(0, 32)));
+  EXPECT_DOUBLE_EQ(sim.run(s).seconds, 64.0);
+}
+
+TEST(SimEngineTest, PerLevelOverheadCharged) {
+  SimParams params = unit_params();
+  params.machine.per_level_overhead = 10.0;
+  WormholeSimulator sim(Mesh2D(1, 2), params);
+  Schedule s;
+  s.set_levels(3);
+  s.add_transfer(0, 1, user(0, 10), user(0, 10));
+  EXPECT_DOUBLE_EQ(sim.run(s).seconds, (1.0 + 10.0) + 30.0);
+}
+
+TEST(SimEngineTest, JitterDelaysTransfers) {
+  SimParams params = unit_params();
+  params.jitter_mean = 5.0;
+  params.jitter_seed = 99;
+  WormholeSimulator jittery(Mesh2D(1, 2), params);
+  WormholeSimulator clean(Mesh2D(1, 2), unit_params());
+  Schedule s;
+  s.set_levels(0);
+  s.add_transfer(0, 1, user(0, 10), user(0, 10));
+  EXPECT_GT(jittery.run(s).seconds, clean.run(s).seconds);
+}
+
+TEST(SimEngineTest, JitterIsDeterministicPerSeed) {
+  SimParams params = unit_params();
+  params.jitter_mean = 5.0;
+  params.jitter_seed = 1234;
+  WormholeSimulator sim(Mesh2D(1, 4), params);
+  Schedule s;
+  s.set_levels(0);
+  s.add_transfer(0, 1, user(0, 10), user(0, 10));
+  s.add_transfer(1, 2, user(0, 10), user(0, 10));
+  EXPECT_DOUBLE_EQ(sim.run(s).seconds, sim.run(s).seconds);
+}
+
+TEST(SimEngineTest, DeadlockDetected) {
+  WormholeSimulator sim(Mesh2D(1, 2), unit_params());
+  Schedule s;
+  s.reserve_slice(0, user(0, 8));
+  s.program(0).ops.push_back(Op::send(1, user(0, 8), 0));  // no matching recv
+  EXPECT_THROW(sim.run(s), Error);
+}
+
+TEST(SimEngineTest, NodeOutsideMeshRejected) {
+  WormholeSimulator sim(Mesh2D(1, 2), unit_params());
+  Schedule s;
+  s.add_transfer(0, 5, user(0, 8), user(0, 8));
+  EXPECT_THROW(sim.run(s), Error);
+}
+
+TEST(SimEngineTest, EmptyScheduleTakesNoTime) {
+  WormholeSimulator sim(Mesh2D(2, 2), unit_params());
+  Schedule s;
+  s.set_levels(0);
+  EXPECT_DOUBLE_EQ(sim.run(s).seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,61 @@
+#include "intercom/sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(LinkLoadTest, AddRemoveTracksLoadsAndPeak) {
+  Mesh2D mesh(1, 4);
+  LinkLoadTracker loads(mesh);
+  const auto r02 = route_links(mesh, 0, 2);
+  const auto r13 = route_links(mesh, 1, 3);
+  loads.add(r02);
+  loads.add(r13);
+  // Link 1->2 is shared by both routes.
+  EXPECT_EQ(loads.peak_load(), 2);
+  loads.remove(r02);
+  EXPECT_EQ(loads.peak_load(), 2);  // peak is sticky
+  for (int l : r13) EXPECT_GE(loads.load(l), 1);
+  loads.remove(r13);
+}
+
+TEST(LinkLoadTest, SharingFactorUsesCapacity) {
+  Mesh2D mesh(1, 3);
+  LinkLoadTracker loads(mesh);
+  const auto r01 = route_links(mesh, 0, 1);
+  loads.add(r01);
+  loads.add(r01);
+  loads.add(r01);
+  EXPECT_DOUBLE_EQ(loads.sharing(r01, 1.0), 3.0);
+  // Excess link bandwidth (Section 7.1): capacity 2 halves the sharing, and
+  // never drops below 1.
+  EXPECT_DOUBLE_EQ(loads.sharing(r01, 2.0), 1.5);
+  EXPECT_DOUBLE_EQ(loads.sharing(r01, 8.0), 1.0);
+}
+
+TEST(LinkLoadTest, OppositeDirectionsDoNotShare) {
+  Mesh2D mesh(1, 5);
+  LinkLoadTracker loads(mesh);
+  const auto right = route_links(mesh, 0, 4);
+  const auto left = route_links(mesh, 4, 0);
+  loads.add(right);
+  EXPECT_DOUBLE_EQ(loads.sharing(left, 1.0), 1.0);
+}
+
+TEST(LinkLoadTest, RemoveBelowZeroIsAnError) {
+  Mesh2D mesh(1, 2);
+  LinkLoadTracker loads(mesh);
+  EXPECT_THROW(loads.remove(route_links(mesh, 0, 1)), Error);
+}
+
+TEST(RouteLinksTest, LengthMatchesDistance) {
+  Mesh2D mesh(4, 4);
+  EXPECT_EQ(route_links(mesh, 0, 15).size(), 6u);
+  EXPECT_TRUE(route_links(mesh, 3, 3).empty());
+}
+
+}  // namespace
+}  // namespace intercom

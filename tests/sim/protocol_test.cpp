@@ -1,0 +1,116 @@
+// Section 7.1 model refinements in the simulator: the eager/long message
+// protocol split and the per-hop worm-hole header latency.
+#include <gtest/gtest.h>
+
+#include "intercom/core/planner.hpp"
+#include "intercom/core/tuner.hpp"
+#include "intercom/sim/engine.hpp"
+
+namespace intercom {
+namespace {
+
+BufSlice user(std::size_t offset, std::size_t bytes) {
+  return BufSlice{kUserBuf, offset, bytes};
+}
+
+TEST(ProtocolTest, DefaultsAreSingleRegime) {
+  const MachineParams m = MachineParams::unit();
+  EXPECT_DOUBLE_EQ(m.alpha_for(8), m.alpha);
+  EXPECT_DOUBLE_EQ(m.alpha_for(1 << 20), m.alpha);
+  EXPECT_DOUBLE_EQ(m.beta_for(1 << 20), m.beta);
+}
+
+TEST(ProtocolTest, ThresholdSwitchesRegime) {
+  MachineParams m = MachineParams::unit();
+  m.long_threshold_bytes = 1024;
+  m.alpha_long = 3.0;
+  m.beta_long = 0.5;
+  EXPECT_DOUBLE_EQ(m.alpha_for(1023), 1.0);
+  EXPECT_DOUBLE_EQ(m.alpha_for(1024), 3.0);
+  EXPECT_DOUBLE_EQ(m.beta_for(1023), 1.0);
+  EXPECT_DOUBLE_EQ(m.beta_for(4096), 0.5);
+}
+
+TEST(ProtocolTest, SimulatorUsesPerMessageRegime) {
+  SimParams params;
+  params.machine = MachineParams::unit();
+  params.machine.long_threshold_bytes = 100;
+  params.machine.alpha_long = 5.0;   // rendezvous handshake costs more
+  params.machine.beta_long = 0.25;   // but streams 4x faster
+  WormholeSimulator sim(Mesh2D(1, 2), params);
+  {
+    Schedule s;
+    s.set_levels(0);
+    s.add_transfer(0, 1, user(0, 50), user(0, 50));
+    EXPECT_DOUBLE_EQ(sim.run(s).seconds, 1.0 + 50.0);  // eager regime
+  }
+  {
+    Schedule s;
+    s.set_levels(0);
+    s.add_transfer(0, 1, user(0, 400), user(0, 400));
+    EXPECT_DOUBLE_EQ(sim.run(s).seconds, 5.0 + 100.0);  // long regime
+  }
+}
+
+TEST(ProtocolTest, PerHopLatencyChargesDistance) {
+  SimParams params;
+  params.machine = MachineParams::unit();
+  params.machine.tau_per_hop = 0.125;
+  WormholeSimulator sim(Mesh2D(1, 16), params);
+  Schedule near;
+  near.set_levels(0);
+  near.add_transfer(0, 1, user(0, 10), user(0, 10));
+  Schedule far;
+  far.set_levels(0);
+  far.add_transfer(0, 15, user(0, 10), user(0, 10));
+  const double near_t = sim.run(near).seconds;
+  const double far_t = sim.run(far).seconds;
+  EXPECT_DOUBLE_EQ(near_t, 1.0 + 0.125 + 10.0);
+  EXPECT_DOUBLE_EQ(far_t, 1.0 + 15 * 0.125 + 10.0);
+}
+
+TEST(ProtocolTest, ScatterBucketsStraddleTheThreshold) {
+  // A hybrid whose early stages send long messages and late stages short
+  // ones exercises both regimes inside one schedule; the run must simply
+  // complete and stay causal.
+  SimParams params;
+  params.machine = MachineParams::paragon();
+  params.machine.long_threshold_bytes = 4096;
+  params.machine.alpha_long = 3.0 * params.machine.alpha;
+  params.machine.beta_long = 0.5 * params.machine.beta;
+  WormholeSimulator sim(Mesh2D(1, 30), params);
+  const Planner planner(params.machine);
+  const Schedule s = planner.plan_with_strategy(
+      Collective::kBroadcast, Group::contiguous(30), 1 << 16, 1, 0,
+      HybridStrategy{{2, 15}, InnerAlg::kScatterCollect, false});
+  const SimResult r = sim.run(s);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(ProtocolTest, TunerAbsorbsModelProtocolMismatch) {
+  // The analytic model is single-regime; on a two-regime machine the
+  // simulation-feedback tuner must find a strategy at least as good as the
+  // model's pick (and the winner it reports must be real).
+  MachineParams machine = MachineParams::paragon();
+  machine.long_threshold_bytes = 16384;
+  machine.alpha_long = 4.0 * machine.alpha;  // expensive rendezvous
+  machine.beta_long = 0.6 * machine.beta;
+  const Planner planner(machine);
+  SimParams params;
+  params.machine = machine;
+  const int p = 30;
+  const WormholeSimulator sim(Mesh2D(1, p), params);
+  const Group g = Group::contiguous(p);
+  const std::size_t n = 1 << 17;
+  const auto model_pick = planner.select_strategy(Collective::kBroadcast, g, n);
+  const double model_sim =
+      sim.run(planner.plan_with_strategy(Collective::kBroadcast, g, n, 1, 0,
+                                         model_pick))
+          .seconds;
+  const TuneResult tuned =
+      tune_strategy(planner, sim, Collective::kBroadcast, g, n, 1, 0, 8);
+  EXPECT_LE(tuned.best_seconds, model_sim * (1.0 + 1e-12));
+}
+
+}  // namespace
+}  // namespace intercom

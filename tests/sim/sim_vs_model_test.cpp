@@ -1,0 +1,153 @@
+// Cross-validation of the two performance substrates: the discrete-event
+// simulation of a generated schedule must agree with the analytic cost model
+// that drives strategy selection.  Conflict-free algorithms must agree
+// tightly; hybrids with interleaved subgroups must agree within a modest
+// tolerance (the model charges worst-case sharing for whole stages).
+#include <gtest/gtest.h>
+
+#include "intercom/core/planner.hpp"
+#include "intercom/model/hybrid_costs.hpp"
+#include "intercom/sim/engine.hpp"
+#include "intercom/topo/submesh.hpp"
+
+namespace intercom {
+namespace {
+
+SimParams unit_params() {
+  SimParams p;
+  p.machine = MachineParams::unit();
+  return p;
+}
+
+TEST(SimVsModelTest, MstBroadcastExact) {
+  const int p = 30;
+  const std::size_t n = 3000;
+  const Planner planner(MachineParams::unit());
+  const HybridStrategy mst{{p}, InnerAlg::kShortVector, false};
+  const Schedule s = planner.plan_with_strategy(
+      Collective::kBroadcast, Group::contiguous(p), n, 1, 0, mst);
+  WormholeSimulator sim(Mesh2D(1, p), unit_params());
+  const double predicted =
+      hybrid_cost(Collective::kBroadcast, mst, static_cast<double>(n))
+          .seconds(MachineParams::unit());
+  EXPECT_DOUBLE_EQ(sim.run(s).seconds, predicted);
+}
+
+TEST(SimVsModelTest, BucketCollectExactWhenDivisible) {
+  const int p = 30;
+  const std::size_t n = 30 * 64;
+  const Planner planner(MachineParams::unit());
+  const HybridStrategy ring{{p}, InnerAlg::kScatterCollect, false};
+  const Schedule s = planner.plan_with_strategy(
+      Collective::kCollect, Group::contiguous(p), n, 1, 0, ring);
+  WormholeSimulator sim(Mesh2D(1, p), unit_params());
+  const double predicted =
+      hybrid_cost(Collective::kCollect, ring, static_cast<double>(n))
+          .seconds(MachineParams::unit());
+  EXPECT_NEAR(sim.run(s).seconds, predicted, predicted * 1e-9);
+}
+
+TEST(SimVsModelTest, ScatterCollectBroadcastClose) {
+  const int p = 30;
+  const std::size_t n = 30 * 128;
+  const Planner planner(MachineParams::unit());
+  const HybridStrategy sc{{p}, InnerAlg::kScatterCollect, false};
+  const Schedule s = planner.plan_with_strategy(
+      Collective::kBroadcast, Group::contiguous(p), n, 1, 0, sc);
+  WormholeSimulator sim(Mesh2D(1, p), unit_params());
+  const double predicted =
+      hybrid_cost(Collective::kBroadcast, sc, static_cast<double>(n))
+          .seconds(MachineParams::unit());
+  const double simulated = sim.run(s).seconds;
+  EXPECT_NEAR(simulated, predicted, predicted * 0.05);
+}
+
+class SimVsModelHybridP : public ::testing::TestWithParam<HybridStrategy> {};
+
+TEST_P(SimVsModelHybridP, BroadcastWithinTolerance) {
+  const HybridStrategy strat = GetParam();
+  const int p = strat.node_count();
+  const std::size_t n = 30 * 512;
+  const Planner planner(MachineParams::unit());
+  const Schedule s = planner.plan_with_strategy(
+      Collective::kBroadcast, Group::contiguous(p), n, 1, 0, strat);
+  WormholeSimulator sim(Mesh2D(1, p), unit_params());
+  const double predicted =
+      hybrid_cost(Collective::kBroadcast, strat, static_cast<double>(n))
+          .seconds(MachineParams::unit());
+  const double simulated = sim.run(s).seconds;
+  // The model charges worst-case link sharing for entire stages; the
+  // simulation's fluid sharing can be somewhat kinder but must show the same
+  // magnitude.
+  EXPECT_LT(std::abs(simulated - predicted), predicted * 0.35)
+      << strat.label() << ": simulated " << simulated << " predicted "
+      << predicted;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2Strategies, SimVsModelHybridP,
+    ::testing::Values(
+        HybridStrategy{{2, 15}, InnerAlg::kShortVector, false},
+        HybridStrategy{{3, 10}, InnerAlg::kShortVector, false},
+        HybridStrategy{{2, 15}, InnerAlg::kScatterCollect, false},
+        HybridStrategy{{3, 10}, InnerAlg::kScatterCollect, false},
+        HybridStrategy{{5, 6}, InnerAlg::kScatterCollect, false},
+        HybridStrategy{{2, 3, 5}, InnerAlg::kShortVector, false}));
+
+TEST(SimVsModelTest, ConflictsActuallyMaterializeForInterleavedStages) {
+  // The bold-face compensation factors exist because interleaved subgroups
+  // share links: the simulator must report peak link load > 1 for a strided
+  // hybrid but exactly 1 for the conflict-free building blocks.
+  const int p = 30;
+  const std::size_t n = 3000;
+  const Planner planner(MachineParams::unit());
+  WormholeSimulator sim(Mesh2D(1, p), unit_params());
+
+  const Schedule hybrid = planner.plan_with_strategy(
+      Collective::kBroadcast, Group::contiguous(p), n, 1, 0,
+      HybridStrategy{{2, 15}, InnerAlg::kShortVector, false});
+  EXPECT_GT(sim.run(hybrid).peak_link_load, 1);
+
+  const Schedule mst = planner.plan_with_strategy(
+      Collective::kBroadcast, Group::contiguous(p), n, 1, 0,
+      HybridStrategy{{p}, InnerAlg::kShortVector, false});
+  EXPECT_EQ(sim.run(mst).peak_link_load, 1);
+}
+
+TEST(SimVsModelTest, MeshAlignedCollectBeatsRingOnLatency) {
+  // Section 7.1: on a 16 x 32 mesh the staged row/column collect has
+  // (r + c - 2) startups vs the ring's (p - 1).
+  const Mesh2D mesh(16, 32);
+  const Planner planner(MachineParams::unit(), mesh);
+  const Group whole = whole_mesh_group(mesh);
+  SimParams params = unit_params();
+  params.machine.beta = 0.0;   // isolate startup costs
+  params.machine.gamma = 0.0;
+  WormholeSimulator sim(mesh, params);
+  const std::size_t n = 512;
+
+  const Schedule staged = planner.plan_with_strategy(
+      Collective::kCollect, whole, n, 1, 0,
+      HybridStrategy{{32, 16}, InnerAlg::kScatterCollect, true});
+  const Schedule ring = planner.plan_with_strategy(
+      Collective::kCollect, whole, n, 1, 0,
+      HybridStrategy{{512}, InnerAlg::kScatterCollect, false});
+  const double staged_t = sim.run(staged).seconds;
+  const double ring_t = sim.run(ring).seconds;
+  EXPECT_DOUBLE_EQ(staged_t, 46.0);  // (16 + 32 - 2) alpha
+  EXPECT_DOUBLE_EQ(ring_t, 511.0);
+}
+
+TEST(SimVsModelTest, MeshAlignedStagesAreConflictFree) {
+  const Mesh2D mesh(8, 8);
+  const Planner planner(MachineParams::unit(), mesh);
+  const Group whole = whole_mesh_group(mesh);
+  WormholeSimulator sim(mesh, unit_params());
+  const Schedule staged = planner.plan_with_strategy(
+      Collective::kCollect, whole, 64 * 16, 1, 0,
+      HybridStrategy{{8, 8}, InnerAlg::kScatterCollect, true});
+  EXPECT_EQ(sim.run(staged).peak_link_load, 1);
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,83 @@
+// Simulator trace recording and timeline rendering tests.
+#include <gtest/gtest.h>
+
+#include "intercom/core/algorithms.hpp"
+#include "intercom/sim/engine.hpp"
+
+namespace intercom {
+namespace {
+
+SimParams traced_unit() {
+  SimParams p;
+  p.machine = MachineParams::unit();
+  p.record_trace = true;
+  return p;
+}
+
+TEST(TraceTest, SingleTransferRecord) {
+  WormholeSimulator sim(Mesh2D(1, 2), traced_unit());
+  Schedule s;
+  s.set_levels(0);
+  const BufSlice u{kUserBuf, 0, 50};
+  s.add_transfer(0, 1, u, u);
+  const SimResult r = sim.run(s);
+  ASSERT_EQ(r.trace.size(), 1u);
+  const TransferRecord& rec = r.trace[0];
+  EXPECT_EQ(rec.src, 0);
+  EXPECT_EQ(rec.dst, 1);
+  EXPECT_EQ(rec.bytes, 50u);
+  EXPECT_DOUBLE_EQ(rec.posted, 0.0);
+  EXPECT_DOUBLE_EQ(rec.data_start, 1.0);  // alpha
+  EXPECT_DOUBLE_EQ(rec.finish, 51.0);
+}
+
+TEST(TraceTest, DisabledByDefault) {
+  SimParams p;
+  p.machine = MachineParams::unit();
+  WormholeSimulator sim(Mesh2D(1, 2), p);
+  Schedule s;
+  s.set_levels(0);
+  const BufSlice u{kUserBuf, 0, 8};
+  s.add_transfer(0, 1, u, u);
+  EXPECT_TRUE(sim.run(s).trace.empty());
+}
+
+TEST(TraceTest, CountsMatchTransfers) {
+  WormholeSimulator sim(Mesh2D(1, 12), traced_unit());
+  Schedule s;
+  planner::Ctx ctx{s, 1};
+  planner::mst_broadcast(ctx, Group::contiguous(12), ElemRange{0, 120}, 0);
+  s.set_levels(0);
+  const SimResult r = sim.run(s);
+  EXPECT_EQ(r.trace.size(), r.transfers);
+  EXPECT_EQ(r.trace.size(), 11u);
+  // Every record is causally ordered.
+  for (const auto& rec : r.trace) {
+    EXPECT_LE(rec.posted, rec.data_start);
+    EXPECT_LT(rec.data_start, rec.finish);
+    EXPECT_LE(rec.finish, r.seconds);
+  }
+}
+
+TEST(TraceTest, TimelineRenders) {
+  WormholeSimulator sim(Mesh2D(1, 4), traced_unit());
+  Schedule s;
+  planner::Ctx ctx{s, 1};
+  planner::bucket_collect(ctx, Group::contiguous(4), ElemRange{0, 40});
+  s.set_levels(0);
+  const SimResult r = sim.run(s);
+  const std::string timeline = render_timeline(r, 40);
+  // One row per node plus the header.
+  EXPECT_NE(timeline.find("node 0"), std::string::npos);
+  EXPECT_NE(timeline.find("node 3"), std::string::npos);
+  EXPECT_NE(timeline.find('#'), std::string::npos);
+  EXPECT_NE(timeline.find("timeline"), std::string::npos);
+}
+
+TEST(TraceTest, EmptyTraceRenders) {
+  SimResult r;
+  EXPECT_EQ(render_timeline(r), "(no trace recorded)\n");
+}
+
+}  // namespace
+}  // namespace intercom

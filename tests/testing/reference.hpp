@@ -1,0 +1,145 @@
+// Test utility: a single-threaded reference interpreter for schedules.
+//
+// Executes a Schedule's programs under rendezvous semantics (like the
+// validator) while actually moving bytes between per-node buffers and
+// applying an element-wise sum for combines.  Core-planner tests use this to
+// check data correctness without spinning up the threaded runtime.
+#pragma once
+
+#include <cstring>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "intercom/ir/schedule.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom::testing {
+
+/// Reference executor over element type T (combine = element-wise sum).
+template <typename T>
+class RefExec {
+ public:
+  explicit RefExec(const Schedule& schedule) : schedule_(&schedule) {
+    for (const auto& prog : schedule.programs()) {
+      auto& bufs = buffers_[prog.node];
+      bufs.resize(prog.buffer_bytes.size());
+      for (std::size_t b = 0; b < prog.buffer_bytes.size(); ++b) {
+        bufs[b].resize(prog.buffer_bytes[b], std::byte{0});
+      }
+    }
+  }
+
+  /// Typed view of a node's user buffer (buffer 0).
+  std::span<T> user(int node) {
+    auto it = buffers_.find(node);
+    INTERCOM_REQUIRE(it != buffers_.end() && !it->second.empty(),
+                     "node has no user buffer in this schedule");
+    auto& raw = it->second[0];
+    return std::span<T>(reinterpret_cast<T*>(raw.data()),
+                        raw.size() / sizeof(T));
+  }
+
+  bool participates(int node) const { return buffers_.contains(node); }
+
+  /// Runs all programs to completion; throws on rendezvous deadlock.
+  void run() {
+    struct Cursor {
+      const NodeProgram* prog;
+      std::size_t pc = 0;
+      bool send_done = false;
+      bool recv_done = false;
+      bool done() const { return pc >= prog->ops.size(); }
+      const Op& op() const { return prog->ops[pc]; }
+      bool complete() const {
+        const Op& o = op();
+        return (!o.has_send() || send_done) && (!o.has_recv() || recv_done);
+      }
+      void advance() {
+        ++pc;
+        send_done = recv_done = false;
+      }
+    };
+    std::map<int, Cursor> cursors;
+    for (const auto& prog : schedule_->programs()) {
+      cursors[prog.node] = Cursor{&prog};
+    }
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto& [node, cur] : cursors) {
+        while (!cur.done()) {
+          const Op& op = cur.op();
+          if (op.kind == OpKind::kCopy) {
+            auto src = bytes(node, op.src);
+            auto dst = bytes(node, op.dst);
+            if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size());
+            cur.advance();
+            progress = true;
+            continue;
+          }
+          if (op.kind == OpKind::kCombine) {
+            auto src = bytes(node, op.src);
+            auto dst = bytes(node, op.dst);
+            INTERCOM_REQUIRE(src.size() % sizeof(T) == 0,
+                             "combine not element aligned");
+            const std::size_t count = src.size() / sizeof(T);
+            auto* s = reinterpret_cast<const T*>(src.data());
+            auto* d = reinterpret_cast<T*>(dst.data());
+            for (std::size_t i = 0; i < count; ++i) d[i] += s[i];
+            cur.advance();
+            progress = true;
+            continue;
+          }
+          if (op.has_send() && !cur.send_done) {
+            auto peer_it = cursors.find(op.peer);
+            if (peer_it != cursors.end() && !peer_it->second.done()) {
+              Cursor& peer = peer_it->second;
+              const Op& pop = peer.op();
+              if (pop.has_recv() && !peer.recv_done &&
+                  pop.recv_peer() == node && pop.recv_tag() == op.tag &&
+                  pop.dst.bytes == op.src.bytes) {
+                auto src = bytes(node, op.src);
+                auto dst = bytes(op.peer, pop.dst);
+                if (!src.empty())
+                  std::memcpy(dst.data(), src.data(), src.size());
+                cur.send_done = true;
+                peer.recv_done = true;
+                if (peer.complete()) peer.advance();
+                progress = true;
+              }
+            }
+          }
+          if (cur.complete()) {
+            cur.advance();
+            progress = true;
+            continue;
+          }
+          break;
+        }
+      }
+    }
+    for (const auto& [node, cur] : cursors) {
+      INTERCOM_REQUIRE(cur.done(), "reference execution deadlocked at node " +
+                                       std::to_string(node));
+    }
+  }
+
+ private:
+  std::span<std::byte> bytes(int node, const BufSlice& slice) {
+    auto& bufs = buffers_.at(node);
+    INTERCOM_REQUIRE(
+        slice.buffer >= 0 &&
+            static_cast<std::size_t>(slice.buffer) < bufs.size(),
+        "slice references undeclared buffer");
+    auto& raw = bufs[static_cast<std::size_t>(slice.buffer)];
+    INTERCOM_REQUIRE(slice.offset + slice.bytes <= raw.size(),
+                     "slice exceeds buffer");
+    return std::span<std::byte>(raw).subspan(slice.offset, slice.bytes);
+  }
+
+  const Schedule* schedule_;
+  std::map<int, std::vector<std::vector<std::byte>>> buffers_;
+};
+
+}  // namespace intercom::testing

@@ -1,0 +1,71 @@
+#include "intercom/topo/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(GroupTest, ContiguousNumbersRanks) {
+  Group g = Group::contiguous(5);
+  EXPECT_EQ(g.size(), 5);
+  for (int r = 0; r < 5; ++r) EXPECT_EQ(g.physical(r), r);
+}
+
+TEST(GroupTest, StridedMapping) {
+  Group g = Group::strided(3, 4, 4);
+  EXPECT_EQ(g.members(), (std::vector<int>{3, 7, 11, 15}));
+  EXPECT_EQ(g.rank_of(11), 2);
+  EXPECT_EQ(g.rank_of(4), -1);
+  EXPECT_TRUE(g.contains(15));
+  EXPECT_FALSE(g.contains(16));
+}
+
+TEST(GroupTest, ExplicitMembersProvideLogicalToPhysicalMap) {
+  // The paper's mechanism: "using the group array to provide the
+  // logical-to-physical mapping".
+  Group g({9, 2, 5});
+  EXPECT_EQ(g.physical(0), 9);
+  EXPECT_EQ(g.physical(1), 2);
+  EXPECT_EQ(g.physical(2), 5);
+  EXPECT_EQ(g.rank_of(5), 2);
+}
+
+TEST(GroupTest, RejectsDuplicatesAndNegatives) {
+  EXPECT_THROW(Group({1, 2, 1}), Error);
+  EXPECT_THROW(Group({0, -1}), Error);
+  EXPECT_THROW(Group(std::vector<int>{}), Error);
+}
+
+TEST(GroupTest, PhysicalRejectsBadRank) {
+  Group g = Group::contiguous(3);
+  EXPECT_THROW(g.physical(3), Error);
+  EXPECT_THROW(g.physical(-1), Error);
+}
+
+TEST(GroupTest, SliceSelectsStridedSubgroup) {
+  Group g = Group::contiguous(12);
+  // Logical 2 x 6: column 1 is ranks {1, 3, 5, 7, 9, 11}.
+  Group col = g.slice(1, 2, 6);
+  EXPECT_EQ(col.members(), (std::vector<int>{1, 3, 5, 7, 9, 11}));
+  // Row 2 is ranks {4, 5}.
+  Group row = g.slice(4, 1, 2);
+  EXPECT_EQ(row.members(), (std::vector<int>{4, 5}));
+}
+
+TEST(GroupTest, SliceOfStridedGroupComposes) {
+  Group g = Group::strided(100, 10, 8);  // 100,110,...,170
+  Group sub = g.slice(1, 3, 2);          // ranks 1 and 4 -> 110, 140
+  EXPECT_EQ(sub.members(), (std::vector<int>{110, 140}));
+}
+
+TEST(GroupTest, SliceBoundsChecked) {
+  Group g = Group::contiguous(6);
+  EXPECT_THROW(g.slice(0, 2, 4), Error);  // rank 6 out of bounds
+  EXPECT_THROW(g.slice(-1, 1, 2), Error);
+  EXPECT_THROW(g.slice(0, 0, 2), Error);
+}
+
+}  // namespace
+}  // namespace intercom

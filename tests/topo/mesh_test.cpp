@@ -1,0 +1,103 @@
+#include "intercom/topo/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(Mesh2DTest, CoordinateRoundTrip) {
+  Mesh2D mesh(4, 5);
+  EXPECT_EQ(mesh.node_count(), 20);
+  for (int node = 0; node < mesh.node_count(); ++node) {
+    EXPECT_EQ(mesh.node_at(mesh.coord_of(node)), node);
+  }
+  EXPECT_EQ(mesh.coord_of(0), (Coord{0, 0}));
+  EXPECT_EQ(mesh.coord_of(7), (Coord{1, 2}));
+  EXPECT_EQ(mesh.node_at(3, 4), 19);
+}
+
+TEST(Mesh2DTest, RejectsBadInputs) {
+  EXPECT_THROW(Mesh2D(0, 3), Error);
+  Mesh2D mesh(2, 2);
+  EXPECT_THROW(mesh.coord_of(4), Error);
+  EXPECT_THROW(mesh.coord_of(-1), Error);
+  EXPECT_THROW(mesh.node_at(2, 0), Error);
+}
+
+TEST(Mesh2DTest, RouteIsEmptyForSelf) {
+  Mesh2D mesh(3, 3);
+  EXPECT_TRUE(mesh.route(4, 4).empty());
+}
+
+TEST(Mesh2DTest, XyRoutingGoesRowFirst) {
+  Mesh2D mesh(3, 4);
+  // From (0,0) to (2,2): along row 0 to column 2, then down column 2.
+  const auto links = mesh.route(mesh.node_at(0, 0), mesh.node_at(2, 2));
+  ASSERT_EQ(links.size(), 4u);
+  EXPECT_EQ(links[0], (Link{mesh.node_at(0, 0), mesh.node_at(0, 1)}));
+  EXPECT_EQ(links[1], (Link{mesh.node_at(0, 1), mesh.node_at(0, 2)}));
+  EXPECT_EQ(links[2], (Link{mesh.node_at(0, 2), mesh.node_at(1, 2)}));
+  EXPECT_EQ(links[3], (Link{mesh.node_at(1, 2), mesh.node_at(2, 2)}));
+}
+
+TEST(Mesh2DTest, RouteLengthEqualsManhattanDistance) {
+  Mesh2D mesh(5, 7);
+  for (int s = 0; s < mesh.node_count(); s += 3) {
+    for (int d = 0; d < mesh.node_count(); d += 5) {
+      EXPECT_EQ(static_cast<int>(mesh.route(s, d).size()), mesh.distance(s, d));
+    }
+  }
+}
+
+TEST(Mesh2DTest, ReverseRoutesUseDistinctChannels) {
+  // Bidirectional links are two directed channels; opposite routes must not
+  // share link indices.
+  Mesh2D mesh(1, 8);
+  const auto right = mesh.route(0, 7);
+  const auto left = mesh.route(7, 0);
+  std::set<int> right_ids;
+  std::set<int> left_ids;
+  for (const auto& l : right) right_ids.insert(mesh.link_index(l));
+  for (const auto& l : left) left_ids.insert(mesh.link_index(l));
+  for (int id : right_ids) EXPECT_EQ(left_ids.count(id), 0u);
+}
+
+TEST(Mesh2DTest, LinkIndicesAreDenseAndUnique) {
+  Mesh2D mesh(4, 6);
+  std::set<int> seen;
+  for (int node = 0; node < mesh.node_count(); ++node) {
+    Coord c = mesh.coord_of(node);
+    if (c.col + 1 < mesh.cols()) {
+      seen.insert(mesh.link_index(Link{node, mesh.node_at(c.row, c.col + 1)}));
+      seen.insert(mesh.link_index(Link{mesh.node_at(c.row, c.col + 1), node}));
+    }
+    if (c.row + 1 < mesh.rows()) {
+      seen.insert(mesh.link_index(Link{node, mesh.node_at(c.row + 1, c.col)}));
+      seen.insert(mesh.link_index(Link{mesh.node_at(c.row + 1, c.col), node}));
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), mesh.directed_link_count());
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), mesh.directed_link_count() - 1);
+}
+
+TEST(Mesh2DTest, LinkIndexRejectsNonAdjacent) {
+  Mesh2D mesh(3, 3);
+  EXPECT_THROW(mesh.link_index(Link{0, 2}), Error);
+  EXPECT_THROW(mesh.link_index(Link{0, 4}), Error);
+}
+
+TEST(Mesh2DTest, LinearArrayAsOneByP) {
+  // A 1 x p mesh models the linear-array setting of Sections 4-6.
+  Mesh2D line(1, 30);
+  EXPECT_EQ(line.node_count(), 30);
+  EXPECT_EQ(line.directed_link_count(), 2 * 29);
+  EXPECT_EQ(line.distance(0, 29), 29);
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,88 @@
+#include "intercom/topo/submesh.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intercom {
+namespace {
+
+TEST(SubmeshTest, RowAndColumnGroups) {
+  Mesh2D mesh(3, 4);
+  EXPECT_EQ(row_group(mesh, 1).members(), (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_EQ(col_group(mesh, 2).members(), (std::vector<int>{2, 6, 10}));
+  EXPECT_EQ(whole_mesh_group(mesh).size(), 12);
+}
+
+TEST(SubmeshTest, SingletonDetected) {
+  Mesh2D mesh(4, 4);
+  EXPECT_EQ(analyze_group(mesh, Group({5})).structure,
+            GroupStructure::kSingleton);
+}
+
+TEST(SubmeshTest, PhysicalRowDetected) {
+  Mesh2D mesh(4, 6);
+  const auto layout = analyze_group(mesh, Group({13, 14, 15, 16}));
+  EXPECT_EQ(layout.structure, GroupStructure::kPhysicalRow);
+  ASSERT_TRUE(layout.submesh.has_value());
+  EXPECT_EQ(layout.submesh->row0, 2);
+  EXPECT_EQ(layout.submesh->col0, 1);
+  EXPECT_EQ(layout.submesh->cols, 4);
+}
+
+TEST(SubmeshTest, PhysicalColumnDetected) {
+  Mesh2D mesh(4, 6);
+  const auto layout = analyze_group(mesh, Group({3, 9, 15, 21}));
+  EXPECT_EQ(layout.structure, GroupStructure::kPhysicalColumn);
+  ASSERT_TRUE(layout.submesh.has_value());
+  EXPECT_EQ(layout.submesh->rows, 4);
+  EXPECT_EQ(layout.submesh->cols, 1);
+}
+
+TEST(SubmeshTest, RectangularSubmeshDetected) {
+  Mesh2D mesh(4, 6);
+  // Rows 1-2, cols 2-4 in row-major order.
+  Group g({8, 9, 10, 14, 15, 16});
+  const auto layout = analyze_group(mesh, g);
+  EXPECT_EQ(layout.structure, GroupStructure::kRectSubmesh);
+  ASSERT_TRUE(layout.submesh.has_value());
+  EXPECT_EQ(layout.submesh->row0, 1);
+  EXPECT_EQ(layout.submesh->col0, 2);
+  EXPECT_EQ(layout.submesh->rows, 2);
+  EXPECT_EQ(layout.submesh->cols, 3);
+}
+
+TEST(SubmeshTest, WholeMeshIsRectSubmesh) {
+  Mesh2D mesh(16, 32);
+  const auto layout = analyze_group(mesh, whole_mesh_group(mesh));
+  EXPECT_EQ(layout.structure, GroupStructure::kRectSubmesh);
+  EXPECT_EQ(layout.submesh->rows, 16);
+  EXPECT_EQ(layout.submesh->cols, 32);
+}
+
+TEST(SubmeshTest, WrongOrderIsUnstructured) {
+  Mesh2D mesh(4, 6);
+  // Same members as the rectangle above, but column-major enumeration: the
+  // row/column techniques would not apply, so it must be kUnstructured.
+  Group g({8, 14, 9, 15, 10, 16});
+  EXPECT_EQ(analyze_group(mesh, g).structure, GroupStructure::kUnstructured);
+}
+
+TEST(SubmeshTest, HolesAreUnstructured) {
+  Mesh2D mesh(4, 6);
+  Group g({8, 9, 10, 14, 15});  // missing 16
+  EXPECT_EQ(analyze_group(mesh, g).structure, GroupStructure::kUnstructured);
+}
+
+TEST(SubmeshTest, ScatteredGroupIsUnstructured) {
+  Mesh2D mesh(4, 6);
+  Group g({0, 7, 21});
+  EXPECT_EQ(analyze_group(mesh, g).structure, GroupStructure::kUnstructured);
+}
+
+TEST(SubmeshTest, OutOfMeshNodesAreUnstructured) {
+  Mesh2D mesh(2, 2);
+  Group g({0, 1, 2, 5});
+  EXPECT_EQ(analyze_group(mesh, g).structure, GroupStructure::kUnstructured);
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,116 @@
+#include "intercom/topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(MeshTopologyTest, MatchesMesh2D) {
+  Mesh2D mesh(3, 4);
+  MeshTopology topo(mesh);
+  EXPECT_EQ(topo.node_count(), 12);
+  EXPECT_EQ(topo.directed_link_count(), mesh.directed_link_count());
+  EXPECT_EQ(topo.route(0, 11).size(), static_cast<std::size_t>(mesh.distance(0, 11)));
+  EXPECT_TRUE(topo.route(5, 5).empty());
+}
+
+TEST(HypercubeTest, BasicShape) {
+  Hypercube cube(4);
+  EXPECT_EQ(cube.dims(), 4);
+  EXPECT_EQ(cube.node_count(), 16);
+  EXPECT_EQ(cube.directed_link_count(), 16 * 4);
+}
+
+TEST(HypercubeTest, ZeroDimensionalCube) {
+  Hypercube cube(0);
+  EXPECT_EQ(cube.node_count(), 1);
+  EXPECT_EQ(cube.directed_link_count(), 0);
+  EXPECT_TRUE(cube.route(0, 0).empty());
+}
+
+TEST(HypercubeTest, NeighborsFlipOneBit) {
+  Hypercube cube(3);
+  EXPECT_EQ(cube.neighbor(0b000, 0), 0b001);
+  EXPECT_EQ(cube.neighbor(0b000, 2), 0b100);
+  EXPECT_EQ(cube.neighbor(0b101, 1), 0b111);
+  EXPECT_THROW(cube.neighbor(0, 3), Error);
+  EXPECT_THROW(cube.neighbor(8, 0), Error);
+}
+
+TEST(HypercubeTest, RouteLengthIsHammingDistance) {
+  Hypercube cube(5);
+  auto popcount = [](int v) {
+    int c = 0;
+    while (v) {
+      c += v & 1;
+      v >>= 1;
+    }
+    return c;
+  };
+  for (int s = 0; s < 32; s += 5) {
+    for (int d = 0; d < 32; d += 3) {
+      EXPECT_EQ(static_cast<int>(cube.route(s, d).size()), popcount(s ^ d));
+    }
+  }
+}
+
+TEST(HypercubeTest, EcubeRoutingIsAscending) {
+  Hypercube cube(3);
+  // 000 -> 111 resolves dimension 0, then 1, then 2.
+  const auto route = cube.route(0b000, 0b111);
+  ASSERT_EQ(route.size(), 3u);
+  EXPECT_EQ(route[0], cube.link_index(0b000, 0));
+  EXPECT_EQ(route[1], cube.link_index(0b001, 1));
+  EXPECT_EQ(route[2], cube.link_index(0b011, 2));
+}
+
+TEST(HypercubeTest, LinkIndicesDenseAndUnique) {
+  Hypercube cube(3);
+  std::set<int> seen;
+  for (int node = 0; node < 8; ++node) {
+    for (int dim = 0; dim < 3; ++dim) {
+      seen.insert(cube.link_index(node, dim));
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), cube.directed_link_count());
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), cube.directed_link_count() - 1);
+}
+
+TEST(HypercubeTest, GrayRingIsHamiltonianOverLinks) {
+  Hypercube cube(4);
+  const auto ring = cube.gray_ring();
+  ASSERT_EQ(ring.size(), 16u);
+  std::set<int> visited(ring.begin(), ring.end());
+  EXPECT_EQ(visited.size(), 16u);  // visits every node once
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const int a = ring[i];
+    const int b = ring[(i + 1) % ring.size()];
+    const int diff = a ^ b;
+    EXPECT_EQ(diff & (diff - 1), 0) << "hop " << i << " is not a cube edge";
+    EXPECT_NE(diff, 0);
+  }
+}
+
+TEST(HypercubeTest, GrayRingHopsAreEdgeDisjoint) {
+  Hypercube cube(4);
+  const auto ring = cube.gray_ring();
+  std::set<int> used;
+  for (std::size_t i = 0; i + 1 < ring.size(); ++i) {
+    const auto links = cube.route(ring[i], ring[i + 1]);
+    ASSERT_EQ(links.size(), 1u);
+    EXPECT_TRUE(used.insert(links[0]).second) << "hop " << i << " reuses a channel";
+  }
+}
+
+TEST(HypercubeTest, RejectsBadDims) {
+  EXPECT_THROW(Hypercube(-1), Error);
+  EXPECT_THROW(Hypercube(21), Error);
+}
+
+}  // namespace
+}  // namespace intercom

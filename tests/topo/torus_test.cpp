@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "intercom/core/primitives.hpp"
+#include "intercom/sim/engine.hpp"
+#include "intercom/topo/topology.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(TorusTest, BasicShape) {
+  Torus2D t(4, 6);
+  EXPECT_EQ(t.node_count(), 24);
+  EXPECT_EQ(t.directed_link_count(), 24 * 4);
+  EXPECT_THROW(Torus2D(0, 3), Error);
+}
+
+TEST(TorusTest, ShortestWayAroundHorizontally) {
+  Torus2D t(1, 10);
+  // 0 -> 3: east, 3 hops.
+  EXPECT_EQ(t.route(0, 3).size(), 3u);
+  // 0 -> 8: west around the wrap, 2 hops.
+  EXPECT_EQ(t.route(0, 8).size(), 2u);
+  // Half way: either way is 5 hops.
+  EXPECT_EQ(t.route(0, 5).size(), 5u);
+}
+
+TEST(TorusTest, ShortestWayAroundVertically) {
+  Torus2D t(8, 1);
+  EXPECT_EQ(t.route(0, 6 * 1).size(), 2u);  // north around the wrap
+  EXPECT_EQ(t.route(0, 2 * 1).size(), 2u);  // south
+}
+
+TEST(TorusTest, TwoDimensionalRoute) {
+  Torus2D t(4, 4);
+  // (0,0) -> (3,3): 1 west (wrap) + 1 north (wrap) = 2 hops.
+  EXPECT_EQ(t.route(0, 15).size(), 2u);
+}
+
+TEST(TorusTest, RouteEmptyForSelf) {
+  Torus2D t(3, 3);
+  EXPECT_TRUE(t.route(4, 4).empty());
+}
+
+TEST(TorusTest, OppositeDirectionsUseDistinctChannels) {
+  Torus2D t(1, 6);
+  const auto east = t.route(0, 2);
+  const auto west = t.route(2, 0);
+  std::set<int> e(east.begin(), east.end());
+  for (int id : west) EXPECT_EQ(e.count(id), 0u);
+}
+
+TEST(TorusTest, RingCollectUsesWrapLinkWithoutConflict) {
+  // On a torus the bucket ring's wrap message is a single physical link, so
+  // the whole ring is conflict-free and each step costs one bucket.
+  const int p = 8;
+  auto torus = std::make_shared<Torus2D>(1, p);
+  SimParams params;
+  params.machine = MachineParams::unit();
+  WormholeSimulator sim(torus, params);
+  Schedule s;
+  planner::Ctx ctx{s, 1};
+  planner::bucket_collect(ctx, Group::contiguous(p), ElemRange{0, 8 * 32});
+  s.set_levels(0);
+  const SimResult r = sim.run(s);
+  EXPECT_EQ(r.peak_link_load, 1);
+  EXPECT_DOUBLE_EQ(r.seconds, (p - 1) * (1.0 + 32.0));
+}
+
+TEST(TorusTest, MstBroadcastRunsOnTorus) {
+  auto torus = std::make_shared<Torus2D>(4, 4);
+  SimParams params;
+  params.machine = MachineParams::unit();
+  WormholeSimulator sim(torus, params);
+  Schedule s;
+  planner::Ctx ctx{s, 1};
+  planner::mst_broadcast(ctx, Group::contiguous(16), ElemRange{0, 64}, 0);
+  s.set_levels(0);
+  EXPECT_DOUBLE_EQ(sim.run(s).seconds, 4 * (1.0 + 64.0));
+}
+
+}  // namespace
+}  // namespace intercom

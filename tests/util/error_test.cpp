@@ -1,0 +1,35 @@
+#include "intercom/util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intercom {
+namespace {
+
+TEST(ErrorTest, RequireThrowsWithMessageAndLocation) {
+  try {
+    INTERCOM_REQUIRE(1 == 2, "numbers disagree");
+    FAIL() << "expected intercom::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, RequirePassesSilently) {
+  EXPECT_NO_THROW(INTERCOM_REQUIRE(true, "never shown"));
+}
+
+TEST(ErrorTest, CheckThrowsOnViolation) {
+  EXPECT_THROW(INTERCOM_CHECK(false), Error);
+  EXPECT_NO_THROW(INTERCOM_CHECK(true));
+}
+
+TEST(ErrorTest, ErrorIsARuntimeError) {
+  EXPECT_THROW(
+      { throw Error("boom"); }, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace intercom

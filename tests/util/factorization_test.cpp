@@ -1,0 +1,122 @@
+#include "intercom/util/factorization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(PrimeFactorsTest, SmallValues) {
+  EXPECT_TRUE(prime_factors(1).empty());
+  EXPECT_EQ(prime_factors(2), (std::vector<std::int64_t>{2}));
+  EXPECT_EQ(prime_factors(12), (std::vector<std::int64_t>{2, 2, 3}));
+  EXPECT_EQ(prime_factors(30), (std::vector<std::int64_t>{2, 3, 5}));
+  EXPECT_EQ(prime_factors(97), (std::vector<std::int64_t>{97}));
+  EXPECT_EQ(prime_factors(512), std::vector<std::int64_t>(9, 2));
+}
+
+TEST(PrimeFactorsTest, ProductReconstructsInput) {
+  for (std::int64_t n = 1; n <= 2000; ++n) {
+    auto f = prime_factors(n);
+    std::int64_t prod = 1;
+    for (auto v : f) prod *= v;
+    EXPECT_EQ(prod, n) << "n = " << n;
+  }
+}
+
+TEST(PrimeFactorsTest, RejectsNonPositive) {
+  EXPECT_THROW(prime_factors(0), Error);
+  EXPECT_THROW(prime_factors(-4), Error);
+}
+
+TEST(DivisorsTest, KnownValues) {
+  EXPECT_EQ(divisors(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(divisors(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(30), (std::vector<std::int64_t>{1, 2, 3, 5, 6, 10, 15, 30}));
+  EXPECT_EQ(divisors(49), (std::vector<std::int64_t>{1, 7, 49}));
+}
+
+TEST(DivisorsTest, SortedAndDividing) {
+  for (std::int64_t n : {36, 450, 512, 97}) {
+    auto ds = divisors(n);
+    EXPECT_TRUE(std::is_sorted(ds.begin(), ds.end()));
+    for (auto d : ds) EXPECT_EQ(n % d, 0);
+  }
+}
+
+TEST(OrderedFactorizationsTest, TwelveIntoTwo) {
+  auto f = ordered_factorizations(12, 2);
+  std::vector<std::vector<std::int64_t>> expect{
+      {2, 6}, {3, 4}, {4, 3}, {6, 2}};
+  EXPECT_EQ(f, expect);
+}
+
+TEST(OrderedFactorizationsTest, ThirtyIntoThree) {
+  auto f = ordered_factorizations(30, 3);
+  // 30 = 2*3*5 in every order: 3! = 6 orderings.
+  EXPECT_EQ(f.size(), 6u);
+  for (const auto& dims : f) {
+    std::int64_t prod = 1;
+    for (auto d : dims) {
+      prod *= d;
+      EXPECT_GE(d, 2);
+    }
+    EXPECT_EQ(prod, 30);
+  }
+}
+
+TEST(OrderedFactorizationsTest, PrimeHasOnlyTrivial) {
+  EXPECT_EQ(ordered_factorizations(31, 1),
+            (std::vector<std::vector<std::int64_t>>{{31}}));
+  EXPECT_TRUE(ordered_factorizations(31, 2).empty());
+}
+
+TEST(AllOrderedFactorizationsTest, CountsFor30) {
+  // k=1: {30}; k=2: (2,15),(3,10),(5,6),(6,5),(10,3),(15,2); k=3: 6 orderings.
+  auto f = all_ordered_factorizations(30, 3);
+  EXPECT_EQ(f.size(), 1u + 6u + 6u);
+}
+
+TEST(AllOrderedFactorizationsTest, ProductsAlwaysMatch) {
+  for (std::int64_t n : {8, 24, 450, 512}) {
+    for (const auto& dims : all_ordered_factorizations(n, 4)) {
+      std::int64_t prod = 1;
+      for (auto d : dims) prod *= d;
+      EXPECT_EQ(prod, n);
+    }
+  }
+}
+
+TEST(CeilLog2Test, KnownValues) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(30), 5);   // the paper's p = 30 example
+  EXPECT_EQ(ceil_log2(512), 9);  // the paper's 16 x 32 Paragon partition
+  EXPECT_EQ(ceil_log2(450), 9);  // the paper's 15 x 30 partition
+}
+
+TEST(IsPowerOfTwoTest, Classification) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(512));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(30));
+}
+
+TEST(CeilDivTest, Basics) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,56 @@
+#include "intercom/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(TextTableTest, PrintsAlignedColumns) {
+  TextTable t({"op", "time"});
+  t.add_row({"broadcast", "0.0013"});
+  t.add_row({"collect", "0.0035"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| op        | time   |"), std::string::npos);
+  EXPECT_NE(out.find("| broadcast | 0.0013 |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTableTest, CsvRendering) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTableTest, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(FormatBytesTest, HumanReadableLabels) {
+  EXPECT_EQ(format_bytes(8), "8");
+  EXPECT_EQ(format_bytes(1023), "1023");
+  EXPECT_EQ(format_bytes(1024), "1K");
+  EXPECT_EQ(format_bytes(65536), "64K");
+  EXPECT_EQ(format_bytes(1u << 20), "1M");
+  EXPECT_EQ(format_bytes(3u << 20), "3M");
+}
+
+TEST(FormatSecondsTest, FourSignificantDigits) {
+  EXPECT_EQ(format_seconds(0.0013), "0.0013");
+  EXPECT_EQ(format_seconds(12.3456), "12.35");
+}
+
+}  // namespace
+}  // namespace intercom
