@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_autoselect"
+  "../bench/bench_ablation_autoselect.pdb"
+  "CMakeFiles/bench_ablation_autoselect.dir/bench_ablation_autoselect.cpp.o"
+  "CMakeFiles/bench_ablation_autoselect.dir/bench_ablation_autoselect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_autoselect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

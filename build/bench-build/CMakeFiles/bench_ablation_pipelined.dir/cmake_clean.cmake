@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pipelined"
+  "../bench/bench_ablation_pipelined.pdb"
+  "CMakeFiles/bench_ablation_pipelined.dir/bench_ablation_pipelined.cpp.o"
+  "CMakeFiles/bench_ablation_pipelined.dir/bench_ablation_pipelined.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pipelined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tuner"
+  "../bench/bench_ablation_tuner.pdb"
+  "CMakeFiles/bench_ablation_tuner.dir/bench_ablation_tuner.cpp.o"
+  "CMakeFiles/bench_ablation_tuner.dir/bench_ablation_tuner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

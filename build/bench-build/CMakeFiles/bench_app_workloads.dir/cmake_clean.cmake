@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_app_workloads"
+  "../bench/bench_app_workloads.pdb"
+  "CMakeFiles/bench_app_workloads.dir/bench_app_workloads.cpp.o"
+  "CMakeFiles/bench_app_workloads.dir/bench_app_workloads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_crossover_scaling"
+  "../bench/bench_crossover_scaling.pdb"
+  "CMakeFiles/bench_crossover_scaling.dir/bench_crossover_scaling.cpp.o"
+  "CMakeFiles/bench_crossover_scaling.dir/bench_crossover_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossover_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

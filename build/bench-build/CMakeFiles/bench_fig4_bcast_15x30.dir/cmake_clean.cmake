@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_bcast_15x30"
+  "../bench/bench_fig4_bcast_15x30.pdb"
+  "CMakeFiles/bench_fig4_bcast_15x30.dir/bench_fig4_bcast_15x30.cpp.o"
+  "CMakeFiles/bench_fig4_bcast_15x30.dir/bench_fig4_bcast_15x30.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_bcast_15x30.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

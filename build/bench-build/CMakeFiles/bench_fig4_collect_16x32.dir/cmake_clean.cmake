@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_collect_16x32"
+  "../bench/bench_fig4_collect_16x32.pdb"
+  "CMakeFiles/bench_fig4_collect_16x32.dir/bench_fig4_collect_16x32.cpp.o"
+  "CMakeFiles/bench_fig4_collect_16x32.dir/bench_fig4_collect_16x32.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_collect_16x32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hypercube_edst"
+  "../bench/bench_hypercube_edst.pdb"
+  "CMakeFiles/bench_hypercube_edst.dir/bench_hypercube_edst.cpp.o"
+  "CMakeFiles/bench_hypercube_edst.dir/bench_hypercube_edst.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hypercube_edst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

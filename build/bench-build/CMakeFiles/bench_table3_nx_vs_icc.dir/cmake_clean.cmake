@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_nx_vs_icc"
+  "../bench/bench_table3_nx_vs_icc.pdb"
+  "CMakeFiles/bench_table3_nx_vs_icc.dir/bench_table3_nx_vs_icc.cpp.o"
+  "CMakeFiles/bench_table3_nx_vs_icc.dir/bench_table3_nx_vs_icc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_nx_vs_icc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercube_demo.dir/hypercube_demo.cpp.o"
+  "CMakeFiles/hypercube_demo.dir/hypercube_demo.cpp.o.d"
+  "hypercube_demo"
+  "hypercube_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercube_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nx_port.dir/nx_port.cpp.o"
+  "CMakeFiles/nx_port.dir/nx_port.cpp.o.d"
+  "nx_port"
+  "nx_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nx_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

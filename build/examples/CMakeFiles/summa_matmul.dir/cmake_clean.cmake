@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summa_matmul.dir/summa_matmul.cpp.o"
+  "CMakeFiles/summa_matmul.dir/summa_matmul.cpp.o.d"
+  "summa_matmul"
+  "summa_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summa_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

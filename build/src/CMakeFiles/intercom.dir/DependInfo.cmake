@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/nx.cpp" "src/CMakeFiles/intercom.dir/baseline/nx.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/baseline/nx.cpp.o.d"
+  "/root/repo/src/core/bucket.cpp" "src/CMakeFiles/intercom.dir/core/bucket.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/core/bucket.cpp.o.d"
+  "/root/repo/src/core/composed.cpp" "src/CMakeFiles/intercom.dir/core/composed.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/core/composed.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/CMakeFiles/intercom.dir/core/hybrid.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/core/hybrid.cpp.o.d"
+  "/root/repo/src/core/mst.cpp" "src/CMakeFiles/intercom.dir/core/mst.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/core/mst.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/intercom.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/pipelined.cpp" "src/CMakeFiles/intercom.dir/core/pipelined.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/core/pipelined.cpp.o.d"
+  "/root/repo/src/core/plan_cache.cpp" "src/CMakeFiles/intercom.dir/core/plan_cache.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/core/plan_cache.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/CMakeFiles/intercom.dir/core/planner.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/core/planner.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/CMakeFiles/intercom.dir/core/tuner.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/core/tuner.cpp.o.d"
+  "/root/repo/src/hypercube/algorithms.cpp" "src/CMakeFiles/intercom.dir/hypercube/algorithms.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/hypercube/algorithms.cpp.o.d"
+  "/root/repo/src/hypercube/planner.cpp" "src/CMakeFiles/intercom.dir/hypercube/planner.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/hypercube/planner.cpp.o.d"
+  "/root/repo/src/icc/icc.cpp" "src/CMakeFiles/intercom.dir/icc/icc.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/icc/icc.cpp.o.d"
+  "/root/repo/src/ir/analysis.cpp" "src/CMakeFiles/intercom.dir/ir/analysis.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/ir/analysis.cpp.o.d"
+  "/root/repo/src/ir/schedule.cpp" "src/CMakeFiles/intercom.dir/ir/schedule.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/ir/schedule.cpp.o.d"
+  "/root/repo/src/ir/validate.cpp" "src/CMakeFiles/intercom.dir/ir/validate.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/ir/validate.cpp.o.d"
+  "/root/repo/src/model/collective.cpp" "src/CMakeFiles/intercom.dir/model/collective.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/model/collective.cpp.o.d"
+  "/root/repo/src/model/cost.cpp" "src/CMakeFiles/intercom.dir/model/cost.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/model/cost.cpp.o.d"
+  "/root/repo/src/model/hybrid_costs.cpp" "src/CMakeFiles/intercom.dir/model/hybrid_costs.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/model/hybrid_costs.cpp.o.d"
+  "/root/repo/src/model/machine_params.cpp" "src/CMakeFiles/intercom.dir/model/machine_params.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/model/machine_params.cpp.o.d"
+  "/root/repo/src/model/optimal.cpp" "src/CMakeFiles/intercom.dir/model/optimal.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/model/optimal.cpp.o.d"
+  "/root/repo/src/model/primitive_costs.cpp" "src/CMakeFiles/intercom.dir/model/primitive_costs.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/model/primitive_costs.cpp.o.d"
+  "/root/repo/src/model/strategy.cpp" "src/CMakeFiles/intercom.dir/model/strategy.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/model/strategy.cpp.o.d"
+  "/root/repo/src/mpi/mpi.cpp" "src/CMakeFiles/intercom.dir/mpi/mpi.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/mpi/mpi.cpp.o.d"
+  "/root/repo/src/runtime/communicator.cpp" "src/CMakeFiles/intercom.dir/runtime/communicator.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/runtime/communicator.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/CMakeFiles/intercom.dir/runtime/executor.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/multicomputer.cpp" "src/CMakeFiles/intercom.dir/runtime/multicomputer.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/runtime/multicomputer.cpp.o.d"
+  "/root/repo/src/runtime/reduce_ops.cpp" "src/CMakeFiles/intercom.dir/runtime/reduce_ops.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/runtime/reduce_ops.cpp.o.d"
+  "/root/repo/src/runtime/transport.cpp" "src/CMakeFiles/intercom.dir/runtime/transport.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/runtime/transport.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/intercom.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/intercom.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/sim/network.cpp.o.d"
+  "/root/repo/src/topo/group.cpp" "src/CMakeFiles/intercom.dir/topo/group.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/topo/group.cpp.o.d"
+  "/root/repo/src/topo/mesh.cpp" "src/CMakeFiles/intercom.dir/topo/mesh.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/topo/mesh.cpp.o.d"
+  "/root/repo/src/topo/submesh.cpp" "src/CMakeFiles/intercom.dir/topo/submesh.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/topo/submesh.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/intercom.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/topo/topology.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/CMakeFiles/intercom.dir/util/error.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/util/error.cpp.o.d"
+  "/root/repo/src/util/factorization.cpp" "src/CMakeFiles/intercom.dir/util/factorization.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/util/factorization.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/intercom.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/intercom.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/intercom.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

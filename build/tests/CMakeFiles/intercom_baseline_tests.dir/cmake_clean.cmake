@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercom_baseline_tests.dir/baseline/nx_test.cpp.o"
+  "CMakeFiles/intercom_baseline_tests.dir/baseline/nx_test.cpp.o.d"
+  "intercom_baseline_tests"
+  "intercom_baseline_tests.pdb"
+  "intercom_baseline_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercom_baseline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/bucket_test.cpp" "tests/CMakeFiles/intercom_core_tests.dir/core/bucket_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_core_tests.dir/core/bucket_test.cpp.o.d"
+  "/root/repo/tests/core/composed_test.cpp" "tests/CMakeFiles/intercom_core_tests.dir/core/composed_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_core_tests.dir/core/composed_test.cpp.o.d"
+  "/root/repo/tests/core/hybrid_test.cpp" "tests/CMakeFiles/intercom_core_tests.dir/core/hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_core_tests.dir/core/hybrid_test.cpp.o.d"
+  "/root/repo/tests/core/mst_test.cpp" "tests/CMakeFiles/intercom_core_tests.dir/core/mst_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_core_tests.dir/core/mst_test.cpp.o.d"
+  "/root/repo/tests/core/partition_test.cpp" "tests/CMakeFiles/intercom_core_tests.dir/core/partition_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_core_tests.dir/core/partition_test.cpp.o.d"
+  "/root/repo/tests/core/pipelined_test.cpp" "tests/CMakeFiles/intercom_core_tests.dir/core/pipelined_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_core_tests.dir/core/pipelined_test.cpp.o.d"
+  "/root/repo/tests/core/plan_cache_test.cpp" "tests/CMakeFiles/intercom_core_tests.dir/core/plan_cache_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_core_tests.dir/core/plan_cache_test.cpp.o.d"
+  "/root/repo/tests/core/planner_test.cpp" "tests/CMakeFiles/intercom_core_tests.dir/core/planner_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_core_tests.dir/core/planner_test.cpp.o.d"
+  "/root/repo/tests/core/tuner_test.cpp" "tests/CMakeFiles/intercom_core_tests.dir/core/tuner_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_core_tests.dir/core/tuner_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/intercom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

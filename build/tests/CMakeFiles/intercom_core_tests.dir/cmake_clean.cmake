@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercom_core_tests.dir/core/bucket_test.cpp.o"
+  "CMakeFiles/intercom_core_tests.dir/core/bucket_test.cpp.o.d"
+  "CMakeFiles/intercom_core_tests.dir/core/composed_test.cpp.o"
+  "CMakeFiles/intercom_core_tests.dir/core/composed_test.cpp.o.d"
+  "CMakeFiles/intercom_core_tests.dir/core/hybrid_test.cpp.o"
+  "CMakeFiles/intercom_core_tests.dir/core/hybrid_test.cpp.o.d"
+  "CMakeFiles/intercom_core_tests.dir/core/mst_test.cpp.o"
+  "CMakeFiles/intercom_core_tests.dir/core/mst_test.cpp.o.d"
+  "CMakeFiles/intercom_core_tests.dir/core/partition_test.cpp.o"
+  "CMakeFiles/intercom_core_tests.dir/core/partition_test.cpp.o.d"
+  "CMakeFiles/intercom_core_tests.dir/core/pipelined_test.cpp.o"
+  "CMakeFiles/intercom_core_tests.dir/core/pipelined_test.cpp.o.d"
+  "CMakeFiles/intercom_core_tests.dir/core/plan_cache_test.cpp.o"
+  "CMakeFiles/intercom_core_tests.dir/core/plan_cache_test.cpp.o.d"
+  "CMakeFiles/intercom_core_tests.dir/core/planner_test.cpp.o"
+  "CMakeFiles/intercom_core_tests.dir/core/planner_test.cpp.o.d"
+  "CMakeFiles/intercom_core_tests.dir/core/tuner_test.cpp.o"
+  "CMakeFiles/intercom_core_tests.dir/core/tuner_test.cpp.o.d"
+  "intercom_core_tests"
+  "intercom_core_tests.pdb"
+  "intercom_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercom_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercom_hypercube_tests.dir/hypercube/algorithms_test.cpp.o"
+  "CMakeFiles/intercom_hypercube_tests.dir/hypercube/algorithms_test.cpp.o.d"
+  "CMakeFiles/intercom_hypercube_tests.dir/hypercube/planner_test.cpp.o"
+  "CMakeFiles/intercom_hypercube_tests.dir/hypercube/planner_test.cpp.o.d"
+  "intercom_hypercube_tests"
+  "intercom_hypercube_tests.pdb"
+  "intercom_hypercube_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercom_hypercube_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercom_icc_tests.dir/icc/icc_test.cpp.o"
+  "CMakeFiles/intercom_icc_tests.dir/icc/icc_test.cpp.o.d"
+  "intercom_icc_tests"
+  "intercom_icc_tests.pdb"
+  "intercom_icc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercom_icc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

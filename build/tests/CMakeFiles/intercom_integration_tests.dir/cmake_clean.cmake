@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercom_integration_tests.dir/integration/correctness_sweep_test.cpp.o"
+  "CMakeFiles/intercom_integration_tests.dir/integration/correctness_sweep_test.cpp.o.d"
+  "CMakeFiles/intercom_integration_tests.dir/integration/fuzz_test.cpp.o"
+  "CMakeFiles/intercom_integration_tests.dir/integration/fuzz_test.cpp.o.d"
+  "CMakeFiles/intercom_integration_tests.dir/integration/misc_coverage_test.cpp.o"
+  "CMakeFiles/intercom_integration_tests.dir/integration/misc_coverage_test.cpp.o.d"
+  "CMakeFiles/intercom_integration_tests.dir/integration/paper_properties_test.cpp.o"
+  "CMakeFiles/intercom_integration_tests.dir/integration/paper_properties_test.cpp.o.d"
+  "intercom_integration_tests"
+  "intercom_integration_tests.pdb"
+  "intercom_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercom_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercom_ir_tests.dir/ir/analysis_test.cpp.o"
+  "CMakeFiles/intercom_ir_tests.dir/ir/analysis_test.cpp.o.d"
+  "CMakeFiles/intercom_ir_tests.dir/ir/mutation_test.cpp.o"
+  "CMakeFiles/intercom_ir_tests.dir/ir/mutation_test.cpp.o.d"
+  "CMakeFiles/intercom_ir_tests.dir/ir/schedule_test.cpp.o"
+  "CMakeFiles/intercom_ir_tests.dir/ir/schedule_test.cpp.o.d"
+  "CMakeFiles/intercom_ir_tests.dir/ir/validate_test.cpp.o"
+  "CMakeFiles/intercom_ir_tests.dir/ir/validate_test.cpp.o.d"
+  "intercom_ir_tests"
+  "intercom_ir_tests.pdb"
+  "intercom_ir_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercom_ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/cost_test.cpp" "tests/CMakeFiles/intercom_model_tests.dir/model/cost_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_model_tests.dir/model/cost_test.cpp.o.d"
+  "/root/repo/tests/model/hybrid_costs_test.cpp" "tests/CMakeFiles/intercom_model_tests.dir/model/hybrid_costs_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_model_tests.dir/model/hybrid_costs_test.cpp.o.d"
+  "/root/repo/tests/model/optimal_test.cpp" "tests/CMakeFiles/intercom_model_tests.dir/model/optimal_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_model_tests.dir/model/optimal_test.cpp.o.d"
+  "/root/repo/tests/model/primitive_costs_test.cpp" "tests/CMakeFiles/intercom_model_tests.dir/model/primitive_costs_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_model_tests.dir/model/primitive_costs_test.cpp.o.d"
+  "/root/repo/tests/model/strategy_test.cpp" "tests/CMakeFiles/intercom_model_tests.dir/model/strategy_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_model_tests.dir/model/strategy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/intercom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

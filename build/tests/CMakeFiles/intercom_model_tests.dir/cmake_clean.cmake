@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercom_model_tests.dir/model/cost_test.cpp.o"
+  "CMakeFiles/intercom_model_tests.dir/model/cost_test.cpp.o.d"
+  "CMakeFiles/intercom_model_tests.dir/model/hybrid_costs_test.cpp.o"
+  "CMakeFiles/intercom_model_tests.dir/model/hybrid_costs_test.cpp.o.d"
+  "CMakeFiles/intercom_model_tests.dir/model/optimal_test.cpp.o"
+  "CMakeFiles/intercom_model_tests.dir/model/optimal_test.cpp.o.d"
+  "CMakeFiles/intercom_model_tests.dir/model/primitive_costs_test.cpp.o"
+  "CMakeFiles/intercom_model_tests.dir/model/primitive_costs_test.cpp.o.d"
+  "CMakeFiles/intercom_model_tests.dir/model/strategy_test.cpp.o"
+  "CMakeFiles/intercom_model_tests.dir/model/strategy_test.cpp.o.d"
+  "intercom_model_tests"
+  "intercom_model_tests.pdb"
+  "intercom_model_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercom_model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

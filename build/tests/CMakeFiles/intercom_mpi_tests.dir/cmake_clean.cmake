@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercom_mpi_tests.dir/mpi/mpi_test.cpp.o"
+  "CMakeFiles/intercom_mpi_tests.dir/mpi/mpi_test.cpp.o.d"
+  "CMakeFiles/intercom_mpi_tests.dir/mpi/split_tree_test.cpp.o"
+  "CMakeFiles/intercom_mpi_tests.dir/mpi/split_tree_test.cpp.o.d"
+  "intercom_mpi_tests"
+  "intercom_mpi_tests.pdb"
+  "intercom_mpi_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercom_mpi_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

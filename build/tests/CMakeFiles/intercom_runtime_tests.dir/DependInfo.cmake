@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/communicator_test.cpp" "tests/CMakeFiles/intercom_runtime_tests.dir/runtime/communicator_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_runtime_tests.dir/runtime/communicator_test.cpp.o.d"
+  "/root/repo/tests/runtime/executor_test.cpp" "tests/CMakeFiles/intercom_runtime_tests.dir/runtime/executor_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_runtime_tests.dir/runtime/executor_test.cpp.o.d"
+  "/root/repo/tests/runtime/group_comm_test.cpp" "tests/CMakeFiles/intercom_runtime_tests.dir/runtime/group_comm_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_runtime_tests.dir/runtime/group_comm_test.cpp.o.d"
+  "/root/repo/tests/runtime/stress_test.cpp" "tests/CMakeFiles/intercom_runtime_tests.dir/runtime/stress_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_runtime_tests.dir/runtime/stress_test.cpp.o.d"
+  "/root/repo/tests/runtime/transport_test.cpp" "tests/CMakeFiles/intercom_runtime_tests.dir/runtime/transport_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_runtime_tests.dir/runtime/transport_test.cpp.o.d"
+  "/root/repo/tests/runtime/vcollectives_test.cpp" "tests/CMakeFiles/intercom_runtime_tests.dir/runtime/vcollectives_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_runtime_tests.dir/runtime/vcollectives_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/intercom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercom_runtime_tests.dir/runtime/communicator_test.cpp.o"
+  "CMakeFiles/intercom_runtime_tests.dir/runtime/communicator_test.cpp.o.d"
+  "CMakeFiles/intercom_runtime_tests.dir/runtime/executor_test.cpp.o"
+  "CMakeFiles/intercom_runtime_tests.dir/runtime/executor_test.cpp.o.d"
+  "CMakeFiles/intercom_runtime_tests.dir/runtime/group_comm_test.cpp.o"
+  "CMakeFiles/intercom_runtime_tests.dir/runtime/group_comm_test.cpp.o.d"
+  "CMakeFiles/intercom_runtime_tests.dir/runtime/stress_test.cpp.o"
+  "CMakeFiles/intercom_runtime_tests.dir/runtime/stress_test.cpp.o.d"
+  "CMakeFiles/intercom_runtime_tests.dir/runtime/transport_test.cpp.o"
+  "CMakeFiles/intercom_runtime_tests.dir/runtime/transport_test.cpp.o.d"
+  "CMakeFiles/intercom_runtime_tests.dir/runtime/vcollectives_test.cpp.o"
+  "CMakeFiles/intercom_runtime_tests.dir/runtime/vcollectives_test.cpp.o.d"
+  "intercom_runtime_tests"
+  "intercom_runtime_tests.pdb"
+  "intercom_runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercom_runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/engine_test.cpp" "tests/CMakeFiles/intercom_sim_tests.dir/sim/engine_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_sim_tests.dir/sim/engine_test.cpp.o.d"
+  "/root/repo/tests/sim/network_test.cpp" "tests/CMakeFiles/intercom_sim_tests.dir/sim/network_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_sim_tests.dir/sim/network_test.cpp.o.d"
+  "/root/repo/tests/sim/protocol_test.cpp" "tests/CMakeFiles/intercom_sim_tests.dir/sim/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_sim_tests.dir/sim/protocol_test.cpp.o.d"
+  "/root/repo/tests/sim/sim_vs_model_test.cpp" "tests/CMakeFiles/intercom_sim_tests.dir/sim/sim_vs_model_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_sim_tests.dir/sim/sim_vs_model_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_test.cpp" "tests/CMakeFiles/intercom_sim_tests.dir/sim/trace_test.cpp.o" "gcc" "tests/CMakeFiles/intercom_sim_tests.dir/sim/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/intercom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercom_sim_tests.dir/sim/engine_test.cpp.o"
+  "CMakeFiles/intercom_sim_tests.dir/sim/engine_test.cpp.o.d"
+  "CMakeFiles/intercom_sim_tests.dir/sim/network_test.cpp.o"
+  "CMakeFiles/intercom_sim_tests.dir/sim/network_test.cpp.o.d"
+  "CMakeFiles/intercom_sim_tests.dir/sim/protocol_test.cpp.o"
+  "CMakeFiles/intercom_sim_tests.dir/sim/protocol_test.cpp.o.d"
+  "CMakeFiles/intercom_sim_tests.dir/sim/sim_vs_model_test.cpp.o"
+  "CMakeFiles/intercom_sim_tests.dir/sim/sim_vs_model_test.cpp.o.d"
+  "CMakeFiles/intercom_sim_tests.dir/sim/trace_test.cpp.o"
+  "CMakeFiles/intercom_sim_tests.dir/sim/trace_test.cpp.o.d"
+  "intercom_sim_tests"
+  "intercom_sim_tests.pdb"
+  "intercom_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercom_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercom_topo_tests.dir/topo/group_test.cpp.o"
+  "CMakeFiles/intercom_topo_tests.dir/topo/group_test.cpp.o.d"
+  "CMakeFiles/intercom_topo_tests.dir/topo/mesh_test.cpp.o"
+  "CMakeFiles/intercom_topo_tests.dir/topo/mesh_test.cpp.o.d"
+  "CMakeFiles/intercom_topo_tests.dir/topo/submesh_test.cpp.o"
+  "CMakeFiles/intercom_topo_tests.dir/topo/submesh_test.cpp.o.d"
+  "CMakeFiles/intercom_topo_tests.dir/topo/topology_test.cpp.o"
+  "CMakeFiles/intercom_topo_tests.dir/topo/topology_test.cpp.o.d"
+  "CMakeFiles/intercom_topo_tests.dir/topo/torus_test.cpp.o"
+  "CMakeFiles/intercom_topo_tests.dir/topo/torus_test.cpp.o.d"
+  "intercom_topo_tests"
+  "intercom_topo_tests.pdb"
+  "intercom_topo_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercom_topo_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercom_util_tests.dir/util/error_test.cpp.o"
+  "CMakeFiles/intercom_util_tests.dir/util/error_test.cpp.o.d"
+  "CMakeFiles/intercom_util_tests.dir/util/factorization_test.cpp.o"
+  "CMakeFiles/intercom_util_tests.dir/util/factorization_test.cpp.o.d"
+  "CMakeFiles/intercom_util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/intercom_util_tests.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/intercom_util_tests.dir/util/table_test.cpp.o"
+  "CMakeFiles/intercom_util_tests.dir/util/table_test.cpp.o.d"
+  "intercom_util_tests"
+  "intercom_util_tests.pdb"
+  "intercom_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercom_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/intercom_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/intercom_topo_tests[1]_include.cmake")
+include("/root/repo/build/tests/intercom_ir_tests[1]_include.cmake")
+include("/root/repo/build/tests/intercom_model_tests[1]_include.cmake")
+include("/root/repo/build/tests/intercom_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/intercom_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/intercom_runtime_tests[1]_include.cmake")
+include("/root/repo/build/tests/intercom_baseline_tests[1]_include.cmake")
+include("/root/repo/build/tests/intercom_icc_tests[1]_include.cmake")
+include("/root/repo/build/tests/intercom_integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/intercom_hypercube_tests[1]_include.cmake")
+include("/root/repo/build/tests/intercom_mpi_tests[1]_include.cmake")
