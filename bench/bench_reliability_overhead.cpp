@@ -1,0 +1,103 @@
+// Wall-clock cost of the transport reliability layer (google-benchmark; same
+// JSON shape as bench_runtime_collectives via --benchmark_format=json).
+//
+// Three configurations per collective:
+//   bypass — no injector, reliability unarmed: the seed-equivalent fast path
+//            (acceptance target: <5% latency overhead versus seed);
+//   armed  — framing + checksums + ack/retransmit active, 0% faults: the
+//            price of integrity checking;
+//   drop1  — 1% seeded frame drop: the price of actual recovery, bounding
+//            what a chaos run costs.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "intercom/intercom.hpp"
+
+namespace {
+
+using namespace intercom;
+
+enum class Mode { kBypass, kArmed, kDrop1 };
+
+void configure(Multicomputer& mc, Mode mode) {
+  switch (mode) {
+    case Mode::kBypass:
+      break;
+    case Mode::kArmed:
+      mc.set_reliable(true);
+      break;
+    case Mode::kDrop1: {
+      auto injector = std::make_shared<FaultInjector>(20260807u);
+      FaultSpec spec;
+      spec.drop = 0.01;
+      injector->set_default(spec);
+      mc.set_fault_injector(injector);
+      // Tight RTO so recovery latency, not the timer, dominates the numbers.
+      mc.set_retry_policy(/*max_retries=*/16, /*base_rto_ms=*/1);
+      break;
+    }
+  }
+}
+
+void bm_broadcast(benchmark::State& state, Mode mode) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t elems = static_cast<std::size_t>(state.range(1));
+  Multicomputer mc(Mesh2D(1, p));
+  configure(mc, mode);
+  for (auto _ : state) {
+    mc.run_spmd([&](Node& node) {
+      Communicator world = node.world();
+      std::vector<double> data(elems, node.id() == 0 ? 1.0 : 0.0);
+      world.broadcast(std::span<double>(data), 0);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elems * sizeof(double)));
+}
+
+void bm_all_reduce(benchmark::State& state, Mode mode) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t elems = static_cast<std::size_t>(state.range(1));
+  Multicomputer mc(Mesh2D(1, p));
+  configure(mc, mode);
+  for (auto _ : state) {
+    mc.run_spmd([&](Node& node) {
+      Communicator world = node.world();
+      std::vector<double> data(elems, 1.0 * node.id());
+      world.all_reduce_sum(std::span<double>(data));
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elems * sizeof(double)));
+}
+
+#define RELIABILITY_BENCH(fn)                                       \
+  BENCHMARK_CAPTURE(fn, bypass, Mode::kBypass)                      \
+      ->Args({4, 64})                                               \
+      ->Args({8, 65536})                                            \
+      ->Unit(benchmark::kMicrosecond)                               \
+      ->UseRealTime();                                              \
+  BENCHMARK_CAPTURE(fn, armed, Mode::kArmed)                        \
+      ->Args({4, 64})                                               \
+      ->Args({8, 65536})                                            \
+      ->Unit(benchmark::kMicrosecond)                               \
+      ->UseRealTime();                                              \
+  BENCHMARK_CAPTURE(fn, drop1, Mode::kDrop1)                        \
+      ->Args({4, 64})                                               \
+      ->Args({8, 65536})                                            \
+      ->Unit(benchmark::kMicrosecond)                               \
+      ->UseRealTime()
+
+RELIABILITY_BENCH(bm_broadcast);
+RELIABILITY_BENCH(bm_all_reduce);
+
+#undef RELIABILITY_BENCH
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -45,4 +45,31 @@ void icc_gisum(Communicator& comm, int* x, std::size_t n) {
   comm.all_reduce_sum(std::span<int>(x, n));
 }
 
+void icc_abort(Communicator& comm, const char* reason) {
+  comm.machine().transport().abort(reason == nullptr ? "" : reason);
+}
+
+std::shared_ptr<FaultInjector> icc_set_chaos(Multicomputer& machine,
+                                             std::uint64_t seed, double drop,
+                                             double duplicate, double reorder,
+                                             double corrupt) {
+  auto injector = std::make_shared<FaultInjector>(seed);
+  FaultSpec spec;
+  spec.drop = drop;
+  spec.duplicate = duplicate;
+  spec.reorder = reorder;
+  spec.corrupt = corrupt;
+  injector->set_default(spec);
+  machine.set_fault_injector(injector);
+  return injector;
+}
+
+void icc_set_reliable(Multicomputer& machine, bool on) {
+  machine.set_reliable(on);
+}
+
+void icc_set_recv_timeout(Multicomputer& machine, long milliseconds) {
+  machine.set_recv_timeout_ms(milliseconds);
+}
+
 }  // namespace intercom::icc

@@ -8,8 +8,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 
 #include "intercom/runtime/communicator.hpp"
+#include "intercom/runtime/fault.hpp"
 
 namespace intercom::icc {
 
@@ -37,5 +40,25 @@ void icc_gdlow(Communicator& comm, double* x, std::size_t n);
 
 /// Global sum of `n` ints, result everywhere (gisum replacement).
 void icc_gisum(Communicator& comm, int* x, std::size_t n);
+
+// Robustness knobs (MPI_Abort-style surface for ported applications).
+
+/// Poisons the machine the communicator runs on: every member blocked in (or
+/// later entering) a collective throws AbortedError (MPI_Abort analogue).
+void icc_abort(Communicator& comm, const char* reason);
+
+/// Installs a seeded chaos configuration on `machine`: every wire drops /
+/// duplicates / reorders / bit-flips frames with the given probabilities.
+/// Arms the reliability layer; returns the injector for stats inspection.
+std::shared_ptr<FaultInjector> icc_set_chaos(Multicomputer& machine,
+                                             std::uint64_t seed, double drop,
+                                             double duplicate, double reorder,
+                                             double corrupt);
+
+/// Arms/disarms reliable delivery (framing + ack/retransmit) without faults.
+void icc_set_reliable(Multicomputer& machine, bool on);
+
+/// Arms the receive watchdog on every node (0 disables).
+void icc_set_recv_timeout(Multicomputer& machine, long milliseconds);
 
 }  // namespace intercom::icc

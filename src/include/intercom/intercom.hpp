@@ -37,6 +37,7 @@
 #include "intercom/mpi/mpi.hpp"
 #include "intercom/runtime/communicator.hpp"
 #include "intercom/runtime/executor.hpp"
+#include "intercom/runtime/fault.hpp"
 #include "intercom/runtime/multicomputer.hpp"
 #include "intercom/runtime/reduce.hpp"
 #include "intercom/runtime/transport.hpp"

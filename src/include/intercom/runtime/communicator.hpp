@@ -65,6 +65,7 @@ class Communicator {
   int rank() const { return my_rank_; }
   int size() const { return group_.size(); }
   const Group& group() const { return group_; }
+  Multicomputer& machine() const { return *machine_; }
 
   // Byte-level collectives; `buf` is the full-length vector (elems *
   // elem_size bytes) on every member.

@@ -1,0 +1,120 @@
+// Deterministic fault injection for the threaded multicomputer transport.
+//
+// A FaultInjector is installed on a Transport (which arms the reliability
+// layer) and is consulted once per frame delivery.  Every decision is a pure
+// hash of (seed, src, dst, ctx, tag, seq, attempt), so a chaos run is
+// bit-reproducible from its seed regardless of thread interleaving: the same
+// message meets the same fate no matter when its thread is scheduled.
+//
+// Faults are scoped: a rule matches a (src, dst, ctx) wire — any field may be
+// a wildcard — and the first matching rule wins, falling back to the default
+// spec.  Fail-stop is per node: after its k-th send the node's every
+// subsequent transport operation throws, simulating a crashed process.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace intercom {
+
+/// Per-wire fault probabilities (each in [0, 1]) plus delay magnitude.
+struct FaultSpec {
+  double drop = 0.0;       ///< Frame silently discarded in flight.
+  double duplicate = 0.0;  ///< Frame delivered twice.
+  double reorder = 0.0;    ///< Frame held back behind the wire's next frame.
+  double corrupt = 0.0;    ///< One payload bit flipped in flight.
+  double delay = 0.0;      ///< Sender stalled for `delay_ms` (slow link).
+  long delay_ms = 0;
+
+  bool any() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0 ||
+           (delay > 0 && delay_ms > 0);
+  }
+};
+
+/// Seed-driven, scope-aware fault source consulted by Transport.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Fault spec applied to wires no rule matches.
+  void set_default(const FaultSpec& spec) { default_spec_ = spec; }
+
+  /// Adds a scoped rule; `src` / `dst` of -1 and an empty `ctx` are
+  /// wildcards.  Rules are evaluated in insertion order, first match wins.
+  void add_rule(int src, int dst, std::optional<std::uint64_t> ctx,
+                const FaultSpec& spec) {
+    rules_.push_back(Rule{src, dst, ctx, spec});
+  }
+
+  /// Arms a fail-stop: `node`'s k-th send (1-based) and everything after it
+  /// throws AbortedError, simulating a crash mid-collective.
+  void fail_stop_after(int node, std::uint64_t k);
+
+  /// The fate of one frame delivery attempt.  `corrupt_bit` is the payload
+  /// bit index to flip when `corrupt` is set.
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    bool reorder = false;
+    bool corrupt = false;
+    long delay_ms = 0;
+    std::size_t corrupt_bit = 0;
+  };
+
+  /// Pure function of (seed, coordinates): deterministic across runs and
+  /// thread schedules.  Also bumps the observability counters.
+  Decision decide(int src, int dst, std::uint64_t ctx, int tag,
+                  std::uint64_t seq, std::uint32_t attempt,
+                  std::size_t payload_bytes) const;
+
+  /// Counts one send by `node`; returns true when the node must fail-stop.
+  bool on_send(int node);
+
+  /// Observability: how many faults actually fired (so chaos tests can
+  /// assert the run exercised the machinery, not a quiet wire).
+  struct Stats {
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t fail_stops = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Rule {
+    int src;
+    int dst;
+    std::optional<std::uint64_t> ctx;
+    FaultSpec spec;
+  };
+  struct FailStop {
+    int node;
+    std::uint64_t after_sends;
+    std::unique_ptr<std::atomic<std::uint64_t>> sent;
+  };
+
+  const FaultSpec& spec_for(int src, int dst, std::uint64_t ctx) const;
+
+  std::uint64_t seed_;
+  FaultSpec default_spec_;
+  std::vector<Rule> rules_;
+  std::vector<FailStop> fail_stops_;
+
+  mutable std::atomic<std::uint64_t> dropped_{0};
+  mutable std::atomic<std::uint64_t> duplicated_{0};
+  mutable std::atomic<std::uint64_t> reordered_{0};
+  mutable std::atomic<std::uint64_t> corrupted_{0};
+  mutable std::atomic<std::uint64_t> delayed_{0};
+  mutable std::atomic<std::uint64_t> fail_stops_fired_{0};
+};
+
+}  // namespace intercom

@@ -15,6 +15,7 @@
 
 namespace intercom {
 
+class FaultInjector;
 class Node;
 
 /// A mesh-shaped collection of in-process nodes with a shared transport and
@@ -30,9 +31,25 @@ class Multicomputer {
   Transport& transport() { return transport_; }
   const Planner& planner() const { return planner_; }
 
+  // Robustness knobs, forwarded to the transport (see transport.hpp).
+  // Configure between run_spmd calls, not from inside a node body.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+    transport_.set_fault_injector(std::move(injector));
+  }
+  void set_reliable(bool on) { transport_.set_reliable(on); }
+  void set_recv_timeout_ms(long milliseconds) {
+    transport_.set_recv_timeout_ms(milliseconds);
+  }
+  void set_retry_policy(int max_retries, long base_rto_ms) {
+    transport_.set_retry_policy(max_retries, base_rto_ms);
+  }
+
   /// Runs `body` on every node concurrently (SPMD), one thread per node, and
-  /// joins them all.  The first exception thrown by any node is rethrown
-  /// here after all threads finish or abort their collectives.
+  /// joins them all.  Fail-fast: the first node whose body throws aborts the
+  /// transport, so every peer blocked in (or later entering) a send/recv
+  /// unwinds immediately with AbortedError instead of wedging the join.  The
+  /// first exception is rethrown here after all threads finish; the
+  /// transport is reset afterwards so the machine stays usable.
   void run_spmd(const std::function<void(Node&)>& body);
 
  private:

@@ -10,19 +10,49 @@
 // The context id separates concurrent collectives (different communicators
 // or successive operations on one communicator), playing the role MPI gives
 // to the communicator context.
+//
+// Failure model.  Three orthogonal mechanisms turn the transport from a
+// perfect wire into a testable one:
+//
+//  * Fault injection: an installed FaultInjector (see fault.hpp) decides,
+//    deterministically from its seed, whether each frame is dropped,
+//    delayed, duplicated, reordered, or bit-flipped in flight, and whether a
+//    node fail-stops after its k-th send.
+//
+//  * Reliable delivery: when armed (automatically by installing an injector,
+//    or explicitly via set_reliable), every payload travels in a frame
+//    carrying a per-(src, dst, ctx, tag) sequence number and a checksum.
+//    The receiver delivers frames in sequence order, discards duplicates and
+//    corrupt frames, and recovers losses receiver-driven: when the expected
+//    sequence number fails to arrive within the retransmission timeout it
+//    re-issues the sender's logged clean frame (acking a delivery prunes the
+//    log), backing off exponentially up to a bounded retry budget.  Retries
+//    exhausted raises CorruptionError if corrupt frames were seen, else
+//    TimeoutError.  With no injector and reliability unarmed, send/recv take
+//    the original zero-overhead path (one relaxed atomic load added).
+//
+//  * Fail-fast abort: abort() poisons every mailbox — all blocked and future
+//    send/recv calls throw AbortedError immediately — so one node's failure
+//    propagates to its peers instead of wedging them in recv forever.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace intercom {
+
+class FaultInjector;
 
 /// Blocking mailbox transport between `node_count` in-process nodes.
 class Transport {
@@ -32,12 +62,40 @@ class Transport {
   int node_count() const { return static_cast<int>(mailboxes_.size()); }
 
   /// Arms a receive watchdog: any recv() still unmatched after
-  /// `milliseconds` throws intercom::Error instead of blocking forever —
-  /// turns mismatched collective sequences (the classic communicator-misuse
-  /// bug) into diagnosable failures.  0 disables (the default).
+  /// `milliseconds` throws intercom::TimeoutError instead of blocking
+  /// forever — turns mismatched collective sequences (the classic
+  /// communicator-misuse bug) into diagnosable failures.  0 disables (the
+  /// default).
   void set_recv_timeout_ms(long milliseconds);
 
-  /// Copies `data` into dst's mailbox under (src, ctx, tag); never blocks.
+  /// Installs (or, with nullptr, removes) a fault injector.  Installing one
+  /// arms the reliability layer.  Call only while no send/recv is in flight.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+  FaultInjector* fault_injector() const { return injector_.get(); }
+
+  /// Arms/disarms framing + ack/retransmit without any injected faults
+  /// (overhead measurement, belt-and-braces integrity checking).  Call only
+  /// while no send/recv is in flight.
+  void set_reliable(bool on) { reliable_ = on; }
+  bool reliable() const { return reliable_; }
+
+  /// Retransmission budget: up to `max_retries` re-deliveries per expected
+  /// frame, the first after `base_rto_ms`, doubling each time.
+  void set_retry_policy(int max_retries, long base_rto_ms);
+
+  /// Fail-fast poison: every blocked or future send/recv on any node throws
+  /// AbortedError carrying `reason`.  Idempotent (first reason wins); safe
+  /// from any thread.
+  void abort(const std::string& reason);
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// Clears abort state, all queued messages, and all reliability bookkeeping
+  /// so the transport can be reused after a failed run.  Call only while no
+  /// send/recv is in flight.  Keeps the installed injector and knobs.
+  void reset();
+
+  /// Copies `data` into dst's mailbox under (src, ctx, tag); never blocks
+  /// (an injected delay stalls the sender, modelling a slow outgoing link).
   void send(int src, int dst, std::uint64_t ctx, int tag,
             std::span<const std::byte> data);
 
@@ -46,6 +104,15 @@ class Transport {
   /// buffer length.
   void recv(int src, int dst, std::uint64_t ctx, int tag,
             std::span<std::byte> out);
+
+  /// Reliability-layer observability (all zero on the bypass path).
+  struct ReliabilityStats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t corrupt_discards = 0;
+    std::uint64_t duplicate_discards = 0;
+  };
+  ReliabilityStats reliability_stats() const;
 
  private:
   struct Key {
@@ -67,12 +134,68 @@ class Transport {
     std::condition_variable cv;
     std::unordered_map<Key, std::deque<std::vector<std::byte>>, KeyHash>
         messages;
+    /// Bumped on every deposit; lets reliable receivers wait for "something
+    /// new arrived" without spinning on buffered future-sequence frames.
+    std::uint64_t version = 0;
+    /// Reliable mode: next in-order sequence number per flow at this node.
+    std::unordered_map<Key, std::uint64_t, KeyHash> next_expected;
+    /// Reorder injection: at most one held-back frame per source wire,
+    /// released behind the wire's next deposit (or a retransmission).
+    std::unordered_map<int, std::deque<std::pair<Key, std::vector<std::byte>>>>
+        limbo;
+  };
+  /// Sender-side retransmission log, one per node, keyed by flow.  The Key's
+  /// `src` field holds the *destination* here (source is the owning node).
+  struct SendFlow {
+    std::uint64_t next_seq = 0;
+    std::uint64_t lowest_unacked = 0;
+    std::unordered_map<std::uint64_t, std::vector<std::byte>> unacked;
+  };
+  struct SenderState {
+    std::mutex mutex;
+    std::unordered_map<Key, SendFlow, KeyHash> flows;
   };
 
   void check_node(int node) const;
+  [[noreturn]] void throw_aborted() const;
+  /// Formats the keys still queued at `box` (mutex must be held) so a
+  /// timeout message shows what the stuck node *was* offered.
+  static std::string pending_summary(const Mailbox& box);
+  [[noreturn]] void throw_recv_timeout(const Mailbox& box, int src, int dst,
+                                       std::uint64_t ctx, int tag,
+                                       const char* detail) const;
+
+  void raw_send(int src, int dst, std::uint64_t ctx, int tag,
+                std::span<const std::byte> data);
+  void raw_recv(int src, int dst, std::uint64_t ctx, int tag,
+                std::span<std::byte> out);
+  void reliable_send(int src, int dst, std::uint64_t ctx, int tag,
+                     std::span<const std::byte> data);
+  void reliable_recv(int src, int dst, std::uint64_t ctx, int tag,
+                     std::span<std::byte> out);
+  /// Runs one framed delivery attempt through the injector (if any) and
+  /// deposits survivors into dst's mailbox.
+  void deliver_frame(int src, int dst, const Key& key,
+                     std::vector<std::byte> frame, std::uint64_t seq,
+                     std::uint32_t attempt);
 
   std::vector<Mailbox> mailboxes_;
+  std::vector<SenderState> senders_;
   long recv_timeout_ms_ = 0;
+
+  std::shared_ptr<FaultInjector> injector_;
+  bool reliable_ = false;
+  int max_retries_ = 8;
+  long base_rto_ms_ = 25;
+
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex abort_mutex_;
+  std::string abort_reason_;
+
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<std::uint64_t> corrupt_discards_{0};
+  std::atomic<std::uint64_t> duplicate_discards_{0};
 };
 
 }  // namespace intercom

@@ -16,6 +16,36 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+// Structured failure taxonomy for the runtime transport.  All derive from
+// Error, so existing catch(const Error&) handlers keep working; callers that
+// care (chaos tests, fault-tolerant applications) can distinguish *why* a
+// collective failed and react differently to a stuck peer, a poisoned
+// machine, and a payload the reliability layer could not repair.
+
+/// A receive watchdog expired: the expected message never arrived within the
+/// configured window (mismatched collective sequence, dead peer, or a lost
+/// message with retransmission disabled).
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// The transport was aborted (fail-fast propagation): some node failed and
+/// every blocked or future send/recv on the machine throws this immediately
+/// instead of hanging.
+class AbortedError : public Error {
+ public:
+  explicit AbortedError(const std::string& what) : Error(what) {}
+};
+
+/// Payload integrity could not be restored: every delivery attempt of a
+/// message failed its checksum and the bounded retransmission budget is
+/// exhausted.
+class CorruptionError : public Error {
+ public:
+  explicit CorruptionError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 /// Throws intercom::Error with a formatted location-tagged message.
 [[noreturn]] void throw_error(const char* file, int line, const char* expr,

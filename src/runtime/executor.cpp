@@ -9,6 +9,40 @@ namespace intercom {
 
 namespace {
 
+const char* op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSend: return "send";
+    case OpKind::kRecv: return "recv";
+    case OpKind::kSendRecv: return "sendrecv";
+    case OpKind::kCombine: return "combine";
+    case OpKind::kCopy: return "copy";
+  }
+  return "?";
+}
+
+// Tags a transport/schedule failure with which program step raised it, so a
+// typed error names the op, peer and tag — enough to find the schedule step
+// without a debugger.  AbortedError passes through untouched: it is the
+// fail-fast unwind signal and its message already names the root cause.
+[[noreturn]] void rethrow_with_op_context(int node, std::size_t op_index,
+                                          const Op& op) {
+  std::string where = " [while node " + std::to_string(node) +
+                      " executed op #" + std::to_string(op_index) + " (" +
+                      op_name(op.kind) + ", peer " + std::to_string(op.peer) +
+                      ", tag " + std::to_string(op.tag) + ")]";
+  try {
+    throw;
+  } catch (const AbortedError&) {
+    throw;
+  } catch (const TimeoutError& e) {
+    throw TimeoutError(e.what() + where);
+  } catch (const CorruptionError& e) {
+    throw CorruptionError(e.what() + where);
+  } catch (const Error& e) {
+    throw Error(e.what() + where);
+  }
+}
+
 // Resolves a slice to a concrete byte span over user data or scratch.
 std::span<std::byte> resolve(const BufSlice& slice, std::span<std::byte> user,
                              std::vector<std::vector<std::byte>>& scratch) {
@@ -20,6 +54,50 @@ std::span<std::byte> resolve(const BufSlice& slice, std::span<std::byte> user,
   auto& buf = scratch[static_cast<std::size_t>(slice.buffer)];
   INTERCOM_CHECK(slice.offset + slice.bytes <= buf.size());
   return std::span<std::byte>(buf).subspan(slice.offset, slice.bytes);
+}
+
+// Executes one program step against the transport.
+void execute_op(Transport& transport, const Op& op, int node,
+                std::uint64_t ctx, std::span<std::byte> user,
+                std::vector<std::vector<std::byte>>& scratch,
+                const ReduceOp* reduce) {
+  switch (op.kind) {
+    case OpKind::kSend: {
+      const auto src = resolve(op.src, user, scratch);
+      transport.send(node, op.peer, ctx, op.tag, src);
+      break;
+    }
+    case OpKind::kRecv: {
+      const auto dst = resolve(op.dst, user, scratch);
+      transport.recv(op.peer, node, ctx, op.tag, dst);
+      break;
+    }
+    case OpKind::kSendRecv: {
+      // Eager sends never block (the reliability layer keeps them eager:
+      // retransmission is receiver-driven), so issuing the send first
+      // preserves the simultaneous-send-receive semantics without extra
+      // threads.
+      const auto src = resolve(op.src, user, scratch);
+      transport.send(node, op.peer, ctx, op.tag, src);
+      const auto dst = resolve(op.dst, user, scratch);
+      transport.recv(op.peer2, node, ctx, op.tag2, dst);
+      break;
+    }
+    case OpKind::kCombine: {
+      INTERCOM_REQUIRE(reduce != nullptr && reduce->fn,
+                       "schedule contains combines but no ReduceOp given");
+      const auto src = resolve(op.src, user, scratch);
+      const auto dst = resolve(op.dst, user, scratch);
+      reduce->fn(dst.data(), src.data(), src.size());
+      break;
+    }
+    case OpKind::kCopy: {
+      const auto src = resolve(op.src, user, scratch);
+      const auto dst = resolve(op.dst, user, scratch);
+      if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size());
+      break;
+    }
+  }
 }
 
 }  // namespace
@@ -34,41 +112,12 @@ void execute_program(Transport& transport, const Schedule& schedule, int node,
   for (std::size_t b = 1; b < prog->buffer_bytes.size(); ++b) {
     scratch[b].resize(prog->buffer_bytes[b]);
   }
-  for (const Op& op : prog->ops) {
-    switch (op.kind) {
-      case OpKind::kSend: {
-        const auto src = resolve(op.src, user, scratch);
-        transport.send(node, op.peer, ctx, op.tag, src);
-        break;
-      }
-      case OpKind::kRecv: {
-        const auto dst = resolve(op.dst, user, scratch);
-        transport.recv(op.peer, node, ctx, op.tag, dst);
-        break;
-      }
-      case OpKind::kSendRecv: {
-        // Eager sends never block, so issuing the send first preserves the
-        // simultaneous-send-receive semantics without extra threads.
-        const auto src = resolve(op.src, user, scratch);
-        transport.send(node, op.peer, ctx, op.tag, src);
-        const auto dst = resolve(op.dst, user, scratch);
-        transport.recv(op.peer2, node, ctx, op.tag2, dst);
-        break;
-      }
-      case OpKind::kCombine: {
-        INTERCOM_REQUIRE(reduce != nullptr && reduce->fn,
-                         "schedule contains combines but no ReduceOp given");
-        const auto src = resolve(op.src, user, scratch);
-        const auto dst = resolve(op.dst, user, scratch);
-        reduce->fn(dst.data(), src.data(), src.size());
-        break;
-      }
-      case OpKind::kCopy: {
-        const auto src = resolve(op.src, user, scratch);
-        const auto dst = resolve(op.dst, user, scratch);
-        if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size());
-        break;
-      }
+  for (std::size_t op_index = 0; op_index < prog->ops.size(); ++op_index) {
+    const Op& op = prog->ops[op_index];
+    try {
+      execute_op(transport, op, node, ctx, user, scratch, reduce);
+    } catch (const Error&) {
+      rethrow_with_op_context(node, op_index, op);
     }
   }
 }

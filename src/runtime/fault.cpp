@@ -1,0 +1,120 @@
+#include "intercom/runtime/fault.hpp"
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+
+// SplitMix64 finalizer: the per-decision hash.  Mixing every coordinate of a
+// delivery attempt through this gives independent, reproducible draws that do
+// not depend on scheduling order.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_coords(std::uint64_t seed, int src, int dst,
+                          std::uint64_t ctx, int tag, std::uint64_t seq,
+                          std::uint32_t attempt) {
+  std::uint64_t h = mix64(seed);
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)));
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)));
+  h = mix64(h ^ ctx);
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  h = mix64(h ^ seq);
+  h = mix64(h ^ attempt);
+  return h;
+}
+
+// Uniform [0, 1) draw number `which` of the decision stream `h`.
+double draw(std::uint64_t h, std::uint64_t which) {
+  return static_cast<double>(mix64(h ^ which) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void FaultInjector::fail_stop_after(int node, std::uint64_t k) {
+  INTERCOM_REQUIRE(node >= 0, "fail-stop node id must be nonnegative");
+  INTERCOM_REQUIRE(k >= 1, "fail-stop send count must be at least 1");
+  fail_stops_.push_back(
+      FailStop{node, k, std::make_unique<std::atomic<std::uint64_t>>(0)});
+}
+
+const FaultSpec& FaultInjector::spec_for(int src, int dst,
+                                         std::uint64_t ctx) const {
+  for (const Rule& rule : rules_) {
+    if (rule.src >= 0 && rule.src != src) continue;
+    if (rule.dst >= 0 && rule.dst != dst) continue;
+    if (rule.ctx.has_value() && *rule.ctx != ctx) continue;
+    return rule.spec;
+  }
+  return default_spec_;
+}
+
+FaultInjector::Decision FaultInjector::decide(int src, int dst,
+                                              std::uint64_t ctx, int tag,
+                                              std::uint64_t seq,
+                                              std::uint32_t attempt,
+                                              std::size_t payload_bytes) const {
+  Decision d;
+  const FaultSpec& spec = spec_for(src, dst, ctx);
+  if (!spec.any()) return d;
+  const std::uint64_t h = hash_coords(seed_, src, dst, ctx, tag, seq, attempt);
+  if (draw(h, 1) < spec.drop) {
+    d.drop = true;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return d;  // a dropped frame meets no further fate
+  }
+  if (draw(h, 2) < spec.corrupt) {
+    d.corrupt = true;
+    // Zero-length payloads have no bit to flip; the transport flips a
+    // checksum bit instead, so corruption stays detectable.
+    d.corrupt_bit = payload_bytes == 0
+                        ? 0
+                        : static_cast<std::size_t>(mix64(h ^ 7) %
+                                                   (payload_bytes * 8));
+    corrupted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (draw(h, 3) < spec.duplicate) {
+    d.duplicate = true;
+    duplicated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (draw(h, 4) < spec.reorder) {
+    d.reorder = true;
+    reordered_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (spec.delay_ms > 0 && draw(h, 5) < spec.delay) {
+    d.delay_ms = spec.delay_ms;
+    delayed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return d;
+}
+
+bool FaultInjector::on_send(int node) {
+  for (FailStop& fs : fail_stops_) {
+    if (fs.node != node) continue;
+    const std::uint64_t count =
+        fs.sent->fetch_add(1, std::memory_order_relaxed) + 1;
+    if (count >= fs.after_sends) {
+      fail_stops_fired_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  Stats s;
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.duplicated = duplicated_.load(std::memory_order_relaxed);
+  s.reordered = reordered_.load(std::memory_order_relaxed);
+  s.corrupted = corrupted_.load(std::memory_order_relaxed);
+  s.delayed = delayed_.load(std::memory_order_relaxed);
+  s.fail_stops = fail_stops_fired_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace intercom

@@ -27,13 +27,32 @@ void Multicomputer::run_spmd(const std::function<void(Node&)>& body) {
         Node node(*this, id);
         body(node);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        // Record before aborting: peers unwinding with AbortedError arrive
+        // strictly after the flag is set, so the root cause wins the race
+        // for first_error.
+        std::string reason = "node " + std::to_string(id) + " failed";
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        try {
+          throw;
+        } catch (const std::exception& e) {
+          reason += ": ";
+          reason += e.what();
+        } catch (...) {
+        }
+        transport_.abort(reason);
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error) {
+    // Leave the machine reusable: drop poisoned mailboxes, stale messages
+    // and reliability bookkeeping from the failed run.
+    transport_.reset();
+    std::rethrow_exception(first_error);
+  }
 }
 
 }  // namespace intercom

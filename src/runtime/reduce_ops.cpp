@@ -60,6 +60,7 @@ ReduceOp min_op() {
 INTERCOM_INSTANTIATE_REDUCE(float);
 INTERCOM_INSTANTIATE_REDUCE(double);
 INTERCOM_INSTANTIATE_REDUCE(int);
+INTERCOM_INSTANTIATE_REDUCE(long);
 INTERCOM_INSTANTIATE_REDUCE(long long);
 INTERCOM_INSTANTIATE_REDUCE(unsigned);
 INTERCOM_INSTANTIATE_REDUCE(unsigned char);

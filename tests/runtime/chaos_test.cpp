@@ -1,0 +1,551 @@
+// Chaos suite: the correctness sweep's collectives replayed under seeded
+// fault schedules.  Recoverable faults (drop / duplicate / reorder) must be
+// healed transparently by the reliability layer — every collective completes
+// bitwise-correct; unrecoverable faults (persistent corruption, fail-stop)
+// must surface as the right typed error on every affected node instead of a
+// hang.  All injection is seed-driven, so a failure here replays exactly.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "intercom/icc/icc.hpp"
+#include "intercom/runtime/communicator.hpp"
+#include "intercom/runtime/fault.hpp"
+#include "intercom/runtime/multicomputer.hpp"
+#include "intercom/runtime/transport.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+std::string string_of(std::span<const std::byte> v) {
+  return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+// ---------------------------------------------------------------------------
+// Fail-fast abort propagation.
+
+// The acceptance scenario: one node's body throws before the collective
+// moves any data, so without abort propagation every peer would block in
+// recv forever (no timeout is armed).  With it, peers unwind promptly with
+// AbortedError and run_spmd rethrows the root cause.
+TEST(AbortPropagationTest, ThrowingNodeUnblocksPeersWithAbortedError) {
+  Multicomputer mc(Mesh2D(2, 2));
+  const int p = mc.node_count();
+  std::vector<std::atomic<int>> observed(static_cast<std::size_t>(p));
+  for (auto& o : observed) o = 0;
+
+  const auto start = Clock::now();
+  try {
+    mc.run_spmd([&](Node& node) {
+      if (node.id() == 3) throw Error("node 3 exploded");
+      Communicator world = node.world();
+      std::vector<double> data(64, 0.0);
+      try {
+        world.broadcast(std::span<double>(data), 3);
+        observed[static_cast<std::size_t>(node.id())] = 1;  // completed (!?)
+      } catch (const AbortedError&) {
+        observed[static_cast<std::size_t>(node.id())] = 2;
+        throw;
+      }
+    });
+    FAIL() << "run_spmd must rethrow the failing node's exception";
+  } catch (const AbortedError& e) {
+    FAIL() << "expected the root cause, got AbortedError: " << e.what();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("node 3 exploded"), std::string::npos)
+        << e.what();
+  }
+  const auto elapsed = Clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(10)) << "abort did not fail fast";
+  for (int id = 0; id < p; ++id) {
+    if (id == 3) continue;
+    EXPECT_EQ(observed[static_cast<std::size_t>(id)], 2)
+        << "node " << id << " was not unblocked by AbortedError";
+  }
+}
+
+TEST(AbortPropagationTest, AbortUnblocksBlockedRecvAndPoisonsFutureOps) {
+  Transport t(2);
+  std::atomic<bool> got_aborted{false};
+  std::thread receiver([&] {
+    std::vector<std::byte> out(4);
+    try {
+      t.recv(0, 1, 1, 0, out);
+    } catch (const AbortedError&) {
+      got_aborted = true;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.abort("test abort");
+  receiver.join();
+  EXPECT_TRUE(got_aborted);
+  EXPECT_TRUE(t.aborted());
+  EXPECT_THROW(t.send(0, 1, 1, 0, bytes_of("x")), AbortedError);
+  std::vector<std::byte> out(1);
+  EXPECT_THROW(t.recv(0, 1, 1, 0, out), AbortedError);
+  // reset() restores a usable transport.
+  t.reset();
+  EXPECT_FALSE(t.aborted());
+  t.send(0, 1, 1, 0, bytes_of("ok"));
+  std::vector<std::byte> ok(2);
+  t.recv(0, 1, 1, 0, ok);
+  EXPECT_EQ(string_of(ok), "ok");
+}
+
+TEST(AbortPropagationTest, MachineStaysUsableAfterFailedRun) {
+  Multicomputer mc(Mesh2D(1, 4));
+  EXPECT_THROW(mc.run_spmd([&](Node& node) {
+    if (node.id() == 0) throw Error("boom");
+    std::vector<int> data(8, 0);
+    node.world().broadcast(std::span<int>(data), 0);
+  }),
+               Error);
+  // The next run on the same machine must work normally.
+  mc.run_spmd([&](Node& node) {
+    std::vector<int> data(8, node.id() == 0 ? 9 : 0);
+    node.world().broadcast(std::span<int>(data), 0);
+    for (int v : data) EXPECT_EQ(v, 9);
+  });
+}
+
+TEST(AbortPropagationTest, FailStopNodeAbortsTheWholeMachine) {
+  Multicomputer mc(Mesh2D(1, 4));
+  auto injector = std::make_shared<FaultInjector>(1u);
+  injector->fail_stop_after(/*node=*/2, /*k=*/3);
+  mc.set_fault_injector(injector);
+  mc.set_retry_policy(/*max_retries=*/6, /*base_rto_ms=*/5);
+
+  const auto start = Clock::now();
+  EXPECT_THROW(mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    std::vector<std::int64_t> data(128, node.id());
+    for (int round = 0; round < 50; ++round) {
+      world.all_reduce_sum(std::span<std::int64_t>(data));
+    }
+  }),
+               AbortedError);
+  EXPECT_LT(Clock::now() - start, std::chrono::seconds(20));
+  EXPECT_GE(injector->stats().fail_stops, 1u);
+}
+
+TEST(AbortPropagationTest, IccAbortPoisonsTheMachine) {
+  Multicomputer mc(Mesh2D(1, 4));
+  std::vector<std::atomic<int>> aborted(4);
+  for (auto& a : aborted) a = 0;
+  try {
+    mc.run_spmd([&](Node& node) {
+      Communicator world = node.world();
+      if (node.id() == 1) {
+        icc::icc_abort(world, "application requested abort");
+        return;
+      }
+      std::vector<double> data(16, 0.0);
+      try {
+        world.broadcast(std::span<double>(data), 1);
+      } catch (const AbortedError&) {
+        aborted[static_cast<std::size_t>(node.id())] = 1;
+        throw;
+      }
+    });
+    FAIL() << "expected AbortedError";
+  } catch (const AbortedError& e) {
+    EXPECT_NE(std::string(e.what()).find("application requested abort"),
+              std::string::npos);
+  }
+  for (int id : {0, 2, 3}) {
+    EXPECT_EQ(aborted[static_cast<std::size_t>(id)], 1) << "node " << id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reliability layer at the transport level.
+
+TEST(ReliabilityTest, ArmedWithoutFaultsPreservesSemantics) {
+  Transport t(2);
+  t.set_reliable(true);
+  // FIFO within a flow, matching across tags/contexts, zero-length payloads.
+  t.send(0, 1, 1, 0, bytes_of("one"));
+  t.send(0, 1, 1, 0, bytes_of("two"));
+  t.send(0, 1, 1, 5, bytes_of("tagged"));
+  t.send(0, 1, 9, 0, bytes_of("ctx9"));
+  t.send(0, 1, 1, 7, {});
+  std::vector<std::byte> out3(3);
+  t.recv(0, 1, 1, 0, out3);
+  EXPECT_EQ(string_of(out3), "one");
+  std::vector<std::byte> out6(6);
+  t.recv(0, 1, 1, 5, out6);
+  EXPECT_EQ(string_of(out6), "tagged");
+  t.recv(0, 1, 1, 0, out3);
+  EXPECT_EQ(string_of(out3), "two");
+  std::vector<std::byte> out4(4);
+  t.recv(0, 1, 9, 0, out4);
+  EXPECT_EQ(string_of(out4), "ctx9");
+  std::vector<std::byte> empty;
+  t.recv(0, 1, 1, 7, empty);
+
+  const auto stats = t.reliability_stats();
+  EXPECT_EQ(stats.frames_sent, 5u);
+  EXPECT_EQ(stats.retransmits, 0u);
+  EXPECT_EQ(stats.corrupt_discards, 0u);
+}
+
+TEST(ReliabilityTest, DroppedFramesAreRetransmitted) {
+  Transport t(2);
+  auto injector = std::make_shared<FaultInjector>(1234u);
+  FaultSpec spec;
+  spec.drop = 0.5;  // every attempt, including retransmissions
+  injector->set_default(spec);
+  t.set_fault_injector(injector);
+  t.set_retry_policy(/*max_retries=*/14, /*base_rto_ms=*/2);
+
+  const int kMessages = 20;
+  std::thread sender([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      std::vector<std::byte> payload(sizeof(int));
+      std::memcpy(payload.data(), &i, sizeof(int));
+      t.send(0, 1, 3, 0, payload);
+    }
+  });
+  for (int i = 0; i < kMessages; ++i) {
+    std::vector<std::byte> out(sizeof(int));
+    t.recv(0, 1, 3, 0, out);
+    int value = -1;
+    std::memcpy(&value, out.data(), sizeof(int));
+    EXPECT_EQ(value, i) << "delivery out of order or lost";
+  }
+  sender.join();
+  EXPECT_GT(injector->stats().dropped, 0u);
+  EXPECT_GT(t.reliability_stats().retransmits, 0u);
+}
+
+TEST(ReliabilityTest, DuplicatedFramesAreDiscarded) {
+  Transport t(2);
+  auto injector = std::make_shared<FaultInjector>(7u);
+  FaultSpec spec;
+  spec.duplicate = 1.0;
+  injector->set_default(spec);
+  t.set_fault_injector(injector);
+
+  for (int i = 0; i < 5; ++i) {
+    std::vector<std::byte> payload(sizeof(int));
+    std::memcpy(payload.data(), &i, sizeof(int));
+    t.send(0, 1, 4, 0, payload);
+  }
+  for (int i = 0; i < 5; ++i) {
+    std::vector<std::byte> out(sizeof(int));
+    t.recv(0, 1, 4, 0, out);
+    int value = -1;
+    std::memcpy(&value, out.data(), sizeof(int));
+    EXPECT_EQ(value, i);
+  }
+  EXPECT_EQ(injector->stats().duplicated, 5u);
+  EXPECT_GT(t.reliability_stats().duplicate_discards, 0u);
+}
+
+TEST(ReliabilityTest, ReorderedFramesAreDeliveredInSequence) {
+  Transport t(2);
+  auto injector = std::make_shared<FaultInjector>(99u);
+  FaultSpec spec;
+  spec.reorder = 1.0;
+  injector->set_default(spec);
+  t.set_fault_injector(injector);
+  t.set_retry_policy(/*max_retries=*/8, /*base_rto_ms=*/2);
+
+  // Odd count: the last frame is parked in limbo with no later deposit to
+  // flush it, so the receiver must recover it via retransmission.
+  const int kMessages = 3;
+  for (int i = 0; i < kMessages; ++i) {
+    std::vector<std::byte> payload(sizeof(int));
+    std::memcpy(payload.data(), &i, sizeof(int));
+    t.send(0, 1, 5, 0, payload);
+  }
+  for (int i = 0; i < kMessages; ++i) {
+    std::vector<std::byte> out(sizeof(int));
+    t.recv(0, 1, 5, 0, out);
+    int value = -1;
+    std::memcpy(&value, out.data(), sizeof(int));
+    EXPECT_EQ(value, i) << "sequence numbers must heal reordering";
+  }
+  EXPECT_GT(injector->stats().reordered, 0u);
+}
+
+TEST(ReliabilityTest, PersistentCorruptionRaisesCorruptionError) {
+  Transport t(2);
+  auto injector = std::make_shared<FaultInjector>(11u);
+  FaultSpec spec;
+  spec.corrupt = 1.0;  // every delivery attempt is bit-flipped
+  injector->set_default(spec);
+  t.set_fault_injector(injector);
+  t.set_retry_policy(/*max_retries=*/3, /*base_rto_ms=*/2);
+
+  t.send(0, 1, 6, 0, bytes_of("payload"));
+  std::vector<std::byte> out(7);
+  EXPECT_THROW(t.recv(0, 1, 6, 0, out), CorruptionError);
+  EXPECT_GT(t.reliability_stats().corrupt_discards, 0u);
+}
+
+TEST(ReliabilityTest, ZeroLengthPayloadCorruptionIsStillDetected) {
+  Transport t(2);
+  auto injector = std::make_shared<FaultInjector>(12u);
+  FaultSpec spec;
+  spec.corrupt = 1.0;
+  injector->set_default(spec);
+  t.set_fault_injector(injector);
+  t.set_retry_policy(/*max_retries=*/2, /*base_rto_ms=*/2);
+
+  t.send(0, 1, 6, 1, {});
+  std::vector<std::byte> empty;
+  EXPECT_THROW(t.recv(0, 1, 6, 1, empty), CorruptionError);
+}
+
+TEST(ReliabilityTest, ScopedRulesOnlyAffectMatchingWires) {
+  Transport t(3);
+  auto injector = std::make_shared<FaultInjector>(21u);
+  FaultSpec corrupting;
+  corrupting.corrupt = 1.0;
+  injector->add_rule(/*src=*/0, /*dst=*/1, std::nullopt, corrupting);
+  t.set_fault_injector(injector);
+  t.set_retry_policy(/*max_retries=*/2, /*base_rto_ms=*/2);
+
+  // The 2 -> 1 wire is clean even though 0 -> 1 is hostile.
+  t.send(2, 1, 8, 0, bytes_of("clean"));
+  std::vector<std::byte> out(5);
+  t.recv(2, 1, 8, 0, out);
+  EXPECT_EQ(string_of(out), "clean");
+
+  t.send(0, 1, 8, 0, bytes_of("dirty"));
+  EXPECT_THROW(t.recv(0, 1, 8, 0, out), CorruptionError);
+}
+
+TEST(ReliabilityTest, DecisionsAreDeterministicPerSeed) {
+  FaultInjector a(42u);
+  FaultInjector b(42u);
+  FaultInjector c(43u);
+  FaultSpec spec;
+  spec.drop = 0.3;
+  spec.corrupt = 0.3;
+  spec.duplicate = 0.3;
+  a.set_default(spec);
+  b.set_default(spec);
+  c.set_default(spec);
+  bool seeds_differ = false;
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    const auto da = a.decide(0, 1, 7, 3, seq, 0, 64);
+    const auto db = b.decide(0, 1, 7, 3, seq, 0, 64);
+    const auto dc = c.decide(0, 1, 7, 3, seq, 0, 64);
+    EXPECT_EQ(da.drop, db.drop);
+    EXPECT_EQ(da.corrupt, db.corrupt);
+    EXPECT_EQ(da.duplicate, db.duplicate);
+    EXPECT_EQ(da.corrupt_bit, db.corrupt_bit);
+    if (da.drop != dc.drop || da.corrupt != dc.corrupt) seeds_differ = true;
+  }
+  EXPECT_TRUE(seeds_differ) << "different seeds should give different fates";
+}
+
+// ---------------------------------------------------------------------------
+// Chaos sweep: all seven collectives under recoverable fault schedules.
+
+class ChaosSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSweepTest, AllSevenCollectivesBitwiseCorrectUnderChaos) {
+  const std::uint64_t seed = GetParam();
+  Multicomputer mc(Mesh2D(2, 3));
+  const int p = mc.node_count();
+  auto injector = std::make_shared<FaultInjector>(seed);
+  FaultSpec spec;
+  spec.drop = 0.03;
+  spec.duplicate = 0.03;
+  spec.reorder = 0.03;
+  injector->set_default(spec);
+  mc.set_fault_injector(injector);
+  mc.set_retry_policy(/*max_retries=*/16, /*base_rto_ms=*/2);
+
+  const std::size_t elems = 257;  // non-round: uneven pieces
+  const int root = 2;
+  auto global = [](std::size_t i) {
+    return static_cast<std::int64_t>(i) * 7 + 11;
+  };
+  auto partial = [](std::size_t i, int rank) {
+    return static_cast<std::int64_t>(i) + rank;
+  };
+  const std::int64_t rank_sum = static_cast<std::int64_t>(p) *
+                                static_cast<std::int64_t>(p - 1) / 2;
+
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    const int rank = world.rank();
+    std::vector<std::int64_t> data(elems);
+    const ElemRange mine = world.piece_of(elems, rank);
+
+    // broadcast: root's vector appears everywhere.
+    for (std::size_t i = 0; i < elems; ++i) {
+      data[i] = rank == root ? global(i) : 0;
+    }
+    world.broadcast(std::span<std::int64_t>(data), root);
+    for (std::size_t i = 0; i < elems; ++i) ASSERT_EQ(data[i], global(i));
+
+    // scatter: each rank ends with its canonical piece of root's vector.
+    for (std::size_t i = 0; i < elems; ++i) {
+      data[i] = rank == root ? global(i) : -1;
+    }
+    world.scatter(std::span<std::int64_t>(data), root);
+    for (std::size_t i = mine.lo; i < mine.hi; ++i) {
+      ASSERT_EQ(data[i], global(i));
+    }
+
+    // gather: root assembles every rank's piece.
+    std::fill(data.begin(), data.end(), 0);
+    for (std::size_t i = mine.lo; i < mine.hi; ++i) data[i] = global(i);
+    world.gather(std::span<std::int64_t>(data), root);
+    if (rank == root) {
+      for (std::size_t i = 0; i < elems; ++i) ASSERT_EQ(data[i], global(i));
+    }
+
+    // collect: everyone assembles every rank's piece.
+    std::fill(data.begin(), data.end(), 0);
+    for (std::size_t i = mine.lo; i < mine.hi; ++i) data[i] = global(i);
+    world.collect(std::span<std::int64_t>(data));
+    for (std::size_t i = 0; i < elems; ++i) ASSERT_EQ(data[i], global(i));
+
+    // combine_to_one: integer sum of all partials at root (exact).
+    for (std::size_t i = 0; i < elems; ++i) data[i] = partial(i, rank);
+    world.reduce_sum(std::span<std::int64_t>(data), root);
+    if (rank == root) {
+      for (std::size_t i = 0; i < elems; ++i) {
+        ASSERT_EQ(data[i], static_cast<std::int64_t>(i) *
+                                   static_cast<std::int64_t>(p) +
+                               rank_sum);
+      }
+    }
+
+    // combine_to_all: the sum everywhere.
+    for (std::size_t i = 0; i < elems; ++i) data[i] = partial(i, rank);
+    world.all_reduce_sum(std::span<std::int64_t>(data));
+    for (std::size_t i = 0; i < elems; ++i) {
+      ASSERT_EQ(data[i], static_cast<std::int64_t>(i) *
+                                 static_cast<std::int64_t>(p) +
+                             rank_sum);
+    }
+
+    // distributed_combine: each rank owns the reduced canonical piece.
+    for (std::size_t i = 0; i < elems; ++i) data[i] = partial(i, rank);
+    world.reduce_scatter_sum(std::span<std::int64_t>(data));
+    for (std::size_t i = mine.lo; i < mine.hi; ++i) {
+      ASSERT_EQ(data[i], static_cast<std::int64_t>(i) *
+                                 static_cast<std::int64_t>(p) +
+                             rank_sum);
+    }
+  });
+
+  // The run must actually have exercised the fault machinery.
+  const auto stats = injector->stats();
+  EXPECT_GT(stats.dropped + stats.duplicated + stats.reordered, 0u)
+      << "chaos run injected nothing — rates or volume too low";
+  EXPECT_GT(mc.transport().reliability_stats().frames_sent, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweepTest,
+                         ::testing::Values(1u, 20260807u, 0xdeadbeefu));
+
+TEST(ChaosCollectiveTest, IccChaosKnobHealsGdsum) {
+  Multicomputer mc(Mesh2D(1, 4));
+  auto injector = icc::icc_set_chaos(mc, /*seed=*/5u, /*drop=*/0.05,
+                                     /*duplicate=*/0.05, /*reorder=*/0.05,
+                                     /*corrupt=*/0.0);
+  mc.set_retry_policy(/*max_retries=*/16, /*base_rto_ms=*/2);
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    for (int round = 0; round < 20; ++round) {
+      std::vector<double> x(64, 1.0);
+      icc::icc_gdsum(world, x.data(), x.size());
+      for (double v : x) ASSERT_EQ(v, 4.0);
+    }
+  });
+  const auto stats = injector->stats();
+  EXPECT_GT(stats.dropped + stats.duplicated + stats.reordered, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Unrecoverable corruption surfaces as CorruptionError.
+
+// Pairwise exchange: every node both sends and receives, sends are eager, so
+// every node independently exhausts its retransmission budget on bit-flipped
+// frames and observes a typed CorruptionError.
+TEST(ChaosCollectiveTest, ExhaustedRetriesRaiseCorruptionErrorOnEveryNode) {
+  Multicomputer mc(Mesh2D(1, 4));
+  const int p = mc.node_count();
+  auto injector = std::make_shared<FaultInjector>(3u);
+  FaultSpec spec;
+  spec.corrupt = 1.0;
+  injector->set_default(spec);
+  mc.set_fault_injector(injector);
+  mc.set_retry_policy(/*max_retries=*/3, /*base_rto_ms=*/2);
+
+  std::vector<std::atomic<int>> observed(static_cast<std::size_t>(p));
+  for (auto& o : observed) o = 0;
+  mc.run_spmd([&](Node& node) {
+    Transport& t = node.machine().transport();
+    const int id = node.id();
+    const int partner = id ^ 1;
+    std::vector<std::byte> payload(16, std::byte{0x5a});
+    t.send(id, partner, /*ctx=*/77, /*tag=*/0, payload);
+    std::vector<std::byte> in(16);
+    try {
+      t.recv(partner, id, /*ctx=*/77, /*tag=*/0, in);
+      observed[static_cast<std::size_t>(id)] = 1;  // should be unreachable
+    } catch (const CorruptionError&) {
+      observed[static_cast<std::size_t>(id)] = 2;
+    }
+  });
+  for (int id = 0; id < p; ++id) {
+    EXPECT_EQ(observed[static_cast<std::size_t>(id)], 2)
+        << "node " << id << " did not observe CorruptionError";
+  }
+  EXPECT_GT(mc.transport().reliability_stats().corrupt_discards, 0u);
+}
+
+// Collective-level: the first node to exhaust retries throws CorruptionError
+// out of its body; run_spmd rethrows it and fail-fast aborts the peers.
+TEST(ChaosCollectiveTest, CorruptedCollectiveRethrowsCorruptionError) {
+  Multicomputer mc(Mesh2D(1, 4));
+  auto injector = std::make_shared<FaultInjector>(17u);
+  FaultSpec spec;
+  spec.corrupt = 1.0;
+  injector->set_default(spec);
+  mc.set_fault_injector(injector);
+  mc.set_retry_policy(/*max_retries=*/3, /*base_rto_ms=*/2);
+
+  const auto start = Clock::now();
+  EXPECT_THROW(mc.run_spmd([&](Node& node) {
+    std::vector<std::int64_t> data(64, node.id());
+    node.world().all_reduce_sum(std::span<std::int64_t>(data));
+  }),
+               CorruptionError);
+  EXPECT_LT(Clock::now() - start, std::chrono::seconds(20));
+}
+
+// The typed taxonomy stays catchable as plain intercom::Error (existing
+// handlers keep working).
+TEST(ChaosCollectiveTest, TaxonomyDerivesFromError) {
+  EXPECT_THROW(throw TimeoutError("t"), Error);
+  EXPECT_THROW(throw AbortedError("a"), Error);
+  EXPECT_THROW(throw CorruptionError("c"), Error);
+}
+
+}  // namespace
+}  // namespace intercom

@@ -86,11 +86,111 @@ TEST(TransportTest, LengthMismatchThrows) {
   EXPECT_THROW(t.recv(0, 1, 1, 0, out), Error);
 }
 
+TEST(TransportTest, LengthMismatchThrowsWhenBufferTooSmall) {
+  Transport t(2);
+  t.send(0, 1, 1, 0, bytes_of("a longer message"));
+  std::vector<std::byte> out(4);
+  EXPECT_THROW(t.recv(0, 1, 1, 0, out), Error);
+}
+
+TEST(TransportTest, ZeroLengthPayloadDelivers) {
+  Transport t(2);
+  t.send(0, 1, 1, 0, {});
+  std::vector<std::byte> empty;
+  t.recv(0, 1, 1, 0, empty);  // must match and return, not throw
+  // A zero-length message still participates in ordering/matching.
+  t.send(0, 1, 1, 0, bytes_of("next"));
+  std::vector<std::byte> out(4);
+  t.recv(0, 1, 1, 0, out);
+  EXPECT_EQ(string_of(out), "next");
+}
+
 TEST(TransportTest, RejectsBadNodes) {
   Transport t(2);
   EXPECT_THROW(t.send(0, 2, 1, 0, bytes_of("x")), Error);
   EXPECT_THROW(t.send(0, 0, 1, 0, bytes_of("x")), Error);
   EXPECT_THROW(Transport(0), Error);
+}
+
+TEST(TransportTest, RecvRejectsOutOfRangeNodes) {
+  Transport t(2);
+  std::vector<std::byte> out(1);
+  EXPECT_THROW(t.recv(2, 1, 1, 0, out), Error);
+  EXPECT_THROW(t.recv(-1, 1, 1, 0, out), Error);
+  EXPECT_THROW(t.recv(0, 2, 1, 0, out), Error);
+  EXPECT_THROW(t.recv(0, -3, 1, 0, out), Error);
+  EXPECT_THROW(t.send(-1, 1, 1, 0, bytes_of("x")), Error);
+}
+
+TEST(TransportTest, LateArrivalWithinTimeoutWindowSucceeds) {
+  Transport t(2);
+  t.set_recv_timeout_ms(2000);
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    t.send(0, 1, 1, 0, bytes_of("late"));
+  });
+  std::vector<std::byte> out(4);
+  t.recv(0, 1, 1, 0, out);  // blocks past the arrival, not until timeout
+  EXPECT_EQ(string_of(out), "late");
+  sender.join();
+}
+
+TEST(TransportTest, TimeoutThrowsTypedErrorAndMessageStaysDeliverable) {
+  Transport t(2);
+  t.set_recv_timeout_ms(30);
+  std::vector<std::byte> out(5);
+  EXPECT_THROW(t.recv(0, 1, 1, 0, out), TimeoutError);
+  // The watchdog fired, but the transport is not poisoned: a message that
+  // arrives after the timeout is still delivered to a fresh recv.
+  t.send(0, 1, 1, 0, bytes_of("after"));
+  t.recv(0, 1, 1, 0, out);
+  EXPECT_EQ(string_of(out), "after");
+}
+
+TEST(TransportTest, TimeoutDiagnosticNamesContextAndPendingKeys) {
+  Transport t(3);
+  t.set_recv_timeout_ms(30);
+  // Two unrelated messages are pending at node 1 while it waits on the
+  // wrong key — the classic mismatched-collective symptom.
+  t.send(0, 1, 42, 7, bytes_of("wrong-tag"));
+  t.send(2, 1, 99, 0, bytes_of("wrong-ctx"));
+  std::vector<std::byte> out(9);
+  try {
+    t.recv(0, 1, 42, 9, out);
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ctx 42"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag 9"), std::string::npos) << what;
+    EXPECT_NE(what.find("pending"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag=7"), std::string::npos) << what;
+    EXPECT_NE(what.find("ctx=99"), std::string::npos) << what;
+  }
+}
+
+TEST(TransportTest, ManyContextInterleaving) {
+  Transport t(2);
+  const int kContexts = 32;
+  const int kTags = 4;
+  // Send every (ctx, tag) pair in one order...
+  for (int c = 0; c < kContexts; ++c) {
+    for (int tag = 0; tag < kTags; ++tag) {
+      const int value = c * kTags + tag;
+      std::vector<std::byte> payload(sizeof(int));
+      std::memcpy(payload.data(), &value, sizeof(int));
+      t.send(0, 1, static_cast<std::uint64_t>(c), tag, payload);
+    }
+  }
+  // ...and receive in a different (reversed, tag-major) order.
+  for (int tag = kTags - 1; tag >= 0; --tag) {
+    for (int c = kContexts - 1; c >= 0; --c) {
+      std::vector<std::byte> out(sizeof(int));
+      t.recv(0, 1, static_cast<std::uint64_t>(c), tag, out);
+      int value = -1;
+      std::memcpy(&value, out.data(), sizeof(int));
+      EXPECT_EQ(value, c * kTags + tag);
+    }
+  }
 }
 
 TEST(TransportTest, ManyThreadsExchange) {
