@@ -1,0 +1,97 @@
+// Wall-clock cost of runtime tracing (google-benchmark; same JSON shape as
+// bench_reliability_overhead via --benchmark_format=json).
+//
+// Three configurations per collective:
+//   off    — tracer never armed: the default path every untraced run pays
+//            (acceptance target: no measurable regression versus seed —
+//            the instrumentation is one pointer load plus one relaxed
+//            atomic load per send/recv);
+//   armed  — tracer armed, events recorded into the per-node rings and
+//            metrics updated: the price of full observability;
+//   export — armed plus a Chrome-trace export per iteration: the cost of
+//            actually serializing what a run collected.
+#include <benchmark/benchmark.h>
+
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "intercom/intercom.hpp"
+
+namespace {
+
+using namespace intercom;
+
+enum class Mode { kOff, kArmed, kExport };
+
+void bm_broadcast(benchmark::State& state, Mode mode) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t elems = static_cast<std::size_t>(state.range(1));
+  Multicomputer mc(Mesh2D(1, p));
+  for (auto _ : state) {
+    if (mode != Mode::kOff) mc.set_tracing(true);
+    mc.run_spmd([&](Node& node) {
+      Communicator world = node.world();
+      std::vector<double> data(elems, node.id() == 0 ? 1.0 : 0.0);
+      world.broadcast(std::span<double>(data), 0);
+      benchmark::DoNotOptimize(data.data());
+    });
+    if (mode != Mode::kOff) mc.set_tracing(false);
+    if (mode == Mode::kExport) {
+      std::ostringstream os;
+      export_chrome_trace(mc.tracer(), os);
+      benchmark::DoNotOptimize(os.str().data());
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elems * sizeof(double)));
+}
+
+void bm_all_reduce(benchmark::State& state, Mode mode) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t elems = static_cast<std::size_t>(state.range(1));
+  Multicomputer mc(Mesh2D(1, p));
+  for (auto _ : state) {
+    if (mode != Mode::kOff) mc.set_tracing(true);
+    mc.run_spmd([&](Node& node) {
+      Communicator world = node.world();
+      std::vector<double> data(elems, 1.0 * node.id());
+      world.all_reduce_sum(std::span<double>(data));
+      benchmark::DoNotOptimize(data.data());
+    });
+    if (mode != Mode::kOff) mc.set_tracing(false);
+    if (mode == Mode::kExport) {
+      std::ostringstream os;
+      export_chrome_trace(mc.tracer(), os);
+      benchmark::DoNotOptimize(os.str().data());
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elems * sizeof(double)));
+}
+
+#define TRACE_BENCH(fn)                                             \
+  BENCHMARK_CAPTURE(fn, off, Mode::kOff)                            \
+      ->Args({4, 64})                                               \
+      ->Args({8, 65536})                                            \
+      ->Unit(benchmark::kMicrosecond)                               \
+      ->UseRealTime();                                              \
+  BENCHMARK_CAPTURE(fn, armed, Mode::kArmed)                        \
+      ->Args({4, 64})                                               \
+      ->Args({8, 65536})                                            \
+      ->Unit(benchmark::kMicrosecond)                               \
+      ->UseRealTime();                                              \
+  BENCHMARK_CAPTURE(fn, export, Mode::kExport)                      \
+      ->Args({4, 64})                                               \
+      ->Args({8, 65536})                                            \
+      ->Unit(benchmark::kMicrosecond)                               \
+      ->UseRealTime()
+
+TRACE_BENCH(bm_broadcast);
+TRACE_BENCH(bm_all_reduce);
+
+#undef TRACE_BENCH
+
+}  // namespace
+
+BENCHMARK_MAIN();

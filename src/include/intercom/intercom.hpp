@@ -8,6 +8,8 @@
 //   core/   schedule planners: building blocks, composed algorithms,
 //           hybrids, pipelined broadcast, cost-driven auto-selection
 //   sim/    discrete-event worm-hole network simulator (the Paragon stand-in)
+//   obs/    runtime tracing, metrics registry, trace exporters,
+//           model-vs-measured reporting
 //   runtime/ threaded multicomputer + MPI-like group communicators
 //   baseline/ NX-like baseline collectives
 //   icc/    iCC calling-sequence compatibility shim
@@ -35,6 +37,10 @@
 #include "intercom/model/primitive_costs.hpp"
 #include "intercom/model/strategy.hpp"
 #include "intercom/mpi/mpi.hpp"
+#include "intercom/obs/export.hpp"
+#include "intercom/obs/metrics.hpp"
+#include "intercom/obs/report.hpp"
+#include "intercom/obs/trace.hpp"
 #include "intercom/runtime/communicator.hpp"
 #include "intercom/runtime/executor.hpp"
 #include "intercom/runtime/fault.hpp"

@@ -1,0 +1,32 @@
+// Trace exporters: Chrome trace-event JSON and a plain-text summary.
+//
+// The JSON exporter emits the Trace Event Format's JSON-object flavor
+// ({"traceEvents": [...]}) with one complete ("ph":"X") event per span and
+// one instant ("ph":"i") event per point event, pid 0 and tid = node id, so
+// Perfetto / chrome://tracing shows one track per node with the natural
+// nesting collective -> step -> wire.  Thread-name metadata events label
+// each track "node N".
+//
+// The text exporter prints per-node event counts, drop counts, and the
+// metrics registry (when given) — the quick look that doesn't need a
+// trace viewer.
+#pragma once
+
+#include <ostream>
+
+#include "intercom/obs/metrics.hpp"
+#include "intercom/obs/trace.hpp"
+
+namespace intercom {
+
+/// Writes the whole trace as Chrome trace-event JSON to `os`.  Timestamps
+/// are microseconds since arm().  Valid JSON even for an empty trace.
+void export_chrome_trace(const Tracer& tracer, std::ostream& os);
+
+/// Writes a human-readable summary: per-node recorded/retained/dropped
+/// event counts, per-kind totals, and (when `metrics` is non-null) the
+/// metrics registry.
+void export_text_summary(const Tracer& tracer, const MetricsRegistry* metrics,
+                         std::ostream& os);
+
+}  // namespace intercom

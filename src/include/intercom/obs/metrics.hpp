@@ -1,0 +1,116 @@
+// Metrics registry: named counters and log-bucketed histograms.
+//
+// Complements the event tracer (obs/trace.hpp) with cheap aggregates that
+// survive ring-buffer wraparound: a counter is one relaxed fetch_add, a
+// histogram observation is a fetch_add into the value's power-of-two bucket
+// plus count/sum/min/max updates — all lock-free.  Registration (name ->
+// handle) takes a mutex and is meant for setup or per-collective paths;
+// hot paths cache the returned handle (see Transport::set_metrics).
+//
+// The registry is instrument-agnostic: the runtime registers names like
+// "transport.send.bytes" or "planner.cache.hit", but tests and tools can
+// create their own.  snapshot() / render_text() produce a stable,
+// name-sorted view for the plain-text exporter.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace intercom {
+
+/// Monotonic counter (lock-free updates).
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Log2-bucketed histogram of nonnegative 64-bit samples (latencies in ns,
+/// sizes in bytes).  Bucket b holds samples whose bit width is b: bucket 0
+/// is exactly {0}, bucket b >= 1 covers [2^(b-1), 2^b).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void observe(std::uint64_t value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const;  ///< 0 when empty
+  std::uint64_t max() const;  ///< 0 when empty
+  double mean() const;        ///< 0.0 when empty
+  std::uint64_t bucket(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Upper edge (exclusive) of bucket b's value range; used for quantile
+  /// estimation and rendering.
+  static std::uint64_t bucket_upper(std::size_t b);
+
+  /// Bucket-resolution quantile estimate: the upper edge of the bucket
+  /// containing the q-th sample (q in [0, 1]).  Coarse by design.
+  std::uint64_t quantile_upper(double q) const;
+
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ULL};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Named counters and histograms.  Handles returned by counter() /
+/// histogram() are stable for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Point-in-time copy of every metric, name-sorted.
+  struct CounterSnapshot {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct HistogramSnapshot {
+    std::string name;
+    std::uint64_t count, sum, min, max;
+    double mean;
+    std::uint64_t p50_upper, p99_upper;
+  };
+  struct Snapshot {
+    std::vector<CounterSnapshot> counters;
+    std::vector<HistogramSnapshot> histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// Aligned text rendering of snapshot() ("metrics" section of the
+  /// plain-text exporter).
+  void render_text(std::ostream& os) const;
+
+  /// Zeroes every registered metric (names and handles survive).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace intercom

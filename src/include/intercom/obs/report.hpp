@@ -1,0 +1,58 @@
+// Model-vs-measured reporting: the paper's Table 3 methodology as a tool.
+//
+// A traced run records, on every participating node, one collective span
+// per collective call carrying the vector shape, the algorithm the planner
+// chose, and the predicted critical-path time of the *executed* schedule
+// (intercom::analyze() under the planner's MachineParams, computed when the
+// schedule was planned or first traced).  This module joins those spans:
+//
+//   * spans with the same ctx are one collective instance; its measured
+//     time is the maximum span duration across nodes (the critical node);
+//   * instances with the same (collective, algorithm, elems, bytes) shape
+//     aggregate into one report row with call count, mean/max measured
+//     time, the model's prediction, and the measured/predicted ratio.
+//
+// Ratios near 1.0 mean the model explains the runtime; systematic offsets
+// calibrate MachineParams for the host (the paper's Section 7.1 refinement
+// loop).  Predicted times use the machine the *planner* was configured
+// with, so on presets like paragon() the ratio compares thread-runtime
+// wall time against the modeled Paragon — still useful relatively: rows
+// of one run share the offset, so outliers expose schedule-level effects.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "intercom/obs/trace.hpp"
+
+namespace intercom {
+
+/// One (collective, algorithm, shape) aggregate of a traced run.
+struct ModelVsMeasuredRow {
+  std::string collective;
+  std::string algorithm;
+  std::size_t elems = 0;
+  std::size_t bytes = 0;
+  std::uint64_t calls = 0;          ///< collective instances aggregated
+  std::uint64_t cache_hits = 0;     ///< instances served from the plan cache
+  double predicted_s = 0.0;         ///< analyze() critical path (model time)
+  double measured_mean_s = 0.0;     ///< mean over instances of max-over-nodes
+  double measured_max_s = 0.0;      ///< worst instance
+  double ratio = 0.0;               ///< measured_mean_s / predicted_s (0 if
+                                    ///< predicted is unavailable)
+};
+
+/// Builds report rows from `tracer`'s collective spans, sorted by
+/// (collective, elems, algorithm).  Instances whose span tuple was partly
+/// overwritten by ring wraparound still count with the nodes that remain.
+std::vector<ModelVsMeasuredRow> model_vs_measured(const Tracer& tracer);
+
+/// Renders rows as an aligned text table (TextTable style shared with the
+/// paper-table benchmarks).
+void render_model_vs_measured(const std::vector<ModelVsMeasuredRow>& rows,
+                              std::ostream& os);
+
+}  // namespace intercom

@@ -1,0 +1,195 @@
+// Runtime tracing for the threaded multicomputer.
+//
+// The paper's methodology is the comparison of *predicted* cost (the
+// alpha/beta/gamma model, Table 2) against *measured* time (Table 3, Fig. 4).
+// The simulator and the IR analyzer report rich per-transfer statistics, but
+// the live runtime was a black box.  The Tracer closes that gap: when armed,
+// every layer of a run records spans into per-node event ring buffers —
+//
+//   run        one node's SPMD body          (Multicomputer::run_spmd)
+//   collective one collective call           (Communicator::run / *v_bytes)
+//   step       one schedule op               (execute_program)
+//   send/recv  one wire operation            (Transport::send / recv)
+//
+// plus instantaneous retransmit / abort / error events, so a trace shows the
+// full nesting collective -> step -> wire on every node.  Exporters render
+// the buffers as Chrome trace-event JSON (Perfetto; one track per node) or a
+// text summary, and obs/report.hpp joins collective spans against analyze()'s
+// predicted critical path — the paper's Table 3 turned into a built-in tool.
+//
+// Performance contract (mirrors the reliability layer's bypass):
+//   * disarmed, the instrumented hot paths cost one relaxed atomic load;
+//   * armed, recording is lock-free and allocation-free: each node writes
+//     into its own fixed-capacity ring buffer (slots are claimed with a
+//     relaxed fetch_add and published with a per-slot release stamp, so
+//     concurrent writers to one buffer stay correct too);
+//   * readers never block writers: the timeout diagnostic's tail read
+//     validates per-slot stamps seqlock-style over atomic field accesses and
+//     simply skips a slot that was overwritten mid-read.
+//
+// String data (collective names, algorithm labels, error text) never enters
+// the ring: it is interned once under a mutex (cold path — per collective
+// call at worst) and events carry 32-bit label ids.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace intercom {
+
+/// What one trace event describes.  Field usage by kind (unused fields 0):
+///   kRun:        span of a node's SPMD body.
+///   kCollective: span of one collective; label = collective name, label2 =
+///                algorithm, bytes = vector bytes, a0 = elems, a1 = predicted
+///                critical-path ns from analyze() (0 if not computed), a2 =
+///                plan-cache hit (1) / miss (0) / uncached v-variant (2).
+///   kStep:       span of one executor op; label = op kind name, peer / tag
+///                from the op, bytes = payload bytes, a0 = op index.
+///   kSend:       span of one Transport::send; peer = dst, ctx / tag / bytes,
+///                seq = reliability sequence number (0 on the raw path).
+///   kRecv:       span of one Transport::recv; peer = src, ctx / tag / bytes,
+///                seq as above.
+///   kRetransmit: instant at the receiver driving a retransmission; peer =
+///                src, ctx / tag / seq, attempt = retry number (1-based).
+///   kAbort:      instant; label = abort reason.
+///   kError:      instant; label = exception text.
+enum class EventKind : std::uint32_t {
+  kRun,
+  kCollective,
+  kStep,
+  kSend,
+  kRecv,
+  kRetransmit,
+  kAbort,
+  kError,
+};
+
+/// Short name of an event kind ("send", "collective", ...).
+const char* to_string(EventKind kind);
+
+/// One recorded event.  Plain trivially-copyable data; all fields are
+/// written/read through std::atomic_ref inside the ring buffer so a live
+/// tail read is data-race-free.
+struct TraceEvent {
+  std::uint64_t start_ns = 0;  ///< relative to the tracer's arm() epoch
+  std::uint64_t end_ns = 0;    ///< == start_ns for instantaneous events
+  std::uint64_t ctx = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t a0 = 0;
+  std::uint64_t a1 = 0;
+  std::uint64_t a2 = 0;
+  EventKind kind = EventKind::kRun;
+  std::int32_t node = -1;
+  std::int32_t peer = -1;
+  std::int32_t tag = 0;
+  std::uint32_t attempt = 0;
+  std::uint32_t label = 0;   ///< interned string id (Tracer::label_text)
+  std::uint32_t label2 = 0;  ///< secondary interned string id
+};
+
+/// Per-node lock-free ring buffer of TraceEvents.
+class NodeTraceBuffer {
+ public:
+  explicit NodeTraceBuffer(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Total events ever recorded (recorded - retained() were overwritten).
+  std::uint64_t recorded() const {
+    return next_.load(std::memory_order_acquire);
+  }
+  std::uint64_t retained() const;
+  std::uint64_t dropped() const { return recorded() - retained(); }
+
+  /// Records one event (lock-free, allocation-free).  Normally called only
+  /// by the owning node's thread, but concurrent writers are safe: each
+  /// claims a distinct slot.
+  void record(const TraceEvent& event);
+
+  /// Last `n` fully-published events, oldest first.  Safe against a live
+  /// writer: a slot overwritten mid-read is skipped, never torn.
+  std::vector<TraceEvent> tail(std::size_t n) const;
+
+  /// All retained events, oldest first (same validation as tail()).
+  std::vector<TraceEvent> events() const { return tail(capacity_); }
+
+  /// Discards everything and restarts numbering from zero.  Callers must
+  /// ensure no concurrent record().
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> slots_;
+  /// stamp[s] == i + 1 publishes absolute event i into slot s; 0 = empty or
+  /// being (re)written.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> stamps_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// The per-machine tracing facade: an armed flag, one ring buffer per node,
+/// a clock epoch, and a string interner.
+class Tracer {
+ public:
+  /// `capacity_per_node` slots are allocated per node on first arm().
+  explicit Tracer(int node_count, std::size_t capacity_per_node = 8192);
+
+  int node_count() const { return static_cast<int>(buffer_count_); }
+  std::size_t capacity_per_node() const { return capacity_; }
+
+  /// The single relaxed load every instrumented hot path performs; when
+  /// false the instrumentation is skipped entirely.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Clears all buffers, resets the clock epoch, and enables recording.
+  /// Call while no instrumented operation is in flight.
+  void arm();
+
+  /// Stops recording; buffers are kept for export.  Call while no
+  /// instrumented operation is in flight (e.g. between run_spmd calls).
+  void disarm();
+
+  /// Nanoseconds since the last arm() on the steady clock.
+  std::uint64_t now_ns() const;
+
+  /// Records `event` into `node`'s ring (no-op when disarmed).
+  void record(int node, const TraceEvent& event);
+
+  /// Interns `text`, returning a stable id for TraceEvent::label fields.
+  /// Mutex-protected — keep off per-wire-op paths.
+  std::uint32_t intern(std::string_view text);
+
+  /// Text of an interned id ("?" for an unknown id).
+  std::string label_text(std::uint32_t id) const;
+
+  /// Node buffer access for exporters and diagnostics.
+  const NodeTraceBuffer* buffer(int node) const;
+
+  /// Sum of dropped (overwritten) events across all nodes.
+  std::uint64_t total_dropped() const;
+
+  /// Compact one-line rendering of `event` ("send peer=3 ctx=.. bytes=.."),
+  /// used by the recv-timeout diagnostic's trace tail.
+  std::string describe(const TraceEvent& event) const;
+
+ private:
+  std::size_t buffer_count_;
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<NodeTraceBuffer>> buffers_;  // sized on arm()
+  std::atomic<bool> armed_{false};
+  std::chrono::steady_clock::time_point epoch_{};
+
+  mutable std::mutex intern_mutex_;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, std::uint32_t> label_ids_;
+};
+
+}  // namespace intercom

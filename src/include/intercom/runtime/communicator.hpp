@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 
 #include "intercom/core/partition.hpp"
 #include "intercom/core/plan_cache.hpp"
@@ -154,12 +155,29 @@ class Communicator {
   void run(Collective collective, std::span<std::byte> buf,
            std::size_t elem_size, int root, const ReduceOp* op);
 
+  /// Plan-cache state of a traced collective (TraceEvent::a2).
+  enum class CacheState : std::uint64_t { kMiss = 0, kHit = 1, kUncached = 2 };
+
+  /// Executes `schedule` and, when the machine's tracer is armed, records a
+  /// collective span (name, algorithm, shape, plan-cache state, and the
+  /// predicted critical-path time of the executed schedule for the
+  /// model-vs-measured report).  `memoize_prediction` must be false for
+  /// schedules without a stable address (the uncached v-variants).
+  void execute_collective(const char* name, const Schedule& schedule,
+                          std::span<std::byte> buf, std::uint64_t ctx,
+                          const ReduceOp* op, std::size_t elems,
+                          CacheState cache_state, bool memoize_prediction);
+
   Multicomputer* machine_;
   Group group_;
   int my_rank_;
   std::uint64_t ctx_base_;
   std::uint64_t seq_ = 0;
   PlanCache cache_;
+  /// Predicted critical-path ns by schedule address (plan-cached schedules
+  /// have stable addresses for the communicator's lifetime); traced runs
+  /// only, so cache hits skip re-running analyze().
+  std::unordered_map<const Schedule*, std::uint64_t> predicted_ns_;
 };
 
 }  // namespace intercom

@@ -10,6 +10,8 @@
 
 #include "intercom/core/planner.hpp"
 #include "intercom/model/machine_params.hpp"
+#include "intercom/obs/metrics.hpp"
+#include "intercom/obs/trace.hpp"
 #include "intercom/runtime/transport.hpp"
 #include "intercom/topo/mesh.hpp"
 
@@ -30,6 +32,25 @@ class Multicomputer {
   const Mesh2D& mesh() const { return mesh_; }
   Transport& transport() { return transport_; }
   const Planner& planner() const { return planner_; }
+
+  // Observability (see obs/ and docs/observability.md).  The machine owns a
+  // Tracer (per-node event ring buffers) and a MetricsRegistry, both wired
+  // into the transport at construction.  set_tracing(true) clears and arms
+  // them; with tracing off the instrumented hot paths cost one relaxed
+  // atomic load.  Arm/disarm between run_spmd calls, not from a node body.
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  void set_tracing(bool on) {
+    if (on) {
+      metrics_.reset();
+      tracer_.arm();
+    } else {
+      tracer_.disarm();
+    }
+  }
+  bool tracing() const { return tracer_.armed(); }
 
   // Robustness knobs, forwarded to the transport (see transport.hpp).
   // Configure between run_spmd calls, not from inside a node body.
@@ -56,6 +77,8 @@ class Multicomputer {
   Mesh2D mesh_;
   Transport transport_;
   Planner planner_;
+  Tracer tracer_;
+  MetricsRegistry metrics_;
 };
 
 }  // namespace intercom

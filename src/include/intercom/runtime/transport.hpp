@@ -34,6 +34,13 @@
 //  * Fail-fast abort: abort() poisons every mailbox — all blocked and future
 //    send/recv calls throw AbortedError immediately — so one node's failure
 //    propagates to its peers instead of wedging them in recv forever.
+//
+// Observability (obs/trace.hpp, obs/metrics.hpp): with a Tracer attached and
+// armed, every send/recv records a wire span (bytes, ctx/tag, sequence
+// number) and every receiver-driven retransmission records an instant event;
+// wire counters/histograms go to an attached MetricsRegistry.  Disarmed, the
+// hot path pays one pointer load plus one relaxed atomic load — the same
+// bypass discipline as the reliability layer.
 #pragma once
 
 #include <atomic>
@@ -53,6 +60,10 @@
 namespace intercom {
 
 class FaultInjector;
+class MetricsRegistry;
+class Tracer;
+class Counter;
+class Histogram;
 
 /// Blocking mailbox transport between `node_count` in-process nodes.
 class Transport {
@@ -104,6 +115,19 @@ class Transport {
   /// buffer length.
   void recv(int src, int dst, std::uint64_t ctx, int tag,
             std::span<std::byte> out);
+
+  /// Attaches (or, with nullptr, detaches) a tracer.  Wire send/recv spans
+  /// and retransmit events are recorded while the tracer is armed; disarmed
+  /// (or detached), the hot path pays one pointer load plus one relaxed
+  /// atomic load.  Call only while no send/recv is in flight.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
+  /// Attaches a metrics registry; wire counters/histograms are updated
+  /// whenever the attached tracer is armed (metrics piggyback on the same
+  /// enabled check).  Call only while no send/recv is in flight.
+  void set_metrics(MetricsRegistry* metrics);
+  MetricsRegistry* metrics() const { return metrics_; }
 
   /// Reliability-layer observability (all zero on the bypass path).
   struct ReliabilityStats {
@@ -169,10 +193,13 @@ class Transport {
                 std::span<const std::byte> data);
   void raw_recv(int src, int dst, std::uint64_t ctx, int tag,
                 std::span<std::byte> out);
-  void reliable_send(int src, int dst, std::uint64_t ctx, int tag,
-                     std::span<const std::byte> data);
-  void reliable_recv(int src, int dst, std::uint64_t ctx, int tag,
-                     std::span<std::byte> out);
+  /// Returns the one-based sequence number assigned to the frame (for the
+  /// wire-event trace; 0 means "raw path, unsequenced").
+  std::uint64_t reliable_send(int src, int dst, std::uint64_t ctx, int tag,
+                              std::span<const std::byte> data);
+  /// Returns the one-based sequence number of the delivered frame.
+  std::uint64_t reliable_recv(int src, int dst, std::uint64_t ctx, int tag,
+                              std::span<std::byte> out);
   /// Runs one framed delivery attempt through the injector (if any) and
   /// deposits survivors into dst's mailbox.
   void deliver_frame(int src, int dst, const Key& key,
@@ -196,6 +223,17 @@ class Transport {
   std::atomic<std::uint64_t> retransmits_{0};
   std::atomic<std::uint64_t> corrupt_discards_{0};
   std::atomic<std::uint64_t> duplicate_discards_{0};
+
+  // Observability (see obs/).  Handles into the registry are resolved once
+  // in set_metrics so the armed path never takes the registry mutex.
+  Tracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* metric_sends_ = nullptr;
+  Counter* metric_recvs_ = nullptr;
+  Counter* metric_retransmits_ = nullptr;
+  Histogram* metric_send_bytes_ = nullptr;
+  Histogram* metric_send_ns_ = nullptr;
+  Histogram* metric_recv_ns_ = nullptr;
 };
 
 }  // namespace intercom

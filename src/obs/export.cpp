@@ -1,0 +1,185 @@
+#include "intercom/obs/export.hpp"
+
+#include <array>
+#include <iomanip>
+#include <sstream>
+
+#include "intercom/util/table.hpp"
+
+namespace intercom {
+
+namespace {
+
+// JSON string escaping for label text (algorithm names are tame, but error
+// messages can carry quotes and arbitrary bytes).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream esc;
+          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(static_cast<unsigned char>(c));
+          out += esc.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Microseconds with sub-microsecond resolution kept (Perfetto accepts
+// fractional "ts"/"dur").
+std::string us_of_ns(std::uint64_t ns) {
+  std::ostringstream os;
+  os << ns / 1000 << '.' << std::setw(3) << std::setfill('0') << ns % 1000;
+  return os.str();
+}
+
+// The span's display name: the interned label when present, else the kind.
+std::string event_name(const Tracer& tracer, const TraceEvent& e) {
+  if (e.label != 0) {
+    const std::string label = tracer.label_text(e.label);
+    if (!label.empty()) return label;
+  }
+  return to_string(e.kind);
+}
+
+const char* category(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRun: return "run";
+    case EventKind::kCollective: return "collective";
+    case EventKind::kStep: return "step";
+    case EventKind::kSend:
+    case EventKind::kRecv: return "wire";
+    case EventKind::kRetransmit: return "reliability";
+    case EventKind::kAbort:
+    case EventKind::kError: return "failure";
+  }
+  return "?";
+}
+
+bool is_instant(EventKind kind) {
+  return kind == EventKind::kRetransmit || kind == EventKind::kAbort ||
+         kind == EventKind::kError;
+}
+
+void write_args(const Tracer& tracer, const TraceEvent& e, std::ostream& os) {
+  os << "{\"kind\":\"" << to_string(e.kind) << '"';
+  if (e.peer >= 0) os << ",\"peer\":" << e.peer;
+  if (e.ctx != 0) os << ",\"ctx\":\"" << e.ctx << '"';  // 64-bit: keep string
+  switch (e.kind) {
+    case EventKind::kCollective:
+      os << ",\"elems\":" << e.a0 << ",\"bytes\":" << e.bytes
+         << ",\"algorithm\":\""
+         << json_escape(tracer.label_text(e.label2)) << '"'
+         << ",\"plan_cache\":\""
+         << (e.a2 == 1 ? "hit" : (e.a2 == 0 ? "miss" : "uncached")) << '"';
+      if (e.a1 != 0) os << ",\"predicted_ns\":" << e.a1;
+      break;
+    case EventKind::kStep:
+      os << ",\"tag\":" << e.tag << ",\"bytes\":" << e.bytes
+         << ",\"op_index\":" << e.a0;
+      break;
+    case EventKind::kSend:
+    case EventKind::kRecv:
+      os << ",\"tag\":" << e.tag << ",\"bytes\":" << e.bytes
+         << ",\"seq\":" << e.seq;
+      break;
+    case EventKind::kRetransmit:
+      os << ",\"tag\":" << e.tag << ",\"seq\":" << e.seq
+         << ",\"attempt\":" << e.attempt;
+      break;
+    case EventKind::kAbort:
+    case EventKind::kError:
+      os << ",\"what\":\"" << json_escape(tracer.label_text(e.label)) << '"';
+      break;
+    case EventKind::kRun:
+      break;
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void export_chrome_trace(const Tracer& tracer, std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (int node = 0; node < tracer.node_count(); ++node) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << node
+       << ",\"args\":{\"name\":\"node " << node << "\"}}";
+  }
+  for (int node = 0; node < tracer.node_count(); ++node) {
+    const NodeTraceBuffer* buffer = tracer.buffer(node);
+    if (buffer == nullptr) continue;
+    for (const TraceEvent& e : buffer->events()) {
+      os << ",\n{\"name\":\"" << json_escape(event_name(tracer, e))
+         << "\",\"cat\":\"" << category(e.kind) << "\",\"ph\":\""
+         << (is_instant(e.kind) ? 'i' : 'X') << "\",\"ts\":"
+         << us_of_ns(e.start_ns);
+      if (is_instant(e.kind)) {
+        os << ",\"s\":\"t\"";  // thread-scoped instant
+      } else {
+        os << ",\"dur\":" << us_of_ns(e.end_ns - e.start_ns);
+      }
+      os << ",\"pid\":0,\"tid\":" << e.node << ",\"args\":";
+      write_args(tracer, e, os);
+      os << '}';
+    }
+  }
+  os << "\n]}\n";
+}
+
+void export_text_summary(const Tracer& tracer, const MetricsRegistry* metrics,
+                         std::ostream& os) {
+  os << "trace summary (" << tracer.node_count() << " nodes, capacity "
+     << tracer.capacity_per_node() << " events/node)\n";
+  constexpr std::size_t kKinds = 8;
+  std::array<std::uint64_t, kKinds> kind_totals{};
+  TextTable per_node({"node", "recorded", "retained", "dropped", "collectives",
+                      "wire ops", "retransmits"});
+  for (int node = 0; node < tracer.node_count(); ++node) {
+    const NodeTraceBuffer* buffer = tracer.buffer(node);
+    if (buffer == nullptr) continue;
+    std::uint64_t collectives = 0, wire = 0, retransmits = 0;
+    for (const TraceEvent& e : buffer->events()) {
+      const auto k = static_cast<std::size_t>(e.kind);
+      if (k < kKinds) ++kind_totals[k];
+      if (e.kind == EventKind::kCollective) ++collectives;
+      if (e.kind == EventKind::kSend || e.kind == EventKind::kRecv) ++wire;
+      if (e.kind == EventKind::kRetransmit) ++retransmits;
+    }
+    per_node.add_row({std::to_string(node), std::to_string(buffer->recorded()),
+                      std::to_string(buffer->retained()),
+                      std::to_string(buffer->dropped()),
+                      std::to_string(collectives), std::to_string(wire),
+                      std::to_string(retransmits)});
+  }
+  if (per_node.row_count() == 0) {
+    os << "(tracer was never armed)\n";
+    return;
+  }
+  per_node.print(os);
+  os << "events by kind:";
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    if (kind_totals[k] == 0) continue;
+    os << ' ' << to_string(static_cast<EventKind>(k)) << '=' << kind_totals[k];
+  }
+  os << '\n';
+  if (metrics != nullptr) {
+    os << '\n';
+    metrics->render_text(os);
+  }
+}
+
+}  // namespace intercom

@@ -1,0 +1,145 @@
+#include "intercom/obs/metrics.hpp"
+
+#include <bit>
+#include <iomanip>
+#include <sstream>
+
+#include "intercom/util/table.hpp"
+
+namespace intercom {
+
+namespace {
+
+// Relaxed CAS min/max: contention is rare (per-node samples into shared
+// histograms) and the loop is wait-free in practice.
+void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::observe(std::uint64_t value) {
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(value));
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+std::uint64_t Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t b) {
+  if (b == 0) return 0;
+  if (b >= 64) return ~0ULL;
+  return (1ULL << b) - 1;
+}
+
+std::uint64_t Histogram::quantile_upper(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(n));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += bucket(b);
+    if (seen > target || (seen == n && seen != 0)) return bucket_upper(b);
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ULL, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back({name, h->count(), h->sum(), h->min(), h->max(),
+                               h->mean(), h->quantile_upper(0.5),
+                               h->quantile_upper(0.99)});
+  }
+  return snap;
+}
+
+void MetricsRegistry::render_text(std::ostream& os) const {
+  const Snapshot snap = snapshot();
+  if (!snap.counters.empty()) {
+    TextTable table({"counter", "value"});
+    for (const auto& c : snap.counters) {
+      table.add_row({c.name, std::to_string(c.value)});
+    }
+    os << "counters:\n";
+    table.print(os);
+  }
+  if (!snap.histograms.empty()) {
+    TextTable table({"histogram", "count", "mean", "min", "max", "~p50",
+                     "~p99"});
+    for (const auto& h : snap.histograms) {
+      std::ostringstream mean;
+      mean << std::fixed << std::setprecision(1) << h.mean;
+      table.add_row({h.name, std::to_string(h.count), mean.str(),
+                     std::to_string(h.min), std::to_string(h.max),
+                     std::to_string(h.p50_upper), std::to_string(h.p99_upper)});
+    }
+    os << "histograms (log2 buckets; quantiles are bucket upper edges):\n";
+    table.print(os);
+  }
+  if (snap.counters.empty() && snap.histograms.empty()) {
+    os << "no metrics recorded\n";
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace intercom

@@ -1,0 +1,106 @@
+#include "intercom/obs/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "intercom/util/table.hpp"
+
+namespace intercom {
+
+namespace {
+
+// Shape key: one report row per (collective, algorithm, elems, bytes).
+using ShapeKey = std::tuple<std::string, std::string, std::size_t,
+                            std::size_t>;
+
+struct Instance {
+  std::uint64_t max_duration_ns = 0;  // max over nodes = critical node
+  std::uint64_t predicted_ns = 0;
+  bool cache_hit = false;
+};
+
+struct ShapeAgg {
+  std::map<std::uint64_t, Instance> instances;  // by ctx
+};
+
+}  // namespace
+
+std::vector<ModelVsMeasuredRow> model_vs_measured(const Tracer& tracer) {
+  std::map<ShapeKey, ShapeAgg> shapes;
+  for (int node = 0; node < tracer.node_count(); ++node) {
+    const NodeTraceBuffer* buffer = tracer.buffer(node);
+    if (buffer == nullptr) continue;
+    for (const TraceEvent& e : buffer->events()) {
+      if (e.kind != EventKind::kCollective) continue;
+      const ShapeKey key{tracer.label_text(e.label),
+                         tracer.label_text(e.label2),
+                         static_cast<std::size_t>(e.a0),
+                         static_cast<std::size_t>(e.bytes)};
+      Instance& inst = shapes[key].instances[e.ctx];
+      const std::uint64_t duration = e.end_ns - e.start_ns;
+      inst.max_duration_ns = std::max(inst.max_duration_ns, duration);
+      if (e.a1 != 0) inst.predicted_ns = e.a1;
+      if (e.a2 == 1) inst.cache_hit = true;
+    }
+  }
+  std::vector<ModelVsMeasuredRow> rows;
+  rows.reserve(shapes.size());
+  for (const auto& [key, agg] : shapes) {
+    ModelVsMeasuredRow row;
+    std::tie(row.collective, row.algorithm, row.elems, row.bytes) = key;
+    std::uint64_t total_ns = 0, max_ns = 0, predicted_ns = 0;
+    for (const auto& [ctx, inst] : agg.instances) {
+      ++row.calls;
+      if (inst.cache_hit) ++row.cache_hits;
+      total_ns += inst.max_duration_ns;
+      max_ns = std::max(max_ns, inst.max_duration_ns);
+      if (inst.predicted_ns != 0) predicted_ns = inst.predicted_ns;
+    }
+    if (row.calls == 0) continue;
+    row.predicted_s = static_cast<double>(predicted_ns) * 1e-9;
+    row.measured_mean_s = static_cast<double>(total_ns) * 1e-9 /
+                          static_cast<double>(row.calls);
+    row.measured_max_s = static_cast<double>(max_ns) * 1e-9;
+    row.ratio =
+        row.predicted_s > 0.0 ? row.measured_mean_s / row.predicted_s : 0.0;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ModelVsMeasuredRow& a, const ModelVsMeasuredRow& b) {
+              return std::tie(a.collective, a.elems, a.algorithm) <
+                     std::tie(b.collective, b.elems, b.algorithm);
+            });
+  return rows;
+}
+
+void render_model_vs_measured(const std::vector<ModelVsMeasuredRow>& rows,
+                              std::ostream& os) {
+  os << "model vs measured (predicted = analyze() critical path of the "
+        "executed schedule)\n";
+  if (rows.empty()) {
+    os << "(no collective spans in trace)\n";
+    return;
+  }
+  TextTable table({"collective", "algorithm", "elems", "bytes", "calls",
+                   "cached", "predicted", "measured", "worst", "meas/pred"});
+  for (const ModelVsMeasuredRow& row : rows) {
+    std::ostringstream ratio;
+    if (row.ratio > 0.0) {
+      ratio.precision(3);
+      ratio << row.ratio;
+    } else {
+      ratio << "-";
+    }
+    table.add_row({row.collective, row.algorithm, std::to_string(row.elems),
+                   format_bytes(row.bytes), std::to_string(row.calls),
+                   std::to_string(row.cache_hits),
+                   format_seconds(row.predicted_s),
+                   format_seconds(row.measured_mean_s),
+                   format_seconds(row.measured_max_s), ratio.str()});
+  }
+  table.print(os);
+}
+
+}  // namespace intercom

@@ -1,0 +1,217 @@
+#include "intercom/obs/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+
+// The ring slots are plain structs published through per-slot stamps; the
+// fields themselves are accessed through atomic_ref so a reader racing the
+// writer of a wrapped slot sees untorn (if logically stale) values and the
+// stamp re-check discards the mix.  Field-wise copy keeps that property.
+//
+// Release stores / acquire loads (instead of relaxed + standalone fences,
+// which GCC rejects under -fsanitize=thread) carry the seqlock ordering:
+// a reader observing any new field value synchronizes with that store and
+// therefore also sees the stamp invalidation that preceded it, so the
+// stamp re-check discards the torn copy; and the acquire field loads keep
+// the re-check load ordered after them.
+template <typename T>
+void atomic_store_field(T& field, T value) {
+  std::atomic_ref<T>(field).store(value, std::memory_order_release);
+}
+
+template <typename T>
+T atomic_load_field(const T& field) {
+  // atomic_ref<const T> is C++26; loading through a non-const ref is fine.
+  return std::atomic_ref<T>(const_cast<T&>(field))
+      .load(std::memory_order_acquire);
+}
+
+void atomic_copy_event(TraceEvent& dst, const TraceEvent& src, bool storing) {
+  auto move_field = [storing](auto& d, const auto& s) {
+    if (storing) {
+      atomic_store_field(d, s);
+    } else {
+      d = atomic_load_field(s);
+    }
+  };
+  move_field(dst.start_ns, src.start_ns);
+  move_field(dst.end_ns, src.end_ns);
+  move_field(dst.ctx, src.ctx);
+  move_field(dst.bytes, src.bytes);
+  move_field(dst.seq, src.seq);
+  move_field(dst.a0, src.a0);
+  move_field(dst.a1, src.a1);
+  move_field(dst.a2, src.a2);
+  move_field(dst.kind, src.kind);
+  move_field(dst.node, src.node);
+  move_field(dst.peer, src.peer);
+  move_field(dst.tag, src.tag);
+  move_field(dst.attempt, src.attempt);
+  move_field(dst.label, src.label);
+  move_field(dst.label2, src.label2);
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRun: return "run";
+    case EventKind::kCollective: return "collective";
+    case EventKind::kStep: return "step";
+    case EventKind::kSend: return "send";
+    case EventKind::kRecv: return "recv";
+    case EventKind::kRetransmit: return "retransmit";
+    case EventKind::kAbort: return "abort";
+    case EventKind::kError: return "error";
+  }
+  return "?";
+}
+
+NodeTraceBuffer::NodeTraceBuffer(std::size_t capacity)
+    : capacity_(capacity),
+      slots_(capacity),
+      stamps_(new std::atomic<std::uint64_t>[capacity]) {
+  INTERCOM_REQUIRE(capacity >= 1, "trace buffer capacity must be at least 1");
+  for (std::size_t s = 0; s < capacity_; ++s) {
+    stamps_[s].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t NodeTraceBuffer::retained() const {
+  const std::uint64_t n = recorded();
+  return n < capacity_ ? n : capacity_;
+}
+
+void NodeTraceBuffer::record(const TraceEvent& event) {
+  const std::uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t s = static_cast<std::size_t>(i % capacity_);
+  // Invalidate, write fields, publish: a concurrent tail() either sees the
+  // old stamp (and the old fields — the release below orders them), the
+  // zero stamp (slot skipped), or the new stamp with the new fields.
+  stamps_[s].store(0, std::memory_order_release);
+  atomic_copy_event(slots_[s], event, /*storing=*/true);
+  stamps_[s].store(i + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> NodeTraceBuffer::tail(std::size_t n) const {
+  std::vector<TraceEvent> out;
+  const std::uint64_t end = next_.load(std::memory_order_acquire);
+  const std::uint64_t window = std::min<std::uint64_t>(
+      n, std::min<std::uint64_t>(end, capacity_));
+  out.reserve(static_cast<std::size_t>(window));
+  for (std::uint64_t i = end - window; i < end; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i % capacity_);
+    const std::uint64_t before = stamps_[s].load(std::memory_order_acquire);
+    if (before != i + 1) continue;  // overwritten or mid-write
+    TraceEvent copy;
+    atomic_copy_event(copy, slots_[s], /*storing=*/false);
+    // Seqlock validation: the acquire field loads above keep this re-load
+    // ordered after the copy, and any concurrent overwrite zeroes the
+    // stamp (release) before rewriting fields, so an unchanged stamp
+    // means the copy is untorn.
+    if (stamps_[s].load(std::memory_order_acquire) != before) continue;
+    out.push_back(copy);
+  }
+  return out;
+}
+
+void NodeTraceBuffer::clear() {
+  for (std::size_t s = 0; s < capacity_; ++s) {
+    stamps_[s].store(0, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_release);
+}
+
+Tracer::Tracer(int node_count, std::size_t capacity_per_node)
+    : buffer_count_(static_cast<std::size_t>(node_count)),
+      capacity_(capacity_per_node) {
+  INTERCOM_REQUIRE(node_count >= 1, "tracer needs at least one node");
+  INTERCOM_REQUIRE(capacity_per_node >= 1,
+                   "tracer needs capacity for at least one event per node");
+  labels_.push_back("");  // id 0 = empty label
+  label_ids_.emplace("", 0);
+}
+
+void Tracer::arm() {
+  if (buffers_.empty()) {
+    buffers_.reserve(buffer_count_);
+    for (std::size_t i = 0; i < buffer_count_; ++i) {
+      buffers_.push_back(std::make_unique<NodeTraceBuffer>(capacity_));
+    }
+  } else {
+    for (auto& buffer : buffers_) buffer->clear();
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  armed_.store(true, std::memory_order_release);
+}
+
+void Tracer::disarm() { armed_.store(false, std::memory_order_release); }
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::record(int node, const TraceEvent& event) {
+  if (!armed()) return;
+  INTERCOM_REQUIRE(node >= 0 && node < node_count(),
+                   "trace event node id out of range");
+  TraceEvent stamped = event;
+  stamped.node = node;
+  buffers_[static_cast<std::size_t>(node)]->record(stamped);
+}
+
+std::uint32_t Tracer::intern(std::string_view text) {
+  std::lock_guard<std::mutex> lock(intern_mutex_);
+  auto it = label_ids_.find(std::string(text));
+  if (it != label_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(labels_.size());
+  labels_.emplace_back(text);
+  label_ids_.emplace(labels_.back(), id);
+  return id;
+}
+
+std::string Tracer::label_text(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(intern_mutex_);
+  if (id >= labels_.size()) return "?";
+  return labels_[id];
+}
+
+const NodeTraceBuffer* Tracer::buffer(int node) const {
+  if (node < 0 || node >= node_count()) return nullptr;
+  if (buffers_.empty()) return nullptr;  // never armed
+  return buffers_[static_cast<std::size_t>(node)].get();
+}
+
+std::uint64_t Tracer::total_dropped() const {
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) dropped += buffer->dropped();
+  return dropped;
+}
+
+std::string Tracer::describe(const TraceEvent& event) const {
+  std::ostringstream os;
+  os << to_string(event.kind);
+  const std::string label = label_text(event.label);
+  if (!label.empty() && label != "?") os << " \"" << label << "\"";
+  if (event.peer >= 0) os << " peer=" << event.peer;
+  if (event.ctx != 0) os << " ctx=" << event.ctx;
+  if (event.kind != EventKind::kRun && event.kind != EventKind::kCollective) {
+    os << " tag=" << event.tag;
+  }
+  if (event.bytes != 0) os << " bytes=" << event.bytes;
+  if (event.seq != 0) os << " seq=" << event.seq;
+  if (event.attempt != 0) os << " attempt=" << event.attempt;
+  os << " t=[" << event.start_ns << ".." << event.end_ns << "]ns";
+  return os.str();
+}
+
+}  // namespace intercom

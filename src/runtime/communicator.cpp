@@ -1,7 +1,12 @@
 #include "intercom/runtime/communicator.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <numeric>
 
+#include "intercom/ir/analysis.hpp"
+#include "intercom/obs/metrics.hpp"
+#include "intercom/obs/trace.hpp"
 #include "intercom/runtime/executor.hpp"
 #include "intercom/util/error.hpp"
 
@@ -57,14 +62,77 @@ void Communicator::run(Collective collective, std::span<std::byte> buf,
   // Repeated shapes hit the plan cache.
   const PlanCache::Key key{collective, elems, elem_size, root};
   std::shared_ptr<const Schedule> schedule = cache_.find(key);
-  if (schedule == nullptr) {
+  const bool cache_hit = schedule != nullptr;
+  if (!cache_hit) {
     schedule = cache_.insert(
         key, machine_->planner().plan(collective, group_, elems, elem_size,
                                       root));
   }
   const std::uint64_t ctx = ctx_base_ + seq_++;
-  execute_program(machine_->transport(), *schedule, group_.physical(my_rank_),
-                  buf, ctx, op);
+  execute_collective(to_string(collective).c_str(), *schedule, buf, ctx, op,
+                     elems, cache_hit ? CacheState::kHit : CacheState::kMiss,
+                     /*memoize_prediction=*/true);
+}
+
+void Communicator::execute_collective(const char* name,
+                                      const Schedule& schedule,
+                                      std::span<std::byte> buf,
+                                      std::uint64_t ctx, const ReduceOp* op,
+                                      std::size_t elems,
+                                      CacheState cache_state,
+                                      bool memoize_prediction) {
+  const int node = group_.physical(my_rank_);
+  Tracer& tracer = machine_->tracer();
+  if (!tracer.armed()) {
+    execute_program(machine_->transport(), schedule, node, buf, ctx, op);
+    return;
+  }
+  // Predicted critical path of the *executed* schedule — the join key of
+  // the model-vs-measured report.  Memoized per cached schedule so steady
+  // state (plan-cache hits) does not re-run analyze(); 1 ns floors a
+  // genuine zero prediction apart from "unavailable".
+  std::uint64_t predicted = 0;
+  if (memoize_prediction) {
+    const auto it = predicted_ns_.find(&schedule);
+    if (it != predicted_ns_.end()) predicted = it->second;
+  }
+  if (predicted == 0) {
+    try {
+      const double seconds =
+          analyze(schedule, machine_->planner().params()).critical_seconds;
+      predicted = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(seconds * 1e9));
+    } catch (const Error&) {
+      predicted = 0;  // ill-formed for analysis; report shows "-"
+    }
+    if (memoize_prediction && predicted != 0) {
+      predicted_ns_[&schedule] = predicted;
+    }
+  }
+  TraceEvent event;
+  event.kind = EventKind::kCollective;
+  event.label = tracer.intern(name);
+  event.label2 = tracer.intern(schedule.algorithm());
+  event.ctx = ctx;
+  event.bytes = buf.size();
+  event.a0 = elems;
+  event.a1 = predicted;
+  event.a2 = static_cast<std::uint64_t>(cache_state);
+  event.start_ns = tracer.now_ns();
+  execute_program(machine_->transport(), schedule, node, buf, ctx, op);
+  event.end_ns = tracer.now_ns();
+  tracer.record(node, event);
+
+  MetricsRegistry& metrics = machine_->metrics();
+  metrics.counter("collective.calls").inc();
+  metrics.histogram("collective.bytes").observe(buf.size());
+  metrics.histogram("collective.ns").observe(event.end_ns - event.start_ns);
+  if (cache_state != CacheState::kUncached) {
+    metrics
+        .counter(cache_state == CacheState::kHit ? "planner.cache.hit"
+                                                 : "planner.cache.miss")
+        .inc();
+  }
 }
 
 void Communicator::broadcast_bytes(std::span<std::byte> buf,
@@ -102,14 +170,23 @@ void Communicator::distributed_combine_bytes(std::span<std::byte> buf,
   run(Collective::kDistributedCombine, buf, op.elem_size, 0, &op);
 }
 
+namespace {
+
+std::size_t total_elems(const std::vector<std::size_t>& counts) {
+  return std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+}
+
+}  // namespace
+
 void Communicator::scatterv_bytes(std::span<std::byte> buf,
                                   const std::vector<std::size_t>& counts,
                                   std::size_t elem_size, int root) {
   const Schedule schedule =
       machine_->planner().plan_scatterv(group_, counts, elem_size, root);
   const std::uint64_t ctx = ctx_base_ + seq_++;
-  execute_program(machine_->transport(), schedule, group_.physical(my_rank_),
-                  buf, ctx, nullptr);
+  execute_collective("scatterv", schedule, buf, ctx, nullptr,
+                     total_elems(counts), CacheState::kUncached,
+                     /*memoize_prediction=*/false);
 }
 
 void Communicator::gatherv_bytes(std::span<std::byte> buf,
@@ -118,8 +195,9 @@ void Communicator::gatherv_bytes(std::span<std::byte> buf,
   const Schedule schedule =
       machine_->planner().plan_gatherv(group_, counts, elem_size, root);
   const std::uint64_t ctx = ctx_base_ + seq_++;
-  execute_program(machine_->transport(), schedule, group_.physical(my_rank_),
-                  buf, ctx, nullptr);
+  execute_collective("gatherv", schedule, buf, ctx, nullptr,
+                     total_elems(counts), CacheState::kUncached,
+                     /*memoize_prediction=*/false);
 }
 
 void Communicator::collectv_bytes(std::span<std::byte> buf,
@@ -128,8 +206,9 @@ void Communicator::collectv_bytes(std::span<std::byte> buf,
   const Schedule schedule =
       machine_->planner().plan_collectv(group_, counts, elem_size);
   const std::uint64_t ctx = ctx_base_ + seq_++;
-  execute_program(machine_->transport(), schedule, group_.physical(my_rank_),
-                  buf, ctx, nullptr);
+  execute_collective("collectv", schedule, buf, ctx, nullptr,
+                     total_elems(counts), CacheState::kUncached,
+                     /*memoize_prediction=*/false);
 }
 
 void Communicator::reduce_scatterv_bytes(
@@ -138,8 +217,9 @@ void Communicator::reduce_scatterv_bytes(
   const Schedule schedule = machine_->planner().plan_distributed_combinev(
       group_, counts, op.elem_size);
   const std::uint64_t ctx = ctx_base_ + seq_++;
-  execute_program(machine_->transport(), schedule, group_.physical(my_rank_),
-                  buf, ctx, &op);
+  execute_collective("reduce_scatterv", schedule, buf, ctx, &op,
+                     total_elems(counts), CacheState::kUncached,
+                     /*memoize_prediction=*/false);
 }
 
 ElemRange Communicator::piece_of(std::size_t elems, int rank) const {

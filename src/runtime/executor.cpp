@@ -3,6 +3,7 @@
 #include <cstring>
 #include <vector>
 
+#include "intercom/obs/trace.hpp"
 #include "intercom/util/error.hpp"
 
 namespace intercom {
@@ -112,12 +113,41 @@ void execute_program(Transport& transport, const Schedule& schedule, int node,
   for (std::size_t b = 1; b < prog->buffer_bytes.size(); ++b) {
     scratch[b].resize(prog->buffer_bytes[b]);
   }
+  // Step spans: one per schedule op, nesting the wire events the op's
+  // sends/receives record.  Labels are interned once per program execution
+  // (cold), the per-op recording is lock-free.
+  Tracer* tracer = transport.tracer();
+  const bool traced = tracer != nullptr && tracer->armed();
+  std::uint32_t step_labels[5] = {0, 0, 0, 0, 0};
+  if (traced) {
+    step_labels[static_cast<int>(OpKind::kSend)] = tracer->intern("step:send");
+    step_labels[static_cast<int>(OpKind::kRecv)] = tracer->intern("step:recv");
+    step_labels[static_cast<int>(OpKind::kSendRecv)] =
+        tracer->intern("step:sendrecv");
+    step_labels[static_cast<int>(OpKind::kCombine)] =
+        tracer->intern("step:combine");
+    step_labels[static_cast<int>(OpKind::kCopy)] = tracer->intern("step:copy");
+  }
   for (std::size_t op_index = 0; op_index < prog->ops.size(); ++op_index) {
     const Op& op = prog->ops[op_index];
+    const std::uint64_t t0 = traced ? tracer->now_ns() : 0;
     try {
       execute_op(transport, op, node, ctx, user, scratch, reduce);
     } catch (const Error&) {
       rethrow_with_op_context(node, op_index, op);
+    }
+    if (traced) {
+      TraceEvent event;
+      event.kind = EventKind::kStep;
+      event.start_ns = t0;
+      event.end_ns = tracer->now_ns();
+      event.label = step_labels[static_cast<int>(op.kind)];
+      event.peer = op.peer;
+      event.tag = op.tag;
+      event.ctx = ctx;
+      event.bytes = op.has_send() ? op.src.bytes : op.dst.bytes;
+      event.a0 = op_index;
+      tracer->record(node, event);
     }
   }
 }

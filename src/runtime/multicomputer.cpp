@@ -13,7 +13,11 @@ namespace intercom {
 Multicomputer::Multicomputer(Mesh2D mesh, MachineParams params)
     : mesh_(mesh),
       transport_(mesh.node_count()),
-      planner_(params, mesh) {}
+      planner_(params, mesh),
+      tracer_(mesh.node_count()) {
+  transport_.set_tracer(&tracer_);
+  transport_.set_metrics(&metrics_);
+}
 
 void Multicomputer::run_spmd(const std::function<void(Node&)>& body) {
   INTERCOM_REQUIRE(static_cast<bool>(body), "SPMD body must be callable");
@@ -21,8 +25,11 @@ void Multicomputer::run_spmd(const std::function<void(Node&)>& body) {
   threads.reserve(static_cast<std::size_t>(node_count()));
   std::mutex error_mutex;
   std::exception_ptr first_error;
+  const bool traced = tracer_.armed();
   for (int id = 0; id < node_count(); ++id) {
-    threads.emplace_back([this, id, &body, &error_mutex, &first_error] {
+    threads.emplace_back([this, id, &body, &error_mutex, &first_error,
+                          traced] {
+      const std::uint64_t t0 = traced ? tracer_.now_ns() : 0;
       try {
         Node node(*this, id);
         body(node);
@@ -40,9 +47,31 @@ void Multicomputer::run_spmd(const std::function<void(Node&)>& body) {
         } catch (const std::exception& e) {
           reason += ": ";
           reason += e.what();
+          if (traced) {
+            TraceEvent event;
+            event.kind = EventKind::kError;
+            event.start_ns = event.end_ns = tracer_.now_ns();
+            event.label = tracer_.intern(e.what());
+            tracer_.record(id, event);
+          }
         } catch (...) {
         }
         transport_.abort(reason);
+        if (traced) {
+          TraceEvent event;
+          event.kind = EventKind::kAbort;
+          event.start_ns = event.end_ns = tracer_.now_ns();
+          event.label = tracer_.intern(reason);
+          tracer_.record(id, event);
+        }
+      }
+      if (traced) {
+        TraceEvent event;
+        event.kind = EventKind::kRun;
+        event.start_ns = t0;
+        event.end_ns = tracer_.now_ns();
+        event.label = tracer_.intern("run");
+        tracer_.record(id, event);
       }
     });
   }

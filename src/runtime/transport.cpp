@@ -5,6 +5,8 @@
 #include <sstream>
 #include <thread>
 
+#include "intercom/obs/metrics.hpp"
+#include "intercom/obs/trace.hpp"
 #include "intercom/runtime/fault.hpp"
 #include "intercom/util/error.hpp"
 
@@ -25,6 +27,8 @@ struct FrameHeader {
 constexpr std::uint32_t kFrameMagic = 0x1CC0F7A5u;
 constexpr std::size_t kHeaderBytes = sizeof(FrameHeader);
 constexpr long kMaxRtoMs = 1000;
+/// Trace events shown per node in the recv-timeout diagnostic.
+constexpr std::size_t kTimeoutTraceTail = 6;
 
 // Payload checksum.  Byte-wise FNV costs ~4 cycles/byte (serial multiply
 // chain) which dominates large transfers; four independent 64-bit lanes keep
@@ -138,12 +142,34 @@ void Transport::throw_aborted() const {
   throw AbortedError("transport aborted (fail-fast propagation): " + reason);
 }
 
+void Transport::set_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics == nullptr) {
+    metric_sends_ = metric_recvs_ = metric_retransmits_ = nullptr;
+    metric_send_bytes_ = metric_send_ns_ = metric_recv_ns_ = nullptr;
+    return;
+  }
+  metric_sends_ = &metrics->counter("transport.sends");
+  metric_recvs_ = &metrics->counter("transport.recvs");
+  metric_retransmits_ = &metrics->counter("transport.retransmits");
+  metric_send_bytes_ = &metrics->histogram("transport.send.bytes");
+  metric_send_ns_ = &metrics->histogram("transport.send.ns");
+  metric_recv_ns_ = &metrics->histogram("transport.recv.ns");
+}
+
 void Transport::reset() {
   aborted_.store(false, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(abort_mutex_);
     abort_reason_.clear();
   }
+  // Per-run reliability stats start from zero, matching the cleared flow
+  // state (a stale cumulative count would misattribute earlier runs'
+  // retransmissions to the next run's report).
+  frames_sent_.store(0, std::memory_order_relaxed);
+  retransmits_.store(0, std::memory_order_relaxed);
+  corrupt_discards_.store(0, std::memory_order_relaxed);
+  duplicate_discards_.store(0, std::memory_order_relaxed);
   for (Mailbox& box : mailboxes_) {
     std::lock_guard<std::mutex> lock(box.mutex);
     box.messages.clear();
@@ -191,6 +217,23 @@ void Transport::throw_recv_timeout(const Mailbox& box, int src, int dst,
      << " ctx " << ctx << " tag " << tag << detail
      << " (mismatched collective sequence?); pending messages at node " << dst
      << ": " << pending_summary(box);
+  // With tracing armed, show what every node last *did* — a wedged
+  // collective is diagnosed from the victims' recent history, not just from
+  // what the stuck node was offered.  The tail read is race-safe against
+  // still-running peers (see NodeTraceBuffer::tail).
+  if (Tracer* tracer = tracer_; tracer != nullptr && tracer->armed()) {
+    os << "; recent trace (last " << kTimeoutTraceTail << " events/node):";
+    for (int node = 0; node < node_count(); ++node) {
+      const NodeTraceBuffer* buffer = tracer->buffer(node);
+      if (buffer == nullptr) continue;
+      os << "\n  node " << node << ":";
+      const std::vector<TraceEvent> tail = buffer->tail(kTimeoutTraceTail);
+      if (tail.empty()) os << " (no events)";
+      for (const TraceEvent& event : tail) {
+        os << "\n    " << tracer->describe(event);
+      }
+    }
+  }
   throw TimeoutError(os.str());
 }
 
@@ -206,10 +249,33 @@ void Transport::send(int src, int dst, std::uint64_t ctx, int tag,
                          " fail-stopped (send budget exhausted)");
     }
   }
+  // Disarmed cost: one pointer load + one relaxed atomic load (the same
+  // bypass discipline as the reliability layer's `reliable_` check).
+  Tracer* tracer = tracer_;
+  const bool traced = tracer != nullptr && tracer->armed();
+  const std::uint64_t t0 = traced ? tracer->now_ns() : 0;
+  std::uint64_t seq = 0;
   if (reliable_) {
-    reliable_send(src, dst, ctx, tag, data);
+    seq = reliable_send(src, dst, ctx, tag, data);
   } else {
     raw_send(src, dst, ctx, tag, data);
+  }
+  if (traced) {
+    TraceEvent event;
+    event.kind = EventKind::kSend;
+    event.start_ns = t0;
+    event.end_ns = tracer->now_ns();
+    event.peer = dst;
+    event.ctx = ctx;
+    event.tag = tag;
+    event.bytes = data.size();
+    event.seq = seq;
+    tracer->record(src, event);
+    if (metric_sends_ != nullptr) {
+      metric_sends_->inc();
+      metric_send_bytes_->observe(data.size());
+      metric_send_ns_->observe(event.end_ns - t0);
+    }
   }
 }
 
@@ -218,10 +284,30 @@ void Transport::recv(int src, int dst, std::uint64_t ctx, int tag,
   check_node(src);
   check_node(dst);
   if (aborted_.load(std::memory_order_relaxed)) throw_aborted();
+  Tracer* tracer = tracer_;
+  const bool traced = tracer != nullptr && tracer->armed();
+  const std::uint64_t t0 = traced ? tracer->now_ns() : 0;
+  std::uint64_t seq = 0;
   if (reliable_) {
-    reliable_recv(src, dst, ctx, tag, out);
+    seq = reliable_recv(src, dst, ctx, tag, out);
   } else {
     raw_recv(src, dst, ctx, tag, out);
+  }
+  if (traced) {
+    TraceEvent event;
+    event.kind = EventKind::kRecv;
+    event.start_ns = t0;
+    event.end_ns = tracer->now_ns();
+    event.peer = src;
+    event.ctx = ctx;
+    event.tag = tag;
+    event.bytes = out.size();
+    event.seq = seq;
+    tracer->record(dst, event);
+    if (metric_recvs_ != nullptr) {
+      metric_recvs_->inc();
+      metric_recv_ns_->observe(event.end_ns - t0);
+    }
   }
 }
 
@@ -267,8 +353,9 @@ void Transport::raw_recv(int src, int dst, std::uint64_t ctx, int tag,
   }
 }
 
-void Transport::reliable_send(int src, int dst, std::uint64_t ctx, int tag,
-                              std::span<const std::byte> data) {
+std::uint64_t Transport::reliable_send(int src, int dst, std::uint64_t ctx,
+                                       int tag,
+                                       std::span<const std::byte> data) {
   SenderState& sender = senders_[static_cast<std::size_t>(src)];
   const Key flow_key{dst, ctx, tag};  // src is implied by the owning node
   std::vector<std::byte> frame;
@@ -282,6 +369,7 @@ void Transport::reliable_send(int src, int dst, std::uint64_t ctx, int tag,
   }
   frames_sent_.fetch_add(1, std::memory_order_relaxed);
   deliver_frame(src, dst, Key{src, ctx, tag}, std::move(frame), seq, 0);
+  return seq + 1;  // one-based for trace events (0 = unsequenced raw path)
 }
 
 void Transport::deliver_frame(int src, int dst, const Key& key,
@@ -329,8 +417,8 @@ void Transport::deliver_frame(int src, int dst, const Key& key,
   box.cv.notify_all();
 }
 
-void Transport::reliable_recv(int src, int dst, std::uint64_t ctx, int tag,
-                              std::span<std::byte> out) {
+std::uint64_t Transport::reliable_recv(int src, int dst, std::uint64_t ctx,
+                                       int tag, std::span<std::byte> out) {
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
   SenderState& sender = senders_[static_cast<std::size_t>(src)];
   const Key key{src, ctx, tag};
@@ -412,6 +500,22 @@ void Transport::reliable_recv(int src, int dst, std::uint64_t ctx, int tag,
             throw TimeoutError(what);
           }
           retransmits_.fetch_add(1, std::memory_order_relaxed);
+          // Receiver-driven recovery is the receiver's action, so the
+          // retransmit event lands on dst's track (and on dst's thread —
+          // the single-writer fast case of the ring buffer).
+          if (Tracer* tracer = tracer_;
+              tracer != nullptr && tracer->armed()) {
+            TraceEvent event;
+            event.kind = EventKind::kRetransmit;
+            event.start_ns = event.end_ns = tracer->now_ns();
+            event.peer = src;
+            event.ctx = ctx;
+            event.tag = tag;
+            event.seq = expected + 1;
+            event.attempt = static_cast<std::uint32_t>(attempts);
+            tracer->record(dst, event);
+            if (metric_retransmits_ != nullptr) metric_retransmits_->inc();
+          }
           std::vector<std::byte> clean = unacked_it->second;
           deliver_frame(src, dst, key, std::move(clean), expected,
                         static_cast<std::uint32_t>(attempts));
@@ -445,6 +549,7 @@ void Transport::reliable_recv(int src, int dst, std::uint64_t ctx, int tag,
   if (payload_bytes > 0) {
     std::memcpy(out.data(), frame.data() + kHeaderBytes, payload_bytes);
   }
+  return expected + 1;
 }
 
 }  // namespace intercom

@@ -1,0 +1,364 @@
+// Chrome trace-event export: a traced run over all seven collectives must
+// produce syntactically valid JSON with one track (tid) per node and the
+// span nesting collective -> step -> wire on every track.  The test carries
+// a small recursive-descent JSON parser so "valid" means parsed, not
+// pattern-matched.
+#include "intercom/obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "intercom/runtime/communicator.hpp"
+#include "intercom/runtime/multicomputer.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, numbers, literals).
+
+struct JsonValue {
+  enum class Type { kObject, kArray, kString, kNumber, kBool, kNull };
+  Type type = Type::kNull;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+  std::string string;
+  double number = 0.0;
+  bool boolean = false;
+
+  const JsonValue* find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("JSON error at offset " + std::to_string(pos_) +
+                             ": " + why);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+  JsonValue parse_object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { ++pos_; return v; }
+    while (true) {
+      skip_ws();
+      JsonValue key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace(key.string, parse_value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return v;
+    }
+  }
+  JsonValue parse_array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; return v; }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return v;
+    }
+  }
+  JsonValue parse_string() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    expect('"');
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'n': v.string += '\n'; break;
+          case 'r': v.string += '\r'; break;
+          case 't': v.string += '\t'; break;
+          case 'b': v.string += '\b'; break;
+          case 'f': v.string += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + static_cast<std::size_t>(i)]))) {
+                fail("bad \\u escape digit");
+              }
+            }
+            pos_ += 4;
+            v.string += '?';  // codepoint value irrelevant for these tests
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        v.string += c;
+      }
+    }
+  }
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+  JsonValue parse_null() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return JsonValue{};
+  }
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+constexpr int kRows = 2, kCols = 3;
+constexpr std::size_t kElems = 96;
+
+// One traced run exercising all seven regular collectives.
+void run_all_seven(Multicomputer& mc) {
+  mc.run_spmd([](Node& node) {
+    Communicator world = node.world();
+    std::vector<double> data(kElems, 1.0 + node.id());
+    const std::span<double> span(data);
+    world.broadcast(span, 0);
+    world.scatter(span, 0);
+    world.gather(span, 0);
+    world.collect(span);
+    world.reduce_sum(span, 0);
+    world.all_reduce_sum(span);
+    world.reduce_scatter_sum(span);
+  });
+}
+
+struct Span {
+  std::string cat;
+  double ts, dur;
+};
+
+TEST(ChromeTraceExportTest, TracedSweepExportsValidNestedJson) {
+  Multicomputer mc(Mesh2D(kRows, kCols));
+  mc.set_tracing(true);
+  run_all_seven(mc);
+  mc.set_tracing(false);
+
+  std::ostringstream os;
+  export_chrome_trace(mc.tracer(), os);
+  const std::string json = os.str();
+
+  JsonValue root;
+  ASSERT_NO_THROW(root = JsonParser(json).parse()) << json.substr(0, 400);
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, JsonValue::Type::kArray);
+
+  const int p = kRows * kCols;
+  std::set<int> span_tids, meta_tids;
+  std::map<int, std::vector<Span>> spans_by_tid;
+  for (const JsonValue& e : events->array) {
+    ASSERT_EQ(e.type, JsonValue::Type::kObject);
+    const JsonValue* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    const JsonValue* tid = e.find("tid");
+    ASSERT_NE(tid, nullptr);
+    ASSERT_NE(e.find("name"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    if (ph->string == "M") {
+      meta_tids.insert(static_cast<int>(tid->number));
+      continue;
+    }
+    ASSERT_TRUE(ph->string == "X" || ph->string == "i")
+        << "unexpected phase " << ph->string;
+    ASSERT_NE(e.find("ts"), nullptr);
+    ASSERT_NE(e.find("args"), nullptr);
+    if (ph->string == "X") {
+      const JsonValue* cat = e.find("cat");
+      const JsonValue* dur = e.find("dur");
+      ASSERT_NE(cat, nullptr);
+      ASSERT_NE(dur, nullptr);
+      span_tids.insert(static_cast<int>(tid->number));
+      spans_by_tid[static_cast<int>(tid->number)].push_back(
+          Span{cat->string, e.find("ts")->number, dur->number});
+    }
+  }
+  // One thread-name metadata entry and at least one span per node track.
+  EXPECT_EQ(static_cast<int>(meta_tids.size()), p);
+  EXPECT_EQ(static_cast<int>(span_tids.size()), p);
+
+  // Nesting on every track: wire within a step, step within a collective,
+  // collective within the run span.
+  const double eps = 1e-6;
+  auto contained_in = [&](const Span& inner, const std::string& outer_cat,
+                          const std::vector<Span>& spans) {
+    return std::any_of(spans.begin(), spans.end(), [&](const Span& outer) {
+      return outer.cat == outer_cat && outer.ts <= inner.ts + eps &&
+             inner.ts + inner.dur <= outer.ts + outer.dur + eps;
+    });
+  };
+  for (const auto& [tid, spans] : spans_by_tid) {
+    int collectives = 0, steps = 0, wires = 0;
+    for (const Span& s : spans) {
+      if (s.cat == "collective") {
+        ++collectives;
+        EXPECT_TRUE(contained_in(s, "run", spans)) << "tid " << tid;
+      } else if (s.cat == "step") {
+        ++steps;
+        EXPECT_TRUE(contained_in(s, "collective", spans)) << "tid " << tid;
+      } else if (s.cat == "wire") {
+        ++wires;
+        EXPECT_TRUE(contained_in(s, "step", spans)) << "tid " << tid;
+      }
+    }
+    EXPECT_EQ(collectives, 7) << "tid " << tid;
+    EXPECT_GT(steps, 0) << "tid " << tid;
+    EXPECT_GT(wires, 0) << "tid " << tid;
+  }
+}
+
+TEST(ChromeTraceExportTest, EmptyTraceIsStillValidJson) {
+  Tracer tracer(3);
+  std::ostringstream os;
+  export_chrome_trace(tracer, os);
+  JsonValue root;
+  ASSERT_NO_THROW(root = JsonParser(os.str()).parse());
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->array.size(), 3u);  // the three thread_name entries
+}
+
+TEST(ChromeTraceExportTest, ErrorLabelsAreEscaped) {
+  Multicomputer mc(Mesh2D(1, 2));
+  mc.set_tracing(true);
+  EXPECT_THROW(mc.run_spmd([](Node& node) {
+                 if (node.id() == 1) {
+                   throw Error("bad \"quoted\"\npayload\t\\slash");
+                 }
+                 Communicator world = node.world();
+                 std::vector<double> data(8, 0.0);
+                 world.broadcast(std::span<double>(data), 1);
+               }),
+               Error);
+  mc.set_tracing(false);
+  std::ostringstream os;
+  export_chrome_trace(mc.tracer(), os);
+  JsonValue root;
+  ASSERT_NO_THROW(root = JsonParser(os.str()).parse()) << os.str();
+  // The error instant survives with its (escaped) message.
+  bool saw_error = false;
+  for (const JsonValue& e : root.find("traceEvents")->array) {
+    const JsonValue* args = e.find("args");
+    if (args == nullptr) continue;
+    const JsonValue* kind = args->find("kind");
+    if (kind != nullptr && kind->string == "error") saw_error = true;
+  }
+  EXPECT_TRUE(saw_error);
+}
+
+TEST(TextSummaryTest, ListsNodesKindsAndMetrics) {
+  Multicomputer mc(Mesh2D(1, 3));
+  mc.set_tracing(true);
+  mc.run_spmd([](Node& node) {
+    Communicator world = node.world();
+    std::vector<double> data(32, 1.0);
+    world.all_reduce_sum(std::span<double>(data));
+  });
+  mc.set_tracing(false);
+  std::ostringstream os;
+  export_text_summary(mc.tracer(), &mc.metrics(), os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("3 nodes"), std::string::npos);
+  EXPECT_NE(text.find("collective="), std::string::npos);
+  EXPECT_NE(text.find("transport.sends"), std::string::npos);
+  EXPECT_NE(text.find("collective.ns"), std::string::npos);
+}
+
+TEST(TextSummaryTest, NeverArmedTracerSaysSo) {
+  Tracer tracer(2);
+  std::ostringstream os;
+  export_text_summary(tracer, nullptr, os);
+  EXPECT_NE(os.str().find("never armed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace intercom

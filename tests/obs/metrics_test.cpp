@@ -1,0 +1,139 @@
+#include "intercom/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace intercom {
+namespace {
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(HistogramTest, BucketsByBitWidth) {
+  Histogram h;
+  h.observe(0);    // bucket 0
+  h.observe(1);    // bucket 1: [1, 2)
+  h.observe(2);    // bucket 2: [2, 4)
+  h.observe(3);    // bucket 2
+  h.observe(4);    // bucket 3: [4, 8)
+  h.observe(255);  // bucket 8: [128, 256)
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(8), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 265u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 255u);
+  EXPECT_DOUBLE_EQ(h.mean(), 265.0 / 6.0);
+}
+
+TEST(HistogramTest, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile_upper(0.5), 0u);
+}
+
+TEST(HistogramTest, QuantileUpperIsBucketResolution) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(3);     // bucket 2, upper edge 3
+  for (int i = 0; i < 10; ++i) h.observe(1000);  // bucket 10, upper edge 1023
+  EXPECT_EQ(h.quantile_upper(0.5), 3u);
+  EXPECT_EQ(h.quantile_upper(0.99), 1023u);
+  EXPECT_EQ(h.quantile_upper(1.0), 1023u);
+}
+
+TEST(HistogramTest, BucketUpperEdges) {
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper(64), ~0ULL);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAllCounted) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), static_cast<std::uint64_t>(kPerThread - 1));
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableByName) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  a.inc();
+  EXPECT_EQ(&registry.counter("x"), &a);
+  EXPECT_EQ(registry.counter("x").value(), 1u);
+  Histogram& h = registry.histogram("y");
+  EXPECT_EQ(&registry.histogram("y"), &h);
+  EXPECT_NE(static_cast<void*>(&registry.counter("y")),
+            static_cast<void*>(&h));  // counters and histograms are separate
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameSorted) {
+  MetricsRegistry registry;
+  registry.counter("zeta").inc(3);
+  registry.counter("alpha").inc(1);
+  registry.histogram("latency").observe(7);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[0].value, 1u);
+  EXPECT_EQ(snap.counters[1].name, "zeta");
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_EQ(snap.histograms[0].max, 7u);
+}
+
+TEST(MetricsRegistryTest, RenderTextListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("transport.sends").inc(12);
+  registry.histogram("transport.send.ns").observe(512);
+  std::ostringstream os;
+  registry.render_text(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("transport.sends"), std::string::npos);
+  EXPECT_NE(text.find("12"), std::string::npos);
+  EXPECT_NE(text.find("transport.send.ns"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  Histogram& h = registry.histogram("h");
+  c.inc(5);
+  h.observe(9);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(&registry.counter("c"), &c);
+  h.observe(3);
+  EXPECT_EQ(h.min(), 3u);  // min tracking restarts after reset
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,212 @@
+// Tracing under the real runtime: all node threads record concurrently
+// during full collective sweeps (TSan covers this file via the
+// INTERCOM_SANITIZE=thread build), injected faults surface as retransmit
+// events and counters in the trace, and the recv-timeout diagnostic carries
+// the trace tail when a tracer is armed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "intercom/obs/metrics.hpp"
+#include "intercom/obs/trace.hpp"
+#include "intercom/runtime/communicator.hpp"
+#include "intercom/runtime/fault.hpp"
+#include "intercom/runtime/multicomputer.hpp"
+#include "intercom/runtime/transport.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+std::uint64_t count_kind(const Tracer& tracer, int nodes, EventKind kind) {
+  std::uint64_t n = 0;
+  for (int node = 0; node < nodes; ++node) {
+    const NodeTraceBuffer* buffer = tracer.buffer(node);
+    if (buffer == nullptr) continue;
+    for (const TraceEvent& e : buffer->events()) {
+      if (e.kind == kind) ++n;
+    }
+  }
+  return n;
+}
+
+// All node threads trace into their per-node rings while running every
+// collective; a live reader polls tails concurrently (the recv-timeout
+// diagnostic path does exactly this from another node's thread).
+TEST(TraceRuntimeTest, ConcurrentSweepRecordsOnEveryNode) {
+  Multicomputer mc(Mesh2D(2, 3));
+  const int p = mc.node_count();
+  mc.set_tracing(true);
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (int node = 0; node < p; ++node) {
+        const NodeTraceBuffer* buffer = mc.tracer().buffer(node);
+        if (buffer == nullptr) continue;
+        for (const TraceEvent& e : buffer->tail(4)) {
+          ASSERT_LE(e.start_ns, e.end_ns);
+        }
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  mc.run_spmd([](Node& node) {
+    Communicator world = node.world();
+    std::vector<double> data(256, 1.0 + node.id());
+    const std::span<double> span(data);
+    for (int round = 0; round < 3; ++round) {
+      world.broadcast(span, 0);
+      world.scatter(span, 0);
+      world.gather(span, 0);
+      world.collect(span);
+      world.reduce_sum(span, 0);
+      world.all_reduce_sum(span);
+      world.reduce_scatter_sum(span);
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  poller.join();
+  mc.set_tracing(false);
+
+  for (int node = 0; node < p; ++node) {
+    ASSERT_NE(mc.tracer().buffer(node), nullptr);
+    EXPECT_GT(mc.tracer().buffer(node)->recorded(), 0u) << "node " << node;
+  }
+  EXPECT_EQ(count_kind(mc.tracer(), p, EventKind::kRun),
+            static_cast<std::uint64_t>(p));
+  EXPECT_GT(count_kind(mc.tracer(), p, EventKind::kCollective), 0u);
+  EXPECT_GT(count_kind(mc.tracer(), p, EventKind::kStep), 0u);
+  EXPECT_GT(count_kind(mc.tracer(), p, EventKind::kSend), 0u);
+  EXPECT_GT(count_kind(mc.tracer(), p, EventKind::kRecv), 0u);
+  EXPECT_EQ(mc.metrics().counter("collective.calls").value(),
+            static_cast<std::uint64_t>(p) * 3u * 7u);
+}
+
+// Chaos integration: injected drops must be visible in the trace, both as
+// per-node retransmit instants and as the transport.retransmits counter,
+// agreeing with the reliability layer's own statistics.
+TEST(TraceRuntimeTest, InjectedDropsSurfaceAsRetransmitEvents) {
+  Multicomputer mc(Mesh2D(1, 3));
+  auto injector = std::make_shared<FaultInjector>(4242u);
+  FaultSpec spec;
+  spec.drop = 0.4;
+  injector->set_default(spec);
+  mc.set_fault_injector(injector);
+  mc.set_retry_policy(/*max_retries=*/14, /*base_rto_ms=*/2);
+
+  mc.set_tracing(true);
+  mc.run_spmd([](Node& node) {
+    Communicator world = node.world();
+    std::vector<std::int64_t> data(64, node.id());
+    for (int round = 0; round < 10; ++round) {
+      world.all_reduce_sum(std::span<std::int64_t>(data));
+    }
+  });
+  mc.set_tracing(false);
+  mc.set_fault_injector(nullptr);
+
+  ASSERT_GT(injector->stats().dropped, 0u) << "chaos schedule injected nothing";
+  const std::uint64_t retransmits = mc.transport().reliability_stats().retransmits;
+  ASSERT_GT(retransmits, 0u);
+  EXPECT_EQ(mc.metrics().counter("transport.retransmits").value(), retransmits);
+  const std::uint64_t traced =
+      count_kind(mc.tracer(), mc.node_count(), EventKind::kRetransmit);
+  EXPECT_GT(traced, 0u);
+  // Ring wraparound may shed old events but can never invent them.
+  EXPECT_LE(traced, retransmits);
+}
+
+// Satellite: a recv timeout with a tracer armed appends the recent trace
+// tail to the diagnostic, naming the events around the stall.
+TEST(TraceRuntimeTest, RecvTimeoutDiagnosticIncludesTraceTailWhenArmed) {
+  Transport t(2);
+  Tracer tracer(2);
+  t.set_tracer(&tracer);
+  tracer.arm();
+  t.set_recv_timeout_ms(30);
+
+  // Record some wire traffic first so the tail has content.
+  std::vector<std::byte> payload(8);
+  t.send(0, 1, /*ctx=*/7, /*tag=*/1, payload);
+  std::vector<std::byte> out(8);
+  t.recv(0, 1, /*ctx=*/7, /*tag=*/1, out);
+
+  try {
+    t.recv(0, 1, /*ctx=*/7, /*tag=*/2, out);  // nobody sends tag 2
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("recent trace"), std::string::npos) << what;
+    EXPECT_NE(what.find("send"), std::string::npos) << what;
+  }
+
+  // Disarmed, the diagnostic stays lean.
+  tracer.disarm();
+  try {
+    t.recv(0, 1, /*ctx=*/7, /*tag=*/3, out);
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    EXPECT_EQ(std::string(e.what()).find("recent trace"), std::string::npos);
+  }
+}
+
+// Aborts and node errors land in the trace as instant events carrying the
+// failure reason, on the node where they happened.
+TEST(TraceRuntimeTest, NodeErrorAndAbortAreTraced) {
+  Multicomputer mc(Mesh2D(1, 3));
+  mc.set_tracing(true);
+  EXPECT_THROW(mc.run_spmd([](Node& node) {
+                 if (node.id() == 1) throw Error("deliberate failure");
+                 Communicator world = node.world();
+                 std::vector<double> data(16, 0.0);
+                 world.broadcast(std::span<double>(data), 1);
+               }),
+               Error);
+  mc.set_tracing(false);
+
+  const Tracer& tracer = mc.tracer();
+  EXPECT_GE(count_kind(tracer, 3, EventKind::kError), 1u);
+  bool found = false;
+  ASSERT_NE(tracer.buffer(1), nullptr);
+  for (const TraceEvent& e : tracer.buffer(1)->events()) {
+    if (e.kind == EventKind::kError &&
+        tracer.label_text(e.label).find("deliberate failure") !=
+            std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "error instant missing from failing node's track";
+}
+
+// Arming must not leak state across runs: a second traced run starts from
+// cleared rings and zeroed metrics.
+TEST(TraceRuntimeTest, RearmingClearsPreviousRun) {
+  Multicomputer mc(Mesh2D(1, 2));
+  auto sweep = [&] {
+    mc.run_spmd([](Node& node) {
+      Communicator world = node.world();
+      std::vector<int> data(32, node.id());
+      world.all_reduce_sum(std::span<int>(data));
+    });
+  };
+  mc.set_tracing(true);
+  sweep();
+  mc.set_tracing(false);
+  const std::uint64_t first = mc.metrics().counter("collective.calls").value();
+  EXPECT_GT(first, 0u);
+
+  mc.set_tracing(true);
+  sweep();
+  mc.set_tracing(false);
+  EXPECT_EQ(mc.metrics().counter("collective.calls").value(), first);
+  EXPECT_EQ(count_kind(mc.tracer(), 2, EventKind::kRun), 2u);
+}
+
+}  // namespace
+}  // namespace intercom

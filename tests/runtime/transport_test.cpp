@@ -217,5 +217,32 @@ TEST(TransportTest, ManyThreadsExchange) {
   }
 }
 
+// Regression: reset() must zero the reliability counters along with the
+// sequence bookkeeping, or stats from a failed run bleed into the next one.
+TEST(TransportTest, ResetZeroesReliabilityStats) {
+  Transport t(2);
+  t.set_reliable(true);
+  const auto msg = bytes_of("ping");
+  std::vector<std::byte> out(4);
+  for (int i = 0; i < 3; ++i) {
+    t.send(0, 1, 7, 0, msg);
+    t.recv(0, 1, 7, 0, out);
+  }
+  ASSERT_GT(t.reliability_stats().frames_sent, 0u);
+
+  t.reset();
+  const auto stats = t.reliability_stats();
+  EXPECT_EQ(stats.frames_sent, 0u);
+  EXPECT_EQ(stats.retransmits, 0u);
+  EXPECT_EQ(stats.corrupt_discards, 0u);
+  EXPECT_EQ(stats.duplicate_discards, 0u);
+
+  // Sequence numbering also restarts: the transport is as-new.
+  t.send(0, 1, 7, 0, msg);
+  t.recv(0, 1, 7, 0, out);
+  EXPECT_EQ(t.reliability_stats().frames_sent, 1u);
+  EXPECT_EQ(string_of(out), "ping");
+}
+
 }  // namespace
 }  // namespace intercom
