@@ -17,10 +17,12 @@
 #include <vector>
 
 #include "intercom/intercom.hpp"
+#include "per_message.hpp"
 
 namespace {
 
 using namespace intercom;
+using intercom::bench::PerMessage;
 
 enum class Mode { kOff, kArmed, kExport };
 
@@ -28,13 +30,16 @@ void bm_broadcast(benchmark::State& state, Mode mode) {
   const int p = static_cast<int>(state.range(0));
   const std::size_t elems = static_cast<std::size_t>(state.range(1));
   Multicomputer mc(Mesh2D(1, p));
+  PerMessage per_msg(mc);
   for (auto _ : state) {
     if (mode != Mode::kOff) mc.set_tracing(true);
-    mc.run_spmd([&](Node& node) {
-      Communicator world = node.world();
-      std::vector<double> data(elems, node.id() == 0 ? 1.0 : 0.0);
-      world.broadcast(std::span<double>(data), 0);
-      benchmark::DoNotOptimize(data.data());
+    per_msg.timed([&] {
+      mc.run_spmd([&](Node& node) {
+        Communicator world = node.world();
+        std::vector<double> data(elems, node.id() == 0 ? 1.0 : 0.0);
+        world.broadcast(std::span<double>(data), 0);
+        benchmark::DoNotOptimize(data.data());
+      });
     });
     if (mode != Mode::kOff) mc.set_tracing(false);
     if (mode == Mode::kExport) {
@@ -43,6 +48,7 @@ void bm_broadcast(benchmark::State& state, Mode mode) {
       benchmark::DoNotOptimize(os.str().data());
     }
   }
+  per_msg.report(state);
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(elems * sizeof(double)));
 }
@@ -51,13 +57,16 @@ void bm_all_reduce(benchmark::State& state, Mode mode) {
   const int p = static_cast<int>(state.range(0));
   const std::size_t elems = static_cast<std::size_t>(state.range(1));
   Multicomputer mc(Mesh2D(1, p));
+  PerMessage per_msg(mc);
   for (auto _ : state) {
     if (mode != Mode::kOff) mc.set_tracing(true);
-    mc.run_spmd([&](Node& node) {
-      Communicator world = node.world();
-      std::vector<double> data(elems, 1.0 * node.id());
-      world.all_reduce_sum(std::span<double>(data));
-      benchmark::DoNotOptimize(data.data());
+    per_msg.timed([&] {
+      mc.run_spmd([&](Node& node) {
+        Communicator world = node.world();
+        std::vector<double> data(elems, 1.0 * node.id());
+        world.all_reduce_sum(std::span<double>(data));
+        benchmark::DoNotOptimize(data.data());
+      });
     });
     if (mode != Mode::kOff) mc.set_tracing(false);
     if (mode == Mode::kExport) {
@@ -66,6 +75,7 @@ void bm_all_reduce(benchmark::State& state, Mode mode) {
       benchmark::DoNotOptimize(os.str().data());
     }
   }
+  per_msg.report(state);
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(elems * sizeof(double)));
 }

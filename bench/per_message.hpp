@@ -1,0 +1,55 @@
+// Per-message cost reporting for the google-benchmark overhead harnesses.
+//
+// The overhead benches (tracing, reliability) compare modes whose wall-clock
+// difference is per-MESSAGE, not per-byte: framing, checksums, span capture.
+// Dividing the timed collective wall time by the transport.sends delta turns
+// each row into ns/message, so "armed minus off" reads directly as the
+// per-message price of the feature regardless of collective or size.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+
+#include "intercom/intercom.hpp"
+
+namespace intercom::bench {
+
+/// Accumulates collective wall time and the transport.sends delta across the
+/// timed loop, then reports ns/message.
+class PerMessage {
+ public:
+  explicit PerMessage(Multicomputer& mc)
+      : counter_(mc.metrics().counter("transport.sends")) {}
+
+  /// Runs `fn` and adds its wall time and message count to the tally.  The
+  /// counter is sampled around each section because mode setup between
+  /// sections (set_tracing) may reset the registry.
+  template <typename Fn>
+  void timed(Fn&& fn) {
+    const std::uint64_t sends0 = counter_.value();
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    messages_ += counter_.value() - sends0;
+  }
+
+  /// Publishes the ns_per_msg counter on `state`.
+  void report(benchmark::State& state) const {
+    state.counters["ns_per_msg"] = benchmark::Counter(
+        messages_ == 0
+            ? 0.0
+            : static_cast<double>(ns_) / static_cast<double>(messages_));
+  }
+
+ private:
+  const Counter& counter_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t ns_ = 0;
+};
+
+}  // namespace intercom::bench

@@ -1,26 +1,34 @@
 #include "intercom/core/plan_cache.hpp"
 
+// Complete type needed so CachedPlan's shared_ptr<const CompiledPlan> can be
+// destroyed here (eviction, cache destruction).
+#include "intercom/runtime/compiled_plan.hpp"
+
 namespace intercom {
 
-std::shared_ptr<const Schedule> PlanCache::find(const Key& key) const {
+PlanCache::CachedPlan* PlanCache::find(const Key& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
     return nullptr;
   }
   ++hits_;
-  return it->second;
+  return &it->second;
 }
 
-std::shared_ptr<const Schedule> PlanCache::insert(const Key& key,
-                                                  Schedule schedule) {
-  auto shared = std::make_shared<const Schedule>(std::move(schedule));
-  if (capacity_ == 0) return shared;
+PlanCache::CachedPlan& PlanCache::insert(const Key& key, Schedule schedule) {
+  CachedPlan entry;
+  entry.schedule = std::make_shared<const Schedule>(std::move(schedule));
+  if (capacity_ == 0) {
+    overflow_ = std::move(entry);
+    return overflow_;
+  }
   if (entries_.size() >= capacity_ && !entries_.contains(key)) {
     entries_.erase(entries_.begin());
   }
-  entries_[key] = shared;
-  return shared;
+  CachedPlan& slot = entries_[key];
+  slot = std::move(entry);
+  return slot;
 }
 
 }  // namespace intercom

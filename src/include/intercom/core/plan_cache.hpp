@@ -5,6 +5,12 @@
 // can reuse a cached schedule instead of re-running strategy selection and
 // schedule generation.  The Communicator consults a per-instance PlanCache;
 // the cache is not thread-safe (each node thread owns its communicators).
+//
+// An entry carries the planner's Schedule plus, once the runtime has
+// executed it, the CompiledPlan (see runtime/compiled_plan.hpp) — the
+// pre-resolved form that makes a cache-hit execution allocation-free.  The
+// cache itself never compiles; the runtime attaches the compiled form
+// lazily so pure-planning users pay nothing.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +23,8 @@
 
 namespace intercom {
 
+class CompiledPlan;
+
 /// LRU-less bounded cache of planned schedules keyed by the request shape
 /// (the group is fixed per cache instance, so it is not part of the key).
 class PlanCache {
@@ -27,11 +35,21 @@ class PlanCache {
   using Key = std::tuple<Collective, std::size_t /*elems*/,
                          std::size_t /*elem_size*/, int /*root*/>;
 
-  /// Returns the cached schedule or nullptr.
-  std::shared_ptr<const Schedule> find(const Key& key) const;
+  /// One cached plan: the schedule, and (after first execution) its
+  /// compiled form.
+  struct CachedPlan {
+    std::shared_ptr<const Schedule> schedule;
+    std::shared_ptr<const CompiledPlan> compiled;
+  };
 
-  /// Inserts a schedule (evicting arbitrarily at capacity) and returns it.
-  std::shared_ptr<const Schedule> insert(const Key& key, Schedule schedule);
+  /// Returns the cached entry — mutable so the runtime can attach the
+  /// compiled form — or nullptr.  The pointer stays valid until the entry
+  /// is evicted by a later insert.
+  CachedPlan* find(const Key& key);
+
+  /// Inserts a schedule (evicting arbitrarily at capacity) and returns the
+  /// entry; with capacity 0 the entry is not retained beyond the next call.
+  CachedPlan& insert(const Key& key, Schedule schedule);
 
   std::size_t size() const { return entries_.size(); }
   std::size_t hits() const { return hits_; }
@@ -39,9 +57,10 @@ class PlanCache {
 
  private:
   std::size_t capacity_;
-  std::map<Key, std::shared_ptr<const Schedule>> entries_;
-  mutable std::size_t hits_ = 0;
-  mutable std::size_t misses_ = 0;
+  std::map<Key, CachedPlan> entries_;
+  CachedPlan overflow_;  ///< storage for capacity-0 inserts
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
 };
 
 }  // namespace intercom

@@ -1,0 +1,88 @@
+// Size-classed message-buffer pool for the runtime transport.
+//
+// The transport's eager data path stages every payload in a heap buffer
+// between sender and receiver.  Allocating that buffer per message puts
+// malloc — and, for large transfers, fresh-page faults — on the wire hot
+// path.  The pool recycles slabs instead: release() parks a slab on its
+// size class's freelist, acquire() pops one off, so the steady state of an
+// iterative application allocates nothing per message.
+//
+// Slabs are raw byte arrays (never value-initialized: callers overwrite the
+// prefix they asked for, so no memset tax), rounded up to power-of-two size
+// classes from 256 B to 128 MB.  Requests above the largest class fall
+// through to plain heap allocation and are freed on release — they are rare
+// and pooling them would pin unbounded memory.
+//
+// Thread safety: one mutex per size class.  Acquire/release touch only
+// their class's freelist, so senders and receivers of different message
+// sizes never contend, and same-class contention is a short critical
+// section (vector push/pop).  Stats are relaxed atomics.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace intercom {
+
+class BufferPool {
+ public:
+  /// One recyclable slab: `cap` usable bytes (a power-of-two class size, or
+  /// the exact request size for oversized direct allocations).
+  struct Buf {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t cap = 0;
+
+    explicit operator bool() const { return data != nullptr; }
+  };
+
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A slab with cap >= n (contents uninitialized).
+  Buf acquire(std::size_t n);
+
+  /// Returns a slab to its class's freelist (or frees an oversized one).
+  /// Buffers from other pools must not be released here.
+  void release(Buf&& buf);
+
+  /// Steady-state visibility: `allocations` counts slabs created fresh,
+  /// `reuses` counts freelist hits — a warm pool has reuses >> allocations.
+  struct Stats {
+    std::uint64_t allocations = 0;
+    std::uint64_t reuses = 0;
+    std::uint64_t oversized = 0;
+    std::size_t cached_bytes = 0;
+  };
+  Stats stats() const;
+
+  /// Frees every cached slab (keeps stats).  Call only while no
+  /// acquire/release is in flight.
+  void trim();
+
+  /// Smallest slab handed out; sub-256 B messages share one class so tag
+  /// and control traffic recycles perfectly.
+  static constexpr std::size_t kMinClassBytes = 256;
+  /// Largest pooled class (128 MB); bigger requests bypass the pool.
+  static constexpr std::size_t kClassCount = 20;
+
+ private:
+  struct SizeClass {
+    std::mutex mutex;
+    std::vector<Buf> free_list;
+  };
+
+  static std::size_t class_index(std::size_t n);
+  static std::size_t class_bytes(std::size_t index);
+
+  mutable SizeClass classes_[kClassCount];
+  std::atomic<std::uint64_t> allocations_{0};
+  std::atomic<std::uint64_t> reuses_{0};
+  std::atomic<std::uint64_t> oversized_{0};
+};
+
+}  // namespace intercom

@@ -34,6 +34,7 @@
 namespace intercom {
 
 class Communicator;
+class CompiledPlan;
 
 /// Per-thread handle to one node of the multicomputer.
 class Node {
@@ -158,12 +159,17 @@ class Communicator {
   /// Plan-cache state of a traced collective (TraceEvent::a2).
   enum class CacheState : std::uint64_t { kMiss = 0, kHit = 1, kUncached = 2 };
 
-  /// Executes `schedule` and, when the machine's tracer is armed, records a
-  /// collective span (name, algorithm, shape, plan-cache state, and the
-  /// predicted critical-path time of the executed schedule for the
-  /// model-vs-measured report).  `memoize_prediction` must be false for
-  /// schedules without a stable address (the uncached v-variants).
+  /// Executes the plan — through `compiled` with the communicator's
+  /// persistent arena when given (the cached path; allocation-free when the
+  /// arena is warm), else by interpreting `schedule` (the one-shot
+  /// v-variants).  Always updates the machine's collective metrics; when
+  /// the tracer is armed additionally records a collective span (name,
+  /// algorithm, shape, plan-cache state, and the predicted critical-path
+  /// time of the executed schedule for the model-vs-measured report).
+  /// `memoize_prediction` must be false for schedules without a stable
+  /// address (the uncached v-variants).
   void execute_collective(const char* name, const Schedule& schedule,
+                          const CompiledPlan* compiled,
                           std::span<std::byte> buf, std::uint64_t ctx,
                           const ReduceOp* op, std::size_t elems,
                           CacheState cache_state, bool memoize_prediction);
@@ -174,6 +180,16 @@ class Communicator {
   std::uint64_t ctx_base_;
   std::uint64_t seq_ = 0;
   PlanCache cache_;
+  /// Scratch arena for compiled-plan execution, reused across collectives
+  /// (grown to the largest program seen; never shrunk).
+  std::vector<std::byte> arena_;
+  /// Collective metric handles, resolved once at construction — the name
+  /// lookup allocates, so the per-call path must not perform it.
+  Counter* metric_calls_ = nullptr;
+  Histogram* metric_bytes_ = nullptr;
+  Histogram* metric_ns_ = nullptr;
+  Counter* metric_cache_hit_ = nullptr;
+  Counter* metric_cache_miss_ = nullptr;
   /// Predicted critical-path ns by schedule address (plan-cached schedules
   /// have stable addresses for the communicator's lifetime); traced runs
   /// only, so cache hits skip re-running analyze().

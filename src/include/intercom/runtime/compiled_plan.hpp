@@ -1,0 +1,108 @@
+// Compiled form of a Schedule for repeated execution.
+//
+// The Schedule IR is the planner's product: symbolic buffers, per-node
+// programs, debug metadata.  Interpreting it directly costs per call — every
+// execution re-allocates the declared scratch buffers, re-interns the step
+// trace labels, and re-resolves every BufSlice with bounds checks.  On a
+// plan-cache hit those costs are pure overhead: nothing about the schedule
+// changed since the last call.
+//
+// CompiledPlan does that work once, at compile time:
+//
+//   * every scratch buffer of a node program is packed into ONE arena with
+//     precomputed, cache-line-aligned offsets, so execution needs a single
+//     reusable allocation (owned by the Communicator and recycled across
+//     calls — a warm call allocates nothing);
+//   * every BufSlice is pre-resolved to {user-or-arena, offset, length} with
+//     bounds validated at compile time, so execution resolves an operand
+//     with one add;
+//   * the step trace labels are interned once (when a tracer is supplied),
+//     so traced execution stays allocation-free too;
+//   * receive-into-scratch followed by combine-out-of-that-scratch is fused
+//     into a single accumulating receive (the transport folds the payload
+//     into the destination as it lands), dropping the staging copy and the
+//     separate read-modify-write pass from every ring/tree reduction step.
+//
+// execute_compiled() is the runtime's real executor; execute_program() in
+// executor.hpp survives as the compile-and-run convenience for one-shot
+// callers and tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "intercom/ir/schedule.hpp"
+#include "intercom/runtime/reduce.hpp"
+
+namespace intercom {
+
+class Transport;
+class Tracer;
+
+/// One pre-resolved operation: the Op's routing fields plus operand
+/// locations flattened to (which base, offset, length).
+struct COp {
+  OpKind kind = OpKind::kCopy;
+  int peer = -1;   ///< send peer
+  int tag = 0;     ///< send tag
+  int peer2 = -1;  ///< recv peer (kSendRecv only)
+  int tag2 = 0;    ///< recv tag (kSendRecv only)
+  bool src_user = false;  ///< src resolves against the user span (else arena)
+  bool dst_user = false;  ///< dst resolves against the user span (else arena)
+  /// Fused receive+combine (kRecv/kSendRecv only): the payload is folded
+  /// into dst element-wise with the execution's ReduceOp instead of
+  /// overwriting it.  Produced by the compile-time fusion of a receive into
+  /// scratch followed by a combine out of that scratch.
+  bool accumulate = false;
+  std::size_t src_off = 0;
+  std::size_t src_len = 0;
+  std::size_t dst_off = 0;
+  std::size_t dst_len = 0;
+};
+
+/// One node's compiled program.
+struct CProgram {
+  int node = -1;
+  std::vector<COp> ops;
+  std::size_t arena_bytes = 0;  ///< packed scratch requirement
+  std::size_t user_bytes = 0;   ///< minimum user-span length referenced
+};
+
+/// An executable compilation of one Schedule.  Immutable after construction;
+/// safe to share across node threads (the plan cache hands out one instance
+/// to all ranks of a communicator).
+class CompiledPlan {
+ public:
+  /// Compiles `schedule`.  With a non-null `tracer` the five step labels are
+  /// interned now, keeping traced execution off the interner mutex.
+  explicit CompiledPlan(const Schedule& schedule, Tracer* tracer = nullptr);
+
+  /// Compiled program for `node`, or nullptr if it does not participate.
+  const CProgram* find_program(int node) const;
+
+  const std::vector<CProgram>& programs() const { return programs_; }
+
+  /// Largest per-node arena requirement (pre-size one arena for any rank).
+  std::size_t max_arena_bytes() const { return max_arena_bytes_; }
+
+  /// Interned "step:*" label ids, indexed by OpKind (0 = not interned).
+  const std::uint32_t* step_labels() const { return step_labels_; }
+
+ private:
+  std::vector<CProgram> programs_;  // sorted by node id? no: schedule order
+  std::size_t max_arena_bytes_ = 0;
+  std::uint32_t step_labels_[5] = {0, 0, 0, 0, 0};
+};
+
+/// Executes `node`'s compiled program against the transport.  `arena` is the
+/// caller-owned scratch backing store; it is grown to the program's
+/// arena_bytes if needed and its contents are scratch (no zeroing).  A call
+/// whose arena is already large enough performs no allocation.  `reduce` is
+/// required when the program contains combine ops.
+void execute_compiled(Transport& transport, const CompiledPlan& plan,
+                      int node, std::span<std::byte> user, std::uint64_t ctx,
+                      const ReduceOp* reduce, std::vector<std::byte>& arena);
+
+}  // namespace intercom

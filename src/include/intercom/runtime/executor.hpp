@@ -1,10 +1,12 @@
 // Schedule execution on real byte buffers.
 //
-// Interprets one node's program against the Transport: sends/receives move
-// real payloads, combines apply the caller's ReduceOp, copies are memcpys.
+// Runs one node's program against the Transport: sends/receives move real
+// payloads, combines apply the caller's ReduceOp, copies are memcpys.
 // Buffer 0 (kUserBuf) is the caller's data span; higher buffer ids are
-// library-managed scratch allocated per execution from the program's
-// declared sizes.
+// library-managed scratch.  This entry point compiles the schedule and
+// executes it with a throwaway arena — the one-shot path.  Repeat callers
+// should compile once into a CompiledPlan and reuse a persistent arena
+// (compiled_plan.hpp); that is what the Communicator's plan cache does.
 #pragma once
 
 #include <cstdint>

@@ -64,6 +64,11 @@ class Multicomputer {
   void set_retry_policy(int max_retries, long base_rto_ms) {
     transport_.set_retry_policy(max_retries, base_rto_ms);
   }
+  /// Payload size at which sends switch from eager (buffered) to rendezvous
+  /// (sender waits for the posted receive; one copy).  See transport.hpp.
+  void set_rendezvous_threshold(std::size_t bytes) {
+    transport_.set_rendezvous_threshold(bytes);
+  }
 
   /// Runs `body` on every node concurrently (SPMD), one thread per node, and
   /// joins them all.  Fail-fast: the first node whose body throws aborts the

@@ -1,11 +1,32 @@
 // In-process message transport for the threaded multicomputer.
 //
-// One mailbox per node; messages are matched by (source node, context id,
-// tag).  Sends are eager (buffered): the payload is copied into the
-// receiver's mailbox and the sender returns immediately, which strictly
-// weakens the rendezvous blocking the schedules were validated under — any
-// rendezvous-deadlock-free schedule therefore executes correctly here.
-// Receives block until a matching message arrives.
+// Messages are matched by (source node, destination node, context id, tag).
+// The data path is built for the bandwidth-bound regime the paper's
+// building blocks target: the per-message constants — copies, matching
+// cost, wakeup strategy, allocation — are engineered down so the transport
+// measures the algorithms, not itself.
+//
+//  * Sharded channels: each (src, dst) wire owns its own mutex + condvar +
+//    pending-message list.  A deposit wakes only the one peer that can
+//    match it (the old single per-node mailbox woke every receiver on the
+//    node for every arrival), and senders to different destinations never
+//    contend.
+//
+//  * Buffer pool: eager payloads are staged in recycled size-classed slabs
+//    (see buffer_pool.hpp), so the steady state of an iterative
+//    application allocates nothing per message.
+//
+//  * Eager/rendezvous split: payloads below the rendezvous threshold
+//    (set_rendezvous_threshold, default 32 KiB) are sent eagerly — copied
+//    into a pooled slab, then out at the receiver (two copies, never
+//    blocking).  Payloads at or above it rendezvous: the sender waits for
+//    the receiver to post its buffer, then copies sender -> user buffer
+//    directly — one copy, zero intermediate bytes.  A receiver that
+//    arrives first also donates its buffer to small messages, so a posted
+//    eager receive is one copy too.  Rendezvous sends block until the
+//    matching receive is posted, i.e. exactly the rendezvous semantics the
+//    schedules are validated under; simultaneous send/receive steps use
+//    post_recv/wait_recv to post the receive side first.
 //
 // The context id separates concurrent collectives (different communicators
 // or successive operations on one communicator), playing the role MPI gives
@@ -28,19 +49,29 @@
 //    re-issues the sender's logged clean frame (acking a delivery prunes the
 //    log), backing off exponentially up to a bounded retry budget.  Retries
 //    exhausted raises CorruptionError if corrupt frames were seen, else
-//    TimeoutError.  With no injector and reliability unarmed, send/recv take
-//    the original zero-overhead path (one relaxed atomic load added).
+//    TimeoutError.  Because retransmission needs a stable logged copy, the
+//    reliable data plane is always store-and-forward (framed, pooled
+//    slabs); above the rendezvous threshold the handshake survives — the
+//    sender still waits for the posted receive before transmitting, so
+//    both regimes keep their blocking semantics under reliability.  A
+//    frame's checksum is validated once: the parsed sequence number is
+//    cached with the buffered frame, so reorder storms do not re-scan
+//    already-validated future frames.  With no injector and reliability
+//    unarmed, send/recv take the original zero-overhead path (one relaxed
+//    atomic load added).
 //
-//  * Fail-fast abort: abort() poisons every mailbox — all blocked and future
+//  * Fail-fast abort: abort() poisons every channel — all blocked and future
 //    send/recv calls throw AbortedError immediately — so one node's failure
 //    propagates to its peers instead of wedging them in recv forever.
 //
 // Observability (obs/trace.hpp, obs/metrics.hpp): with a Tracer attached and
 // armed, every send/recv records a wire span (bytes, ctx/tag, sequence
-// number) and every receiver-driven retransmission records an instant event;
-// wire counters/histograms go to an attached MetricsRegistry.  Disarmed, the
-// hot path pays one pointer load plus one relaxed atomic load — the same
-// bypass discipline as the reliability layer.
+// number) and every receiver-driven retransmission records an instant event.
+// Wire counters/histograms go to an attached MetricsRegistry *whenever one
+// is attached* — metrics do not require the tracer to be armed (handles are
+// resolved once in set_metrics, so the metered path stays mutex- and
+// allocation-free).  With neither attached, the hot path pays one pointer
+// load plus one relaxed atomic load.
 #pragma once
 
 #include <atomic>
@@ -57,6 +88,8 @@
 #include <utility>
 #include <vector>
 
+#include "intercom/runtime/buffer_pool.hpp"
+
 namespace intercom {
 
 class FaultInjector;
@@ -64,19 +97,20 @@ class MetricsRegistry;
 class Tracer;
 class Counter;
 class Histogram;
+struct ReduceOp;
 
-/// Blocking mailbox transport between `node_count` in-process nodes.
+/// Blocking channel transport between `node_count` in-process nodes.
 class Transport {
  public:
   explicit Transport(int node_count);
 
-  int node_count() const { return static_cast<int>(mailboxes_.size()); }
+  int node_count() const { return node_count_; }
 
-  /// Arms a receive watchdog: any recv() still unmatched after
-  /// `milliseconds` throws intercom::TimeoutError instead of blocking
-  /// forever — turns mismatched collective sequences (the classic
-  /// communicator-misuse bug) into diagnosable failures.  0 disables (the
-  /// default).
+  /// Arms a receive watchdog: any recv() still unmatched — or rendezvous
+  /// send still unclaimed — after `milliseconds` throws
+  /// intercom::TimeoutError instead of blocking forever; turns mismatched
+  /// collective sequences (the classic communicator-misuse bug) into
+  /// diagnosable failures.  0 disables (the default).
   void set_recv_timeout_ms(long milliseconds);
 
   /// Installs (or, with nullptr, removes) a fault injector.  Installing one
@@ -90,6 +124,15 @@ class Transport {
   void set_reliable(bool on) { reliable_ = on; }
   bool reliable() const { return reliable_; }
 
+  /// Payload size (bytes) at which sends switch from eager (buffered,
+  /// non-blocking, two copies) to rendezvous (sender waits for the posted
+  /// receive, one copy).  Call only while no send/recv is in flight.
+  void set_rendezvous_threshold(std::size_t bytes) {
+    rendezvous_threshold_ = bytes;
+  }
+  std::size_t rendezvous_threshold() const { return rendezvous_threshold_; }
+  static constexpr std::size_t kDefaultRendezvousThreshold = 32 * 1024;
+
   /// Retransmission budget: up to `max_retries` re-deliveries per expected
   /// frame, the first after `base_rto_ms`, doubling each time.
   void set_retry_policy(int max_retries, long base_rto_ms);
@@ -102,19 +145,56 @@ class Transport {
 
   /// Clears abort state, all queued messages, and all reliability bookkeeping
   /// so the transport can be reused after a failed run.  Call only while no
-  /// send/recv is in flight.  Keeps the installed injector and knobs.
+  /// send/recv is in flight.  Keeps the installed injector, knobs, and the
+  /// warm buffer pool.
   void reset();
 
-  /// Copies `data` into dst's mailbox under (src, ctx, tag); never blocks
-  /// (an injected delay stalls the sender, modelling a slow outgoing link).
+  /// Delivers `data` to dst under (src, ctx, tag).  Below the rendezvous
+  /// threshold the payload is buffered and the call never blocks (an
+  /// injected delay stalls the sender, modelling a slow outgoing link);
+  /// at or above it the call blocks until the receiver posts the matching
+  /// buffer and copies straight into it.
   void send(int src, int dst, std::uint64_t ctx, int tag,
             std::span<const std::byte> data);
 
   /// Blocks until a message matching (src, ctx, tag) arrives at dst, then
-  /// copies it into `out`.  Throws if the message length differs from the
-  /// buffer length.
+  /// copies (or has the sender copy) it into `out`.  Throws if the message
+  /// length differs from the buffer length.  With `accumulate` the payload
+  /// is folded into `out` element-wise (out = op(out, payload)) instead of
+  /// overwriting it — the executor's fused receive+combine; `accumulate`
+  /// must stay alive until the call returns.
   void recv(int src, int dst, std::uint64_t ctx, int tag,
-            std::span<std::byte> out);
+            std::span<std::byte> out, const ReduceOp* accumulate = nullptr);
+
+  /// Split receive: post_recv registers `out` with the (src, dst) channel
+  /// and returns immediately; wait_recv blocks until the message lands in
+  /// it.  Simultaneous send/receive steps post the receive before issuing
+  /// the (possibly rendezvous-blocking) send — the executor's kSendRecv
+  /// uses exactly this sequence.  One ticket serves one message; the ticket
+  /// must stay alive (same scope) until wait_recv returns.
+  struct PostedRecv {
+    std::span<std::byte> out;
+    /// When non-null, the payload is folded into `out` element-wise instead
+    /// of overwriting it (the fused receive+combine path).
+    const ReduceOp* accumulate = nullptr;
+    int src = -1;
+    int dst = -1;
+    std::uint64_t ctx = 0;
+    int tag = 0;
+    // Transport-internal state, guarded by the channel mutex.
+    bool active = false;    ///< registered with the channel
+    bool consumed = false;  ///< a rendezvous sender claimed this post
+    bool filled = false;    ///< payload delivered directly into `out`
+    std::uint64_t seq = 0;  ///< delivered sequence number (0 = raw path)
+  };
+  void post_recv(PostedRecv& ticket, int src, int dst, std::uint64_t ctx,
+                 int tag, std::span<std::byte> out,
+                 const ReduceOp* accumulate = nullptr);
+  void wait_recv(PostedRecv& ticket);
+  /// Withdraws a posted-but-not-awaited ticket (e.g. when the send half of a
+  /// send/receive step failed and wait_recv will never run).  Safe if the
+  /// ticket was already filled or withdrawn.
+  void cancel_recv(PostedRecv& ticket);
 
   /// Attaches (or, with nullptr, detaches) a tracer.  Wire send/recv spans
   /// and retransmit events are recorded while the tracer is armed; disarmed
@@ -123,92 +203,163 @@ class Transport {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
 
-  /// Attaches a metrics registry; wire counters/histograms are updated
-  /// whenever the attached tracer is armed (metrics piggyback on the same
-  /// enabled check).  Call only while no send/recv is in flight.
+  /// Attaches a metrics registry; wire counters/histograms are updated on
+  /// every send/recv while attached, tracer or no tracer (handles are
+  /// resolved here once so the metered path never takes the registry
+  /// mutex).  Call only while no send/recv is in flight.
   void set_metrics(MetricsRegistry* metrics);
   MetricsRegistry* metrics() const { return metrics_; }
 
+  /// The transport's slab pool (stats / warm-up introspection).
+  const BufferPool& pool() const { return pool_; }
+
   /// Reliability-layer observability (all zero on the bypass path).
+  /// `checksum_validations` counts frames whose checksum was actually
+  /// computed at the receiver — with the validated-seq cache it stays at
+  /// one per delivered frame even under reorder storms.
   struct ReliabilityStats {
     std::uint64_t frames_sent = 0;
     std::uint64_t retransmits = 0;
     std::uint64_t corrupt_discards = 0;
     std::uint64_t duplicate_discards = 0;
+    std::uint64_t checksum_validations = 0;
   };
   ReliabilityStats reliability_stats() const;
 
  private:
-  struct Key {
-    int src;
+  struct CKey {
     std::uint64_t ctx;
     int tag;
-    bool operator==(const Key&) const = default;
+    bool operator==(const CKey&) const = default;
   };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const {
+  struct CKeyHash {
+    std::size_t operator()(const CKey& k) const {
       std::size_t h = std::hash<std::uint64_t>{}(k.ctx);
-      h ^= std::hash<int>{}(k.src) + 0x9e3779b9 + (h << 6) + (h >> 2);
       h ^= std::hash<int>{}(k.tag) + 0x9e3779b9 + (h << 6) + (h >> 2);
       return h;
     }
   };
-  struct Mailbox {
+  /// One buffered message: a pooled slab holding `len` live bytes.  On the
+  /// reliable path `seq`/`validated` cache the one-time checksum parse.
+  struct Msg {
+    BufferPool::Buf buf;
+    std::size_t len = 0;
+    std::uint64_t seq = 0;
+    bool validated = false;
+  };
+  struct MsgNode {
+    CKey key;
+    Msg msg;
+  };
+  /// One (src, dst) wire: private lock, condvar, and matching state, so
+  /// traffic on unrelated wires never contends and a deposit wakes only
+  /// this wire's peer (at most the receiver and one rendezvous sender ever
+  /// wait here).
+  struct Channel {
     std::mutex mutex;
     std::condition_variable cv;
-    std::unordered_map<Key, std::deque<std::vector<std::byte>>, KeyHash>
-        messages;
-    /// Bumped on every deposit; lets reliable receivers wait for "something
-    /// new arrived" without spinning on buffered future-sequence frames.
+    /// Number of threads blocked (or about to block) in a cv wait.
+    /// Incremented under the mutex before waiting, so a notifier that
+    /// changed channel state under the same mutex and then reads 0 knows no
+    /// wakeup is owed — the common case, where skipping notify_all saves a
+    /// futex syscall on every deposit/take.  Atomic because the decrement
+    /// can run after the waiter dropped the lock on an exception path.
+    std::atomic<int> waiters{0};
+    /// Bumped on every deposit/fill/post; lets the reliable receiver wait
+    /// for "something changed" without re-scanning buffered future frames.
     std::uint64_t version = 0;
-    /// Reliable mode: next in-order sequence number per flow at this node.
-    std::unordered_map<Key, std::uint64_t, KeyHash> next_expected;
-    /// Reorder injection: at most one held-back frame per source wire,
+    /// Pending eager messages in arrival order (per-key FIFO = scan from
+    /// the front).  A vector keeps steady state allocation-free: erase
+    /// compacts in place and capacity is retained.
+    std::vector<MsgNode> pending;
+    /// Receiver-posted buffers awaiting direct fill (at most a handful).
+    std::vector<PostedRecv*> posted;
+    /// Reliable mode: next in-order sequence number per flow on this wire.
+    std::unordered_map<CKey, std::uint64_t, CKeyHash> next_expected;
+    /// Reorder injection: at most one held-back frame on this wire,
     /// released behind the wire's next deposit (or a retransmission).
-    std::unordered_map<int, std::deque<std::pair<Key, std::vector<std::byte>>>>
-        limbo;
+    std::deque<MsgNode> limbo;
   };
-  /// Sender-side retransmission log, one per node, keyed by flow.  The Key's
-  /// `src` field holds the *destination* here (source is the owning node).
+  /// Sender-side retransmission log, one per node, keyed by flow
+  /// (dst, ctx, tag).
+  struct FlowKey {
+    int dst;
+    std::uint64_t ctx;
+    int tag;
+    bool operator==(const FlowKey&) const = default;
+  };
+  struct FlowKeyHash {
+    std::size_t operator()(const FlowKey& k) const {
+      std::size_t h = std::hash<std::uint64_t>{}(k.ctx);
+      h ^= std::hash<int>{}(k.dst) + 0x9e3779b9 + (h << 6) + (h >> 2);
+      h ^= std::hash<int>{}(k.tag) + 0x9e3779b9 + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
   struct SendFlow {
     std::uint64_t next_seq = 0;
     std::uint64_t lowest_unacked = 0;
-    std::unordered_map<std::uint64_t, std::vector<std::byte>> unacked;
+    std::unordered_map<std::uint64_t, Msg> unacked;
   };
   struct SenderState {
     std::mutex mutex;
-    std::unordered_map<Key, SendFlow, KeyHash> flows;
+    std::unordered_map<FlowKey, SendFlow, FlowKeyHash> flows;
   };
+
+  Channel& channel(int src, int dst) {
+    return channels_[static_cast<std::size_t>(dst) *
+                         static_cast<std::size_t>(node_count_) +
+                     static_cast<std::size_t>(src)];
+  }
 
   void check_node(int node) const;
   [[noreturn]] void throw_aborted() const;
-  /// Formats the keys still queued at `box` (mutex must be held) so a
-  /// timeout message shows what the stuck node *was* offered.
-  static std::string pending_summary(const Mailbox& box);
-  [[noreturn]] void throw_recv_timeout(const Mailbox& box, int src, int dst,
-                                       std::uint64_t ctx, int tag,
-                                       const char* detail) const;
+  /// Formats the keys still queued for `dst` across all of its channels so
+  /// a timeout message shows what the stuck node *was* offered.  Takes each
+  /// channel's mutex briefly; call without channel locks held.
+  std::string pending_summary(int dst);
+  /// Recent per-node trace tail for timeout diagnostics ("" untraced).
+  std::string trace_tail_summary();
+  /// Both throwers take channel locks internally; call with none held.
+  [[noreturn]] void throw_recv_timeout(int src, int dst, std::uint64_t ctx,
+                                       int tag, const char* detail);
+  [[noreturn]] void throw_send_timeout(int src, int dst, std::uint64_t ctx,
+                                       int tag);
+
+  /// Removes `ticket` from its channel's posted list (channel mutex held).
+  static void unpost_locked(Channel& ch, PostedRecv& ticket);
+  /// Finds the first posted, unconsumed ticket for `key` (mutex held).
+  static PostedRecv* find_posted_locked(Channel& ch, const CKey& key);
+  /// Index of the first pending message for `key`, or npos (mutex held).
+  static std::size_t find_pending_locked(const Channel& ch, const CKey& key);
 
   void raw_send(int src, int dst, std::uint64_t ctx, int tag,
                 std::span<const std::byte> data);
-  void raw_recv(int src, int dst, std::uint64_t ctx, int tag,
-                std::span<std::byte> out);
+  void raw_wait_recv(PostedRecv& ticket);
+  /// Blocks (on the caller-held channel lock) until a posted receive is
+  /// claimable for (ctx, tag) — posted, unconsumed, and with no older
+  /// buffered message for the key still ahead of it in FIFO order — and
+  /// marks it consumed; returns it.  Shared by the unreliable rendezvous
+  /// copy and the reliable rendezvous handshake.
+  PostedRecv& claim_posted(Channel& ch, std::unique_lock<std::mutex>& lock,
+                           int src, int dst, std::uint64_t ctx, int tag);
   /// Returns the one-based sequence number assigned to the frame (for the
   /// wire-event trace; 0 means "raw path, unsequenced").
   std::uint64_t reliable_send(int src, int dst, std::uint64_t ctx, int tag,
                               std::span<const std::byte> data);
   /// Returns the one-based sequence number of the delivered frame.
-  std::uint64_t reliable_recv(int src, int dst, std::uint64_t ctx, int tag,
-                              std::span<std::byte> out);
+  std::uint64_t reliable_wait_recv(PostedRecv& ticket);
   /// Runs one framed delivery attempt through the injector (if any) and
-  /// deposits survivors into dst's mailbox.
-  void deliver_frame(int src, int dst, const Key& key,
-                     std::vector<std::byte> frame, std::uint64_t seq,
-                     std::uint32_t attempt);
+  /// deposits survivors into the (src, dst) channel.
+  void deliver_frame(int src, int dst, const CKey& key, Msg frame,
+                     std::uint64_t seq, std::uint32_t attempt);
 
-  std::vector<Mailbox> mailboxes_;
+  int node_count_;
+  std::vector<Channel> channels_;  ///< dst-major [dst * n + src]
   std::vector<SenderState> senders_;
+  BufferPool pool_;
   long recv_timeout_ms_ = 0;
+  std::size_t rendezvous_threshold_ = kDefaultRendezvousThreshold;
 
   std::shared_ptr<FaultInjector> injector_;
   bool reliable_ = false;
@@ -223,9 +374,10 @@ class Transport {
   std::atomic<std::uint64_t> retransmits_{0};
   std::atomic<std::uint64_t> corrupt_discards_{0};
   std::atomic<std::uint64_t> duplicate_discards_{0};
+  std::atomic<std::uint64_t> checksum_validations_{0};
 
   // Observability (see obs/).  Handles into the registry are resolved once
-  // in set_metrics so the armed path never takes the registry mutex.
+  // in set_metrics so the metered path never takes the registry mutex.
   Tracer* tracer_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
   Counter* metric_sends_ = nullptr;

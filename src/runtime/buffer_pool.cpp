@@ -1,0 +1,78 @@
+#include "intercom/runtime/buffer_pool.hpp"
+
+#include <bit>
+
+namespace intercom {
+
+std::size_t BufferPool::class_index(std::size_t n) {
+  if (n <= kMinClassBytes) return 0;
+  const std::size_t min_width = std::bit_width(kMinClassBytes - 1);
+  return static_cast<std::size_t>(std::bit_width(n - 1)) - min_width;
+}
+
+std::size_t BufferPool::class_bytes(std::size_t index) {
+  return kMinClassBytes << index;
+}
+
+BufferPool::Buf BufferPool::acquire(std::size_t n) {
+  const std::size_t index = class_index(n);
+  if (index >= kClassCount) {
+    oversized_.fetch_add(1, std::memory_order_relaxed);
+    Buf buf;
+    buf.data = std::make_unique<std::byte[]>(n);
+    buf.cap = n;
+    return buf;
+  }
+  SizeClass& cls = classes_[index];
+  {
+    std::lock_guard<std::mutex> lock(cls.mutex);
+    if (!cls.free_list.empty()) {
+      Buf buf = std::move(cls.free_list.back());
+      cls.free_list.pop_back();
+      reuses_.fetch_add(1, std::memory_order_relaxed);
+      return buf;
+    }
+  }
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t bytes = class_bytes(index);
+  Buf buf;
+  // make_unique<std::byte[]> would value-initialize (memset) the slab;
+  // callers overwrite the prefix they use, so skip it.
+  buf.data.reset(new std::byte[bytes]);
+  buf.cap = bytes;
+  return buf;
+}
+
+void BufferPool::release(Buf&& buf) {
+  if (!buf.data) return;
+  const std::size_t index = class_index(buf.cap);
+  if (index >= kClassCount || class_bytes(index) != buf.cap) {
+    buf.data.reset();  // oversized or foreign: free outright
+    buf.cap = 0;
+    return;
+  }
+  SizeClass& cls = classes_[index];
+  std::lock_guard<std::mutex> lock(cls.mutex);
+  cls.free_list.push_back(std::move(buf));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.allocations = allocations_.load(std::memory_order_relaxed);
+  s.reuses = reuses_.load(std::memory_order_relaxed);
+  s.oversized = oversized_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kClassCount; ++i) {
+    std::lock_guard<std::mutex> lock(classes_[i].mutex);
+    s.cached_bytes += classes_[i].free_list.size() * class_bytes(i);
+  }
+  return s;
+}
+
+void BufferPool::trim() {
+  for (std::size_t i = 0; i < kClassCount; ++i) {
+    std::lock_guard<std::mutex> lock(classes_[i].mutex);
+    classes_[i].free_list.clear();
+  }
+}
+
+}  // namespace intercom

@@ -7,12 +7,37 @@
 #include "intercom/ir/analysis.hpp"
 #include "intercom/obs/metrics.hpp"
 #include "intercom/obs/trace.hpp"
+#include "intercom/runtime/compiled_plan.hpp"
 #include "intercom/runtime/executor.hpp"
 #include "intercom/util/error.hpp"
 
 namespace intercom {
 
 namespace {
+
+// Static collective names for trace labels and per-call paths.  The
+// to_string(Collective) overload returns a std::string — most of these names
+// are long enough to defeat the small-string optimization, so calling it per
+// collective would put an allocation on the steady-state path.
+const char* collective_name(Collective collective) {
+  switch (collective) {
+    case Collective::kBroadcast: return "broadcast";
+    case Collective::kScatter: return "scatter";
+    case Collective::kGather: return "gather";
+    case Collective::kCollect: return "collect";
+    case Collective::kCombineToOne: return "combine-to-one";
+    case Collective::kCombineToAll: return "combine-to-all";
+    case Collective::kDistributedCombine: return "distributed-combine";
+  }
+  return "?";
+}
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // FNV-1a over the group membership and color: all members derive the same
 // context namespace without communicating.
@@ -49,6 +74,14 @@ Communicator::Communicator(Multicomputer& machine, Group group, int my_rank,
       ctx_base_(context_base(group_, color)) {
   INTERCOM_REQUIRE(my_rank_ >= 0 && my_rank_ < group_.size(),
                    "communicator rank out of range");
+  // Resolve metric handles once; the registry's name lookup allocates, and
+  // handles are stable for the machine's lifetime.
+  MetricsRegistry& metrics = machine.metrics();
+  metric_calls_ = &metrics.counter("collective.calls");
+  metric_bytes_ = &metrics.histogram("collective.bytes");
+  metric_ns_ = &metrics.histogram("collective.ns");
+  metric_cache_hit_ = &metrics.counter("planner.cache.hit");
+  metric_cache_miss_ = &metrics.counter("planner.cache.miss");
 }
 
 void Communicator::run(Collective collective, std::span<std::byte> buf,
@@ -61,30 +94,61 @@ void Communicator::run(Collective collective, std::span<std::byte> buf,
   // messages are needed (the plan is a pure function of the request).
   // Repeated shapes hit the plan cache.
   const PlanCache::Key key{collective, elems, elem_size, root};
-  std::shared_ptr<const Schedule> schedule = cache_.find(key);
-  const bool cache_hit = schedule != nullptr;
+  PlanCache::CachedPlan* entry = cache_.find(key);
+  const bool cache_hit = entry != nullptr;
   if (!cache_hit) {
-    schedule = cache_.insert(
+    entry = &cache_.insert(
         key, machine_->planner().plan(collective, group_, elems, elem_size,
                                       root));
   }
+  if (!entry->compiled) {
+    // Compile once per cached schedule: slices resolved, scratch packed,
+    // step labels interned.  Every later hit executes this form with the
+    // communicator's persistent arena — no per-call allocation.
+    entry->compiled = std::make_shared<const CompiledPlan>(
+        *entry->schedule, &machine_->tracer());
+  }
   const std::uint64_t ctx = ctx_base_ + seq_++;
-  execute_collective(to_string(collective).c_str(), *schedule, buf, ctx, op,
-                     elems, cache_hit ? CacheState::kHit : CacheState::kMiss,
+  execute_collective(collective_name(collective), *entry->schedule,
+                     entry->compiled.get(), buf, ctx, op, elems,
+                     cache_hit ? CacheState::kHit : CacheState::kMiss,
                      /*memoize_prediction=*/true);
 }
 
 void Communicator::execute_collective(const char* name,
                                       const Schedule& schedule,
+                                      const CompiledPlan* compiled,
                                       std::span<std::byte> buf,
                                       std::uint64_t ctx, const ReduceOp* op,
                                       std::size_t elems,
                                       CacheState cache_state,
                                       bool memoize_prediction) {
   const int node = group_.physical(my_rank_);
+  Transport& transport = machine_->transport();
+  const auto execute = [&] {
+    if (compiled != nullptr) {
+      execute_compiled(transport, *compiled, node, buf, ctx, op, arena_);
+    } else {
+      execute_program(transport, schedule, node, buf, ctx, op);
+    }
+  };
+  const auto update_metrics = [&](std::uint64_t duration_ns) {
+    metric_calls_->inc();
+    metric_bytes_->observe(buf.size());
+    metric_ns_->observe(duration_ns);
+    if (cache_state == CacheState::kHit) {
+      metric_cache_hit_->inc();
+    } else if (cache_state == CacheState::kMiss) {
+      metric_cache_miss_->inc();
+    }
+  };
   Tracer& tracer = machine_->tracer();
   if (!tracer.armed()) {
-    execute_program(machine_->transport(), schedule, node, buf, ctx, op);
+    // Metrics are recorded tracer or no tracer (cached handles, relaxed
+    // atomics — nothing here allocates or takes a lock).
+    const std::uint64_t t0 = mono_ns();
+    execute();
+    update_metrics(mono_ns() - t0);
     return;
   }
   // Predicted critical path of the *executed* schedule — the join key of
@@ -119,20 +183,10 @@ void Communicator::execute_collective(const char* name,
   event.a1 = predicted;
   event.a2 = static_cast<std::uint64_t>(cache_state);
   event.start_ns = tracer.now_ns();
-  execute_program(machine_->transport(), schedule, node, buf, ctx, op);
+  execute();
   event.end_ns = tracer.now_ns();
   tracer.record(node, event);
-
-  MetricsRegistry& metrics = machine_->metrics();
-  metrics.counter("collective.calls").inc();
-  metrics.histogram("collective.bytes").observe(buf.size());
-  metrics.histogram("collective.ns").observe(event.end_ns - event.start_ns);
-  if (cache_state != CacheState::kUncached) {
-    metrics
-        .counter(cache_state == CacheState::kHit ? "planner.cache.hit"
-                                                 : "planner.cache.miss")
-        .inc();
-  }
+  update_metrics(event.end_ns - event.start_ns);
 }
 
 void Communicator::broadcast_bytes(std::span<std::byte> buf,
@@ -184,7 +238,7 @@ void Communicator::scatterv_bytes(std::span<std::byte> buf,
   const Schedule schedule =
       machine_->planner().plan_scatterv(group_, counts, elem_size, root);
   const std::uint64_t ctx = ctx_base_ + seq_++;
-  execute_collective("scatterv", schedule, buf, ctx, nullptr,
+  execute_collective("scatterv", schedule, nullptr, buf, ctx, nullptr,
                      total_elems(counts), CacheState::kUncached,
                      /*memoize_prediction=*/false);
 }
@@ -195,7 +249,7 @@ void Communicator::gatherv_bytes(std::span<std::byte> buf,
   const Schedule schedule =
       machine_->planner().plan_gatherv(group_, counts, elem_size, root);
   const std::uint64_t ctx = ctx_base_ + seq_++;
-  execute_collective("gatherv", schedule, buf, ctx, nullptr,
+  execute_collective("gatherv", schedule, nullptr, buf, ctx, nullptr,
                      total_elems(counts), CacheState::kUncached,
                      /*memoize_prediction=*/false);
 }
@@ -206,7 +260,7 @@ void Communicator::collectv_bytes(std::span<std::byte> buf,
   const Schedule schedule =
       machine_->planner().plan_collectv(group_, counts, elem_size);
   const std::uint64_t ctx = ctx_base_ + seq_++;
-  execute_collective("collectv", schedule, buf, ctx, nullptr,
+  execute_collective("collectv", schedule, nullptr, buf, ctx, nullptr,
                      total_elems(counts), CacheState::kUncached,
                      /*memoize_prediction=*/false);
 }
@@ -217,7 +271,7 @@ void Communicator::reduce_scatterv_bytes(
   const Schedule schedule = machine_->planner().plan_distributed_combinev(
       group_, counts, op.elem_size);
   const std::uint64_t ctx = ctx_base_ + seq_++;
-  execute_collective("reduce_scatterv", schedule, buf, ctx, &op,
+  execute_collective("reduce_scatterv", schedule, nullptr, buf, ctx, &op,
                      total_elems(counts), CacheState::kUncached,
                      /*memoize_prediction=*/false);
 }

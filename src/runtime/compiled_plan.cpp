@@ -1,0 +1,310 @@
+#include "intercom/runtime/compiled_plan.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "intercom/obs/trace.hpp"
+#include "intercom/runtime/transport.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+
+/// Arena packing granularity: cache-line alignment keeps adjacent scratch
+/// buffers of one node from false-sharing with each other (they are touched
+/// only by the owning node's thread, but senders memcpy out of them).
+constexpr std::size_t kArenaAlign = 64;
+
+const char* op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSend: return "send";
+    case OpKind::kRecv: return "recv";
+    case OpKind::kSendRecv: return "sendrecv";
+    case OpKind::kCombine: return "combine";
+    case OpKind::kCopy: return "copy";
+  }
+  return "?";
+}
+
+// Tags a transport/schedule failure with which program step raised it, so a
+// typed error names the op, peer and tag — enough to find the schedule step
+// without a debugger.  AbortedError passes through untouched: it is the
+// fail-fast unwind signal and its message already names the root cause.
+bool ranges_overlap(std::size_t a_off, std::size_t a_len, std::size_t b_off,
+                    std::size_t b_len) {
+  return a_off < b_off + b_len && b_off < a_off + a_len;
+}
+
+bool op_reads_src(OpKind kind) {
+  return kind == OpKind::kSend || kind == OpKind::kSendRecv ||
+         kind == OpKind::kCombine || kind == OpKind::kCopy;
+}
+
+/// Fuses `recv/sendrecv -> scratch` immediately followed by
+/// `combine(that scratch -> dst)` into one accumulating receive: the
+/// transport folds the payload into dst as it lands, so the scratch staging
+/// copy and the separate read-modify-write combine pass disappear.  This is
+/// the inner loop of every ring reduction (bucket_distributed_combine) and
+/// tree combine (mst_combine_to_one).
+///
+/// A pair is fused only when it is sound to do so:
+///   * no surviving op reads the staging scratch range (its contents are
+///     never produced once the pair is fused) — combines of other fused
+///     pairs do not count, since they disappear too (checked to fixpoint,
+///     as disqualifying one pair revives its scratch read);
+///   * for kSendRecv, the combine destination must not overlap the send
+///     source in the same buffer: the fused fold runs while the local send
+///     may still be reading its source, a race the original post-combine
+///     ordering could not have.
+void fuse_recv_combine(std::vector<COp>& ops) {
+  const std::size_t n = ops.size();
+  std::vector<bool> fusable(n, false);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const COp& r = ops[i];
+    const COp& c = ops[i + 1];
+    if (r.kind != OpKind::kRecv && r.kind != OpKind::kSendRecv) continue;
+    if (r.dst_user) continue;  // staging must be scratch
+    if (c.kind != OpKind::kCombine || c.src_user) continue;
+    if (c.src_off != r.dst_off || c.src_len != r.dst_len) continue;
+    if (c.dst_len != r.dst_len) continue;
+    if (r.kind == OpKind::kSendRecv && r.src_user == c.dst_user &&
+        ranges_overlap(r.src_off, r.src_len, c.dst_off, c.dst_len)) {
+      continue;
+    }
+    fusable[i] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if (!fusable[i]) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i + 1) continue;                // the pair's own combine
+        if (j > 0 && fusable[j - 1]) continue;   // a fused pair's combine
+        if (!op_reads_src(ops[j].kind) || ops[j].src_user) continue;
+        if (ranges_overlap(ops[j].src_off, ops[j].src_len, ops[i].dst_off,
+                           ops[i].dst_len)) {
+          fusable[i] = false;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<COp> fused;
+  fused.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    COp op = ops[i];
+    if (fusable[i]) {
+      const COp& c = ops[i + 1];
+      op.accumulate = true;
+      op.dst_user = c.dst_user;
+      op.dst_off = c.dst_off;
+      op.dst_len = c.dst_len;
+      ++i;  // the combine is absorbed
+    }
+    fused.push_back(op);
+  }
+  ops = std::move(fused);
+}
+
+[[noreturn]] void rethrow_with_op_context(int node, std::size_t op_index,
+                                          const COp& op) {
+  std::string where = " [while node " + std::to_string(node) +
+                      " executed op #" + std::to_string(op_index) + " (" +
+                      op_name(op.kind) + ", peer " + std::to_string(op.peer) +
+                      ", tag " + std::to_string(op.tag) + ")]";
+  try {
+    throw;
+  } catch (const AbortedError&) {
+    throw;
+  } catch (const TimeoutError& e) {
+    throw TimeoutError(e.what() + where);
+  } catch (const CorruptionError& e) {
+    throw CorruptionError(e.what() + where);
+  } catch (const Error& e) {
+    throw Error(e.what() + where);
+  }
+}
+
+}  // namespace
+
+CompiledPlan::CompiledPlan(const Schedule& schedule, Tracer* tracer) {
+  if (tracer != nullptr) {
+    step_labels_[static_cast<int>(OpKind::kSend)] = tracer->intern("step:send");
+    step_labels_[static_cast<int>(OpKind::kRecv)] = tracer->intern("step:recv");
+    step_labels_[static_cast<int>(OpKind::kSendRecv)] =
+        tracer->intern("step:sendrecv");
+    step_labels_[static_cast<int>(OpKind::kCombine)] =
+        tracer->intern("step:combine");
+    step_labels_[static_cast<int>(OpKind::kCopy)] = tracer->intern("step:copy");
+  }
+  programs_.reserve(schedule.programs().size());
+  for (const NodeProgram& prog : schedule.programs()) {
+    CProgram cp;
+    cp.node = prog.node;
+    // Pack all declared scratch buffers into one arena, each rounded up to
+    // the alignment quantum so every base offset is kArenaAlign-aligned.
+    std::vector<std::size_t> base(prog.buffer_bytes.size(), 0);
+    std::size_t arena = 0;
+    for (std::size_t b = 1; b < prog.buffer_bytes.size(); ++b) {
+      base[b] = arena;
+      arena += (prog.buffer_bytes[b] + kArenaAlign - 1) & ~(kArenaAlign - 1);
+    }
+    cp.arena_bytes = arena;
+    auto resolve = [&](const BufSlice& slice, bool* is_user, std::size_t* off,
+                       std::size_t* len) {
+      *len = slice.bytes;
+      if (slice.buffer == kUserBuf) {
+        *is_user = true;
+        *off = slice.offset;
+        cp.user_bytes = std::max(cp.user_bytes, slice.offset + slice.bytes);
+        return;
+      }
+      *is_user = false;
+      const auto b = static_cast<std::size_t>(slice.buffer);
+      INTERCOM_CHECK(slice.buffer > 0 && b < prog.buffer_bytes.size());
+      INTERCOM_CHECK(slice.offset + slice.bytes <= prog.buffer_bytes[b]);
+      *off = base[b] + slice.offset;
+    };
+    cp.ops.reserve(prog.ops.size());
+    for (const Op& op : prog.ops) {
+      COp c;
+      c.kind = op.kind;
+      c.peer = op.peer;
+      c.tag = op.tag;
+      c.peer2 = op.peer2;
+      c.tag2 = op.tag2;
+      if (op.kind != OpKind::kRecv) {  // send, sendrecv, combine, copy read src
+        resolve(op.src, &c.src_user, &c.src_off, &c.src_len);
+      }
+      if (op.kind != OpKind::kSend) {  // recv, sendrecv, combine, copy write dst
+        resolve(op.dst, &c.dst_user, &c.dst_off, &c.dst_len);
+      }
+      cp.ops.push_back(c);
+    }
+    fuse_recv_combine(cp.ops);
+    max_arena_bytes_ = std::max(max_arena_bytes_, cp.arena_bytes);
+    programs_.push_back(std::move(cp));
+  }
+}
+
+const CProgram* CompiledPlan::find_program(int node) const {
+  for (const CProgram& prog : programs_) {
+    if (prog.node == node) return &prog;
+  }
+  return nullptr;
+}
+
+void execute_compiled(Transport& transport, const CompiledPlan& plan,
+                      int node, std::span<std::byte> user, std::uint64_t ctx,
+                      const ReduceOp* reduce, std::vector<std::byte>& arena) {
+  const CProgram* prog = plan.find_program(node);
+  if (prog == nullptr) return;
+  INTERCOM_REQUIRE(prog->user_bytes <= user.size(),
+                   "user buffer too small for this schedule");
+  if (arena.size() < prog->arena_bytes) arena.resize(prog->arena_bytes);
+  std::byte* const user_base = user.data();
+  std::byte* const arena_base = arena.data();
+  const auto operand = [&](bool is_user, std::size_t off, std::size_t len) {
+    return std::span<std::byte>((is_user ? user_base : arena_base) + off, len);
+  };
+
+  Tracer* tracer = transport.tracer();
+  const bool traced = tracer != nullptr && tracer->armed();
+  const std::uint32_t* labels = plan.step_labels();
+  std::uint32_t local_labels[5];
+  if (traced && labels[static_cast<int>(OpKind::kSend)] == 0) {
+    // Plan compiled without a tracer: intern the step labels now (cold).
+    local_labels[static_cast<int>(OpKind::kSend)] = tracer->intern("step:send");
+    local_labels[static_cast<int>(OpKind::kRecv)] = tracer->intern("step:recv");
+    local_labels[static_cast<int>(OpKind::kSendRecv)] =
+        tracer->intern("step:sendrecv");
+    local_labels[static_cast<int>(OpKind::kCombine)] =
+        tracer->intern("step:combine");
+    local_labels[static_cast<int>(OpKind::kCopy)] =
+        tracer->intern("step:copy");
+    labels = local_labels;
+  }
+  const auto accumulate_op = [&](const COp& op) -> const ReduceOp* {
+    if (!op.accumulate) return nullptr;
+    INTERCOM_REQUIRE(reduce != nullptr && reduce->fn,
+                     "schedule contains combines but no ReduceOp given");
+    return reduce;
+  };
+  for (std::size_t op_index = 0; op_index < prog->ops.size(); ++op_index) {
+    const COp& op = prog->ops[op_index];
+    const std::uint64_t t0 = traced ? tracer->now_ns() : 0;
+    try {
+      switch (op.kind) {
+        case OpKind::kSend: {
+          transport.send(node, op.peer, ctx, op.tag,
+                         operand(op.src_user, op.src_off, op.src_len));
+          break;
+        }
+        case OpKind::kRecv: {
+          transport.recv(op.peer, node, ctx, op.tag,
+                         operand(op.dst_user, op.dst_off, op.dst_len),
+                         accumulate_op(op));
+          break;
+        }
+        case OpKind::kSendRecv: {
+          // Post the receive before issuing the send: above the rendezvous
+          // threshold the send blocks until the peer's receive is posted,
+          // and validated schedules treat the two halves as simultaneous —
+          // a ring of post-then-send makes progress where send-then-post
+          // would deadlock.
+          Transport::PostedRecv ticket;
+          transport.post_recv(ticket, op.peer2, node, ctx, op.tag2,
+                              operand(op.dst_user, op.dst_off, op.dst_len),
+                              accumulate_op(op));
+          try {
+            transport.send(node, op.peer, ctx, op.tag,
+                           operand(op.src_user, op.src_off, op.src_len));
+          } catch (...) {
+            transport.cancel_recv(ticket);
+            throw;
+          }
+          transport.wait_recv(ticket);
+          break;
+        }
+        case OpKind::kCombine: {
+          INTERCOM_REQUIRE(reduce != nullptr && reduce->fn,
+                           "schedule contains combines but no ReduceOp given");
+          const auto src = operand(op.src_user, op.src_off, op.src_len);
+          const auto dst = operand(op.dst_user, op.dst_off, op.dst_len);
+          reduce->fn(dst.data(), src.data(), src.size());
+          break;
+        }
+        case OpKind::kCopy: {
+          const auto src = operand(op.src_user, op.src_off, op.src_len);
+          const auto dst = operand(op.dst_user, op.dst_off, op.dst_len);
+          if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size());
+          break;
+        }
+      }
+    } catch (const Error&) {
+      rethrow_with_op_context(node, op_index, op);
+    }
+    if (traced) {
+      TraceEvent event;
+      event.kind = EventKind::kStep;
+      event.start_ns = t0;
+      event.end_ns = tracer->now_ns();
+      event.label = labels[static_cast<int>(op.kind)];
+      event.peer = op.peer;
+      event.tag = op.tag;
+      event.ctx = ctx;
+      event.bytes =
+          (op.kind == OpKind::kSend || op.kind == OpKind::kSendRecv)
+              ? op.src_len
+              : op.dst_len;
+      event.a0 = op_index;
+      tracer->record(node, event);
+    }
+  }
+}
+
+}  // namespace intercom

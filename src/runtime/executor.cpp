@@ -1,155 +1,21 @@
 #include "intercom/runtime/executor.hpp"
 
-#include <cstring>
 #include <vector>
 
-#include "intercom/obs/trace.hpp"
-#include "intercom/util/error.hpp"
+#include "intercom/runtime/compiled_plan.hpp"
+#include "intercom/runtime/transport.hpp"
 
 namespace intercom {
-
-namespace {
-
-const char* op_name(OpKind kind) {
-  switch (kind) {
-    case OpKind::kSend: return "send";
-    case OpKind::kRecv: return "recv";
-    case OpKind::kSendRecv: return "sendrecv";
-    case OpKind::kCombine: return "combine";
-    case OpKind::kCopy: return "copy";
-  }
-  return "?";
-}
-
-// Tags a transport/schedule failure with which program step raised it, so a
-// typed error names the op, peer and tag — enough to find the schedule step
-// without a debugger.  AbortedError passes through untouched: it is the
-// fail-fast unwind signal and its message already names the root cause.
-[[noreturn]] void rethrow_with_op_context(int node, std::size_t op_index,
-                                          const Op& op) {
-  std::string where = " [while node " + std::to_string(node) +
-                      " executed op #" + std::to_string(op_index) + " (" +
-                      op_name(op.kind) + ", peer " + std::to_string(op.peer) +
-                      ", tag " + std::to_string(op.tag) + ")]";
-  try {
-    throw;
-  } catch (const AbortedError&) {
-    throw;
-  } catch (const TimeoutError& e) {
-    throw TimeoutError(e.what() + where);
-  } catch (const CorruptionError& e) {
-    throw CorruptionError(e.what() + where);
-  } catch (const Error& e) {
-    throw Error(e.what() + where);
-  }
-}
-
-// Resolves a slice to a concrete byte span over user data or scratch.
-std::span<std::byte> resolve(const BufSlice& slice, std::span<std::byte> user,
-                             std::vector<std::vector<std::byte>>& scratch) {
-  if (slice.buffer == kUserBuf) {
-    INTERCOM_REQUIRE(slice.offset + slice.bytes <= user.size(),
-                     "user buffer too small for this schedule");
-    return user.subspan(slice.offset, slice.bytes);
-  }
-  auto& buf = scratch[static_cast<std::size_t>(slice.buffer)];
-  INTERCOM_CHECK(slice.offset + slice.bytes <= buf.size());
-  return std::span<std::byte>(buf).subspan(slice.offset, slice.bytes);
-}
-
-// Executes one program step against the transport.
-void execute_op(Transport& transport, const Op& op, int node,
-                std::uint64_t ctx, std::span<std::byte> user,
-                std::vector<std::vector<std::byte>>& scratch,
-                const ReduceOp* reduce) {
-  switch (op.kind) {
-    case OpKind::kSend: {
-      const auto src = resolve(op.src, user, scratch);
-      transport.send(node, op.peer, ctx, op.tag, src);
-      break;
-    }
-    case OpKind::kRecv: {
-      const auto dst = resolve(op.dst, user, scratch);
-      transport.recv(op.peer, node, ctx, op.tag, dst);
-      break;
-    }
-    case OpKind::kSendRecv: {
-      // Eager sends never block (the reliability layer keeps them eager:
-      // retransmission is receiver-driven), so issuing the send first
-      // preserves the simultaneous-send-receive semantics without extra
-      // threads.
-      const auto src = resolve(op.src, user, scratch);
-      transport.send(node, op.peer, ctx, op.tag, src);
-      const auto dst = resolve(op.dst, user, scratch);
-      transport.recv(op.peer2, node, ctx, op.tag2, dst);
-      break;
-    }
-    case OpKind::kCombine: {
-      INTERCOM_REQUIRE(reduce != nullptr && reduce->fn,
-                       "schedule contains combines but no ReduceOp given");
-      const auto src = resolve(op.src, user, scratch);
-      const auto dst = resolve(op.dst, user, scratch);
-      reduce->fn(dst.data(), src.data(), src.size());
-      break;
-    }
-    case OpKind::kCopy: {
-      const auto src = resolve(op.src, user, scratch);
-      const auto dst = resolve(op.dst, user, scratch);
-      if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size());
-      break;
-    }
-  }
-}
-
-}  // namespace
 
 void execute_program(Transport& transport, const Schedule& schedule, int node,
                      std::span<std::byte> user, std::uint64_t ctx,
                      const ReduceOp* reduce) {
-  const NodeProgram* prog = schedule.find_program(node);
-  if (prog == nullptr) return;
-  // Allocate declared scratch buffers (index 0 is the user span).
-  std::vector<std::vector<std::byte>> scratch(prog->buffer_bytes.size());
-  for (std::size_t b = 1; b < prog->buffer_bytes.size(); ++b) {
-    scratch[b].resize(prog->buffer_bytes[b]);
-  }
-  // Step spans: one per schedule op, nesting the wire events the op's
-  // sends/receives record.  Labels are interned once per program execution
-  // (cold), the per-op recording is lock-free.
-  Tracer* tracer = transport.tracer();
-  const bool traced = tracer != nullptr && tracer->armed();
-  std::uint32_t step_labels[5] = {0, 0, 0, 0, 0};
-  if (traced) {
-    step_labels[static_cast<int>(OpKind::kSend)] = tracer->intern("step:send");
-    step_labels[static_cast<int>(OpKind::kRecv)] = tracer->intern("step:recv");
-    step_labels[static_cast<int>(OpKind::kSendRecv)] =
-        tracer->intern("step:sendrecv");
-    step_labels[static_cast<int>(OpKind::kCombine)] =
-        tracer->intern("step:combine");
-    step_labels[static_cast<int>(OpKind::kCopy)] = tracer->intern("step:copy");
-  }
-  for (std::size_t op_index = 0; op_index < prog->ops.size(); ++op_index) {
-    const Op& op = prog->ops[op_index];
-    const std::uint64_t t0 = traced ? tracer->now_ns() : 0;
-    try {
-      execute_op(transport, op, node, ctx, user, scratch, reduce);
-    } catch (const Error&) {
-      rethrow_with_op_context(node, op_index, op);
-    }
-    if (traced) {
-      TraceEvent event;
-      event.kind = EventKind::kStep;
-      event.start_ns = t0;
-      event.end_ns = tracer->now_ns();
-      event.label = step_labels[static_cast<int>(op.kind)];
-      event.peer = op.peer;
-      event.tag = op.tag;
-      event.ctx = ctx;
-      event.bytes = op.has_send() ? op.src.bytes : op.dst.bytes;
-      event.a0 = op_index;
-      tracer->record(node, event);
-    }
-  }
+  // One-shot convenience: compile, run, discard.  Repeat callers (the
+  // Communicator's cached collectives) compile once and keep a persistent
+  // arena instead — see compiled_plan.hpp.
+  const CompiledPlan plan(schedule, transport.tracer());
+  std::vector<std::byte> arena;
+  execute_compiled(transport, plan, node, user, ctx, reduce, arena);
 }
 
 }  // namespace intercom

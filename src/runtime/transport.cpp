@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <sstream>
 #include <thread>
 
 #include "intercom/obs/metrics.hpp"
 #include "intercom/obs/trace.hpp"
 #include "intercom/runtime/fault.hpp"
+#include "intercom/runtime/reduce.hpp"
 #include "intercom/util/error.hpp"
 
 namespace intercom {
@@ -29,6 +31,61 @@ constexpr std::size_t kHeaderBytes = sizeof(FrameHeader);
 constexpr long kMaxRtoMs = 1000;
 /// Trace events shown per node in the recv-timeout diagnostic.
 constexpr std::size_t kTimeoutTraceTail = 6;
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+
+/// Counts a thread in a channel's cv-wait for the scope of the wait.  Must
+/// be constructed with the channel mutex held; the destructor may run after
+/// the lock was dropped (exception paths), which is why the count is atomic.
+class WaiterScope {
+ public:
+  explicit WaiterScope(std::atomic<int>& waiters) : waiters_(waiters) {
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~WaiterScope() { waiters_.fetch_sub(1, std::memory_order_relaxed); }
+  WaiterScope(const WaiterScope&) = delete;
+  WaiterScope& operator=(const WaiterScope&) = delete;
+
+ private:
+  std::atomic<int>& waiters_;
+};
+
+/// Yield-spin budget used before parking on a channel condition variable.
+/// The runtime's ring/tree schedules hand messages between threads in
+/// lockstep, so the predicate a waiter blocks on is usually satisfied by the
+/// very next thread the scheduler runs; a few sched_yields let that happen
+/// without paying a futex sleep on this side and a futex wake on the peer's
+/// (the waiter never registers in Channel::waiters, so the notify is
+/// skipped).  Only used when no receive timeout is configured — yields take
+/// unbounded wall time under load and must not eat into a deadline.
+constexpr int kSpinYields = 32;
+
+/// Re-checks `pred` (which must be evaluated under `lock`) across a bounded
+/// run of sched_yields.  Returns true as soon as the predicate holds; false
+/// means the caller should park on the condition variable.
+template <typename Pred>
+bool spin_for(std::unique_lock<std::mutex>& lock, Pred&& pred) {
+  for (int i = 0; i < kSpinYields; ++i) {
+    if (pred()) return true;
+    lock.unlock();
+    std::this_thread::yield();
+    lock.lock();
+  }
+  return pred();
+}
+
+/// Lands a payload in a posted receive buffer: plain copy, or element-wise
+/// fold (out = op(out, payload)) when the receive carries an accumulate op —
+/// the executor's fused receive+combine, which skips the scratch staging
+/// pass entirely.
+void land(std::span<std::byte> out, const std::byte* payload, std::size_t n,
+          const ReduceOp* accumulate) {
+  if (n == 0) return;
+  if (accumulate != nullptr) {
+    accumulate->fn(out.data(), payload, n);
+  } else {
+    std::memcpy(out.data(), payload, n);
+  }
+}
 
 // Payload checksum.  Byte-wise FNV costs ~4 cycles/byte (serial multiply
 // chain) which dominates large transfers; four independent 64-bit lanes keep
@@ -63,35 +120,46 @@ std::uint64_t payload_checksum(std::span<const std::byte> data) {
   return h ^ (h >> 32);
 }
 
-std::vector<std::byte> build_frame(std::uint64_t seq,
-                                   std::span<const std::byte> payload) {
-  std::vector<std::byte> frame(kHeaderBytes + payload.size());
+/// Writes a framed copy of `payload` into `frame.buf` (already sized).
+void write_frame(std::byte* dest, std::uint64_t seq,
+                 std::span<const std::byte> payload) {
   FrameHeader header{kFrameMagic, 0, seq, payload_checksum(payload)};
-  std::memcpy(frame.data(), &header, kHeaderBytes);
+  std::memcpy(dest, &header, kHeaderBytes);
   if (!payload.empty()) {
-    std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
+    std::memcpy(dest + kHeaderBytes, payload.data(), payload.size());
   }
-  return frame;
 }
 
-/// Parses and integrity-checks a frame; returns false on bad magic, short
-/// frame, or checksum mismatch.
-bool parse_frame(const std::vector<std::byte>& frame, std::uint64_t* seq) {
-  if (frame.size() < kHeaderBytes) return false;
+/// Monotonic timestamp for the metered-but-untraced path (the tracer has its
+/// own epoch-relative clock; only differences are ever used).
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// Parses and integrity-checks a buffered frame; returns false on bad magic,
+/// short frame, or checksum mismatch.
+static bool parse_frame(const std::byte* data, std::size_t len,
+                        std::uint64_t* seq) {
+  if (len < kHeaderBytes) return false;
   FrameHeader header;
-  std::memcpy(&header, frame.data(), kHeaderBytes);
+  std::memcpy(&header, data, kHeaderBytes);
   if (header.magic != kFrameMagic) return false;
-  const std::span<const std::byte> payload(frame.data() + kHeaderBytes,
-                                           frame.size() - kHeaderBytes);
+  const std::span<const std::byte> payload(data + kHeaderBytes,
+                                           len - kHeaderBytes);
   if (header.checksum != payload_checksum(payload)) return false;
   *seq = header.seq;
   return true;
 }
 
-}  // namespace
-
 Transport::Transport(int node_count)
-    : mailboxes_(static_cast<std::size_t>(node_count)),
+    : node_count_(node_count),
+      channels_(static_cast<std::size_t>(node_count) *
+                static_cast<std::size_t>(node_count)),
       senders_(static_cast<std::size_t>(node_count)) {
   INTERCOM_REQUIRE(node_count >= 1, "transport needs at least one node");
 }
@@ -125,11 +193,11 @@ void Transport::abort(const std::string& reason) {
     }
   }
   aborted_.store(true, std::memory_order_release);
-  // Lock each mailbox mutex before notifying so a receiver either sees the
+  // Lock each channel mutex before notifying so a waiter either sees the
   // flag before blocking or is woken by the notification — no lost wakeup.
-  for (Mailbox& box : mailboxes_) {
-    { std::lock_guard<std::mutex> lock(box.mutex); }
-    box.cv.notify_all();
+  for (Channel& ch : channels_) {
+    { std::lock_guard<std::mutex> lock(ch.mutex); }
+    ch.cv.notify_all();
   }
 }
 
@@ -170,15 +238,22 @@ void Transport::reset() {
   retransmits_.store(0, std::memory_order_relaxed);
   corrupt_discards_.store(0, std::memory_order_relaxed);
   duplicate_discards_.store(0, std::memory_order_relaxed);
-  for (Mailbox& box : mailboxes_) {
-    std::lock_guard<std::mutex> lock(box.mutex);
-    box.messages.clear();
-    box.next_expected.clear();
-    box.limbo.clear();
-    ++box.version;
+  checksum_validations_.store(0, std::memory_order_relaxed);
+  for (Channel& ch : channels_) {
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    for (MsgNode& node : ch.pending) pool_.release(std::move(node.msg.buf));
+    ch.pending.clear();
+    for (MsgNode& node : ch.limbo) pool_.release(std::move(node.msg.buf));
+    ch.limbo.clear();
+    ch.posted.clear();  // no call in flight, so these are dead registrations
+    ch.next_expected.clear();
+    ++ch.version;
   }
   for (SenderState& sender : senders_) {
     std::lock_guard<std::mutex> lock(sender.mutex);
+    for (auto& [key, flow] : sender.flows) {
+      for (auto& [seq, msg] : flow.unacked) pool_.release(std::move(msg.buf));
+    }
     sender.flows.clear();
   }
 }
@@ -189,51 +264,110 @@ Transport::ReliabilityStats Transport::reliability_stats() const {
   s.retransmits = retransmits_.load(std::memory_order_relaxed);
   s.corrupt_discards = corrupt_discards_.load(std::memory_order_relaxed);
   s.duplicate_discards = duplicate_discards_.load(std::memory_order_relaxed);
+  s.checksum_validations =
+      checksum_validations_.load(std::memory_order_relaxed);
   return s;
 }
 
-std::string Transport::pending_summary(const Mailbox& box) {
-  if (box.messages.empty()) return "none";
+void Transport::unpost_locked(Channel& ch, PostedRecv& ticket) {
+  if (!ticket.active) return;
+  auto it = std::find(ch.posted.begin(), ch.posted.end(), &ticket);
+  if (it != ch.posted.end()) ch.posted.erase(it);
+  ticket.active = false;
+}
+
+Transport::PostedRecv* Transport::find_posted_locked(Channel& ch,
+                                                     const CKey& key) {
+  for (PostedRecv* ticket : ch.posted) {
+    if (!ticket->consumed && ticket->ctx == key.ctx && ticket->tag == key.tag) {
+      return ticket;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t Transport::find_pending_locked(const Channel& ch,
+                                           const CKey& key) {
+  for (std::size_t i = 0; i < ch.pending.size(); ++i) {
+    if (ch.pending[i].key == key) return i;
+  }
+  return kNpos;
+}
+
+std::string Transport::pending_summary(int dst) {
   std::ostringstream os;
   std::size_t listed = 0;
-  for (const auto& [key, queue] : box.messages) {
-    if (listed == 16) {
-      os << " ... +" << (box.messages.size() - listed) << " more";
-      break;
+  for (int src = 0; src < node_count_; ++src) {
+    Channel& ch = channel(src, dst);
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    // Aggregate this wire's queue by (ctx, tag); the queues are short (a few
+    // in-flight messages) so the quadratic grouping is irrelevant.
+    std::vector<std::pair<CKey, std::size_t>> counts;
+    for (const MsgNode& node : ch.pending) {
+      bool found = false;
+      for (auto& entry : counts) {
+        if (entry.first == node.key) {
+          ++entry.second;
+          found = true;
+          break;
+        }
+      }
+      if (!found) counts.emplace_back(node.key, 1);
     }
-    if (listed != 0) os << ", ";
-    os << "{src=" << key.src << " ctx=" << key.ctx << " tag=" << key.tag
-       << " n=" << queue.size() << "}";
-    ++listed;
+    for (const auto& [key, n] : counts) {
+      if (listed == 16) {
+        os << " ... (truncated)";
+        return os.str();
+      }
+      if (listed != 0) os << ", ";
+      os << "{src=" << src << " ctx=" << key.ctx << " tag=" << key.tag
+         << " n=" << n << "}";
+      ++listed;
+    }
   }
+  if (listed == 0) return "none";
   return os.str();
 }
 
-void Transport::throw_recv_timeout(const Mailbox& box, int src, int dst,
-                                   std::uint64_t ctx, int tag,
-                                   const char* detail) const {
-  std::ostringstream os;
-  os << "receive timed out at node " << dst << " waiting for node " << src
-     << " ctx " << ctx << " tag " << tag << detail
-     << " (mismatched collective sequence?); pending messages at node " << dst
-     << ": " << pending_summary(box);
+std::string Transport::trace_tail_summary() {
+  Tracer* tracer = tracer_;
+  if (tracer == nullptr || !tracer->armed()) return "";
   // With tracing armed, show what every node last *did* — a wedged
   // collective is diagnosed from the victims' recent history, not just from
   // what the stuck node was offered.  The tail read is race-safe against
   // still-running peers (see NodeTraceBuffer::tail).
-  if (Tracer* tracer = tracer_; tracer != nullptr && tracer->armed()) {
-    os << "; recent trace (last " << kTimeoutTraceTail << " events/node):";
-    for (int node = 0; node < node_count(); ++node) {
-      const NodeTraceBuffer* buffer = tracer->buffer(node);
-      if (buffer == nullptr) continue;
-      os << "\n  node " << node << ":";
-      const std::vector<TraceEvent> tail = buffer->tail(kTimeoutTraceTail);
-      if (tail.empty()) os << " (no events)";
-      for (const TraceEvent& event : tail) {
-        os << "\n    " << tracer->describe(event);
-      }
+  std::ostringstream os;
+  os << "; recent trace (last " << kTimeoutTraceTail << " events/node):";
+  for (int node = 0; node < node_count(); ++node) {
+    const NodeTraceBuffer* buffer = tracer->buffer(node);
+    if (buffer == nullptr) continue;
+    os << "\n  node " << node << ":";
+    const std::vector<TraceEvent> tail = buffer->tail(kTimeoutTraceTail);
+    if (tail.empty()) os << " (no events)";
+    for (const TraceEvent& event : tail) {
+      os << "\n    " << tracer->describe(event);
     }
   }
+  return os.str();
+}
+
+void Transport::throw_recv_timeout(int src, int dst, std::uint64_t ctx,
+                                   int tag, const char* detail) {
+  std::ostringstream os;
+  os << "receive timed out at node " << dst << " waiting for node " << src
+     << " ctx " << ctx << " tag " << tag << detail
+     << " (mismatched collective sequence?); pending messages at node " << dst
+     << ": " << pending_summary(dst) << trace_tail_summary();
+  throw TimeoutError(os.str());
+}
+
+void Transport::throw_send_timeout(int src, int dst, std::uint64_t ctx,
+                                   int tag) {
+  std::ostringstream os;
+  os << "rendezvous send timed out at node " << src << ": node " << dst
+     << " never posted a matching receive for ctx " << ctx << " tag " << tag
+     << " (mismatched collective sequence?); pending messages at node " << dst
+     << ": " << pending_summary(dst) << trace_tail_summary();
   throw TimeoutError(os.str());
 }
 
@@ -249,227 +383,436 @@ void Transport::send(int src, int dst, std::uint64_t ctx, int tag,
                          " fail-stopped (send budget exhausted)");
     }
   }
-  // Disarmed cost: one pointer load + one relaxed atomic load (the same
+  // Disarmed cost: two pointer loads + one relaxed atomic load (the same
   // bypass discipline as the reliability layer's `reliable_` check).
+  // Metrics and tracing are independent: an attached registry is updated
+  // whether or not the tracer is armed.
   Tracer* tracer = tracer_;
   const bool traced = tracer != nullptr && tracer->armed();
-  const std::uint64_t t0 = traced ? tracer->now_ns() : 0;
+  const bool metered = metric_sends_ != nullptr;
+  std::uint64_t t0 = 0;
+  if (traced) {
+    t0 = tracer->now_ns();
+  } else if (metered) {
+    t0 = mono_ns();
+  }
   std::uint64_t seq = 0;
   if (reliable_) {
     seq = reliable_send(src, dst, ctx, tag, data);
   } else {
     raw_send(src, dst, ctx, tag, data);
   }
-  if (traced) {
-    TraceEvent event;
-    event.kind = EventKind::kSend;
-    event.start_ns = t0;
-    event.end_ns = tracer->now_ns();
-    event.peer = dst;
-    event.ctx = ctx;
-    event.tag = tag;
-    event.bytes = data.size();
-    event.seq = seq;
-    tracer->record(src, event);
-    if (metric_sends_ != nullptr) {
+  if (traced || metered) {
+    const std::uint64_t t1 = traced ? tracer->now_ns() : mono_ns();
+    if (traced) {
+      TraceEvent event;
+      event.kind = EventKind::kSend;
+      event.start_ns = t0;
+      event.end_ns = t1;
+      event.peer = dst;
+      event.ctx = ctx;
+      event.tag = tag;
+      event.bytes = data.size();
+      event.seq = seq;
+      tracer->record(src, event);
+    }
+    if (metered) {
       metric_sends_->inc();
       metric_send_bytes_->observe(data.size());
-      metric_send_ns_->observe(event.end_ns - t0);
+      metric_send_ns_->observe(t1 - t0);
     }
   }
 }
 
 void Transport::recv(int src, int dst, std::uint64_t ctx, int tag,
-                     std::span<std::byte> out) {
+                     std::span<std::byte> out, const ReduceOp* accumulate) {
+  PostedRecv ticket;
+  post_recv(ticket, src, dst, ctx, tag, out, accumulate);
+  wait_recv(ticket);
+}
+
+void Transport::post_recv(PostedRecv& ticket, int src, int dst,
+                          std::uint64_t ctx, int tag, std::span<std::byte> out,
+                          const ReduceOp* accumulate) {
   check_node(src);
   check_node(dst);
   if (aborted_.load(std::memory_order_relaxed)) throw_aborted();
+  ticket.out = out;
+  ticket.accumulate = accumulate;
+  ticket.src = src;
+  ticket.dst = dst;
+  ticket.ctx = ctx;
+  ticket.tag = tag;
+  ticket.active = false;
+  ticket.consumed = false;
+  ticket.filled = false;
+  ticket.seq = 0;
+  Channel& ch = channel(src, dst);
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    ch.posted.push_back(&ticket);
+    ticket.active = true;
+    ++ch.version;
+    wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  }
+  // Wakes a rendezvous sender blocked waiting for this buffer.
+  if (wake) ch.cv.notify_all();
+}
+
+void Transport::wait_recv(PostedRecv& ticket) {
   Tracer* tracer = tracer_;
   const bool traced = tracer != nullptr && tracer->armed();
-  const std::uint64_t t0 = traced ? tracer->now_ns() : 0;
-  std::uint64_t seq = 0;
-  if (reliable_) {
-    seq = reliable_recv(src, dst, ctx, tag, out);
-  } else {
-    raw_recv(src, dst, ctx, tag, out);
-  }
+  const bool metered = metric_recvs_ != nullptr;
+  std::uint64_t t0 = 0;
   if (traced) {
-    TraceEvent event;
-    event.kind = EventKind::kRecv;
-    event.start_ns = t0;
-    event.end_ns = tracer->now_ns();
-    event.peer = src;
-    event.ctx = ctx;
-    event.tag = tag;
-    event.bytes = out.size();
-    event.seq = seq;
-    tracer->record(dst, event);
-    if (metric_recvs_ != nullptr) {
+    t0 = tracer->now_ns();
+  } else if (metered) {
+    t0 = mono_ns();
+  }
+  if (reliable_) {
+    ticket.seq = reliable_wait_recv(ticket);
+  } else {
+    raw_wait_recv(ticket);
+  }
+  if (traced || metered) {
+    const std::uint64_t t1 = traced ? tracer->now_ns() : mono_ns();
+    if (traced) {
+      TraceEvent event;
+      event.kind = EventKind::kRecv;
+      event.start_ns = t0;
+      event.end_ns = t1;
+      event.peer = ticket.src;
+      event.ctx = ticket.ctx;
+      event.tag = ticket.tag;
+      event.bytes = ticket.out.size();
+      event.seq = ticket.seq;
+      tracer->record(ticket.dst, event);
+    }
+    if (metered) {
       metric_recvs_->inc();
-      metric_recv_ns_->observe(event.end_ns - t0);
+      metric_recv_ns_->observe(t1 - t0);
     }
   }
 }
 
-void Transport::raw_send(int src, int dst, std::uint64_t ctx, int tag,
-                         std::span<const std::byte> data) {
-  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
-  std::vector<std::byte> payload(data.begin(), data.end());
-  {
-    std::lock_guard<std::mutex> lock(box.mutex);
-    box.messages[Key{src, ctx, tag}].push_back(std::move(payload));
-    ++box.version;
-  }
-  box.cv.notify_all();
+void Transport::cancel_recv(PostedRecv& ticket) {
+  if (ticket.src < 0) return;
+  Channel& ch = channel(ticket.src, ticket.dst);
+  std::lock_guard<std::mutex> lock(ch.mutex);
+  unpost_locked(ch, ticket);
 }
 
-void Transport::raw_recv(int src, int dst, std::uint64_t ctx, int tag,
-                         std::span<std::byte> out) {
-  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
-  const Key key{src, ctx, tag};
-  std::unique_lock<std::mutex> lock(box.mutex);
-  auto ready = [&] {
+Transport::PostedRecv& Transport::claim_posted(
+    Channel& ch, std::unique_lock<std::mutex>& lock, int src, int dst,
+    std::uint64_t ctx, int tag) {
+  const CKey key{ctx, tag};
+  PostedRecv* ticket = nullptr;
+  // A ticket is claimable only when no older buffered message for the key is
+  // still queued ahead of it: per-key FIFO means that message belongs to the
+  // receive the ticket was posted for, so a rendezvous payload sneaking into
+  // the buffer first would be delivered out of order.
+  auto pred = [&] {
     if (aborted_.load(std::memory_order_relaxed)) return true;
-    auto it = box.messages.find(key);
-    return it != box.messages.end() && !it->second.empty();
+    if (find_pending_locked(ch, key) != kNpos) return false;
+    ticket = find_posted_locked(ch, key);
+    return ticket != nullptr;
   };
-  if (recv_timeout_ms_ > 0) {
-    const bool arrived = box.cv.wait_for(
-        lock, std::chrono::milliseconds(recv_timeout_ms_), ready);
-    if (!arrived) throw_recv_timeout(box, src, dst, ctx, tag, "");
-  } else {
-    box.cv.wait(lock, ready);
+  {
+    if (recv_timeout_ms_ > 0) {
+      WaiterScope waiting(ch.waiters);
+      const bool posted = ch.cv.wait_for(
+          lock, std::chrono::milliseconds(recv_timeout_ms_), pred);
+      if (!posted) {
+        lock.unlock();
+        throw_send_timeout(src, dst, ctx, tag);
+      }
+    } else if (!spin_for(lock, pred)) {
+      WaiterScope waiting(ch.waiters);
+      ch.cv.wait(lock, pred);
+    }
   }
   if (aborted_.load(std::memory_order_relaxed)) throw_aborted();
-  auto it = box.messages.find(key);
-  std::vector<std::byte> payload = std::move(it->second.front());
-  it->second.pop_front();
-  if (it->second.empty()) box.messages.erase(it);
-  lock.unlock();
-  INTERCOM_REQUIRE(payload.size() == out.size(),
-                   "received message length does not match the posted buffer");
-  if (!payload.empty()) {
-    std::memcpy(out.data(), payload.data(), payload.size());
+  ticket->consumed = true;
+  return *ticket;
+}
+
+void Transport::raw_send(int src, int dst, std::uint64_t ctx, int tag,
+                         std::span<const std::byte> data) {
+  Channel& ch = channel(src, dst);
+  const CKey key{ctx, tag};
+  if (data.size() >= rendezvous_threshold_) {
+    // Rendezvous: wait for the receiver's posted buffer and copy straight
+    // into it — one copy, no intermediate slab.  The copy happens under the
+    // channel lock, but the only threads that ever take this lock are the
+    // receiver (blocked until we finish anyway) and this sender.
+    std::unique_lock<std::mutex> lock(ch.mutex);
+    PostedRecv& ticket = claim_posted(ch, lock, src, dst, ctx, tag);
+    if (ticket.out.size() == data.size()) {
+      land(ticket.out, data.data(), data.size(), ticket.accumulate);
+      ticket.filled = true;
+      unpost_locked(ch, ticket);
+      ++ch.version;
+      const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+      lock.unlock();
+      if (wake) ch.cv.notify_all();
+      return;
+    }
+    // Length mismatch: un-claim the ticket and fall through to an eager
+    // deposit; the receiver raises the mismatch error when it takes the
+    // message (same failure surface as the eager path).
+    ticket.consumed = false;
   }
+  {
+    std::unique_lock<std::mutex> lock(ch.mutex);
+    // Opportunistic direct fill: if the receive is already posted and no
+    // older message for the key is queued ahead, skip the slab entirely —
+    // a posted eager receive is one copy, same as rendezvous.
+    PostedRecv* ticket = find_posted_locked(ch, key);
+    if (ticket != nullptr && ticket->out.size() == data.size() &&
+        find_pending_locked(ch, key) == kNpos) {
+      land(ticket->out, data.data(), data.size(), ticket->accumulate);
+      ticket->consumed = true;
+      ticket->filled = true;
+      unpost_locked(ch, *ticket);
+      ++ch.version;
+      const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+      lock.unlock();
+      if (wake) ch.cv.notify_all();
+      return;
+    }
+  }
+  // Eager deposit: stage the payload in a pooled slab (allocation-free once
+  // the pool is warm) outside the lock, then hand it to the channel.
+  Msg msg;
+  msg.buf = pool_.acquire(data.size());
+  msg.len = data.size();
+  if (!data.empty()) {
+    std::memcpy(msg.buf.data.get(), data.data(), data.size());
+  }
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    ch.pending.push_back(MsgNode{key, std::move(msg)});
+    ++ch.version;
+    wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  }
+  if (wake) ch.cv.notify_all();
+}
+
+void Transport::raw_wait_recv(PostedRecv& ticket) {
+  Channel& ch = channel(ticket.src, ticket.dst);
+  const CKey key{ticket.ctx, ticket.tag};
+  std::unique_lock<std::mutex> lock(ch.mutex);
+  std::size_t index = kNpos;
+  auto ready = [&] {
+    if (aborted_.load(std::memory_order_relaxed)) return true;
+    if (ticket.filled) return true;
+    index = find_pending_locked(ch, key);
+    return index != kNpos;
+  };
+  {
+    if (recv_timeout_ms_ > 0) {
+      WaiterScope waiting(ch.waiters);
+      const bool arrived = ch.cv.wait_for(
+          lock, std::chrono::milliseconds(recv_timeout_ms_), ready);
+      if (!arrived) {
+        unpost_locked(ch, ticket);
+        lock.unlock();
+        throw_recv_timeout(ticket.src, ticket.dst, ticket.ctx, ticket.tag, "");
+      }
+    } else if (!spin_for(lock, ready)) {
+      WaiterScope waiting(ch.waiters);
+      ch.cv.wait(lock, ready);
+    }
+  }
+  if (aborted_.load(std::memory_order_relaxed)) {
+    unpost_locked(ch, ticket);
+    lock.unlock();
+    throw_aborted();
+  }
+  if (ticket.filled) return;  // the sender copied in place and unposted us
+  // Queue path: take the oldest matching message; withdraw the posted buffer
+  // (it served its purpose as a rendezvous landing pad that never matched).
+  unpost_locked(ch, ticket);
+  Msg msg = std::move(ch.pending[index].msg);
+  ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(index));
+  // Draining the queue can unblock a rendezvous sender gated on FIFO order.
+  ++ch.version;
+  const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  lock.unlock();
+  if (wake) ch.cv.notify_all();
+  const std::size_t len = msg.len;
+  INTERCOM_REQUIRE(len == ticket.out.size(),
+                   "received message length does not match the posted buffer");
+  land(ticket.out, msg.buf.data.get(), len, ticket.accumulate);
+  pool_.release(std::move(msg.buf));
 }
 
 std::uint64_t Transport::reliable_send(int src, int dst, std::uint64_t ctx,
                                        int tag,
                                        std::span<const std::byte> data) {
+  Channel& ch = channel(src, dst);
+  if (data.size() >= rendezvous_threshold_) {
+    // The rendezvous handshake survives reliability: block until the
+    // receiver posts its buffer so blocking semantics match the unreliable
+    // path — but the payload still travels store-and-forward (framed,
+    // logged) because retransmission needs a stable clean copy.  The ticket
+    // stays registered (consumed) until the receiver withdraws it.
+    std::unique_lock<std::mutex> lock(ch.mutex);
+    claim_posted(ch, lock, src, dst, ctx, tag);
+  }
   SenderState& sender = senders_[static_cast<std::size_t>(src)];
-  const Key flow_key{dst, ctx, tag};  // src is implied by the owning node
-  std::vector<std::byte> frame;
+  const FlowKey flow_key{dst, ctx, tag};
+  const std::size_t frame_len = kHeaderBytes + data.size();
+  Msg frame;
   std::uint64_t seq = 0;
   {
     std::lock_guard<std::mutex> lock(sender.mutex);
     SendFlow& flow = sender.flows[flow_key];
     seq = flow.next_seq++;
-    frame = build_frame(seq, data);
-    flow.unacked.emplace(seq, frame);  // clean copy for retransmission
+    frame.buf = pool_.acquire(frame_len);
+    frame.len = frame_len;
+    write_frame(frame.buf.data.get(), seq, data);
+    Msg log;  // clean copy for retransmission
+    log.buf = pool_.acquire(frame_len);
+    log.len = frame_len;
+    std::memcpy(log.buf.data.get(), frame.buf.data.get(), frame_len);
+    flow.unacked.emplace(seq, std::move(log));
   }
   frames_sent_.fetch_add(1, std::memory_order_relaxed);
-  deliver_frame(src, dst, Key{src, ctx, tag}, std::move(frame), seq, 0);
+  deliver_frame(src, dst, CKey{ctx, tag}, std::move(frame), seq, 0);
   return seq + 1;  // one-based for trace events (0 = unsequenced raw path)
 }
 
-void Transport::deliver_frame(int src, int dst, const Key& key,
-                              std::vector<std::byte> frame, std::uint64_t seq,
-                              std::uint32_t attempt) {
+void Transport::deliver_frame(int src, int dst, const CKey& key, Msg frame,
+                              std::uint64_t seq, std::uint32_t attempt) {
   FaultInjector::Decision fate;
   if (FaultInjector* injector = injector_.get()) {
     fate = injector->decide(src, dst, key.ctx, key.tag, seq, attempt,
-                            frame.size() - kHeaderBytes);
+                            frame.len - kHeaderBytes);
   }
   if (fate.delay_ms > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(fate.delay_ms));
   }
-  if (fate.drop) return;  // lost in flight; the retransmit log still has it
+  if (fate.drop) {  // lost in flight; the retransmit log still has it
+    pool_.release(std::move(frame.buf));
+    return;
+  }
   if (fate.corrupt) {
-    if (frame.size() > kHeaderBytes) {
+    if (frame.len > kHeaderBytes) {
       const std::size_t byte_index = kHeaderBytes + fate.corrupt_bit / 8;
-      frame[byte_index] ^= std::byte{1} << (fate.corrupt_bit % 8);
+      frame.buf.data[byte_index] ^= std::byte{1} << (fate.corrupt_bit % 8);
     } else {
       // Zero-length payload: flip a stored-checksum bit instead.
-      frame[kHeaderBytes - 1] ^= std::byte{1};
+      frame.buf.data[kHeaderBytes - 1] ^= std::byte{1};
     }
   }
-  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  Msg duplicate;
+  if (fate.duplicate) {
+    duplicate.buf = pool_.acquire(frame.len);
+    duplicate.len = frame.len;
+    std::memcpy(duplicate.buf.data.get(), frame.buf.data.get(), frame.len);
+  }
+  Channel& ch = channel(src, dst);
+  bool wake;
   {
-    std::lock_guard<std::mutex> lock(box.mutex);
-    auto& limbo = box.limbo[src];
+    std::lock_guard<std::mutex> lock(ch.mutex);
     // Reorder: hold the frame back behind the wire's next deposit.  Only
     // first attempts are eligible — retransmissions are the recovery path
     // and must make progress.
-    if (fate.reorder && attempt == 0 && limbo.empty()) {
-      limbo.emplace_back(key, std::move(frame));
+    if (fate.reorder && attempt == 0 && ch.limbo.empty()) {
+      ch.limbo.push_back(MsgNode{key, std::move(frame)});
+      if (duplicate.buf) pool_.release(std::move(duplicate.buf));
       return;
     }
-    auto& queue = box.messages[key];
-    if (fate.duplicate) queue.push_back(frame);
-    queue.push_back(std::move(frame));
-    while (!limbo.empty()) {
-      box.messages[limbo.front().first].push_back(
-          std::move(limbo.front().second));
-      limbo.pop_front();
+    if (duplicate.buf) {
+      ch.pending.push_back(MsgNode{key, std::move(duplicate)});
     }
-    ++box.version;
+    ch.pending.push_back(MsgNode{key, std::move(frame)});
+    while (!ch.limbo.empty()) {
+      ch.pending.push_back(std::move(ch.limbo.front()));
+      ch.limbo.pop_front();
+    }
+    ++ch.version;
+    wake = ch.waiters.load(std::memory_order_relaxed) > 0;
   }
-  box.cv.notify_all();
+  if (wake) ch.cv.notify_all();
 }
 
-std::uint64_t Transport::reliable_recv(int src, int dst, std::uint64_t ctx,
-                                       int tag, std::span<std::byte> out) {
-  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
-  SenderState& sender = senders_[static_cast<std::size_t>(src)];
-  const Key key{src, ctx, tag};
-  const Key flow_key{dst, ctx, tag};
+std::uint64_t Transport::reliable_wait_recv(PostedRecv& ticket) {
+  Channel& ch = channel(ticket.src, ticket.dst);
+  SenderState& sender = senders_[static_cast<std::size_t>(ticket.src)];
+  const CKey key{ticket.ctx, ticket.tag};
+  const FlowKey flow_key{ticket.dst, ticket.ctx, ticket.tag};
 
-  std::unique_lock<std::mutex> lock(box.mutex);
-  const std::uint64_t expected = box.next_expected[key];
+  std::unique_lock<std::mutex> lock(ch.mutex);
+  const std::uint64_t expected = ch.next_expected[key];
   int attempts = 0;
   bool corrupt_seen = false;
+  bool exhausted = false;
   long rto = base_rto_ms_;
   long waited_ms = 0;
-  std::vector<std::byte> frame;
+  Msg frame;
   bool got = false;
   while (!got) {
-    // Scan the queue: discard corrupt frames and stale duplicates, take the
-    // in-order frame if present, buffer future ones in place.
-    auto it = box.messages.find(key);
-    if (it != box.messages.end()) {
-      auto& queue = it->second;
-      for (auto fit = queue.begin(); fit != queue.end();) {
+    // Scan the wire's queue: discard corrupt frames and stale duplicates,
+    // take the in-order frame if present, leave future ones buffered.  A
+    // frame's checksum is validated exactly once — the parsed sequence
+    // number is cached on the node, so under a reorder storm repeated scans
+    // cost a comparison per buffered frame, not a checksum pass.
+    for (std::size_t i = 0; i < ch.pending.size();) {
+      MsgNode& node = ch.pending[i];
+      if (!(node.key == key)) {
+        ++i;
+        continue;
+      }
+      if (!node.msg.validated) {
         std::uint64_t seq = 0;
-        if (!parse_frame(*fit, &seq)) {
+        if (!parse_frame(node.msg.buf.data.get(), node.msg.len, &seq)) {
           corrupt_seen = true;
           corrupt_discards_.fetch_add(1, std::memory_order_relaxed);
-          fit = queue.erase(fit);
+          pool_.release(std::move(node.msg.buf));
+          ch.pending.erase(ch.pending.begin() +
+                           static_cast<std::ptrdiff_t>(i));
           continue;
         }
-        if (seq < expected) {
-          duplicate_discards_.fetch_add(1, std::memory_order_relaxed);
-          fit = queue.erase(fit);
-          continue;
-        }
-        if (seq == expected) {
-          frame = std::move(*fit);
-          queue.erase(fit);
-          got = true;
-          break;
-        }
-        ++fit;
+        checksum_validations_.fetch_add(1, std::memory_order_relaxed);
+        node.msg.seq = seq;
+        node.msg.validated = true;
       }
-      if (queue.empty()) box.messages.erase(key);
+      if (node.msg.seq < expected) {
+        duplicate_discards_.fetch_add(1, std::memory_order_relaxed);
+        pool_.release(std::move(node.msg.buf));
+        ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      if (node.msg.seq == expected) {
+        frame = std::move(node.msg);
+        ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(i));
+        got = true;
+        break;
+      }
+      ++i;
     }
     if (got) break;
-    if (aborted_.load(std::memory_order_relaxed)) throw_aborted();
-    const std::uint64_t seen_version = box.version;
-    const bool arrived = box.cv.wait_for(
-        lock, std::chrono::milliseconds(rto), [&] {
-          return box.version != seen_version ||
-                 aborted_.load(std::memory_order_relaxed);
-        });
-    if (aborted_.load(std::memory_order_relaxed)) throw_aborted();
+    if (aborted_.load(std::memory_order_relaxed)) {
+      unpost_locked(ch, ticket);
+      throw_aborted();
+    }
+    const std::uint64_t seen_version = ch.version;
+    bool arrived;
+    {
+      WaiterScope waiting(ch.waiters);
+      arrived = ch.cv.wait_for(lock, std::chrono::milliseconds(rto), [&] {
+        return ch.version != seen_version ||
+               aborted_.load(std::memory_order_relaxed);
+      });
+    }
+    if (aborted_.load(std::memory_order_relaxed)) {
+      unpost_locked(ch, ticket);
+      throw_aborted();
+    }
     if (arrived) continue;  // something new was deposited; rescan
     waited_ms += rto;
     // RTO expired.  If the sender has logged the frame we expect, it was
@@ -487,68 +830,91 @@ std::uint64_t Transport::reliable_recv(int src, int dst, std::uint64_t ctx,
           have_frame = true;
           ++attempts;
           if (attempts > max_retries_) {
-            const std::string what =
-                "reliable delivery failed: node " + std::to_string(dst) +
-                " exhausted " + std::to_string(max_retries_) +
-                " retransmissions waiting for seq " + std::to_string(expected) +
-                " from node " + std::to_string(src) + " ctx " +
-                std::to_string(ctx) + " tag " + std::to_string(tag);
-            if (corrupt_seen) {
-              throw CorruptionError(
-                  what + " (every delivered copy failed its checksum)");
-            }
-            throw TimeoutError(what);
-          }
-          retransmits_.fetch_add(1, std::memory_order_relaxed);
-          // Receiver-driven recovery is the receiver's action, so the
-          // retransmit event lands on dst's track (and on dst's thread —
-          // the single-writer fast case of the ring buffer).
-          if (Tracer* tracer = tracer_;
-              tracer != nullptr && tracer->armed()) {
-            TraceEvent event;
-            event.kind = EventKind::kRetransmit;
-            event.start_ns = event.end_ns = tracer->now_ns();
-            event.peer = src;
-            event.ctx = ctx;
-            event.tag = tag;
-            event.seq = expected + 1;
-            event.attempt = static_cast<std::uint32_t>(attempts);
-            tracer->record(dst, event);
+            exhausted = true;
+          } else {
+            retransmits_.fetch_add(1, std::memory_order_relaxed);
             if (metric_retransmits_ != nullptr) metric_retransmits_->inc();
+            // Receiver-driven recovery is the receiver's action, so the
+            // retransmit event lands on dst's track (and on dst's thread —
+            // the single-writer fast case of the ring buffer).
+            if (Tracer* tracer = tracer_;
+                tracer != nullptr && tracer->armed()) {
+              TraceEvent event;
+              event.kind = EventKind::kRetransmit;
+              event.start_ns = event.end_ns = tracer->now_ns();
+              event.peer = ticket.src;
+              event.ctx = ticket.ctx;
+              event.tag = ticket.tag;
+              event.seq = expected + 1;
+              event.attempt = static_cast<std::uint32_t>(attempts);
+              tracer->record(ticket.dst, event);
+            }
+            const Msg& logged = unacked_it->second;
+            Msg clean;
+            clean.buf = pool_.acquire(logged.len);
+            clean.len = logged.len;
+            std::memcpy(clean.buf.data.get(), logged.buf.data.get(),
+                        logged.len);
+            deliver_frame(ticket.src, ticket.dst, key, std::move(clean),
+                          expected, static_cast<std::uint32_t>(attempts));
+            rto = std::min(rto * 2, kMaxRtoMs);
           }
-          std::vector<std::byte> clean = unacked_it->second;
-          deliver_frame(src, dst, key, std::move(clean), expected,
-                        static_cast<std::uint32_t>(attempts));
-          rto = std::min(rto * 2, kMaxRtoMs);
         }
       }
     }
     lock.lock();
+    if (exhausted) {
+      unpost_locked(ch, ticket);
+      lock.unlock();
+      const std::string what =
+          "reliable delivery failed: node " + std::to_string(ticket.dst) +
+          " exhausted " + std::to_string(max_retries_) +
+          " retransmissions waiting for seq " + std::to_string(expected) +
+          " from node " + std::to_string(ticket.src) + " ctx " +
+          std::to_string(ticket.ctx) + " tag " + std::to_string(ticket.tag);
+      if (corrupt_seen) {
+        throw CorruptionError(what +
+                              " (every delivered copy failed its checksum)");
+      }
+      throw TimeoutError(what);
+    }
     if (!have_frame && recv_timeout_ms_ > 0 && waited_ms >= recv_timeout_ms_) {
-      throw_recv_timeout(box, src, dst, ctx, tag,
+      unpost_locked(ch, ticket);
+      lock.unlock();
+      throw_recv_timeout(ticket.src, ticket.dst, ticket.ctx, ticket.tag,
                          " (reliable mode: nothing logged for retransmit)");
     }
   }
-  box.next_expected[key] = expected + 1;
+  ch.next_expected[key] = expected + 1;
+  unpost_locked(ch, ticket);
+  // Consuming the in-order frame can unblock a rendezvous-gated sender.
+  ++ch.version;
+  const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
   lock.unlock();
-  // Ack: prune the sender's retransmit log up to and including `expected`.
+  if (wake) ch.cv.notify_all();
+  // Ack: prune the sender's retransmit log up to and including `expected`,
+  // recycling the logged slabs.
   {
     std::lock_guard<std::mutex> sender_lock(sender.mutex);
     auto flow_it = sender.flows.find(flow_key);
     if (flow_it != sender.flows.end()) {
       SendFlow& flow = flow_it->second;
       for (std::uint64_t seq = flow.lowest_unacked; seq <= expected; ++seq) {
-        flow.unacked.erase(seq);
+        auto unacked_it = flow.unacked.find(seq);
+        if (unacked_it != flow.unacked.end()) {
+          pool_.release(std::move(unacked_it->second.buf));
+          flow.unacked.erase(unacked_it);
+        }
       }
       flow.lowest_unacked = expected + 1;
     }
   }
-  const std::size_t payload_bytes = frame.size() - kHeaderBytes;
-  INTERCOM_REQUIRE(payload_bytes == out.size(),
+  const std::size_t payload_bytes = frame.len - kHeaderBytes;
+  INTERCOM_REQUIRE(payload_bytes == ticket.out.size(),
                    "received message length does not match the posted buffer");
-  if (payload_bytes > 0) {
-    std::memcpy(out.data(), frame.data() + kHeaderBytes, payload_bytes);
-  }
+  land(ticket.out, frame.buf.data.get() + kHeaderBytes, payload_bytes,
+       ticket.accumulate);
+  pool_.release(std::move(frame.buf));
   return expected + 1;
 }
 

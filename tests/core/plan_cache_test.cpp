@@ -18,10 +18,11 @@ TEST(PlanCacheTest, MissThenHit) {
   const PlanCache::Key key{Collective::kBroadcast, 100, 8, 0};
   EXPECT_EQ(cache.find(key), nullptr);
   EXPECT_EQ(cache.misses(), 1u);
-  auto inserted = cache.insert(key, dummy("a"));
-  auto found = cache.find(key);
+  const auto inserted = cache.insert(key, dummy("a")).schedule;
+  PlanCache::CachedPlan* found = cache.find(key);
   ASSERT_NE(found, nullptr);
-  EXPECT_EQ(found.get(), inserted.get());
+  EXPECT_EQ(found->schedule.get(), inserted.get());
+  EXPECT_EQ(found->compiled, nullptr);  // attached lazily by the runtime
   EXPECT_EQ(cache.hits(), 1u);
 }
 
@@ -34,9 +35,9 @@ TEST(PlanCacheTest, DistinctKeysDistinctEntries) {
   cache.insert(b, dummy("b"));
   cache.insert(c, dummy("c"));
   EXPECT_EQ(cache.size(), 3u);
-  EXPECT_EQ(cache.find(a)->algorithm(), "a");
-  EXPECT_EQ(cache.find(b)->algorithm(), "b");
-  EXPECT_EQ(cache.find(c)->algorithm(), "c");
+  EXPECT_EQ(cache.find(a)->schedule->algorithm(), "a");
+  EXPECT_EQ(cache.find(b)->schedule->algorithm(), "b");
+  EXPECT_EQ(cache.find(c)->schedule->algorithm(), "c");
 }
 
 TEST(PlanCacheTest, CapacityBounded) {
@@ -51,8 +52,8 @@ TEST(PlanCacheTest, CapacityBounded) {
 TEST(PlanCacheTest, ZeroCapacityDisables) {
   PlanCache cache(0);
   const PlanCache::Key key{Collective::kBroadcast, 1, 1, 0};
-  auto s = cache.insert(key, dummy("a"));
-  EXPECT_NE(s, nullptr);  // caller still gets the schedule
+  PlanCache::CachedPlan& entry = cache.insert(key, dummy("a"));
+  EXPECT_NE(entry.schedule, nullptr);  // caller still gets the schedule
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.find(key), nullptr);
 }

@@ -462,6 +462,56 @@ TEST_P(ChaosSweepTest, AllSevenCollectivesBitwiseCorrectUnderChaos) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweepTest,
                          ::testing::Values(1u, 20260807u, 0xdeadbeefu));
 
+// Chaos under both send regimes: a threshold of 1 gates every reliable send
+// behind the receiver's posted buffer (rendezvous discipline), a huge one
+// keeps every send eager/store-and-forward.  Drop/duplicate/reorder healing
+// must be regime-independent.
+class ChaosRegimeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChaosRegimeTest, CollectivesHealUnderChaosInBothSendRegimes) {
+  Multicomputer mc(Mesh2D(1, 4));
+  mc.set_rendezvous_threshold(GetParam());
+  const int p = mc.node_count();
+  auto injector = std::make_shared<FaultInjector>(77u);
+  FaultSpec spec;
+  spec.drop = 0.04;
+  spec.duplicate = 0.04;
+  spec.reorder = 0.04;
+  injector->set_default(spec);
+  mc.set_fault_injector(injector);
+  mc.set_retry_policy(/*max_retries=*/16, /*base_rto_ms=*/2);
+
+  const std::size_t elems = 513;
+  const std::int64_t rank_sum =
+      static_cast<std::int64_t>(p) * static_cast<std::int64_t>(p - 1) / 2;
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    const int rank = world.rank();
+    for (int round = 0; round < 4; ++round) {
+      std::vector<std::int64_t> data(elems);
+      for (std::size_t i = 0; i < elems; ++i) {
+        data[i] = static_cast<std::int64_t>(i) + rank;
+      }
+      world.all_reduce_sum(std::span<std::int64_t>(data));
+      for (std::size_t i = 0; i < elems; ++i) {
+        ASSERT_EQ(data[i], static_cast<std::int64_t>(i) *
+                                   static_cast<std::int64_t>(p) +
+                               rank_sum);
+      }
+      std::vector<std::int64_t> bcast(elems, rank == 1 ? 42 : 0);
+      world.broadcast(std::span<std::int64_t>(bcast), 1);
+      for (std::size_t i = 0; i < elems; ++i) ASSERT_EQ(bcast[i], 42);
+    }
+  });
+  const auto stats = injector->stats();
+  EXPECT_GT(stats.dropped + stats.duplicated + stats.reordered, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, ChaosRegimeTest,
+    ::testing::Values(std::size_t{1},  // everything rendezvous-gated
+                      std::size_t{1} << 30));  // everything eager
+
 TEST(ChaosCollectiveTest, IccChaosKnobHealsGdsum) {
   Multicomputer mc(Mesh2D(1, 4));
   auto injector = icc::icc_set_chaos(mc, /*seed=*/5u, /*drop=*/0.05,

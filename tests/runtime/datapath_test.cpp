@@ -1,0 +1,340 @@
+// Data-path tests for the zero-copy transport rework: the eager/rendezvous
+// split, the metrics-without-tracer contract, checksum-validation caching
+// under reordering, and the compiled plan's receive+combine fusion.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "intercom/core/planner.hpp"
+#include "intercom/model/machine_params.hpp"
+#include "intercom/obs/metrics.hpp"
+#include "intercom/runtime/communicator.hpp"
+#include "intercom/runtime/compiled_plan.hpp"
+#include "intercom/runtime/fault.hpp"
+#include "intercom/runtime/multicomputer.hpp"
+#include "intercom/runtime/reduce.hpp"
+#include "intercom/runtime/transport.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, int seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 131 + static_cast<std::size_t>(seed)) &
+                                  0xff);
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Eager/rendezvous split.
+
+TEST(RendezvousTest, LargeTransferBypassesTheSlabPool) {
+  Transport t(2);
+  ASSERT_GE(Transport::kDefaultRendezvousThreshold, 1024u);
+  const std::size_t n = Transport::kDefaultRendezvousThreshold * 2;
+  const auto payload = pattern(n, 7);
+  std::vector<std::byte> out(n);
+  std::thread sender([&] { t.send(0, 1, 1, 0, payload); });
+  t.recv(0, 1, 1, 0, out);
+  sender.join();
+  EXPECT_EQ(out, payload);
+  // The payload went straight from the sender's span into the posted buffer;
+  // no staging slab was ever acquired.
+  const auto stats = t.pool().stats();
+  EXPECT_EQ(stats.allocations + stats.reuses, 0u);
+}
+
+TEST(RendezvousTest, SendBlocksUntilReceiverPosts) {
+  Transport t(2);
+  const std::size_t n = Transport::kDefaultRendezvousThreshold;
+  const auto payload = pattern(n, 3);
+  std::atomic<bool> send_done{false};
+  std::thread sender([&] {
+    t.send(0, 1, 1, 0, payload);
+    send_done = true;
+  });
+  // Not a proof of blocking, but a strong signal: the sender must not
+  // complete while no receive is posted.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(send_done.load());
+  std::vector<std::byte> out(n);
+  t.recv(0, 1, 1, 0, out);
+  sender.join();
+  EXPECT_TRUE(send_done.load());
+  EXPECT_EQ(out, payload);
+}
+
+TEST(RendezvousTest, MixedEagerAndRendezvousSameKeyStayFifo) {
+  Transport t(2);
+  const std::size_t big = Transport::kDefaultRendezvousThreshold;
+  const auto small1 = pattern(64, 1);
+  const auto large = pattern(big, 2);
+  const auto small2 = pattern(64, 3);
+  std::thread sender([&] {
+    t.send(0, 1, 1, 0, small1);  // eager, queued
+    t.send(0, 1, 1, 0, large);   // rendezvous, must wait its FIFO turn
+    t.send(0, 1, 1, 0, small2);  // eager again
+  });
+  std::vector<std::byte> out_small(64);
+  std::vector<std::byte> out_large(big);
+  t.recv(0, 1, 1, 0, out_small);
+  EXPECT_EQ(out_small, small1);
+  t.recv(0, 1, 1, 0, out_large);
+  EXPECT_EQ(out_large, large);
+  t.recv(0, 1, 1, 0, out_small);
+  EXPECT_EQ(out_small, small2);
+  sender.join();
+}
+
+TEST(RendezvousTest, LengthMismatchSurfacesOnTheReceiver) {
+  Transport t(2);
+  const std::size_t n = Transport::kDefaultRendezvousThreshold;
+  const auto payload = pattern(n, 9);
+  std::vector<std::byte> wrong(n / 2);
+  std::thread receiver([&] {
+    EXPECT_THROW(t.recv(0, 1, 1, 0, wrong), Error);
+  });
+  // The mismatched claim falls back to an eager deposit, so the send
+  // completes and the receiver raises the same error as the eager path.
+  t.send(0, 1, 1, 0, payload);
+  receiver.join();
+}
+
+TEST(RendezvousTest, AbortUnblocksABlockedRendezvousSender) {
+  Transport t(2);
+  const auto payload = pattern(Transport::kDefaultRendezvousThreshold, 5);
+  std::atomic<bool> got_aborted{false};
+  std::thread sender([&] {
+    try {
+      t.send(0, 1, 1, 0, payload);
+    } catch (const AbortedError&) {
+      got_aborted = true;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.abort("test abort");
+  sender.join();
+  EXPECT_TRUE(got_aborted.load());
+}
+
+TEST(RendezvousTest, UnclaimedSendTimesOutWithTypedError) {
+  Transport t(2);
+  t.set_recv_timeout_ms(30);
+  const auto payload = pattern(Transport::kDefaultRendezvousThreshold, 5);
+  EXPECT_THROW(t.send(0, 1, 1, 0, payload), TimeoutError);
+}
+
+TEST(RendezvousTest, ThresholdKnobSelectsTheRegime) {
+  {
+    // Threshold above the payload: the send is eager and completes with no
+    // receiver in sight.
+    Transport t(2);
+    t.set_rendezvous_threshold(1 << 20);
+    const auto payload = pattern(4096, 1);
+    t.send(0, 1, 1, 0, payload);  // must not block
+    std::vector<std::byte> out(4096);
+    t.recv(0, 1, 1, 0, out);
+    EXPECT_EQ(out, payload);
+    EXPECT_GT(t.pool().stats().allocations, 0u);
+  }
+  {
+    // Threshold of 1: even a tiny payload takes the rendezvous path.
+    Transport t(2);
+    t.set_rendezvous_threshold(1);
+    const auto payload = pattern(16, 2);
+    std::vector<std::byte> out(16);
+    std::thread sender([&] { t.send(0, 1, 1, 0, payload); });
+    t.recv(0, 1, 1, 0, out);
+    sender.join();
+    EXPECT_EQ(out, payload);
+    EXPECT_EQ(t.pool().stats().allocations, 0u);
+  }
+}
+
+// A ring of simultaneous send/receive steps entirely above the threshold:
+// every node's send blocks on its neighbour's posted buffer, so the
+// post-before-send discipline of kSendRecv is what prevents deadlock.
+TEST(RendezvousTest, SendRecvRingAboveThresholdDoesNotDeadlock) {
+  Multicomputer mc(Mesh2D(1, 4));
+  mc.set_rendezvous_threshold(1024);
+  const std::size_t elems = 8192;  // 64 KB of doubles, all rendezvous
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    std::vector<double> data(elems, static_cast<double>(node.id()));
+    world.all_reduce_sum(std::span<double>(data));
+    for (double v : data) ASSERT_DOUBLE_EQ(v, 0.0 + 1.0 + 2.0 + 3.0);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Metrics are recorded with no tracer attached (regression: the metered path
+// must not hide behind the tracing gate).
+
+TEST(MetricsDecouplingTest, WireCountersUpdateWithoutTracer) {
+  Transport t(2);
+  MetricsRegistry metrics;
+  t.set_metrics(&metrics);
+  ASSERT_EQ(t.tracer(), nullptr);
+  const auto payload = pattern(512, 4);
+  t.send(0, 1, 1, 0, payload);
+  std::vector<std::byte> out(512);
+  t.recv(0, 1, 1, 0, out);
+  EXPECT_EQ(metrics.counter("transport.sends").value(), 1u);
+  EXPECT_EQ(metrics.counter("transport.recvs").value(), 1u);
+  EXPECT_EQ(metrics.histogram("transport.send.bytes").count(), 1u);
+  EXPECT_EQ(metrics.histogram("transport.send.bytes").sum(), 512u);
+  EXPECT_EQ(metrics.histogram("transport.recv.ns").count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Checksum-validation caching: under heavy reordering the receiver re-scans
+// its pending queue many times waiting for the expected sequence number, but
+// each frame's checksum is computed exactly once.
+
+TEST(ReorderValidationTest, EachFrameValidatedExactlyOnce) {
+  Transport t(2);
+  auto injector = std::make_shared<FaultInjector>(31u);
+  FaultSpec spec;
+  spec.reorder = 1.0;  // every frame is parked behind its successor
+  injector->set_default(spec);
+  t.set_fault_injector(injector);
+  t.set_retry_policy(/*max_retries=*/10, /*base_rto_ms=*/2);
+
+  const int kMessages = 32;  // even: reorder pairs flush each other
+  std::thread sender([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      std::vector<std::byte> payload(sizeof(int));
+      std::memcpy(payload.data(), &i, sizeof(int));
+      t.send(0, 1, 2, 0, payload);
+    }
+  });
+  for (int i = 0; i < kMessages; ++i) {
+    std::vector<std::byte> out(sizeof(int));
+    t.recv(0, 1, 2, 0, out);
+    int value = -1;
+    std::memcpy(&value, out.data(), sizeof(int));
+    EXPECT_EQ(value, i);
+  }
+  sender.join();
+  const auto stats = t.reliability_stats();
+  EXPECT_GT(injector->stats().reordered, 0u);
+  // One validation per arriving frame (originals + any retransmissions) —
+  // re-scans of the buffered queue must hit the cached verdict.
+  EXPECT_EQ(stats.checksum_validations, stats.frames_sent + stats.retransmits);
+}
+
+// ---------------------------------------------------------------------------
+// Compiled-plan receive+combine fusion.
+
+TEST(FusionTest, RecvIntoScratchThenCombineFusesToAccumulatingRecv) {
+  Schedule s;
+  const BufSlice user{kUserBuf, 0, 16};
+  const BufSlice scratch{kScratchBuf, 0, 16};
+  s.reserve_slice(0, user);
+  s.reserve_slice(1, user);
+  s.reserve_slice(1, scratch);
+  s.program(0).ops.push_back(Op::send(1, user, 0));
+  s.program(1).ops.push_back(Op::recv(0, scratch, 0));
+  s.program(1).ops.push_back(Op::combine(scratch, user));
+
+  CompiledPlan plan(s);
+  const CProgram* p1 = plan.find_program(1);
+  ASSERT_NE(p1, nullptr);
+  ASSERT_EQ(p1->ops.size(), 1u);  // the combine was folded into the recv
+  EXPECT_EQ(p1->ops[0].kind, OpKind::kRecv);
+  EXPECT_TRUE(p1->ops[0].accumulate);
+  EXPECT_TRUE(p1->ops[0].dst_user);
+  EXPECT_EQ(p1->ops[0].dst_len, 16u);
+
+  // And the fused plan still computes the right answer.
+  Transport t(2);
+  std::vector<double> d0{1.5, 2.5};
+  std::vector<double> d1{10.0, 20.0};
+  const ReduceOp op = sum_op<double>();
+  std::vector<std::byte> arena0, arena1;
+  std::thread th0([&] {
+    execute_compiled(t, plan, 0,
+                     std::as_writable_bytes(std::span<double>(d0)), 1, &op,
+                     arena0);
+  });
+  execute_compiled(t, plan, 1, std::as_writable_bytes(std::span<double>(d1)),
+                   1, &op, arena1);
+  th0.join();
+  EXPECT_DOUBLE_EQ(d1[0], 11.5);
+  EXPECT_DOUBLE_EQ(d1[1], 22.5);
+}
+
+TEST(FusionTest, LaterReadOfTheStagingScratchBlocksFusion) {
+  Schedule s;
+  const BufSlice user{kUserBuf, 0, 16};
+  const BufSlice scratch{kScratchBuf, 0, 16};
+  s.reserve_slice(0, user);
+  s.reserve_slice(1, user);
+  s.reserve_slice(1, scratch);
+  s.program(0).ops.push_back(Op::send(1, user, 0));
+  s.program(1).ops.push_back(Op::recv(0, scratch, 0));
+  s.program(1).ops.push_back(Op::combine(scratch, user));
+  // The forward pass of a tree reduction: the staged payload is also sent on.
+  s.program(1).ops.push_back(Op::send(0, scratch, 1));
+  s.program(0).ops.push_back(Op::recv(1, scratch, 1));
+  s.reserve_slice(0, scratch);
+
+  CompiledPlan plan(s);
+  const CProgram* p1 = plan.find_program(1);
+  ASSERT_NE(p1, nullptr);
+  ASSERT_EQ(p1->ops.size(), 3u);  // fusing would corrupt the forwarded copy
+  for (const auto& op : p1->ops) EXPECT_FALSE(op.accumulate);
+}
+
+TEST(FusionTest, SendRecvWithOverlappingCombineDstDoesNotFuse) {
+  Schedule s;
+  const BufSlice user{kUserBuf, 0, 16};
+  const BufSlice scratch{kScratchBuf, 0, 16};
+  for (int node : {0, 1}) {
+    s.reserve_slice(node, user);
+    s.reserve_slice(node, scratch);
+    // Each node sends user[0,16) while receiving into scratch, then combines
+    // into the very range its own send is still reading.  Folding in place
+    // would let the incoming payload race the outgoing copy.
+    s.program(node).ops.push_back(
+        Op::sendrecv(1 - node, user, 0, 1 - node, scratch, 0));
+    s.program(node).ops.push_back(Op::combine(scratch, user));
+  }
+  CompiledPlan plan(s);
+  for (int node : {0, 1}) {
+    const CProgram* p = plan.find_program(node);
+    ASSERT_NE(p, nullptr);
+    ASSERT_EQ(p->ops.size(), 2u);
+    EXPECT_FALSE(p->ops[0].accumulate);
+    EXPECT_EQ(p->ops[1].kind, OpKind::kCombine);
+  }
+}
+
+TEST(FusionTest, PlannerRingReductionFusesEveryCombine) {
+  Mesh2D mesh(1, 8);
+  Planner planner(MachineParams::paragon(), mesh);
+  const Group g = Group::contiguous(8);
+  const Schedule s =
+      planner.plan(Collective::kCombineToAll, g, /*elems=*/131072,
+                   /*elem_size=*/8, /*root=*/0);
+  CompiledPlan plan(s);
+  int combines = 0, fused = 0;
+  for (const auto& p : plan.programs()) {
+    for (const auto& op : p.ops) {
+      if (op.kind == OpKind::kCombine) ++combines;
+      if (op.accumulate) ++fused;
+    }
+  }
+  EXPECT_EQ(combines, 0) << "ring reduction left unfused combines";
+  EXPECT_GT(fused, 0);
+}
+
+}  // namespace
+}  // namespace intercom
