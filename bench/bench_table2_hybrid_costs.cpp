@@ -33,9 +33,14 @@ int main() {
 
   TextTable table({"logical mesh + algorithm", "alpha term", "beta term (x/30)nb"});
   for (const auto& row : rows) {
+    // Built up piecewise: gcc 12's -Wrestrict misfires (PR 105329) on the
+    // operator+(const char*, string&&) chain under -Werror.
+    std::string beta = "(";
+    beta += format_seconds(row.cost.beta_bytes);
+    beta += "/30)nb";
     table.add_row({row.strategy.label(),
                    format_seconds(row.cost.alpha_terms) + "a",
-                   "(" + format_seconds(row.cost.beta_bytes) + "/30)nb"});
+                   std::move(beta)});
   }
   table.print(std::cout);
 

@@ -38,6 +38,11 @@ struct ModelVsMeasuredRow {
   std::size_t bytes = 0;
   std::uint64_t calls = 0;          ///< collective instances aggregated
   std::uint64_t cache_hits = 0;     ///< instances served from the plan cache
+  std::uint64_t async_calls = 0;    ///< instances issued non-blocking (their
+                                    ///< span covers issue -> completion, so
+                                    ///< overlapped compute inflates measured)
+  std::uint64_t errors = 0;         ///< instances that raised instead of
+                                    ///< completing (chaos runs stay visible)
   double predicted_s = 0.0;         ///< analyze() critical path (model time)
   double measured_mean_s = 0.0;     ///< mean over instances of max-over-nodes
   double measured_max_s = 0.0;      ///< worst instance

@@ -50,7 +50,13 @@ namespace intercom {
 ///   kCollective: span of one collective; label = collective name, label2 =
 ///                algorithm, bytes = vector bytes, a0 = elems, a1 = predicted
 ///                critical-path ns from analyze() (0 if not computed), a2 =
-///                plan-cache hit (1) / miss (0) / uncached v-variant (2).
+///                flag word (see kCollective* constants below): low two bits
+///                are the plan-cache state — hit (1) / miss (0) / uncached
+///                v-variant (2) — plus an async bit for non-blocking
+///                (Request) collectives and an error bit when the collective
+///                raised instead of completing.  For an async collective the
+///                span runs from issue to completion, so it includes any
+///                compute overlapped between the two.
 ///   kStep:       span of one executor op; label = op kind name, peer / tag
 ///                from the op, bytes = payload bytes, a0 = op index.
 ///   kSend:       span of one Transport::send; peer = dst, ctx / tag / bytes,
@@ -61,6 +67,11 @@ namespace intercom {
 ///                src, ctx / tag / seq, attempt = retry number (1-based).
 ///   kAbort:      instant; label = abort reason.
 ///   kError:      instant; label = exception text.
+///   kAsyncIssue: instant at the issue of a non-blocking collective (its
+///                kCollective span is recorded at completion, possibly much
+///                later); label = collective name, ctx / bytes, a0 = elems.
+///                The progress between issue and completion is visible as
+///                the ctx's kStep spans.
 enum class EventKind : std::uint32_t {
   kRun,
   kCollective,
@@ -70,7 +81,14 @@ enum class EventKind : std::uint32_t {
   kRetransmit,
   kAbort,
   kError,
+  kAsyncIssue,
 };
+
+/// TraceEvent::a2 layout for kCollective spans.
+constexpr std::uint64_t kCollectiveCacheMask = 3;  ///< CacheState in low bits
+constexpr std::uint64_t kCollectiveAsyncFlag = 4;  ///< non-blocking (Request)
+constexpr std::uint64_t kCollectiveErrorFlag = 8;  ///< raised instead of
+                                                   ///< completing
 
 /// Short name of an event kind ("send", "collective", ...).
 const char* to_string(EventKind kind);

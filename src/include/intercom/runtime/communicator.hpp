@@ -22,8 +22,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <span>
-#include <unordered_map>
+#include <vector>
 
 #include "intercom/core/partition.hpp"
 #include "intercom/core/plan_cache.hpp"
@@ -35,6 +37,63 @@ namespace intercom {
 
 class Communicator;
 class CompiledPlan;
+struct AsyncCollectiveState;
+
+/// Mixes a communicator's context base with an operation sequence number
+/// into the 64-bit wire context id.  The mix is a splitmix64-style finalizer
+/// over base + seq*odd-constant: bijective in `seq` for a fixed base, so one
+/// communicator can never collide with itself no matter how many collectives
+/// it issues (the old `base << 20 | seq` layout silently bled into sibling
+/// namespaces after 2^20 operations); distinct bases scatter their sequence
+/// windows over the full 64-bit space, making cross-communicator collisions
+/// birthday-bounded (~window/2^64) instead of structural.
+std::uint64_t collective_context(std::uint64_t base, std::uint64_t seq);
+
+/// Handle to one in-flight non-blocking collective (Communicator::ibroadcast
+/// and friends).  Move-only; the collective completes through test()/wait(),
+/// or in the destructor (which swallows transport errors — a machine-level
+/// failure still reaches the caller through run_spmd's abort propagation).
+///
+/// Progress follows MPI's progress-on-test model: there is no progress
+/// thread, so the issuing thread drives the schedule from inside test() and
+/// wait().  The buffer passed at issue must not be read or written until the
+/// request completes; requests on one communicator may be outstanding
+/// concurrently and complete in any test() order, but wait()ing them in
+/// issue order is always deadlock-free (each context id is independent on
+/// the wire).  A request must be completed before its communicator is
+/// destroyed or moved.
+class Request {
+ public:
+  Request() = default;
+  Request(Request&& other) noexcept;
+  Request& operator=(Request&& other) noexcept;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+  ~Request();
+
+  /// True while a collective is attached and incomplete.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Drives the remaining schedule as far as channel state allows without
+  /// blocking; returns true when the collective completed (the handle
+  /// becomes empty).  On transport failure the error is recorded in
+  /// metrics/trace (error-marked collective span) and rethrown; the handle
+  /// is empty afterwards.
+  bool test();
+
+  /// Blocks until the collective completes, with the blocking transport
+  /// calls' timeout/reliability/abort semantics.  Same error behaviour as
+  /// test().
+  void wait();
+
+ private:
+  friend class Communicator;
+  Request(Communicator* comm, AsyncCollectiveState* state)
+      : comm_(comm), state_(state) {}
+
+  Communicator* comm_ = nullptr;
+  AsyncCollectiveState* state_ = nullptr;
+};
 
 /// Per-thread handle to one node of the multicomputer.
 class Node {
@@ -63,6 +122,12 @@ class Communicator {
  public:
   Communicator(Multicomputer& machine, Group group, int my_rank,
                std::uint32_t color);
+  /// Movable, not copyable (it owns the pooled async-request states).  Do
+  /// not move a communicator while requests are outstanding — they hold
+  /// pointers into it.
+  Communicator(Communicator&&) noexcept;
+  Communicator& operator=(Communicator&&) noexcept;
+  ~Communicator();
 
   int rank() const { return my_rank_; }
   int size() const { return group_.size(); }
@@ -112,6 +177,62 @@ class Communicator {
     distributed_combine_bytes(std::as_writable_bytes(data), sum_op<T>());
   }
 
+  // Non-blocking collectives.  Each issues the same planned/cached schedule
+  // as its blocking twin and returns immediately with a Request; the
+  // schedule advances inside Request::test()/wait() (progress-on-test — see
+  // Request).  Ordering contract is unchanged: every member calls the same
+  // collective sequence, issue counts as the call.  `buf` (and `op` for the
+  // combines: the ReduceOp is copied into the request, but a user-supplied
+  // fold with captured state must outlive it) stays untouchable until the
+  // request completes.  The communicator must outlive the request — the
+  // lvalue ref-qualifier makes issuing on a temporary (e.g.
+  // `node.world().iall_reduce_sum(...)`) a compile error, since the Request
+  // would dangle the moment the temporary died.
+  Request ibroadcast_bytes(std::span<std::byte> buf, std::size_t elem_size,
+                           int root) &;
+  Request iscatter_bytes(std::span<std::byte> buf, std::size_t elem_size,
+                         int root) &;
+  Request igather_bytes(std::span<std::byte> buf, std::size_t elem_size,
+                        int root) &;
+  Request icollect_bytes(std::span<std::byte> buf, std::size_t elem_size) &;
+  Request icombine_to_one_bytes(std::span<std::byte> buf, const ReduceOp& op,
+                                int root) &;
+  Request icombine_to_all_bytes(std::span<std::byte> buf,
+                                const ReduceOp& op) &;
+  Request idistributed_combine_bytes(std::span<std::byte> buf,
+                                     const ReduceOp& op) &;
+
+  template <typename T>
+  Request ibroadcast(std::span<T> data, int root) & {
+    return ibroadcast_bytes(std::as_writable_bytes(data), sizeof(T), root);
+  }
+  template <typename T>
+  Request iscatter(std::span<T> data, int root) & {
+    return iscatter_bytes(std::as_writable_bytes(data), sizeof(T), root);
+  }
+  template <typename T>
+  Request igather(std::span<T> data, int root) & {
+    return igather_bytes(std::as_writable_bytes(data), sizeof(T), root);
+  }
+  template <typename T>
+  Request icollect(std::span<T> data) & {
+    return icollect_bytes(std::as_writable_bytes(data), sizeof(T));
+  }
+  template <typename T>
+  Request iall_reduce_sum(std::span<T> data) & {
+    return icombine_to_all_bytes(std::as_writable_bytes(data), sum_op<T>());
+  }
+  template <typename T>
+  Request ireduce_sum(std::span<T> data, int root) & {
+    return icombine_to_one_bytes(std::as_writable_bytes(data), sum_op<T>(),
+                                 root);
+  }
+  template <typename T>
+  Request ireduce_scatter_sum(std::span<T> data) & {
+    return idistributed_combine_bytes(std::as_writable_bytes(data),
+                                      sum_op<T>());
+  }
+
   // Irregular ("v") variants: explicit per-rank element counts; rank i's
   // piece covers elements [sum(counts[0..i)), sum(counts[0..i])) of `buf`.
   void scatterv_bytes(std::span<std::byte> buf,
@@ -152,27 +273,66 @@ class Communicator {
   /// repeated shapes — the common case in iterative applications).
   const PlanCache& plan_cache() const { return cache_; }
 
+  /// Replaces the plan cache with one of `capacity` entries (0 disables
+  /// caching) and drops all memoized predictions.  Testing/tuning knob;
+  /// call only between collectives.
+  void set_plan_cache_capacity(std::size_t capacity);
+
+  /// This communicator's context namespace base (see collective_context);
+  /// members of one group with one color agree on it without communicating.
+  std::uint64_t context_base() const { return ctx_base_; }
+  /// Operation sequence number the next collective will use.
+  std::uint64_t next_sequence() const { return seq_; }
+
  private:
+  friend class Request;
+
   void run(Collective collective, std::span<std::byte> buf,
            std::size_t elem_size, int root, const ReduceOp* op);
+  Request irun(Collective collective, std::span<std::byte> buf,
+               std::size_t elem_size, int root, const ReduceOp* op);
 
-  /// Plan-cache state of a traced collective (TraceEvent::a2).
+  /// Plan-cache state of a traced collective (TraceEvent::a2 low bits).
   enum class CacheState : std::uint64_t { kMiss = 0, kHit = 1, kUncached = 2 };
 
   /// Executes the plan — through `compiled` with the communicator's
   /// persistent arena when given (the cached path; allocation-free when the
   /// arena is warm), else by interpreting `schedule` (the one-shot
-  /// v-variants).  Always updates the machine's collective metrics; when
-  /// the tracer is armed additionally records a collective span (name,
-  /// algorithm, shape, plan-cache state, and the predicted critical-path
-  /// time of the executed schedule for the model-vs-measured report).
-  /// `memoize_prediction` must be false for schedules without a stable
-  /// address (the uncached v-variants).
+  /// v-variants).  Always updates the machine's collective metrics — also
+  /// when execution throws, in which case the duration is recorded with the
+  /// error counter bumped and, under an armed tracer, an error-marked
+  /// collective span, before the exception continues (chaos runs stay
+  /// visible in metrics and traces).  When the tracer is armed additionally
+  /// records a collective span (name, algorithm, shape, plan-cache state,
+  /// and the predicted critical-path time of the executed schedule for the
+  /// model-vs-measured report).  `memo_key` keys the prediction memo (null
+  /// for the uncached v-variants, whose schedules have no cache identity).
   void execute_collective(const char* name, const Schedule& schedule,
                           const CompiledPlan* compiled,
                           std::span<std::byte> buf, std::uint64_t ctx,
                           const ReduceOp* op, std::size_t elems,
-                          CacheState cache_state, bool memoize_prediction);
+                          CacheState cache_state,
+                          const PlanCache::Key* memo_key);
+
+  /// Predicted critical-path ns of `schedule` for the model-vs-measured
+  /// join, memoized under `memo_key` when given (keyed by request shape,
+  /// not schedule address — cache eviction cannot leave dangling keys, and
+  /// a heap-reused Schedule address cannot inherit a stale prediction).
+  std::uint64_t predicted_for(const Schedule& schedule,
+                              const PlanCache::Key* memo_key);
+
+  /// Books a completed (or failed) async collective: metrics, and under an
+  /// armed-at-issue tracer the issue->completion collective span.
+  void finalize_async(AsyncCollectiveState* state, bool error);
+  /// Advances `state`'s cursor (poll or run to completion); on completion
+  /// or error finalizes and returns the state to the pool.  True when done.
+  bool advance_request(AsyncCollectiveState* state, bool blocking);
+  AsyncCollectiveState* acquire_async_state();
+  void release_async_state(AsyncCollectiveState* state);
+
+  /// Collective metrics for one finished execution.
+  void update_metrics(std::uint64_t duration_ns, std::size_t bytes,
+                      CacheState cache_state, bool error);
 
   Multicomputer* machine_;
   Group group_;
@@ -181,7 +341,8 @@ class Communicator {
   std::uint64_t seq_ = 0;
   PlanCache cache_;
   /// Scratch arena for compiled-plan execution, reused across collectives
-  /// (grown to the largest program seen; never shrunk).
+  /// (grown to the largest program seen; never shrunk).  Async requests
+  /// carry their own arenas — several may be in flight at once.
   std::vector<std::byte> arena_;
   /// Collective metric handles, resolved once at construction — the name
   /// lookup allocates, so the per-call path must not perform it.
@@ -190,10 +351,14 @@ class Communicator {
   Histogram* metric_ns_ = nullptr;
   Counter* metric_cache_hit_ = nullptr;
   Counter* metric_cache_miss_ = nullptr;
-  /// Predicted critical-path ns by schedule address (plan-cached schedules
-  /// have stable addresses for the communicator's lifetime); traced runs
-  /// only, so cache hits skip re-running analyze().
-  std::unordered_map<const Schedule*, std::uint64_t> predicted_ns_;
+  Counter* metric_errors_ = nullptr;
+  /// Predicted critical-path ns by plan-cache key; traced runs only, so
+  /// cache hits skip re-running analyze().
+  std::map<PlanCache::Key, std::uint64_t> predicted_ns_;
+  /// Pooled async-request states: owned here, recycled through free_states_
+  /// so steady-state non-blocking collectives allocate nothing.
+  std::vector<std::unique_ptr<AsyncCollectiveState>> async_states_;
+  std::vector<AsyncCollectiveState*> free_states_;
 };
 
 }  // namespace intercom

@@ -35,10 +35,10 @@
 
 #include "intercom/ir/schedule.hpp"
 #include "intercom/runtime/reduce.hpp"
+#include "intercom/runtime/transport.hpp"
 
 namespace intercom {
 
-class Transport;
 class Tracer;
 
 /// One pre-resolved operation: the Op's routing fields plus operand
@@ -96,11 +96,95 @@ class CompiledPlan {
   std::uint32_t step_labels_[5] = {0, 0, 0, 0, 0};
 };
 
+/// Resumable executor for one node's compiled program — the progress engine
+/// behind both the blocking collectives (start + run_to_completion) and the
+/// non-blocking Request path (start + poll until done).
+///
+/// The cursor is a flat state machine over the program's ops:
+///   * kSend tries a non-blocking send; a rendezvous send with no claimable
+///     posted buffer stays parked and is re-attempted on the next poll;
+///   * kRecv posts its ticket once, then polls try_wait_recv;
+///   * kSendRecv posts the receive half first (the deadlock-freedom
+///     discipline of the blocking executor), drives the send half to
+///     completion, then polls the receive half;
+///   * kCombine / kCopy are pure local compute and run inline.
+/// poll() never blocks on channel state: it advances as far as the wires
+/// allow and returns whether the program finished.  run_to_completion()
+/// finishes the remaining ops with the blocking transport calls — byte-for-
+/// byte the semantics of the pre-cursor linear walk, including timeout,
+/// reliability, and abort behaviour.  Transport failures rethrow with the
+/// op's context attached, exactly like the blocking executor.
+///
+/// After start() the cursor performs no allocation: all progress state is
+/// inline and the scratch arena is caller-owned — a cursor polled to
+/// completion on a plan-cache hit preserves the zero-alloc invariant.  The
+/// cursor is pinned while active (the transport holds a pointer to its
+/// embedded receive ticket), hence non-copyable and non-movable; one cursor
+/// drives one execution at a time and start() may be called again once the
+/// previous run finished or threw.
+class PlanCursor {
+ public:
+  PlanCursor() = default;
+  PlanCursor(const PlanCursor&) = delete;
+  PlanCursor& operator=(const PlanCursor&) = delete;
+
+  /// Arms the cursor on `node`'s program of `plan`.  `arena` is grown to the
+  /// program's requirement (no-op when already large enough); `reduce` is
+  /// required when the program contains combines.  Performs no transport
+  /// calls — the first advance happens on poll()/run_to_completion().
+  void start(Transport& transport, const CompiledPlan& plan, int node,
+             std::span<std::byte> user, std::uint64_t ctx,
+             const ReduceOp* reduce, std::vector<std::byte>& arena);
+
+  bool done() const { return phase_ == Phase::kDone; }
+  /// Non-blocking advance; returns done().
+  bool poll() { return advance(/*blocking=*/false); }
+  /// Blocking advance to completion.
+  void run_to_completion() { advance(/*blocking=*/true); }
+
+  std::size_t ops_completed() const { return op_index_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kDone,         ///< no program, finished, or not yet started
+    kNextOp,       ///< ready to begin ops_[op_index_]
+    kSendParked,   ///< a kSend waiting for the peer's claimable buffer
+    kSendRecvSend, ///< kSendRecv: receive posted, send half parked
+    kRecvWait,     ///< kRecv/kSendRecv: ticket posted, awaiting delivery
+  };
+
+  bool advance(bool blocking);
+  void complete_op(const COp& op);
+  std::span<std::byte> operand(bool is_user, std::size_t off,
+                               std::size_t len) const {
+    return std::span<std::byte>((is_user ? user_base_ : arena_base_) + off,
+                                len);
+  }
+
+  Transport* transport_ = nullptr;
+  const CProgram* prog_ = nullptr;
+  std::byte* user_base_ = nullptr;
+  std::byte* arena_base_ = nullptr;
+  std::uint64_t ctx_ = 0;
+  const ReduceOp* reduce_ = nullptr;
+  int node_ = -1;
+  std::size_t op_index_ = 0;
+  Phase phase_ = Phase::kDone;
+  Transport::PostedRecv ticket_;
+  Transport::RecvProgress rprog_;
+  // Tracing state for per-op step spans (0/false when disarmed at start).
+  Tracer* tracer_ = nullptr;
+  bool traced_ = false;
+  std::uint32_t labels_[5] = {0, 0, 0, 0, 0};
+  std::uint64_t op_t0_ = 0;
+};
+
 /// Executes `node`'s compiled program against the transport.  `arena` is the
 /// caller-owned scratch backing store; it is grown to the program's
 /// arena_bytes if needed and its contents are scratch (no zeroing).  A call
 /// whose arena is already large enough performs no allocation.  `reduce` is
-/// required when the program contains combine ops.
+/// required when the program contains combine ops.  Equivalent to a
+/// PlanCursor started and run to completion.
 void execute_compiled(Transport& transport, const CompiledPlan& plan,
                       int node, std::span<std::byte> user, std::uint64_t ctx,
                       const ReduceOp* reduce, std::vector<std::byte>& arena);

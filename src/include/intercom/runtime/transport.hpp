@@ -196,6 +196,55 @@ class Transport {
   /// ticket was already filled or withdrawn.
   void cancel_recv(PostedRecv& ticket);
 
+  // --- Non-blocking probes (the progress engine's building blocks) ---
+  //
+  // The async collectives (Communicator::ibroadcast & co.) drive their
+  // schedules with these instead of the blocking calls.  Both probes either
+  // COMPLETE the operation exactly as the blocking call would — same copies,
+  // same reliability bookkeeping, same trace/metric records — or leave every
+  // piece of channel state untouched and return false, so a caller may
+  // always fall back to the blocking call for the same operation (the
+  // Request::wait path does exactly that).
+
+  /// Non-blocking send attempt.  An eager payload (below the rendezvous
+  /// threshold) always completes: the deposit was already non-blocking.  A
+  /// rendezvous payload completes only when the receiver's matching buffer
+  /// is claimable right now — posted, unconsumed, and with no older buffered
+  /// message for the key ahead of it in FIFO order; otherwise nothing
+  /// happens and false is returned (the caller's send stays parked and is
+  /// re-attempted on a later poll).  Fault-injection fail-stop budgets are
+  /// charged only when the send actually proceeds, so polling a parked send
+  /// never burns them.
+  bool try_send(int src, int dst, std::uint64_t ctx, int tag,
+                std::span<const std::byte> data);
+
+  /// Cross-poll state of one non-blocking receive: retransmission pacing and
+  /// watchdog accounting that the blocking call keeps on its stack.  Value-
+  /// initialised at post time and owned by the caller alongside its
+  /// PostedRecv ticket; plain data, never allocates.
+  struct RecvProgress {
+    bool started = false;          ///< first poll has captured the state below
+    std::uint64_t expected = 0;    ///< in-order sequence number this receive
+                                   ///< is waiting for (reliable mode)
+    int attempts = 0;              ///< retransmissions driven so far
+    bool corrupt_seen = false;     ///< a delivered copy failed its checksum
+    long rto_ms = 0;               ///< current retransmission timeout
+    std::uint64_t deadline_ns = 0;  ///< next retransmit decision (mono clock)
+    std::uint64_t first_poll_ns = 0;  ///< receive-watchdog epoch
+  };
+
+  /// Non-blocking completion probe for a posted receive.  Returns true and
+  /// finalises the delivery (payload landed, ticket withdrawn, sender log
+  /// acked) when the matching message is available; false when it is not yet.
+  /// In reliable mode an overdue poll drives the same receiver-side
+  /// retransmission protocol as the blocking call, with `progress` carrying
+  /// the attempt count and backoff between polls; exhausting the retry
+  /// budget throws CorruptionError/TimeoutError exactly like wait_recv, and
+  /// the armed receive watchdog (set_recv_timeout_ms) counts from the first
+  /// poll.  Mixing is allowed: a ticket that has been polled may still be
+  /// finished with wait_recv (the blocking call restarts its retry budget).
+  bool try_wait_recv(PostedRecv& ticket, RecvProgress& progress);
+
   /// Attaches (or, with nullptr, detaches) a tracer.  Wire send/recv spans
   /// and retransmit events are recorded while the tracer is armed; disarmed
   /// (or detached), the hot path pays one pointer load plus one relaxed
@@ -333,8 +382,16 @@ class Transport {
   /// Index of the first pending message for `key`, or npos (mutex held).
   static std::size_t find_pending_locked(const Channel& ch, const CKey& key);
 
+  /// Charges one send against the injector's fail-stop budget (throws
+  /// AbortedError when the node's budget is exhausted).  No-op without an
+  /// injector.
+  void maybe_fail_stop(int src);
+
   void raw_send(int src, int dst, std::uint64_t ctx, int tag,
                 std::span<const std::byte> data);
+  /// Stages `data` in a pooled slab and queues it on `ch` (never blocks).
+  void deposit_eager(Channel& ch, const CKey& key,
+                     std::span<const std::byte> data);
   void raw_wait_recv(PostedRecv& ticket);
   /// Blocks (on the caller-held channel lock) until a posted receive is
   /// claimable for (ctx, tag) — posted, unconsumed, and with no older
@@ -347,8 +404,50 @@ class Transport {
   /// wire-event trace; 0 means "raw path, unsequenced").
   std::uint64_t reliable_send(int src, int dst, std::uint64_t ctx, int tag,
                               std::span<const std::byte> data);
+  /// Frames `data`, logs a clean copy for retransmission, and delivers the
+  /// frame (the body of reliable_send after the rendezvous handshake).
+  /// Returns the one-based sequence number.
+  std::uint64_t framed_send(int src, int dst, std::uint64_t ctx, int tag,
+                            std::span<const std::byte> data);
   /// Returns the one-based sequence number of the delivered frame.
   std::uint64_t reliable_wait_recv(PostedRecv& ticket);
+  /// Non-blocking bodies of try_send / try_wait_recv (split by wire mode,
+  /// mirroring the blocking pair).  `seq_out` reports the frame's one-based
+  /// sequence number for the wire trace.
+  bool raw_try_send(int src, int dst, std::uint64_t ctx, int tag,
+                    std::span<const std::byte> data);
+  bool reliable_try_send(int src, int dst, std::uint64_t ctx, int tag,
+                         std::span<const std::byte> data,
+                         std::uint64_t* seq_out);
+  bool raw_try_wait_recv(PostedRecv& ticket, RecvProgress& progress);
+  bool reliable_try_wait_recv(PostedRecv& ticket, RecvProgress& progress);
+  /// Scans dst's (src, dst) wire queue for flow `key`: validates each
+  /// frame's checksum at most once, discards corrupt frames and stale
+  /// duplicates, and — when the frame with sequence `expected` is buffered —
+  /// removes it into *frame and returns true.  Channel mutex held.
+  bool scan_pending_locked(Channel& ch, const CKey& key,
+                           std::uint64_t expected, Msg* frame,
+                           bool* corrupt_seen);
+  /// Completes an in-order reliable delivery whose frame has already been
+  /// taken off the queue and whose channel-side state was finalised: acks
+  /// (prunes the sender's retransmit log through `expected`), validates the
+  /// payload length, and lands the payload in the ticket's buffer.  Call
+  /// with no channel lock held.
+  void complete_reliable_delivery(PostedRecv& ticket, const FlowKey& flow_key,
+                                  std::uint64_t expected, Msg frame);
+  /// One receiver-driven retransmission decision for an overdue expected
+  /// frame (shared by the blocking RTO loop and the non-blocking poll).
+  /// Returns whether the sender's log had the frame; `*exhausted` is set
+  /// when the retry budget is spent, otherwise the clean copy is re-sent
+  /// and `*rto_ms` doubles.  Call with no channel lock held.
+  bool drive_retransmit(const PostedRecv& ticket, const CKey& key,
+                        const FlowKey& flow_key, std::uint64_t expected,
+                        int* attempts, long* rto_ms, bool* exhausted);
+  /// Throws the retry-budget-exhausted error for `expected` on `ticket`'s
+  /// flow: CorruptionError when a corrupt copy was seen, else TimeoutError.
+  [[noreturn]] void throw_retries_exhausted(const PostedRecv& ticket,
+                                            std::uint64_t expected,
+                                            bool corrupt_seen);
   /// Runs one framed delivery attempt through the injector (if any) and
   /// deposits survivors into the (src, dst) channel.
   void deliver_frame(int src, int dst, const CKey& key, Msg frame,

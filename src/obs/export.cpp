@@ -63,13 +63,14 @@ const char* category(EventKind kind) {
     case EventKind::kRetransmit: return "reliability";
     case EventKind::kAbort:
     case EventKind::kError: return "failure";
+    case EventKind::kAsyncIssue: return "collective";
   }
   return "?";
 }
 
 bool is_instant(EventKind kind) {
   return kind == EventKind::kRetransmit || kind == EventKind::kAbort ||
-         kind == EventKind::kError;
+         kind == EventKind::kError || kind == EventKind::kAsyncIssue;
 }
 
 void write_args(const Tracer& tracer, const TraceEvent& e, std::ostream& os) {
@@ -77,13 +78,20 @@ void write_args(const Tracer& tracer, const TraceEvent& e, std::ostream& os) {
   if (e.peer >= 0) os << ",\"peer\":" << e.peer;
   if (e.ctx != 0) os << ",\"ctx\":\"" << e.ctx << '"';  // 64-bit: keep string
   switch (e.kind) {
-    case EventKind::kCollective:
+    case EventKind::kCollective: {
+      const std::uint64_t cache = e.a2 & kCollectiveCacheMask;
       os << ",\"elems\":" << e.a0 << ",\"bytes\":" << e.bytes
          << ",\"algorithm\":\""
          << json_escape(tracer.label_text(e.label2)) << '"'
          << ",\"plan_cache\":\""
-         << (e.a2 == 1 ? "hit" : (e.a2 == 0 ? "miss" : "uncached")) << '"';
+         << (cache == 1 ? "hit" : (cache == 0 ? "miss" : "uncached")) << '"';
       if (e.a1 != 0) os << ",\"predicted_ns\":" << e.a1;
+      if (e.a2 & kCollectiveAsyncFlag) os << ",\"async\":true";
+      if (e.a2 & kCollectiveErrorFlag) os << ",\"error\":true";
+      break;
+    }
+    case EventKind::kAsyncIssue:
+      os << ",\"elems\":" << e.a0 << ",\"bytes\":" << e.bytes;
       break;
     case EventKind::kStep:
       os << ",\"tag\":" << e.tag << ",\"bytes\":" << e.bytes
@@ -144,7 +152,7 @@ void export_text_summary(const Tracer& tracer, const MetricsRegistry* metrics,
                          std::ostream& os) {
   os << "trace summary (" << tracer.node_count() << " nodes, capacity "
      << tracer.capacity_per_node() << " events/node)\n";
-  constexpr std::size_t kKinds = 8;
+  constexpr std::size_t kKinds = 9;
   std::array<std::uint64_t, kKinds> kind_totals{};
   TextTable per_node({"node", "recorded", "retained", "dropped", "collectives",
                       "wire ops", "retransmits"});

@@ -19,6 +19,8 @@ struct Instance {
   std::uint64_t max_duration_ns = 0;  // max over nodes = critical node
   std::uint64_t predicted_ns = 0;
   bool cache_hit = false;
+  bool async = false;
+  bool error = false;
 };
 
 struct ShapeAgg {
@@ -42,7 +44,9 @@ std::vector<ModelVsMeasuredRow> model_vs_measured(const Tracer& tracer) {
       const std::uint64_t duration = e.end_ns - e.start_ns;
       inst.max_duration_ns = std::max(inst.max_duration_ns, duration);
       if (e.a1 != 0) inst.predicted_ns = e.a1;
-      if (e.a2 == 1) inst.cache_hit = true;
+      if ((e.a2 & kCollectiveCacheMask) == 1) inst.cache_hit = true;
+      if (e.a2 & kCollectiveAsyncFlag) inst.async = true;
+      if (e.a2 & kCollectiveErrorFlag) inst.error = true;
     }
   }
   std::vector<ModelVsMeasuredRow> rows;
@@ -54,6 +58,8 @@ std::vector<ModelVsMeasuredRow> model_vs_measured(const Tracer& tracer) {
     for (const auto& [ctx, inst] : agg.instances) {
       ++row.calls;
       if (inst.cache_hit) ++row.cache_hits;
+      if (inst.async) ++row.async_calls;
+      if (inst.error) ++row.errors;
       total_ns += inst.max_duration_ns;
       max_ns = std::max(max_ns, inst.max_duration_ns);
       if (inst.predicted_ns != 0) predicted_ns = inst.predicted_ns;
@@ -84,7 +90,8 @@ void render_model_vs_measured(const std::vector<ModelVsMeasuredRow>& rows,
     return;
   }
   TextTable table({"collective", "algorithm", "elems", "bytes", "calls",
-                   "cached", "predicted", "measured", "worst", "meas/pred"});
+                   "cached", "async", "errors", "predicted", "measured",
+                   "worst", "meas/pred"});
   for (const ModelVsMeasuredRow& row : rows) {
     std::ostringstream ratio;
     if (row.ratio > 0.0) {
@@ -96,6 +103,7 @@ void render_model_vs_measured(const std::vector<ModelVsMeasuredRow>& rows,
     table.add_row({row.collective, row.algorithm, std::to_string(row.elems),
                    format_bytes(row.bytes), std::to_string(row.calls),
                    std::to_string(row.cache_hits),
+                   std::to_string(row.async_calls), std::to_string(row.errors),
                    format_seconds(row.predicted_s),
                    format_seconds(row.measured_mean_s),
                    format_seconds(row.measured_max_s), ratio.str()});

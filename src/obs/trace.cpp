@@ -69,6 +69,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kRetransmit: return "retransmit";
     case EventKind::kAbort: return "abort";
     case EventKind::kError: return "error";
+    case EventKind::kAsyncIssue: return "async-issue";
   }
   return "?";
 }

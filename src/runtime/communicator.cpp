@@ -40,8 +40,11 @@ std::uint64_t mono_ns() {
 }
 
 // FNV-1a over the group membership and color: all members derive the same
-// context namespace without communicating.
-std::uint64_t context_base(const Group& group, std::uint32_t color) {
+// context namespace without communicating.  The full 64-bit hash is kept —
+// sequence numbers are mixed in by collective_context, not added into low
+// bits (the old `h << 20` layout overflowed into a sibling communicator's
+// namespace after 2^20 operations).
+std::uint64_t group_context_base(const Group& group, std::uint32_t color) {
   std::uint64_t h = 1469598103934665603ULL;
   auto mix = [&h](std::uint64_t v) {
     h ^= v;
@@ -49,10 +52,48 @@ std::uint64_t context_base(const Group& group, std::uint32_t color) {
   };
   for (int m : group.members()) mix(static_cast<std::uint64_t>(m) + 1);
   mix(static_cast<std::uint64_t>(color) + 0x9e3779b97f4a7c15ULL);
-  return h << 20;  // leave room for 2^20 sequenced operations per second bump
+  return h;
 }
 
 }  // namespace
+
+std::uint64_t collective_context(std::uint64_t base, std::uint64_t seq) {
+  // splitmix64 finalizer over base + seq * odd constant.  The pre-mix is
+  // injective in seq for a fixed base (odd multiplier mod 2^64) and the
+  // finalizer is a bijection, so a communicator never collides with itself;
+  // different bases land their sequence windows pseudo-randomly across the
+  // whole 64-bit space.
+  std::uint64_t z = base + (seq + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One pooled in-flight non-blocking collective: the resumable cursor plus
+/// everything completion needs to book the collective (metrics, the
+/// issue->completion trace span) without touching the plan cache again.
+/// The shared_ptrs keep the schedule and compiled plan alive even if the
+/// cache evicts the entry while the request is in flight.
+struct AsyncCollectiveState {
+  PlanCursor cursor;
+  /// Per-request scratch arena (requests may overlap, so they cannot share
+  /// the communicator's); reused across the pooled state's lifetimes.
+  std::vector<std::byte> arena;
+  std::shared_ptr<const Schedule> schedule;
+  std::shared_ptr<const CompiledPlan> compiled;
+  ReduceOp reduce;  ///< copy taken at issue (captureless built-ins: no alloc)
+  bool has_reduce = false;
+  const char* name = "";
+  std::uint64_t ctx = 0;
+  std::size_t bytes = 0;
+  std::size_t elems = 0;
+  std::uint64_t cache_state = 0;  ///< Communicator::CacheState value
+  bool traced = false;            ///< tracer was armed at issue
+  std::uint64_t issue_ns = 0;
+  std::uint64_t predicted = 0;
+  std::uint32_t label = 0;   ///< interned collective name (traced only)
+  std::uint32_t label2 = 0;  ///< interned algorithm name (traced only)
+};
 
 Communicator Node::world() {
   return Communicator(*machine_, Group::contiguous(machine_->node_count()),
@@ -71,7 +112,7 @@ Communicator::Communicator(Multicomputer& machine, Group group, int my_rank,
     : machine_(&machine),
       group_(std::move(group)),
       my_rank_(my_rank),
-      ctx_base_(context_base(group_, color)) {
+      ctx_base_(group_context_base(group_, color)) {
   INTERCOM_REQUIRE(my_rank_ >= 0 && my_rank_ < group_.size(),
                    "communicator rank out of range");
   // Resolve metric handles once; the registry's name lookup allocates, and
@@ -82,7 +123,13 @@ Communicator::Communicator(Multicomputer& machine, Group group, int my_rank,
   metric_ns_ = &metrics.histogram("collective.ns");
   metric_cache_hit_ = &metrics.counter("planner.cache.hit");
   metric_cache_miss_ = &metrics.counter("planner.cache.miss");
+  metric_errors_ = &metrics.counter("collective.errors");
 }
+
+// Defined out of line where AsyncCollectiveState is complete.
+Communicator::Communicator(Communicator&&) noexcept = default;
+Communicator& Communicator::operator=(Communicator&&) noexcept = default;
+Communicator::~Communicator() = default;
 
 void Communicator::run(Collective collective, std::span<std::byte> buf,
                        std::size_t elem_size, int root, const ReduceOp* op) {
@@ -108,11 +155,48 @@ void Communicator::run(Collective collective, std::span<std::byte> buf,
     entry->compiled = std::make_shared<const CompiledPlan>(
         *entry->schedule, &machine_->tracer());
   }
-  const std::uint64_t ctx = ctx_base_ + seq_++;
+  const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
   execute_collective(collective_name(collective), *entry->schedule,
                      entry->compiled.get(), buf, ctx, op, elems,
-                     cache_hit ? CacheState::kHit : CacheState::kMiss,
-                     /*memoize_prediction=*/true);
+                     cache_hit ? CacheState::kHit : CacheState::kMiss, &key);
+}
+
+void Communicator::update_metrics(std::uint64_t duration_ns, std::size_t bytes,
+                                  CacheState cache_state, bool error) {
+  metric_calls_->inc();
+  metric_bytes_->observe(bytes);
+  metric_ns_->observe(duration_ns);
+  if (cache_state == CacheState::kHit) {
+    metric_cache_hit_->inc();
+  } else if (cache_state == CacheState::kMiss) {
+    metric_cache_miss_->inc();
+  }
+  if (error) metric_errors_->inc();
+}
+
+std::uint64_t Communicator::predicted_for(const Schedule& schedule,
+                                          const PlanCache::Key* memo_key) {
+  // Predicted critical path of the *executed* schedule — the join key of
+  // the model-vs-measured report.  Memoized by plan-cache key so steady
+  // state (plan-cache hits) does not re-run analyze(); 1 ns floors a
+  // genuine zero prediction apart from "unavailable".
+  if (memo_key != nullptr) {
+    const auto it = predicted_ns_.find(*memo_key);
+    if (it != predicted_ns_.end()) return it->second;
+  }
+  std::uint64_t predicted = 0;
+  try {
+    const double seconds =
+        analyze(schedule, machine_->planner().params()).critical_seconds;
+    predicted =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(seconds * 1e9));
+  } catch (const Error&) {
+    predicted = 0;  // ill-formed for analysis; report shows "-"
+  }
+  if (memo_key != nullptr && predicted != 0) {
+    predicted_ns_[*memo_key] = predicted;
+  }
+  return predicted;
 }
 
 void Communicator::execute_collective(const char* name,
@@ -122,7 +206,7 @@ void Communicator::execute_collective(const char* name,
                                       std::uint64_t ctx, const ReduceOp* op,
                                       std::size_t elems,
                                       CacheState cache_state,
-                                      bool memoize_prediction) {
+                                      const PlanCache::Key* memo_key) {
   const int node = group_.physical(my_rank_);
   Transport& transport = machine_->transport();
   const auto execute = [&] {
@@ -132,46 +216,21 @@ void Communicator::execute_collective(const char* name,
       execute_program(transport, schedule, node, buf, ctx, op);
     }
   };
-  const auto update_metrics = [&](std::uint64_t duration_ns) {
-    metric_calls_->inc();
-    metric_bytes_->observe(buf.size());
-    metric_ns_->observe(duration_ns);
-    if (cache_state == CacheState::kHit) {
-      metric_cache_hit_->inc();
-    } else if (cache_state == CacheState::kMiss) {
-      metric_cache_miss_->inc();
-    }
-  };
   Tracer& tracer = machine_->tracer();
   if (!tracer.armed()) {
     // Metrics are recorded tracer or no tracer (cached handles, relaxed
-    // atomics — nothing here allocates or takes a lock).
+    // atomics — nothing here allocates or takes a lock).  A throwing
+    // execution still books its duration and the error counter before the
+    // exception continues.
     const std::uint64_t t0 = mono_ns();
-    execute();
-    update_metrics(mono_ns() - t0);
-    return;
-  }
-  // Predicted critical path of the *executed* schedule — the join key of
-  // the model-vs-measured report.  Memoized per cached schedule so steady
-  // state (plan-cache hits) does not re-run analyze(); 1 ns floors a
-  // genuine zero prediction apart from "unavailable".
-  std::uint64_t predicted = 0;
-  if (memoize_prediction) {
-    const auto it = predicted_ns_.find(&schedule);
-    if (it != predicted_ns_.end()) predicted = it->second;
-  }
-  if (predicted == 0) {
     try {
-      const double seconds =
-          analyze(schedule, machine_->planner().params()).critical_seconds;
-      predicted = std::max<std::uint64_t>(
-          1, static_cast<std::uint64_t>(seconds * 1e9));
-    } catch (const Error&) {
-      predicted = 0;  // ill-formed for analysis; report shows "-"
+      execute();
+    } catch (...) {
+      update_metrics(mono_ns() - t0, buf.size(), cache_state, /*error=*/true);
+      throw;
     }
-    if (memoize_prediction && predicted != 0) {
-      predicted_ns_[&schedule] = predicted;
-    }
+    update_metrics(mono_ns() - t0, buf.size(), cache_state, /*error=*/false);
+    return;
   }
   TraceEvent event;
   event.kind = EventKind::kCollective;
@@ -180,13 +239,25 @@ void Communicator::execute_collective(const char* name,
   event.ctx = ctx;
   event.bytes = buf.size();
   event.a0 = elems;
-  event.a1 = predicted;
+  event.a1 = predicted_for(schedule, memo_key);
   event.a2 = static_cast<std::uint64_t>(cache_state);
   event.start_ns = tracer.now_ns();
-  execute();
+  try {
+    execute();
+  } catch (...) {
+    // The armed span is not dropped on failure: close it with the error
+    // flag so chaos runs remain visible in traces and in the report.
+    event.end_ns = tracer.now_ns();
+    event.a2 |= kCollectiveErrorFlag;
+    tracer.record(node, event);
+    update_metrics(event.end_ns - event.start_ns, buf.size(), cache_state,
+                   /*error=*/true);
+    throw;
+  }
   event.end_ns = tracer.now_ns();
   tracer.record(node, event);
-  update_metrics(event.end_ns - event.start_ns);
+  update_metrics(event.end_ns - event.start_ns, buf.size(), cache_state,
+                 /*error=*/false);
 }
 
 void Communicator::broadcast_bytes(std::span<std::byte> buf,
@@ -224,6 +295,240 @@ void Communicator::distributed_combine_bytes(std::span<std::byte> buf,
   run(Collective::kDistributedCombine, buf, op.elem_size, 0, &op);
 }
 
+AsyncCollectiveState* Communicator::acquire_async_state() {
+  if (!free_states_.empty()) {
+    AsyncCollectiveState* state = free_states_.back();
+    free_states_.pop_back();
+    return state;
+  }
+  async_states_.push_back(std::make_unique<AsyncCollectiveState>());
+  // Guarantee the eventual release never allocates: the free list can hold
+  // at most every pooled state.
+  free_states_.reserve(async_states_.size());
+  return async_states_.back().get();
+}
+
+void Communicator::release_async_state(AsyncCollectiveState* state) {
+  // Drop the plan keep-alives (an evicted plan should not be pinned by an
+  // idle pool slot); the arena's capacity is deliberately retained.
+  state->schedule.reset();
+  state->compiled.reset();
+  state->reduce = ReduceOp{};
+  free_states_.push_back(state);
+}
+
+Request Communicator::irun(Collective collective, std::span<std::byte> buf,
+                           std::size_t elem_size, int root,
+                           const ReduceOp* op) {
+  INTERCOM_REQUIRE(elem_size >= 1, "element size must be at least 1");
+  INTERCOM_REQUIRE(buf.size() % elem_size == 0,
+                   "buffer length must be a multiple of the element size");
+  const std::size_t elems = buf.size() / elem_size;
+  const PlanCache::Key key{collective, elems, elem_size, root};
+  PlanCache::CachedPlan* entry = cache_.find(key);
+  const bool cache_hit = entry != nullptr;
+  if (!cache_hit) {
+    entry = &cache_.insert(
+        key, machine_->planner().plan(collective, group_, elems, elem_size,
+                                      root));
+  }
+  if (!entry->compiled) {
+    entry->compiled = std::make_shared<const CompiledPlan>(
+        *entry->schedule, &machine_->tracer());
+  }
+  const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
+  Tracer& tracer = machine_->tracer();
+  AsyncCollectiveState* state = acquire_async_state();
+  state->schedule = entry->schedule;
+  state->compiled = entry->compiled;
+  state->has_reduce = op != nullptr;
+  if (op != nullptr) state->reduce = *op;
+  state->name = collective_name(collective);
+  state->ctx = ctx;
+  state->bytes = buf.size();
+  state->elems = elems;
+  state->cache_state = static_cast<std::uint64_t>(
+      cache_hit ? CacheState::kHit : CacheState::kMiss);
+  state->traced = tracer.armed();
+  if (state->traced) {
+    state->label = tracer.intern(state->name);
+    state->label2 = tracer.intern(state->schedule->algorithm());
+    state->predicted = predicted_for(*state->schedule, &key);
+    state->issue_ns = tracer.now_ns();
+    // Instant marking the issue point — the collective span itself covers
+    // issue -> completion, so the gap between them is visible overlap.
+    TraceEvent event;
+    event.kind = EventKind::kAsyncIssue;
+    event.label = state->label;
+    event.ctx = ctx;
+    event.bytes = buf.size();
+    event.a0 = elems;
+    event.start_ns = state->issue_ns;
+    event.end_ns = state->issue_ns;
+    tracer.record(group_.physical(my_rank_), event);
+  } else {
+    state->issue_ns = mono_ns();
+  }
+  try {
+    state->cursor.start(machine_->transport(), *state->compiled,
+                        group_.physical(my_rank_), buf, ctx,
+                        state->has_reduce ? &state->reduce : nullptr,
+                        state->arena);
+  } catch (...) {
+    finalize_async(state, /*error=*/true);
+    release_async_state(state);
+    throw;
+  }
+  return Request(this, state);
+}
+
+void Communicator::finalize_async(AsyncCollectiveState* state, bool error) {
+  Tracer& tracer = machine_->tracer();
+  const std::uint64_t end_ns = state->traced ? tracer.now_ns() : mono_ns();
+  update_metrics(end_ns - state->issue_ns, state->bytes,
+                 static_cast<CacheState>(state->cache_state), error);
+  if (!state->traced) return;
+  // Issue -> completion span: overlapped compute inflates it relative to
+  // the blocking twin, which is exactly the observable the bench reports.
+  TraceEvent event;
+  event.kind = EventKind::kCollective;
+  event.label = state->label;
+  event.label2 = state->label2;
+  event.ctx = state->ctx;
+  event.bytes = state->bytes;
+  event.a0 = state->elems;
+  event.a1 = state->predicted;
+  event.a2 = state->cache_state | kCollectiveAsyncFlag |
+             (error ? kCollectiveErrorFlag : 0);
+  event.start_ns = state->issue_ns;
+  event.end_ns = end_ns;
+  tracer.record(group_.physical(my_rank_), event);
+}
+
+bool Communicator::advance_request(AsyncCollectiveState* state,
+                                   bool blocking) {
+  bool done;
+  try {
+    if (blocking) {
+      state->cursor.run_to_completion();
+      done = true;
+    } else {
+      done = state->cursor.poll();
+    }
+  } catch (...) {
+    finalize_async(state, /*error=*/true);
+    release_async_state(state);
+    throw;
+  }
+  if (!done) return false;
+  finalize_async(state, /*error=*/false);
+  release_async_state(state);
+  return true;
+}
+
+Request Communicator::ibroadcast_bytes(std::span<std::byte> buf,
+                                       std::size_t elem_size, int root) & {
+  return irun(Collective::kBroadcast, buf, elem_size, root, nullptr);
+}
+
+Request Communicator::iscatter_bytes(std::span<std::byte> buf,
+                                     std::size_t elem_size, int root) & {
+  return irun(Collective::kScatter, buf, elem_size, root, nullptr);
+}
+
+Request Communicator::igather_bytes(std::span<std::byte> buf,
+                                    std::size_t elem_size, int root) & {
+  return irun(Collective::kGather, buf, elem_size, root, nullptr);
+}
+
+Request Communicator::icollect_bytes(std::span<std::byte> buf,
+                                     std::size_t elem_size) & {
+  return irun(Collective::kCollect, buf, elem_size, 0, nullptr);
+}
+
+Request Communicator::icombine_to_one_bytes(std::span<std::byte> buf,
+                                            const ReduceOp& op, int root) & {
+  return irun(Collective::kCombineToOne, buf, op.elem_size, root, &op);
+}
+
+Request Communicator::icombine_to_all_bytes(std::span<std::byte> buf,
+                                            const ReduceOp& op) & {
+  return irun(Collective::kCombineToAll, buf, op.elem_size, 0, &op);
+}
+
+Request Communicator::idistributed_combine_bytes(std::span<std::byte> buf,
+                                                 const ReduceOp& op) & {
+  return irun(Collective::kDistributedCombine, buf, op.elem_size, 0, &op);
+}
+
+void Communicator::set_plan_cache_capacity(std::size_t capacity) {
+  cache_ = PlanCache(capacity);
+  predicted_ns_.clear();
+}
+
+Request::Request(Request&& other) noexcept
+    : comm_(other.comm_), state_(other.state_) {
+  other.comm_ = nullptr;
+  other.state_ = nullptr;
+}
+
+Request& Request::operator=(Request&& other) noexcept {
+  if (this != &other) {
+    if (state_ != nullptr) {
+      try {
+        comm_->advance_request(state_, /*blocking=*/true);
+      } catch (...) {
+        // Destructor semantics: completion errors surface via metrics/trace
+        // and machine-level aborts, not from a move-assignment.
+      }
+    }
+    comm_ = other.comm_;
+    state_ = other.state_;
+    other.comm_ = nullptr;
+    other.state_ = nullptr;
+  }
+  return *this;
+}
+
+Request::~Request() {
+  if (state_ == nullptr) return;
+  try {
+    comm_->advance_request(state_, /*blocking=*/true);
+  } catch (...) {
+    // Swallowed: the error was booked (metrics + error-marked span), and a
+    // machine failure still reaches the caller through abort propagation.
+  }
+}
+
+bool Request::test() {
+  INTERCOM_REQUIRE(state_ != nullptr, "test() on an empty Request");
+  bool done;
+  try {
+    done = comm_->advance_request(state_, /*blocking=*/false);
+  } catch (...) {
+    // advance_request already returned the state to the pool.
+    comm_ = nullptr;
+    state_ = nullptr;
+    throw;
+  }
+  if (done) {
+    comm_ = nullptr;
+    state_ = nullptr;
+  }
+  return done;
+}
+
+void Request::wait() {
+  INTERCOM_REQUIRE(state_ != nullptr, "wait() on an empty Request");
+  Communicator* comm = comm_;
+  AsyncCollectiveState* state = state_;
+  // Detach first: advance_request releases the state on completion *and* on
+  // error, so the handle must not point at it afterwards either way.
+  comm_ = nullptr;
+  state_ = nullptr;
+  comm->advance_request(state, /*blocking=*/true);
+}
+
 namespace {
 
 std::size_t total_elems(const std::vector<std::size_t>& counts) {
@@ -237,10 +542,9 @@ void Communicator::scatterv_bytes(std::span<std::byte> buf,
                                   std::size_t elem_size, int root) {
   const Schedule schedule =
       machine_->planner().plan_scatterv(group_, counts, elem_size, root);
-  const std::uint64_t ctx = ctx_base_ + seq_++;
+  const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
   execute_collective("scatterv", schedule, nullptr, buf, ctx, nullptr,
-                     total_elems(counts), CacheState::kUncached,
-                     /*memoize_prediction=*/false);
+                     total_elems(counts), CacheState::kUncached, nullptr);
 }
 
 void Communicator::gatherv_bytes(std::span<std::byte> buf,
@@ -248,10 +552,9 @@ void Communicator::gatherv_bytes(std::span<std::byte> buf,
                                  std::size_t elem_size, int root) {
   const Schedule schedule =
       machine_->planner().plan_gatherv(group_, counts, elem_size, root);
-  const std::uint64_t ctx = ctx_base_ + seq_++;
+  const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
   execute_collective("gatherv", schedule, nullptr, buf, ctx, nullptr,
-                     total_elems(counts), CacheState::kUncached,
-                     /*memoize_prediction=*/false);
+                     total_elems(counts), CacheState::kUncached, nullptr);
 }
 
 void Communicator::collectv_bytes(std::span<std::byte> buf,
@@ -259,10 +562,9 @@ void Communicator::collectv_bytes(std::span<std::byte> buf,
                                   std::size_t elem_size) {
   const Schedule schedule =
       machine_->planner().plan_collectv(group_, counts, elem_size);
-  const std::uint64_t ctx = ctx_base_ + seq_++;
+  const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
   execute_collective("collectv", schedule, nullptr, buf, ctx, nullptr,
-                     total_elems(counts), CacheState::kUncached,
-                     /*memoize_prediction=*/false);
+                     total_elems(counts), CacheState::kUncached, nullptr);
 }
 
 void Communicator::reduce_scatterv_bytes(
@@ -270,10 +572,9 @@ void Communicator::reduce_scatterv_bytes(
     const ReduceOp& op) {
   const Schedule schedule = machine_->planner().plan_distributed_combinev(
       group_, counts, op.elem_size);
-  const std::uint64_t ctx = ctx_base_ + seq_++;
+  const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
   execute_collective("reduce_scatterv", schedule, nullptr, buf, ctx, &op,
-                     total_elems(counts), CacheState::kUncached,
-                     /*memoize_prediction=*/false);
+                     total_elems(counts), CacheState::kUncached, nullptr);
 }
 
 ElemRange Communicator::piece_of(std::size_t elems, int rank) const {

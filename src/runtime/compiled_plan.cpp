@@ -198,113 +198,214 @@ const CProgram* CompiledPlan::find_program(int node) const {
   return nullptr;
 }
 
+void PlanCursor::start(Transport& transport, const CompiledPlan& plan,
+                       int node, std::span<std::byte> user, std::uint64_t ctx,
+                       const ReduceOp* reduce, std::vector<std::byte>& arena) {
+  transport_ = &transport;
+  node_ = node;
+  ctx_ = ctx;
+  reduce_ = reduce;
+  op_index_ = 0;
+  prog_ = plan.find_program(node);
+  if (prog_ == nullptr) {
+    phase_ = Phase::kDone;
+    return;
+  }
+  INTERCOM_REQUIRE(prog_->user_bytes <= user.size(),
+                   "user buffer too small for this schedule");
+  if (arena.size() < prog_->arena_bytes) arena.resize(prog_->arena_bytes);
+  user_base_ = user.data();
+  arena_base_ = arena.data();
+  tracer_ = transport.tracer();
+  traced_ = tracer_ != nullptr && tracer_->armed();
+  if (traced_) {
+    const std::uint32_t* labels = plan.step_labels();
+    if (labels[static_cast<int>(OpKind::kSend)] == 0) {
+      // Plan compiled without a tracer: intern the step labels now (cold).
+      labels_[static_cast<int>(OpKind::kSend)] = tracer_->intern("step:send");
+      labels_[static_cast<int>(OpKind::kRecv)] = tracer_->intern("step:recv");
+      labels_[static_cast<int>(OpKind::kSendRecv)] =
+          tracer_->intern("step:sendrecv");
+      labels_[static_cast<int>(OpKind::kCombine)] =
+          tracer_->intern("step:combine");
+      labels_[static_cast<int>(OpKind::kCopy)] = tracer_->intern("step:copy");
+    } else {
+      for (int k = 0; k < 5; ++k) labels_[k] = labels[k];
+    }
+  }
+  phase_ = Phase::kNextOp;
+}
+
+void PlanCursor::complete_op(const COp& op) {
+  if (traced_) {
+    // The step span covers first attempt through completion, so a parked
+    // async op's span shows how long the wire gated it.
+    TraceEvent event;
+    event.kind = EventKind::kStep;
+    event.start_ns = op_t0_;
+    event.end_ns = tracer_->now_ns();
+    event.label = labels_[static_cast<int>(op.kind)];
+    event.peer = op.peer;
+    event.tag = op.tag;
+    event.ctx = ctx_;
+    event.bytes = (op.kind == OpKind::kSend || op.kind == OpKind::kSendRecv)
+                      ? op.src_len
+                      : op.dst_len;
+    event.a0 = op_index_;
+    tracer_->record(node_, event);
+  }
+  ++op_index_;
+  phase_ = Phase::kNextOp;
+}
+
+bool PlanCursor::advance(bool blocking) {
+  while (true) {
+    switch (phase_) {
+      case Phase::kDone:
+        return true;
+      case Phase::kNextOp: {
+        if (op_index_ >= prog_->ops.size()) {
+          phase_ = Phase::kDone;
+          return true;
+        }
+        const COp& op = prog_->ops[op_index_];
+        op_t0_ = traced_ ? tracer_->now_ns() : 0;
+        try {
+          switch (op.kind) {
+            case OpKind::kSend:
+              phase_ = Phase::kSendParked;
+              continue;  // attempt it below
+            case OpKind::kRecv: {
+              const ReduceOp* accumulate = nullptr;
+              if (op.accumulate) {
+                INTERCOM_REQUIRE(
+                    reduce_ != nullptr && reduce_->fn,
+                    "schedule contains combines but no ReduceOp given");
+                accumulate = reduce_;
+              }
+              transport_->post_recv(
+                  ticket_, op.peer, node_, ctx_, op.tag,
+                  operand(op.dst_user, op.dst_off, op.dst_len), accumulate);
+              rprog_ = Transport::RecvProgress{};
+              phase_ = Phase::kRecvWait;
+              continue;
+            }
+            case OpKind::kSendRecv: {
+              // Post the receive before issuing the send: above the
+              // rendezvous threshold the send completes only once the
+              // peer's receive is posted, and validated schedules treat
+              // the two halves as simultaneous — a ring of post-then-send
+              // makes progress where send-then-post would deadlock.
+              const ReduceOp* accumulate = nullptr;
+              if (op.accumulate) {
+                INTERCOM_REQUIRE(
+                    reduce_ != nullptr && reduce_->fn,
+                    "schedule contains combines but no ReduceOp given");
+                accumulate = reduce_;
+              }
+              transport_->post_recv(
+                  ticket_, op.peer2, node_, ctx_, op.tag2,
+                  operand(op.dst_user, op.dst_off, op.dst_len), accumulate);
+              rprog_ = Transport::RecvProgress{};
+              phase_ = Phase::kSendRecvSend;
+              continue;
+            }
+            case OpKind::kCombine: {
+              INTERCOM_REQUIRE(
+                  reduce_ != nullptr && reduce_->fn,
+                  "schedule contains combines but no ReduceOp given");
+              const auto src = operand(op.src_user, op.src_off, op.src_len);
+              const auto dst = operand(op.dst_user, op.dst_off, op.dst_len);
+              reduce_->fn(dst.data(), src.data(), src.size());
+              complete_op(op);
+              continue;
+            }
+            case OpKind::kCopy: {
+              const auto src = operand(op.src_user, op.src_off, op.src_len);
+              const auto dst = operand(op.dst_user, op.dst_off, op.dst_len);
+              if (!src.empty()) {
+                std::memcpy(dst.data(), src.data(), src.size());
+              }
+              complete_op(op);
+              continue;
+            }
+          }
+        } catch (const Error&) {
+          phase_ = Phase::kDone;
+          rethrow_with_op_context(node_, op_index_, op);
+        }
+        continue;
+      }
+      case Phase::kSendParked: {
+        const COp& op = prog_->ops[op_index_];
+        try {
+          const auto src = operand(op.src_user, op.src_off, op.src_len);
+          if (blocking) {
+            transport_->send(node_, op.peer, ctx_, op.tag, src);
+          } else if (!transport_->try_send(node_, op.peer, ctx_, op.tag,
+                                           src)) {
+            return false;  // rendezvous buffer not claimable yet; stay parked
+          }
+        } catch (const Error&) {
+          phase_ = Phase::kDone;
+          rethrow_with_op_context(node_, op_index_, op);
+        }
+        complete_op(op);
+        continue;
+      }
+      case Phase::kSendRecvSend: {
+        const COp& op = prog_->ops[op_index_];
+        try {
+          const auto src = operand(op.src_user, op.src_off, op.src_len);
+          if (blocking) {
+            try {
+              transport_->send(node_, op.peer, ctx_, op.tag, src);
+            } catch (...) {
+              transport_->cancel_recv(ticket_);
+              throw;
+            }
+          } else {
+            bool sent;
+            try {
+              sent = transport_->try_send(node_, op.peer, ctx_, op.tag, src);
+            } catch (...) {
+              transport_->cancel_recv(ticket_);
+              throw;
+            }
+            if (!sent) return false;  // send half parked; receive stays posted
+          }
+        } catch (const Error&) {
+          phase_ = Phase::kDone;
+          rethrow_with_op_context(node_, op_index_, op);
+        }
+        phase_ = Phase::kRecvWait;
+        continue;
+      }
+      case Phase::kRecvWait: {
+        const COp& op = prog_->ops[op_index_];
+        try {
+          if (blocking) {
+            transport_->wait_recv(ticket_);
+          } else if (!transport_->try_wait_recv(ticket_, rprog_)) {
+            return false;
+          }
+        } catch (const Error&) {
+          phase_ = Phase::kDone;
+          rethrow_with_op_context(node_, op_index_, op);
+        }
+        complete_op(op);
+        continue;
+      }
+    }
+  }
+}
+
 void execute_compiled(Transport& transport, const CompiledPlan& plan,
                       int node, std::span<std::byte> user, std::uint64_t ctx,
                       const ReduceOp* reduce, std::vector<std::byte>& arena) {
-  const CProgram* prog = plan.find_program(node);
-  if (prog == nullptr) return;
-  INTERCOM_REQUIRE(prog->user_bytes <= user.size(),
-                   "user buffer too small for this schedule");
-  if (arena.size() < prog->arena_bytes) arena.resize(prog->arena_bytes);
-  std::byte* const user_base = user.data();
-  std::byte* const arena_base = arena.data();
-  const auto operand = [&](bool is_user, std::size_t off, std::size_t len) {
-    return std::span<std::byte>((is_user ? user_base : arena_base) + off, len);
-  };
-
-  Tracer* tracer = transport.tracer();
-  const bool traced = tracer != nullptr && tracer->armed();
-  const std::uint32_t* labels = plan.step_labels();
-  std::uint32_t local_labels[5];
-  if (traced && labels[static_cast<int>(OpKind::kSend)] == 0) {
-    // Plan compiled without a tracer: intern the step labels now (cold).
-    local_labels[static_cast<int>(OpKind::kSend)] = tracer->intern("step:send");
-    local_labels[static_cast<int>(OpKind::kRecv)] = tracer->intern("step:recv");
-    local_labels[static_cast<int>(OpKind::kSendRecv)] =
-        tracer->intern("step:sendrecv");
-    local_labels[static_cast<int>(OpKind::kCombine)] =
-        tracer->intern("step:combine");
-    local_labels[static_cast<int>(OpKind::kCopy)] =
-        tracer->intern("step:copy");
-    labels = local_labels;
-  }
-  const auto accumulate_op = [&](const COp& op) -> const ReduceOp* {
-    if (!op.accumulate) return nullptr;
-    INTERCOM_REQUIRE(reduce != nullptr && reduce->fn,
-                     "schedule contains combines but no ReduceOp given");
-    return reduce;
-  };
-  for (std::size_t op_index = 0; op_index < prog->ops.size(); ++op_index) {
-    const COp& op = prog->ops[op_index];
-    const std::uint64_t t0 = traced ? tracer->now_ns() : 0;
-    try {
-      switch (op.kind) {
-        case OpKind::kSend: {
-          transport.send(node, op.peer, ctx, op.tag,
-                         operand(op.src_user, op.src_off, op.src_len));
-          break;
-        }
-        case OpKind::kRecv: {
-          transport.recv(op.peer, node, ctx, op.tag,
-                         operand(op.dst_user, op.dst_off, op.dst_len),
-                         accumulate_op(op));
-          break;
-        }
-        case OpKind::kSendRecv: {
-          // Post the receive before issuing the send: above the rendezvous
-          // threshold the send blocks until the peer's receive is posted,
-          // and validated schedules treat the two halves as simultaneous —
-          // a ring of post-then-send makes progress where send-then-post
-          // would deadlock.
-          Transport::PostedRecv ticket;
-          transport.post_recv(ticket, op.peer2, node, ctx, op.tag2,
-                              operand(op.dst_user, op.dst_off, op.dst_len),
-                              accumulate_op(op));
-          try {
-            transport.send(node, op.peer, ctx, op.tag,
-                           operand(op.src_user, op.src_off, op.src_len));
-          } catch (...) {
-            transport.cancel_recv(ticket);
-            throw;
-          }
-          transport.wait_recv(ticket);
-          break;
-        }
-        case OpKind::kCombine: {
-          INTERCOM_REQUIRE(reduce != nullptr && reduce->fn,
-                           "schedule contains combines but no ReduceOp given");
-          const auto src = operand(op.src_user, op.src_off, op.src_len);
-          const auto dst = operand(op.dst_user, op.dst_off, op.dst_len);
-          reduce->fn(dst.data(), src.data(), src.size());
-          break;
-        }
-        case OpKind::kCopy: {
-          const auto src = operand(op.src_user, op.src_off, op.src_len);
-          const auto dst = operand(op.dst_user, op.dst_off, op.dst_len);
-          if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size());
-          break;
-        }
-      }
-    } catch (const Error&) {
-      rethrow_with_op_context(node, op_index, op);
-    }
-    if (traced) {
-      TraceEvent event;
-      event.kind = EventKind::kStep;
-      event.start_ns = t0;
-      event.end_ns = tracer->now_ns();
-      event.label = labels[static_cast<int>(op.kind)];
-      event.peer = op.peer;
-      event.tag = op.tag;
-      event.ctx = ctx;
-      event.bytes =
-          (op.kind == OpKind::kSend || op.kind == OpKind::kSendRecv)
-              ? op.src_len
-              : op.dst_len;
-      event.a0 = op_index;
-      tracer->record(node, event);
-    }
-  }
+  PlanCursor cursor;
+  cursor.start(transport, plan, node, user, ctx, reduce, arena);
+  cursor.run_to_completion();
 }
 
 }  // namespace intercom

@@ -371,18 +371,22 @@ void Transport::throw_send_timeout(int src, int dst, std::uint64_t ctx,
   throw TimeoutError(os.str());
 }
 
-void Transport::send(int src, int dst, std::uint64_t ctx, int tag,
-                     std::span<const std::byte> data) {
-  check_node(src);
-  check_node(dst);
-  INTERCOM_REQUIRE(src != dst, "self-sends are not allowed");
-  if (aborted_.load(std::memory_order_relaxed)) throw_aborted();
+void Transport::maybe_fail_stop(int src) {
   if (FaultInjector* injector = injector_.get()) {
     if (injector->on_send(src)) {
       throw AbortedError("fault injection: node " + std::to_string(src) +
                          " fail-stopped (send budget exhausted)");
     }
   }
+}
+
+void Transport::send(int src, int dst, std::uint64_t ctx, int tag,
+                     std::span<const std::byte> data) {
+  check_node(src);
+  check_node(dst);
+  INTERCOM_REQUIRE(src != dst, "self-sends are not allowed");
+  if (aborted_.load(std::memory_order_relaxed)) throw_aborted();
+  maybe_fail_stop(src);
   // Disarmed cost: two pointer loads + one relaxed atomic load (the same
   // bypass discipline as the reliability layer's `reliable_` check).
   // Metrics and tracing are independent: an attached registry is updated
@@ -422,6 +426,55 @@ void Transport::send(int src, int dst, std::uint64_t ctx, int tag,
       metric_send_ns_->observe(t1 - t0);
     }
   }
+}
+
+bool Transport::try_send(int src, int dst, std::uint64_t ctx, int tag,
+                         std::span<const std::byte> data) {
+  check_node(src);
+  check_node(dst);
+  INTERCOM_REQUIRE(src != dst, "self-sends are not allowed");
+  if (aborted_.load(std::memory_order_relaxed)) throw_aborted();
+  // Fail-stop budgets are charged inside the mode bodies, after the probe
+  // has established the send will actually proceed — a parked rendezvous
+  // poll is not a send.
+  Tracer* tracer = tracer_;
+  const bool traced = tracer != nullptr && tracer->armed();
+  const bool metered = metric_sends_ != nullptr;
+  std::uint64_t t0 = 0;
+  if (traced) {
+    t0 = tracer->now_ns();
+  } else if (metered) {
+    t0 = mono_ns();
+  }
+  std::uint64_t seq = 0;
+  bool sent;
+  if (reliable_) {
+    sent = reliable_try_send(src, dst, ctx, tag, data, &seq);
+  } else {
+    sent = raw_try_send(src, dst, ctx, tag, data);
+  }
+  if (!sent) return false;
+  if (traced || metered) {
+    const std::uint64_t t1 = traced ? tracer->now_ns() : mono_ns();
+    if (traced) {
+      TraceEvent event;
+      event.kind = EventKind::kSend;
+      event.start_ns = t0;
+      event.end_ns = t1;
+      event.peer = dst;
+      event.ctx = ctx;
+      event.tag = tag;
+      event.bytes = data.size();
+      event.seq = seq;
+      tracer->record(src, event);
+    }
+    if (metered) {
+      metric_sends_->inc();
+      metric_send_bytes_->observe(data.size());
+      metric_send_ns_->observe(t1 - t0);
+    }
+  }
+  return true;
 }
 
 void Transport::recv(int src, int dst, std::uint64_t ctx, int tag,
@@ -494,6 +547,47 @@ void Transport::wait_recv(PostedRecv& ticket) {
       metric_recv_ns_->observe(t1 - t0);
     }
   }
+}
+
+bool Transport::try_wait_recv(PostedRecv& ticket, RecvProgress& progress) {
+  Tracer* tracer = tracer_;
+  const bool traced = tracer != nullptr && tracer->armed();
+  const bool metered = metric_recvs_ != nullptr;
+  std::uint64_t t0 = 0;
+  if (traced) {
+    t0 = tracer->now_ns();
+  } else if (metered) {
+    t0 = mono_ns();
+  }
+  bool done;
+  if (reliable_) {
+    done = reliable_try_wait_recv(ticket, progress);
+  } else {
+    done = raw_try_wait_recv(ticket, progress);
+  }
+  if (!done) return false;
+  if (traced || metered) {
+    // The wire span covers the completing probe, not the full posted
+    // lifetime — the enclosing step span carries the end-to-end wait.
+    const std::uint64_t t1 = traced ? tracer->now_ns() : mono_ns();
+    if (traced) {
+      TraceEvent event;
+      event.kind = EventKind::kRecv;
+      event.start_ns = t0;
+      event.end_ns = t1;
+      event.peer = ticket.src;
+      event.ctx = ticket.ctx;
+      event.tag = ticket.tag;
+      event.bytes = ticket.out.size();
+      event.seq = ticket.seq;
+      tracer->record(ticket.dst, event);
+    }
+    if (metered) {
+      metric_recvs_->inc();
+      metric_recv_ns_->observe(t1 - t0);
+    }
+  }
+  return true;
 }
 
 void Transport::cancel_recv(PostedRecv& ticket) {
@@ -582,6 +676,11 @@ void Transport::raw_send(int src, int dst, std::uint64_t ctx, int tag,
       return;
     }
   }
+  deposit_eager(ch, key, data);
+}
+
+void Transport::deposit_eager(Channel& ch, const CKey& key,
+                              std::span<const std::byte> data) {
   // Eager deposit: stage the payload in a pooled slab (allocation-free once
   // the pool is warm) outside the lock, then hand it to the channel.
   Msg msg;
@@ -598,6 +697,42 @@ void Transport::raw_send(int src, int dst, std::uint64_t ctx, int tag,
     wake = ch.waiters.load(std::memory_order_relaxed) > 0;
   }
   if (wake) ch.cv.notify_all();
+}
+
+bool Transport::raw_try_send(int src, int dst, std::uint64_t ctx, int tag,
+                             std::span<const std::byte> data) {
+  Channel& ch = channel(src, dst);
+  const CKey key{ctx, tag};
+  if (data.size() >= rendezvous_threshold_) {
+    std::unique_lock<std::mutex> lock(ch.mutex);
+    // Same claimability predicate as claim_posted, probed instead of waited
+    // on: an older buffered message for the key still ahead in FIFO order
+    // means the posted buffer belongs to an earlier receive.
+    if (find_pending_locked(ch, key) != kNpos) return false;
+    PostedRecv* ticket = find_posted_locked(ch, key);
+    if (ticket == nullptr) return false;
+    if (ticket->out.size() == data.size()) {
+      maybe_fail_stop(src);
+      land(ticket->out, data.data(), data.size(), ticket->accumulate);
+      ticket->consumed = true;
+      ticket->filled = true;
+      unpost_locked(ch, *ticket);
+      ++ch.version;
+      const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+      lock.unlock();
+      if (wake) ch.cv.notify_all();
+      return true;
+    }
+    // Length mismatch: eager-deposit instead, same as the blocking path —
+    // the receiver raises the mismatch error when it takes the message.
+    maybe_fail_stop(src);
+    lock.unlock();
+    deposit_eager(ch, key, data);
+    return true;
+  }
+  maybe_fail_stop(src);
+  raw_send(src, dst, ctx, tag, data);
+  return true;
 }
 
 void Transport::raw_wait_recv(PostedRecv& ticket) {
@@ -649,6 +784,53 @@ void Transport::raw_wait_recv(PostedRecv& ticket) {
   pool_.release(std::move(msg.buf));
 }
 
+bool Transport::raw_try_wait_recv(PostedRecv& ticket,
+                                  RecvProgress& progress) {
+  Channel& ch = channel(ticket.src, ticket.dst);
+  const CKey key{ticket.ctx, ticket.tag};
+  std::unique_lock<std::mutex> lock(ch.mutex);
+  if (aborted_.load(std::memory_order_relaxed)) {
+    unpost_locked(ch, ticket);
+    lock.unlock();
+    throw_aborted();
+  }
+  if (ticket.filled) return true;  // a sender copied in place and unposted us
+  const std::size_t index = find_pending_locked(ch, key);
+  if (index == kNpos) {
+    if (recv_timeout_ms_ > 0) {
+      // The watchdog counts from the first poll — the async analogue of
+      // wait_recv's bounded wait.
+      const std::uint64_t now = mono_ns();
+      if (!progress.started) {
+        progress.started = true;
+        progress.first_poll_ns = now;
+      } else if (now - progress.first_poll_ns >=
+                 static_cast<std::uint64_t>(recv_timeout_ms_) * 1000000ull) {
+        unpost_locked(ch, ticket);
+        lock.unlock();
+        throw_recv_timeout(ticket.src, ticket.dst, ticket.ctx, ticket.tag,
+                           " (async poll watchdog)");
+      }
+    }
+    return false;
+  }
+  // Same take sequence as the blocking tail: withdraw the posted buffer,
+  // dequeue the oldest match, wake a FIFO-gated rendezvous sender.
+  unpost_locked(ch, ticket);
+  Msg msg = std::move(ch.pending[index].msg);
+  ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(index));
+  ++ch.version;
+  const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  lock.unlock();
+  if (wake) ch.cv.notify_all();
+  const std::size_t len = msg.len;
+  INTERCOM_REQUIRE(len == ticket.out.size(),
+                   "received message length does not match the posted buffer");
+  land(ticket.out, msg.buf.data.get(), len, ticket.accumulate);
+  pool_.release(std::move(msg.buf));
+  return true;
+}
+
 std::uint64_t Transport::reliable_send(int src, int dst, std::uint64_t ctx,
                                        int tag,
                                        std::span<const std::byte> data) {
@@ -662,6 +844,34 @@ std::uint64_t Transport::reliable_send(int src, int dst, std::uint64_t ctx,
     std::unique_lock<std::mutex> lock(ch.mutex);
     claim_posted(ch, lock, src, dst, ctx, tag);
   }
+  return framed_send(src, dst, ctx, tag, data);
+}
+
+bool Transport::reliable_try_send(int src, int dst, std::uint64_t ctx,
+                                  int tag, std::span<const std::byte> data,
+                                  std::uint64_t* seq_out) {
+  Channel& ch = channel(src, dst);
+  if (data.size() >= rendezvous_threshold_) {
+    // Probe the handshake instead of blocking in claim_posted: the send
+    // proceeds only when the receiver's buffer is claimable right now.
+    std::unique_lock<std::mutex> lock(ch.mutex);
+    const CKey key{ctx, tag};
+    if (find_pending_locked(ch, key) != kNpos) return false;
+    PostedRecv* ticket = find_posted_locked(ch, key);
+    if (ticket == nullptr) return false;
+    maybe_fail_stop(src);  // charged before the claim so a fail-stop does
+                           // not strand a half-claimed ticket
+    ticket->consumed = true;
+  } else {
+    maybe_fail_stop(src);
+  }
+  *seq_out = framed_send(src, dst, ctx, tag, data);
+  return true;
+}
+
+std::uint64_t Transport::framed_send(int src, int dst, std::uint64_t ctx,
+                                     int tag,
+                                     std::span<const std::byte> data) {
   SenderState& sender = senders_[static_cast<std::size_t>(src)];
   const FlowKey flow_key{dst, ctx, tag};
   const std::size_t frame_len = kHeaderBytes + data.size();
@@ -740,160 +950,118 @@ void Transport::deliver_frame(int src, int dst, const CKey& key, Msg frame,
   if (wake) ch.cv.notify_all();
 }
 
-std::uint64_t Transport::reliable_wait_recv(PostedRecv& ticket) {
-  Channel& ch = channel(ticket.src, ticket.dst);
-  SenderState& sender = senders_[static_cast<std::size_t>(ticket.src)];
-  const CKey key{ticket.ctx, ticket.tag};
-  const FlowKey flow_key{ticket.dst, ticket.ctx, ticket.tag};
-
-  std::unique_lock<std::mutex> lock(ch.mutex);
-  const std::uint64_t expected = ch.next_expected[key];
-  int attempts = 0;
-  bool corrupt_seen = false;
-  bool exhausted = false;
-  long rto = base_rto_ms_;
-  long waited_ms = 0;
-  Msg frame;
-  bool got = false;
-  while (!got) {
-    // Scan the wire's queue: discard corrupt frames and stale duplicates,
-    // take the in-order frame if present, leave future ones buffered.  A
-    // frame's checksum is validated exactly once — the parsed sequence
-    // number is cached on the node, so under a reorder storm repeated scans
-    // cost a comparison per buffered frame, not a checksum pass.
-    for (std::size_t i = 0; i < ch.pending.size();) {
-      MsgNode& node = ch.pending[i];
-      if (!(node.key == key)) {
-        ++i;
-        continue;
-      }
-      if (!node.msg.validated) {
-        std::uint64_t seq = 0;
-        if (!parse_frame(node.msg.buf.data.get(), node.msg.len, &seq)) {
-          corrupt_seen = true;
-          corrupt_discards_.fetch_add(1, std::memory_order_relaxed);
-          pool_.release(std::move(node.msg.buf));
-          ch.pending.erase(ch.pending.begin() +
-                           static_cast<std::ptrdiff_t>(i));
-          continue;
-        }
-        checksum_validations_.fetch_add(1, std::memory_order_relaxed);
-        node.msg.seq = seq;
-        node.msg.validated = true;
-      }
-      if (node.msg.seq < expected) {
-        duplicate_discards_.fetch_add(1, std::memory_order_relaxed);
+bool Transport::scan_pending_locked(Channel& ch, const CKey& key,
+                                    std::uint64_t expected, Msg* frame,
+                                    bool* corrupt_seen) {
+  // Scan the wire's queue: discard corrupt frames and stale duplicates,
+  // take the in-order frame if present, leave future ones buffered.  A
+  // frame's checksum is validated exactly once — the parsed sequence
+  // number is cached on the node, so under a reorder storm repeated scans
+  // cost a comparison per buffered frame, not a checksum pass.
+  for (std::size_t i = 0; i < ch.pending.size();) {
+    MsgNode& node = ch.pending[i];
+    if (!(node.key == key)) {
+      ++i;
+      continue;
+    }
+    if (!node.msg.validated) {
+      std::uint64_t seq = 0;
+      if (!parse_frame(node.msg.buf.data.get(), node.msg.len, &seq)) {
+        *corrupt_seen = true;
+        corrupt_discards_.fetch_add(1, std::memory_order_relaxed);
         pool_.release(std::move(node.msg.buf));
         ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(i));
         continue;
       }
-      if (node.msg.seq == expected) {
-        frame = std::move(node.msg);
-        ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(i));
-        got = true;
-        break;
-      }
-      ++i;
+      checksum_validations_.fetch_add(1, std::memory_order_relaxed);
+      node.msg.seq = seq;
+      node.msg.validated = true;
     }
-    if (got) break;
-    if (aborted_.load(std::memory_order_relaxed)) {
-      unpost_locked(ch, ticket);
-      throw_aborted();
+    if (node.msg.seq < expected) {
+      duplicate_discards_.fetch_add(1, std::memory_order_relaxed);
+      pool_.release(std::move(node.msg.buf));
+      ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
     }
-    const std::uint64_t seen_version = ch.version;
-    bool arrived;
-    {
-      WaiterScope waiting(ch.waiters);
-      arrived = ch.cv.wait_for(lock, std::chrono::milliseconds(rto), [&] {
-        return ch.version != seen_version ||
-               aborted_.load(std::memory_order_relaxed);
-      });
+    if (node.msg.seq == expected) {
+      *frame = std::move(node.msg);
+      ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
     }
-    if (aborted_.load(std::memory_order_relaxed)) {
-      unpost_locked(ch, ticket);
-      throw_aborted();
-    }
-    if (arrived) continue;  // something new was deposited; rescan
-    waited_ms += rto;
-    // RTO expired.  If the sender has logged the frame we expect, it was
-    // sent and lost/corrupted/held in flight: re-issue the clean copy
-    // (receiver-driven retransmission).  Otherwise the sender simply has
-    // not reached its send yet and only the global watchdog applies.
-    lock.unlock();
-    bool have_frame = false;
-    {
-      std::lock_guard<std::mutex> sender_lock(sender.mutex);
-      auto flow_it = sender.flows.find(flow_key);
-      if (flow_it != sender.flows.end()) {
-        auto unacked_it = flow_it->second.unacked.find(expected);
-        if (unacked_it != flow_it->second.unacked.end()) {
-          have_frame = true;
-          ++attempts;
-          if (attempts > max_retries_) {
-            exhausted = true;
-          } else {
-            retransmits_.fetch_add(1, std::memory_order_relaxed);
-            if (metric_retransmits_ != nullptr) metric_retransmits_->inc();
-            // Receiver-driven recovery is the receiver's action, so the
-            // retransmit event lands on dst's track (and on dst's thread —
-            // the single-writer fast case of the ring buffer).
-            if (Tracer* tracer = tracer_;
-                tracer != nullptr && tracer->armed()) {
-              TraceEvent event;
-              event.kind = EventKind::kRetransmit;
-              event.start_ns = event.end_ns = tracer->now_ns();
-              event.peer = ticket.src;
-              event.ctx = ticket.ctx;
-              event.tag = ticket.tag;
-              event.seq = expected + 1;
-              event.attempt = static_cast<std::uint32_t>(attempts);
-              tracer->record(ticket.dst, event);
-            }
-            const Msg& logged = unacked_it->second;
-            Msg clean;
-            clean.buf = pool_.acquire(logged.len);
-            clean.len = logged.len;
-            std::memcpy(clean.buf.data.get(), logged.buf.data.get(),
-                        logged.len);
-            deliver_frame(ticket.src, ticket.dst, key, std::move(clean),
-                          expected, static_cast<std::uint32_t>(attempts));
-            rto = std::min(rto * 2, kMaxRtoMs);
-          }
-        }
-      }
-    }
-    lock.lock();
-    if (exhausted) {
-      unpost_locked(ch, ticket);
-      lock.unlock();
-      const std::string what =
-          "reliable delivery failed: node " + std::to_string(ticket.dst) +
-          " exhausted " + std::to_string(max_retries_) +
-          " retransmissions waiting for seq " + std::to_string(expected) +
-          " from node " + std::to_string(ticket.src) + " ctx " +
-          std::to_string(ticket.ctx) + " tag " + std::to_string(ticket.tag);
-      if (corrupt_seen) {
-        throw CorruptionError(what +
-                              " (every delivered copy failed its checksum)");
-      }
-      throw TimeoutError(what);
-    }
-    if (!have_frame && recv_timeout_ms_ > 0 && waited_ms >= recv_timeout_ms_) {
-      unpost_locked(ch, ticket);
-      lock.unlock();
-      throw_recv_timeout(ticket.src, ticket.dst, ticket.ctx, ticket.tag,
-                         " (reliable mode: nothing logged for retransmit)");
-    }
+    ++i;
   }
-  ch.next_expected[key] = expected + 1;
-  unpost_locked(ch, ticket);
-  // Consuming the in-order frame can unblock a rendezvous-gated sender.
-  ++ch.version;
-  const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
-  lock.unlock();
-  if (wake) ch.cv.notify_all();
+  return false;
+}
+
+bool Transport::drive_retransmit(const PostedRecv& ticket, const CKey& key,
+                                 const FlowKey& flow_key,
+                                 std::uint64_t expected, int* attempts,
+                                 long* rto_ms, bool* exhausted) {
+  // If the sender has logged the frame we expect, it was sent and
+  // lost/corrupted/held in flight: re-issue the clean copy (receiver-driven
+  // retransmission).  Otherwise the sender simply has not reached its send
+  // yet and only the global watchdog applies.
+  SenderState& sender = senders_[static_cast<std::size_t>(ticket.src)];
+  bool have_frame = false;
+  std::lock_guard<std::mutex> sender_lock(sender.mutex);
+  auto flow_it = sender.flows.find(flow_key);
+  if (flow_it == sender.flows.end()) return false;
+  auto unacked_it = flow_it->second.unacked.find(expected);
+  if (unacked_it == flow_it->second.unacked.end()) return false;
+  have_frame = true;
+  ++*attempts;
+  if (*attempts > max_retries_) {
+    *exhausted = true;
+    return have_frame;
+  }
+  retransmits_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_retransmits_ != nullptr) metric_retransmits_->inc();
+  // Receiver-driven recovery is the receiver's action, so the retransmit
+  // event lands on dst's track (and on dst's thread — the single-writer
+  // fast case of the ring buffer).
+  if (Tracer* tracer = tracer_; tracer != nullptr && tracer->armed()) {
+    TraceEvent event;
+    event.kind = EventKind::kRetransmit;
+    event.start_ns = event.end_ns = tracer->now_ns();
+    event.peer = ticket.src;
+    event.ctx = ticket.ctx;
+    event.tag = ticket.tag;
+    event.seq = expected + 1;
+    event.attempt = static_cast<std::uint32_t>(*attempts);
+    tracer->record(ticket.dst, event);
+  }
+  const Msg& logged = unacked_it->second;
+  Msg clean;
+  clean.buf = pool_.acquire(logged.len);
+  clean.len = logged.len;
+  std::memcpy(clean.buf.data.get(), logged.buf.data.get(), logged.len);
+  deliver_frame(ticket.src, ticket.dst, key, std::move(clean), expected,
+                static_cast<std::uint32_t>(*attempts));
+  *rto_ms = std::min(*rto_ms * 2, kMaxRtoMs);
+  return have_frame;
+}
+
+void Transport::throw_retries_exhausted(const PostedRecv& ticket,
+                                        std::uint64_t expected,
+                                        bool corrupt_seen) {
+  const std::string what =
+      "reliable delivery failed: node " + std::to_string(ticket.dst) +
+      " exhausted " + std::to_string(max_retries_) +
+      " retransmissions waiting for seq " + std::to_string(expected) +
+      " from node " + std::to_string(ticket.src) + " ctx " +
+      std::to_string(ticket.ctx) + " tag " + std::to_string(ticket.tag);
+  if (corrupt_seen) {
+    throw CorruptionError(what + " (every delivered copy failed its checksum)");
+  }
+  throw TimeoutError(what);
+}
+
+void Transport::complete_reliable_delivery(PostedRecv& ticket,
+                                           const FlowKey& flow_key,
+                                           std::uint64_t expected, Msg frame) {
   // Ack: prune the sender's retransmit log up to and including `expected`,
   // recycling the logged slabs.
+  SenderState& sender = senders_[static_cast<std::size_t>(ticket.src)];
   {
     std::lock_guard<std::mutex> sender_lock(sender.mutex);
     auto flow_it = sender.flows.find(flow_key);
@@ -915,7 +1083,136 @@ std::uint64_t Transport::reliable_wait_recv(PostedRecv& ticket) {
   land(ticket.out, frame.buf.data.get() + kHeaderBytes, payload_bytes,
        ticket.accumulate);
   pool_.release(std::move(frame.buf));
+}
+
+std::uint64_t Transport::reliable_wait_recv(PostedRecv& ticket) {
+  Channel& ch = channel(ticket.src, ticket.dst);
+  const CKey key{ticket.ctx, ticket.tag};
+  const FlowKey flow_key{ticket.dst, ticket.ctx, ticket.tag};
+
+  std::unique_lock<std::mutex> lock(ch.mutex);
+  const std::uint64_t expected = ch.next_expected[key];
+  int attempts = 0;
+  bool corrupt_seen = false;
+  bool exhausted = false;
+  long rto = base_rto_ms_;
+  long waited_ms = 0;
+  Msg frame;
+  bool got = false;
+  while (!got) {
+    got = scan_pending_locked(ch, key, expected, &frame, &corrupt_seen);
+    if (got) break;
+    if (aborted_.load(std::memory_order_relaxed)) {
+      unpost_locked(ch, ticket);
+      throw_aborted();
+    }
+    const std::uint64_t seen_version = ch.version;
+    bool arrived;
+    {
+      WaiterScope waiting(ch.waiters);
+      arrived = ch.cv.wait_for(lock, std::chrono::milliseconds(rto), [&] {
+        return ch.version != seen_version ||
+               aborted_.load(std::memory_order_relaxed);
+      });
+    }
+    if (aborted_.load(std::memory_order_relaxed)) {
+      unpost_locked(ch, ticket);
+      throw_aborted();
+    }
+    if (arrived) continue;  // something new was deposited; rescan
+    waited_ms += rto;
+    // RTO expired: decide a retransmission with the channel lock dropped
+    // (deliver_frame takes it again, and an injected delay sleeps).
+    lock.unlock();
+    const bool have_frame = drive_retransmit(ticket, key, flow_key, expected,
+                                             &attempts, &rto, &exhausted);
+    lock.lock();
+    if (exhausted) {
+      unpost_locked(ch, ticket);
+      lock.unlock();
+      throw_retries_exhausted(ticket, expected, corrupt_seen);
+    }
+    if (!have_frame && recv_timeout_ms_ > 0 && waited_ms >= recv_timeout_ms_) {
+      unpost_locked(ch, ticket);
+      lock.unlock();
+      throw_recv_timeout(ticket.src, ticket.dst, ticket.ctx, ticket.tag,
+                         " (reliable mode: nothing logged for retransmit)");
+    }
+  }
+  ch.next_expected[key] = expected + 1;
+  unpost_locked(ch, ticket);
+  // Consuming the in-order frame can unblock a rendezvous-gated sender.
+  ++ch.version;
+  const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  lock.unlock();
+  if (wake) ch.cv.notify_all();
+  complete_reliable_delivery(ticket, flow_key, expected, std::move(frame));
   return expected + 1;
+}
+
+bool Transport::reliable_try_wait_recv(PostedRecv& ticket,
+                                       RecvProgress& progress) {
+  Channel& ch = channel(ticket.src, ticket.dst);
+  const CKey key{ticket.ctx, ticket.tag};
+  const FlowKey flow_key{ticket.dst, ticket.ctx, ticket.tag};
+  std::unique_lock<std::mutex> lock(ch.mutex);
+  if (aborted_.load(std::memory_order_relaxed)) {
+    unpost_locked(ch, ticket);
+    lock.unlock();
+    throw_aborted();
+  }
+  if (!progress.started) {
+    // First poll: capture the in-order sequence number this receive owns
+    // (the blocking call does the same at entry) and start both clocks.
+    progress.started = true;
+    progress.expected = ch.next_expected[key];
+    progress.rto_ms = base_rto_ms_;
+    progress.first_poll_ns = mono_ns();
+    progress.deadline_ns =
+        progress.first_poll_ns +
+        static_cast<std::uint64_t>(progress.rto_ms) * 1000000ull;
+  }
+  Msg frame;
+  if (scan_pending_locked(ch, key, progress.expected, &frame,
+                          &progress.corrupt_seen)) {
+    ch.next_expected[key] = progress.expected + 1;
+    unpost_locked(ch, ticket);
+    ++ch.version;
+    const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+    lock.unlock();
+    if (wake) ch.cv.notify_all();
+    complete_reliable_delivery(ticket, flow_key, progress.expected,
+                               std::move(frame));
+    ticket.seq = progress.expected + 1;
+    return true;
+  }
+  const std::uint64_t now = mono_ns();
+  if (now < progress.deadline_ns) return false;
+  lock.unlock();
+  // RTO expired without the expected frame: same retransmission decision as
+  // the blocking loop, then re-arm the deadline and report "not yet".
+  bool exhausted = false;
+  const bool have_frame =
+      drive_retransmit(ticket, key, flow_key, progress.expected,
+                       &progress.attempts, &progress.rto_ms, &exhausted);
+  if (exhausted) {
+    lock.lock();
+    unpost_locked(ch, ticket);
+    lock.unlock();
+    throw_retries_exhausted(ticket, progress.expected, progress.corrupt_seen);
+  }
+  if (!have_frame && recv_timeout_ms_ > 0 &&
+      now - progress.first_poll_ns >=
+          static_cast<std::uint64_t>(recv_timeout_ms_) * 1000000ull) {
+    lock.lock();
+    unpost_locked(ch, ticket);
+    lock.unlock();
+    throw_recv_timeout(ticket.src, ticket.dst, ticket.ctx, ticket.tag,
+                       " (reliable mode: nothing logged for retransmit)");
+  }
+  progress.deadline_ns =
+      now + static_cast<std::uint64_t>(progress.rto_ms) * 1000000ull;
+  return false;
 }
 
 }  // namespace intercom

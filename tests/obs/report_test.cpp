@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -133,6 +134,77 @@ TEST(ModelVsMeasuredTest, VVariantsAreTracedAndReported) {
   EXPECT_EQ(rows[0].collective, "collectv");
   EXPECT_EQ(rows[0].calls, 1u);
   EXPECT_GT(rows[0].measured_mean_s, 0.0);
+}
+
+TEST(ModelVsMeasuredTest, PredictionMemoSurvivesCacheEviction) {
+  // Regression: the prediction memo used to be keyed by Schedule address.
+  // With a capacity-1 plan cache cycling two shapes, every call evicts the
+  // other shape's schedule and the allocator is free to reuse the address —
+  // the memo then served shape A's prediction for shape B.  Keyed by plan
+  // shape, each row must match analyze() of its own schedule.
+  Multicomputer mc(Mesh2D(1, 4));
+  constexpr std::size_t kSmall = 16, kLarge = 8192;
+  mc.set_tracing(true);
+  mc.run_spmd([](Node& node) {
+    Communicator world = node.world();
+    world.set_plan_cache_capacity(1);
+    std::vector<double> small(kSmall, 1.0);
+    std::vector<double> large(kLarge, 1.0);
+    for (int round = 0; round < 3; ++round) {
+      world.broadcast(std::span<double>(small), 0);  // evicts large's plan
+      world.broadcast(std::span<double>(large), 0);  // evicts small's plan
+    }
+  });
+  mc.set_tracing(false);
+
+  const auto rows = model_vs_measured(mc.tracer());
+  ASSERT_EQ(rows.size(), 2u);
+  const Group world_group = Group::contiguous(mc.node_count());
+  for (const auto& row : rows) {
+    SCOPED_TRACE(row.elems);
+    EXPECT_EQ(row.calls, 3u);
+    const Schedule replanned =
+        mc.planner().plan(Collective::kBroadcast, world_group, row.elems,
+                          sizeof(double), 0);
+    const double expected_s =
+        analyze(replanned, mc.planner().params()).critical_seconds;
+    EXPECT_NEAR(row.predicted_s, expected_s, expected_s * 1e-6 + 2e-9)
+        << "memoized prediction belongs to a different shape";
+  }
+  // The two shapes' predictions genuinely differ, so a cross-served memo
+  // cannot hide inside the tolerance.
+  EXPECT_GT(std::abs(rows[0].predicted_s - rows[1].predicted_s),
+            rows[0].predicted_s * 1e-3);
+}
+
+TEST(ModelVsMeasuredTest, AsyncCollectivesJoinWithAsyncCount) {
+  Multicomputer mc(Mesh2D(1, 4));
+  mc.set_tracing(true);
+  mc.run_spmd([](Node& node) {
+    Communicator world = node.world();
+    std::vector<double> data(kElems, 1.0 + node.id());
+    world.all_reduce_sum(std::span<double>(data));        // blocking instance
+    world.iall_reduce_sum(std::span<double>(data)).wait();  // async instance
+  });
+  mc.set_tracing(false);
+
+  const auto rows = model_vs_measured(mc.tracer());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].calls, 2u);
+  EXPECT_EQ(rows[0].async_calls, 1u);
+  EXPECT_EQ(rows[0].errors, 0u);
+  EXPECT_GT(rows[0].predicted_s, 0.0);
+
+  // The async instance also left an issue marker on every node.
+  std::uint64_t issues = 0;
+  for (int node = 0; node < mc.tracer().node_count(); ++node) {
+    const NodeTraceBuffer* buffer = mc.tracer().buffer(node);
+    if (buffer == nullptr) continue;
+    for (const TraceEvent& e : buffer->events()) {
+      if (e.kind == EventKind::kAsyncIssue) ++issues;
+    }
+  }
+  EXPECT_EQ(issues, static_cast<std::uint64_t>(mc.node_count()));
 }
 
 }  // namespace

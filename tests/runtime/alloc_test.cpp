@@ -73,8 +73,13 @@ namespace {
 /// returns the number of global allocations during the measured rounds.
 /// Threads are spawned, communicators built, and caches/pools warmed before
 /// the measurement window opens, so the delta is the collectives' own.
+/// With `use_async`, both collectives are issued non-blocking and held
+/// outstanding together, one completed by a test() polling loop and one by
+/// wait() — the pooled request states and per-request arenas must recycle
+/// without touching the heap just like the blocking path.
 std::uint64_t measured_allocs(std::size_t elems,
-                              std::size_t rendezvous_threshold) {
+                              std::size_t rendezvous_threshold,
+                              bool use_async = false) {
   constexpr int kNodes = 4;
   constexpr int kWarmupRounds = 3;
   constexpr int kMeasuredRounds = 8;
@@ -94,24 +99,27 @@ std::uint64_t measured_allocs(std::size_t elems,
       Node node(mc, id);
       Communicator world = node.world();
       std::vector<double> data(elems);
+      std::vector<double> sums(elems);
 
       auto round = [&] {
         for (std::size_t i = 0; i < elems; ++i) {
           data[i] = id == 0 ? static_cast<double>(i) : 0.0;
+          sums[i] = static_cast<double>(id);
         }
-        world.broadcast(std::span<double>(data), 0);
-        for (std::size_t i = 0; i < elems; ++i) {
-          if (data[i] != static_cast<double>(i)) {
-            mismatches.fetch_add(1, std::memory_order_relaxed);
-          }
+        if (use_async) {
+          // Two requests outstanding at once on one communicator; one
+          // drained by polling, the other by a blocking wait.
+          Request rb = world.ibroadcast(std::span<double>(data), 0);
+          Request rs = world.iall_reduce_sum(std::span<double>(sums));
+          while (!rb.test()) std::this_thread::yield();
+          rs.wait();
+        } else {
+          world.broadcast(std::span<double>(data), 0);
+          world.all_reduce_sum(std::span<double>(sums));
         }
-        for (std::size_t i = 0; i < elems; ++i) {
-          data[i] = static_cast<double>(id);
-        }
-        world.all_reduce_sum(std::span<double>(data));
         const double want = 0.0 + 1.0 + 2.0 + 3.0;
         for (std::size_t i = 0; i < elems; ++i) {
-          if (data[i] != want) {
+          if (data[i] != static_cast<double>(i) || sums[i] != want) {
             mismatches.fetch_add(1, std::memory_order_relaxed);
           }
         }
@@ -151,6 +159,23 @@ TEST(SteadyStateAllocTest, EagerRegimeAllocatesNothingOnCacheHit) {
 TEST(SteadyStateAllocTest, RendezvousRegimeAllocatesNothingOnCacheHit) {
   EXPECT_EQ(measured_allocs(/*elems=*/65536,
                             Transport::kDefaultRendezvousThreshold),
+            0u);
+}
+
+// The non-blocking path on a warm pool: issue, poll, and wait must not
+// allocate either — the request state, its arena, and the free list are all
+// recycled (PR invariant: async keeps the zero-alloc cache-hit path).
+TEST(SteadyStateAllocTest, AsyncEagerRegimeAllocatesNothingOnCacheHit) {
+  EXPECT_EQ(measured_allocs(/*elems=*/64,
+                            /*rendezvous_threshold=*/std::size_t{1} << 30,
+                            /*use_async=*/true),
+            0u);
+}
+
+TEST(SteadyStateAllocTest, AsyncRendezvousRegimeAllocatesNothingOnCacheHit) {
+  EXPECT_EQ(measured_allocs(/*elems=*/65536,
+                            Transport::kDefaultRendezvousThreshold,
+                            /*use_async=*/true),
             0u);
 }
 

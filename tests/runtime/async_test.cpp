@@ -1,0 +1,389 @@
+// Non-blocking collectives: the seven i-collectives must deliver the same
+// Table 1 contracts as their blocking twins, at several group sizes, in both
+// send regimes (eager and rendezvous-gated), whether the request completes
+// via wait(), a test() polling loop, or the Request destructor — and under
+// recoverable fault schedules the reliability layer must heal the polled
+// path exactly like the blocking one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "intercom/runtime/communicator.hpp"
+#include "intercom/runtime/fault.hpp"
+#include "intercom/runtime/multicomputer.hpp"
+#include "intercom/runtime/transport.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+// Completes a request by spinning on test() — the progress-on-test path.
+// yield() keeps the spin civil on machines with fewer cores than nodes.
+void poll_until_done(Request& r) {
+  while (!r.test()) std::this_thread::yield();
+}
+
+// ---------------------------------------------------------------------------
+// Correctness sweep: all seven i-collectives x group size x send regime.
+// Half the collectives complete through wait(), half through a test() loop,
+// so both completion paths run at every (p, regime) point.
+
+struct SweepCase {
+  int rows;
+  int cols;
+  std::size_t threshold;  // rendezvous threshold: 1 = all rendezvous,
+                          // 1<<30 = all eager
+};
+
+class AsyncSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(AsyncSweepTest, AllSevenCollectivesMatchBlockingContracts) {
+  const SweepCase param = GetParam();
+  Multicomputer mc(Mesh2D(param.rows, param.cols));
+  mc.set_rendezvous_threshold(param.threshold);
+  const int p = mc.node_count();
+  const std::size_t elems = 131;  // non-round: uneven pieces
+  const int root = p > 2 ? 2 : 0;
+  auto global = [](std::size_t i) {
+    return static_cast<std::int64_t>(i) * 5 + 3;
+  };
+  auto partial = [](std::size_t i, int rank) {
+    return static_cast<std::int64_t>(i) + 2 * rank;
+  };
+  const std::int64_t rank_sum = static_cast<std::int64_t>(p) *
+                                static_cast<std::int64_t>(p - 1);
+
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    const int rank = world.rank();
+    std::vector<std::int64_t> data(elems);
+    const ElemRange mine = world.piece_of(elems, rank);
+
+    // ibroadcast, completed by wait().
+    for (std::size_t i = 0; i < elems; ++i) {
+      data[i] = rank == root ? global(i) : 0;
+    }
+    {
+      Request r = world.ibroadcast(std::span<std::int64_t>(data), root);
+      EXPECT_TRUE(r.valid());
+      r.wait();
+      EXPECT_FALSE(r.valid());
+    }
+    for (std::size_t i = 0; i < elems; ++i) ASSERT_EQ(data[i], global(i));
+
+    // iscatter, completed by polling.
+    for (std::size_t i = 0; i < elems; ++i) {
+      data[i] = rank == root ? global(i) : -1;
+    }
+    {
+      Request r = world.iscatter(std::span<std::int64_t>(data), root);
+      poll_until_done(r);
+      EXPECT_FALSE(r.valid());
+    }
+    for (std::size_t i = mine.lo; i < mine.hi; ++i) {
+      ASSERT_EQ(data[i], global(i));
+    }
+
+    // igather, completed by wait().
+    std::fill(data.begin(), data.end(), 0);
+    for (std::size_t i = mine.lo; i < mine.hi; ++i) data[i] = global(i);
+    world.igather(std::span<std::int64_t>(data), root).wait();
+    if (rank == root) {
+      for (std::size_t i = 0; i < elems; ++i) ASSERT_EQ(data[i], global(i));
+    }
+
+    // icollect, completed by polling.
+    std::fill(data.begin(), data.end(), 0);
+    for (std::size_t i = mine.lo; i < mine.hi; ++i) data[i] = global(i);
+    {
+      Request r = world.icollect(std::span<std::int64_t>(data));
+      poll_until_done(r);
+    }
+    for (std::size_t i = 0; i < elems; ++i) ASSERT_EQ(data[i], global(i));
+
+    // ireduce_sum (combine-to-one), completed by wait().
+    for (std::size_t i = 0; i < elems; ++i) data[i] = partial(i, rank);
+    world.ireduce_sum(std::span<std::int64_t>(data), root).wait();
+    if (rank == root) {
+      for (std::size_t i = 0; i < elems; ++i) {
+        ASSERT_EQ(data[i], static_cast<std::int64_t>(i) *
+                                   static_cast<std::int64_t>(p) +
+                               rank_sum);
+      }
+    }
+
+    // iall_reduce_sum (combine-to-all), completed by polling.
+    for (std::size_t i = 0; i < elems; ++i) data[i] = partial(i, rank);
+    {
+      Request r = world.iall_reduce_sum(std::span<std::int64_t>(data));
+      poll_until_done(r);
+    }
+    for (std::size_t i = 0; i < elems; ++i) {
+      ASSERT_EQ(data[i], static_cast<std::int64_t>(i) *
+                                 static_cast<std::int64_t>(p) +
+                             rank_sum);
+    }
+
+    // ireduce_scatter_sum (distributed-combine), completed by wait().
+    for (std::size_t i = 0; i < elems; ++i) data[i] = partial(i, rank);
+    world.ireduce_scatter_sum(std::span<std::int64_t>(data)).wait();
+    for (std::size_t i = mine.lo; i < mine.hi; ++i) {
+      ASSERT_EQ(data[i], static_cast<std::int64_t>(i) *
+                                 static_cast<std::int64_t>(p) +
+                             rank_sum);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndRegimes, AsyncSweepTest,
+    ::testing::Values(SweepCase{1, 2, 1}, SweepCase{1, 2, std::size_t{1} << 30},
+                      SweepCase{1, 3, 1}, SweepCase{1, 3, std::size_t{1} << 30},
+                      SweepCase{2, 4, 1}, SweepCase{2, 4, std::size_t{1} << 30},
+                      SweepCase{4, 4, 1},
+                      SweepCase{4, 4, std::size_t{1} << 30}));
+
+// ---------------------------------------------------------------------------
+// Request handle semantics.
+
+TEST(AsyncRequestTest, MultipleOutstandingRequestsCompleteInAnyOrder) {
+  Multicomputer mc(Mesh2D(1, 4));
+  const int p = mc.node_count();
+  const std::size_t elems = 64;
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    const int rank = world.rank();
+    std::vector<std::int64_t> a(elems, rank == 0 ? 7 : 0);
+    std::vector<std::int64_t> b(elems, rank);
+    std::vector<std::int64_t> c(elems, rank == 1 ? 9 : 0);
+    // Three requests in flight on one communicator; wait in reverse issue
+    // order (each context id is independent on the wire, so this cannot
+    // deadlock).
+    Request ra = world.ibroadcast(std::span<std::int64_t>(a), 0);
+    Request rb = world.iall_reduce_sum(std::span<std::int64_t>(b));
+    Request rc = world.ibroadcast(std::span<std::int64_t>(c), 1);
+    rc.wait();
+    rb.wait();
+    ra.wait();
+    const std::int64_t rank_sum =
+        static_cast<std::int64_t>(p) * static_cast<std::int64_t>(p - 1) / 2;
+    for (std::size_t i = 0; i < elems; ++i) {
+      ASSERT_EQ(a[i], 7);
+      ASSERT_EQ(b[i], rank_sum);
+      ASSERT_EQ(c[i], 9);
+    }
+  });
+}
+
+TEST(AsyncRequestTest, DestructorCompletesAnUnwaitedRequest) {
+  Multicomputer mc(Mesh2D(1, 3));
+  const std::size_t elems = 48;
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    std::vector<double> data(elems, world.rank() == 0 ? 2.5 : 0.0);
+    {
+      Request r = world.ibroadcast(std::span<double>(data), 0);
+      // r goes out of scope incomplete: the destructor must drive it to
+      // completion (otherwise the next collective would deadlock and the
+      // data below would be unset).
+    }
+    for (double v : data) ASSERT_EQ(v, 2.5);
+    // Communicator still in sync after the dtor-driven completion.
+    world.barrier();
+  });
+}
+
+TEST(AsyncRequestTest, MoveTransfersOwnership) {
+  Multicomputer mc(Mesh2D(1, 2));
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    std::vector<int> data(16, world.rank() == 0 ? 5 : 0);
+    Request a = world.ibroadcast(std::span<int>(data), 0);
+    Request b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    b.wait();
+    EXPECT_FALSE(b.valid());
+    for (int v : data) ASSERT_EQ(v, 5);
+  });
+}
+
+TEST(AsyncRequestTest, TestOnEmptyRequestThrows) {
+  Request r;
+  EXPECT_FALSE(r.valid());
+  EXPECT_THROW(r.test(), Error);
+  EXPECT_THROW(r.wait(), Error);
+}
+
+// Interleaving: work overlapped between issue and completion observes the
+// unmodified compute state while the collective progresses via test().
+TEST(AsyncRequestTest, ComputeBetweenIssueAndWaitOverlaps) {
+  Multicomputer mc(Mesh2D(1, 4));
+  const int p = mc.node_count();
+  const std::size_t elems = 4096;
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    const int rank = world.rank();
+    std::vector<std::int64_t> comm(elems, rank);
+    Request r = world.iall_reduce_sum(std::span<std::int64_t>(comm));
+    // "Compute" on an unrelated buffer, interleaved with polls.
+    std::int64_t acc = 0;
+    bool done = false;
+    for (int step = 0; step < 64; ++step) {
+      for (std::size_t i = 0; i < 512; ++i) {
+        acc += static_cast<std::int64_t>(i) * (step + 1);
+      }
+      if (!done) done = r.test();
+    }
+    if (!done) r.wait();
+    EXPECT_GT(acc, 0);
+    const std::int64_t rank_sum =
+        static_cast<std::int64_t>(p) * static_cast<std::int64_t>(p - 1) / 2;
+    for (std::size_t i = 0; i < elems; ++i) ASSERT_EQ(comm[i], rank_sum);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Async under fault schedules: the polled progress path must heal
+// drop/duplicate/reorder exactly like the blocking one, in both regimes.
+
+class AsyncChaosTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AsyncChaosTest, PolledCollectivesHealRecoverableFaults) {
+  Multicomputer mc(Mesh2D(1, 4));
+  mc.set_rendezvous_threshold(GetParam());
+  const int p = mc.node_count();
+  auto injector = std::make_shared<FaultInjector>(4242u);
+  FaultSpec spec;
+  spec.drop = 0.04;
+  spec.duplicate = 0.04;
+  spec.reorder = 0.04;
+  injector->set_default(spec);
+  mc.set_fault_injector(injector);
+  mc.set_retry_policy(/*max_retries=*/16, /*base_rto_ms=*/2);
+
+  const std::size_t elems = 257;
+  const std::int64_t rank_sum =
+      static_cast<std::int64_t>(p) * static_cast<std::int64_t>(p - 1) / 2;
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    const int rank = world.rank();
+    for (int round = 0; round < 4; ++round) {
+      std::vector<std::int64_t> data(elems);
+      for (std::size_t i = 0; i < elems; ++i) {
+        data[i] = static_cast<std::int64_t>(i) + rank;
+      }
+      Request r = world.iall_reduce_sum(std::span<std::int64_t>(data));
+      poll_until_done(r);
+      for (std::size_t i = 0; i < elems; ++i) {
+        ASSERT_EQ(data[i], static_cast<std::int64_t>(i) *
+                                   static_cast<std::int64_t>(p) +
+                               rank_sum);
+      }
+      std::vector<std::int64_t> bcast(elems, rank == 1 ? 13 : 0);
+      Request rb = world.ibroadcast(std::span<std::int64_t>(bcast), 1);
+      rb.wait();
+      for (std::size_t i = 0; i < elems; ++i) ASSERT_EQ(bcast[i], 13);
+    }
+  });
+  const auto stats = injector->stats();
+  EXPECT_GT(stats.dropped + stats.duplicated + stats.reordered, 0u)
+      << "chaos run injected nothing — rates or volume too low";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, AsyncChaosTest,
+    ::testing::Values(std::size_t{1},  // everything rendezvous-gated
+                      std::size_t{1} << 30));  // everything eager
+
+// Unrecoverable corruption surfaces from wait()/test() as the typed error
+// (and books the error — see chaos_test for the metrics/trace assertions).
+TEST(AsyncChaosTest, PersistentCorruptionSurfacesFromWait) {
+  Multicomputer mc(Mesh2D(1, 4));
+  auto injector = std::make_shared<FaultInjector>(17u);
+  FaultSpec spec;
+  spec.corrupt = 1.0;
+  injector->set_default(spec);
+  mc.set_fault_injector(injector);
+  mc.set_retry_policy(/*max_retries=*/3, /*base_rto_ms=*/2);
+
+  EXPECT_THROW(mc.run_spmd([&](Node& node) {
+    // The communicator must outlive the request (the i* methods are
+    // lvalue-ref-qualified, so `node.world().iall_reduce_sum(...)` would
+    // not even compile — the Request would dangle).
+    Communicator world = node.world();
+    std::vector<std::int64_t> data(64, node.id());
+    Request r = world.iall_reduce_sum(std::span<std::int64_t>(data));
+    r.wait();  // rethrows; the handle is empty afterwards either way
+    EXPECT_FALSE(r.valid());
+  }),
+               CorruptionError);
+}
+
+// ---------------------------------------------------------------------------
+// Context-id derivation (the namespace-overflow regression).
+
+TEST(CollectiveContextTest, SequencesNeverCollideWithinACommunicator) {
+  // The old layout (base << 20 | seq) wrapped into the next namespace after
+  // 2^20 operations.  The mixed form must stay collision-free across that
+  // boundary: splitmix64 over base + seq*odd is bijective in seq.
+  const std::uint64_t base = 0x123456789abcdef0ULL;
+  const std::uint64_t boundary = 1ULL << 20;
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t seq = boundary - 512; seq < boundary + 512; ++seq) {
+    ids.push_back(collective_context(base, seq));
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end())
+      << "context ids collided across the 2^20 sequence boundary";
+}
+
+TEST(CollectiveContextTest, SiblingCommunicatorsStayDisjointPastTheBoundary) {
+  // Two live communicators over different groups of one machine.  Simulate
+  // each one's id stream crossing 2^20 operations and check the streams
+  // never meet — under the old layout, communicator A's ids at
+  // seq >= 2^20 landed inside B's namespace whenever hash(B) = hash(A)+1.
+  Multicomputer mc(Mesh2D(1, 4));
+  std::atomic<std::uint64_t> base_a{0}, base_b{0};
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    if (node.id() < 2) {
+      Communicator left = node.group(Group({0, 1}), /*color=*/0);
+      base_a = left.context_base();
+    } else {
+      Communicator right = node.group(Group({2, 3}), /*color=*/0);
+      base_b = right.context_base();
+    }
+    world.barrier();
+  });
+  ASSERT_NE(base_a.load(), base_b.load());
+  const std::uint64_t boundary = 1ULL << 20;
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t seq = boundary - 256; seq < boundary + 256; ++seq) {
+    ids.push_back(collective_context(base_a.load(), seq));
+    ids.push_back(collective_context(base_b.load(), seq));
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end())
+      << "sibling communicators' context ids collided";
+}
+
+TEST(CollectiveContextTest, CommunicatorUsesMixedContexts) {
+  // The communicator's own accounting: sequence numbers advance per
+  // collective (blocking and non-blocking alike) and feed the mixer.
+  Multicomputer mc(Mesh2D(1, 2));
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    EXPECT_EQ(world.next_sequence(), 0u);
+    std::vector<int> data(8, world.rank() == 0 ? 1 : 0);
+    world.broadcast(std::span<int>(data), 0);
+    EXPECT_EQ(world.next_sequence(), 1u);
+    world.ibroadcast(std::span<int>(data), 0).wait();
+    EXPECT_EQ(world.next_sequence(), 2u);
+  });
+}
+
+}  // namespace
+}  // namespace intercom

@@ -597,5 +597,177 @@ TEST(ChaosCollectiveTest, TaxonomyDerivesFromError) {
   EXPECT_THROW(throw CorruptionError("c"), Error);
 }
 
+// ---------------------------------------------------------------------------
+// Failed collectives stay visible: metrics book the error and the armed
+// trace span is closed with the error flag instead of being dropped.
+
+TEST(ChaosCollectiveTest, FailedCollectiveBooksMetricsAndErrorSpan) {
+  Multicomputer mc(Mesh2D(1, 4));
+  auto injector = std::make_shared<FaultInjector>(17u);
+  FaultSpec spec;
+  spec.corrupt = 1.0;
+  injector->set_default(spec);
+  mc.set_fault_injector(injector);
+  mc.set_retry_policy(/*max_retries=*/3, /*base_rto_ms=*/2);
+  mc.set_tracing(true);
+
+  EXPECT_THROW(mc.run_spmd([&](Node& node) {
+    std::vector<std::int64_t> data(64, node.id());
+    node.world().all_reduce_sum(std::span<std::int64_t>(data));
+  }),
+               CorruptionError);
+  mc.set_tracing(false);
+
+  // Every node that raised still counted the call and the error.
+  EXPECT_GE(mc.metrics().counter("collective.errors").value(), 1u);
+  EXPECT_GE(mc.metrics().counter("collective.calls").value(),
+            mc.metrics().counter("collective.errors").value());
+
+  // At least one collective span carries the error flag, with a closed
+  // (non-zero-length, well-ordered) time range.
+  int error_spans = 0;
+  for (int node = 0; node < mc.tracer().node_count(); ++node) {
+    const NodeTraceBuffer* buffer = mc.tracer().buffer(node);
+    if (buffer == nullptr) continue;
+    for (const TraceEvent& e : buffer->events()) {
+      if (e.kind != EventKind::kCollective) continue;
+      if ((e.a2 & kCollectiveErrorFlag) == 0) continue;
+      ++error_spans;
+      EXPECT_GE(e.end_ns, e.start_ns);
+    }
+  }
+  EXPECT_GE(error_spans, 1) << "no error-marked collective span was recorded";
+}
+
+TEST(ChaosCollectiveTest, FailedAsyncCollectiveBooksMetricsAndErrorSpan) {
+  Multicomputer mc(Mesh2D(1, 4));
+  auto injector = std::make_shared<FaultInjector>(29u);
+  FaultSpec spec;
+  spec.corrupt = 1.0;
+  injector->set_default(spec);
+  mc.set_fault_injector(injector);
+  mc.set_retry_policy(/*max_retries=*/3, /*base_rto_ms=*/2);
+  mc.set_tracing(true);
+
+  EXPECT_THROW(mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();  // must outlive the request
+    std::vector<std::int64_t> data(64, node.id());
+    Request r = world.iall_reduce_sum(std::span<std::int64_t>(data));
+    r.wait();
+  }),
+               CorruptionError);
+  mc.set_tracing(false);
+
+  EXPECT_GE(mc.metrics().counter("collective.errors").value(), 1u);
+  int async_error_spans = 0;
+  for (int node = 0; node < mc.tracer().node_count(); ++node) {
+    const NodeTraceBuffer* buffer = mc.tracer().buffer(node);
+    if (buffer == nullptr) continue;
+    for (const TraceEvent& e : buffer->events()) {
+      if (e.kind != EventKind::kCollective) continue;
+      if ((e.a2 & kCollectiveErrorFlag) == 0) continue;
+      if ((e.a2 & kCollectiveAsyncFlag) == 0) continue;
+      ++async_error_spans;
+      EXPECT_GE(e.end_ns, e.start_ns);
+    }
+  }
+  EXPECT_GE(async_error_spans, 1)
+      << "no async error-marked collective span was recorded";
+}
+
+// ---------------------------------------------------------------------------
+// Irregular ("v") collectives under chaos: the uncached interpreter path
+// through the reliability layer, both send regimes.
+
+class VChaosTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VChaosTest, VVariantsHealRecoverableFaultsInBothRegimes) {
+  Multicomputer mc(Mesh2D(1, 4));
+  mc.set_rendezvous_threshold(GetParam());
+  const int p = mc.node_count();
+  auto injector = std::make_shared<FaultInjector>(1313u);
+  FaultSpec spec;
+  spec.drop = 0.04;
+  spec.duplicate = 0.04;
+  spec.reorder = 0.04;
+  injector->set_default(spec);
+  mc.set_fault_injector(injector);
+  mc.set_retry_policy(/*max_retries=*/16, /*base_rto_ms=*/2);
+
+  // Uneven counts including a zero piece; total 97 elements.
+  const std::vector<std::size_t> counts{40, 0, 33, 24};
+  const std::size_t total = 97;
+  const int root = 2;
+  auto base_of = [&](int rank) {
+    std::size_t base = 0;
+    for (int r = 0; r < rank; ++r) base += counts[static_cast<std::size_t>(r)];
+    return base;
+  };
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    const int rank = world.rank();
+    const std::size_t lo = base_of(rank);
+    const std::size_t hi = lo + counts[static_cast<std::size_t>(rank)];
+    for (int round = 0; round < 2; ++round) {
+      // scatterv then gatherv round trip through root.
+      std::vector<std::int64_t> buf(total, 0);
+      if (rank == root) {
+        for (std::size_t i = 0; i < total; ++i) {
+          buf[i] = static_cast<std::int64_t>(i) + 100;
+        }
+      }
+      world.scatterv(std::span<std::int64_t>(buf), counts, root);
+      for (std::size_t i = lo; i < hi; ++i) {
+        ASSERT_EQ(buf[i], static_cast<std::int64_t>(i) + 100);
+        buf[i] += 1000;
+      }
+      world.gatherv(std::span<std::int64_t>(buf), counts, root);
+      if (rank == root) {
+        for (std::size_t i = 0; i < total; ++i) {
+          ASSERT_EQ(buf[i], static_cast<std::int64_t>(i) + 1100);
+        }
+      }
+
+      // collectv: every rank contributes its piece, everyone sees all.
+      std::vector<std::int64_t> coll(total, 0);
+      for (std::size_t i = lo; i < hi; ++i) {
+        coll[i] = static_cast<std::int64_t>(i) * 3 + rank;
+      }
+      world.collectv(std::span<std::int64_t>(coll), counts);
+      for (int r = 0; r < p; ++r) {
+        const std::size_t rlo = base_of(r);
+        const std::size_t rhi = rlo + counts[static_cast<std::size_t>(r)];
+        for (std::size_t i = rlo; i < rhi; ++i) {
+          ASSERT_EQ(coll[i], static_cast<std::int64_t>(i) * 3 + r);
+        }
+      }
+
+      // reduce_scatterv: each rank owns the reduced slice.
+      std::vector<std::int64_t> red(total);
+      for (std::size_t i = 0; i < total; ++i) {
+        red[i] = static_cast<std::int64_t>(i) + rank;
+      }
+      world.reduce_scatterv_bytes(
+          std::as_writable_bytes(std::span<std::int64_t>(red)), counts,
+          sum_op<std::int64_t>());
+      const std::int64_t rank_sum = static_cast<std::int64_t>(p) *
+                                    static_cast<std::int64_t>(p - 1) / 2;
+      for (std::size_t i = lo; i < hi; ++i) {
+        ASSERT_EQ(red[i], static_cast<std::int64_t>(i) *
+                                  static_cast<std::int64_t>(p) +
+                              rank_sum);
+      }
+    }
+  });
+  const auto stats = injector->stats();
+  EXPECT_GT(stats.dropped + stats.duplicated + stats.reordered, 0u)
+      << "chaos run injected nothing — rates or volume too low";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, VChaosTest,
+    ::testing::Values(std::size_t{1},  // everything rendezvous-gated
+                      std::size_t{1} << 30));  // everything eager
+
 }  // namespace
 }  // namespace intercom
