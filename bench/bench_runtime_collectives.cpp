@@ -16,8 +16,13 @@
 //     allocate nothing (see docs/performance.md).
 //   * Besides the usual console output, results are written to
 //     BENCH_runtime.json in the working directory: one record per benchmark
-//     with {collective, p, bytes, ns_per_op, allocs_per_op, bytes_per_sec}
-//     so CI can archive the perf trajectory.
+//     with {collective, backend, p, bytes, ns_per_op, allocs_per_op,
+//     bytes_per_sec} so CI can archive the perf trajectory.
+//   * BENCH_FABRIC selects the delivery backend ("inproc" default, "sim",
+//     or any registered name).  The sim leg runs with time_scale=0 —
+//     link/conflict accounting and the virtual clock but no pacing sleeps —
+//     so its numbers measure the library's overhead on the simulated-wire
+//     code path, not modeled Paragon latencies.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -84,9 +89,19 @@ using namespace intercom;
 /// per-launch, not per-collective) out of the steady-state numbers.
 constexpr int kInnerOps = 16;
 
+/// Delivery backend under test, from BENCH_FABRIC (default "inproc").  The
+/// sim backend disables pacing so the benchmark measures code-path cost.
+FabricSpec bench_fabric() {
+  FabricSpec spec;
+  if (const char* env = std::getenv("BENCH_FABRIC")) spec.name = env;
+  spec.sim.time_scale = 0.0;
+  return spec;
+}
+
 /// One JSON record of BENCH_runtime.json.
 struct BenchRow {
   std::string collective;
+  std::string backend;
   int p = 0;
   std::size_t bytes = 0;
   double ns_per_op = 0.0;
@@ -104,7 +119,7 @@ template <typename Fn>
 void run_steady_state(benchmark::State& state, const char* name, Fn&& op) {
   const int p = static_cast<int>(state.range(0));
   const std::size_t elems = static_cast<std::size_t>(state.range(1));
-  Multicomputer mc(Mesh2D(1, p));
+  Multicomputer mc(Mesh2D(1, p), MachineParams::paragon(), bench_fabric());
   // Experiment knob: override the eager/rendezvous switch point (bytes).
   if (const char* env = std::getenv("BENCH_RENDEZVOUS")) {
     mc.set_rendezvous_threshold(
@@ -161,6 +176,7 @@ void run_steady_state(benchmark::State& state, const char* name, Fn&& op) {
 
   BenchRow row;
   row.collective = name;
+  row.backend = std::string(mc.fabric_name());
   row.p = p;
   row.bytes = bytes;
   row.ns_per_op = ns_per_op;
@@ -262,7 +278,8 @@ void write_bench_json(const char* path) {
   for (const BenchRow& r : rows()) {
     bool replaced = false;
     for (BenchRow& f : final_rows) {
-      if (f.collective == r.collective && f.p == r.p && f.bytes == r.bytes) {
+      if (f.collective == r.collective && f.backend == r.backend &&
+          f.p == r.p && f.bytes == r.bytes) {
         f = r;
         replaced = true;
         break;
@@ -273,7 +290,8 @@ void write_bench_json(const char* path) {
   os << "[\n";
   for (std::size_t i = 0; i < final_rows.size(); ++i) {
     const BenchRow& r = final_rows[i];
-    os << "  {\"collective\": \"" << r.collective << "\", \"p\": " << r.p
+    os << "  {\"collective\": \"" << r.collective << "\", \"backend\": \""
+       << r.backend << "\", \"p\": " << r.p
        << ", \"bytes\": " << r.bytes << ", \"ns_per_op\": " << r.ns_per_op
        << ", \"allocs_per_op\": " << r.allocs_per_op
        << ", \"bytes_per_sec\": " << r.bytes_per_sec << "}"

@@ -30,10 +30,15 @@
 
 namespace intercom {
 
-/// One (collective, algorithm, shape) aggregate of a traced run.
+/// One (collective, algorithm, shape, fabric) aggregate of a traced run.
 struct ModelVsMeasuredRow {
   std::string collective;
   std::string algorithm;
+  /// Delivery backend the traced machine ran on (Tracer::fabric()).  Rows
+  /// group by it, so merging traces from an "inproc" and a "sim" run keeps
+  /// their timings in distinct rows instead of silently averaging two
+  /// different machines into one.
+  std::string fabric;
   std::size_t elems = 0;
   std::size_t bytes = 0;
   std::uint64_t calls = 0;          ///< collective instances aggregated
@@ -51,13 +56,51 @@ struct ModelVsMeasuredRow {
 };
 
 /// Builds report rows from `tracer`'s collective spans, sorted by
-/// (collective, elems, algorithm).  Instances whose span tuple was partly
-/// overwritten by ring wraparound still count with the nodes that remain.
+/// (collective, elems, algorithm, fabric).  Instances whose span tuple was
+/// partly overwritten by ring wraparound still count with the nodes that
+/// remain.
 std::vector<ModelVsMeasuredRow> model_vs_measured(const Tracer& tracer);
+
+/// Merges rows from several traced runs (e.g. the same workload on the
+/// in-process wire and on the simulated fabric).  Rows stay separated by
+/// fabric; within one fabric, same-shape rows from different tracers
+/// combine call-count-weighted.
+std::vector<ModelVsMeasuredRow> model_vs_measured(
+    const std::vector<const Tracer*>& tracers);
 
 /// Renders rows as an aligned text table (TextTable style shared with the
 /// paper-table benchmarks).
 void render_model_vs_measured(const std::vector<ModelVsMeasuredRow>& rows,
                               std::ostream& os);
+
+/// One (collective, algorithm, shape) line of the three-way comparison:
+/// the analytic model's prediction next to the measured time on the
+/// simulated wormhole fabric and on the ideal in-process wire.  This is the
+/// paper's Table 3 with the simulator standing in as a middle rung between
+/// the closed-form model and the live runtime.
+struct ThreeWayRow {
+  std::string collective;
+  std::string algorithm;
+  std::size_t elems = 0;
+  std::size_t bytes = 0;
+  double predicted_s = 0.0;    ///< analyze() critical path (model time)
+  double sim_s = 0.0;          ///< mean measured on the sim fabric (0 = no
+                               ///< matching row in the sim trace)
+  double inproc_s = 0.0;       ///< mean measured on the in-process wire
+  double sim_ratio = 0.0;      ///< sim_s / predicted_s (0 if unavailable)
+  double inproc_ratio = 0.0;   ///< inproc_s / predicted_s (0 if unavailable)
+};
+
+/// Joins two traced runs of the same workload on (collective, algorithm,
+/// elems, bytes): `inproc` measured on the ideal wire, `sim` on the
+/// simulated fabric.  A shape present in only one trace still yields a row
+/// with the other side zero.  Predictions prefer the sim trace's (its
+/// planner should be configured with the same MachineParams the fabric
+/// paces by).
+std::vector<ThreeWayRow> three_way_report(const Tracer& inproc,
+                                          const Tracer& sim);
+
+/// Renders the three-way rows as an aligned text table.
+void render_three_way(const std::vector<ThreeWayRow>& rows, std::ostream& os);
 
 }  // namespace intercom

@@ -188,6 +188,12 @@ class Tracer {
   /// Text of an interned id ("?" for an unknown id).
   std::string label_text(std::uint32_t id) const;
 
+  /// Tags every export/report from this tracer with the delivery backend the
+  /// traced machine ran on ("inproc", "sim", ...).  Set once at machine
+  /// construction, before any recording.
+  void set_fabric(std::string fabric) { fabric_ = std::move(fabric); }
+  const std::string& fabric() const { return fabric_; }
+
   /// Node buffer access for exporters and diagnostics.
   const NodeTraceBuffer* buffer(int node) const;
 
@@ -202,6 +208,7 @@ class Tracer {
   std::size_t buffer_count_;
   std::size_t capacity_;
   std::vector<std::unique_ptr<NodeTraceBuffer>> buffers_;  // sized on arm()
+  std::string fabric_ = "inproc";
   std::atomic<bool> armed_{false};
   std::chrono::steady_clock::time_point epoch_{};
 

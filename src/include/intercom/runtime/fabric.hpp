@@ -1,0 +1,327 @@
+// The delivery backend ("fabric") underneath the runtime transport.
+//
+// Transport used to be a monolith: matching, buffering, wakeups, reliability,
+// fault injection, the eager/rendezvous split, and instrumentation all lived
+// in one class, welded to one in-process channel implementation.  This header
+// splits it the way NCCL-style libraries split shm/net transports: Transport
+// keeps the *policies* (sequence numbers, checksums, RTO clocks, retransmit
+// logs, fault decisions, eager-vs-rendezvous selection, trace/metric spans)
+// and delegates *delivery* to a narrow Fabric interface.  Everything a policy
+// layer needs from the wire is expressed in a handful of verbs:
+//
+//   post / unpost        register (withdraw) a receive buffer with the wire
+//   wait / try_wait      complete a raw (unframed) receive, blocking or not
+//   claim / try_claim    the rendezvous handshake: take ownership of a posted
+//                        buffer — optionally filling it in place (the raw
+//                        one-copy path) — blocking or probing
+//   deposit              stage a raw eager payload on the wire
+//   deliver              enqueue a framed (reliability-layer) message, with
+//                        optional reorder hold-back
+//   wait_frame /         receive framed messages through a caller-supplied
+//   try_take_frame       judge, so checksum/sequence policy stays above the
+//                        fabric
+//   poison / reset       fail-fast abort propagation and reuse
+//
+// The non-blocking verbs (try_*) mirror Transport::try_send /
+// try_wait_recv: they either complete the operation exactly as the blocking
+// verb would or leave every piece of wire state untouched.
+//
+// Two fabrics ship today: InProcFabric, the original sharded-channel data
+// path (one mutex + condvar + pending list per (src, dst) wire, pooled
+// slabs, waiter-counted notify elision, bounded yield-spin), and SimFabric
+// (sim_fabric.hpp), which derives from it and paces every wire crossing
+// through the wormhole-mesh model so real payloads experience modeled
+// contention.  The seam between them is one protected hook: carry(), called
+// once per wire crossing with the payload size, while the crossing's channel
+// state is stable.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "intercom/runtime/buffer_pool.hpp"
+
+namespace intercom {
+
+struct ReduceOp;
+
+/// Flow key within one (src, dst) wire: the context id separates concurrent
+/// collectives, the tag separates messages within one schedule step.
+struct FabricKey {
+  std::uint64_t ctx;
+  int tag;
+  bool operator==(const FabricKey&) const = default;
+};
+struct FabricKeyHash {
+  std::size_t operator()(const FabricKey& k) const {
+    std::size_t h = std::hash<std::uint64_t>{}(k.ctx);
+    h ^= std::hash<int>{}(k.tag) + 0x9e3779b9 + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+/// One buffered message: a pooled slab holding `len` live bytes.  On the
+/// framed (reliable) path `seq`/`validated` cache the one-time checksum
+/// parse — the fabric stores them with the buffered frame but never
+/// interprets them; only the judge callback (the reliability layer) does.
+struct FabricMsg {
+  BufferPool::Buf buf;
+  std::size_t len = 0;
+  std::uint64_t seq = 0;
+  bool validated = false;
+};
+
+/// A receive buffer registered with a wire.  Owned by the receiver (stack or
+/// PlanCursor state); the wire-internal flags are guarded by the channel
+/// mutex of the fabric the ticket is posted to.
+struct PostedRecv {
+  std::span<std::byte> out;
+  /// When non-null, the payload is folded into `out` element-wise instead
+  /// of overwriting it (the fused receive+combine path).
+  const ReduceOp* accumulate = nullptr;
+  int src = -1;
+  int dst = -1;
+  std::uint64_t ctx = 0;
+  int tag = 0;
+  // Fabric-internal state, guarded by the channel mutex.
+  bool active = false;    ///< registered with the channel
+  bool consumed = false;  ///< a rendezvous sender claimed this post
+  bool filled = false;    ///< payload delivered directly into `out`
+  std::uint64_t seq = 0;  ///< delivered sequence number (0 = raw path)
+};
+
+/// Outcome of a fabric verb.  kNotReady from a try_* verb means "nothing
+/// changed, poll again"; from a blocking verb it means the caller-supplied
+/// timeout expired.  kMismatch is claim-specific: the posted buffer's length
+/// does not match the payload, the claim was not taken, and the caller
+/// should fall back to an eager deposit (the receiver raises the mismatch
+/// error when it takes the message).
+enum class FabricStatus { kOk, kNotReady, kAborted, kMismatch };
+
+/// Verdict of the framed-receive judge, applied per buffered frame in FIFO
+/// order: kTake removes the frame and completes the receive, kDiscard drops
+/// it (corrupt or stale — the fabric recycles the slab), kKeep leaves it
+/// buffered (a future frame, not yet in order).
+enum class FrameVerdict { kTake, kDiscard, kKeep };
+
+/// Frame judge: the reliability layer's checksum/sequence policy, handed to
+/// the fabric as a plain function pointer + context so the scan allocates
+/// nothing.  The judge may mutate the frame (caching the parsed sequence
+/// number) — the fabric keeps the mutation with the buffered frame.
+using FrameJudge = FrameVerdict (*)(void* judge_ctx, FabricMsg& frame);
+
+/// Delivery backend: moves payloads between `node_count` in-process nodes.
+/// Policy-free — sequence numbers, checksums, RTO clocks, retransmit logs,
+/// and fault decisions all live above this interface (see transport.hpp for
+/// which layer owns what).  All verbs are thread-safe; one PostedRecv serves
+/// one message and must stay alive until completed or withdrawn.
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual int node_count() const = 0;
+
+  /// Borrows the policy layer's slab pool for staging buffers.  Called once
+  /// by Transport before any traffic; the pool must outlive the fabric's
+  /// last verb.
+  void attach_pool(BufferPool& pool) { pool_ = &pool; }
+
+  /// Registers `ticket` with its (src, dst) wire and wakes a rendezvous
+  /// sender blocked waiting for it.  The ticket's routing fields must be
+  /// set; its wire-internal flags are reset here.
+  virtual void post(PostedRecv& ticket) = 0;
+  /// Withdraws a posted ticket.  Safe if it was already filled, taken, or
+  /// never posted (idempotent).
+  virtual void unpost(PostedRecv& ticket) = 0;
+
+  /// Blocks until a raw message lands in `ticket` (direct fill or staged
+  /// deposit) and completes it.  `timeout_ms` 0 waits forever (with a
+  /// bounded yield-spin before parking); positive bounds the wait.  On
+  /// kNotReady (timeout) and kAborted the ticket has been withdrawn.
+  virtual FabricStatus wait(PostedRecv& ticket, long timeout_ms) = 0;
+  /// Non-blocking wait(): kOk completes the receive exactly as wait()
+  /// would; kNotReady leaves all wire state untouched (ticket stays
+  /// posted).  On kAborted the ticket has been withdrawn.
+  virtual FabricStatus try_wait(PostedRecv& ticket) = 0;
+
+  /// Rendezvous handshake: blocks until a posted, unconsumed ticket for
+  /// (src -> dst, key) is claimable — no older buffered message for the key
+  /// ahead of it in FIFO order — then marks it consumed.  With `fill`, the
+  /// payload is additionally landed straight into the claimed buffer (one
+  /// copy) and the ticket completed; a length mismatch un-claims and
+  /// returns kMismatch.  Without `fill` the ticket stays consumed — the
+  /// reliable handshake; the payload follows as a framed delivery.
+  /// `timeout_ms` as for wait(); the ticket is never withdrawn on failure
+  /// (it belongs to the receiver).
+  virtual FabricStatus claim(int src, int dst, const FabricKey& key,
+                             std::span<const std::byte> data, bool fill,
+                             long timeout_ms) = 0;
+  /// Non-blocking claim().  `presend` (optional) is invoked once the claim
+  /// is committed but before any wire state changes — the policy layer
+  /// charges fail-stop budgets there, so a parked poll never burns them; if
+  /// it throws, the wire is untouched.  kNotReady: nothing claimable now.
+  virtual FabricStatus try_claim(int src, int dst, const FabricKey& key,
+                                 std::span<const std::byte> data, bool fill,
+                                 void (*presend)(void*), void* presend_ctx) = 0;
+
+  /// Raw eager delivery: lands `data` directly in a matching posted buffer
+  /// when one is claimable (one copy), else stages it in a pooled slab on
+  /// the wire's queue.  Never blocks (beyond the fabric's own pacing).
+  virtual void deposit(int src, int dst, const FabricKey& key,
+                       std::span<const std::byte> data) = 0;
+
+  /// Framed delivery for the reliability layer: enqueues `frame` on the
+  /// (src, dst) wire.  With `hold_back` (reorder injection) the frame is
+  /// parked in the wire's limbo slot — at most one — and released behind
+  /// the wire's next delivery; when the slot is taken the frame is
+  /// delivered normally.
+  virtual void deliver(int src, int dst, const FabricKey& key, FabricMsg frame,
+                       bool hold_back) = 0;
+
+  /// Framed receive: scans the wire's queue through `judge` (discards are
+  /// recycled, kept frames stay buffered) and blocks until a frame is taken
+  /// into *frame — completing the ticket's registration — or `rto_ms`
+  /// elapses with no wire activity at all (kNotReady: the caller's
+  /// retransmission clock fires; wire activity restarts the window, so a
+  /// busy wire never spuriously times out).  kNotReady/kAborted leave the
+  /// ticket posted — the caller owns the retry loop and withdraws it before
+  /// raising an error.  The landing (length check, copy/fold, ack) is the
+  /// caller's: the taken frame leaves the fabric opaque.
+  virtual FabricStatus wait_frame(PostedRecv& ticket, FrameJudge judge,
+                                  void* judge_ctx, FabricMsg* frame,
+                                  long rto_ms) = 0;
+  /// Non-blocking wait_frame(): one scan, no waiting, no clock.  Same
+  /// ticket contract: only kOk changes wire state.
+  virtual FabricStatus try_take_frame(PostedRecv& ticket, FrameJudge judge,
+                                      void* judge_ctx, FabricMsg* frame) = 0;
+
+  /// Fail-fast poison: every blocked or future verb observes the poisoned
+  /// state (kAborted) immediately.  Safe from any thread; idempotent.
+  virtual void poison() = 0;
+  bool poisoned() const { return poisoned_.load(std::memory_order_relaxed); }
+
+  /// Clears all queued messages, posted registrations, limbo frames, and
+  /// the poisoned flag so the fabric can be reused after a failed run.
+  /// Call only while no verb is in flight.
+  virtual void reset() = 0;
+
+  /// Formats the keys still queued for `dst` across all of its wires so a
+  /// timeout message shows what the stuck node *was* offered.  Takes each
+  /// wire's mutex briefly; call without fabric locks held.
+  virtual std::string pending_summary(int dst) = 0;
+
+ protected:
+  BufferPool* pool_ = nullptr;
+  std::atomic<bool> poisoned_{false};
+};
+
+/// The original in-process data path, re-expressed as a fabric: per-(src,
+/// dst) sharded channels (own mutex + condvar + pending list, so traffic on
+/// unrelated wires never contends and a deposit wakes only the one peer that
+/// can match it), pooled-slab staging, waiter-counted notify elision, and a
+/// bounded yield-spin before parking.  Subclasses model a non-ideal wire by
+/// overriding carry().
+class InProcFabric : public Fabric {
+ public:
+  explicit InProcFabric(int node_count);
+  ~InProcFabric() override;
+
+  std::string_view name() const override { return "inproc"; }
+  int node_count() const override { return node_count_; }
+
+  void post(PostedRecv& ticket) override;
+  void unpost(PostedRecv& ticket) override;
+  FabricStatus wait(PostedRecv& ticket, long timeout_ms) override;
+  FabricStatus try_wait(PostedRecv& ticket) override;
+  FabricStatus claim(int src, int dst, const FabricKey& key,
+                     std::span<const std::byte> data, bool fill,
+                     long timeout_ms) override;
+  FabricStatus try_claim(int src, int dst, const FabricKey& key,
+                         std::span<const std::byte> data, bool fill,
+                         void (*presend)(void*), void* presend_ctx) override;
+  void deposit(int src, int dst, const FabricKey& key,
+               std::span<const std::byte> data) override;
+  void deliver(int src, int dst, const FabricKey& key, FabricMsg frame,
+               bool hold_back) override;
+  FabricStatus wait_frame(PostedRecv& ticket, FrameJudge judge, void* judge_ctx,
+                          FabricMsg* frame, long rto_ms) override;
+  FabricStatus try_take_frame(PostedRecv& ticket, FrameJudge judge,
+                              void* judge_ctx, FabricMsg* frame) override;
+  void poison() override;
+  void reset() override;
+  std::string pending_summary(int dst) override;
+
+ protected:
+  /// One wire crossing of `bytes` payload bytes from src to dst.  Called
+  /// exactly once per deposit/deliver/claim-fill, after the crossing is
+  /// committed; for the claim-fill path it runs under the wire's channel
+  /// lock so the claimed buffer stays stable for the crossing's duration.
+  /// The base fabric's wire is ideal: the hook is empty.  SimFabric paces
+  /// the calling thread here by the wormhole-mesh model.
+  virtual void carry(int src, int dst, std::size_t bytes);
+
+ private:
+  struct MsgNode {
+    FabricKey key;
+    FabricMsg msg;
+  };
+  /// One (src, dst) wire: private lock, condvar, and matching state (at
+  /// most the receiver and one rendezvous sender ever wait here).
+  struct Channel {
+    std::mutex mutex;
+    std::condition_variable cv;
+    /// Number of threads blocked (or about to block) in a cv wait.
+    /// Incremented under the mutex before waiting, so a notifier that
+    /// changed channel state under the same mutex and then reads 0 knows no
+    /// wakeup is owed — the common case, where skipping notify_all saves a
+    /// futex syscall on every deposit/take.  Atomic because the decrement
+    /// can run after the waiter dropped the lock on an exception path.
+    std::atomic<int> waiters{0};
+    /// Bumped on every deposit/fill/post; lets a framed receiver wait for
+    /// "something changed" without re-scanning buffered future frames.
+    std::uint64_t version = 0;
+    /// Pending messages in arrival order (per-key FIFO = scan from the
+    /// front).  A vector keeps steady state allocation-free: erase compacts
+    /// in place and capacity is retained.
+    std::vector<MsgNode> pending;
+    /// Receiver-posted buffers awaiting direct fill (at most a handful).
+    std::vector<PostedRecv*> posted;
+    /// Reorder injection: at most one held-back frame on this wire,
+    /// released behind the wire's next delivery.
+    std::deque<MsgNode> limbo;
+  };
+
+  Channel& channel(int src, int dst) {
+    return channels_[static_cast<std::size_t>(dst) *
+                         static_cast<std::size_t>(node_count_) +
+                     static_cast<std::size_t>(src)];
+  }
+
+  /// Removes `ticket` from its channel's posted list (channel mutex held).
+  static void unpost_locked(Channel& ch, PostedRecv& ticket);
+  /// Finds the first posted, unconsumed ticket for `key` (mutex held).
+  static PostedRecv* find_posted_locked(Channel& ch, const FabricKey& key);
+  /// Index of the first pending message for `key`, or npos (mutex held).
+  static std::size_t find_pending_locked(const Channel& ch,
+                                         const FabricKey& key);
+  /// One judged scan over the wire's queue (mutex held); true = taken.
+  bool scan_locked(Channel& ch, const FabricKey& key, FrameJudge judge,
+                   void* judge_ctx, FabricMsg* frame);
+
+  int node_count_;
+  std::vector<Channel> channels_;  ///< dst-major [dst * n + src]
+};
+
+}  // namespace intercom

@@ -1,0 +1,49 @@
+// Name-based construction of delivery fabrics (see fabric.hpp).
+//
+// A Multicomputer selects its backend by FabricSpec — {"inproc"} for the
+// ideal in-process wire, {"sim", <SimFabricConfig>} for the wormhole-mesh
+// model — and the registry turns the name into a fabric over the machine's
+// mesh.  Additional backends (a process-shared ring, a socket bridge, ...)
+// can be registered at runtime without touching Transport or Multicomputer:
+// that is the refactor's seam.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "intercom/runtime/fabric.hpp"
+#include "intercom/runtime/sim_fabric.hpp"
+#include "intercom/topo/mesh.hpp"
+
+namespace intercom {
+
+/// Names a delivery backend plus the configuration the named backend
+/// consumes.  Copyable plain data so it can ride in test params and bench
+/// configs.
+struct FabricSpec {
+  std::string name = "inproc";
+  /// Consulted by the "sim" backend (and any registered backend that wants
+  /// a machine model); ignored by "inproc".
+  SimFabricConfig sim{};
+};
+
+/// Builds a fabric for `spec` over `mesh` (the spec the factory receives is
+/// the one passed to make_fabric, so custom backends can define their own
+/// interpretation of it).
+using FabricFactory = std::function<std::unique_ptr<Fabric>(
+    const Mesh2D& mesh, const FabricSpec& spec)>;
+
+/// Registers (or replaces) a named backend.  Thread-safe.
+void register_fabric(const std::string& name, FabricFactory factory);
+
+/// Constructs the backend `spec.name` names over `mesh`.  Throws
+/// intercom::Error for an unknown name, listing what is registered.
+/// "inproc" and "sim" are always available.
+std::unique_ptr<Fabric> make_fabric(const FabricSpec& spec, const Mesh2D& mesh);
+
+/// Names of all registered backends (sorted; for diagnostics and tests).
+std::vector<std::string> registered_fabrics();
+
+}  // namespace intercom

@@ -12,6 +12,7 @@
 #include "intercom/model/machine_params.hpp"
 #include "intercom/obs/metrics.hpp"
 #include "intercom/obs/trace.hpp"
+#include "intercom/runtime/fabric_registry.hpp"
 #include "intercom/runtime/transport.hpp"
 #include "intercom/topo/mesh.hpp"
 
@@ -27,10 +28,19 @@ class Multicomputer {
  public:
   explicit Multicomputer(Mesh2D mesh,
                          MachineParams params = MachineParams::paragon());
+  /// Same machine, but with the delivery backend selected by name: {"inproc"}
+  /// is the ideal in-process wire (identical to the two-argument ctor);
+  /// {"sim", config} routes every wire crossing through the wormhole-mesh
+  /// model (see sim_fabric.hpp).  Everything above the fabric — planner,
+  /// reliability, fault injection, tracing, async progress — is unchanged.
+  Multicomputer(Mesh2D mesh, MachineParams params, const FabricSpec& fabric);
 
   int node_count() const { return mesh_.node_count(); }
   const Mesh2D& mesh() const { return mesh_; }
   Transport& transport() { return transport_; }
+  /// Name of the delivery backend this machine runs on ("inproc", "sim", or
+  /// a registered custom backend).
+  std::string_view fabric_name() const { return transport_.fabric_name(); }
   const Planner& planner() const { return planner_; }
 
   // Observability (see obs/ and docs/observability.md).  The machine owns a

@@ -1,4 +1,5 @@
-// In-process message transport for the threaded multicomputer.
+// Message transport for the threaded multicomputer: policy layers over a
+// pluggable delivery fabric.
 //
 // Messages are matched by (source node, destination node, context id, tag).
 // The data path is built for the bandwidth-bound regime the paper's
@@ -6,27 +7,30 @@
 // cost, wakeup strategy, allocation — are engineered down so the transport
 // measures the algorithms, not itself.
 //
-//  * Sharded channels: each (src, dst) wire owns its own mutex + condvar +
-//    pending-message list.  A deposit wakes only the one peer that can
-//    match it (the old single per-node mailbox woke every receiver on the
-//    node for every arrival), and senders to different destinations never
-//    contend.
+// Layering (see fabric.hpp for the delivery interface itself):
 //
-//  * Buffer pool: eager payloads are staged in recycled size-classed slabs
-//    (see buffer_pool.hpp), so the steady state of an iterative
-//    application allocates nothing per message.
-//
-//  * Eager/rendezvous split: payloads below the rendezvous threshold
-//    (set_rendezvous_threshold, default 32 KiB) are sent eagerly — copied
-//    into a pooled slab, then out at the receiver (two copies, never
-//    blocking).  Payloads at or above it rendezvous: the sender waits for
-//    the receiver to post its buffer, then copies sender -> user buffer
-//    directly — one copy, zero intermediate bytes.  A receiver that
-//    arrives first also donates its buffer to small messages, so a posted
-//    eager receive is one copy too.  Rendezvous sends block until the
-//    matching receive is posted, i.e. exactly the rendezvous semantics the
-//    schedules are validated under; simultaneous send/receive steps use
-//    post_recv/wait_recv to post the receive side first.
+//   Communicator / CompiledPlan / PlanCursor
+//        |  send/recv/post_recv/wait_recv + try_send/try_wait_recv
+//   Transport — the POLICY layers, fabric-agnostic:
+//        |   * eager/rendezvous split (set_rendezvous_threshold): which verb
+//        |     each payload takes
+//        |   * reliability: per-flow sequence numbers, frame checksums,
+//        |     receiver-driven retransmission with RTO backoff, the
+//        |     sender-side unacked log, and the receiver-side next-expected
+//        |     cursors — Transport owns ALL of this state; the fabric only
+//        |     stores opaque frames
+//        |   * fault injection: per-frame drop/delay/duplicate/reorder/
+//        |     corrupt decisions and fail-stop budgets (fault.hpp)
+//        |   * observability: wire spans, retransmit instants, counters and
+//        |     histograms (obs/)
+//        |   * abort bookkeeping (the reason string; the poison itself
+//        |     propagates through the fabric) and the recv watchdog clocks
+//        v  post/claim/deposit/deliver + non-blocking probes
+//   Fabric — delivery only: matching, buffering, wakeups, and the wire's
+//        timing model.  InProcFabric is the ideal in-process wire (sharded
+//        channels, pooled slabs); SimFabric paces every crossing through
+//        the wormhole-mesh model.  The slab BufferPool is owned here in
+//        Transport and lent to the fabric for staging.
 //
 // The context id separates concurrent collectives (different communicators
 // or successive operations on one communicator), playing the role MPI gives
@@ -60,7 +64,7 @@
 //    unarmed, send/recv take the original zero-overhead path (one relaxed
 //    atomic load added).
 //
-//  * Fail-fast abort: abort() poisons every channel — all blocked and future
+//  * Fail-fast abort: abort() poisons the fabric — all blocked and future
 //    send/recv calls throw AbortedError immediately — so one node's failure
 //    propagates to its peers instead of wedging them in recv forever.
 //
@@ -75,20 +79,19 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "intercom/runtime/buffer_pool.hpp"
+#include "intercom/runtime/fabric.hpp"
 
 namespace intercom {
 
@@ -102,9 +105,18 @@ struct ReduceOp;
 /// Blocking channel transport between `node_count` in-process nodes.
 class Transport {
  public:
+  /// Runs over the default ideal wire (InProcFabric).
   explicit Transport(int node_count);
+  /// Runs over a caller-supplied fabric (see fabric_registry.hpp for
+  /// name-based construction).  The fabric's node count must match.
+  Transport(int node_count, std::unique_ptr<Fabric> fabric);
 
   int node_count() const { return node_count_; }
+
+  /// The delivery backend this transport runs over.
+  Fabric& fabric() { return *fabric_; }
+  const Fabric& fabric() const { return *fabric_; }
+  std::string_view fabric_name() const { return fabric_->name(); }
 
   /// Arms a receive watchdog: any recv() still unmatched — or rendezvous
   /// send still unclaimed — after `milliseconds` throws
@@ -144,9 +156,11 @@ class Transport {
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
   /// Clears abort state, all queued messages, and all reliability bookkeeping
-  /// so the transport can be reused after a failed run.  Call only while no
-  /// send/recv is in flight.  Keeps the installed injector, knobs, and the
-  /// warm buffer pool.
+  /// — in every layer: the fabric's queues/registrations/limbo, the
+  /// sender-side retransmit logs, the receiver-side next-expected cursors,
+  /// and the per-run reliability counters — so the transport can be reused
+  /// after a failed run.  Call only while no send/recv is in flight.  Keeps
+  /// the installed injector, knobs, and the warm buffer pool.
   void reset();
 
   /// Delivers `data` to dst under (src, ctx, tag).  Below the rendezvous
@@ -166,27 +180,15 @@ class Transport {
   void recv(int src, int dst, std::uint64_t ctx, int tag,
             std::span<std::byte> out, const ReduceOp* accumulate = nullptr);
 
-  /// Split receive: post_recv registers `out` with the (src, dst) channel
+  /// Split receive: post_recv registers `out` with the (src, dst) wire
   /// and returns immediately; wait_recv blocks until the message lands in
   /// it.  Simultaneous send/receive steps post the receive before issuing
   /// the (possibly rendezvous-blocking) send — the executor's kSendRecv
   /// uses exactly this sequence.  One ticket serves one message; the ticket
   /// must stay alive (same scope) until wait_recv returns.
-  struct PostedRecv {
-    std::span<std::byte> out;
-    /// When non-null, the payload is folded into `out` element-wise instead
-    /// of overwriting it (the fused receive+combine path).
-    const ReduceOp* accumulate = nullptr;
-    int src = -1;
-    int dst = -1;
-    std::uint64_t ctx = 0;
-    int tag = 0;
-    // Transport-internal state, guarded by the channel mutex.
-    bool active = false;    ///< registered with the channel
-    bool consumed = false;  ///< a rendezvous sender claimed this post
-    bool filled = false;    ///< payload delivered directly into `out`
-    std::uint64_t seq = 0;  ///< delivered sequence number (0 = raw path)
-  };
+  /// PostedRecv itself is the fabric-level ticket (fabric.hpp); the nested
+  /// name is the API the executor and plan cursor were written against.
+  using PostedRecv = ::intercom::PostedRecv;
   void post_recv(PostedRecv& ticket, int src, int dst, std::uint64_t ctx,
                  int tag, std::span<std::byte> out,
                  const ReduceOp* accumulate = nullptr);
@@ -221,7 +223,9 @@ class Transport {
   /// Cross-poll state of one non-blocking receive: retransmission pacing and
   /// watchdog accounting that the blocking call keeps on its stack.  Value-
   /// initialised at post time and owned by the caller alongside its
-  /// PostedRecv ticket; plain data, never allocates.
+  /// PostedRecv ticket; plain data, never allocates.  These clocks are
+  /// Transport's, not the fabric's — the reliability layer owns RTO pacing
+  /// on every backend.
   struct RecvProgress {
     bool started = false;          ///< first poll has captured the state below
     std::uint64_t expected = 0;    ///< in-order sequence number this receive
@@ -276,59 +280,9 @@ class Transport {
   ReliabilityStats reliability_stats() const;
 
  private:
-  struct CKey {
-    std::uint64_t ctx;
-    int tag;
-    bool operator==(const CKey&) const = default;
-  };
-  struct CKeyHash {
-    std::size_t operator()(const CKey& k) const {
-      std::size_t h = std::hash<std::uint64_t>{}(k.ctx);
-      h ^= std::hash<int>{}(k.tag) + 0x9e3779b9 + (h << 6) + (h >> 2);
-      return h;
-    }
-  };
-  /// One buffered message: a pooled slab holding `len` live bytes.  On the
-  /// reliable path `seq`/`validated` cache the one-time checksum parse.
-  struct Msg {
-    BufferPool::Buf buf;
-    std::size_t len = 0;
-    std::uint64_t seq = 0;
-    bool validated = false;
-  };
-  struct MsgNode {
-    CKey key;
-    Msg msg;
-  };
-  /// One (src, dst) wire: private lock, condvar, and matching state, so
-  /// traffic on unrelated wires never contends and a deposit wakes only
-  /// this wire's peer (at most the receiver and one rendezvous sender ever
-  /// wait here).
-  struct Channel {
-    std::mutex mutex;
-    std::condition_variable cv;
-    /// Number of threads blocked (or about to block) in a cv wait.
-    /// Incremented under the mutex before waiting, so a notifier that
-    /// changed channel state under the same mutex and then reads 0 knows no
-    /// wakeup is owed — the common case, where skipping notify_all saves a
-    /// futex syscall on every deposit/take.  Atomic because the decrement
-    /// can run after the waiter dropped the lock on an exception path.
-    std::atomic<int> waiters{0};
-    /// Bumped on every deposit/fill/post; lets the reliable receiver wait
-    /// for "something changed" without re-scanning buffered future frames.
-    std::uint64_t version = 0;
-    /// Pending eager messages in arrival order (per-key FIFO = scan from
-    /// the front).  A vector keeps steady state allocation-free: erase
-    /// compacts in place and capacity is retained.
-    std::vector<MsgNode> pending;
-    /// Receiver-posted buffers awaiting direct fill (at most a handful).
-    std::vector<PostedRecv*> posted;
-    /// Reliable mode: next in-order sequence number per flow on this wire.
-    std::unordered_map<CKey, std::uint64_t, CKeyHash> next_expected;
-    /// Reorder injection: at most one held-back frame on this wire,
-    /// released behind the wire's next deposit (or a retransmission).
-    std::deque<MsgNode> limbo;
-  };
+  using CKey = FabricKey;
+  using CKeyHash = FabricKeyHash;
+  using Msg = FabricMsg;
   /// Sender-side retransmission log, one per node, keyed by flow
   /// (dst, ctx, tag).
   struct FlowKey {
@@ -354,33 +308,35 @@ class Transport {
     std::mutex mutex;
     std::unordered_map<FlowKey, SendFlow, FlowKeyHash> flows;
   };
+  /// Receiver-side in-order cursors, one per (src, dst) wire: the next
+  /// sequence number each flow on the wire is owed.  Reliability policy
+  /// state, so it lives here (not in the fabric) — a backend swap must not
+  /// change what "in order" means.
+  struct RecvSeqState {
+    std::mutex mutex;
+    std::unordered_map<CKey, std::uint64_t, CKeyHash> next_expected;
+  };
 
-  Channel& channel(int src, int dst) {
-    return channels_[static_cast<std::size_t>(dst) *
+  RecvSeqState& recv_seq(int src, int dst) {
+    return recv_seq_[static_cast<std::size_t>(dst) *
                          static_cast<std::size_t>(node_count_) +
                      static_cast<std::size_t>(src)];
   }
+  /// Loads (default-constructing at zero) the in-order cursor for the
+  /// ticket's flow.  Only the flow's single receiver advances it.
+  std::uint64_t next_expected_for(const PostedRecv& ticket);
+  void bump_next_expected(const PostedRecv& ticket, std::uint64_t next);
 
   void check_node(int node) const;
   [[noreturn]] void throw_aborted() const;
-  /// Formats the keys still queued for `dst` across all of its channels so
-  /// a timeout message shows what the stuck node *was* offered.  Takes each
-  /// channel's mutex briefly; call without channel locks held.
-  std::string pending_summary(int dst);
   /// Recent per-node trace tail for timeout diagnostics ("" untraced).
   std::string trace_tail_summary();
-  /// Both throwers take channel locks internally; call with none held.
+  /// Both throwers query the fabric internally; call with no fabric verb in
+  /// flight on this thread.
   [[noreturn]] void throw_recv_timeout(int src, int dst, std::uint64_t ctx,
                                        int tag, const char* detail);
   [[noreturn]] void throw_send_timeout(int src, int dst, std::uint64_t ctx,
                                        int tag);
-
-  /// Removes `ticket` from its channel's posted list (channel mutex held).
-  static void unpost_locked(Channel& ch, PostedRecv& ticket);
-  /// Finds the first posted, unconsumed ticket for `key` (mutex held).
-  static PostedRecv* find_posted_locked(Channel& ch, const CKey& key);
-  /// Index of the first pending message for `key`, or npos (mutex held).
-  static std::size_t find_pending_locked(const Channel& ch, const CKey& key);
 
   /// Charges one send against the injector's fail-stop budget (throws
   /// AbortedError when the node's budget is exhausted).  No-op without an
@@ -389,17 +345,7 @@ class Transport {
 
   void raw_send(int src, int dst, std::uint64_t ctx, int tag,
                 std::span<const std::byte> data);
-  /// Stages `data` in a pooled slab and queues it on `ch` (never blocks).
-  void deposit_eager(Channel& ch, const CKey& key,
-                     std::span<const std::byte> data);
   void raw_wait_recv(PostedRecv& ticket);
-  /// Blocks (on the caller-held channel lock) until a posted receive is
-  /// claimable for (ctx, tag) — posted, unconsumed, and with no older
-  /// buffered message for the key still ahead of it in FIFO order — and
-  /// marks it consumed; returns it.  Shared by the unreliable rendezvous
-  /// copy and the reliable rendezvous handshake.
-  PostedRecv& claim_posted(Channel& ch, std::unique_lock<std::mutex>& lock,
-                           int src, int dst, std::uint64_t ctx, int tag);
   /// Returns the one-based sequence number assigned to the frame (for the
   /// wire-event trace; 0 means "raw path, unsequenced").
   std::uint64_t reliable_send(int src, int dst, std::uint64_t ctx, int tag,
@@ -421,25 +367,17 @@ class Transport {
                          std::uint64_t* seq_out);
   bool raw_try_wait_recv(PostedRecv& ticket, RecvProgress& progress);
   bool reliable_try_wait_recv(PostedRecv& ticket, RecvProgress& progress);
-  /// Scans dst's (src, dst) wire queue for flow `key`: validates each
-  /// frame's checksum at most once, discards corrupt frames and stale
-  /// duplicates, and — when the frame with sequence `expected` is buffered —
-  /// removes it into *frame and returns true.  Channel mutex held.
-  bool scan_pending_locked(Channel& ch, const CKey& key,
-                           std::uint64_t expected, Msg* frame,
-                           bool* corrupt_seen);
   /// Completes an in-order reliable delivery whose frame has already been
-  /// taken off the queue and whose channel-side state was finalised: acks
-  /// (prunes the sender's retransmit log through `expected`), validates the
-  /// payload length, and lands the payload in the ticket's buffer.  Call
-  /// with no channel lock held.
+  /// taken off the fabric: acks (prunes the sender's retransmit log through
+  /// `expected`), validates the payload length, and lands the payload in
+  /// the ticket's buffer.
   void complete_reliable_delivery(PostedRecv& ticket, const FlowKey& flow_key,
                                   std::uint64_t expected, Msg frame);
   /// One receiver-driven retransmission decision for an overdue expected
   /// frame (shared by the blocking RTO loop and the non-blocking poll).
   /// Returns whether the sender's log had the frame; `*exhausted` is set
   /// when the retry budget is spent, otherwise the clean copy is re-sent
-  /// and `*rto_ms` doubles.  Call with no channel lock held.
+  /// and `*rto_ms` doubles.
   bool drive_retransmit(const PostedRecv& ticket, const CKey& key,
                         const FlowKey& flow_key, std::uint64_t expected,
                         int* attempts, long* rto_ms, bool* exhausted);
@@ -449,13 +387,14 @@ class Transport {
                                             std::uint64_t expected,
                                             bool corrupt_seen);
   /// Runs one framed delivery attempt through the injector (if any) and
-  /// deposits survivors into the (src, dst) channel.
+  /// hands survivors to the fabric.
   void deliver_frame(int src, int dst, const CKey& key, Msg frame,
                      std::uint64_t seq, std::uint32_t attempt);
 
   int node_count_;
-  std::vector<Channel> channels_;  ///< dst-major [dst * n + src]
+  std::unique_ptr<Fabric> fabric_;
   std::vector<SenderState> senders_;
+  std::vector<RecvSeqState> recv_seq_;  ///< dst-major [dst * n + src]
   BufferPool pool_;
   long recv_timeout_ms_ = 0;
   std::size_t rendezvous_threshold_ = kDefaultRendezvousThreshold;

@@ -119,7 +119,8 @@ void write_args(const Tracer& tracer, const TraceEvent& e, std::ostream& os) {
 }  // namespace
 
 void export_chrome_trace(const Tracer& tracer, std::ostream& os) {
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"fabric\":\""
+     << json_escape(tracer.fabric()) << "\"},\"traceEvents\":[";
   bool first = true;
   for (int node = 0; node < tracer.node_count(); ++node) {
     if (!first) os << ',';
@@ -151,7 +152,8 @@ void export_chrome_trace(const Tracer& tracer, std::ostream& os) {
 void export_text_summary(const Tracer& tracer, const MetricsRegistry* metrics,
                          std::ostream& os) {
   os << "trace summary (" << tracer.node_count() << " nodes, capacity "
-     << tracer.capacity_per_node() << " events/node)\n";
+     << tracer.capacity_per_node() << " events/node, fabric "
+     << tracer.fabric() << ")\n";
   constexpr std::size_t kKinds = 9;
   std::array<std::uint64_t, kKinds> kind_totals{};
   TextTable per_node({"node", "recorded", "retained", "dropped", "collectives",

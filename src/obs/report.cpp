@@ -11,9 +11,13 @@ namespace intercom {
 
 namespace {
 
-// Shape key: one report row per (collective, algorithm, elems, bytes).
+// Shape key: one report row per (collective, algorithm, elems, bytes,
+// fabric).  The fabric lives in the key so traces from different delivery
+// backends never aggregate into one row — "identical bytes, different
+// machine" is exactly the distinction the sim-fabric comparison exists to
+// surface.
 using ShapeKey = std::tuple<std::string, std::string, std::size_t,
-                            std::size_t>;
+                            std::size_t, std::string>;
 
 struct Instance {
   std::uint64_t max_duration_ns = 0;  // max over nodes = critical node
@@ -27,10 +31,7 @@ struct ShapeAgg {
   std::map<std::uint64_t, Instance> instances;  // by ctx
 };
 
-}  // namespace
-
-std::vector<ModelVsMeasuredRow> model_vs_measured(const Tracer& tracer) {
-  std::map<ShapeKey, ShapeAgg> shapes;
+void collect(const Tracer& tracer, std::map<ShapeKey, ShapeAgg>& shapes) {
   for (int node = 0; node < tracer.node_count(); ++node) {
     const NodeTraceBuffer* buffer = tracer.buffer(node);
     if (buffer == nullptr) continue;
@@ -39,7 +40,7 @@ std::vector<ModelVsMeasuredRow> model_vs_measured(const Tracer& tracer) {
       const ShapeKey key{tracer.label_text(e.label),
                          tracer.label_text(e.label2),
                          static_cast<std::size_t>(e.a0),
-                         static_cast<std::size_t>(e.bytes)};
+                         static_cast<std::size_t>(e.bytes), tracer.fabric()};
       Instance& inst = shapes[key].instances[e.ctx];
       const std::uint64_t duration = e.end_ns - e.start_ns;
       inst.max_duration_ns = std::max(inst.max_duration_ns, duration);
@@ -49,11 +50,16 @@ std::vector<ModelVsMeasuredRow> model_vs_measured(const Tracer& tracer) {
       if (e.a2 & kCollectiveErrorFlag) inst.error = true;
     }
   }
+}
+
+std::vector<ModelVsMeasuredRow> rows_of(
+    const std::map<ShapeKey, ShapeAgg>& shapes) {
   std::vector<ModelVsMeasuredRow> rows;
   rows.reserve(shapes.size());
   for (const auto& [key, agg] : shapes) {
     ModelVsMeasuredRow row;
-    std::tie(row.collective, row.algorithm, row.elems, row.bytes) = key;
+    std::tie(row.collective, row.algorithm, row.elems, row.bytes,
+             row.fabric) = key;
     std::uint64_t total_ns = 0, max_ns = 0, predicted_ns = 0;
     for (const auto& [ctx, inst] : agg.instances) {
       ++row.calls;
@@ -75,10 +81,27 @@ std::vector<ModelVsMeasuredRow> model_vs_measured(const Tracer& tracer) {
   }
   std::sort(rows.begin(), rows.end(),
             [](const ModelVsMeasuredRow& a, const ModelVsMeasuredRow& b) {
-              return std::tie(a.collective, a.elems, a.algorithm) <
-                     std::tie(b.collective, b.elems, b.algorithm);
+              return std::tie(a.collective, a.elems, a.algorithm, a.fabric) <
+                     std::tie(b.collective, b.elems, b.algorithm, b.fabric);
             });
   return rows;
+}
+
+}  // namespace
+
+std::vector<ModelVsMeasuredRow> model_vs_measured(const Tracer& tracer) {
+  std::map<ShapeKey, ShapeAgg> shapes;
+  collect(tracer, shapes);
+  return rows_of(shapes);
+}
+
+std::vector<ModelVsMeasuredRow> model_vs_measured(
+    const std::vector<const Tracer*>& tracers) {
+  std::map<ShapeKey, ShapeAgg> shapes;
+  for (const Tracer* tracer : tracers) {
+    if (tracer != nullptr) collect(*tracer, shapes);
+  }
+  return rows_of(shapes);
 }
 
 void render_model_vs_measured(const std::vector<ModelVsMeasuredRow>& rows,
@@ -89,9 +112,9 @@ void render_model_vs_measured(const std::vector<ModelVsMeasuredRow>& rows,
     os << "(no collective spans in trace)\n";
     return;
   }
-  TextTable table({"collective", "algorithm", "elems", "bytes", "calls",
-                   "cached", "async", "errors", "predicted", "measured",
-                   "worst", "meas/pred"});
+  TextTable table({"collective", "algorithm", "fabric", "elems", "bytes",
+                   "calls", "cached", "async", "errors", "predicted",
+                   "measured", "worst", "meas/pred"});
   for (const ModelVsMeasuredRow& row : rows) {
     std::ostringstream ratio;
     if (row.ratio > 0.0) {
@@ -100,13 +123,86 @@ void render_model_vs_measured(const std::vector<ModelVsMeasuredRow>& rows,
     } else {
       ratio << "-";
     }
-    table.add_row({row.collective, row.algorithm, std::to_string(row.elems),
-                   format_bytes(row.bytes), std::to_string(row.calls),
-                   std::to_string(row.cache_hits),
+    table.add_row({row.collective, row.algorithm, row.fabric,
+                   std::to_string(row.elems), format_bytes(row.bytes),
+                   std::to_string(row.calls), std::to_string(row.cache_hits),
                    std::to_string(row.async_calls), std::to_string(row.errors),
                    format_seconds(row.predicted_s),
                    format_seconds(row.measured_mean_s),
                    format_seconds(row.measured_max_s), ratio.str()});
+  }
+  table.print(os);
+}
+
+std::vector<ThreeWayRow> three_way_report(const Tracer& inproc,
+                                          const Tracer& sim) {
+  // Join on the fabric-free part of the shape key.
+  using JoinKey =
+      std::tuple<std::string, std::string, std::size_t, std::size_t>;
+  std::map<JoinKey, ThreeWayRow> joined;
+  for (const ModelVsMeasuredRow& row : model_vs_measured(inproc)) {
+    ThreeWayRow& out = joined[{row.collective, row.algorithm, row.elems,
+                               row.bytes}];
+    out.collective = row.collective;
+    out.algorithm = row.algorithm;
+    out.elems = row.elems;
+    out.bytes = row.bytes;
+    out.inproc_s = row.measured_mean_s;
+    if (out.predicted_s == 0.0) out.predicted_s = row.predicted_s;
+  }
+  for (const ModelVsMeasuredRow& row : model_vs_measured(sim)) {
+    ThreeWayRow& out = joined[{row.collective, row.algorithm, row.elems,
+                               row.bytes}];
+    out.collective = row.collective;
+    out.algorithm = row.algorithm;
+    out.elems = row.elems;
+    out.bytes = row.bytes;
+    out.sim_s = row.measured_mean_s;
+    // Prefer the sim run's prediction: its planner is (by construction of a
+    // meaningful comparison) configured with the MachineParams the fabric
+    // paces by, so model and sim measurement share a machine.
+    if (row.predicted_s > 0.0) out.predicted_s = row.predicted_s;
+  }
+  std::vector<ThreeWayRow> rows;
+  rows.reserve(joined.size());
+  for (auto& [key, row] : joined) {
+    if (row.predicted_s > 0.0) {
+      if (row.sim_s > 0.0) row.sim_ratio = row.sim_s / row.predicted_s;
+      if (row.inproc_s > 0.0) {
+        row.inproc_ratio = row.inproc_s / row.predicted_s;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ThreeWayRow& a, const ThreeWayRow& b) {
+              return std::tie(a.collective, a.elems, a.algorithm) <
+                     std::tie(b.collective, b.elems, b.algorithm);
+            });
+  return rows;
+}
+
+void render_three_way(const std::vector<ThreeWayRow>& rows, std::ostream& os) {
+  os << "model vs sim-fabric vs in-process (same workload, two delivery "
+        "backends)\n";
+  if (rows.empty()) {
+    os << "(no collective spans in either trace)\n";
+    return;
+  }
+  TextTable table({"collective", "algorithm", "elems", "bytes", "model",
+                   "sim", "inproc", "sim/model", "inproc/model"});
+  const auto ratio_text = [](double r) -> std::string {
+    if (r <= 0.0) return "-";
+    std::ostringstream os_ratio;
+    os_ratio.precision(3);
+    os_ratio << r;
+    return os_ratio.str();
+  };
+  for (const ThreeWayRow& row : rows) {
+    table.add_row({row.collective, row.algorithm, std::to_string(row.elems),
+                   format_bytes(row.bytes), format_seconds(row.predicted_s),
+                   format_seconds(row.sim_s), format_seconds(row.inproc_s),
+                   ratio_text(row.sim_ratio), ratio_text(row.inproc_ratio)});
   }
   table.print(os);
 }

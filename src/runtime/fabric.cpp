@@ -1,0 +1,494 @@
+#include "intercom/runtime/fabric.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "intercom/runtime/reduce.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+
+/// Counts a thread in a channel's cv-wait for the scope of the wait.  Must
+/// be constructed with the channel mutex held; the destructor may run after
+/// the lock was dropped (exception paths), which is why the count is atomic.
+class WaiterScope {
+ public:
+  explicit WaiterScope(std::atomic<int>& waiters) : waiters_(waiters) {
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~WaiterScope() { waiters_.fetch_sub(1, std::memory_order_relaxed); }
+  WaiterScope(const WaiterScope&) = delete;
+  WaiterScope& operator=(const WaiterScope&) = delete;
+
+ private:
+  std::atomic<int>& waiters_;
+};
+
+/// Yield-spin budget used before parking on a channel condition variable.
+/// The runtime's ring/tree schedules hand messages between threads in
+/// lockstep, so the predicate a waiter blocks on is usually satisfied by the
+/// very next thread the scheduler runs; a few sched_yields let that happen
+/// without paying a futex sleep on this side and a futex wake on the peer's
+/// (the waiter never registers in Channel::waiters, so the notify is
+/// skipped).  Only used when no receive timeout is configured — yields take
+/// unbounded wall time under load and must not eat into a deadline.
+constexpr int kSpinYields = 32;
+
+/// Re-checks `pred` (which must be evaluated under `lock`) across a bounded
+/// run of sched_yields.  Returns true as soon as the predicate holds; false
+/// means the caller should park on the condition variable.
+template <typename Pred>
+bool spin_for(std::unique_lock<std::mutex>& lock, Pred&& pred) {
+  for (int i = 0; i < kSpinYields; ++i) {
+    if (pred()) return true;
+    lock.unlock();
+    std::this_thread::yield();
+    lock.lock();
+  }
+  return pred();
+}
+
+/// Lands a payload in a posted receive buffer: plain copy, or element-wise
+/// fold (out = op(out, payload)) when the receive carries an accumulate op —
+/// the executor's fused receive+combine, which skips the scratch staging
+/// pass entirely.
+void land(std::span<std::byte> out, const std::byte* payload, std::size_t n,
+          const ReduceOp* accumulate) {
+  if (n == 0) return;
+  if (accumulate != nullptr) {
+    accumulate->fn(out.data(), payload, n);
+  } else {
+    std::memcpy(out.data(), payload, n);
+  }
+}
+
+}  // namespace
+
+InProcFabric::InProcFabric(int node_count)
+    : node_count_(node_count),
+      channels_(static_cast<std::size_t>(node_count) *
+                static_cast<std::size_t>(node_count)) {
+  INTERCOM_REQUIRE(node_count >= 1, "fabric needs at least one node");
+}
+
+InProcFabric::~InProcFabric() = default;
+
+void InProcFabric::carry(int /*src*/, int /*dst*/, std::size_t /*bytes*/) {}
+
+void InProcFabric::unpost_locked(Channel& ch, PostedRecv& ticket) {
+  if (!ticket.active) return;
+  auto it = std::find(ch.posted.begin(), ch.posted.end(), &ticket);
+  if (it != ch.posted.end()) ch.posted.erase(it);
+  ticket.active = false;
+}
+
+PostedRecv* InProcFabric::find_posted_locked(Channel& ch,
+                                             const FabricKey& key) {
+  for (PostedRecv* ticket : ch.posted) {
+    if (!ticket->consumed && ticket->ctx == key.ctx && ticket->tag == key.tag) {
+      return ticket;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t InProcFabric::find_pending_locked(const Channel& ch,
+                                              const FabricKey& key) {
+  for (std::size_t i = 0; i < ch.pending.size(); ++i) {
+    if (ch.pending[i].key == key) return i;
+  }
+  return kNpos;
+}
+
+void InProcFabric::post(PostedRecv& ticket) {
+  ticket.active = false;
+  ticket.consumed = false;
+  ticket.filled = false;
+  ticket.seq = 0;
+  Channel& ch = channel(ticket.src, ticket.dst);
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    ch.posted.push_back(&ticket);
+    ticket.active = true;
+    ++ch.version;
+    wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  }
+  // Wakes a rendezvous sender blocked waiting for this buffer.
+  if (wake) ch.cv.notify_all();
+}
+
+void InProcFabric::unpost(PostedRecv& ticket) {
+  if (ticket.src < 0) return;
+  Channel& ch = channel(ticket.src, ticket.dst);
+  std::lock_guard<std::mutex> lock(ch.mutex);
+  unpost_locked(ch, ticket);
+}
+
+FabricStatus InProcFabric::wait(PostedRecv& ticket, long timeout_ms) {
+  Channel& ch = channel(ticket.src, ticket.dst);
+  const FabricKey key{ticket.ctx, ticket.tag};
+  std::unique_lock<std::mutex> lock(ch.mutex);
+  std::size_t index = kNpos;
+  auto ready = [&] {
+    if (poisoned()) return true;
+    if (ticket.filled) return true;
+    index = find_pending_locked(ch, key);
+    return index != kNpos;
+  };
+  {
+    if (timeout_ms > 0) {
+      WaiterScope waiting(ch.waiters);
+      const bool arrived =
+          ch.cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready);
+      if (!arrived) {
+        unpost_locked(ch, ticket);
+        return FabricStatus::kNotReady;
+      }
+    } else if (!spin_for(lock, ready)) {
+      WaiterScope waiting(ch.waiters);
+      ch.cv.wait(lock, ready);
+    }
+  }
+  if (poisoned()) {
+    unpost_locked(ch, ticket);
+    return FabricStatus::kAborted;
+  }
+  if (ticket.filled) return FabricStatus::kOk;  // sender copied in place
+  // Queue path: take the oldest matching message; withdraw the posted buffer
+  // (it served its purpose as a rendezvous landing pad that never matched).
+  unpost_locked(ch, ticket);
+  FabricMsg msg = std::move(ch.pending[index].msg);
+  ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(index));
+  // Draining the queue can unblock a rendezvous sender gated on FIFO order.
+  ++ch.version;
+  const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  lock.unlock();
+  if (wake) ch.cv.notify_all();
+  const std::size_t len = msg.len;
+  INTERCOM_REQUIRE(len == ticket.out.size(),
+                   "received message length does not match the posted buffer");
+  land(ticket.out, msg.buf.data.get(), len, ticket.accumulate);
+  pool_->release(std::move(msg.buf));
+  return FabricStatus::kOk;
+}
+
+FabricStatus InProcFabric::try_wait(PostedRecv& ticket) {
+  Channel& ch = channel(ticket.src, ticket.dst);
+  const FabricKey key{ticket.ctx, ticket.tag};
+  std::unique_lock<std::mutex> lock(ch.mutex);
+  if (poisoned()) {
+    unpost_locked(ch, ticket);
+    return FabricStatus::kAborted;
+  }
+  if (ticket.filled) return FabricStatus::kOk;  // sender copied in place
+  const std::size_t index = find_pending_locked(ch, key);
+  if (index == kNpos) return FabricStatus::kNotReady;
+  // Same take sequence as the blocking tail: withdraw the posted buffer,
+  // dequeue the oldest match, wake a FIFO-gated rendezvous sender.
+  unpost_locked(ch, ticket);
+  FabricMsg msg = std::move(ch.pending[index].msg);
+  ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(index));
+  ++ch.version;
+  const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  lock.unlock();
+  if (wake) ch.cv.notify_all();
+  const std::size_t len = msg.len;
+  INTERCOM_REQUIRE(len == ticket.out.size(),
+                   "received message length does not match the posted buffer");
+  land(ticket.out, msg.buf.data.get(), len, ticket.accumulate);
+  pool_->release(std::move(msg.buf));
+  return FabricStatus::kOk;
+}
+
+FabricStatus InProcFabric::claim(int src, int dst, const FabricKey& key,
+                                 std::span<const std::byte> data, bool fill,
+                                 long timeout_ms) {
+  Channel& ch = channel(src, dst);
+  std::unique_lock<std::mutex> lock(ch.mutex);
+  PostedRecv* ticket = nullptr;
+  // A ticket is claimable only when no older buffered message for the key is
+  // still queued ahead of it: per-key FIFO means that message belongs to the
+  // receive the ticket was posted for, so a rendezvous payload sneaking into
+  // the buffer first would be delivered out of order.
+  auto pred = [&] {
+    if (poisoned()) return true;
+    if (find_pending_locked(ch, key) != kNpos) return false;
+    ticket = find_posted_locked(ch, key);
+    return ticket != nullptr;
+  };
+  {
+    if (timeout_ms > 0) {
+      WaiterScope waiting(ch.waiters);
+      const bool posted =
+          ch.cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), pred);
+      if (!posted) return FabricStatus::kNotReady;
+    } else if (!spin_for(lock, pred)) {
+      WaiterScope waiting(ch.waiters);
+      ch.cv.wait(lock, pred);
+    }
+  }
+  if (poisoned()) return FabricStatus::kAborted;
+  ticket->consumed = true;
+  if (!fill) return FabricStatus::kOk;  // reliable handshake: claim only
+  if (ticket->out.size() != data.size()) {
+    // Length mismatch: un-claim and let the caller fall back to an eager
+    // deposit; the receiver raises the mismatch error when it takes the
+    // message (same failure surface as the eager path).
+    ticket->consumed = false;
+    return FabricStatus::kMismatch;
+  }
+  // Rendezvous fill: copy straight into the claimed buffer — one copy, no
+  // intermediate slab.  The crossing (and its pacing) runs under the channel
+  // lock, but the only threads that ever take this lock are the receiver
+  // (blocked until we finish anyway) and this sender.
+  carry(src, dst, data.size());
+  land(ticket->out, data.data(), data.size(), ticket->accumulate);
+  ticket->filled = true;
+  unpost_locked(ch, *ticket);
+  ++ch.version;
+  const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  lock.unlock();
+  if (wake) ch.cv.notify_all();
+  return FabricStatus::kOk;
+}
+
+FabricStatus InProcFabric::try_claim(int src, int dst, const FabricKey& key,
+                                     std::span<const std::byte> data, bool fill,
+                                     void (*presend)(void*),
+                                     void* presend_ctx) {
+  Channel& ch = channel(src, dst);
+  std::unique_lock<std::mutex> lock(ch.mutex);
+  if (poisoned()) return FabricStatus::kAborted;
+  // Same claimability predicate as claim(), probed instead of waited on.
+  if (find_pending_locked(ch, key) != kNpos) return FabricStatus::kNotReady;
+  PostedRecv* ticket = find_posted_locked(ch, key);
+  if (ticket == nullptr) return FabricStatus::kNotReady;
+  if (fill && ticket->out.size() != data.size()) return FabricStatus::kMismatch;
+  // Committed: charge the policy layer's pre-send obligations (fail-stop
+  // budgets) before touching wire state, so a throw leaves it untouched.
+  if (presend != nullptr) presend(presend_ctx);
+  ticket->consumed = true;
+  if (!fill) return FabricStatus::kOk;
+  carry(src, dst, data.size());
+  land(ticket->out, data.data(), data.size(), ticket->accumulate);
+  ticket->filled = true;
+  unpost_locked(ch, *ticket);
+  ++ch.version;
+  const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  lock.unlock();
+  if (wake) ch.cv.notify_all();
+  return FabricStatus::kOk;
+}
+
+void InProcFabric::deposit(int src, int dst, const FabricKey& key,
+                           std::span<const std::byte> data) {
+  carry(src, dst, data.size());
+  Channel& ch = channel(src, dst);
+  {
+    std::unique_lock<std::mutex> lock(ch.mutex);
+    // Opportunistic direct fill: if the receive is already posted and no
+    // older message for the key is queued ahead, skip the slab entirely —
+    // a posted eager receive is one copy, same as rendezvous.
+    PostedRecv* ticket = find_posted_locked(ch, key);
+    if (ticket != nullptr && ticket->out.size() == data.size() &&
+        find_pending_locked(ch, key) == kNpos) {
+      land(ticket->out, data.data(), data.size(), ticket->accumulate);
+      ticket->consumed = true;
+      ticket->filled = true;
+      unpost_locked(ch, *ticket);
+      ++ch.version;
+      const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+      lock.unlock();
+      if (wake) ch.cv.notify_all();
+      return;
+    }
+  }
+  // Eager deposit: stage the payload in a pooled slab (allocation-free once
+  // the pool is warm) outside the lock, then hand it to the channel.
+  FabricMsg msg;
+  msg.buf = pool_->acquire(data.size());
+  msg.len = data.size();
+  if (!data.empty()) {
+    std::memcpy(msg.buf.data.get(), data.data(), data.size());
+  }
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    ch.pending.push_back(MsgNode{key, std::move(msg)});
+    ++ch.version;
+    wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  }
+  if (wake) ch.cv.notify_all();
+}
+
+void InProcFabric::deliver(int src, int dst, const FabricKey& key,
+                           FabricMsg frame, bool hold_back) {
+  carry(src, dst, frame.len);
+  Channel& ch = channel(src, dst);
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    // Reorder hold-back: park the frame behind the wire's next delivery.
+    // The slot holds at most one frame; when taken, deliver normally.
+    if (hold_back && ch.limbo.empty()) {
+      ch.limbo.push_back(MsgNode{key, std::move(frame)});
+      return;
+    }
+    ch.pending.push_back(MsgNode{key, std::move(frame)});
+    while (!ch.limbo.empty()) {
+      ch.pending.push_back(std::move(ch.limbo.front()));
+      ch.limbo.pop_front();
+    }
+    ++ch.version;
+    wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  }
+  if (wake) ch.cv.notify_all();
+}
+
+bool InProcFabric::scan_locked(Channel& ch, const FabricKey& key,
+                               FrameJudge judge, void* judge_ctx,
+                               FabricMsg* frame) {
+  // Scan the wire's queue in FIFO order through the judge: discards are
+  // recycled, kept frames stay buffered (the judge caches whatever parse
+  // state it computed on the frame itself), the taken frame completes the
+  // scan.
+  for (std::size_t i = 0; i < ch.pending.size();) {
+    MsgNode& node = ch.pending[i];
+    if (!(node.key == key)) {
+      ++i;
+      continue;
+    }
+    switch (judge(judge_ctx, node.msg)) {
+      case FrameVerdict::kDiscard:
+        pool_->release(std::move(node.msg.buf));
+        ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      case FrameVerdict::kTake:
+        *frame = std::move(node.msg);
+        ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      case FrameVerdict::kKeep:
+        ++i;
+        continue;
+    }
+  }
+  return false;
+}
+
+FabricStatus InProcFabric::wait_frame(PostedRecv& ticket, FrameJudge judge,
+                                      void* judge_ctx, FabricMsg* frame,
+                                      long rto_ms) {
+  Channel& ch = channel(ticket.src, ticket.dst);
+  const FabricKey key{ticket.ctx, ticket.tag};
+  std::unique_lock<std::mutex> lock(ch.mutex);
+  for (;;) {
+    if (scan_locked(ch, key, judge, judge_ctx, frame)) {
+      unpost_locked(ch, ticket);
+      // Consuming the in-order frame can unblock a rendezvous-gated sender.
+      ++ch.version;
+      const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+      lock.unlock();
+      if (wake) ch.cv.notify_all();
+      return FabricStatus::kOk;
+    }
+    if (poisoned()) return FabricStatus::kAborted;
+    const std::uint64_t seen_version = ch.version;
+    bool arrived;
+    {
+      WaiterScope waiting(ch.waiters);
+      arrived = ch.cv.wait_for(lock, std::chrono::milliseconds(rto_ms), [&] {
+        return ch.version != seen_version || poisoned();
+      });
+    }
+    if (poisoned()) return FabricStatus::kAborted;
+    if (!arrived) return FabricStatus::kNotReady;  // a quiet RTO elapsed
+    // Something new was deposited; rescan with a fresh window.
+  }
+}
+
+FabricStatus InProcFabric::try_take_frame(PostedRecv& ticket, FrameJudge judge,
+                                          void* judge_ctx, FabricMsg* frame) {
+  Channel& ch = channel(ticket.src, ticket.dst);
+  const FabricKey key{ticket.ctx, ticket.tag};
+  std::unique_lock<std::mutex> lock(ch.mutex);
+  if (poisoned()) return FabricStatus::kAborted;
+  if (!scan_locked(ch, key, judge, judge_ctx, frame)) {
+    return FabricStatus::kNotReady;
+  }
+  unpost_locked(ch, ticket);
+  ++ch.version;
+  const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  lock.unlock();
+  if (wake) ch.cv.notify_all();
+  return FabricStatus::kOk;
+}
+
+void InProcFabric::poison() {
+  poisoned_.store(true, std::memory_order_release);
+  // Lock each channel mutex before notifying so a waiter either sees the
+  // flag before blocking or is woken by the notification — no lost wakeup.
+  for (Channel& ch : channels_) {
+    { std::lock_guard<std::mutex> lock(ch.mutex); }
+    ch.cv.notify_all();
+  }
+}
+
+void InProcFabric::reset() {
+  poisoned_.store(false, std::memory_order_release);
+  for (Channel& ch : channels_) {
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    for (MsgNode& node : ch.pending) pool_->release(std::move(node.msg.buf));
+    ch.pending.clear();
+    for (MsgNode& node : ch.limbo) pool_->release(std::move(node.msg.buf));
+    ch.limbo.clear();
+    ch.posted.clear();  // no call in flight, so these are dead registrations
+    ++ch.version;
+  }
+}
+
+std::string InProcFabric::pending_summary(int dst) {
+  std::ostringstream os;
+  std::size_t listed = 0;
+  for (int src = 0; src < node_count_; ++src) {
+    Channel& ch = channel(src, dst);
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    // Aggregate this wire's queue by (ctx, tag); the queues are short (a few
+    // in-flight messages) so the quadratic grouping is irrelevant.
+    std::vector<std::pair<FabricKey, std::size_t>> counts;
+    for (const MsgNode& node : ch.pending) {
+      bool found = false;
+      for (auto& entry : counts) {
+        if (entry.first == node.key) {
+          ++entry.second;
+          found = true;
+          break;
+        }
+      }
+      if (!found) counts.emplace_back(node.key, 1);
+    }
+    for (const auto& [key, n] : counts) {
+      if (listed == 16) {
+        os << " ... (truncated)";
+        return os.str();
+      }
+      if (listed != 0) os << ", ";
+      os << "{src=" << src << " ctx=" << key.ctx << " tag=" << key.tag
+         << " n=" << n << "}";
+      ++listed;
+    }
+  }
+  if (listed == 0) return "none";
+  return os.str();
+}
+
+}  // namespace intercom

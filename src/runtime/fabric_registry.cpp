@@ -1,0 +1,76 @@
+#include "intercom/runtime/fabric_registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, FabricFactory> factories;
+};
+
+/// Function-local so registration from static initialisers is safe
+/// (construct-on-first-use), with the built-ins installed before any lookup.
+Registry& registry() {
+  static Registry* instance = [] {
+    auto* r = new Registry;
+    r->factories.emplace(
+        "inproc", [](const Mesh2D& mesh, const FabricSpec&) {
+          return std::make_unique<InProcFabric>(mesh.node_count());
+        });
+    r->factories.emplace("sim", [](const Mesh2D& mesh, const FabricSpec& spec) {
+      return std::make_unique<SimFabric>(mesh, spec.sim);
+    });
+    return r;
+  }();
+  return *instance;
+}
+
+}  // namespace
+
+void register_fabric(const std::string& name, FabricFactory factory) {
+  INTERCOM_REQUIRE(!name.empty(), "fabric name must be non-empty");
+  INTERCOM_REQUIRE(factory != nullptr, "fabric factory must be callable");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.factories[name] = std::move(factory);
+}
+
+std::unique_ptr<Fabric> make_fabric(const FabricSpec& spec,
+                                    const Mesh2D& mesh) {
+  FabricFactory factory;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.factories.find(spec.name);
+    if (it == r.factories.end()) {
+      std::ostringstream os;
+      os << "unknown fabric backend '" << spec.name << "'; registered:";
+      for (const auto& [name, f] : r.factories) os << " " << name;
+      throw Error(os.str());
+    }
+    factory = it->second;
+  }
+  std::unique_ptr<Fabric> fabric = factory(mesh, spec);
+  INTERCOM_REQUIRE(fabric != nullptr, "fabric factory returned null");
+  return fabric;
+}
+
+std::vector<std::string> registered_fabrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> names;
+  names.reserve(r.factories.size());
+  for (const auto& [name, f] : r.factories) names.push_back(name);
+  return names;
+}
+
+}  // namespace intercom

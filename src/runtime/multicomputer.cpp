@@ -11,10 +11,15 @@
 namespace intercom {
 
 Multicomputer::Multicomputer(Mesh2D mesh, MachineParams params)
+    : Multicomputer(mesh, params, FabricSpec{}) {}
+
+Multicomputer::Multicomputer(Mesh2D mesh, MachineParams params,
+                             const FabricSpec& fabric)
     : mesh_(mesh),
-      transport_(mesh.node_count()),
+      transport_(mesh.node_count(), make_fabric(fabric, mesh)),
       planner_(params, mesh),
       tracer_(mesh.node_count()) {
+  tracer_.set_fabric(std::string(transport_.fabric_name()));
   transport_.set_tracer(&tracer_);
   transport_.set_metrics(&metrics_);
 }

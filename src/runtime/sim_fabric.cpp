@@ -1,0 +1,132 @@
+#include "intercom/runtime/sim_fabric.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+SimFabric::SimFabric(const Mesh2D& mesh, const SimFabricConfig& config)
+    : InProcFabric(mesh.node_count()),
+      mesh_(mesh),
+      config_(config),
+      loads_(mesh),
+      link_transfers_(static_cast<std::size_t>(mesh.directed_link_count()), 0),
+      link_conflicts_(static_cast<std::size_t>(mesh.directed_link_count()),
+                      0) {
+  INTERCOM_REQUIRE(config_.chunks >= 1, "sim fabric needs at least one chunk");
+  const int n = mesh_.node_count();
+  routes_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      routes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
+              static_cast<std::size_t>(dst)] = route_links(mesh_, src, dst);
+    }
+  }
+}
+
+void SimFabric::pace(std::chrono::steady_clock::time_point start,
+                     double modeled_seconds) const {
+  if (modeled_seconds <= 0.0 || config_.time_scale <= 0.0) return;
+  // Sleep against an absolute deadline derived from the crossing's start, not
+  // for a relative duration: every sleep overshoots by the scheduler's timer
+  // granularity (tens of microseconds), and a chunked crossing sleeps many
+  // times — relative sleeps would accumulate the overshoot and inflate short,
+  // alpha-dominated transfers well past the model.  With a deadline, a late
+  // wakeup makes the next chunk's sleep shorter (or a no-op) instead.
+  const auto ns = static_cast<std::int64_t>(
+      modeled_seconds * config_.time_scale * 1'000'000'000.0);
+  const auto deadline = start + std::chrono::nanoseconds(ns);
+  if (deadline > std::chrono::steady_clock::now()) {
+    std::this_thread::sleep_until(deadline);
+  }
+}
+
+void SimFabric::carry(int src, int dst, std::size_t bytes) {
+  const std::vector<int>& links =
+      routes_[static_cast<std::size_t>(src) *
+                  static_cast<std::size_t>(mesh_.node_count()) +
+              static_cast<std::size_t>(dst)];
+  const MachineParams& m = config_.machine;
+  const auto wall_start = std::chrono::steady_clock::now();
+  // Startup: protocol-aware alpha plus the per-hop wormhole header latency.
+  double modeled =
+      m.alpha_for(bytes) + m.tau_per_hop * static_cast<double>(links.size());
+  bool conflicted = false;
+  {
+    std::lock_guard<std::mutex> lock(link_mutex_);
+    loads_.add(links);
+    for (int link : links) {
+      ++link_transfers_[static_cast<std::size_t>(link)];
+      if (loads_.load(link) > 1) {
+        ++link_conflicts_[static_cast<std::size_t>(link)];
+        conflicted = true;
+      }
+    }
+  }
+  pace(wall_start, modeled);
+  // Drain: n * beta * s, with the sharing factor re-sampled per chunk so a
+  // conflicting flow arriving mid-transfer slows the remainder (the fluid
+  // simulator's rate recompute, discretised).
+  if (bytes > 0) {
+    const int chunks =
+        bytes > config_.min_chunk_bytes ? config_.chunks : 1;
+    const double beta = m.beta_for(bytes);
+    std::size_t sent = 0;
+    for (int c = 0; c < chunks; ++c) {
+      const std::size_t chunk = (c == chunks - 1)
+                                    ? bytes - sent
+                                    : bytes / static_cast<std::size_t>(chunks);
+      double sharing;
+      {
+        std::lock_guard<std::mutex> lock(link_mutex_);
+        sharing = loads_.sharing(links, m.link_capacity);
+      }
+      if (sharing > 1.0) conflicted = true;
+      const double dt = static_cast<double>(chunk) * beta * sharing;
+      modeled += dt;
+      pace(wall_start, modeled);
+      sent += chunk;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(link_mutex_);
+    loads_.remove(links);
+  }
+  transfers_.fetch_add(1, std::memory_order_relaxed);
+  if (conflicted) conflicted_transfers_.fetch_add(1, std::memory_order_relaxed);
+  bytes_carried_.fetch_add(bytes, std::memory_order_relaxed);
+  virtual_ns_.fetch_add(static_cast<std::uint64_t>(modeled * 1e9),
+                        std::memory_order_relaxed);
+}
+
+void SimFabric::reset() {
+  InProcFabric::reset();
+  std::lock_guard<std::mutex> lock(link_mutex_);
+  loads_ = LinkLoadTracker(mesh_);
+  std::fill(link_transfers_.begin(), link_transfers_.end(), 0u);
+  std::fill(link_conflicts_.begin(), link_conflicts_.end(), 0u);
+  transfers_.store(0, std::memory_order_relaxed);
+  conflicted_transfers_.store(0, std::memory_order_relaxed);
+  bytes_carried_.store(0, std::memory_order_relaxed);
+  virtual_ns_.store(0, std::memory_order_relaxed);
+}
+
+SimFabric::Stats SimFabric::stats() const {
+  Stats s;
+  s.transfers = transfers_.load(std::memory_order_relaxed);
+  s.conflicted_transfers =
+      conflicted_transfers_.load(std::memory_order_relaxed);
+  s.bytes = bytes_carried_.load(std::memory_order_relaxed);
+  s.virtual_ns = virtual_ns_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(link_mutex_);
+  s.peak_link_load = loads_.peak_load();
+  s.link_transfers = link_transfers_;
+  s.link_conflicts = link_conflicts_;
+  return s;
+}
+
+}  // namespace intercom

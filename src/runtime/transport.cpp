@@ -1,8 +1,8 @@
 #include "intercom/runtime/transport.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
-#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -19,7 +19,9 @@ namespace {
 // Wire format of the reliability layer: a fixed header followed by the
 // payload.  The checksum covers the payload only, so in-flight bit-flips are
 // detected at the receiver and the frame is discarded as if lost (the
-// retransmission path then repairs it from the sender's clean log).
+// retransmission path then repairs it from the sender's clean log).  The
+// framing is entirely Transport's: the fabric carries frames as opaque
+// byte ranges.
 struct FrameHeader {
   std::uint32_t magic;
   std::uint32_t reserved;
@@ -31,61 +33,6 @@ constexpr std::size_t kHeaderBytes = sizeof(FrameHeader);
 constexpr long kMaxRtoMs = 1000;
 /// Trace events shown per node in the recv-timeout diagnostic.
 constexpr std::size_t kTimeoutTraceTail = 6;
-constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
-
-/// Counts a thread in a channel's cv-wait for the scope of the wait.  Must
-/// be constructed with the channel mutex held; the destructor may run after
-/// the lock was dropped (exception paths), which is why the count is atomic.
-class WaiterScope {
- public:
-  explicit WaiterScope(std::atomic<int>& waiters) : waiters_(waiters) {
-    waiters_.fetch_add(1, std::memory_order_relaxed);
-  }
-  ~WaiterScope() { waiters_.fetch_sub(1, std::memory_order_relaxed); }
-  WaiterScope(const WaiterScope&) = delete;
-  WaiterScope& operator=(const WaiterScope&) = delete;
-
- private:
-  std::atomic<int>& waiters_;
-};
-
-/// Yield-spin budget used before parking on a channel condition variable.
-/// The runtime's ring/tree schedules hand messages between threads in
-/// lockstep, so the predicate a waiter blocks on is usually satisfied by the
-/// very next thread the scheduler runs; a few sched_yields let that happen
-/// without paying a futex sleep on this side and a futex wake on the peer's
-/// (the waiter never registers in Channel::waiters, so the notify is
-/// skipped).  Only used when no receive timeout is configured — yields take
-/// unbounded wall time under load and must not eat into a deadline.
-constexpr int kSpinYields = 32;
-
-/// Re-checks `pred` (which must be evaluated under `lock`) across a bounded
-/// run of sched_yields.  Returns true as soon as the predicate holds; false
-/// means the caller should park on the condition variable.
-template <typename Pred>
-bool spin_for(std::unique_lock<std::mutex>& lock, Pred&& pred) {
-  for (int i = 0; i < kSpinYields; ++i) {
-    if (pred()) return true;
-    lock.unlock();
-    std::this_thread::yield();
-    lock.lock();
-  }
-  return pred();
-}
-
-/// Lands a payload in a posted receive buffer: plain copy, or element-wise
-/// fold (out = op(out, payload)) when the receive carries an accumulate op —
-/// the executor's fused receive+combine, which skips the scratch staging
-/// pass entirely.
-void land(std::span<std::byte> out, const std::byte* payload, std::size_t n,
-          const ReduceOp* accumulate) {
-  if (n == 0) return;
-  if (accumulate != nullptr) {
-    accumulate->fn(out.data(), payload, n);
-  } else {
-    std::memcpy(out.data(), payload, n);
-  }
-}
 
 // Payload checksum.  Byte-wise FNV costs ~4 cycles/byte (serial multiply
 // chain) which dominates large transfers; four independent 64-bit lanes keep
@@ -120,7 +67,7 @@ std::uint64_t payload_checksum(std::span<const std::byte> data) {
   return h ^ (h >> 32);
 }
 
-/// Writes a framed copy of `payload` into `frame.buf` (already sized).
+/// Writes a framed copy of `payload` into `dest` (already sized).
 void write_frame(std::byte* dest, std::uint64_t seq,
                  std::span<const std::byte> payload) {
   FrameHeader header{kFrameMagic, 0, seq, payload_checksum(payload)};
@@ -130,21 +77,9 @@ void write_frame(std::byte* dest, std::uint64_t seq,
   }
 }
 
-/// Monotonic timestamp for the metered-but-untraced path (the tracer has its
-/// own epoch-relative clock; only differences are ever used).
-std::uint64_t mono_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-}  // namespace
-
 /// Parses and integrity-checks a buffered frame; returns false on bad magic,
 /// short frame, or checksum mismatch.
-static bool parse_frame(const std::byte* data, std::size_t len,
-                        std::uint64_t* seq) {
+bool parse_frame(const std::byte* data, std::size_t len, std::uint64_t* seq) {
   if (len < kHeaderBytes) return false;
   FrameHeader header;
   std::memcpy(&header, data, kHeaderBytes);
@@ -156,12 +91,67 @@ static bool parse_frame(const std::byte* data, std::size_t len,
   return true;
 }
 
+/// Monotonic timestamp for the metered-but-untraced path (the tracer has its
+/// own epoch-relative clock; only differences are ever used).
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The reliability layer's frame policy, handed to the fabric's judged
+/// scans: validate each frame's checksum at most once (the parsed sequence
+/// number is cached on the buffered frame, so under a reorder storm
+/// repeated scans cost a comparison per frame, not a checksum pass),
+/// discard corrupt frames and stale duplicates, take the in-order frame,
+/// keep future ones buffered.  Plain struct + free function so the scan
+/// stays allocation-free.
+struct FrameJudgeCtx {
+  std::uint64_t expected;
+  bool* corrupt_seen;
+  std::atomic<std::uint64_t>* corrupt_discards;
+  std::atomic<std::uint64_t>* duplicate_discards;
+  std::atomic<std::uint64_t>* checksum_validations;
+};
+
+FrameVerdict judge_frame(void* vctx, FabricMsg& frame) {
+  auto* jc = static_cast<FrameJudgeCtx*>(vctx);
+  if (!frame.validated) {
+    std::uint64_t seq = 0;
+    if (!parse_frame(frame.buf.data.get(), frame.len, &seq)) {
+      *jc->corrupt_seen = true;
+      jc->corrupt_discards->fetch_add(1, std::memory_order_relaxed);
+      return FrameVerdict::kDiscard;
+    }
+    jc->checksum_validations->fetch_add(1, std::memory_order_relaxed);
+    frame.seq = seq;
+    frame.validated = true;
+  }
+  if (frame.seq < jc->expected) {
+    jc->duplicate_discards->fetch_add(1, std::memory_order_relaxed);
+    return FrameVerdict::kDiscard;
+  }
+  if (frame.seq == jc->expected) return FrameVerdict::kTake;
+  return FrameVerdict::kKeep;
+}
+
+}  // namespace
+
 Transport::Transport(int node_count)
+    : Transport(node_count, std::make_unique<InProcFabric>(node_count)) {}
+
+Transport::Transport(int node_count, std::unique_ptr<Fabric> fabric)
     : node_count_(node_count),
-      channels_(static_cast<std::size_t>(node_count) *
-                static_cast<std::size_t>(node_count)),
-      senders_(static_cast<std::size_t>(node_count)) {
+      fabric_(std::move(fabric)),
+      senders_(static_cast<std::size_t>(node_count)),
+      recv_seq_(static_cast<std::size_t>(node_count) *
+                static_cast<std::size_t>(node_count)) {
   INTERCOM_REQUIRE(node_count >= 1, "transport needs at least one node");
+  INTERCOM_REQUIRE(fabric_ != nullptr, "transport needs a delivery fabric");
+  INTERCOM_REQUIRE(fabric_->node_count() == node_count,
+                   "fabric node count does not match the transport's");
+  fabric_->attach_pool(pool_);
 }
 
 void Transport::check_node(int node) const {
@@ -193,12 +183,7 @@ void Transport::abort(const std::string& reason) {
     }
   }
   aborted_.store(true, std::memory_order_release);
-  // Lock each channel mutex before notifying so a waiter either sees the
-  // flag before blocking or is woken by the notification — no lost wakeup.
-  for (Channel& ch : channels_) {
-    { std::lock_guard<std::mutex> lock(ch.mutex); }
-    ch.cv.notify_all();
-  }
+  fabric_->poison();
 }
 
 void Transport::throw_aborted() const {
@@ -239,15 +224,15 @@ void Transport::reset() {
   corrupt_discards_.store(0, std::memory_order_relaxed);
   duplicate_discards_.store(0, std::memory_order_relaxed);
   checksum_validations_.store(0, std::memory_order_relaxed);
-  for (Channel& ch : channels_) {
-    std::lock_guard<std::mutex> lock(ch.mutex);
-    for (MsgNode& node : ch.pending) pool_.release(std::move(node.msg.buf));
-    ch.pending.clear();
-    for (MsgNode& node : ch.limbo) pool_.release(std::move(node.msg.buf));
-    ch.limbo.clear();
-    ch.posted.clear();  // no call in flight, so these are dead registrations
-    ch.next_expected.clear();
-    ++ch.version;
+  // Fabric layer: queued messages, dead registrations, limbo frames, and
+  // the poison flag (plus backend-specific state, e.g. SimFabric's link
+  // loads and virtual clock).
+  fabric_->reset();
+  // Receiver-side in-order cursors: cleared together with the sender logs
+  // below so both ends of every flow restart at sequence zero.
+  for (RecvSeqState& rs : recv_seq_) {
+    std::lock_guard<std::mutex> lock(rs.mutex);
+    rs.next_expected.clear();
   }
   for (SenderState& sender : senders_) {
     std::lock_guard<std::mutex> lock(sender.mutex);
@@ -269,64 +254,17 @@ Transport::ReliabilityStats Transport::reliability_stats() const {
   return s;
 }
 
-void Transport::unpost_locked(Channel& ch, PostedRecv& ticket) {
-  if (!ticket.active) return;
-  auto it = std::find(ch.posted.begin(), ch.posted.end(), &ticket);
-  if (it != ch.posted.end()) ch.posted.erase(it);
-  ticket.active = false;
+std::uint64_t Transport::next_expected_for(const PostedRecv& ticket) {
+  RecvSeqState& rs = recv_seq(ticket.src, ticket.dst);
+  std::lock_guard<std::mutex> lock(rs.mutex);
+  return rs.next_expected[CKey{ticket.ctx, ticket.tag}];
 }
 
-Transport::PostedRecv* Transport::find_posted_locked(Channel& ch,
-                                                     const CKey& key) {
-  for (PostedRecv* ticket : ch.posted) {
-    if (!ticket->consumed && ticket->ctx == key.ctx && ticket->tag == key.tag) {
-      return ticket;
-    }
-  }
-  return nullptr;
-}
-
-std::size_t Transport::find_pending_locked(const Channel& ch,
-                                           const CKey& key) {
-  for (std::size_t i = 0; i < ch.pending.size(); ++i) {
-    if (ch.pending[i].key == key) return i;
-  }
-  return kNpos;
-}
-
-std::string Transport::pending_summary(int dst) {
-  std::ostringstream os;
-  std::size_t listed = 0;
-  for (int src = 0; src < node_count_; ++src) {
-    Channel& ch = channel(src, dst);
-    std::lock_guard<std::mutex> lock(ch.mutex);
-    // Aggregate this wire's queue by (ctx, tag); the queues are short (a few
-    // in-flight messages) so the quadratic grouping is irrelevant.
-    std::vector<std::pair<CKey, std::size_t>> counts;
-    for (const MsgNode& node : ch.pending) {
-      bool found = false;
-      for (auto& entry : counts) {
-        if (entry.first == node.key) {
-          ++entry.second;
-          found = true;
-          break;
-        }
-      }
-      if (!found) counts.emplace_back(node.key, 1);
-    }
-    for (const auto& [key, n] : counts) {
-      if (listed == 16) {
-        os << " ... (truncated)";
-        return os.str();
-      }
-      if (listed != 0) os << ", ";
-      os << "{src=" << src << " ctx=" << key.ctx << " tag=" << key.tag
-         << " n=" << n << "}";
-      ++listed;
-    }
-  }
-  if (listed == 0) return "none";
-  return os.str();
+void Transport::bump_next_expected(const PostedRecv& ticket,
+                                   std::uint64_t next) {
+  RecvSeqState& rs = recv_seq(ticket.src, ticket.dst);
+  std::lock_guard<std::mutex> lock(rs.mutex);
+  rs.next_expected[CKey{ticket.ctx, ticket.tag}] = next;
 }
 
 std::string Transport::trace_tail_summary() {
@@ -357,7 +295,7 @@ void Transport::throw_recv_timeout(int src, int dst, std::uint64_t ctx,
   os << "receive timed out at node " << dst << " waiting for node " << src
      << " ctx " << ctx << " tag " << tag << detail
      << " (mismatched collective sequence?); pending messages at node " << dst
-     << ": " << pending_summary(dst) << trace_tail_summary();
+     << ": " << fabric_->pending_summary(dst) << trace_tail_summary();
   throw TimeoutError(os.str());
 }
 
@@ -367,7 +305,7 @@ void Transport::throw_send_timeout(int src, int dst, std::uint64_t ctx,
   os << "rendezvous send timed out at node " << src << ": node " << dst
      << " never posted a matching receive for ctx " << ctx << " tag " << tag
      << " (mismatched collective sequence?); pending messages at node " << dst
-     << ": " << pending_summary(dst) << trace_tail_summary();
+     << ": " << fabric_->pending_summary(dst) << trace_tail_summary();
   throw TimeoutError(os.str());
 }
 
@@ -496,21 +434,7 @@ void Transport::post_recv(PostedRecv& ticket, int src, int dst,
   ticket.dst = dst;
   ticket.ctx = ctx;
   ticket.tag = tag;
-  ticket.active = false;
-  ticket.consumed = false;
-  ticket.filled = false;
-  ticket.seq = 0;
-  Channel& ch = channel(src, dst);
-  bool wake;
-  {
-    std::lock_guard<std::mutex> lock(ch.mutex);
-    ch.posted.push_back(&ticket);
-    ticket.active = true;
-    ++ch.version;
-    wake = ch.waiters.load(std::memory_order_relaxed) > 0;
-  }
-  // Wakes a rendezvous sender blocked waiting for this buffer.
-  if (wake) ch.cv.notify_all();
+  fabric_->post(ticket);
 }
 
 void Transport::wait_recv(PostedRecv& ticket) {
@@ -590,278 +514,149 @@ bool Transport::try_wait_recv(PostedRecv& ticket, RecvProgress& progress) {
   return true;
 }
 
-void Transport::cancel_recv(PostedRecv& ticket) {
-  if (ticket.src < 0) return;
-  Channel& ch = channel(ticket.src, ticket.dst);
-  std::lock_guard<std::mutex> lock(ch.mutex);
-  unpost_locked(ch, ticket);
-}
-
-Transport::PostedRecv& Transport::claim_posted(
-    Channel& ch, std::unique_lock<std::mutex>& lock, int src, int dst,
-    std::uint64_t ctx, int tag) {
-  const CKey key{ctx, tag};
-  PostedRecv* ticket = nullptr;
-  // A ticket is claimable only when no older buffered message for the key is
-  // still queued ahead of it: per-key FIFO means that message belongs to the
-  // receive the ticket was posted for, so a rendezvous payload sneaking into
-  // the buffer first would be delivered out of order.
-  auto pred = [&] {
-    if (aborted_.load(std::memory_order_relaxed)) return true;
-    if (find_pending_locked(ch, key) != kNpos) return false;
-    ticket = find_posted_locked(ch, key);
-    return ticket != nullptr;
-  };
-  {
-    if (recv_timeout_ms_ > 0) {
-      WaiterScope waiting(ch.waiters);
-      const bool posted = ch.cv.wait_for(
-          lock, std::chrono::milliseconds(recv_timeout_ms_), pred);
-      if (!posted) {
-        lock.unlock();
-        throw_send_timeout(src, dst, ctx, tag);
-      }
-    } else if (!spin_for(lock, pred)) {
-      WaiterScope waiting(ch.waiters);
-      ch.cv.wait(lock, pred);
-    }
-  }
-  if (aborted_.load(std::memory_order_relaxed)) throw_aborted();
-  ticket->consumed = true;
-  return *ticket;
-}
+void Transport::cancel_recv(PostedRecv& ticket) { fabric_->unpost(ticket); }
 
 void Transport::raw_send(int src, int dst, std::uint64_t ctx, int tag,
                          std::span<const std::byte> data) {
-  Channel& ch = channel(src, dst);
   const CKey key{ctx, tag};
   if (data.size() >= rendezvous_threshold_) {
-    // Rendezvous: wait for the receiver's posted buffer and copy straight
-    // into it — one copy, no intermediate slab.  The copy happens under the
-    // channel lock, but the only threads that ever take this lock are the
-    // receiver (blocked until we finish anyway) and this sender.
-    std::unique_lock<std::mutex> lock(ch.mutex);
-    PostedRecv& ticket = claim_posted(ch, lock, src, dst, ctx, tag);
-    if (ticket.out.size() == data.size()) {
-      land(ticket.out, data.data(), data.size(), ticket.accumulate);
-      ticket.filled = true;
-      unpost_locked(ch, ticket);
-      ++ch.version;
-      const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
-      lock.unlock();
-      if (wake) ch.cv.notify_all();
-      return;
-    }
-    // Length mismatch: un-claim the ticket and fall through to an eager
-    // deposit; the receiver raises the mismatch error when it takes the
-    // message (same failure surface as the eager path).
-    ticket.consumed = false;
-  }
-  {
-    std::unique_lock<std::mutex> lock(ch.mutex);
-    // Opportunistic direct fill: if the receive is already posted and no
-    // older message for the key is queued ahead, skip the slab entirely —
-    // a posted eager receive is one copy, same as rendezvous.
-    PostedRecv* ticket = find_posted_locked(ch, key);
-    if (ticket != nullptr && ticket->out.size() == data.size() &&
-        find_pending_locked(ch, key) == kNpos) {
-      land(ticket->out, data.data(), data.size(), ticket->accumulate);
-      ticket->consumed = true;
-      ticket->filled = true;
-      unpost_locked(ch, *ticket);
-      ++ch.version;
-      const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
-      lock.unlock();
-      if (wake) ch.cv.notify_all();
-      return;
+    // Rendezvous: wait for the receiver's posted buffer and have the fabric
+    // copy straight into it — one copy, no intermediate slab.
+    switch (fabric_->claim(src, dst, key, data, /*fill=*/true,
+                           recv_timeout_ms_)) {
+      case FabricStatus::kOk:
+        return;
+      case FabricStatus::kAborted:
+        throw_aborted();
+      case FabricStatus::kNotReady:
+        throw_send_timeout(src, dst, ctx, tag);
+      case FabricStatus::kMismatch:
+        break;  // posted buffer length differs: eager fallback below
     }
   }
-  deposit_eager(ch, key, data);
-}
-
-void Transport::deposit_eager(Channel& ch, const CKey& key,
-                              std::span<const std::byte> data) {
-  // Eager deposit: stage the payload in a pooled slab (allocation-free once
-  // the pool is warm) outside the lock, then hand it to the channel.
-  Msg msg;
-  msg.buf = pool_.acquire(data.size());
-  msg.len = data.size();
-  if (!data.empty()) {
-    std::memcpy(msg.buf.data.get(), data.data(), data.size());
-  }
-  bool wake;
-  {
-    std::lock_guard<std::mutex> lock(ch.mutex);
-    ch.pending.push_back(MsgNode{key, std::move(msg)});
-    ++ch.version;
-    wake = ch.waiters.load(std::memory_order_relaxed) > 0;
-  }
-  if (wake) ch.cv.notify_all();
+  fabric_->deposit(src, dst, key, data);
 }
 
 bool Transport::raw_try_send(int src, int dst, std::uint64_t ctx, int tag,
                              std::span<const std::byte> data) {
-  Channel& ch = channel(src, dst);
   const CKey key{ctx, tag};
   if (data.size() >= rendezvous_threshold_) {
-    std::unique_lock<std::mutex> lock(ch.mutex);
-    // Same claimability predicate as claim_posted, probed instead of waited
-    // on: an older buffered message for the key still ahead in FIFO order
-    // means the posted buffer belongs to an earlier receive.
-    if (find_pending_locked(ch, key) != kNpos) return false;
-    PostedRecv* ticket = find_posted_locked(ch, key);
-    if (ticket == nullptr) return false;
-    if (ticket->out.size() == data.size()) {
-      maybe_fail_stop(src);
-      land(ticket->out, data.data(), data.size(), ticket->accumulate);
-      ticket->consumed = true;
-      ticket->filled = true;
-      unpost_locked(ch, *ticket);
-      ++ch.version;
-      const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
-      lock.unlock();
-      if (wake) ch.cv.notify_all();
-      return true;
+    struct PresendCtx {
+      Transport* transport;
+      int src;
+    } pc{this, src};
+    // The fail-stop budget is charged by the fabric once the claim is
+    // committed, before any wire state changes.
+    auto presend = [](void* p) {
+      auto* c = static_cast<PresendCtx*>(p);
+      c->transport->maybe_fail_stop(c->src);
+    };
+    switch (fabric_->try_claim(src, dst, key, data, /*fill=*/true, +presend,
+                               &pc)) {
+      case FabricStatus::kOk:
+        return true;
+      case FabricStatus::kNotReady:
+        return false;
+      case FabricStatus::kAborted:
+        throw_aborted();
+      case FabricStatus::kMismatch:
+        break;  // eager fallback below, same as the blocking path
     }
-    // Length mismatch: eager-deposit instead, same as the blocking path —
-    // the receiver raises the mismatch error when it takes the message.
-    maybe_fail_stop(src);
-    lock.unlock();
-    deposit_eager(ch, key, data);
-    return true;
   }
   maybe_fail_stop(src);
-  raw_send(src, dst, ctx, tag, data);
+  fabric_->deposit(src, dst, key, data);
   return true;
 }
 
 void Transport::raw_wait_recv(PostedRecv& ticket) {
-  Channel& ch = channel(ticket.src, ticket.dst);
-  const CKey key{ticket.ctx, ticket.tag};
-  std::unique_lock<std::mutex> lock(ch.mutex);
-  std::size_t index = kNpos;
-  auto ready = [&] {
-    if (aborted_.load(std::memory_order_relaxed)) return true;
-    if (ticket.filled) return true;
-    index = find_pending_locked(ch, key);
-    return index != kNpos;
-  };
-  {
-    if (recv_timeout_ms_ > 0) {
-      WaiterScope waiting(ch.waiters);
-      const bool arrived = ch.cv.wait_for(
-          lock, std::chrono::milliseconds(recv_timeout_ms_), ready);
-      if (!arrived) {
-        unpost_locked(ch, ticket);
-        lock.unlock();
-        throw_recv_timeout(ticket.src, ticket.dst, ticket.ctx, ticket.tag, "");
-      }
-    } else if (!spin_for(lock, ready)) {
-      WaiterScope waiting(ch.waiters);
-      ch.cv.wait(lock, ready);
-    }
+  switch (fabric_->wait(ticket, recv_timeout_ms_)) {
+    case FabricStatus::kOk:
+      return;
+    case FabricStatus::kAborted:
+      throw_aborted();
+    case FabricStatus::kNotReady:  // watchdog expired; ticket withdrawn
+      throw_recv_timeout(ticket.src, ticket.dst, ticket.ctx, ticket.tag, "");
+    case FabricStatus::kMismatch:
+      break;
   }
-  if (aborted_.load(std::memory_order_relaxed)) {
-    unpost_locked(ch, ticket);
-    lock.unlock();
-    throw_aborted();
-  }
-  if (ticket.filled) return;  // the sender copied in place and unposted us
-  // Queue path: take the oldest matching message; withdraw the posted buffer
-  // (it served its purpose as a rendezvous landing pad that never matched).
-  unpost_locked(ch, ticket);
-  Msg msg = std::move(ch.pending[index].msg);
-  ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(index));
-  // Draining the queue can unblock a rendezvous sender gated on FIFO order.
-  ++ch.version;
-  const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
-  lock.unlock();
-  if (wake) ch.cv.notify_all();
-  const std::size_t len = msg.len;
-  INTERCOM_REQUIRE(len == ticket.out.size(),
-                   "received message length does not match the posted buffer");
-  land(ticket.out, msg.buf.data.get(), len, ticket.accumulate);
-  pool_.release(std::move(msg.buf));
+  INTERCOM_REQUIRE(false, "unexpected fabric status from wait()");
 }
 
-bool Transport::raw_try_wait_recv(PostedRecv& ticket,
-                                  RecvProgress& progress) {
-  Channel& ch = channel(ticket.src, ticket.dst);
-  const CKey key{ticket.ctx, ticket.tag};
-  std::unique_lock<std::mutex> lock(ch.mutex);
-  if (aborted_.load(std::memory_order_relaxed)) {
-    unpost_locked(ch, ticket);
-    lock.unlock();
-    throw_aborted();
+bool Transport::raw_try_wait_recv(PostedRecv& ticket, RecvProgress& progress) {
+  switch (fabric_->try_wait(ticket)) {
+    case FabricStatus::kOk:
+      return true;
+    case FabricStatus::kAborted:
+      throw_aborted();
+    default:
+      break;
   }
-  if (ticket.filled) return true;  // a sender copied in place and unposted us
-  const std::size_t index = find_pending_locked(ch, key);
-  if (index == kNpos) {
-    if (recv_timeout_ms_ > 0) {
-      // The watchdog counts from the first poll — the async analogue of
-      // wait_recv's bounded wait.
-      const std::uint64_t now = mono_ns();
-      if (!progress.started) {
-        progress.started = true;
-        progress.first_poll_ns = now;
-      } else if (now - progress.first_poll_ns >=
-                 static_cast<std::uint64_t>(recv_timeout_ms_) * 1000000ull) {
-        unpost_locked(ch, ticket);
-        lock.unlock();
-        throw_recv_timeout(ticket.src, ticket.dst, ticket.ctx, ticket.tag,
-                           " (async poll watchdog)");
-      }
+  if (recv_timeout_ms_ > 0) {
+    // The watchdog counts from the first poll — the async analogue of
+    // wait_recv's bounded wait.
+    const std::uint64_t now = mono_ns();
+    if (!progress.started) {
+      progress.started = true;
+      progress.first_poll_ns = now;
+    } else if (now - progress.first_poll_ns >=
+               static_cast<std::uint64_t>(recv_timeout_ms_) * 1000000ull) {
+      fabric_->unpost(ticket);
+      throw_recv_timeout(ticket.src, ticket.dst, ticket.ctx, ticket.tag,
+                         " (async poll watchdog)");
     }
-    return false;
   }
-  // Same take sequence as the blocking tail: withdraw the posted buffer,
-  // dequeue the oldest match, wake a FIFO-gated rendezvous sender.
-  unpost_locked(ch, ticket);
-  Msg msg = std::move(ch.pending[index].msg);
-  ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(index));
-  ++ch.version;
-  const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
-  lock.unlock();
-  if (wake) ch.cv.notify_all();
-  const std::size_t len = msg.len;
-  INTERCOM_REQUIRE(len == ticket.out.size(),
-                   "received message length does not match the posted buffer");
-  land(ticket.out, msg.buf.data.get(), len, ticket.accumulate);
-  pool_.release(std::move(msg.buf));
-  return true;
+  return false;
 }
 
 std::uint64_t Transport::reliable_send(int src, int dst, std::uint64_t ctx,
                                        int tag,
                                        std::span<const std::byte> data) {
-  Channel& ch = channel(src, dst);
   if (data.size() >= rendezvous_threshold_) {
     // The rendezvous handshake survives reliability: block until the
     // receiver posts its buffer so blocking semantics match the unreliable
     // path — but the payload still travels store-and-forward (framed,
     // logged) because retransmission needs a stable clean copy.  The ticket
-    // stays registered (consumed) until the receiver withdraws it.
-    std::unique_lock<std::mutex> lock(ch.mutex);
-    claim_posted(ch, lock, src, dst, ctx, tag);
+    // stays claimed (consumed) until the receiver withdraws it.
+    switch (fabric_->claim(src, dst, CKey{ctx, tag}, {}, /*fill=*/false,
+                           recv_timeout_ms_)) {
+      case FabricStatus::kOk:
+        break;
+      case FabricStatus::kAborted:
+        throw_aborted();
+      case FabricStatus::kNotReady:
+        throw_send_timeout(src, dst, ctx, tag);
+      case FabricStatus::kMismatch:
+        INTERCOM_REQUIRE(false, "handshake claim cannot mismatch");
+    }
   }
   return framed_send(src, dst, ctx, tag, data);
 }
 
-bool Transport::reliable_try_send(int src, int dst, std::uint64_t ctx,
-                                  int tag, std::span<const std::byte> data,
+bool Transport::reliable_try_send(int src, int dst, std::uint64_t ctx, int tag,
+                                  std::span<const std::byte> data,
                                   std::uint64_t* seq_out) {
-  Channel& ch = channel(src, dst);
   if (data.size() >= rendezvous_threshold_) {
-    // Probe the handshake instead of blocking in claim_posted: the send
-    // proceeds only when the receiver's buffer is claimable right now.
-    std::unique_lock<std::mutex> lock(ch.mutex);
-    const CKey key{ctx, tag};
-    if (find_pending_locked(ch, key) != kNpos) return false;
-    PostedRecv* ticket = find_posted_locked(ch, key);
-    if (ticket == nullptr) return false;
-    maybe_fail_stop(src);  // charged before the claim so a fail-stop does
-                           // not strand a half-claimed ticket
-    ticket->consumed = true;
+    struct PresendCtx {
+      Transport* transport;
+      int src;
+    } pc{this, src};
+    // Charged before the claim commits so a fail-stop does not strand a
+    // half-claimed ticket.
+    auto presend = [](void* p) {
+      auto* c = static_cast<PresendCtx*>(p);
+      c->transport->maybe_fail_stop(c->src);
+    };
+    switch (fabric_->try_claim(src, dst, CKey{ctx, tag}, data, /*fill=*/false,
+                               +presend, &pc)) {
+      case FabricStatus::kOk:
+        break;
+      case FabricStatus::kNotReady:
+        return false;
+      case FabricStatus::kAborted:
+        throw_aborted();
+      case FabricStatus::kMismatch:
+        INTERCOM_REQUIRE(false, "handshake claim cannot mismatch");
+    }
   } else {
     maybe_fail_stop(src);
   }
@@ -918,79 +713,19 @@ void Transport::deliver_frame(int src, int dst, const CKey& key, Msg frame,
       frame.buf.data[kHeaderBytes - 1] ^= std::byte{1};
     }
   }
-  Msg duplicate;
-  if (fate.duplicate) {
+  // Reorder hold-back is only eligible for first attempts — retransmissions
+  // are the recovery path and must make progress.  A frame that is held
+  // back forfeits its duplicate (the duplicate would land *ahead* of the
+  // held frame anyway, i.e. be just another future-seq buffer entry).
+  const bool hold_back = fate.reorder && attempt == 0;
+  if (fate.duplicate && !hold_back) {
+    Msg duplicate;
     duplicate.buf = pool_.acquire(frame.len);
     duplicate.len = frame.len;
     std::memcpy(duplicate.buf.data.get(), frame.buf.data.get(), frame.len);
+    fabric_->deliver(src, dst, key, std::move(duplicate), false);
   }
-  Channel& ch = channel(src, dst);
-  bool wake;
-  {
-    std::lock_guard<std::mutex> lock(ch.mutex);
-    // Reorder: hold the frame back behind the wire's next deposit.  Only
-    // first attempts are eligible — retransmissions are the recovery path
-    // and must make progress.
-    if (fate.reorder && attempt == 0 && ch.limbo.empty()) {
-      ch.limbo.push_back(MsgNode{key, std::move(frame)});
-      if (duplicate.buf) pool_.release(std::move(duplicate.buf));
-      return;
-    }
-    if (duplicate.buf) {
-      ch.pending.push_back(MsgNode{key, std::move(duplicate)});
-    }
-    ch.pending.push_back(MsgNode{key, std::move(frame)});
-    while (!ch.limbo.empty()) {
-      ch.pending.push_back(std::move(ch.limbo.front()));
-      ch.limbo.pop_front();
-    }
-    ++ch.version;
-    wake = ch.waiters.load(std::memory_order_relaxed) > 0;
-  }
-  if (wake) ch.cv.notify_all();
-}
-
-bool Transport::scan_pending_locked(Channel& ch, const CKey& key,
-                                    std::uint64_t expected, Msg* frame,
-                                    bool* corrupt_seen) {
-  // Scan the wire's queue: discard corrupt frames and stale duplicates,
-  // take the in-order frame if present, leave future ones buffered.  A
-  // frame's checksum is validated exactly once — the parsed sequence
-  // number is cached on the node, so under a reorder storm repeated scans
-  // cost a comparison per buffered frame, not a checksum pass.
-  for (std::size_t i = 0; i < ch.pending.size();) {
-    MsgNode& node = ch.pending[i];
-    if (!(node.key == key)) {
-      ++i;
-      continue;
-    }
-    if (!node.msg.validated) {
-      std::uint64_t seq = 0;
-      if (!parse_frame(node.msg.buf.data.get(), node.msg.len, &seq)) {
-        *corrupt_seen = true;
-        corrupt_discards_.fetch_add(1, std::memory_order_relaxed);
-        pool_.release(std::move(node.msg.buf));
-        ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(i));
-        continue;
-      }
-      checksum_validations_.fetch_add(1, std::memory_order_relaxed);
-      node.msg.seq = seq;
-      node.msg.validated = true;
-    }
-    if (node.msg.seq < expected) {
-      duplicate_discards_.fetch_add(1, std::memory_order_relaxed);
-      pool_.release(std::move(node.msg.buf));
-      ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(i));
-      continue;
-    }
-    if (node.msg.seq == expected) {
-      *frame = std::move(node.msg);
-      ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(i));
-      return true;
-    }
-    ++i;
-  }
-  return false;
+  fabric_->deliver(src, dst, key, std::move(frame), hold_back);
 }
 
 bool Transport::drive_retransmit(const PostedRecv& ticket, const CKey& key,
@@ -1080,107 +815,87 @@ void Transport::complete_reliable_delivery(PostedRecv& ticket,
   const std::size_t payload_bytes = frame.len - kHeaderBytes;
   INTERCOM_REQUIRE(payload_bytes == ticket.out.size(),
                    "received message length does not match the posted buffer");
-  land(ticket.out, frame.buf.data.get() + kHeaderBytes, payload_bytes,
-       ticket.accumulate);
+  if (payload_bytes != 0) {
+    if (ticket.accumulate != nullptr) {
+      ticket.accumulate->fn(ticket.out.data(),
+                            frame.buf.data.get() + kHeaderBytes,
+                            payload_bytes);
+    } else {
+      std::memcpy(ticket.out.data(), frame.buf.data.get() + kHeaderBytes,
+                  payload_bytes);
+    }
+  }
   pool_.release(std::move(frame.buf));
 }
 
 std::uint64_t Transport::reliable_wait_recv(PostedRecv& ticket) {
-  Channel& ch = channel(ticket.src, ticket.dst);
   const CKey key{ticket.ctx, ticket.tag};
   const FlowKey flow_key{ticket.dst, ticket.ctx, ticket.tag};
-
-  std::unique_lock<std::mutex> lock(ch.mutex);
-  const std::uint64_t expected = ch.next_expected[key];
-  int attempts = 0;
+  const std::uint64_t expected = next_expected_for(ticket);
   bool corrupt_seen = false;
+  FrameJudgeCtx jc{expected, &corrupt_seen, &corrupt_discards_,
+                   &duplicate_discards_, &checksum_validations_};
+  int attempts = 0;
   bool exhausted = false;
   long rto = base_rto_ms_;
   long waited_ms = 0;
   Msg frame;
-  bool got = false;
-  while (!got) {
-    got = scan_pending_locked(ch, key, expected, &frame, &corrupt_seen);
-    if (got) break;
-    if (aborted_.load(std::memory_order_relaxed)) {
-      unpost_locked(ch, ticket);
+  for (;;) {
+    const FabricStatus status =
+        fabric_->wait_frame(ticket, judge_frame, &jc, &frame, rto);
+    if (status == FabricStatus::kOk) break;
+    if (status == FabricStatus::kAborted) {
+      fabric_->unpost(ticket);
       throw_aborted();
     }
-    const std::uint64_t seen_version = ch.version;
-    bool arrived;
-    {
-      WaiterScope waiting(ch.waiters);
-      arrived = ch.cv.wait_for(lock, std::chrono::milliseconds(rto), [&] {
-        return ch.version != seen_version ||
-               aborted_.load(std::memory_order_relaxed);
-      });
-    }
-    if (aborted_.load(std::memory_order_relaxed)) {
-      unpost_locked(ch, ticket);
-      throw_aborted();
-    }
-    if (arrived) continue;  // something new was deposited; rescan
     waited_ms += rto;
-    // RTO expired: decide a retransmission with the channel lock dropped
-    // (deliver_frame takes it again, and an injected delay sleeps).
-    lock.unlock();
+    // RTO expired with no wire activity: decide a retransmission (the
+    // fabric is unlocked here — deliver takes its locks again, and an
+    // injected delay sleeps).
     const bool have_frame = drive_retransmit(ticket, key, flow_key, expected,
                                              &attempts, &rto, &exhausted);
-    lock.lock();
     if (exhausted) {
-      unpost_locked(ch, ticket);
-      lock.unlock();
+      fabric_->unpost(ticket);
       throw_retries_exhausted(ticket, expected, corrupt_seen);
     }
     if (!have_frame && recv_timeout_ms_ > 0 && waited_ms >= recv_timeout_ms_) {
-      unpost_locked(ch, ticket);
-      lock.unlock();
+      fabric_->unpost(ticket);
       throw_recv_timeout(ticket.src, ticket.dst, ticket.ctx, ticket.tag,
                          " (reliable mode: nothing logged for retransmit)");
     }
   }
-  ch.next_expected[key] = expected + 1;
-  unpost_locked(ch, ticket);
-  // Consuming the in-order frame can unblock a rendezvous-gated sender.
-  ++ch.version;
-  const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
-  lock.unlock();
-  if (wake) ch.cv.notify_all();
+  bump_next_expected(ticket, expected + 1);
   complete_reliable_delivery(ticket, flow_key, expected, std::move(frame));
   return expected + 1;
 }
 
 bool Transport::reliable_try_wait_recv(PostedRecv& ticket,
                                        RecvProgress& progress) {
-  Channel& ch = channel(ticket.src, ticket.dst);
   const CKey key{ticket.ctx, ticket.tag};
   const FlowKey flow_key{ticket.dst, ticket.ctx, ticket.tag};
-  std::unique_lock<std::mutex> lock(ch.mutex);
-  if (aborted_.load(std::memory_order_relaxed)) {
-    unpost_locked(ch, ticket);
-    lock.unlock();
-    throw_aborted();
-  }
   if (!progress.started) {
     // First poll: capture the in-order sequence number this receive owns
     // (the blocking call does the same at entry) and start both clocks.
     progress.started = true;
-    progress.expected = ch.next_expected[key];
+    progress.expected = next_expected_for(ticket);
     progress.rto_ms = base_rto_ms_;
     progress.first_poll_ns = mono_ns();
     progress.deadline_ns =
         progress.first_poll_ns +
         static_cast<std::uint64_t>(progress.rto_ms) * 1000000ull;
   }
+  FrameJudgeCtx jc{progress.expected, &progress.corrupt_seen,
+                   &corrupt_discards_, &duplicate_discards_,
+                   &checksum_validations_};
   Msg frame;
-  if (scan_pending_locked(ch, key, progress.expected, &frame,
-                          &progress.corrupt_seen)) {
-    ch.next_expected[key] = progress.expected + 1;
-    unpost_locked(ch, ticket);
-    ++ch.version;
-    const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
-    lock.unlock();
-    if (wake) ch.cv.notify_all();
+  const FabricStatus status =
+      fabric_->try_take_frame(ticket, judge_frame, &jc, &frame);
+  if (status == FabricStatus::kAborted) {
+    fabric_->unpost(ticket);
+    throw_aborted();
+  }
+  if (status == FabricStatus::kOk) {
+    bump_next_expected(ticket, progress.expected + 1);
     complete_reliable_delivery(ticket, flow_key, progress.expected,
                                std::move(frame));
     ticket.seq = progress.expected + 1;
@@ -1188,7 +903,6 @@ bool Transport::reliable_try_wait_recv(PostedRecv& ticket,
   }
   const std::uint64_t now = mono_ns();
   if (now < progress.deadline_ns) return false;
-  lock.unlock();
   // RTO expired without the expected frame: same retransmission decision as
   // the blocking loop, then re-arm the deadline and report "not yet".
   bool exhausted = false;
@@ -1196,17 +910,13 @@ bool Transport::reliable_try_wait_recv(PostedRecv& ticket,
       drive_retransmit(ticket, key, flow_key, progress.expected,
                        &progress.attempts, &progress.rto_ms, &exhausted);
   if (exhausted) {
-    lock.lock();
-    unpost_locked(ch, ticket);
-    lock.unlock();
+    fabric_->unpost(ticket);
     throw_retries_exhausted(ticket, progress.expected, progress.corrupt_seen);
   }
   if (!have_frame && recv_timeout_ms_ > 0 &&
       now - progress.first_poll_ns >=
           static_cast<std::uint64_t>(recv_timeout_ms_) * 1000000ull) {
-    lock.lock();
-    unpost_locked(ch, ticket);
-    lock.unlock();
+    fabric_->unpost(ticket);
     throw_recv_timeout(ticket.src, ticket.dst, ticket.ctx, ticket.tag,
                        " (reliable mode: nothing logged for retransmit)");
   }

@@ -207,5 +207,85 @@ TEST(ModelVsMeasuredTest, AsyncCollectivesJoinWithAsyncCount) {
   EXPECT_EQ(issues, static_cast<std::uint64_t>(mc.node_count()));
 }
 
+TEST(ModelVsMeasuredTest, RowsCarryTheFabricAndGroupByIt) {
+  // Same workload on the ideal wire and on the simulated fabric: merged
+  // reporting must keep one row per (shape, fabric) instead of averaging
+  // two different machines together.
+  auto run = [](Multicomputer& mc) {
+    mc.set_tracing(true);
+    mc.run_spmd([](Node& node) {
+      std::vector<double> data(64, node.id() == 0 ? 3.0 : 0.0);
+      node.world().broadcast(std::span<double>(data), 0);
+    });
+    mc.set_tracing(false);
+  };
+  Multicomputer inproc(Mesh2D(1, 4));
+  run(inproc);
+  FabricSpec sim_spec;
+  sim_spec.name = "sim";
+  sim_spec.sim.time_scale = 0.0;
+  Multicomputer sim(Mesh2D(1, 4), MachineParams::paragon(), sim_spec);
+  run(sim);
+
+  const auto inproc_rows = model_vs_measured(inproc.tracer());
+  ASSERT_EQ(inproc_rows.size(), 1u);
+  EXPECT_EQ(inproc_rows[0].fabric, "inproc");
+
+  const auto merged =
+      model_vs_measured({&inproc.tracer(), &sim.tracer()});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].collective, merged[1].collective);
+  EXPECT_NE(merged[0].fabric, merged[1].fabric);
+  for (const auto& row : merged) EXPECT_EQ(row.calls, 1u);
+
+  std::ostringstream os;
+  render_model_vs_measured(merged, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("fabric"), std::string::npos);
+  EXPECT_NE(text.find("sim"), std::string::npos);
+  EXPECT_NE(text.find("inproc"), std::string::npos);
+}
+
+TEST(ModelVsMeasuredTest, ThreeWayReportJoinsModelSimAndInproc) {
+  const std::size_t elems = 2048;
+  auto run = [&](Multicomputer& mc) {
+    mc.set_tracing(true);
+    mc.run_spmd([&](Node& node) {
+      Communicator world = node.world();
+      std::vector<double> data(elems, 1.0 + node.id());
+      world.broadcast(std::span<double>(data), 0);
+      world.all_reduce_sum(std::span<double>(data));
+    });
+    mc.set_tracing(false);
+  };
+  Multicomputer inproc(Mesh2D(1, 4));
+  run(inproc);
+  FabricSpec sim_spec;
+  sim_spec.name = "sim";
+  sim_spec.sim.time_scale = 0.0;
+  Multicomputer sim(Mesh2D(1, 4), MachineParams::paragon(), sim_spec);
+  run(sim);
+
+  const auto rows = three_way_report(inproc.tracer(), sim.tracer());
+  ASSERT_EQ(rows.size(), 2u);  // broadcast + combine-to-all
+  for (const auto& row : rows) {
+    SCOPED_TRACE(row.collective);
+    EXPECT_EQ(row.elems, elems);
+    EXPECT_GT(row.predicted_s, 0.0);
+    EXPECT_GT(row.sim_s, 0.0);
+    EXPECT_GT(row.inproc_s, 0.0);
+    EXPECT_GT(row.sim_ratio, 0.0);
+    EXPECT_GT(row.inproc_ratio, 0.0);
+  }
+
+  std::ostringstream os;
+  render_three_way(rows, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("model"), std::string::npos);
+  EXPECT_NE(text.find("sim"), std::string::npos);
+  EXPECT_NE(text.find("inproc"), std::string::npos);
+  EXPECT_NE(text.find("broadcast"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace intercom

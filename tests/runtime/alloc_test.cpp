@@ -22,6 +22,7 @@
 #include "intercom/runtime/communicator.hpp"
 #include "intercom/runtime/multicomputer.hpp"
 #include "intercom/runtime/transport.hpp"
+#include "fabric_fixture.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_alloc_count{0};
@@ -77,14 +78,14 @@ namespace {
 /// outstanding together, one completed by a test() polling loop and one by
 /// wait() — the pooled request states and per-request arenas must recycle
 /// without touching the heap just like the blocking path.
-std::uint64_t measured_allocs(std::size_t elems,
+std::uint64_t measured_allocs(const FabricSpec& fabric, std::size_t elems,
                               std::size_t rendezvous_threshold,
                               bool use_async = false) {
   constexpr int kNodes = 4;
   constexpr int kWarmupRounds = 3;
   constexpr int kMeasuredRounds = 8;
 
-  Multicomputer mc(Mesh2D(1, kNodes));
+  Multicomputer mc(Mesh2D(1, kNodes), MachineParams::paragon(), fabric);
   mc.set_rendezvous_threshold(rendezvous_threshold);
 
   std::barrier sync(kNodes);
@@ -145,10 +146,15 @@ std::uint64_t measured_allocs(std::size_t elems,
   return after.load() - before.load();
 }
 
+// The zero-alloc warm path must hold on every delivery fabric: SimFabric's
+// pacing/accounting is lock-and-atomic work with no heap traffic, so moving
+// the machine onto the simulated wire must not cost an allocation either.
+class SteadyStateAllocTest : public FabricParamTest {};
+
 // 512 B messages with the threshold pushed sky-high: every send is an eager
 // deposit riding a recycled pool slab.
-TEST(SteadyStateAllocTest, EagerRegimeAllocatesNothingOnCacheHit) {
-  EXPECT_EQ(measured_allocs(/*elems=*/64,
+TEST_P(SteadyStateAllocTest, EagerRegimeAllocatesNothingOnCacheHit) {
+  EXPECT_EQ(measured_allocs(spec(), /*elems=*/64,
                             /*rendezvous_threshold=*/std::size_t{1} << 30),
             0u);
 }
@@ -156,8 +162,8 @@ TEST(SteadyStateAllocTest, EagerRegimeAllocatesNothingOnCacheHit) {
 // 512 KB vectors with the default threshold: every collective message slice
 // (128 KB) takes the rendezvous path and lands directly in the posted
 // buffer.
-TEST(SteadyStateAllocTest, RendezvousRegimeAllocatesNothingOnCacheHit) {
-  EXPECT_EQ(measured_allocs(/*elems=*/65536,
+TEST_P(SteadyStateAllocTest, RendezvousRegimeAllocatesNothingOnCacheHit) {
+  EXPECT_EQ(measured_allocs(spec(), /*elems=*/65536,
                             Transport::kDefaultRendezvousThreshold),
             0u);
 }
@@ -165,15 +171,15 @@ TEST(SteadyStateAllocTest, RendezvousRegimeAllocatesNothingOnCacheHit) {
 // The non-blocking path on a warm pool: issue, poll, and wait must not
 // allocate either — the request state, its arena, and the free list are all
 // recycled (PR invariant: async keeps the zero-alloc cache-hit path).
-TEST(SteadyStateAllocTest, AsyncEagerRegimeAllocatesNothingOnCacheHit) {
-  EXPECT_EQ(measured_allocs(/*elems=*/64,
+TEST_P(SteadyStateAllocTest, AsyncEagerRegimeAllocatesNothingOnCacheHit) {
+  EXPECT_EQ(measured_allocs(spec(), /*elems=*/64,
                             /*rendezvous_threshold=*/std::size_t{1} << 30,
                             /*use_async=*/true),
             0u);
 }
 
-TEST(SteadyStateAllocTest, AsyncRendezvousRegimeAllocatesNothingOnCacheHit) {
-  EXPECT_EQ(measured_allocs(/*elems=*/65536,
+TEST_P(SteadyStateAllocTest, AsyncRendezvousRegimeAllocatesNothingOnCacheHit) {
+  EXPECT_EQ(measured_allocs(spec(), /*elems=*/65536,
                             Transport::kDefaultRendezvousThreshold,
                             /*use_async=*/true),
             0u);
@@ -181,12 +187,14 @@ TEST(SteadyStateAllocTest, AsyncRendezvousRegimeAllocatesNothingOnCacheHit) {
 
 // Sanity check on the hook itself: the counter must actually see heap
 // activity, or the two zeros above would be vacuous.
-TEST(SteadyStateAllocTest, CountingHookObservesAllocations) {
+TEST_P(SteadyStateAllocTest, CountingHookObservesAllocations) {
   const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
   auto* p = new std::vector<int>(1024);
   delete p;
   EXPECT_GT(g_alloc_count.load(std::memory_order_relaxed), before);
 }
+
+INTERCOM_INSTANTIATE_FABRIC_SUITE(SteadyStateAllocTest);
 
 }  // namespace
 }  // namespace intercom

@@ -15,9 +15,17 @@
 #include "intercom/runtime/multicomputer.hpp"
 #include "intercom/runtime/transport.hpp"
 #include "intercom/util/error.hpp"
+#include "fabric_fixture.hpp"
 
 namespace intercom {
 namespace {
+
+// The machine-backed suites run once per delivery fabric (see
+// fabric_fixture.hpp): the async progress engine sits above the fabric seam
+// and must behave identically on the simulated wire.
+class AsyncRequestTest : public FabricParamTest {};
+class AsyncCorruptionTest : public FabricParamTest {};
+class CollectiveContextTest : public FabricParamTest {};
 
 // Completes a request by spinning on test() — the progress-on-test path.
 // yield() keeps the spin civil on machines with fewer cores than nodes.
@@ -37,11 +45,11 @@ struct SweepCase {
                           // 1<<30 = all eager
 };
 
-class AsyncSweepTest : public ::testing::TestWithParam<SweepCase> {};
+class AsyncSweepTest : public FabricCrossTest<SweepCase> {};
 
 TEST_P(AsyncSweepTest, AllSevenCollectivesMatchBlockingContracts) {
-  const SweepCase param = GetParam();
-  Multicomputer mc(Mesh2D(param.rows, param.cols));
+  const SweepCase param = arg();
+  Multicomputer& mc = machine(Mesh2D(param.rows, param.cols));
   mc.set_rendezvous_threshold(param.threshold);
   const int p = mc.node_count();
   const std::size_t elems = 131;  // non-round: uneven pieces
@@ -137,8 +145,8 @@ TEST_P(AsyncSweepTest, AllSevenCollectivesMatchBlockingContracts) {
   });
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    SizesAndRegimes, AsyncSweepTest,
+INTERCOM_INSTANTIATE_FABRIC_CROSS_SUITE(
+    AsyncSweepTest,
     ::testing::Values(SweepCase{1, 2, 1}, SweepCase{1, 2, std::size_t{1} << 30},
                       SweepCase{1, 3, 1}, SweepCase{1, 3, std::size_t{1} << 30},
                       SweepCase{2, 4, 1}, SweepCase{2, 4, std::size_t{1} << 30},
@@ -148,8 +156,8 @@ INSTANTIATE_TEST_SUITE_P(
 // ---------------------------------------------------------------------------
 // Request handle semantics.
 
-TEST(AsyncRequestTest, MultipleOutstandingRequestsCompleteInAnyOrder) {
-  Multicomputer mc(Mesh2D(1, 4));
+TEST_P(AsyncRequestTest, MultipleOutstandingRequestsCompleteInAnyOrder) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
   const int p = mc.node_count();
   const std::size_t elems = 64;
   mc.run_spmd([&](Node& node) {
@@ -177,8 +185,8 @@ TEST(AsyncRequestTest, MultipleOutstandingRequestsCompleteInAnyOrder) {
   });
 }
 
-TEST(AsyncRequestTest, DestructorCompletesAnUnwaitedRequest) {
-  Multicomputer mc(Mesh2D(1, 3));
+TEST_P(AsyncRequestTest, DestructorCompletesAnUnwaitedRequest) {
+  Multicomputer& mc = machine(Mesh2D(1, 3));
   const std::size_t elems = 48;
   mc.run_spmd([&](Node& node) {
     Communicator world = node.world();
@@ -195,8 +203,8 @@ TEST(AsyncRequestTest, DestructorCompletesAnUnwaitedRequest) {
   });
 }
 
-TEST(AsyncRequestTest, MoveTransfersOwnership) {
-  Multicomputer mc(Mesh2D(1, 2));
+TEST_P(AsyncRequestTest, MoveTransfersOwnership) {
+  Multicomputer& mc = machine(Mesh2D(1, 2));
   mc.run_spmd([&](Node& node) {
     Communicator world = node.world();
     std::vector<int> data(16, world.rank() == 0 ? 5 : 0);
@@ -210,7 +218,7 @@ TEST(AsyncRequestTest, MoveTransfersOwnership) {
   });
 }
 
-TEST(AsyncRequestTest, TestOnEmptyRequestThrows) {
+TEST_P(AsyncRequestTest, TestOnEmptyRequestThrows) {
   Request r;
   EXPECT_FALSE(r.valid());
   EXPECT_THROW(r.test(), Error);
@@ -219,8 +227,8 @@ TEST(AsyncRequestTest, TestOnEmptyRequestThrows) {
 
 // Interleaving: work overlapped between issue and completion observes the
 // unmodified compute state while the collective progresses via test().
-TEST(AsyncRequestTest, ComputeBetweenIssueAndWaitOverlaps) {
-  Multicomputer mc(Mesh2D(1, 4));
+TEST_P(AsyncRequestTest, ComputeBetweenIssueAndWaitOverlaps) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
   const int p = mc.node_count();
   const std::size_t elems = 4096;
   mc.run_spmd([&](Node& node) {
@@ -249,11 +257,11 @@ TEST(AsyncRequestTest, ComputeBetweenIssueAndWaitOverlaps) {
 // Async under fault schedules: the polled progress path must heal
 // drop/duplicate/reorder exactly like the blocking one, in both regimes.
 
-class AsyncChaosTest : public ::testing::TestWithParam<std::size_t> {};
+class AsyncChaosTest : public FabricCrossTest<std::size_t> {};
 
 TEST_P(AsyncChaosTest, PolledCollectivesHealRecoverableFaults) {
-  Multicomputer mc(Mesh2D(1, 4));
-  mc.set_rendezvous_threshold(GetParam());
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  mc.set_rendezvous_threshold(arg());
   const int p = mc.node_count();
   auto injector = std::make_shared<FaultInjector>(4242u);
   FaultSpec spec;
@@ -293,15 +301,15 @@ TEST_P(AsyncChaosTest, PolledCollectivesHealRecoverableFaults) {
       << "chaos run injected nothing — rates or volume too low";
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Regimes, AsyncChaosTest,
+INTERCOM_INSTANTIATE_FABRIC_CROSS_SUITE(
+    AsyncChaosTest,
     ::testing::Values(std::size_t{1},  // everything rendezvous-gated
                       std::size_t{1} << 30));  // everything eager
 
 // Unrecoverable corruption surfaces from wait()/test() as the typed error
 // (and books the error — see chaos_test for the metrics/trace assertions).
-TEST(AsyncChaosTest, PersistentCorruptionSurfacesFromWait) {
-  Multicomputer mc(Mesh2D(1, 4));
+TEST_P(AsyncCorruptionTest, PersistentCorruptionSurfacesFromWait) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
   auto injector = std::make_shared<FaultInjector>(17u);
   FaultSpec spec;
   spec.corrupt = 1.0;
@@ -325,7 +333,7 @@ TEST(AsyncChaosTest, PersistentCorruptionSurfacesFromWait) {
 // ---------------------------------------------------------------------------
 // Context-id derivation (the namespace-overflow regression).
 
-TEST(CollectiveContextTest, SequencesNeverCollideWithinACommunicator) {
+TEST_P(CollectiveContextTest, SequencesNeverCollideWithinACommunicator) {
   // The old layout (base << 20 | seq) wrapped into the next namespace after
   // 2^20 operations.  The mixed form must stay collision-free across that
   // boundary: splitmix64 over base + seq*odd is bijective in seq.
@@ -340,12 +348,12 @@ TEST(CollectiveContextTest, SequencesNeverCollideWithinACommunicator) {
       << "context ids collided across the 2^20 sequence boundary";
 }
 
-TEST(CollectiveContextTest, SiblingCommunicatorsStayDisjointPastTheBoundary) {
+TEST_P(CollectiveContextTest, SiblingCommunicatorsStayDisjointPastTheBoundary) {
   // Two live communicators over different groups of one machine.  Simulate
   // each one's id stream crossing 2^20 operations and check the streams
   // never meet — under the old layout, communicator A's ids at
   // seq >= 2^20 landed inside B's namespace whenever hash(B) = hash(A)+1.
-  Multicomputer mc(Mesh2D(1, 4));
+  Multicomputer& mc = machine(Mesh2D(1, 4));
   std::atomic<std::uint64_t> base_a{0}, base_b{0};
   mc.run_spmd([&](Node& node) {
     Communicator world = node.world();
@@ -370,10 +378,10 @@ TEST(CollectiveContextTest, SiblingCommunicatorsStayDisjointPastTheBoundary) {
       << "sibling communicators' context ids collided";
 }
 
-TEST(CollectiveContextTest, CommunicatorUsesMixedContexts) {
+TEST_P(CollectiveContextTest, CommunicatorUsesMixedContexts) {
   // The communicator's own accounting: sequence numbers advance per
   // collective (blocking and non-blocking alike) and feed the mixer.
-  Multicomputer mc(Mesh2D(1, 2));
+  Multicomputer& mc = machine(Mesh2D(1, 2));
   mc.run_spmd([&](Node& node) {
     Communicator world = node.world();
     EXPECT_EQ(world.next_sequence(), 0u);
@@ -384,6 +392,10 @@ TEST(CollectiveContextTest, CommunicatorUsesMixedContexts) {
     EXPECT_EQ(world.next_sequence(), 2u);
   });
 }
+
+INTERCOM_INSTANTIATE_FABRIC_SUITE(AsyncRequestTest);
+INTERCOM_INSTANTIATE_FABRIC_SUITE(AsyncCorruptionTest);
+INTERCOM_INSTANTIATE_FABRIC_SUITE(CollectiveContextTest);
 
 }  // namespace
 }  // namespace intercom

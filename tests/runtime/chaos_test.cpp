@@ -20,11 +20,20 @@
 #include "intercom/runtime/multicomputer.hpp"
 #include "intercom/runtime/transport.hpp"
 #include "intercom/util/error.hpp"
+#include "fabric_fixture.hpp"
 
 namespace intercom {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Every suite here runs once per delivery fabric (see fabric_fixture.hpp):
+// abort propagation, reliability healing and the typed error taxonomy are
+// policy layered above the fabric seam, so their contracts must hold on the
+// simulated wire exactly as on the ideal one.
+class AbortPropagationTest : public FabricParamTest {};
+class ReliabilityTest : public FabricParamTest {};
+class ChaosCollectiveTest : public FabricParamTest {};
 
 std::vector<std::byte> bytes_of(const std::string& s) {
   std::vector<std::byte> v(s.size());
@@ -43,8 +52,8 @@ std::string string_of(std::span<const std::byte> v) {
 // moves any data, so without abort propagation every peer would block in
 // recv forever (no timeout is armed).  With it, peers unwind promptly with
 // AbortedError and run_spmd rethrows the root cause.
-TEST(AbortPropagationTest, ThrowingNodeUnblocksPeersWithAbortedError) {
-  Multicomputer mc(Mesh2D(2, 2));
+TEST_P(AbortPropagationTest, ThrowingNodeUnblocksPeersWithAbortedError) {
+  Multicomputer& mc = machine(Mesh2D(2, 2));
   const int p = mc.node_count();
   std::vector<std::atomic<int>> observed(static_cast<std::size_t>(p));
   for (auto& o : observed) o = 0;
@@ -79,8 +88,8 @@ TEST(AbortPropagationTest, ThrowingNodeUnblocksPeersWithAbortedError) {
   }
 }
 
-TEST(AbortPropagationTest, AbortUnblocksBlockedRecvAndPoisonsFutureOps) {
-  Transport t(2);
+TEST_P(AbortPropagationTest, AbortUnblocksBlockedRecvAndPoisonsFutureOps) {
+  Transport& t = transport(2);
   std::atomic<bool> got_aborted{false};
   std::thread receiver([&] {
     std::vector<std::byte> out(4);
@@ -107,8 +116,8 @@ TEST(AbortPropagationTest, AbortUnblocksBlockedRecvAndPoisonsFutureOps) {
   EXPECT_EQ(string_of(ok), "ok");
 }
 
-TEST(AbortPropagationTest, MachineStaysUsableAfterFailedRun) {
-  Multicomputer mc(Mesh2D(1, 4));
+TEST_P(AbortPropagationTest, MachineStaysUsableAfterFailedRun) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
   EXPECT_THROW(mc.run_spmd([&](Node& node) {
     if (node.id() == 0) throw Error("boom");
     std::vector<int> data(8, 0);
@@ -123,8 +132,8 @@ TEST(AbortPropagationTest, MachineStaysUsableAfterFailedRun) {
   });
 }
 
-TEST(AbortPropagationTest, FailStopNodeAbortsTheWholeMachine) {
-  Multicomputer mc(Mesh2D(1, 4));
+TEST_P(AbortPropagationTest, FailStopNodeAbortsTheWholeMachine) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
   auto injector = std::make_shared<FaultInjector>(1u);
   injector->fail_stop_after(/*node=*/2, /*k=*/3);
   mc.set_fault_injector(injector);
@@ -143,8 +152,8 @@ TEST(AbortPropagationTest, FailStopNodeAbortsTheWholeMachine) {
   EXPECT_GE(injector->stats().fail_stops, 1u);
 }
 
-TEST(AbortPropagationTest, IccAbortPoisonsTheMachine) {
-  Multicomputer mc(Mesh2D(1, 4));
+TEST_P(AbortPropagationTest, IccAbortPoisonsTheMachine) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
   std::vector<std::atomic<int>> aborted(4);
   for (auto& a : aborted) a = 0;
   try {
@@ -175,8 +184,8 @@ TEST(AbortPropagationTest, IccAbortPoisonsTheMachine) {
 // ---------------------------------------------------------------------------
 // Reliability layer at the transport level.
 
-TEST(ReliabilityTest, ArmedWithoutFaultsPreservesSemantics) {
-  Transport t(2);
+TEST_P(ReliabilityTest, ArmedWithoutFaultsPreservesSemantics) {
+  Transport& t = transport(2);
   t.set_reliable(true);
   // FIFO within a flow, matching across tags/contexts, zero-length payloads.
   t.send(0, 1, 1, 0, bytes_of("one"));
@@ -204,8 +213,8 @@ TEST(ReliabilityTest, ArmedWithoutFaultsPreservesSemantics) {
   EXPECT_EQ(stats.corrupt_discards, 0u);
 }
 
-TEST(ReliabilityTest, DroppedFramesAreRetransmitted) {
-  Transport t(2);
+TEST_P(ReliabilityTest, DroppedFramesAreRetransmitted) {
+  Transport& t = transport(2);
   auto injector = std::make_shared<FaultInjector>(1234u);
   FaultSpec spec;
   spec.drop = 0.5;  // every attempt, including retransmissions
@@ -233,8 +242,8 @@ TEST(ReliabilityTest, DroppedFramesAreRetransmitted) {
   EXPECT_GT(t.reliability_stats().retransmits, 0u);
 }
 
-TEST(ReliabilityTest, DuplicatedFramesAreDiscarded) {
-  Transport t(2);
+TEST_P(ReliabilityTest, DuplicatedFramesAreDiscarded) {
+  Transport& t = transport(2);
   auto injector = std::make_shared<FaultInjector>(7u);
   FaultSpec spec;
   spec.duplicate = 1.0;
@@ -257,8 +266,8 @@ TEST(ReliabilityTest, DuplicatedFramesAreDiscarded) {
   EXPECT_GT(t.reliability_stats().duplicate_discards, 0u);
 }
 
-TEST(ReliabilityTest, ReorderedFramesAreDeliveredInSequence) {
-  Transport t(2);
+TEST_P(ReliabilityTest, ReorderedFramesAreDeliveredInSequence) {
+  Transport& t = transport(2);
   auto injector = std::make_shared<FaultInjector>(99u);
   FaultSpec spec;
   spec.reorder = 1.0;
@@ -284,8 +293,8 @@ TEST(ReliabilityTest, ReorderedFramesAreDeliveredInSequence) {
   EXPECT_GT(injector->stats().reordered, 0u);
 }
 
-TEST(ReliabilityTest, PersistentCorruptionRaisesCorruptionError) {
-  Transport t(2);
+TEST_P(ReliabilityTest, PersistentCorruptionRaisesCorruptionError) {
+  Transport& t = transport(2);
   auto injector = std::make_shared<FaultInjector>(11u);
   FaultSpec spec;
   spec.corrupt = 1.0;  // every delivery attempt is bit-flipped
@@ -299,8 +308,8 @@ TEST(ReliabilityTest, PersistentCorruptionRaisesCorruptionError) {
   EXPECT_GT(t.reliability_stats().corrupt_discards, 0u);
 }
 
-TEST(ReliabilityTest, ZeroLengthPayloadCorruptionIsStillDetected) {
-  Transport t(2);
+TEST_P(ReliabilityTest, ZeroLengthPayloadCorruptionIsStillDetected) {
+  Transport& t = transport(2);
   auto injector = std::make_shared<FaultInjector>(12u);
   FaultSpec spec;
   spec.corrupt = 1.0;
@@ -313,8 +322,8 @@ TEST(ReliabilityTest, ZeroLengthPayloadCorruptionIsStillDetected) {
   EXPECT_THROW(t.recv(0, 1, 6, 1, empty), CorruptionError);
 }
 
-TEST(ReliabilityTest, ScopedRulesOnlyAffectMatchingWires) {
-  Transport t(3);
+TEST_P(ReliabilityTest, ScopedRulesOnlyAffectMatchingWires) {
+  Transport& t = transport(3);
   auto injector = std::make_shared<FaultInjector>(21u);
   FaultSpec corrupting;
   corrupting.corrupt = 1.0;
@@ -332,7 +341,7 @@ TEST(ReliabilityTest, ScopedRulesOnlyAffectMatchingWires) {
   EXPECT_THROW(t.recv(0, 1, 8, 0, out), CorruptionError);
 }
 
-TEST(ReliabilityTest, DecisionsAreDeterministicPerSeed) {
+TEST_P(ReliabilityTest, DecisionsAreDeterministicPerSeed) {
   FaultInjector a(42u);
   FaultInjector b(42u);
   FaultInjector c(43u);
@@ -360,11 +369,11 @@ TEST(ReliabilityTest, DecisionsAreDeterministicPerSeed) {
 // ---------------------------------------------------------------------------
 // Chaos sweep: all seven collectives under recoverable fault schedules.
 
-class ChaosSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+class ChaosSweepTest : public FabricCrossTest<std::uint64_t> {};
 
 TEST_P(ChaosSweepTest, AllSevenCollectivesBitwiseCorrectUnderChaos) {
-  const std::uint64_t seed = GetParam();
-  Multicomputer mc(Mesh2D(2, 3));
+  const std::uint64_t seed = arg();
+  Multicomputer& mc = machine(Mesh2D(2, 3));
   const int p = mc.node_count();
   auto injector = std::make_shared<FaultInjector>(seed);
   FaultSpec spec;
@@ -459,18 +468,19 @@ TEST_P(ChaosSweepTest, AllSevenCollectivesBitwiseCorrectUnderChaos) {
   EXPECT_GT(mc.transport().reliability_stats().frames_sent, 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweepTest,
-                         ::testing::Values(1u, 20260807u, 0xdeadbeefu));
+INTERCOM_INSTANTIATE_FABRIC_CROSS_SUITE(
+    ChaosSweepTest, ::testing::Values(std::uint64_t{1}, 20260807u,
+                                      0xdeadbeefu));
 
 // Chaos under both send regimes: a threshold of 1 gates every reliable send
 // behind the receiver's posted buffer (rendezvous discipline), a huge one
 // keeps every send eager/store-and-forward.  Drop/duplicate/reorder healing
 // must be regime-independent.
-class ChaosRegimeTest : public ::testing::TestWithParam<std::size_t> {};
+class ChaosRegimeTest : public FabricCrossTest<std::size_t> {};
 
 TEST_P(ChaosRegimeTest, CollectivesHealUnderChaosInBothSendRegimes) {
-  Multicomputer mc(Mesh2D(1, 4));
-  mc.set_rendezvous_threshold(GetParam());
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  mc.set_rendezvous_threshold(arg());
   const int p = mc.node_count();
   auto injector = std::make_shared<FaultInjector>(77u);
   FaultSpec spec;
@@ -507,13 +517,13 @@ TEST_P(ChaosRegimeTest, CollectivesHealUnderChaosInBothSendRegimes) {
   EXPECT_GT(stats.dropped + stats.duplicated + stats.reordered, 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Regimes, ChaosRegimeTest,
+INTERCOM_INSTANTIATE_FABRIC_CROSS_SUITE(
+    ChaosRegimeTest,
     ::testing::Values(std::size_t{1},  // everything rendezvous-gated
                       std::size_t{1} << 30));  // everything eager
 
-TEST(ChaosCollectiveTest, IccChaosKnobHealsGdsum) {
-  Multicomputer mc(Mesh2D(1, 4));
+TEST_P(ChaosCollectiveTest, IccChaosKnobHealsGdsum) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
   auto injector = icc::icc_set_chaos(mc, /*seed=*/5u, /*drop=*/0.05,
                                      /*duplicate=*/0.05, /*reorder=*/0.05,
                                      /*corrupt=*/0.0);
@@ -536,8 +546,8 @@ TEST(ChaosCollectiveTest, IccChaosKnobHealsGdsum) {
 // Pairwise exchange: every node both sends and receives, sends are eager, so
 // every node independently exhausts its retransmission budget on bit-flipped
 // frames and observes a typed CorruptionError.
-TEST(ChaosCollectiveTest, ExhaustedRetriesRaiseCorruptionErrorOnEveryNode) {
-  Multicomputer mc(Mesh2D(1, 4));
+TEST_P(ChaosCollectiveTest, ExhaustedRetriesRaiseCorruptionErrorOnEveryNode) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
   const int p = mc.node_count();
   auto injector = std::make_shared<FaultInjector>(3u);
   FaultSpec spec;
@@ -571,8 +581,8 @@ TEST(ChaosCollectiveTest, ExhaustedRetriesRaiseCorruptionErrorOnEveryNode) {
 
 // Collective-level: the first node to exhaust retries throws CorruptionError
 // out of its body; run_spmd rethrows it and fail-fast aborts the peers.
-TEST(ChaosCollectiveTest, CorruptedCollectiveRethrowsCorruptionError) {
-  Multicomputer mc(Mesh2D(1, 4));
+TEST_P(ChaosCollectiveTest, CorruptedCollectiveRethrowsCorruptionError) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
   auto injector = std::make_shared<FaultInjector>(17u);
   FaultSpec spec;
   spec.corrupt = 1.0;
@@ -591,7 +601,7 @@ TEST(ChaosCollectiveTest, CorruptedCollectiveRethrowsCorruptionError) {
 
 // The typed taxonomy stays catchable as plain intercom::Error (existing
 // handlers keep working).
-TEST(ChaosCollectiveTest, TaxonomyDerivesFromError) {
+TEST_P(ChaosCollectiveTest, TaxonomyDerivesFromError) {
   EXPECT_THROW(throw TimeoutError("t"), Error);
   EXPECT_THROW(throw AbortedError("a"), Error);
   EXPECT_THROW(throw CorruptionError("c"), Error);
@@ -601,8 +611,8 @@ TEST(ChaosCollectiveTest, TaxonomyDerivesFromError) {
 // Failed collectives stay visible: metrics book the error and the armed
 // trace span is closed with the error flag instead of being dropped.
 
-TEST(ChaosCollectiveTest, FailedCollectiveBooksMetricsAndErrorSpan) {
-  Multicomputer mc(Mesh2D(1, 4));
+TEST_P(ChaosCollectiveTest, FailedCollectiveBooksMetricsAndErrorSpan) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
   auto injector = std::make_shared<FaultInjector>(17u);
   FaultSpec spec;
   spec.corrupt = 1.0;
@@ -639,8 +649,8 @@ TEST(ChaosCollectiveTest, FailedCollectiveBooksMetricsAndErrorSpan) {
   EXPECT_GE(error_spans, 1) << "no error-marked collective span was recorded";
 }
 
-TEST(ChaosCollectiveTest, FailedAsyncCollectiveBooksMetricsAndErrorSpan) {
-  Multicomputer mc(Mesh2D(1, 4));
+TEST_P(ChaosCollectiveTest, FailedAsyncCollectiveBooksMetricsAndErrorSpan) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
   auto injector = std::make_shared<FaultInjector>(29u);
   FaultSpec spec;
   spec.corrupt = 1.0;
@@ -679,11 +689,11 @@ TEST(ChaosCollectiveTest, FailedAsyncCollectiveBooksMetricsAndErrorSpan) {
 // Irregular ("v") collectives under chaos: the uncached interpreter path
 // through the reliability layer, both send regimes.
 
-class VChaosTest : public ::testing::TestWithParam<std::size_t> {};
+class VChaosTest : public FabricCrossTest<std::size_t> {};
 
 TEST_P(VChaosTest, VVariantsHealRecoverableFaultsInBothRegimes) {
-  Multicomputer mc(Mesh2D(1, 4));
-  mc.set_rendezvous_threshold(GetParam());
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  mc.set_rendezvous_threshold(arg());
   const int p = mc.node_count();
   auto injector = std::make_shared<FaultInjector>(1313u);
   FaultSpec spec;
@@ -764,10 +774,14 @@ TEST_P(VChaosTest, VVariantsHealRecoverableFaultsInBothRegimes) {
       << "chaos run injected nothing — rates or volume too low";
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Regimes, VChaosTest,
+INTERCOM_INSTANTIATE_FABRIC_CROSS_SUITE(
+    VChaosTest,
     ::testing::Values(std::size_t{1},  // everything rendezvous-gated
                       std::size_t{1} << 30));  // everything eager
+
+INTERCOM_INSTANTIATE_FABRIC_SUITE(AbortPropagationTest);
+INTERCOM_INSTANTIATE_FABRIC_SUITE(ReliabilityTest);
+INTERCOM_INSTANTIATE_FABRIC_SUITE(ChaosCollectiveTest);
 
 }  // namespace
 }  // namespace intercom

@@ -19,9 +19,17 @@
 #include "intercom/runtime/reduce.hpp"
 #include "intercom/runtime/transport.hpp"
 #include "intercom/util/error.hpp"
+#include "fabric_fixture.hpp"
 
 namespace intercom {
 namespace {
+
+// The wire-behaviour suites run once per delivery fabric (see
+// fabric_fixture.hpp); the FusionTest suite below stays single-backend —
+// it tests plan compilation, not the wire.
+class RendezvousTest : public FabricParamTest {};
+class MetricsDecouplingTest : public FabricParamTest {};
+class ReorderValidationTest : public FabricParamTest {};
 
 std::vector<std::byte> pattern(std::size_t n, int seed) {
   std::vector<std::byte> v(n);
@@ -35,8 +43,8 @@ std::vector<std::byte> pattern(std::size_t n, int seed) {
 // ---------------------------------------------------------------------------
 // Eager/rendezvous split.
 
-TEST(RendezvousTest, LargeTransferBypassesTheSlabPool) {
-  Transport t(2);
+TEST_P(RendezvousTest, LargeTransferBypassesTheSlabPool) {
+  Transport& t = transport(2);
   ASSERT_GE(Transport::kDefaultRendezvousThreshold, 1024u);
   const std::size_t n = Transport::kDefaultRendezvousThreshold * 2;
   const auto payload = pattern(n, 7);
@@ -51,8 +59,8 @@ TEST(RendezvousTest, LargeTransferBypassesTheSlabPool) {
   EXPECT_EQ(stats.allocations + stats.reuses, 0u);
 }
 
-TEST(RendezvousTest, SendBlocksUntilReceiverPosts) {
-  Transport t(2);
+TEST_P(RendezvousTest, SendBlocksUntilReceiverPosts) {
+  Transport& t = transport(2);
   const std::size_t n = Transport::kDefaultRendezvousThreshold;
   const auto payload = pattern(n, 3);
   std::atomic<bool> send_done{false};
@@ -71,8 +79,8 @@ TEST(RendezvousTest, SendBlocksUntilReceiverPosts) {
   EXPECT_EQ(out, payload);
 }
 
-TEST(RendezvousTest, MixedEagerAndRendezvousSameKeyStayFifo) {
-  Transport t(2);
+TEST_P(RendezvousTest, MixedEagerAndRendezvousSameKeyStayFifo) {
+  Transport& t = transport(2);
   const std::size_t big = Transport::kDefaultRendezvousThreshold;
   const auto small1 = pattern(64, 1);
   const auto large = pattern(big, 2);
@@ -93,8 +101,8 @@ TEST(RendezvousTest, MixedEagerAndRendezvousSameKeyStayFifo) {
   sender.join();
 }
 
-TEST(RendezvousTest, LengthMismatchSurfacesOnTheReceiver) {
-  Transport t(2);
+TEST_P(RendezvousTest, LengthMismatchSurfacesOnTheReceiver) {
+  Transport& t = transport(2);
   const std::size_t n = Transport::kDefaultRendezvousThreshold;
   const auto payload = pattern(n, 9);
   std::vector<std::byte> wrong(n / 2);
@@ -107,8 +115,8 @@ TEST(RendezvousTest, LengthMismatchSurfacesOnTheReceiver) {
   receiver.join();
 }
 
-TEST(RendezvousTest, AbortUnblocksABlockedRendezvousSender) {
-  Transport t(2);
+TEST_P(RendezvousTest, AbortUnblocksABlockedRendezvousSender) {
+  Transport& t = transport(2);
   const auto payload = pattern(Transport::kDefaultRendezvousThreshold, 5);
   std::atomic<bool> got_aborted{false};
   std::thread sender([&] {
@@ -124,18 +132,18 @@ TEST(RendezvousTest, AbortUnblocksABlockedRendezvousSender) {
   EXPECT_TRUE(got_aborted.load());
 }
 
-TEST(RendezvousTest, UnclaimedSendTimesOutWithTypedError) {
-  Transport t(2);
+TEST_P(RendezvousTest, UnclaimedSendTimesOutWithTypedError) {
+  Transport& t = transport(2);
   t.set_recv_timeout_ms(30);
   const auto payload = pattern(Transport::kDefaultRendezvousThreshold, 5);
   EXPECT_THROW(t.send(0, 1, 1, 0, payload), TimeoutError);
 }
 
-TEST(RendezvousTest, ThresholdKnobSelectsTheRegime) {
+TEST_P(RendezvousTest, ThresholdKnobSelectsTheRegime) {
   {
     // Threshold above the payload: the send is eager and completes with no
     // receiver in sight.
-    Transport t(2);
+    Transport& t = transport(2);
     t.set_rendezvous_threshold(1 << 20);
     const auto payload = pattern(4096, 1);
     t.send(0, 1, 1, 0, payload);  // must not block
@@ -146,7 +154,7 @@ TEST(RendezvousTest, ThresholdKnobSelectsTheRegime) {
   }
   {
     // Threshold of 1: even a tiny payload takes the rendezvous path.
-    Transport t(2);
+    Transport& t = transport(2);
     t.set_rendezvous_threshold(1);
     const auto payload = pattern(16, 2);
     std::vector<std::byte> out(16);
@@ -161,8 +169,8 @@ TEST(RendezvousTest, ThresholdKnobSelectsTheRegime) {
 // A ring of simultaneous send/receive steps entirely above the threshold:
 // every node's send blocks on its neighbour's posted buffer, so the
 // post-before-send discipline of kSendRecv is what prevents deadlock.
-TEST(RendezvousTest, SendRecvRingAboveThresholdDoesNotDeadlock) {
-  Multicomputer mc(Mesh2D(1, 4));
+TEST_P(RendezvousTest, SendRecvRingAboveThresholdDoesNotDeadlock) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
   mc.set_rendezvous_threshold(1024);
   const std::size_t elems = 8192;  // 64 KB of doubles, all rendezvous
   mc.run_spmd([&](Node& node) {
@@ -177,8 +185,8 @@ TEST(RendezvousTest, SendRecvRingAboveThresholdDoesNotDeadlock) {
 // Metrics are recorded with no tracer attached (regression: the metered path
 // must not hide behind the tracing gate).
 
-TEST(MetricsDecouplingTest, WireCountersUpdateWithoutTracer) {
-  Transport t(2);
+TEST_P(MetricsDecouplingTest, WireCountersUpdateWithoutTracer) {
+  Transport& t = transport(2);
   MetricsRegistry metrics;
   t.set_metrics(&metrics);
   ASSERT_EQ(t.tracer(), nullptr);
@@ -198,8 +206,8 @@ TEST(MetricsDecouplingTest, WireCountersUpdateWithoutTracer) {
 // its pending queue many times waiting for the expected sequence number, but
 // each frame's checksum is computed exactly once.
 
-TEST(ReorderValidationTest, EachFrameValidatedExactlyOnce) {
-  Transport t(2);
+TEST_P(ReorderValidationTest, EachFrameValidatedExactlyOnce) {
+  Transport& t = transport(2);
   auto injector = std::make_shared<FaultInjector>(31u);
   FaultSpec spec;
   spec.reorder = 1.0;  // every frame is parked behind its successor
@@ -335,6 +343,10 @@ TEST(FusionTest, PlannerRingReductionFusesEveryCombine) {
   EXPECT_EQ(combines, 0) << "ring reduction left unfused combines";
   EXPECT_GT(fused, 0);
 }
+
+INTERCOM_INSTANTIATE_FABRIC_SUITE(RendezvousTest);
+INTERCOM_INSTANTIATE_FABRIC_SUITE(MetricsDecouplingTest);
+INTERCOM_INSTANTIATE_FABRIC_SUITE(ReorderValidationTest);
 
 }  // namespace
 }  // namespace intercom

@@ -1,0 +1,115 @@
+// Shared fixture parameterizing runtime suites over the delivery fabric.
+//
+// Every TEST_P in a suite derived from FabricParamTest runs once per
+// registered backend under test: "inproc" (the ideal in-process wire) and
+// "sim" (the wormhole-mesh model with time_scale = 0, i.e. full link and
+// conflict accounting but no wall-clock pacing, so the suites stay fast).
+// The point is the layering guarantee of fabric.hpp: reliability, fault
+// injection, the eager/rendezvous split, abort propagation, tracing and the
+// async progress engine are policy *above* the fabric seam, so every
+// behavioural contract they promise must hold bit-for-bit on any backend.
+//
+// Usage:
+//   class MySuite : public FabricParamTest {};
+//   TEST_P(MySuite, DoesTheThing) {
+//     Multicomputer& mc = machine(Mesh2D(2, 2));
+//     ...
+//   }
+//   INTERCOM_INSTANTIATE_FABRIC_SUITE(MySuite);
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "intercom/runtime/fabric_registry.hpp"
+#include "intercom/runtime/multicomputer.hpp"
+#include "intercom/runtime/transport.hpp"
+#include "intercom/topo/mesh.hpp"
+
+namespace intercom {
+
+/// FabricSpec for backend `name` as the test suites use it: the sim backend
+/// keeps its accounting but never sleeps.
+inline FabricSpec test_fabric_spec(const std::string& name) {
+  FabricSpec spec;
+  spec.name = name;
+  spec.sim.time_scale = 0.0;
+  return spec;
+}
+
+/// Base fixture: GetParam() is the fabric backend name.
+class FabricParamTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  const std::string& fabric() const { return GetParam(); }
+  FabricSpec spec() const { return test_fabric_spec(fabric()); }
+
+  /// A machine of shape `mesh` on the fabric under test.  Owned by the
+  /// fixture (Multicomputer is not movable); each call replaces the last.
+  Multicomputer& machine(Mesh2D mesh,
+                         MachineParams params = MachineParams::paragon()) {
+    mc_ = std::make_unique<Multicomputer>(mesh, params, spec());
+    return *mc_;
+  }
+
+  /// A bare transport over `n` nodes on the fabric under test (a 1 x n mesh
+  /// for the sim backend's routing).  Owned by the fixture.
+  Transport& transport(int n) {
+    t_ = std::make_unique<Transport>(n, make_fabric(spec(), Mesh2D(1, n)));
+    return *t_;
+  }
+
+ private:
+  std::unique_ptr<Multicomputer> mc_;
+  std::unique_ptr<Transport> t_;
+};
+
+/// Cross-product fixture for suites that already sweep a value parameter
+/// (fault seeds, rendezvous regimes, ...): the param is (fabric, value) and
+/// the suite runs the full sweep on every backend.
+template <typename T>
+class FabricCrossTest
+    : public ::testing::TestWithParam<std::tuple<std::string, T>> {
+ protected:
+  const std::string& fabric() const { return std::get<0>(this->GetParam()); }
+  T arg() const { return std::get<1>(this->GetParam()); }
+  FabricSpec spec() const { return test_fabric_spec(fabric()); }
+
+  Multicomputer& machine(Mesh2D mesh,
+                         MachineParams params = MachineParams::paragon()) {
+    mc_ = std::make_unique<Multicomputer>(mesh, params, spec());
+    return *mc_;
+  }
+
+ private:
+  std::unique_ptr<Multicomputer> mc_;
+};
+
+}  // namespace intercom
+
+/// Instantiates `Suite` over both built-in backends.  The test name suffix
+/// is the backend, so `--gtest_filter=*.*/sim` selects the sim-fabric leg.
+#define INTERCOM_INSTANTIATE_FABRIC_SUITE(Suite)                       \
+  INSTANTIATE_TEST_SUITE_P(                                            \
+      Fabrics, Suite, ::testing::Values("inproc", "sim"),              \
+      [](const ::testing::TestParamInfo<std::string>& info) {          \
+        return info.param;                                             \
+      })
+
+/// Instantiates a FabricCrossTest<T> `Suite` over both backends crossed
+/// with `...` (a ::testing::Values(...) of the suite's own parameter).
+/// Names render as <fabric>_<index>, e.g. Fabrics/MySuite.Case/sim_1.
+#define INTERCOM_INSTANTIATE_FABRIC_CROSS_SUITE(Suite, ...)            \
+  INSTANTIATE_TEST_SUITE_P(                                            \
+      Fabrics, Suite,                                                  \
+      ::testing::Combine(::testing::Values(std::string("inproc"),      \
+                                           std::string("sim")),        \
+                         __VA_ARGS__),                                 \
+      [](const ::testing::TestParamInfo<typename Suite::ParamType>&    \
+             info) {                                                   \
+        return std::get<0>(info.param) + "_" +                         \
+               std::to_string(info.index);                             \
+      })

@@ -1,0 +1,311 @@
+// The fabric seam itself: backend registry resolution, SimFabric's
+// link-contention accounting and virtual clock, reset() semantics across
+// every layer (fabric state, reliability cursors, sender logs), and the
+// teardown/reuse regression — an aborted async collective must leave the
+// machine fully reusable after reset.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "intercom/runtime/communicator.hpp"
+#include "intercom/runtime/fabric_registry.hpp"
+#include "intercom/runtime/fault.hpp"
+#include "intercom/runtime/multicomputer.hpp"
+#include "intercom/runtime/sim_fabric.hpp"
+#include "intercom/runtime/transport.hpp"
+#include "intercom/util/error.hpp"
+#include "fabric_fixture.hpp"
+
+namespace intercom {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+TEST(FabricRegistryTest, BuiltinsAreRegistered) {
+  const auto names = registered_fabrics();
+  EXPECT_NE(std::find(names.begin(), names.end(), "inproc"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "sim"), names.end());
+}
+
+TEST(FabricRegistryTest, MakeFabricResolvesByName) {
+  const Mesh2D mesh(2, 2);
+  auto inproc = make_fabric(FabricSpec{}, mesh);
+  ASSERT_NE(inproc, nullptr);
+  EXPECT_EQ(inproc->name(), "inproc");
+  EXPECT_EQ(inproc->node_count(), 4);
+
+  FabricSpec sim_spec;
+  sim_spec.name = "sim";
+  sim_spec.sim.time_scale = 0.0;
+  auto sim = make_fabric(sim_spec, mesh);
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(sim->name(), "sim");
+  EXPECT_EQ(sim->node_count(), 4);
+}
+
+TEST(FabricRegistryTest, UnknownBackendThrowsWithListing) {
+  FabricSpec spec;
+  spec.name = "carrier-pigeon";
+  try {
+    make_fabric(spec, Mesh2D(1, 2));
+    FAIL() << "expected Error for unknown backend";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("carrier-pigeon"), std::string::npos);
+    EXPECT_NE(what.find("inproc"), std::string::npos);
+    EXPECT_NE(what.find("sim"), std::string::npos);
+  }
+}
+
+TEST(FabricRegistryTest, CustomBackendIsConstructible) {
+  // The refactor's seam: a new delivery backend slots in without touching
+  // Transport or Multicomputer.  A subclass of InProcFabric that counts
+  // crossings stands in for a real alternative wire.
+  struct CountingFabric final : InProcFabric {
+    explicit CountingFabric(int n) : InProcFabric(n) {}
+    std::string_view name() const override { return "counting"; }
+    std::atomic<std::uint64_t> crossings{0};
+
+   protected:
+    void carry(int, int, std::size_t) override {
+      crossings.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  register_fabric("counting", [](const Mesh2D& mesh, const FabricSpec&) {
+    return std::make_unique<CountingFabric>(mesh.node_count());
+  });
+
+  FabricSpec spec;
+  spec.name = "counting";
+  Multicomputer mc(Mesh2D(1, 2), MachineParams::paragon(), spec);
+  EXPECT_EQ(mc.fabric_name(), "counting");
+  mc.run_spmd([](Node& node) {
+    std::vector<int> data(8, node.id() == 0 ? 3 : 0);
+    node.world().broadcast(std::span<int>(data), 0);
+    ASSERT_EQ(data[0], 3);
+  });
+  auto& counting = static_cast<CountingFabric&>(mc.transport().fabric());
+  EXPECT_GT(counting.crossings.load(), 0u);
+}
+
+TEST(FabricRegistryTest, MulticomputerReportsItsBackend) {
+  Multicomputer ideal(Mesh2D(1, 2));
+  EXPECT_EQ(ideal.fabric_name(), "inproc");
+  Multicomputer sim(Mesh2D(1, 2), MachineParams::paragon(),
+                    test_fabric_spec("sim"));
+  EXPECT_EQ(sim.fabric_name(), "sim");
+  EXPECT_EQ(sim.tracer().fabric(), "sim");
+}
+
+// ---------------------------------------------------------------------------
+// SimFabric accounting.
+
+SimFabric& sim_of(Multicomputer& mc) {
+  return static_cast<SimFabric&>(mc.transport().fabric());
+}
+
+TEST(SimFabricTest, CarriesAreAccountedOnRouteLinks) {
+  Multicomputer mc(Mesh2D(1, 4), MachineParams::paragon(),
+                   test_fabric_spec("sim"));
+  mc.run_spmd([](Node& node) {
+    std::vector<double> data(256, node.id() == 0 ? 1.5 : 0.0);
+    node.world().broadcast(std::span<double>(data), 0);
+    ASSERT_EQ(data[0], 1.5);
+  });
+  const SimFabric::Stats stats = sim_of(mc).stats();
+  EXPECT_GT(stats.transfers, 0u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_GT(stats.virtual_ns, 0u);  // the model charges alpha even unpaced
+  EXPECT_EQ(stats.link_transfers.size(),
+            static_cast<std::size_t>(mc.mesh().directed_link_count()));
+  const std::uint64_t on_links = std::accumulate(
+      stats.link_transfers.begin(), stats.link_transfers.end(),
+      std::uint64_t{0});
+  EXPECT_GT(on_links, 0u) << "no crossing occupied any directed link";
+}
+
+TEST(SimFabricTest, ConflictingFlowsAreDetected) {
+  // All-to-one on a 1 x 8 array: every flow from the right half crosses the
+  // center links simultaneously, so co-occupancy is guaranteed under the
+  // store-and-forward eager path.
+  Multicomputer mc(Mesh2D(1, 8), MachineParams::paragon(),
+                   test_fabric_spec("sim"));
+  mc.run_spmd([](Node& node) {
+    std::vector<double> data(512, static_cast<double>(node.id()));
+    node.world().reduce_sum(std::span<double>(data), 0);
+  });
+  const SimFabric::Stats stats = sim_of(mc).stats();
+  EXPECT_GT(stats.transfers, 0u);
+  EXPECT_GE(stats.peak_link_load, 1);
+  EXPECT_EQ(stats.link_conflicts.size(), stats.link_transfers.size());
+}
+
+TEST(SimFabricTest, VirtualClockMatchesTheMachineModel) {
+  // One uncontended crossing: virtual time must equal
+  // alpha(n) + tau*hops + n*beta(n) exactly (single chunk, sharing = 1).
+  const Mesh2D mesh(1, 2);
+  SimFabricConfig config;
+  config.machine = MachineParams::unit();
+  config.time_scale = 0.0;
+  config.chunks = 1;
+  Transport t(2, std::make_unique<SimFabric>(mesh, config));
+  auto& fabric = static_cast<SimFabric&>(t.fabric());
+
+  const std::size_t n = 1024;
+  std::vector<std::byte> payload(n, std::byte{0x42});
+  t.send(0, 1, 1, 0, payload);
+  std::vector<std::byte> out(n);
+  t.recv(0, 1, 1, 0, out);
+  EXPECT_EQ(out, payload);
+
+  const MachineParams& m = config.machine;
+  const double expected_s = m.alpha_for(n) + m.tau_per_hop +
+                            static_cast<double>(n) * m.beta_for(n);
+  const SimFabric::Stats stats = fabric.stats();
+  EXPECT_EQ(stats.transfers, 1u);
+  EXPECT_EQ(stats.bytes, n);
+  EXPECT_NEAR(static_cast<double>(stats.virtual_ns) * 1e-9, expected_s,
+              expected_s * 1e-6);
+}
+
+TEST(SimFabricTest, TimeScalePacesWallClock) {
+  // time_scale converts modeled seconds to wall sleeps; a transfer modeled
+  // at ~10 ms must take at least that long at scale 1, and be near-instant
+  // at scale 0.
+  const Mesh2D mesh(1, 2);
+  MachineParams slow = MachineParams::unit();
+  slow.alpha = 0.010;  // 10 ms startup, nothing else
+  slow.beta = 0.0;
+  slow.tau_per_hop = 0.0;
+
+  for (const double scale : {0.0, 1.0}) {
+    SimFabricConfig config;
+    config.machine = slow;
+    config.time_scale = scale;
+    Transport t(2, std::make_unique<SimFabric>(mesh, config));
+    std::vector<std::byte> payload(16, std::byte{1});
+    std::vector<std::byte> out(16);
+    const auto start = std::chrono::steady_clock::now();
+    t.send(0, 1, 1, 0, payload);
+    t.recv(0, 1, 1, 0, out);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    if (scale > 0.0) {
+      EXPECT_GE(elapsed, std::chrono::milliseconds(9)) << "scale " << scale;
+    } else {
+      EXPECT_LT(elapsed, std::chrono::milliseconds(9)) << "scale " << scale;
+    }
+  }
+}
+
+TEST(SimFabricTest, ResetClearsSimState) {
+  Multicomputer mc(Mesh2D(1, 4), MachineParams::paragon(),
+                   test_fabric_spec("sim"));
+  mc.run_spmd([](Node& node) {
+    std::vector<int> data(64, node.id());
+    node.world().all_reduce_sum(std::span<int>(data));
+  });
+  ASSERT_GT(sim_of(mc).stats().transfers, 0u);
+  mc.transport().reset();
+  const SimFabric::Stats stats = sim_of(mc).stats();
+  EXPECT_EQ(stats.transfers, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.virtual_ns, 0u);
+  EXPECT_EQ(stats.peak_link_load, 0);
+  EXPECT_EQ(std::accumulate(stats.link_transfers.begin(),
+                            stats.link_transfers.end(), std::uint64_t{0}),
+            0u);
+}
+
+// ---------------------------------------------------------------------------
+// reset()/teardown audit, on both fabrics.
+
+class FabricResetTest : public FabricParamTest {};
+
+// The PR's reset regression: issue an async collective, abort the machine
+// mid-flight, reset, and reuse the SAME pattern of communicators.  Every
+// layer must come back clean — fabric channels (pending slabs, limbo,
+// posted tickets), reliability cursors (next-expected sequence numbers),
+// sender retransmit logs, and the abort flag.
+TEST_P(FabricResetTest, AbortedAsyncCollectiveThenResetThenReuse) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  const int p = mc.node_count();
+
+  for (int round = 0; round < 3; ++round) {
+    // Round A: an async all-reduce is in flight when one node aborts.
+    EXPECT_THROW(
+        mc.run_spmd([&](Node& node) {
+          Communicator world = node.world();
+          std::vector<std::int64_t> data(4096, node.id());
+          Request r = world.iall_reduce_sum(std::span<std::int64_t>(data));
+          if (node.id() == 1) throw Error("round casualty");
+          r.wait();
+        }),
+        Error);
+    // run_spmd already reset the machine; it must be fully reusable with
+    // the same communicator pattern and fresh reliability state.
+    EXPECT_FALSE(mc.transport().aborted());
+    const std::int64_t rank_sum =
+        static_cast<std::int64_t>(p) * static_cast<std::int64_t>(p - 1) / 2;
+    mc.run_spmd([&](Node& node) {
+      Communicator world = node.world();
+      std::vector<std::int64_t> data(4096, node.id());
+      Request r = world.iall_reduce_sum(std::span<std::int64_t>(data));
+      r.wait();
+      for (std::int64_t v : data) ASSERT_EQ(v, rank_sum);
+    });
+  }
+}
+
+// Explicit-transport variant: reset() must drop poisoned state, pending
+// frames, and reliability sequence cursors so a fresh exchange starts at
+// sequence zero on a clean wire.
+TEST_P(FabricResetTest, ResetRestoresReliableWireAfterAbort) {
+  Transport& t = transport(2);
+  t.set_reliable(true);
+  // A delivered-but-unreceived message strands state in the fabric channel
+  // and the sender's unacked log.
+  std::vector<std::byte> payload(32, std::byte{0x7});
+  t.send(0, 1, 9, 0, payload);
+  t.abort("strand it");
+  EXPECT_TRUE(t.aborted());
+  EXPECT_THROW(t.send(0, 1, 9, 0, payload), AbortedError);
+
+  t.reset();
+  EXPECT_FALSE(t.aborted());
+  const auto stats = t.reliability_stats();
+  EXPECT_EQ(stats.frames_sent, 0u);
+
+  // The stranded frame is gone; a fresh exchange restarts at sequence 0 and
+  // completes normally.
+  t.send(0, 1, 9, 0, payload);
+  std::vector<std::byte> out(32);
+  t.recv(0, 1, 9, 0, out);
+  EXPECT_EQ(out, payload);
+}
+
+// A receive posted and timed out must not leak its ticket: the next recv on
+// the same key matches fresh traffic, on either fabric.
+TEST_P(FabricResetTest, TimedOutRecvLeavesNoStaleTicket) {
+  Transport& t = transport(2);
+  t.set_recv_timeout_ms(30);
+  std::vector<std::byte> out(4);
+  EXPECT_THROW(t.recv(0, 1, 3, 0, out), TimeoutError);
+  t.set_recv_timeout_ms(5000);
+  std::vector<std::byte> payload(4, std::byte{0xA});
+  t.send(0, 1, 3, 0, payload);
+  t.recv(0, 1, 3, 0, out);
+  EXPECT_EQ(out, payload);
+}
+
+INTERCOM_INSTANTIATE_FABRIC_SUITE(FabricResetTest);
+
+}  // namespace
+}  // namespace intercom

@@ -6,13 +6,17 @@
 #include "intercom/runtime/communicator.hpp"
 #include "intercom/topo/submesh.hpp"
 #include "intercom/util/error.hpp"
+#include "fabric_fixture.hpp"
 
 namespace intercom {
 namespace {
 
-TEST(GroupCommTest, RowBroadcasts) {
+// Runs once per delivery fabric (see fabric_fixture.hpp).
+class GroupCommTest : public FabricParamTest {};
+
+TEST_P(GroupCommTest, RowBroadcasts) {
   const Mesh2D mesh(3, 4);
-  Multicomputer mc(mesh);
+  Multicomputer& mc = machine(mesh);
   mc.run_spmd([&](Node& node) {
     const int my_row = mesh.coord_of(node.id()).row;
     Communicator row = node.group(row_group(mesh, my_row));
@@ -22,9 +26,9 @@ TEST(GroupCommTest, RowBroadcasts) {
   });
 }
 
-TEST(GroupCommTest, ColumnAllReduce) {
+TEST_P(GroupCommTest, ColumnAllReduce) {
   const Mesh2D mesh(4, 3);
-  Multicomputer mc(mesh);
+  Multicomputer& mc = machine(mesh);
   mc.run_spmd([&](Node& node) {
     const int my_col = mesh.coord_of(node.id()).col;
     Communicator col = node.group(col_group(mesh, my_col));
@@ -34,10 +38,10 @@ TEST(GroupCommTest, ColumnAllReduce) {
   });
 }
 
-TEST(GroupCommTest, SimultaneousRowAndColumnPhases) {
+TEST_P(GroupCommTest, SimultaneousRowAndColumnPhases) {
   // The SUMMA-style pattern: broadcast within rows, then sum within columns.
   const Mesh2D mesh(3, 3);
-  Multicomputer mc(mesh);
+  Multicomputer& mc = machine(mesh);
   mc.run_spmd([&](Node& node) {
     const Coord c = mesh.coord_of(node.id());
     Communicator row = node.group(row_group(mesh, c.row));
@@ -50,11 +54,11 @@ TEST(GroupCommTest, SimultaneousRowAndColumnPhases) {
   });
 }
 
-TEST(GroupCommTest, UnstructuredGroupFallsBackToLinearArray) {
+TEST_P(GroupCommTest, UnstructuredGroupFallsBackToLinearArray) {
   // A group with no mesh structure must still work — the paper treats it
   // "as though it were a linear array".
   const Mesh2D mesh(3, 4);
-  Multicomputer mc(mesh);
+  Multicomputer& mc = machine(mesh);
   const Group weird({11, 0, 7, 2, 5});
   mc.run_spmd([&](Node& node) {
     if (!weird.contains(node.id())) return;
@@ -65,9 +69,9 @@ TEST(GroupCommTest, UnstructuredGroupFallsBackToLinearArray) {
   });
 }
 
-TEST(GroupCommTest, DisjointGroupsRunConcurrently) {
+TEST_P(GroupCommTest, DisjointGroupsRunConcurrently) {
   const Mesh2D mesh(1, 8);
-  Multicomputer mc(mesh);
+  Multicomputer& mc = machine(mesh);
   mc.run_spmd([&](Node& node) {
     const Group low({0, 1, 2, 3});
     const Group high({4, 5, 6, 7});
@@ -79,9 +83,9 @@ TEST(GroupCommTest, DisjointGroupsRunConcurrently) {
   });
 }
 
-TEST(GroupCommTest, RectangularSubmeshUsesGroupRanks) {
+TEST_P(GroupCommTest, RectangularSubmeshUsesGroupRanks) {
   const Mesh2D mesh(4, 4);
-  Multicomputer mc(mesh);
+  Multicomputer& mc = machine(mesh);
   // Rows 1-2 x cols 1-2 in row-major order.
   const Group sub({5, 6, 9, 10});
   mc.run_spmd([&](Node& node) {
@@ -98,8 +102,8 @@ TEST(GroupCommTest, RectangularSubmeshUsesGroupRanks) {
   });
 }
 
-TEST(GroupCommTest, NonMemberCannotCreateCommunicator) {
-  Multicomputer mc(Mesh2D(1, 4));
+TEST_P(GroupCommTest, NonMemberCannotCreateCommunicator) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
   EXPECT_THROW(mc.run_spmd([&](Node& node) {
     const Group g({0, 1});
     node.group(g);  // nodes 2 and 3 are not members
@@ -107,8 +111,8 @@ TEST(GroupCommTest, NonMemberCannotCreateCommunicator) {
                Error);
 }
 
-TEST(GroupCommTest, ColorsSeparateIdenticalGroups) {
-  Multicomputer mc(Mesh2D(1, 4));
+TEST_P(GroupCommTest, ColorsSeparateIdenticalGroups) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
   mc.run_spmd([&](Node& node) {
     const Group g = Group::contiguous(4);
     Communicator a = node.group(g, 1);
@@ -124,8 +128,8 @@ TEST(GroupCommTest, ColorsSeparateIdenticalGroups) {
   });
 }
 
-TEST(GroupCommTest, GroupOfOne) {
-  Multicomputer mc(Mesh2D(1, 3));
+TEST_P(GroupCommTest, GroupOfOne) {
+  Multicomputer& mc = machine(Mesh2D(1, 3));
   mc.run_spmd([&](Node& node) {
     Communicator self = node.group(Group({node.id()}));
     std::vector<double> v{1.25};
@@ -134,6 +138,8 @@ TEST(GroupCommTest, GroupOfOne) {
     ASSERT_DOUBLE_EQ(v[0], 1.25);
   });
 }
+
+INTERCOM_INSTANTIATE_FABRIC_SUITE(GroupCommTest);
 
 }  // namespace
 }  // namespace intercom
