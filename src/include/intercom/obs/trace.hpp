@@ -72,6 +72,12 @@ namespace intercom {
 ///                later); label = collective name, ctx / bytes, a0 = elems.
 ///                The progress between issue and completion is visible as
 ///                the ctx's kStep spans.
+///   kHealth:     instant at a failure-detector state transition (health.hpp);
+///                peer = the observed node, label = "suspected" / "failed: .."
+///                / "alive", a0 = ns since the node was last heard from.
+///   kRevoke:     instant when a communicator context is revoked (locally or
+///                by a received control frame); ctx = the revoked context
+///                base, peer = the origin node, label = "revoke".
 enum class EventKind : std::uint32_t {
   kRun,
   kCollective,
@@ -82,6 +88,8 @@ enum class EventKind : std::uint32_t {
   kAbort,
   kError,
   kAsyncIssue,
+  kHealth,
+  kRevoke,
 };
 
 /// TraceEvent::a2 layout for kCollective spans.

@@ -120,8 +120,12 @@ class Node {
 /// Group collective interface executing planned schedules on real data.
 class Communicator {
  public:
+  /// `generation` distinguishes the context namespaces of successive
+  /// recovery epochs: shrink() hands the survivor communicator
+  /// generation + 1, so a shrunk communicator over the same members and
+  /// color as an earlier one still gets fresh context ids.
   Communicator(Multicomputer& machine, Group group, int my_rank,
-               std::uint32_t color);
+               std::uint32_t color, std::uint32_t generation = 0);
   /// Movable, not copyable (it owns the pooled async-request states).  Do
   /// not move a communicator while requests are outstanding — they hold
   /// pointers into it.
@@ -283,6 +287,45 @@ class Communicator {
   std::uint64_t context_base() const { return ctx_base_; }
   /// Operation sequence number the next collective will use.
   std::uint64_t next_sequence() const { return seq_; }
+  /// Recovery epoch this communicator belongs to (0 until shrunk).
+  std::uint32_t generation() const { return generation_; }
+
+  // --- Deadlines and ULFM-style recovery (see docs/robustness.md) ---
+
+  /// Deadline budget applied to every subsequent collective on this
+  /// communicator: a blocking collective (or a non-blocking one, measured
+  /// from issue) that has not completed within `milliseconds` unwinds with
+  /// TimeoutError carrying the peers' health verdicts and the recent trace
+  /// tail, instead of hanging.  0 disables (the default).  Per-communicator
+  /// and local: members may set different budgets.
+  void set_deadline_ms(long milliseconds);
+  long deadline_ms() const { return deadline_ms_; }
+
+  /// Revokes this communicator's context machine-wide (MPI_Comm_revoke):
+  /// every member's blocked or future collective on it unwinds with
+  /// RevokedError — including members currently parked inside a collective,
+  /// which are interrupted — while sibling communicators are untouched.
+  /// Call from any member, typically after a TimeoutError, to stop the
+  /// group coherently before agree()/shrink().  Idempotent.
+  void revoke();
+  /// True once any member revoked this communicator.
+  bool revoked() const;
+
+  /// Fault-tolerant agreement on an error flag (MPI_Comm_agree): returns
+  /// the OR of `local_flag` over every member that participates, completing
+  /// despite failed members (their contribution is dropped) and despite
+  /// this communicator being revoked.  Every surviving member must call it
+  /// collectively.  Silence beyond the detector's agree timeout counts as
+  /// non-participation.
+  bool agree(bool local_flag);
+
+  /// Builds the survivor communicator (MPI_Comm_shrink): members agree on
+  /// the union of their locally observed failed/silent ranks and return a
+  /// new communicator over the survivors, with fresh context ids
+  /// (generation + 1) and ranks compacted in the old rank order.  Every
+  /// surviving member must call it collectively; throws Error if this rank
+  /// was itself deemed failed by the group.
+  Communicator shrink();
 
  private:
   friend class Request;
@@ -330,6 +373,27 @@ class Communicator {
   AsyncCollectiveState* acquire_async_state();
   void release_async_state(AsyncCollectiveState* state);
 
+  /// Throws RevokedError when this communicator has been revoked (the
+  /// pre-entry check of run/irun; in-flight operations are tripped by the
+  /// transport's scope machinery instead).
+  void check_not_revoked() const;
+  /// Absolute mono-clock deadline for a collective entered now (0 = none).
+  std::uint64_t collective_deadline_ns() const;
+  /// One round of the agreement gossip: exchange `words` with every
+  /// participating member and fold their contributions in by OR.  With
+  /// `mark_missing`, a member that is failed or silent past the agree
+  /// timeout gets its rank bit set in `words` (shrink's failed-set
+  /// discovery); without, it is simply skipped.
+  void agree_exchange_round(std::vector<std::uint64_t>& words,
+                            std::uint64_t ctx, bool mark_missing);
+  /// Two-phase OR gossip over a dedicated context namespace: after round 1
+  /// every participant holds the OR of all participants' inputs, round 2
+  /// spreads values late ranks contributed after slower peers' round-1
+  /// window closed.  Runs outside any CollectiveScope so it completes on a
+  /// revoked communicator.
+  std::vector<std::uint64_t> agree_or(std::vector<std::uint64_t> words,
+                                      bool mark_missing);
+
   /// Collective metrics for one finished execution.
   void update_metrics(std::uint64_t duration_ns, std::size_t bytes,
                       CacheState cache_state, bool error);
@@ -339,6 +403,13 @@ class Communicator {
   int my_rank_;
   std::uint64_t ctx_base_;
   std::uint64_t seq_ = 0;
+  std::uint32_t color_ = 0;
+  std::uint32_t generation_ = 0;
+  long deadline_ms_ = 0;
+  /// Sequence for the agreement protocol's private context namespace —
+  /// separate from seq_ so agree/shrink never perturb the collective
+  /// ordering contract.
+  std::uint64_t agree_seq_ = 0;
   PlanCache cache_;
   /// Scratch arena for compiled-plan execution, reused across collectives
   /// (grown to the largest program seen; never shrunk).  Async requests

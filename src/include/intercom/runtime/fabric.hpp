@@ -106,8 +106,27 @@ struct PostedRecv {
 /// timeout expired.  kMismatch is claim-specific: the posted buffer's length
 /// does not match the payload, the claim was not taken, and the caller
 /// should fall back to an eager deposit (the receiver raises the mismatch
-/// error when it takes the message).
-enum class FabricStatus { kOk, kNotReady, kAborted, kMismatch };
+/// error when it takes the message).  kInterrupted is returned by blocking
+/// verbs when interrupt() fired while they were parked: nothing completed,
+/// wait/wait_frame tickets stay posted, and the caller re-evaluates its
+/// world (deadline, peer health, context revocation) before re-entering.
+enum class FabricStatus { kOk, kNotReady, kAborted, kMismatch, kInterrupted };
+
+/// An out-of-band control message carried by the fabric, outside every
+/// (ctx, tag) flow: how revocation reaches ranks that are not currently
+/// talking to the revoker.  `token` identifies the revoked context
+/// namespace; `origin` the node that initiated it.
+struct ControlFrame {
+  enum class Kind : std::uint8_t { kRevoke };
+  Kind kind = Kind::kRevoke;
+  std::uint64_t token = 0;
+  int origin = -1;
+};
+
+/// Control-frame receiver, registered by the policy layer: plain function
+/// pointer + context so in-process fabrics can invoke it synchronously from
+/// broadcast_control without allocation.
+using ControlSink = void (*)(void* sink_ctx, const ControlFrame& frame);
 
 /// Verdict of the framed-receive judge, applied per buffered frame in FIFO
 /// order: kTake removes the frame and completes the receive, kDiscard drops
@@ -149,7 +168,8 @@ class Fabric {
   /// Blocks until a raw message lands in `ticket` (direct fill or staged
   /// deposit) and completes it.  `timeout_ms` 0 waits forever (with a
   /// bounded yield-spin before parking); positive bounds the wait.  On
-  /// kNotReady (timeout) and kAborted the ticket has been withdrawn.
+  /// kNotReady (timeout) and kAborted the ticket has been withdrawn; on
+  /// kInterrupted it stays posted and the caller may re-enter.
   virtual FabricStatus wait(PostedRecv& ticket, long timeout_ms) = 0;
   /// Non-blocking wait(): kOk completes the receive exactly as wait()
   /// would; kNotReady leaves all wire state untouched (ticket stays
@@ -212,6 +232,37 @@ class Fabric {
   virtual void poison() = 0;
   bool poisoned() const { return poisoned_.load(std::memory_order_relaxed); }
 
+  /// Non-destructive wakeup: bumps the interrupt epoch and wakes every
+  /// parked blocking verb, which returns kInterrupted without completing or
+  /// withdrawing anything.  The health detector fires this when a peer is
+  /// declared failed and revocation fires it after a control broadcast, so
+  /// blocked waits re-check their deadline / peer / context state in bounded
+  /// time instead of sleeping through it.  Safe from any thread.  The base
+  /// implementation only bumps the epoch (enough for polling backends);
+  /// backends that park threads override it to also wake them.
+  virtual void interrupt() {
+    intr_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  std::uint64_t interrupt_epoch() const {
+    return intr_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Registers the policy layer's control-frame receiver (nullptr detaches).
+  /// Call before any traffic; one sink per fabric.
+  void set_control_sink(ControlSink sink, void* sink_ctx) {
+    control_sink_ = sink;
+    control_ctx_ = sink_ctx;
+  }
+
+  /// Broadcasts `frame` to every node's control sink and then interrupts
+  /// blocked verbs so the new control state is observed promptly.  For the
+  /// in-process fabrics the sink is shared and invoked synchronously once; a
+  /// wire backend would serialize the frame to each peer.
+  virtual void broadcast_control(const ControlFrame& frame) {
+    if (control_sink_ != nullptr) control_sink_(control_ctx_, frame);
+    interrupt();
+  }
+
   /// Clears all queued messages, posted registrations, limbo frames, and
   /// the poisoned flag so the fabric can be reused after a failed run.
   /// Call only while no verb is in flight.
@@ -225,6 +276,9 @@ class Fabric {
  protected:
   BufferPool* pool_ = nullptr;
   std::atomic<bool> poisoned_{false};
+  std::atomic<std::uint64_t> intr_epoch_{0};
+  ControlSink control_sink_ = nullptr;
+  void* control_ctx_ = nullptr;
 };
 
 /// The original in-process data path, re-expressed as a fabric: per-(src,
@@ -260,6 +314,7 @@ class InProcFabric : public Fabric {
   FabricStatus try_take_frame(PostedRecv& ticket, FrameJudge judge,
                               void* judge_ctx, FabricMsg* frame) override;
   void poison() override;
+  void interrupt() override;
   void reset() override;
   std::string pending_summary(int dst) override;
 

@@ -53,9 +53,27 @@ class FaultInjector {
     rules_.push_back(Rule{src, dst, ctx, spec});
   }
 
-  /// Arms a fail-stop: `node`'s k-th send (1-based) and everything after it
-  /// throws AbortedError, simulating a crash mid-collective.
-  void fail_stop_after(int node, std::uint64_t k);
+  /// Which transport operations a fail-stop budget is charged against.
+  enum class FailStopOps {
+    kSends,          ///< only sends count (the original semantics)
+    kSendsAndRecvs,  ///< posted receives count too, so a node can crash
+                     ///< mid-rendezvous or mid-async-park
+  };
+
+  /// Arms a fail-stop: `node`'s k-th counted operation (1-based) and
+  /// everything after it throws AbortedError, simulating a crash
+  /// mid-collective.  By default only sends are counted.
+  void fail_stop_after(int node, std::uint64_t k,
+                       FailStopOps ops = FailStopOps::kSends);
+
+  /// Arms a deterministic mid-plan crash: the first time `node` reaches plan
+  /// step `step` (0-based, checked by the plan cursor at step dispatch) it
+  /// throws AbortedError.  Independent of the send/recv budgets.
+  void crash_at_step(int node, std::size_t step);
+
+  /// Plan-cursor hook: returns true (exactly once) when `node` dispatching
+  /// `step` must crash.
+  bool on_step(int node, std::size_t step);
 
   /// The fate of one frame delivery attempt.  `corrupt_bit` is the payload
   /// bit index to flip when `corrupt` is set.
@@ -76,6 +94,9 @@ class FaultInjector {
 
   /// Counts one send by `node`; returns true when the node must fail-stop.
   bool on_send(int node);
+  /// Counts one posted receive by `node` against budgets armed with
+  /// kSendsAndRecvs; returns true when the node must fail-stop.
+  bool on_recv(int node);
 
   /// Observability: how many faults actually fired (so chaos tests can
   /// assert the run exercised the machinery, not a quiet wire).
@@ -100,7 +121,15 @@ class FaultInjector {
     int node;
     std::uint64_t after_sends;
     std::unique_ptr<std::atomic<std::uint64_t>> sent;
+    FailStopOps ops = FailStopOps::kSends;
   };
+  struct StepCrash {
+    int node;
+    std::size_t step;
+    std::unique_ptr<std::atomic<bool>> fired;  ///< latch: crash exactly once
+  };
+
+  bool charge_fail_stop(int node, bool is_recv);
 
   const FaultSpec& spec_for(int src, int dst, std::uint64_t ctx) const;
 
@@ -108,6 +137,7 @@ class FaultInjector {
   FaultSpec default_spec_;
   std::vector<Rule> rules_;
   std::vector<FailStop> fail_stops_;
+  std::vector<StepCrash> step_crashes_;
 
   mutable std::atomic<std::uint64_t> dropped_{0};
   mutable std::atomic<std::uint64_t> duplicated_{0};

@@ -1,0 +1,179 @@
+// Failure detection for the threaded multicomputer: a phi-style suspicion
+// detector over per-node heartbeats.
+//
+// The transport layer never heartbeats explicitly on the hot path: every
+// completed fabric verb a node performs doubles as a liveness beacon (one
+// relaxed atomic store of the steady clock — heard_from()), and nodes parked
+// in a blocking wait beacon once per RTO/timeout wakeup, so an idle-but-alive
+// node keeps beating while a crashed or wedged one goes silent.  A watchdog
+// thread (one per machine, started around run_spmd) samples the beats every
+// tick, maintains an EWMA of each node's inter-beat interval, and computes a
+// phi-like suspicion score:
+//
+//   phi = (now - last_heard) / max(ewma_interval, min_interval)
+//
+// crossing suspect_phi marks the node kSuspected (a trace instant, a metric
+// bump); crossing fail_phi marks it kFailed, which additionally interrupts
+// the fabric so every blocked transport wait re-evaluates its world (peer
+// health, deadline budget, context revocation) in bounded time instead of
+// sleeping until its own timeout.  A node that beats again while merely
+// suspected recovers to kAlive.
+//
+// The detector also subsumes the "collective making no cursor progress"
+// watchdog: a rank wedged inside a plan stops performing fabric verbs, stops
+// beating, and is flagged by the same phi transitions.
+//
+// Everything here is advisory state *about* nodes, owned by the
+// Multicomputer; the recovery protocol that acts on it (revoke / shrink /
+// agree) lives in Communicator.  Thresholds are per-fabric tunable —
+// HealthConfig::defaults_for("sim") is looser because modeled pacing
+// stretches real inter-beat gaps.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace intercom {
+
+class Fabric;
+class MetricsRegistry;
+class Counter;
+class Tracer;
+
+/// Detector tuning knobs.  All times are wall-clock milliseconds.
+struct HealthConfig {
+  long tick_ms = 5;          ///< watchdog sampling period
+  double suspect_phi = 8.0;  ///< suspicion threshold (silence / mean beat)
+  double fail_phi = 24.0;    ///< failure threshold
+  long min_interval_ms = 2;  ///< floor on the mean inter-beat estimate, so a
+                             ///< tight collective loop cannot make the
+                             ///< detector hair-triggered
+  long agree_timeout_ms = 2000;  ///< per-peer exchange bound inside
+                                 ///< Communicator::agree / shrink
+  /// Defaults tuned per delivery backend: the sim fabric's modeled pacing
+  /// stretches inter-beat gaps, so its thresholds are looser.
+  static HealthConfig defaults_for(std::string_view fabric_name);
+};
+
+/// Detector verdict for one node.
+enum class NodeHealth : std::uint8_t { kAlive = 0, kSuspected = 1, kFailed = 2 };
+
+const char* to_string(NodeHealth state);
+
+/// Per-machine failure detector.  heard_from() is hot-path safe (one relaxed
+/// store); everything else is setup, watchdog, or diagnostic surface.
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(int node_count);
+  ~HealthMonitor();
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+  /// Replaces the tuning knobs.  Call while the watchdog is stopped.
+  void configure(const HealthConfig& config) { config_ = config; }
+  const HealthConfig& config() const { return config_; }
+
+  /// Wires the detector's transitions into the machine's observability and
+  /// its failure interrupts into the delivery fabric.  Call before start().
+  void attach_obs(Tracer* tracer, MetricsRegistry* metrics);
+  void set_fabric(Fabric* fabric) { fabric_ = fabric; }
+
+  /// True between start() and stop(): beacons are recorded and the watchdog
+  /// is evaluating.  One relaxed load.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Liveness beacon: `node` performed a fabric verb (or woke from a parked
+  /// wait) just now.  One relaxed atomic store while armed; no-op otherwise.
+  void heard_from(int node) {
+    if (!armed()) return;
+    nodes_[static_cast<std::size_t>(node)].last_heard_ns.store(
+        now_ns(), std::memory_order_relaxed);
+  }
+  /// Alias used by parked waits (reads as intent at the call site).
+  void beacon(int node) { heard_from(node); }
+
+  /// Direct failure declaration (a node's SPMD body threw in survivable
+  /// mode, or a test scripting a failure).  Records the transition and
+  /// interrupts the fabric like a detector-driven failure.  Idempotent.
+  void mark_failed(int node, std::string_view reason);
+
+  NodeHealth state(int node) const {
+    return static_cast<NodeHealth>(
+        nodes_[static_cast<std::size_t>(node)].state.load(
+            std::memory_order_acquire));
+  }
+  bool is_failed(int node) const { return state(node) == NodeHealth::kFailed; }
+  /// Any node currently kFailed (relaxed count, fast zero check).
+  bool any_failed() const {
+    return failed_count_.load(std::memory_order_acquire) > 0;
+  }
+  std::vector<int> failed_nodes() const;
+
+  /// Point-in-time verdict for diagnostics.
+  struct Verdict {
+    NodeHealth state = NodeHealth::kAlive;
+    std::uint64_t silence_ns = 0;  ///< ns since last heard from (0 = never
+                                   ///< heard and never expected yet)
+    double phi = 0.0;
+  };
+  Verdict verdict(int node) const;
+  /// One-line rendering of verdict(node) for timeout diagnostics, e.g.
+  /// "failed (silent 120ms, phi=31.4)".
+  std::string describe(int node) const;
+
+  /// Starts the watchdog thread and arms beacons; every node starts kAlive
+  /// with a fresh clock.  stop() joins the watchdog and disarms (health
+  /// state stays readable).  start() when already running is a no-op.
+  void start();
+  void stop();
+
+  /// Clears all health state back to kAlive.  Call while stopped.
+  void reset();
+
+ private:
+  struct NodeState {
+    std::atomic<std::uint64_t> last_heard_ns{0};
+    std::atomic<std::uint8_t> state{0};
+    /// EWMA of inter-beat intervals, in ns.  Watchdog-written, read by any
+    /// thread asking for a verdict — hence atomic.
+    std::atomic<std::uint64_t> ewma_interval_ns{0};
+    /// Watchdog-private: the beat the EWMA last consumed.
+    std::uint64_t prev_heard_ns = 0;
+  };
+
+  static std::uint64_t now_ns();
+  void watchdog_loop();
+  /// One detector evaluation pass over all nodes (watchdog thread only).
+  void evaluate(std::uint64_t now);
+  void record_transition(int node, NodeHealth to, std::uint64_t silence_ns,
+                         std::string_view reason);
+
+  /// Constructed once at machine size and never resized (NodeState holds
+  /// atomics and is immovable).
+  std::vector<NodeState> nodes_;
+  HealthConfig config_;
+  Fabric* fabric_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  Counter* metric_suspected_ = nullptr;
+  Counter* metric_failed_ = nullptr;
+  Counter* metric_recovered_ = nullptr;
+
+  std::atomic<bool> armed_{false};
+  std::atomic<int> failed_count_{0};
+
+  std::thread watchdog_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace intercom

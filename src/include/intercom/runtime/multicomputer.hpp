@@ -13,6 +13,7 @@
 #include "intercom/obs/metrics.hpp"
 #include "intercom/obs/trace.hpp"
 #include "intercom/runtime/fabric_registry.hpp"
+#include "intercom/runtime/health.hpp"
 #include "intercom/runtime/transport.hpp"
 #include "intercom/topo/mesh.hpp"
 
@@ -80,6 +81,37 @@ class Multicomputer {
     transport_.set_rendezvous_threshold(bytes);
   }
 
+  // --- Failure detection and survivable mode (see health.hpp and
+  // docs/robustness.md) ---
+
+  /// The machine's failure detector: per-node liveness beacons piggybacked
+  /// on transport traffic, a phi-style suspicion watchdog, and sticky
+  /// failed-node state the recovery protocol (Communicator::revoke / shrink
+  /// / agree) acts on.  State stays readable after run_spmd returns.
+  HealthMonitor& health() { return health_; }
+  const HealthMonitor& health() const { return health_; }
+
+  /// Arms the detector around every run_spmd: the watchdog thread runs for
+  /// the duration of the SPMD region and transport beacons are live.
+  /// Implied by survivable mode.  Configure between run_spmd calls.
+  void set_health_monitoring(bool on) { health_monitoring_ = on; }
+  bool health_monitoring() const { return health_monitoring_; }
+  /// Replaces the detector's tuning knobs (defaults come from
+  /// HealthConfig::defaults_for(fabric_name())).
+  void set_health_config(const HealthConfig& config) {
+    health_.configure(config);
+  }
+
+  /// Survivable mode: a node body that throws an intercom::Error is marked
+  /// failed in the health detector instead of poisoning the whole machine —
+  /// surviving nodes keep running (their blocked waits on the dead node
+  /// unwind with TimeoutError in bounded time) and can agree/shrink around
+  /// the loss.  run_spmd then returns normally when any node survives its
+  /// body; non-intercom exceptions (bugs) still abort and rethrow.  Implies
+  /// health monitoring.  Configure between run_spmd calls.
+  void set_survivable(bool on) { survivable_ = on; }
+  bool survivable() const { return survivable_; }
+
   /// Runs `body` on every node concurrently (SPMD), one thread per node, and
   /// joins them all.  Fail-fast: the first node whose body throws aborts the
   /// transport, so every peer blocked in (or later entering) a send/recv
@@ -94,6 +126,9 @@ class Multicomputer {
   Planner planner_;
   Tracer tracer_;
   MetricsRegistry metrics_;
+  HealthMonitor health_;
+  bool health_monitoring_ = false;
+  bool survivable_ = false;
 };
 
 }  // namespace intercom

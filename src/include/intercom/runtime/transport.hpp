@@ -96,6 +96,7 @@
 namespace intercom {
 
 class FaultInjector;
+class HealthMonitor;
 class MetricsRegistry;
 class Tracer;
 class Counter;
@@ -154,6 +155,49 @@ class Transport {
   /// from any thread.
   void abort(const std::string& reason);
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// Attaches (or, with nullptr, detaches) the machine's failure detector.
+  /// While attached and armed, every completed transport operation beacons
+  /// the acting node's liveness, parked waits beacon on every wakeup, peers
+  /// the detector declares failed turn blocking waits into TimeoutError in
+  /// bounded time, and timeout diagnostics carry the peer's health verdict.
+  /// Call only while no send/recv is in flight.
+  void set_health(HealthMonitor* health) { health_ = health; }
+  HealthMonitor* health() const { return health_; }
+
+  // --- Context revocation (ULFM-style, see Communicator::revoke) ---
+  //
+  // A revoked context base poisons exactly one communicator's namespace:
+  // every blocked or future operation issued under it (see CollectiveScope)
+  // throws RevokedError, while traffic under other bases is untouched.
+  // Revocation reaches remote ranks through a fabric control frame; the
+  // transport registers itself as the fabric's control sink at construction.
+
+  /// Revokes `ctx_base` machine-wide: broadcasts the control frame (which
+  /// lands in every rank's revoked set and interrupts parked waits) and
+  /// records the origin node for diagnostics.  Idempotent.
+  void revoke_ctx(std::uint64_t ctx_base, int origin);
+  /// Fast check (one relaxed load when nothing was ever revoked).
+  bool ctx_revoked(std::uint64_t ctx_base) const;
+
+  /// Thread-local collective scope: the policy context every transport
+  /// operation issued by this thread currently runs under.  PlanCursor ops
+  /// carry no room for policy state, and one node is one thread, so the
+  /// communicator pins {its context base, the collective's absolute
+  /// deadline} here for the duration of a collective (RAII; nesting saves
+  /// and restores).  deadline_ns == 0 means no budget; ctx_base == 0 means
+  /// no revocable context.
+  class CollectiveScope {
+   public:
+    CollectiveScope(std::uint64_t ctx_base, std::uint64_t deadline_ns);
+    ~CollectiveScope();
+    CollectiveScope(const CollectiveScope&) = delete;
+    CollectiveScope& operator=(const CollectiveScope&) = delete;
+
+   private:
+    std::uint64_t saved_ctx_base_;
+    std::uint64_t saved_deadline_ns_;
+  };
 
   /// Clears abort state, all queued messages, and all reliability bookkeeping
   /// — in every layer: the fabric's queues/registrations/limbo, the
@@ -331,6 +375,9 @@ class Transport {
   [[noreturn]] void throw_aborted() const;
   /// Recent per-node trace tail for timeout diagnostics ("" untraced).
   std::string trace_tail_summary();
+  /// The peer's health-detector verdict for diagnostics ("" when no
+  /// detector is attached and armed).
+  std::string health_summary(int peer) const;
   /// Both throwers query the fabric internally; call with no fabric verb in
   /// flight on this thread.
   [[noreturn]] void throw_recv_timeout(int src, int dst, std::uint64_t ctx,
@@ -338,10 +385,43 @@ class Transport {
   [[noreturn]] void throw_send_timeout(int src, int dst, std::uint64_t ctx,
                                        int tag);
 
+  /// Why a scoped operation must stop before completing.
+  enum class ScopeTrip { kNone, kRevoked, kDeadline, kPeerFailed };
+  /// Cheap pre-/re-check run at operation entry and after every interrupted
+  /// or timed-out fabric wait: the thread's scoped context revoked, its
+  /// deadline expired, or `peer` (-1 = none) declared failed.  Three relaxed
+  /// loads on the all-clear path.
+  ScopeTrip scope_trip(int peer) const;
+  /// Raises the error for a non-kNone trip: RevokedError, or TimeoutError
+  /// carrying the peer's health verdict and the trace tail.  `node` is the
+  /// acting node, `peer` the other end (-1 = none).
+  [[noreturn]] void throw_scope_trip(ScopeTrip trip, int node, int peer,
+                                     std::uint64_t ctx, int tag);
+  /// Caps a fabric wait window by the scope's remaining deadline budget:
+  /// with no deadline returns `timeout_ms` unchanged; with one, returns the
+  /// smaller positive window (>= 1ms) so expiry is observed promptly.
+  long bounded_timeout_ms(long timeout_ms) const;
+
+  /// The fabric control sink (registered at construction): revocation
+  /// frames land in the revoked set.
+  static void control_sink(void* self, const ControlFrame& frame);
+
   /// Charges one send against the injector's fail-stop budget (throws
   /// AbortedError when the node's budget is exhausted).  No-op without an
   /// injector.
   void maybe_fail_stop(int src);
+  /// Same for the receive side of the budget (charged when a receive is
+  /// posted), modelling crashes mid-rendezvous and mid-async-park.
+  void maybe_fail_stop_recv(int dst);
+
+  /// Blocking rendezvous claim with the full wait policy applied: scope
+  /// trips re-checked after every wakeup, wait windows capped by the
+  /// deadline budget, parked wakeups beaconing liveness, and the configured
+  /// send timeout enforced.  Returns true on a committed claim, false on a
+  /// length mismatch (raw mode's eager fallback); throws for aborts, scope
+  /// trips, and timeouts.
+  bool claim_with_policy(int src, int dst, const CKey& key,
+                         std::span<const std::byte> data, bool fill);
 
   void raw_send(int src, int dst, std::uint64_t ctx, int tag,
                 std::span<const std::byte> data);
@@ -407,6 +487,15 @@ class Transport {
   std::atomic<bool> aborted_{false};
   mutable std::mutex abort_mutex_;
   std::string abort_reason_;
+
+  HealthMonitor* health_ = nullptr;
+
+  /// Revoked context bases (tiny — one entry per revoked communicator).
+  /// The atomic count keeps the never-revoked fast path at one relaxed
+  /// load; the vector is scanned under the mutex only when nonzero.
+  mutable std::mutex revoked_mutex_;
+  std::vector<std::pair<std::uint64_t, int>> revoked_;  ///< (base, origin)
+  std::atomic<std::size_t> revoked_count_{0};
 
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> retransmits_{0};

@@ -46,6 +46,16 @@ class CorruptionError : public Error {
   explicit CorruptionError(const std::string& what) : Error(what) {}
 };
 
+/// The communicator's context was revoked (ULFM-style recovery, see
+/// Communicator::revoke): some member observed a failure and poisoned this
+/// one context.  Unlike AbortedError the machine itself stays healthy —
+/// other communicators on the same fabric keep working; the caller is
+/// expected to agree() on the failure and shrink() to the survivors.
+class RevokedError : public Error {
+ public:
+  explicit RevokedError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 /// Throws intercom::Error with a formatted location-tagged message.
 [[noreturn]] void throw_error(const char* file, int line, const char* expr,

@@ -64,13 +64,16 @@ const char* category(EventKind kind) {
     case EventKind::kAbort:
     case EventKind::kError: return "failure";
     case EventKind::kAsyncIssue: return "collective";
+    case EventKind::kHealth:
+    case EventKind::kRevoke: return "failure";
   }
   return "?";
 }
 
 bool is_instant(EventKind kind) {
   return kind == EventKind::kRetransmit || kind == EventKind::kAbort ||
-         kind == EventKind::kError || kind == EventKind::kAsyncIssue;
+         kind == EventKind::kError || kind == EventKind::kAsyncIssue ||
+         kind == EventKind::kHealth || kind == EventKind::kRevoke;
 }
 
 void write_args(const Tracer& tracer, const TraceEvent& e, std::ostream& os) {
@@ -109,6 +112,13 @@ void write_args(const Tracer& tracer, const TraceEvent& e, std::ostream& os) {
     case EventKind::kAbort:
     case EventKind::kError:
       os << ",\"what\":\"" << json_escape(tracer.label_text(e.label)) << '"';
+      break;
+    case EventKind::kHealth:
+      os << ",\"transition\":\"" << json_escape(tracer.label_text(e.label))
+         << "\",\"silence_ns\":" << e.a0;
+      break;
+    case EventKind::kRevoke:
+      os << ",\"origin\":" << e.peer;
       break;
     case EventKind::kRun:
       break;

@@ -70,6 +70,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kAbort: return "abort";
     case EventKind::kError: return "error";
     case EventKind::kAsyncIssue: return "async-issue";
+    case EventKind::kHealth: return "health";
+    case EventKind::kRevoke: return "revoke";
   }
   return "?";
 }
@@ -205,7 +207,8 @@ std::string Tracer::describe(const TraceEvent& event) const {
   if (!label.empty() && label != "?") os << " \"" << label << "\"";
   if (event.peer >= 0) os << " peer=" << event.peer;
   if (event.ctx != 0) os << " ctx=" << event.ctx;
-  if (event.kind != EventKind::kRun && event.kind != EventKind::kCollective) {
+  if (event.kind != EventKind::kRun && event.kind != EventKind::kCollective &&
+      event.kind != EventKind::kHealth && event.kind != EventKind::kRevoke) {
     os << " tag=" << event.tag;
   }
   if (event.bytes != 0) os << " bytes=" << event.bytes;

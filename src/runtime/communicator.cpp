@@ -1,8 +1,11 @@
 #include "intercom/runtime/communicator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <numeric>
+#include <thread>
 
 #include "intercom/ir/analysis.hpp"
 #include "intercom/obs/metrics.hpp"
@@ -44,7 +47,8 @@ std::uint64_t mono_ns() {
 // sequence numbers are mixed in by collective_context, not added into low
 // bits (the old `h << 20` layout overflowed into a sibling communicator's
 // namespace after 2^20 operations).
-std::uint64_t group_context_base(const Group& group, std::uint32_t color) {
+std::uint64_t group_context_base(const Group& group, std::uint32_t color,
+                                 std::uint32_t generation) {
   std::uint64_t h = 1469598103934665603ULL;
   auto mix = [&h](std::uint64_t v) {
     h ^= v;
@@ -52,8 +56,17 @@ std::uint64_t group_context_base(const Group& group, std::uint32_t color) {
   };
   for (int m : group.members()) mix(static_cast<std::uint64_t>(m) + 1);
   mix(static_cast<std::uint64_t>(color) + 0x9e3779b97f4a7c15ULL);
+  // Recovery epoch: a shrunk communicator over the same members and color as
+  // a pre-failure one must not inherit its context namespace (stale eager
+  // messages from the failed epoch would match fresh receives).
+  mix((static_cast<std::uint64_t>(generation) << 32) + 0x94d049bb133111ebULL);
   return h;
 }
+
+/// XORed into the context base for the agreement protocol's private
+/// namespace, so agree/shrink traffic can never collide with collective
+/// traffic on the same communicator — including a revoked one.
+constexpr std::uint64_t kAgreeSalt = 0xa9fee5a17ee0de5aULL;
 
 }  // namespace
 
@@ -89,6 +102,12 @@ struct AsyncCollectiveState {
   std::size_t elems = 0;
   std::uint64_t cache_state = 0;  ///< Communicator::CacheState value
   bool traced = false;            ///< tracer was armed at issue
+  /// Policy scope every advance of this request runs under: the issuing
+  /// communicator's revocable context base and the absolute deadline fixed
+  /// at issue time (0 = none) — a non-blocking collective's budget counts
+  /// from issue, exactly like the blocking twin's counts from entry.
+  std::uint64_t ctx_base = 0;
+  std::uint64_t deadline_ns = 0;
   std::uint64_t issue_ns = 0;
   std::uint64_t predicted = 0;
   std::uint32_t label = 0;   ///< interned collective name (traced only)
@@ -108,11 +127,13 @@ Communicator Node::group(const Group& g, std::uint32_t color) {
 }
 
 Communicator::Communicator(Multicomputer& machine, Group group, int my_rank,
-                           std::uint32_t color)
+                           std::uint32_t color, std::uint32_t generation)
     : machine_(&machine),
       group_(std::move(group)),
       my_rank_(my_rank),
-      ctx_base_(group_context_base(group_, color)) {
+      ctx_base_(group_context_base(group_, color, generation)),
+      color_(color),
+      generation_(generation) {
   INTERCOM_REQUIRE(my_rank_ >= 0 && my_rank_ < group_.size(),
                    "communicator rank out of range");
   // Resolve metric handles once; the registry's name lookup allocates, and
@@ -133,6 +154,7 @@ Communicator::~Communicator() = default;
 
 void Communicator::run(Collective collective, std::span<std::byte> buf,
                        std::size_t elem_size, int root, const ReduceOp* op) {
+  check_not_revoked();
   INTERCOM_REQUIRE(elem_size >= 1, "element size must be at least 1");
   INTERCOM_REQUIRE(buf.size() % elem_size == 0,
                    "buffer length must be a multiple of the element size");
@@ -156,6 +178,7 @@ void Communicator::run(Collective collective, std::span<std::byte> buf,
         *entry->schedule, &machine_->tracer());
   }
   const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
+  Transport::CollectiveScope scope(ctx_base_, collective_deadline_ns());
   execute_collective(collective_name(collective), *entry->schedule,
                      entry->compiled.get(), buf, ctx, op, elems,
                      cache_hit ? CacheState::kHit : CacheState::kMiss, &key);
@@ -320,6 +343,7 @@ void Communicator::release_async_state(AsyncCollectiveState* state) {
 Request Communicator::irun(Collective collective, std::span<std::byte> buf,
                            std::size_t elem_size, int root,
                            const ReduceOp* op) {
+  check_not_revoked();
   INTERCOM_REQUIRE(elem_size >= 1, "element size must be at least 1");
   INTERCOM_REQUIRE(buf.size() % elem_size == 0,
                    "buffer length must be a multiple of the element size");
@@ -349,6 +373,8 @@ Request Communicator::irun(Collective collective, std::span<std::byte> buf,
   state->elems = elems;
   state->cache_state = static_cast<std::uint64_t>(
       cache_hit ? CacheState::kHit : CacheState::kMiss);
+  state->ctx_base = ctx_base_;
+  state->deadline_ns = collective_deadline_ns();
   state->traced = tracer.armed();
   if (state->traced) {
     state->label = tracer.intern(state->name);
@@ -370,6 +396,7 @@ Request Communicator::irun(Collective collective, std::span<std::byte> buf,
     state->issue_ns = mono_ns();
   }
   try {
+    Transport::CollectiveScope scope(state->ctx_base, state->deadline_ns);
     state->cursor.start(machine_->transport(), *state->compiled,
                         group_.physical(my_rank_), buf, ctx,
                         state->has_reduce ? &state->reduce : nullptr,
@@ -407,6 +434,7 @@ void Communicator::finalize_async(AsyncCollectiveState* state, bool error) {
 
 bool Communicator::advance_request(AsyncCollectiveState* state,
                                    bool blocking) {
+  Transport::CollectiveScope scope(state->ctx_base, state->deadline_ns);
   bool done;
   try {
     if (blocking) {
@@ -540,9 +568,11 @@ std::size_t total_elems(const std::vector<std::size_t>& counts) {
 void Communicator::scatterv_bytes(std::span<std::byte> buf,
                                   const std::vector<std::size_t>& counts,
                                   std::size_t elem_size, int root) {
+  check_not_revoked();
   const Schedule schedule =
       machine_->planner().plan_scatterv(group_, counts, elem_size, root);
   const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
+  Transport::CollectiveScope scope(ctx_base_, collective_deadline_ns());
   execute_collective("scatterv", schedule, nullptr, buf, ctx, nullptr,
                      total_elems(counts), CacheState::kUncached, nullptr);
 }
@@ -550,9 +580,11 @@ void Communicator::scatterv_bytes(std::span<std::byte> buf,
 void Communicator::gatherv_bytes(std::span<std::byte> buf,
                                  const std::vector<std::size_t>& counts,
                                  std::size_t elem_size, int root) {
+  check_not_revoked();
   const Schedule schedule =
       machine_->planner().plan_gatherv(group_, counts, elem_size, root);
   const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
+  Transport::CollectiveScope scope(ctx_base_, collective_deadline_ns());
   execute_collective("gatherv", schedule, nullptr, buf, ctx, nullptr,
                      total_elems(counts), CacheState::kUncached, nullptr);
 }
@@ -560,9 +592,11 @@ void Communicator::gatherv_bytes(std::span<std::byte> buf,
 void Communicator::collectv_bytes(std::span<std::byte> buf,
                                   const std::vector<std::size_t>& counts,
                                   std::size_t elem_size) {
+  check_not_revoked();
   const Schedule schedule =
       machine_->planner().plan_collectv(group_, counts, elem_size);
   const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
+  Transport::CollectiveScope scope(ctx_base_, collective_deadline_ns());
   execute_collective("collectv", schedule, nullptr, buf, ctx, nullptr,
                      total_elems(counts), CacheState::kUncached, nullptr);
 }
@@ -570,9 +604,11 @@ void Communicator::collectv_bytes(std::span<std::byte> buf,
 void Communicator::reduce_scatterv_bytes(
     std::span<std::byte> buf, const std::vector<std::size_t>& counts,
     const ReduceOp& op) {
+  check_not_revoked();
   const Schedule schedule = machine_->planner().plan_distributed_combinev(
       group_, counts, op.elem_size);
   const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
+  Transport::CollectiveScope scope(ctx_base_, collective_deadline_ns());
   execute_collective("reduce_scatterv", schedule, nullptr, buf, ctx, &op,
                      total_elems(counts), CacheState::kUncached, nullptr);
 }
@@ -585,6 +621,204 @@ void Communicator::barrier() {
   std::uint64_t token = 0;
   std::span<std::uint64_t> data(&token, 1);
   all_reduce_sum(data);
+}
+
+// --- Deadlines and ULFM-style recovery -------------------------------------
+
+void Communicator::set_deadline_ms(long milliseconds) {
+  INTERCOM_REQUIRE(milliseconds >= 0, "deadline must be non-negative");
+  deadline_ms_ = milliseconds;
+}
+
+std::uint64_t Communicator::collective_deadline_ns() const {
+  if (deadline_ms_ <= 0) return 0;
+  return mono_ns() + static_cast<std::uint64_t>(deadline_ms_) * 1'000'000ULL;
+}
+
+void Communicator::check_not_revoked() const {
+  if (machine_->transport().ctx_revoked(ctx_base_)) {
+    throw RevokedError(
+        "communicator revoked (context base " + std::to_string(ctx_base_) +
+        "); collectives are poisoned, agree()/shrink() remain available");
+  }
+}
+
+void Communicator::revoke() {
+  machine_->transport().revoke_ctx(ctx_base_, group_.physical(my_rank_));
+}
+
+bool Communicator::revoked() const {
+  return machine_->transport().ctx_revoked(ctx_base_);
+}
+
+void Communicator::agree_exchange_round(std::vector<std::uint64_t>& words,
+                                        std::uint64_t ctx, bool mark_missing) {
+  Transport& transport = machine_->transport();
+  HealthMonitor* health = transport.health();
+  const int p = group_.size();
+  const int self = group_.physical(my_rank_);
+  const long timeout_ms =
+      health != nullptr ? health->config().agree_timeout_ms : 2000;
+  const auto bit_of = [](int r) { return std::uint64_t{1} << (r % 64); };
+  const auto word_of = [](int r) { return static_cast<std::size_t>(r) / 64; };
+
+  /// One peer's half of the pairwise exchange.  Stored in a deque: the
+  /// fabric registers the ticket's address, so slots must never move.
+  struct Pending {
+    int rank = -1;
+    int node = -1;
+    std::vector<std::uint64_t> incoming;
+    PostedRecv ticket;
+    Transport::RecvProgress progress;
+    bool done = false;
+  };
+  std::deque<Pending> peers;
+  for (int r = 0; r < p; ++r) {
+    if (r == my_rank_) continue;
+    const int node = group_.physical(r);
+    // Roll call: ranks the detector has declared failed — or, in shrink's
+    // failed-set discovery, ranks already agreed failed — do not take part.
+    if ((health != nullptr && health->is_failed(node)) ||
+        (mark_missing && (words[word_of(r)] & bit_of(r)) != 0)) {
+      if (mark_missing) words[word_of(r)] |= bit_of(r);
+      continue;
+    }
+    Pending& peer = peers.emplace_back();
+    peer.rank = r;
+    peer.node = node;
+    peer.incoming.assign(words.size(), 0);
+    try {
+      transport.post_recv(peer.ticket, node, self, ctx, /*tag=*/0,
+                          std::as_writable_bytes(std::span(peer.incoming)));
+    } catch (const AbortedError&) {
+      for (Pending& q : peers)
+        if (!q.done) transport.cancel_recv(q.ticket);
+      throw;  // machine-level poison (or own fail-stop): not survivable here
+    } catch (const Error&) {
+      // Peer declared failed between the roll call and the post.
+      if (mark_missing) words[word_of(r)] |= bit_of(r);
+      peer.done = true;
+    }
+  }
+
+  // Word vectors are a handful of bytes — far below the rendezvous
+  // threshold — so every snapshot send is eager and never blocks on a dead
+  // peer.  A send tripped by a freshly failed peer is simply skipped; the
+  // poll loop below settles that peer's verdict.
+  const auto snapshot = std::as_bytes(std::span(words));
+  for (Pending& peer : peers) {
+    if (peer.done) continue;
+    try {
+      transport.send(self, peer.node, ctx, /*tag=*/0, snapshot);
+    } catch (const AbortedError&) {
+      for (Pending& q : peers)
+        if (!q.done) transport.cancel_recv(q.ticket);
+      throw;
+    } catch (const Error&) {
+    }
+  }
+
+  std::size_t open = 0;
+  for (const Pending& peer : peers)
+    if (!peer.done) ++open;
+  const std::uint64_t deadline =
+      mono_ns() + static_cast<std::uint64_t>(timeout_ms) * 1'000'000ULL;
+  while (open > 0) {
+    const std::uint64_t now = mono_ns();
+    for (Pending& peer : peers) {
+      if (peer.done) continue;
+      bool arrived = false;
+      try {
+        arrived = transport.try_wait_recv(peer.ticket, peer.progress);
+      } catch (const AbortedError&) {
+        for (Pending& q : peers)
+          if (!q.done) transport.cancel_recv(q.ticket);
+        throw;
+      } catch (const Error&) {
+        // Retry budget exhausted / corruption / peer-failed trip: this
+        // peer's contribution is lost for the round.
+        transport.cancel_recv(peer.ticket);
+        if (mark_missing) words[word_of(peer.rank)] |= bit_of(peer.rank);
+        peer.done = true;
+        --open;
+        continue;
+      }
+      if (arrived) {
+        for (std::size_t w = 0; w < words.size(); ++w)
+          words[w] |= peer.incoming[w];
+        peer.done = true;
+        --open;
+        continue;
+      }
+      if ((health != nullptr && health->is_failed(peer.node)) ||
+          now >= deadline) {
+        // Silence past the agree window counts as non-participation.
+        transport.cancel_recv(peer.ticket);
+        if (mark_missing) words[word_of(peer.rank)] |= bit_of(peer.rank);
+        peer.done = true;
+        --open;
+      }
+    }
+    if (open > 0) std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+std::vector<std::uint64_t> Communicator::agree_or(
+    std::vector<std::uint64_t> words, bool mark_missing) {
+  // Two phases: after phase 1 every member that heard everyone holds the
+  // full OR; phase 2 spreads contributions that arrived at some members
+  // after slower peers' phase-1 windows closed (and, for shrink, spreads
+  // phase-1 missing-markings so the survivor sets converge).  agree_seq_
+  // advances identically at every member — the protocol is collective.
+  for (int round = 0; round < 2; ++round) {
+    const std::uint64_t ctx =
+        collective_context(ctx_base_ ^ kAgreeSalt, agree_seq_++);
+    agree_exchange_round(words, ctx, mark_missing);
+  }
+  return words;
+}
+
+bool Communicator::agree(bool local_flag) {
+  std::vector<std::uint64_t> words(
+      (static_cast<std::size_t>(group_.size()) + 63) / 64, 0);
+  if (local_flag) {
+    words[static_cast<std::size_t>(my_rank_) / 64] |=
+        std::uint64_t{1} << (my_rank_ % 64);
+  }
+  const std::vector<std::uint64_t> agreed =
+      agree_or(std::move(words), /*mark_missing=*/false);
+  for (const std::uint64_t w : agreed)
+    if (w != 0) return true;
+  return false;
+}
+
+Communicator Communicator::shrink() {
+  HealthMonitor* health = machine_->transport().health();
+  const int p = group_.size();
+  std::vector<std::uint64_t> failed((static_cast<std::size_t>(p) + 63) / 64,
+                                    0);
+  for (int r = 0; r < p; ++r) {
+    if (health != nullptr && health->is_failed(group_.physical(r))) {
+      failed[static_cast<std::size_t>(r) / 64] |= std::uint64_t{1} << (r % 64);
+    }
+  }
+  const std::vector<std::uint64_t> agreed =
+      agree_or(std::move(failed), /*mark_missing=*/true);
+  std::vector<int> survivors;
+  survivors.reserve(static_cast<std::size_t>(p));
+  int new_rank = -1;
+  for (int r = 0; r < p; ++r) {
+    if ((agreed[static_cast<std::size_t>(r) / 64] >> (r % 64)) & 1) continue;
+    if (r == my_rank_) new_rank = static_cast<int>(survivors.size());
+    survivors.push_back(group_.physical(r));
+  }
+  if (new_rank < 0) {
+    throw Error("shrink: rank " + std::to_string(my_rank_) +
+                " was deemed failed by the group and cannot join the "
+                "survivor communicator");
+  }
+  return Communicator(*machine_, Group(std::move(survivors)), new_rank, color_,
+                      generation_ + 1);
 }
 
 }  // namespace intercom

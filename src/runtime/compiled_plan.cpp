@@ -5,6 +5,7 @@
 #include <string>
 
 #include "intercom/obs/trace.hpp"
+#include "intercom/runtime/fault.hpp"
 #include "intercom/runtime/transport.hpp"
 #include "intercom/util/error.hpp"
 
@@ -124,6 +125,8 @@ void fuse_recv_combine(std::vector<COp>& ops) {
     throw TimeoutError(e.what() + where);
   } catch (const CorruptionError& e) {
     throw CorruptionError(e.what() + where);
+  } catch (const RevokedError& e) {
+    throw RevokedError(e.what() + where);
   } catch (const Error& e) {
     throw Error(e.what() + where);
   }
@@ -269,6 +272,16 @@ bool PlanCursor::advance(bool blocking) {
           return true;
         }
         const COp& op = prog_->ops[op_index_];
+        // Deterministic mid-plan crash hook (FaultInjector::crash_at_step):
+        // checked at step dispatch so a scripted crash lands between ops, a
+        // state no send/recv-budget fail-stop can hit.
+        if (FaultInjector* injector = transport_->fault_injector();
+            injector != nullptr && injector->on_step(node_, op_index_)) {
+          phase_ = Phase::kDone;
+          throw AbortedError("fault injection: node " + std::to_string(node_) +
+                             " crashed at plan step " +
+                             std::to_string(op_index_));
+        }
         op_t0_ = traced_ ? tracer_->now_ns() : 0;
         try {
           switch (op.kind) {

@@ -137,26 +137,36 @@ void InProcFabric::unpost(PostedRecv& ticket) {
 FabricStatus InProcFabric::wait(PostedRecv& ticket, long timeout_ms) {
   Channel& ch = channel(ticket.src, ticket.dst);
   const FabricKey key{ticket.ctx, ticket.tag};
+  const std::uint64_t epoch0 = interrupt_epoch();
   std::unique_lock<std::mutex> lock(ch.mutex);
   std::size_t index = kNpos;
+  // Completion wins over interruption: the epoch is consulted only after
+  // the fill/queue checks failed, so an interrupt never steals a receive
+  // whose message already landed.
   auto ready = [&] {
     if (poisoned()) return true;
     if (ticket.filled) return true;
     index = find_pending_locked(ch, key);
-    return index != kNpos;
+    if (index != kNpos) return true;
+    return interrupt_epoch() != epoch0;
   };
   {
-    if (timeout_ms > 0) {
+    // Spin first in both modes: short waits (the warm-collective hot path)
+    // complete without ever registering as a condvar waiter, so a bounded
+    // timeout — e.g. the health monitor's heartbeat cap — costs nothing
+    // unless the wait actually parks.
+    if (!spin_for(lock, ready)) {
       WaiterScope waiting(ch.waiters);
-      const bool arrived =
-          ch.cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready);
-      if (!arrived) {
-        unpost_locked(ch, ticket);
-        return FabricStatus::kNotReady;
+      if (timeout_ms > 0) {
+        const bool arrived =
+            ch.cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready);
+        if (!arrived) {
+          unpost_locked(ch, ticket);
+          return FabricStatus::kNotReady;
+        }
+      } else {
+        ch.cv.wait(lock, ready);
       }
-    } else if (!spin_for(lock, ready)) {
-      WaiterScope waiting(ch.waiters);
-      ch.cv.wait(lock, ready);
     }
   }
   if (poisoned()) {
@@ -164,6 +174,7 @@ FabricStatus InProcFabric::wait(PostedRecv& ticket, long timeout_ms) {
     return FabricStatus::kAborted;
   }
   if (ticket.filled) return FabricStatus::kOk;  // sender copied in place
+  if (index == kNpos) return FabricStatus::kInterrupted;  // ticket stays posted
   // Queue path: take the oldest matching message; withdraw the posted buffer
   // (it served its purpose as a rendezvous landing pad that never matched).
   unpost_locked(ch, ticket);
@@ -214,30 +225,42 @@ FabricStatus InProcFabric::claim(int src, int dst, const FabricKey& key,
                                  std::span<const std::byte> data, bool fill,
                                  long timeout_ms) {
   Channel& ch = channel(src, dst);
+  const std::uint64_t epoch0 = interrupt_epoch();
   std::unique_lock<std::mutex> lock(ch.mutex);
   PostedRecv* ticket = nullptr;
   // A ticket is claimable only when no older buffered message for the key is
   // still queued ahead of it: per-key FIFO means that message belongs to the
   // receive the ticket was posted for, so a rendezvous payload sneaking into
-  // the buffer first would be delivered out of order.
+  // the buffer first would be delivered out of order.  As in wait(), a
+  // claimable ticket wins over a pending interrupt.
   auto pred = [&] {
     if (poisoned()) return true;
-    if (find_pending_locked(ch, key) != kNpos) return false;
-    ticket = find_posted_locked(ch, key);
-    return ticket != nullptr;
+    if (find_pending_locked(ch, key) == kNpos) {
+      ticket = find_posted_locked(ch, key);
+      if (ticket != nullptr) return true;
+    }
+    return interrupt_epoch() != epoch0;
   };
   {
-    if (timeout_ms > 0) {
+    // Spin first in both modes (see wait()): a bounded timeout only pays
+    // when the claim actually parks.
+    if (!spin_for(lock, pred)) {
       WaiterScope waiting(ch.waiters);
-      const bool posted =
-          ch.cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), pred);
-      if (!posted) return FabricStatus::kNotReady;
-    } else if (!spin_for(lock, pred)) {
-      WaiterScope waiting(ch.waiters);
-      ch.cv.wait(lock, pred);
+      if (timeout_ms > 0) {
+        const bool posted =
+            ch.cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), pred);
+        if (!posted) return FabricStatus::kNotReady;
+      } else {
+        ch.cv.wait(lock, pred);
+      }
     }
   }
   if (poisoned()) return FabricStatus::kAborted;
+  // Re-establish claimability under the lock: the predicate may have fired
+  // on the interrupt epoch alone.
+  ticket = find_pending_locked(ch, key) == kNpos ? find_posted_locked(ch, key)
+                                                 : nullptr;
+  if (ticket == nullptr) return FabricStatus::kInterrupted;
   ticket->consumed = true;
   if (!fill) return FabricStatus::kOk;  // reliable handshake: claim only
   if (ticket->out.size() != data.size()) {
@@ -390,6 +413,7 @@ FabricStatus InProcFabric::wait_frame(PostedRecv& ticket, FrameJudge judge,
                                       long rto_ms) {
   Channel& ch = channel(ticket.src, ticket.dst);
   const FabricKey key{ticket.ctx, ticket.tag};
+  const std::uint64_t epoch0 = interrupt_epoch();
   std::unique_lock<std::mutex> lock(ch.mutex);
   for (;;) {
     if (scan_locked(ch, key, judge, judge_ctx, frame)) {
@@ -407,11 +431,17 @@ FabricStatus InProcFabric::wait_frame(PostedRecv& ticket, FrameJudge judge,
     {
       WaiterScope waiting(ch.waiters);
       arrived = ch.cv.wait_for(lock, std::chrono::milliseconds(rto_ms), [&] {
-        return ch.version != seen_version || poisoned();
+        return ch.version != seen_version || poisoned() ||
+               interrupt_epoch() != epoch0;
       });
     }
     if (poisoned()) return FabricStatus::kAborted;
     if (!arrived) return FabricStatus::kNotReady;  // a quiet RTO elapsed
+    if (ch.version == seen_version && interrupt_epoch() != epoch0) {
+      // Woken by interrupt() with nothing new on the wire; same ticket
+      // contract as kNotReady (it stays posted, the caller owns it).
+      return FabricStatus::kInterrupted;
+    }
     // Something new was deposited; rescan with a fresh window.
   }
 }
@@ -437,6 +467,15 @@ void InProcFabric::poison() {
   poisoned_.store(true, std::memory_order_release);
   // Lock each channel mutex before notifying so a waiter either sees the
   // flag before blocking or is woken by the notification — no lost wakeup.
+  for (Channel& ch : channels_) {
+    { std::lock_guard<std::mutex> lock(ch.mutex); }
+    ch.cv.notify_all();
+  }
+}
+
+void InProcFabric::interrupt() {
+  Fabric::interrupt();  // bump the epoch first, then wake (same fencing
+                        // discipline as poison: no lost wakeup)
   for (Channel& ch : channels_) {
     { std::lock_guard<std::mutex> lock(ch.mutex); }
     ch.cv.notify_all();

@@ -36,11 +36,31 @@ double draw(std::uint64_t h, std::uint64_t which) {
 
 }  // namespace
 
-void FaultInjector::fail_stop_after(int node, std::uint64_t k) {
+void FaultInjector::fail_stop_after(int node, std::uint64_t k,
+                                    FailStopOps ops) {
   INTERCOM_REQUIRE(node >= 0, "fail-stop node id must be nonnegative");
-  INTERCOM_REQUIRE(k >= 1, "fail-stop send count must be at least 1");
+  INTERCOM_REQUIRE(k >= 1, "fail-stop operation count must be at least 1");
   fail_stops_.push_back(
-      FailStop{node, k, std::make_unique<std::atomic<std::uint64_t>>(0)});
+      FailStop{node, k, std::make_unique<std::atomic<std::uint64_t>>(0), ops});
+}
+
+void FaultInjector::crash_at_step(int node, std::size_t step) {
+  INTERCOM_REQUIRE(node >= 0, "crash node id must be nonnegative");
+  step_crashes_.push_back(
+      StepCrash{node, step, std::make_unique<std::atomic<bool>>(false)});
+}
+
+bool FaultInjector::on_step(int node, std::size_t step) {
+  for (StepCrash& sc : step_crashes_) {
+    if (sc.node != node || sc.step != step) continue;
+    bool expected = false;
+    if (sc.fired->compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+      fail_stops_fired_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
 }
 
 const FaultSpec& FaultInjector::spec_for(int src, int dst,
@@ -93,9 +113,10 @@ FaultInjector::Decision FaultInjector::decide(int src, int dst,
   return d;
 }
 
-bool FaultInjector::on_send(int node) {
+bool FaultInjector::charge_fail_stop(int node, bool is_recv) {
   for (FailStop& fs : fail_stops_) {
     if (fs.node != node) continue;
+    if (is_recv && fs.ops != FailStopOps::kSendsAndRecvs) continue;
     const std::uint64_t count =
         fs.sent->fetch_add(1, std::memory_order_relaxed) + 1;
     if (count >= fs.after_sends) {
@@ -104,6 +125,14 @@ bool FaultInjector::on_send(int node) {
     }
   }
   return false;
+}
+
+bool FaultInjector::on_send(int node) {
+  return charge_fail_stop(node, /*is_recv=*/false);
+}
+
+bool FaultInjector::on_recv(int node) {
+  return charge_fail_stop(node, /*is_recv=*/true);
 }
 
 FaultInjector::Stats FaultInjector::stats() const {

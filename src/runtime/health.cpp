@@ -1,0 +1,263 @@
+#include "intercom/runtime/health.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "intercom/obs/metrics.hpp"
+#include "intercom/obs/trace.hpp"
+#include "intercom/runtime/fabric.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+HealthConfig HealthConfig::defaults_for(std::string_view fabric_name) {
+  HealthConfig config;
+  if (fabric_name == "sim") {
+    // Modeled pacing stretches real inter-beat gaps (a chunked 1 MiB
+    // crossing sleeps for its modeled duration), so give the detector more
+    // slack before it cries wolf.
+    config.suspect_phi = 16.0;
+    config.fail_phi = 48.0;
+    config.min_interval_ms = 5;
+  }
+  return config;
+}
+
+const char* to_string(NodeHealth state) {
+  switch (state) {
+    case NodeHealth::kAlive:
+      return "alive";
+    case NodeHealth::kSuspected:
+      return "suspected";
+    case NodeHealth::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(int node_count)
+    : nodes_(static_cast<std::size_t>(node_count)) {
+  INTERCOM_REQUIRE(node_count >= 1, "health monitor needs at least one node");
+}
+
+HealthMonitor::~HealthMonitor() { stop(); }
+
+std::uint64_t HealthMonitor::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void HealthMonitor::attach_obs(Tracer* tracer, MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  if (metrics != nullptr) {
+    metric_suspected_ = &metrics->counter("health.suspected");
+    metric_failed_ = &metrics->counter("health.failed");
+    metric_recovered_ = &metrics->counter("health.recovered");
+  } else {
+    metric_suspected_ = metric_failed_ = metric_recovered_ = nullptr;
+  }
+}
+
+std::vector<int> HealthMonitor::failed_nodes() const {
+  std::vector<int> failed;
+  for (int node = 0; node < node_count(); ++node) {
+    if (is_failed(node)) failed.push_back(node);
+  }
+  return failed;
+}
+
+HealthMonitor::Verdict HealthMonitor::verdict(int node) const {
+  const NodeState& ns = nodes_[static_cast<std::size_t>(node)];
+  Verdict v;
+  v.state = static_cast<NodeHealth>(ns.state.load(std::memory_order_acquire));
+  const std::uint64_t last = ns.last_heard_ns.load(std::memory_order_relaxed);
+  if (last != 0) {
+    const std::uint64_t now = now_ns();
+    v.silence_ns = now > last ? now - last : 0;
+    const double floor_ns =
+        static_cast<double>(config_.min_interval_ms) * 1e6;
+    const double mean = std::max(
+        static_cast<double>(
+            ns.ewma_interval_ns.load(std::memory_order_relaxed)),
+        floor_ns);
+    if (mean > 0.0) v.phi = static_cast<double>(v.silence_ns) / mean;
+  }
+  return v;
+}
+
+std::string HealthMonitor::describe(int node) const {
+  const Verdict v = verdict(node);
+  std::ostringstream os;
+  os << to_string(v.state);
+  if (v.silence_ns != 0) {
+    os << " (silent " << v.silence_ns / 1000000 << "ms, phi=" << v.phi << ")";
+  } else {
+    os << " (never heard from)";
+  }
+  return os.str();
+}
+
+void HealthMonitor::record_transition(int node, NodeHealth to,
+                                      std::uint64_t silence_ns,
+                                      std::string_view reason) {
+  switch (to) {
+    case NodeHealth::kSuspected:
+      if (metric_suspected_ != nullptr) metric_suspected_->inc();
+      break;
+    case NodeHealth::kFailed:
+      if (metric_failed_ != nullptr) metric_failed_->inc();
+      break;
+    case NodeHealth::kAlive:
+      if (metric_recovered_ != nullptr) metric_recovered_->inc();
+      break;
+  }
+  if (tracer_ != nullptr && tracer_->armed()) {
+    TraceEvent event;
+    event.kind = EventKind::kHealth;
+    event.start_ns = event.end_ns = tracer_->now_ns();
+    event.peer = node;
+    event.a0 = silence_ns;
+    std::string label(to_string(to));
+    if (!reason.empty()) {
+      label += ": ";
+      label += reason;
+    }
+    event.label = tracer_->intern(label);
+    tracer_->record(node, event);
+  }
+}
+
+void HealthMonitor::mark_failed(int node, std::string_view reason) {
+  NodeState& ns = nodes_[static_cast<std::size_t>(node)];
+  std::uint8_t prev = ns.state.exchange(
+      static_cast<std::uint8_t>(NodeHealth::kFailed),
+      std::memory_order_acq_rel);
+  if (static_cast<NodeHealth>(prev) == NodeHealth::kFailed) return;
+  failed_count_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t last = ns.last_heard_ns.load(std::memory_order_relaxed);
+  const std::uint64_t now = now_ns();
+  record_transition(node, NodeHealth::kFailed,
+                    last != 0 && now > last ? now - last : 0, reason);
+  // Wake every parked transport wait so survivors observe the failure in
+  // bounded time rather than at their own timeout.
+  if (fabric_ != nullptr) fabric_->interrupt();
+}
+
+void HealthMonitor::evaluate(std::uint64_t now) {
+  const double floor_ns = static_cast<double>(config_.min_interval_ms) * 1e6;
+  for (int node = 0; node < node_count(); ++node) {
+    NodeState& ns = nodes_[static_cast<std::size_t>(node)];
+    const NodeHealth state =
+        static_cast<NodeHealth>(ns.state.load(std::memory_order_acquire));
+    if (state == NodeHealth::kFailed) continue;  // failure is sticky
+    const std::uint64_t last = ns.last_heard_ns.load(std::memory_order_relaxed);
+    if (last == 0) continue;  // never beat yet: not participating
+    if (last != ns.prev_heard_ns) {
+      // The node beat since our last pass: fold the observed gap into the
+      // EWMA (watchdog is the only writer).
+      const std::uint64_t sample =
+          ns.prev_heard_ns != 0 && last > ns.prev_heard_ns
+              ? last - ns.prev_heard_ns
+              : static_cast<std::uint64_t>(floor_ns);
+      const double prev = static_cast<double>(
+          ns.ewma_interval_ns.load(std::memory_order_relaxed));
+      const double next =
+          prev == 0.0 ? static_cast<double>(sample)
+                      : 0.8 * prev + 0.2 * static_cast<double>(sample);
+      ns.ewma_interval_ns.store(static_cast<std::uint64_t>(next),
+                                std::memory_order_relaxed);
+      ns.prev_heard_ns = last;
+    }
+    const std::uint64_t silence = now > last ? now - last : 0;
+    const double mean = std::max(
+        static_cast<double>(
+            ns.ewma_interval_ns.load(std::memory_order_relaxed)),
+        floor_ns);
+    const double phi = static_cast<double>(silence) / mean;
+    if (phi >= config_.fail_phi) {
+      std::uint8_t expect = static_cast<std::uint8_t>(state);
+      if (ns.state.compare_exchange_strong(
+              expect, static_cast<std::uint8_t>(NodeHealth::kFailed),
+              std::memory_order_acq_rel)) {
+        failed_count_.fetch_add(1, std::memory_order_acq_rel);
+        record_transition(node, NodeHealth::kFailed, silence,
+                          "detector: phi over fail threshold");
+        if (fabric_ != nullptr) fabric_->interrupt();
+      }
+    } else if (phi >= config_.suspect_phi) {
+      if (state == NodeHealth::kAlive) {
+        std::uint8_t expect = static_cast<std::uint8_t>(NodeHealth::kAlive);
+        if (ns.state.compare_exchange_strong(
+                expect, static_cast<std::uint8_t>(NodeHealth::kSuspected),
+                std::memory_order_acq_rel)) {
+          record_transition(node, NodeHealth::kSuspected, silence, {});
+        }
+      }
+    } else if (state == NodeHealth::kSuspected) {
+      // Beat again before crossing the failure threshold: recover.
+      std::uint8_t expect = static_cast<std::uint8_t>(NodeHealth::kSuspected);
+      if (ns.state.compare_exchange_strong(
+              expect, static_cast<std::uint8_t>(NodeHealth::kAlive),
+              std::memory_order_acq_rel)) {
+        record_transition(node, NodeHealth::kAlive, silence, {});
+      }
+    }
+  }
+}
+
+void HealthMonitor::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  while (!stop_requested_) {
+    stop_cv_.wait_for(lock, std::chrono::milliseconds(config_.tick_ms),
+                      [&] { return stop_requested_; });
+    if (stop_requested_) return;
+    lock.unlock();
+    evaluate(now_ns());
+    lock.lock();
+  }
+}
+
+void HealthMonitor::start() {
+  if (watchdog_.joinable()) return;
+  // Fresh epoch: everyone just "beat", so a quiet warm-up is not silence.
+  const std::uint64_t now = now_ns();
+  for (NodeState& ns : nodes_) {
+    ns.last_heard_ns.store(now, std::memory_order_relaxed);
+    ns.prev_heard_ns = now;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_requested_ = false;
+  }
+  armed_.store(true, std::memory_order_release);
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+void HealthMonitor::stop() {
+  if (!watchdog_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  watchdog_.join();
+  armed_.store(false, std::memory_order_release);
+}
+
+void HealthMonitor::reset() {
+  INTERCOM_REQUIRE(!watchdog_.joinable(),
+                   "reset the health monitor only while stopped");
+  for (NodeState& ns : nodes_) {
+    ns.last_heard_ns.store(0, std::memory_order_relaxed);
+    ns.state.store(static_cast<std::uint8_t>(NodeHealth::kAlive),
+                   std::memory_order_release);
+    ns.ewma_interval_ns.store(0, std::memory_order_relaxed);
+    ns.prev_heard_ns = 0;
+  }
+  failed_count_.store(0, std::memory_order_release);
+}
+
+}  // namespace intercom

@@ -18,10 +18,15 @@ Multicomputer::Multicomputer(Mesh2D mesh, MachineParams params,
     : mesh_(mesh),
       transport_(mesh.node_count(), make_fabric(fabric, mesh)),
       planner_(params, mesh),
-      tracer_(mesh.node_count()) {
+      tracer_(mesh.node_count()),
+      health_(mesh.node_count()) {
   tracer_.set_fabric(std::string(transport_.fabric_name()));
   transport_.set_tracer(&tracer_);
   transport_.set_metrics(&metrics_);
+  health_.configure(HealthConfig::defaults_for(transport_.fabric_name()));
+  health_.attach_obs(&tracer_, &metrics_);
+  health_.set_fabric(&transport_.fabric());
+  transport_.set_health(&health_);
 }
 
 void Multicomputer::run_spmd(const std::function<void(Node&)>& body) {
@@ -31,22 +36,32 @@ void Multicomputer::run_spmd(const std::function<void(Node&)>& body) {
   std::mutex error_mutex;
   std::exception_ptr first_error;
   const bool traced = tracer_.armed();
+  const bool survivable = survivable_;
+  const bool monitored = health_monitoring_ || survivable;
+  if (monitored) {
+    // Fresh detector epoch per SPMD region; state stays readable after the
+    // region so callers can inspect who died.
+    health_.reset();
+    health_.start();
+  }
   for (int id = 0; id < node_count(); ++id) {
-    threads.emplace_back([this, id, &body, &error_mutex, &first_error,
-                          traced] {
+    threads.emplace_back([this, id, &body, &error_mutex, &first_error, traced,
+                          survivable] {
       const std::uint64_t t0 = traced ? tracer_.now_ns() : 0;
       try {
         Node node(*this, id);
         body(node);
       } catch (...) {
-        // Record before aborting: peers unwinding with AbortedError arrive
-        // strictly after the flag is set, so the root cause wins the race
-        // for first_error.
+        const bool intercom_failure = [] {
+          try {
+            throw;
+          } catch (const Error&) {
+            return true;
+          } catch (...) {
+            return false;
+          }
+        }();
         std::string reason = "node " + std::to_string(id) + " failed";
-        {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
         try {
           throw;
         } catch (const std::exception& e) {
@@ -61,13 +76,28 @@ void Multicomputer::run_spmd(const std::function<void(Node&)>& body) {
           }
         } catch (...) {
         }
-        transport_.abort(reason);
-        if (traced) {
-          TraceEvent event;
-          event.kind = EventKind::kAbort;
-          event.start_ns = event.end_ns = tracer_.now_ns();
-          event.label = tracer_.intern(reason);
-          tracer_.record(id, event);
+        if (survivable && intercom_failure) {
+          // Survivable mode: this node is dead, the machine is not.  The
+          // failure is recorded in the detector (which interrupts peers
+          // blocked on this node) and swallowed; survivors recover through
+          // agree/shrink instead of a global abort.
+          health_.mark_failed(id, reason);
+        } else {
+          // Record before aborting: peers unwinding with AbortedError
+          // arrive strictly after the flag is set, so the root cause wins
+          // the race for first_error.
+          {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          transport_.abort(reason);
+          if (traced) {
+            TraceEvent event;
+            event.kind = EventKind::kAbort;
+            event.start_ns = event.end_ns = tracer_.now_ns();
+            event.label = tracer_.intern(reason);
+            tracer_.record(id, event);
+          }
         }
       }
       if (traced) {
@@ -81,6 +111,7 @@ void Multicomputer::run_spmd(const std::function<void(Node&)>& body) {
     });
   }
   for (auto& t : threads) t.join();
+  if (monitored) health_.stop();
   if (first_error) {
     // Leave the machine reusable: drop poisoned mailboxes, stale messages
     // and reliability bookkeeping from the failed run.

@@ -9,12 +9,23 @@
 #include "intercom/obs/metrics.hpp"
 #include "intercom/obs/trace.hpp"
 #include "intercom/runtime/fault.hpp"
+#include "intercom/runtime/health.hpp"
 #include "intercom/runtime/reduce.hpp"
 #include "intercom/util/error.hpp"
 
 namespace intercom {
 
 namespace {
+
+/// The calling thread's collective scope (see Transport::CollectiveScope):
+/// one node is one thread, so the communicator parks the policy context of
+/// the collective this thread is executing here instead of threading it
+/// through every PlanCursor op.
+struct ThreadScope {
+  std::uint64_t ctx_base = 0;    ///< revocable context namespace (0 = none)
+  std::uint64_t deadline_ns = 0;  ///< absolute mono-clock budget (0 = none)
+};
+thread_local ThreadScope t_scope;
 
 // Wire format of the reliability layer: a fixed header followed by the
 // payload.  The checksum covers the payload only, so in-flight bit-flips are
@@ -152,6 +163,144 @@ Transport::Transport(int node_count, std::unique_ptr<Fabric> fabric)
   INTERCOM_REQUIRE(fabric_->node_count() == node_count,
                    "fabric node count does not match the transport's");
   fabric_->attach_pool(pool_);
+  fabric_->set_control_sink(&Transport::control_sink, this);
+}
+
+Transport::CollectiveScope::CollectiveScope(std::uint64_t ctx_base,
+                                            std::uint64_t deadline_ns)
+    : saved_ctx_base_(t_scope.ctx_base),
+      saved_deadline_ns_(t_scope.deadline_ns) {
+  t_scope.ctx_base = ctx_base;
+  t_scope.deadline_ns = deadline_ns;
+}
+
+Transport::CollectiveScope::~CollectiveScope() {
+  t_scope.ctx_base = saved_ctx_base_;
+  t_scope.deadline_ns = saved_deadline_ns_;
+}
+
+void Transport::control_sink(void* self, const ControlFrame& frame) {
+  auto* transport = static_cast<Transport*>(self);
+  if (frame.kind != ControlFrame::Kind::kRevoke) return;
+  {
+    std::lock_guard<std::mutex> lock(transport->revoked_mutex_);
+    for (const auto& [base, origin] : transport->revoked_) {
+      if (base == frame.token) return;  // already revoked: idempotent
+    }
+    transport->revoked_.emplace_back(frame.token, frame.origin);
+    transport->revoked_count_.store(transport->revoked_.size(),
+                                    std::memory_order_release);
+  }
+  if (Tracer* tracer = transport->tracer_;
+      tracer != nullptr && tracer->armed()) {
+    TraceEvent event;
+    event.kind = EventKind::kRevoke;
+    event.start_ns = event.end_ns = tracer->now_ns();
+    event.ctx = frame.token;
+    event.peer = frame.origin;
+    event.label = tracer->intern("revoke");
+    const int node =
+        frame.origin >= 0 && frame.origin < transport->node_count()
+            ? frame.origin
+            : 0;
+    tracer->record(node, event);
+  }
+}
+
+void Transport::revoke_ctx(std::uint64_t ctx_base, int origin) {
+  ControlFrame frame;
+  frame.kind = ControlFrame::Kind::kRevoke;
+  frame.token = ctx_base;
+  frame.origin = origin;
+  // The broadcast lands in every rank's control sink (for the in-process
+  // fabrics: the shared sink, invoked once) and then interrupts parked
+  // waits so blocked members observe the revocation in bounded time.
+  fabric_->broadcast_control(frame);
+}
+
+bool Transport::ctx_revoked(std::uint64_t ctx_base) const {
+  if (revoked_count_.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard<std::mutex> lock(revoked_mutex_);
+  for (const auto& [base, origin] : revoked_) {
+    if (base == ctx_base) return true;
+  }
+  return false;
+}
+
+Transport::ScopeTrip Transport::scope_trip(int peer) const {
+  if (t_scope.ctx_base != 0 && ctx_revoked(t_scope.ctx_base)) {
+    return ScopeTrip::kRevoked;
+  }
+  if (t_scope.deadline_ns != 0 && mono_ns() >= t_scope.deadline_ns) {
+    return ScopeTrip::kDeadline;
+  }
+  if (peer >= 0 && health_ != nullptr && health_->armed() &&
+      health_->is_failed(peer)) {
+    return ScopeTrip::kPeerFailed;
+  }
+  return ScopeTrip::kNone;
+}
+
+long Transport::bounded_timeout_ms(long timeout_ms) const {
+  long bound = 0;  // 0 = no cap
+  if (t_scope.deadline_ns != 0) {
+    const std::uint64_t now = mono_ns();
+    bound = t_scope.deadline_ns > now
+                ? static_cast<long>((t_scope.deadline_ns - now + 999999) /
+                                    1000000)
+                : 1;
+  }
+  if (health_ != nullptr && health_->armed()) {
+    // With the detector armed a parked wait must wake often enough to
+    // beacon, or a healthy-but-blocked node reads as silent and the
+    // detector cascades false failures through the machine.  One watchdog
+    // tick keeps phi near 1 for parked-but-alive nodes.
+    const long beat = std::max<long>(1, health_->config().tick_ms);
+    bound = bound == 0 ? beat : std::min(bound, beat);
+  }
+  if (bound == 0) return timeout_ms;
+  if (timeout_ms <= 0) return bound;
+  return std::min(timeout_ms, bound);
+}
+
+void Transport::throw_scope_trip(ScopeTrip trip, int node, int peer,
+                                 std::uint64_t ctx, int tag) {
+  switch (trip) {
+    case ScopeTrip::kRevoked: {
+      int origin = -1;
+      {
+        std::lock_guard<std::mutex> lock(revoked_mutex_);
+        for (const auto& [base, o] : revoked_) {
+          if (base == t_scope.ctx_base) {
+            origin = o;
+            break;
+          }
+        }
+      }
+      std::ostringstream os;
+      os << "communicator context revoked (origin node " << origin
+         << "): node " << node << " abandoning ctx " << ctx << " tag " << tag;
+      throw RevokedError(os.str());
+    }
+    case ScopeTrip::kDeadline: {
+      std::ostringstream os;
+      os << "collective deadline budget exhausted at node " << node
+         << " (ctx " << ctx << " tag " << tag;
+      if (peer >= 0) os << ", waiting on node " << peer;
+      os << ")" << health_summary(peer) << trace_tail_summary();
+      throw TimeoutError(os.str());
+    }
+    case ScopeTrip::kPeerFailed: {
+      std::ostringstream os;
+      os << "node " << peer << " declared failed by the health detector"
+         << " while node " << node << " waited on it (ctx " << ctx << " tag "
+         << tag << ")" << health_summary(peer) << trace_tail_summary();
+      throw TimeoutError(os.str());
+    }
+    case ScopeTrip::kNone:
+      break;
+  }
+  INTERCOM_REQUIRE(false, "throw_scope_trip called without a trip");
 }
 
 void Transport::check_node(int node) const {
@@ -215,6 +364,11 @@ void Transport::reset() {
   {
     std::lock_guard<std::mutex> lock(abort_mutex_);
     abort_reason_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(revoked_mutex_);
+    revoked_.clear();
+    revoked_count_.store(0, std::memory_order_release);
   }
   // Per-run reliability stats start from zero, matching the cleared flow
   // state (a stale cumulative count would misattribute earlier runs'
@@ -289,13 +443,21 @@ std::string Transport::trace_tail_summary() {
   return os.str();
 }
 
+std::string Transport::health_summary(int peer) const {
+  if (peer < 0 || health_ == nullptr) return "";
+  if (!health_->armed() && !health_->any_failed()) return "";
+  return "; peer " + std::to_string(peer) +
+         " health: " + health_->describe(peer);
+}
+
 void Transport::throw_recv_timeout(int src, int dst, std::uint64_t ctx,
                                    int tag, const char* detail) {
   std::ostringstream os;
   os << "receive timed out at node " << dst << " waiting for node " << src
      << " ctx " << ctx << " tag " << tag << detail
      << " (mismatched collective sequence?); pending messages at node " << dst
-     << ": " << fabric_->pending_summary(dst) << trace_tail_summary();
+     << ": " << fabric_->pending_summary(dst) << health_summary(src)
+     << trace_tail_summary();
   throw TimeoutError(os.str());
 }
 
@@ -305,7 +467,8 @@ void Transport::throw_send_timeout(int src, int dst, std::uint64_t ctx,
   os << "rendezvous send timed out at node " << src << ": node " << dst
      << " never posted a matching receive for ctx " << ctx << " tag " << tag
      << " (mismatched collective sequence?); pending messages at node " << dst
-     << ": " << fabric_->pending_summary(dst) << trace_tail_summary();
+     << ": " << fabric_->pending_summary(dst) << health_summary(dst)
+     << trace_tail_summary();
   throw TimeoutError(os.str());
 }
 
@@ -318,12 +481,24 @@ void Transport::maybe_fail_stop(int src) {
   }
 }
 
+void Transport::maybe_fail_stop_recv(int dst) {
+  if (FaultInjector* injector = injector_.get()) {
+    if (injector->on_recv(dst)) {
+      throw AbortedError("fault injection: node " + std::to_string(dst) +
+                         " fail-stopped (receive budget exhausted)");
+    }
+  }
+}
+
 void Transport::send(int src, int dst, std::uint64_t ctx, int tag,
                      std::span<const std::byte> data) {
   check_node(src);
   check_node(dst);
   INTERCOM_REQUIRE(src != dst, "self-sends are not allowed");
   if (aborted_.load(std::memory_order_relaxed)) throw_aborted();
+  if (ScopeTrip trip = scope_trip(dst); trip != ScopeTrip::kNone) {
+    throw_scope_trip(trip, src, dst, ctx, tag);
+  }
   maybe_fail_stop(src);
   // Disarmed cost: two pointer loads + one relaxed atomic load (the same
   // bypass discipline as the reliability layer's `reliable_` check).
@@ -344,6 +519,7 @@ void Transport::send(int src, int dst, std::uint64_t ctx, int tag,
   } else {
     raw_send(src, dst, ctx, tag, data);
   }
+  if (health_ != nullptr) health_->heard_from(src);
   if (traced || metered) {
     const std::uint64_t t1 = traced ? tracer->now_ns() : mono_ns();
     if (traced) {
@@ -372,6 +548,9 @@ bool Transport::try_send(int src, int dst, std::uint64_t ctx, int tag,
   check_node(dst);
   INTERCOM_REQUIRE(src != dst, "self-sends are not allowed");
   if (aborted_.load(std::memory_order_relaxed)) throw_aborted();
+  if (ScopeTrip trip = scope_trip(dst); trip != ScopeTrip::kNone) {
+    throw_scope_trip(trip, src, dst, ctx, tag);
+  }
   // Fail-stop budgets are charged inside the mode bodies, after the probe
   // has established the send will actually proceed — a parked rendezvous
   // poll is not a send.
@@ -392,6 +571,7 @@ bool Transport::try_send(int src, int dst, std::uint64_t ctx, int tag,
     sent = raw_try_send(src, dst, ctx, tag, data);
   }
   if (!sent) return false;
+  if (health_ != nullptr) health_->heard_from(src);
   if (traced || metered) {
     const std::uint64_t t1 = traced ? tracer->now_ns() : mono_ns();
     if (traced) {
@@ -428,6 +608,10 @@ void Transport::post_recv(PostedRecv& ticket, int src, int dst,
   check_node(src);
   check_node(dst);
   if (aborted_.load(std::memory_order_relaxed)) throw_aborted();
+  maybe_fail_stop_recv(dst);
+  if (ScopeTrip trip = scope_trip(src); trip != ScopeTrip::kNone) {
+    throw_scope_trip(trip, dst, src, ctx, tag);
+  }
   ticket.out = out;
   ticket.accumulate = accumulate;
   ticket.src = src;
@@ -452,6 +636,7 @@ void Transport::wait_recv(PostedRecv& ticket) {
   } else {
     raw_wait_recv(ticket);
   }
+  if (health_ != nullptr) health_->heard_from(ticket.dst);
   if (traced || metered) {
     const std::uint64_t t1 = traced ? tracer->now_ns() : mono_ns();
     if (traced) {
@@ -489,6 +674,9 @@ bool Transport::try_wait_recv(PostedRecv& ticket, RecvProgress& progress) {
   } else {
     done = raw_try_wait_recv(ticket, progress);
   }
+  // Every poll proves the polling node alive (one relaxed store), so a node
+  // parked in a long async wait keeps beating for the failure detector.
+  if (health_ != nullptr) health_->beacon(ticket.dst);
   if (!done) return false;
   if (traced || metered) {
     // The wire span covers the completing probe, not the full posted
@@ -516,23 +704,48 @@ bool Transport::try_wait_recv(PostedRecv& ticket, RecvProgress& progress) {
 
 void Transport::cancel_recv(PostedRecv& ticket) { fabric_->unpost(ticket); }
 
+bool Transport::claim_with_policy(int src, int dst, const CKey& key,
+                                  std::span<const std::byte> data, bool fill) {
+  long waited_ms = 0;
+  for (;;) {
+    if (ScopeTrip trip = scope_trip(dst); trip != ScopeTrip::kNone) {
+      throw_scope_trip(trip, src, dst, key.ctx, key.tag);
+    }
+    // The wait window is the configured timeout capped by the remaining
+    // deadline budget; an infinite wait (0) only stays infinite when no
+    // budget is set, so expiry is observed within one window.
+    const long window = bounded_timeout_ms(recv_timeout_ms_);
+    switch (fabric_->claim(src, dst, key, data, fill, window)) {
+      case FabricStatus::kOk:
+        return true;
+      case FabricStatus::kAborted:
+        throw_aborted();
+      case FabricStatus::kInterrupted:
+        // Health/revocation wakeup: the claim still stands; beacon (a parked
+        // sender is alive) and re-evaluate the scope at the loop top.
+        if (health_ != nullptr) health_->beacon(src);
+        continue;
+      case FabricStatus::kNotReady:
+        if (health_ != nullptr) health_->beacon(src);
+        waited_ms += window;
+        if (recv_timeout_ms_ > 0 && waited_ms >= recv_timeout_ms_) {
+          throw_send_timeout(src, dst, key.ctx, key.tag);
+        }
+        continue;  // deadline-capped nap, not the full timeout: retry
+      case FabricStatus::kMismatch:
+        return false;  // posted buffer length differs
+    }
+  }
+}
+
 void Transport::raw_send(int src, int dst, std::uint64_t ctx, int tag,
                          std::span<const std::byte> data) {
   const CKey key{ctx, tag};
   if (data.size() >= rendezvous_threshold_) {
     // Rendezvous: wait for the receiver's posted buffer and have the fabric
-    // copy straight into it — one copy, no intermediate slab.
-    switch (fabric_->claim(src, dst, key, data, /*fill=*/true,
-                           recv_timeout_ms_)) {
-      case FabricStatus::kOk:
-        return;
-      case FabricStatus::kAborted:
-        throw_aborted();
-      case FabricStatus::kNotReady:
-        throw_send_timeout(src, dst, ctx, tag);
-      case FabricStatus::kMismatch:
-        break;  // posted buffer length differs: eager fallback below
-    }
+    // copy straight into it — one copy, no intermediate slab.  A length
+    // mismatch falls back to the eager deposit below.
+    if (claim_with_policy(src, dst, key, data, /*fill=*/true)) return;
   }
   fabric_->deposit(src, dst, key, data);
 }
@@ -557,6 +770,8 @@ bool Transport::raw_try_send(int src, int dst, std::uint64_t ctx, int tag,
         return true;
       case FabricStatus::kNotReady:
         return false;
+      case FabricStatus::kInterrupted:
+        return false;  // non-blocking probe: treat like not-ready
       case FabricStatus::kAborted:
         throw_aborted();
       case FabricStatus::kMismatch:
@@ -569,17 +784,44 @@ bool Transport::raw_try_send(int src, int dst, std::uint64_t ctx, int tag,
 }
 
 void Transport::raw_wait_recv(PostedRecv& ticket) {
-  switch (fabric_->wait(ticket, recv_timeout_ms_)) {
-    case FabricStatus::kOk:
-      return;
-    case FabricStatus::kAborted:
-      throw_aborted();
-    case FabricStatus::kNotReady:  // watchdog expired; ticket withdrawn
-      throw_recv_timeout(ticket.src, ticket.dst, ticket.ctx, ticket.tag, "");
-    case FabricStatus::kMismatch:
-      break;
+  long waited_ms = 0;
+  bool posted = true;
+  for (;;) {
+    if (ScopeTrip trip = scope_trip(ticket.src); trip != ScopeTrip::kNone) {
+      if (posted) fabric_->unpost(ticket);
+      throw_scope_trip(trip, ticket.dst, ticket.src, ticket.ctx, ticket.tag);
+    }
+    if (!posted) {
+      fabric_->post(ticket);  // re-arm after a deadline-capped expiry
+      posted = true;
+    }
+    const long window = bounded_timeout_ms(recv_timeout_ms_);
+    switch (fabric_->wait(ticket, window)) {
+      case FabricStatus::kOk:
+        return;
+      case FabricStatus::kAborted:
+        throw_aborted();
+      case FabricStatus::kInterrupted:
+        // Health/revocation wakeup: the ticket stays posted; beacon and
+        // re-evaluate the scope at the loop top.
+        if (health_ != nullptr) health_->beacon(ticket.dst);
+        continue;
+      case FabricStatus::kNotReady:
+        // Window expired and the fabric withdrew the ticket.  Only a full
+        // configured timeout is a receive timeout; a deadline-capped window
+        // re-posts and lets the loop top judge the budget.
+        posted = false;
+        if (health_ != nullptr) health_->beacon(ticket.dst);
+        waited_ms += window;
+        if (recv_timeout_ms_ > 0 && waited_ms >= recv_timeout_ms_) {
+          throw_recv_timeout(ticket.src, ticket.dst, ticket.ctx, ticket.tag,
+                             "");
+        }
+        continue;
+      case FabricStatus::kMismatch:
+        INTERCOM_REQUIRE(false, "unexpected fabric status from wait()");
+    }
   }
-  INTERCOM_REQUIRE(false, "unexpected fabric status from wait()");
 }
 
 bool Transport::raw_try_wait_recv(PostedRecv& ticket, RecvProgress& progress) {
@@ -590,6 +832,10 @@ bool Transport::raw_try_wait_recv(PostedRecv& ticket, RecvProgress& progress) {
       throw_aborted();
     default:
       break;
+  }
+  if (ScopeTrip trip = scope_trip(ticket.src); trip != ScopeTrip::kNone) {
+    fabric_->unpost(ticket);
+    throw_scope_trip(trip, ticket.dst, ticket.src, ticket.ctx, ticket.tag);
   }
   if (recv_timeout_ms_ > 0) {
     // The watchdog counts from the first poll — the async analogue of
@@ -617,17 +863,9 @@ std::uint64_t Transport::reliable_send(int src, int dst, std::uint64_t ctx,
     // path — but the payload still travels store-and-forward (framed,
     // logged) because retransmission needs a stable clean copy.  The ticket
     // stays claimed (consumed) until the receiver withdraws it.
-    switch (fabric_->claim(src, dst, CKey{ctx, tag}, {}, /*fill=*/false,
-                           recv_timeout_ms_)) {
-      case FabricStatus::kOk:
-        break;
-      case FabricStatus::kAborted:
-        throw_aborted();
-      case FabricStatus::kNotReady:
-        throw_send_timeout(src, dst, ctx, tag);
-      case FabricStatus::kMismatch:
-        INTERCOM_REQUIRE(false, "handshake claim cannot mismatch");
-    }
+    const bool claimed =
+        claim_with_policy(src, dst, CKey{ctx, tag}, {}, /*fill=*/false);
+    INTERCOM_REQUIRE(claimed, "handshake claim cannot mismatch");
   }
   return framed_send(src, dst, ctx, tag, data);
 }
@@ -652,6 +890,8 @@ bool Transport::reliable_try_send(int src, int dst, std::uint64_t ctx, int tag,
         break;
       case FabricStatus::kNotReady:
         return false;
+      case FabricStatus::kInterrupted:
+        return false;  // non-blocking probe: treat like not-ready
       case FabricStatus::kAborted:
         throw_aborted();
       case FabricStatus::kMismatch:
@@ -839,16 +1079,29 @@ std::uint64_t Transport::reliable_wait_recv(PostedRecv& ticket) {
   bool exhausted = false;
   long rto = base_rto_ms_;
   long waited_ms = 0;
+  long rto_waited_ms = 0;
   Msg frame;
   for (;;) {
+    if (ScopeTrip trip = scope_trip(ticket.src); trip != ScopeTrip::kNone) {
+      fabric_->unpost(ticket);
+      throw_scope_trip(trip, ticket.dst, ticket.src, ticket.ctx, ticket.tag);
+    }
+    const long window = bounded_timeout_ms(rto);
     const FabricStatus status =
-        fabric_->wait_frame(ticket, judge_frame, &jc, &frame, rto);
+        fabric_->wait_frame(ticket, judge_frame, &jc, &frame, window);
     if (status == FabricStatus::kOk) break;
     if (status == FabricStatus::kAborted) {
       fabric_->unpost(ticket);
       throw_aborted();
     }
-    waited_ms += rto;
+    if (health_ != nullptr) health_->beacon(ticket.dst);
+    if (status == FabricStatus::kInterrupted) continue;  // scope re-check
+    waited_ms += window;
+    rto_waited_ms += window;
+    // Windows may be clipped below the RTO by the deadline budget or the
+    // heartbeat cap; only a full RTO of accumulated silence retransmits.
+    if (rto_waited_ms < rto) continue;
+    rto_waited_ms = 0;
     // RTO expired with no wire activity: decide a retransmission (the
     // fabric is unlocked here — deliver takes its locks again, and an
     // injected delay sleeps).
@@ -873,6 +1126,10 @@ bool Transport::reliable_try_wait_recv(PostedRecv& ticket,
                                        RecvProgress& progress) {
   const CKey key{ticket.ctx, ticket.tag};
   const FlowKey flow_key{ticket.dst, ticket.ctx, ticket.tag};
+  if (ScopeTrip trip = scope_trip(ticket.src); trip != ScopeTrip::kNone) {
+    fabric_->unpost(ticket);
+    throw_scope_trip(trip, ticket.dst, ticket.src, ticket.ctx, ticket.tag);
+  }
   if (!progress.started) {
     // First poll: capture the in-order sequence number this receive owns
     // (the blocking call does the same at entry) and start both clocks.

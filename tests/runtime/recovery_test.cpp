@@ -1,0 +1,401 @@
+// Recovery suite: failure detection, deadline budgets, and the ULFM-style
+// revoke/shrink/agree protocol (see docs/robustness.md).  A machine that
+// loses nodes mid-collective must turn every would-be hang into a typed,
+// diagnosable error in bounded time, and the survivors must be able to agree
+// on the failure, shrink around it, and keep computing.  All failure
+// injection is deterministic (direct throws or seeded crash schedules), so a
+// failure here replays exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <random>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "intercom/runtime/communicator.hpp"
+#include "intercom/runtime/fault.hpp"
+#include "intercom/runtime/health.hpp"
+#include "intercom/runtime/multicomputer.hpp"
+#include "intercom/runtime/transport.hpp"
+#include "intercom/util/error.hpp"
+#include "fabric_fixture.hpp"
+
+namespace intercom {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Every suite runs once per delivery fabric (see fabric_fixture.hpp): the
+// health detector, deadline scopes and the recovery protocol are policy
+// layered above the fabric seam, so their contracts must hold on the
+// simulated wire exactly as on the ideal one.
+class DeadlineTest : public FabricParamTest {};
+class DetectorTest : public FabricParamTest {};
+class RevokeTest : public FabricParamTest {};
+class AgreeShrinkTest : public FabricParamTest {};
+class FaultBudgetTest : public FabricParamTest {};
+
+// ---------------------------------------------------------------------------
+// Deadline budgets: hangs become TimeoutError within the budget.
+
+TEST_P(DeadlineTest, DeadlineBudgetTurnsHangIntoTimeoutError) {
+  Multicomputer& mc = machine(Mesh2D(1, 2));
+  std::string message;
+  const auto start = Clock::now();
+  mc.run_spmd([&](Node& node) {
+    if (node.id() == 1) {
+      // Never enters the collective: without a budget, rank 0 would hang.
+      std::this_thread::sleep_for(std::chrono::milliseconds(600));
+      return;
+    }
+    Communicator world = node.world();
+    world.set_deadline_ms(200);
+    EXPECT_EQ(world.deadline_ms(), 200);
+    std::vector<double> data(64, 0.0);
+    try {
+      world.broadcast(std::span<double>(data), /*root=*/1);
+      ADD_FAILURE() << "broadcast against an absent root must not complete";
+    } catch (const TimeoutError& e) {
+      message = e.what();
+    }
+  });
+  EXPECT_LT(Clock::now() - start, std::chrono::seconds(10));
+  EXPECT_NE(message.find("deadline budget exhausted"), std::string::npos)
+      << message;
+}
+
+TEST_P(DeadlineTest, AsyncCollectiveHonorsDeadlineBudgetFromIssue) {
+  Multicomputer& mc = machine(Mesh2D(1, 2));
+  std::atomic<bool> timed_out{false};
+  mc.run_spmd([&](Node& node) {
+    if (node.id() == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(600));
+      return;
+    }
+    Communicator world = node.world();  // must outlive the request
+    world.set_deadline_ms(200);
+    std::vector<double> data(64, 0.0);
+    Request r = world.ibroadcast(std::span<double>(data), /*root=*/1);
+    try {
+      r.wait();
+    } catch (const TimeoutError&) {
+      timed_out = true;
+    }
+  });
+  EXPECT_TRUE(timed_out) << "issue-time deadline did not bound the wait";
+}
+
+TEST_P(DeadlineTest, GenerousDeadlineDoesNotPerturbHealthyCollectives) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  const int p = mc.node_count();
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    world.set_deadline_ms(30000);
+    for (int round = 0; round < 10; ++round) {
+      std::vector<std::int64_t> data(257, 1);
+      world.all_reduce_sum(std::span<std::int64_t>(data));
+      for (const std::int64_t v : data) ASSERT_EQ(v, p);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Failure detection: silent nodes are flagged; verdicts enrich diagnostics.
+
+TEST_P(DetectorTest, WatchdogFlagsSilentNode) {
+  Multicomputer& mc = machine(Mesh2D(1, 2));
+  mc.set_health_monitoring(true);
+  std::atomic<bool> flagged{false};
+  mc.run_spmd([&](Node& node) {
+    if (node.id() == 1) {
+      // Wedged: performs no fabric verb, so its beacons stop.
+      std::this_thread::sleep_for(std::chrono::milliseconds(800));
+      return;
+    }
+    HealthMonitor& health = node.machine().health();
+    const auto deadline = Clock::now() + std::chrono::seconds(5);
+    while (Clock::now() < deadline) {
+      health.heard_from(node.id());  // stay alive ourselves while polling
+      if (health.state(1) != NodeHealth::kAlive) {
+        flagged = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  EXPECT_TRUE(flagged) << "detector never suspected the silent node";
+}
+
+TEST_P(DetectorTest, PeerFailureVerdictEnrichesTimeout) {
+  Multicomputer& mc = machine(Mesh2D(1, 2));
+  mc.set_survivable(true);
+  std::string message;
+  mc.run_spmd([&](Node& node) {
+    if (node.id() == 1) throw Error("node 1 dies at once");
+    Communicator world = node.world();
+    std::vector<double> data(64, 0.0);
+    try {
+      // No deadline, no recv timeout: only the failure detector's interrupt
+      // can unblock this wait.
+      world.broadcast(std::span<double>(data), /*root=*/1);
+      ADD_FAILURE() << "broadcast from a dead root must not complete";
+    } catch (const TimeoutError& e) {
+      message = e.what();
+    }
+  });
+  EXPECT_NE(message.find("declared failed by the health detector"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("health:"), std::string::npos)
+      << "timeout diagnostic lacks the peer's health verdict: " << message;
+  EXPECT_EQ(mc.health().state(1), NodeHealth::kFailed);
+  EXPECT_TRUE(mc.health().is_failed(1));
+  const std::vector<int> failed = mc.health().failed_nodes();
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], 1);
+}
+
+// ---------------------------------------------------------------------------
+// Revocation: one communicator poisoned, siblings untouched.
+
+TEST_P(RevokeTest, RevokePoisonsOnlyThatCommunicator) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  const int p = mc.node_count();
+  mc.run_spmd([&](Node& node) {
+    Communicator a = node.world();
+    Communicator b = node.group(Group::contiguous(p), /*color=*/1);
+    a.revoke();  // idempotent: every rank revokes
+    EXPECT_TRUE(a.revoked());
+    std::vector<std::int64_t> data(16, 1);
+    EXPECT_THROW(a.all_reduce_sum(std::span<std::int64_t>(data)),
+                 RevokedError);
+    EXPECT_THROW(a.barrier(), RevokedError);
+    // The sibling communicator on the same fabric keeps working.
+    std::vector<std::int64_t> fine(16, 1);
+    b.all_reduce_sum(std::span<std::int64_t>(fine));
+    for (const std::int64_t v : fine) ASSERT_EQ(v, p);
+  });
+}
+
+TEST_P(RevokeTest, RevokeUnblocksPeersParkedInsideTheCollective) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  const int p = mc.node_count();
+  std::vector<std::atomic<int>> observed(static_cast<std::size_t>(p));
+  for (auto& o : observed) o = 0;
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    if (node.id() == 0) {
+      // Let the peers park inside the broadcast first, then revoke instead
+      // of ever participating.
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      world.revoke();
+      return;
+    }
+    std::vector<double> data(64, 0.0);
+    try {
+      world.broadcast(std::span<double>(data), /*root=*/0);
+    } catch (const RevokedError&) {
+      observed[static_cast<std::size_t>(node.id())] = 1;
+    }
+  });
+  for (int id = 1; id < p; ++id) {
+    EXPECT_EQ(observed[static_cast<std::size_t>(id)], 1)
+        << "rank " << id << " was not unblocked by the revocation";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Agreement and shrink.
+
+TEST_P(AgreeShrinkTest, AgreeComputesOrDespiteRevocation) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    world.revoke();  // agreement must still complete on a revoked comm
+    EXPECT_TRUE(world.agree(world.rank() == 2));
+    EXPECT_FALSE(world.agree(false));
+    EXPECT_TRUE(world.agree(true));
+  });
+}
+
+TEST_P(AgreeShrinkTest, ShrinkBuildsSurvivorCommunicator) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  mc.set_survivable(true);
+  mc.run_spmd([&](Node& node) {
+    if (node.id() == 3) throw Error("node 3 dies");
+    Communicator world = node.world();
+    world.set_deadline_ms(2000);
+    std::vector<std::int64_t> data(64, 1);
+    try {
+      world.all_reduce_sum(std::span<std::int64_t>(data));
+      ADD_FAILURE() << "allreduce with a dead member must not complete";
+    } catch (const Error&) {
+      world.revoke();
+    }
+    EXPECT_TRUE(world.agree(true));
+    Communicator comm = world.shrink();
+    EXPECT_EQ(comm.size(), 3);
+    EXPECT_EQ(comm.rank(), world.rank());  // old rank order, compacted
+    EXPECT_EQ(comm.generation(), 1u);
+    EXPECT_NE(comm.context_base(), world.context_base());
+    std::vector<std::int64_t> again(64, 1);
+    comm.all_reduce_sum(std::span<std::int64_t>(again));
+    for (const std::int64_t v : again) ASSERT_EQ(v, 3);
+  });
+  EXPECT_TRUE(mc.health().is_failed(3));
+}
+
+TEST_P(AgreeShrinkTest, CrashAtStepIsDeterministicAndSurvivable) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  mc.set_survivable(true);
+  auto injector = std::make_shared<FaultInjector>(1u);
+  injector->crash_at_step(/*node=*/2, /*step=*/1);
+  mc.set_fault_injector(injector);
+  mc.set_retry_policy(/*max_retries=*/6, /*base_rto_ms=*/5);
+  mc.run_spmd([&](Node& node) {
+    Communicator comm = node.world();
+    comm.set_deadline_ms(2000);
+    bool ok = false;
+    for (int attempt = 0; attempt < 4 && !ok; ++attempt) {
+      bool failed = false;
+      std::vector<std::int64_t> data(64, 1);
+      try {
+        comm.all_reduce_sum(std::span<std::int64_t>(data));
+      } catch (const AbortedError&) {
+        throw;  // this node's own scripted crash
+      } catch (const Error&) {
+        failed = true;
+        // Revoke before agreeing: peers parked on the dead epoch unwind
+        // immediately and join the agreement instead of riding out their
+        // own deadline budget.
+        comm.revoke();
+      }
+      if (!comm.agree(failed)) {
+        for (const std::int64_t v : data) ASSERT_EQ(v, comm.size());
+        ok = true;
+        break;
+      }
+      Communicator next = comm.shrink();
+      comm = std::move(next);
+      comm.set_deadline_ms(2000);
+    }
+    EXPECT_TRUE(ok) << "rank " << node.id() << " never recovered";
+  });
+  EXPECT_TRUE(mc.health().is_failed(2));
+  EXPECT_GE(injector->stats().fail_stops, 1u);
+}
+
+// Randomized crash-soak: kill k of p nodes at random plan steps; the
+// survivors must agree, shrink, and complete an allreduce.  The seed is the
+// suite parameter and is logged, so a failing schedule replays exactly.
+class RecoverySoakTest : public FabricCrossTest<std::uint64_t> {};
+
+TEST_P(RecoverySoakTest, SurvivorsAgreeShrinkAndComplete) {
+  const std::uint64_t seed = arg();
+  SCOPED_TRACE("crash-soak seed " + std::to_string(seed));
+  std::cout << "[ SOAK   ] fabric=" << fabric() << " seed=" << seed << "\n";
+  Multicomputer& mc = machine(Mesh2D(2, 4));
+  const int p = mc.node_count();
+  mc.set_survivable(true);
+  auto injector = std::make_shared<FaultInjector>(seed);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> victim_dist(1, p - 1);
+  std::uniform_int_distribution<std::size_t> step_dist(0, 3);
+  const int kVictims = 2;
+  std::vector<int> victims;
+  while (static_cast<int>(victims.size()) < kVictims) {
+    const int v = victim_dist(rng);
+    if (std::find(victims.begin(), victims.end(), v) == victims.end()) {
+      const std::size_t step = step_dist(rng);
+      victims.push_back(v);
+      injector->crash_at_step(v, step);
+      std::cout << "[ SOAK   ] node " << v << " crashes at plan step " << step
+                << "\n";
+    }
+  }
+  mc.set_fault_injector(injector);
+  mc.set_retry_policy(/*max_retries=*/6, /*base_rto_ms=*/5);
+
+  mc.run_spmd([&](Node& node) {
+    Communicator comm = node.world();
+    comm.set_deadline_ms(2000);
+    bool ok = false;
+    for (int attempt = 0; attempt < p && !ok; ++attempt) {
+      bool failed = false;
+      std::vector<std::int64_t> data(256, 1);
+      try {
+        comm.all_reduce_sum(std::span<std::int64_t>(data));
+      } catch (const AbortedError&) {
+        throw;  // own scripted crash: die for real
+      } catch (const Error&) {
+        failed = true;
+        // Revoke before agreeing: peers parked on the dead epoch unwind
+        // immediately and join the agreement instead of riding out their
+        // own deadline budget.
+        comm.revoke();
+      }
+      if (!comm.agree(failed)) {
+        for (const std::int64_t v : data) ASSERT_EQ(v, comm.size());
+        ok = true;
+        break;
+      }
+      Communicator next = comm.shrink();
+      comm = std::move(next);
+      comm.set_deadline_ms(2000);
+    }
+    EXPECT_TRUE(ok) << "rank " << node.id() << " never recovered";
+  });
+  EXPECT_GE(mc.health().failed_nodes().size(), 1u)
+      << "soak killed nobody — crash steps were never reached";
+  EXPECT_GE(injector->stats().fail_stops, 1u);
+}
+
+INTERCOM_INSTANTIATE_FABRIC_CROSS_SUITE(
+    RecoverySoakTest,
+    ::testing::Values(std::uint64_t{0xC0FFEE}, std::uint64_t{20260808}));
+
+// ---------------------------------------------------------------------------
+// Fail-stop budgets on the receive side.
+
+TEST_P(FaultBudgetTest, RecvBudgetFailStopsOnPostedReceive) {
+  Transport& t = transport(2);
+  auto injector = std::make_shared<FaultInjector>(1u);
+  injector->fail_stop_after(/*node=*/1, /*k=*/2,
+                           FaultInjector::FailStopOps::kSendsAndRecvs);
+  t.set_fault_injector(injector);
+  std::vector<std::byte> payload(4, std::byte{0x5a});
+  t.send(1, 0, /*ctx=*/7, /*tag=*/0, payload);  // node 1's op #1: survives
+  std::vector<std::byte> out(4);
+  // Node 1's op #2 is a posted receive — with kSendsAndRecvs it burns the
+  // budget and the node fail-stops mid-receive.
+  EXPECT_THROW(t.recv(0, 1, /*ctx=*/7, /*tag=*/0, out), AbortedError);
+  EXPECT_GE(injector->stats().fail_stops, 1u);
+}
+
+TEST_P(FaultBudgetTest, SendOnlyBudgetIgnoresReceives) {
+  Transport& t = transport(2);
+  auto injector = std::make_shared<FaultInjector>(1u);
+  injector->fail_stop_after(/*node=*/1, /*k=*/1);  // default: sends only
+  t.set_fault_injector(injector);
+  std::vector<std::byte> payload(4, std::byte{0x5a});
+  t.send(0, 1, /*ctx=*/7, /*tag=*/0, payload);
+  std::vector<std::byte> out(4);
+  t.recv(0, 1, /*ctx=*/7, /*tag=*/0, out);  // not charged
+  EXPECT_THROW(t.send(1, 0, /*ctx=*/7, /*tag=*/0, payload), AbortedError);
+}
+
+INTERCOM_INSTANTIATE_FABRIC_SUITE(DeadlineTest);
+INTERCOM_INSTANTIATE_FABRIC_SUITE(DetectorTest);
+INTERCOM_INSTANTIATE_FABRIC_SUITE(RevokeTest);
+INTERCOM_INSTANTIATE_FABRIC_SUITE(AgreeShrinkTest);
+INTERCOM_INSTANTIATE_FABRIC_SUITE(FaultBudgetTest);
+
+}  // namespace
+}  // namespace intercom
