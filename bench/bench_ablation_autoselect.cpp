@@ -1,14 +1,61 @@
-// Ablation: cost-model-driven strategy auto-selection vs the two fixed pure
-// algorithms, across message lengths and node counts (including a prime
+// Ablation 1: cost-model-driven strategy auto-selection vs the two fixed
+// pure algorithms, across message lengths and node counts (including a prime
 // count, where the paper notes hybrids cannot help because the group size
 // has no useful factorization).  The selected strategy must match the best
 // fixed algorithm at the extremes and beat both in the crossover region
 // whenever a true hybrid exists.
+//
+// Ablation 2: online autotuned selection (the decision cache) vs the static
+// heuristic, measured on the live runtime.  For a set of (collective, p,
+// n-bucket) cells we first establish ground truth by running EVERY candidate
+// through the normal Communicator path with its decision cell pinned to that
+// single candidate and keeping the fastest; then we run the same collectives
+// with autotuning in kOnline mode and report the selection-quality regret of
+//
+//   * the static heuristic (the model's argmin — what mode kOff runs), and
+//   * the decision cache's locked-in winner,
+//
+// each vs the best measured candidate.  Emits BENCH_autotune.json.
+//
+// Usage: bench_ablation_autoselect [cache-path]
+//
+// With a cache path the run is COLD when the file does not exist yet
+// (explore, lock in, persist) and WARM when it does (the persisted winners
+// skip exploration; the report shows explored = 0 and the warm regret).
+// CI runs the binary twice with the same path to record both phases.
+//
+// Acceptance (quiet hosts; CI records the trajectory, it does not gate):
+// warm-start regret <= 5% per cell, and the online winner beats the static
+// pick on at least one cell where the model mispredicts.  The in-process
+// wire provides the misprediction naturally: the model prices candidates
+// for a wormhole mesh with per-link bandwidth, but the inproc fabric is an
+// oversubscribed shared-memory host where link parallelism buys nothing —
+// the all-reduce cells' measured ranking inverts the model's argmin, and
+// the measured feedback wins that argument.  (Träff circulant candidates
+// race in every cell; their conflict over-charge story is covered in
+// bench_ablation_tuner.)
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+
 #include "common.hpp"
+#include "intercom/runtime/communicator.hpp"
+#include "intercom/runtime/multicomputer.hpp"
 
 using namespace intercom;
 
-int main() {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// Ablation 1 (simulated): auto-selection vs the fixed pure algorithms.
+
+void simulated_ablation() {
   bench::print_header(
       "Ablation: hybrid auto-selection vs fixed algorithms (broadcast)",
       "simulated linear arrays, Paragon parameters; 'auto' is the planner's\n"
@@ -46,5 +93,343 @@ int main() {
     table.print(std::cout);
     std::cout << "\n";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 2 (runtime): online autotuned selection vs the static heuristic.
+
+struct CellSpec {
+  Collective collective;
+  const char* name;  ///< JSON / table name
+  int p;
+  std::size_t elems;  ///< doubles
+};
+
+struct MeasuredCandidate {
+  std::string label;
+  double predicted_s = 0.0;
+  double measured_ns = 0.0;
+};
+
+struct CellReport {
+  CellSpec spec;
+  std::vector<MeasuredCandidate> candidates;
+  std::string best_label;
+  double best_ns = 0.0;
+  std::string static_label;
+  double static_ns = 0.0;
+  std::string selected_label;
+  double selected_ns = 0.0;
+  bool locked = false;
+  std::uint64_t explored = 0;  ///< autotune.explore counter of the cell's run
+};
+
+double elapsed_ns(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::nano>(t1 - t0).count();
+}
+
+/// One collective round through the normal Communicator path.
+void communicator_round(Communicator& world, Collective collective,
+                        std::vector<double>& data) {
+  std::fill(data.begin(), data.end(), 1.0);
+  switch (collective) {
+    case Collective::kCombineToAll:
+      world.all_reduce_sum(std::span<double>(data));
+      break;
+    case Collective::kDistributedCombine:
+      world.reduce_scatter_sum(std::span<double>(data));
+      break;
+    case Collective::kCollect:
+      world.collect(std::span<double>(data));
+      break;
+    default:
+      break;
+  }
+}
+
+/// Ground truth through the LIVE RUNTIME: each candidate gets its own
+/// Multicomputer whose decision cell is pre-acquired with that single
+/// candidate (acquire is idempotent, so the communicator adopts the pinned
+/// cell, and kSeed mode runs its only candidate every round), then the same
+/// SPMD loop the online tuner runs is timed in blocks of back-to-back
+/// rounds.  Measuring the runtime path — not a barrier-fenced wire
+/// microbench — matters twice over: per-collective overhead and steady-state
+/// arrival skew are part of what a candidate costs (on an oversubscribed
+/// host the fenced harness rewarded algorithms the live loop then measured
+/// as slower), and regret against this baseline isolates selection quality
+/// from harness mismatch.  Blocks interleave candidates round-robin so host
+/// drift lands on every candidate equally; per candidate the statistic is
+/// the min over blocks of the per-round average — the same one-sided-noise
+/// reducer the decision cache selects by.
+std::vector<double> measure_candidates_runtime_ns(
+    const CellSpec& spec, const MachineParams& machine,
+    const std::vector<DecisionCell::Candidate>& candidates) {
+  constexpr int kWarmupRounds = 4;  ///< untimed, per candidate
+  constexpr int kBlock = 8;         ///< rounds per timed block
+  constexpr int kReps = 10;         ///< timed blocks per candidate
+  const DecisionCache::CellKey key{
+      spec.collective, spec.p,
+      DecisionCache::bucket_of(spec.elems * sizeof(double))};
+
+  std::vector<std::unique_ptr<Multicomputer>> mcs;
+  mcs.reserve(candidates.size());
+  for (const DecisionCell::Candidate& cand : candidates) {
+    auto mc = std::make_unique<Multicomputer>(Mesh2D(1, spec.p), machine);
+    AutotuneConfig config;
+    config.mode = AutotuneMode::kSeed;
+    mc->set_autotune(config);
+    mc->autotune_cache().acquire(key, {cand}, /*exploration_budget=*/0);
+    mc->run_spmd([&](Node& node) {  // warm plan caches, pools, arenas
+      Communicator world = node.world();
+      std::vector<double> data(spec.elems);
+      for (int k = 0; k < kWarmupRounds; ++k) {
+        communicator_round(world, spec.collective, data);
+      }
+    });
+    mcs.push_back(std::move(mc));
+  }
+
+  std::vector<double> best(candidates.size(),
+                           std::numeric_limits<double>::infinity());
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const auto t0 = Clock::now();
+      mcs[c]->run_spmd([&](Node& node) {
+        Communicator world = node.world();
+        std::vector<double> data(spec.elems);
+        for (int k = 0; k < kBlock; ++k) {
+          communicator_round(world, spec.collective, data);
+        }
+      });
+      best[c] = std::min(best[c], elapsed_ns(t0, Clock::now()) / kBlock);
+    }
+  }
+  return best;
+}
+
+CellReport run_cell(const CellSpec& spec, const MachineParams& machine,
+                    const std::string& cache_path) {
+  CellReport report;
+  report.spec = spec;
+  const std::size_t nbytes = spec.elems * sizeof(double);
+  const Group g = Group::contiguous(spec.p);
+  const Planner planner(machine);
+
+  // Ground truth: run every (finitely priced) candidate through the live
+  // runtime, pinned.  Same filter the decision cache applies when seeding a
+  // cell, so the measured set and the explored set are the same set.
+  std::vector<DecisionCell::Candidate> pinned;
+  for (const HybridStrategy& strategy : planner.candidate_strategies(g)) {
+    const double predicted =
+        planner.predict(spec.collective, strategy, nbytes)
+            .seconds(planner.params());
+    if (!(predicted < 1e28)) continue;  // inapplicable (sentinel-priced)
+    DecisionCell::Candidate pin;
+    pin.strategy = strategy;
+    pin.label = strategy.label();
+    pin.predicted_seconds = predicted;
+    pinned.push_back(std::move(pin));
+    MeasuredCandidate c;
+    c.label = strategy.label();
+    c.predicted_s = predicted;
+    report.candidates.push_back(std::move(c));
+  }
+  const std::vector<double> measured =
+      measure_candidates_runtime_ns(spec, machine, pinned);
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    report.candidates[i].measured_ns = measured[i];
+  }
+
+  report.best_ns = std::numeric_limits<double>::infinity();
+  for (const MeasuredCandidate& c : report.candidates) {
+    if (c.measured_ns < report.best_ns) {
+      report.best_ns = c.measured_ns;
+      report.best_label = c.label;
+    }
+  }
+  const auto measured_of = [&](const std::string& label) {
+    for (const MeasuredCandidate& c : report.candidates) {
+      if (c.label == label) return c.measured_ns;
+    }
+    return 0.0;
+  };
+
+  // The static heuristic: what autotune-off (and the seed of every cell)
+  // would run forever.
+  report.static_label =
+      planner.select_strategy(spec.collective, g, nbytes).label();
+  report.static_ns = measured_of(report.static_label);
+
+  // The online decision cache: normal Communicator path, explore past the
+  // budget, read back the locked winner.  A pre-existing cache file makes
+  // this a warm start (no exploration at all).
+  Multicomputer mc(Mesh2D(1, spec.p), machine);
+  AutotuneConfig config;
+  config.mode = AutotuneMode::kOnline;
+  config.cache_path = cache_path;
+  // Several observations per candidate: the min-based selection statistic
+  // needs a few samples per candidate for each one's min to converge.
+  config.exploration_budget =
+      12 * static_cast<int>(report.candidates.size());
+  mc.set_autotune(config);
+  // A barrier every block-size rounds resynchronizes the members, so the
+  // tuner's observations come from the same steady-state regime (arrival
+  // skew bounded to one block) the pinned ground-truth measurement sees.
+  // A plain thread barrier, not Communicator::barrier(): the latter is an
+  // 8-byte all-reduce that would open (and explore) its own decision cell.
+  const int rounds = config.exploration_budget + 6;
+  std::barrier resync(spec.p);
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    std::vector<double> data(spec.elems);
+    for (int round = 0; round < rounds; ++round) {
+      if (round % 8 == 0) resync.arrive_and_wait();
+      communicator_round(world, spec.collective, data);
+    }
+  });
+  const DecisionCache::CellKey key{spec.collective, spec.p,
+                                   DecisionCache::bucket_of(nbytes)};
+  if (DecisionCell* cell = mc.autotune_cache().find(key)) {
+    report.locked = cell->locked.load(std::memory_order_acquire) >= 0;
+    report.selected_label = cell->winner_label();
+    report.selected_ns = measured_of(report.selected_label);
+  }
+  report.explored = mc.metrics().counter("autotune.explore").value();
+  if (!cache_path.empty()) {
+    std::string error;
+    if (!mc.save_autotune(&error)) {
+      std::cout << "warning: could not persist decision cache: " << error
+                << "\n";
+    }
+  }
+  return report;
+}
+
+double regret_pct(double ns, double best_ns) {
+  if (!(best_ns > 0.0) || !(ns > 0.0)) return 0.0;
+  return (ns / best_ns - 1.0) * 100.0;
+}
+
+std::string format_pct(double pct) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << pct << "%";
+  return os.str();
+}
+
+void write_autotune_json(const std::vector<CellReport>& reports, bool warm) {
+  std::ofstream os("BENCH_autotune.json");
+  if (!os) return;
+  os << "[\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const CellReport& r = reports[i];
+    os << "  {\"phase\": \"" << (warm ? "warm" : "cold") << "\","
+       << " \"collective\": \"" << r.spec.name << "\","
+       << " \"p\": " << r.spec.p << ","
+       << " \"bytes\": " << r.spec.elems * sizeof(double) << ","
+       << " \"n_bucket\": "
+       << DecisionCache::bucket_of(r.spec.elems * sizeof(double)) << ",\n"
+       << "   \"candidates\": [";
+    for (std::size_t c = 0; c < r.candidates.size(); ++c) {
+      if (c) os << ", ";
+      os << "{\"label\": \"" << r.candidates[c].label << "\", \"predicted_s\": "
+         << r.candidates[c].predicted_s << ", \"measured_ns\": "
+         << r.candidates[c].measured_ns << "}";
+    }
+    os << "],\n"
+       << "   \"best\": \"" << r.best_label << "\","
+       << " \"best_ns\": " << r.best_ns << ",\n"
+       << "   \"static\": \"" << r.static_label << "\","
+       << " \"static_ns\": " << r.static_ns << ","
+       << " \"static_regret_pct\": "
+       << regret_pct(r.static_ns, r.best_ns) << ",\n"
+       << "   \"selected\": \"" << r.selected_label << "\","
+       << " \"selected_ns\": " << r.selected_ns << ","
+       << " \"selected_regret_pct\": "
+       << regret_pct(r.selected_ns, r.best_ns) << ",\n"
+       << "   \"locked\": " << (r.locked ? "true" : "false") << ","
+       << " \"explored\": " << r.explored << ","
+       << " \"model_mispredicts\": "
+       << (r.static_label != r.best_label ? "true" : "false") << ","
+       << " \"online_beats_static\": "
+       << (r.selected_ns > 0.0 && r.selected_ns < r.static_ns ? "true"
+                                                              : "false")
+       << "}" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+void runtime_ablation(const std::string& cache_path) {
+  // Warm means the persisted decision cache already exists: the winners load
+  // at set_autotune time and every cell skips exploration.
+  const bool warm =
+      !cache_path.empty() && std::ifstream(cache_path).good();
+
+  bench::print_header(
+      "Ablation: online autotuned selection vs static heuristic (runtime)",
+      std::string("live Communicator collectives on the in-process wire; "
+                  "'best' is the\nfastest candidate (each measured with its "
+                  "decision cell pinned to it),\n'static' the model's argmin, "
+                  "'online' the decision cache's locked-in\nwinner.  This "
+                  "run is ") +
+          (warm ? "WARM\n(persisted winners, no exploration)."
+                : "COLD\n(explores, locks in, persists)."));
+
+  const MachineParams machine = MachineParams::paragon();
+  // Bandwidth-dominated sizes: at kilobyte vectors the inter-candidate gaps
+  // are microseconds and host noise decides the race; at half-megabyte
+  // vectors the algorithm structure (how many times the full vector crosses
+  // the wire) decides it and the ranking is stable run to run.
+  const std::vector<CellSpec> cells = {
+      {Collective::kCombineToAll, "all_reduce", 6, 8192},
+      {Collective::kCombineToAll, "all_reduce", 6, 65536},
+      {Collective::kDistributedCombine, "reduce_scatter", 5, 2048},
+      {Collective::kDistributedCombine, "reduce_scatter", 5, 8192},
+  };
+
+  std::vector<CellReport> reports;
+  for (const CellSpec& spec : cells) {
+    reports.push_back(run_cell(spec, machine, cache_path));
+  }
+
+  TextTable table({"cell", "best (measured)", "static pick", "static regret",
+                   "online pick", "online regret", "explored"});
+  bool online_win_on_mispredict = false;
+  double worst_regret = 0.0;
+  for (const CellReport& r : reports) {
+    std::ostringstream cell;
+    cell << r.spec.name << " p=" << r.spec.p << " "
+         << format_bytes(r.spec.elems * sizeof(double));
+    table.add_row({cell.str(), r.best_label, r.static_label,
+                   format_pct(regret_pct(r.static_ns, r.best_ns)),
+                   r.selected_label.empty() ? "(unlocked)" : r.selected_label,
+                   format_pct(regret_pct(r.selected_ns, r.best_ns)),
+                   std::to_string(r.explored)});
+    worst_regret =
+        std::max(worst_regret, regret_pct(r.selected_ns, r.best_ns));
+    if (r.static_label != r.best_label && r.selected_ns > 0.0 &&
+        r.selected_ns < r.static_ns) {
+      online_win_on_mispredict = true;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nworst online regret: " << format_pct(worst_regret)
+            << (warm ? "  (acceptance: <= 5.0% warm)" : "") << "\n"
+            << "online beat static on a mispredicted cell: "
+            << (online_win_on_mispredict ? "yes" : "no")
+            << "  (on the oversubscribed in-process wire the model's\n"
+               "link-parallelism assumptions mischarge the all-reduce "
+               "candidates, and the measured feedback corrects it)\n";
+
+  write_autotune_json(reports, warm);
+  std::cout << "wrote BENCH_autotune.json (" << (warm ? "warm" : "cold")
+            << " phase)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  simulated_ablation();
+  runtime_ablation(argc > 1 ? argv[1] : "");
   return 0;
 }

@@ -47,5 +47,38 @@ int main() {
                "where the model's conflict pessimism matters; the extremes\n"
                "(pure MST, pure scatter/collect) are conflict-free and the\n"
                "model is already exact there.\n";
+
+  // Same experiment for the un-rooted combines, where the candidate race
+  // now includes Träff's circulant reduce-scatter/allreduce.  The model
+  // deliberately over-charges the circulant's conflict exposure (see
+  // hybrid_cost), so this is exactly the band where simulation feedback —
+  // and, on the live runtime, the online decision cache — can overrule it.
+  bench::print_header(
+      "Tuner on the combines (circulant candidates in the race)",
+      "all-reduce / reduce-scatter on the same 30-node array; a ',T' label\n"
+      "marks a Träff circulant pick.");
+  for (Collective collective :
+       {Collective::kCombineToAll, Collective::kDistributedCombine}) {
+    std::cout << (collective == Collective::kCombineToAll ? "all-reduce"
+                                                          : "reduce-scatter")
+              << "\n";
+    TextTable combines({"bytes", "model pick", "model sim (s)", "tuned pick",
+                        "tuned sim (s)", "gain"});
+    for (std::size_t n : bench::sweep_lengths()) {
+      const auto model_pick = planner.select_strategy(collective, g, n);
+      const double model_sim =
+          sim.run(planner.plan_with_strategy(collective, g, n, 1, 0,
+                                             model_pick))
+              .seconds;
+      const TuneResult tuned =
+          tune_strategy(planner, sim, collective, g, n, 1, 0, 8);
+      combines.add_row({format_bytes(n), model_pick.label(),
+                        format_seconds(model_sim), tuned.best.label(),
+                        format_seconds(tuned.best_seconds),
+                        format_seconds(model_sim / tuned.best_seconds)});
+    }
+    combines.print(std::cout);
+    std::cout << "\n";
+  }
   return 0;
 }

@@ -189,6 +189,51 @@ void three_way(int p) {
   std::cout << "\n";
 }
 
+/// Short-vector three-way at a prime p: with no useful factorization the
+/// planner's short-vector race is ring vs gather+broadcast vs the Träff
+/// circulant, and the circulant's ceil(log2 p) rounds win — its ",T" rows
+/// are the circulant algorithms showing up in the three-way report.  Model
+/// ratios are dominated by per-message runtime overhead at these sizes
+/// (microsecond collectives); the rows are here for algorithm coverage, not
+/// the 2x acceptance band.
+void three_way_short(int p) {
+  const Mesh2D mesh(1, p);
+  const MachineParams machine = MachineParams::paragon();
+  const std::vector<std::size_t> sizes = {64, 512};
+
+  Multicomputer inproc(mesh, machine);
+  Multicomputer sim(mesh, machine, sim_spec(machine, /*time_scale=*/1.0));
+  for (Multicomputer* mc : {&inproc, &sim}) {
+    mc->run_spmd([&](Node& node) {  // warm plan caches and pools untraced
+      Communicator world = node.world();
+      std::vector<double> buf(sizes.back() / sizeof(double), 1.0);
+      world.collect(std::span<double>(buf));
+      world.reduce_scatter_sum(std::span<double>(buf));
+      world.all_reduce_sum(std::span<double>(buf));
+    });
+    mc->set_tracing(true);
+    for (std::size_t bytes : sizes) {
+      const std::size_t elems = bytes / sizeof(double);
+      for (int r = 0; r < 2; ++r) {
+        mc->run_spmd([&](Node& node) {
+          Communicator world = node.world();
+          std::vector<double> buf(elems, static_cast<double>(node.id()));
+          world.collect(std::span<double>(buf));
+          world.reduce_scatter_sum(std::span<double>(buf));
+          world.all_reduce_sum(std::span<double>(buf));
+        });
+      }
+    }
+    mc->set_tracing(false);
+  }
+
+  std::cout << "p = " << p
+            << " (prime; collect / reduce-scatter / all-reduce, short "
+               "vectors)\n";
+  render_three_way(three_way_report(inproc.tracer(), sim.tracer()), std::cout);
+  std::cout << "\n";
+}
+
 }  // namespace
 
 int main() {
@@ -210,5 +255,13 @@ int main() {
       "64 KiB..1 MiB.");
   three_way(8);
   three_way(16);
+
+  bench::print_header(
+      "Three-way report: Träff circulant candidates (short vectors, prime p)",
+      "The same report at p = 7, where the planner's short-vector selection\n"
+      "lands on the circulant collect/reduce-scatter/allreduce (',T' rows).\n"
+      "Runtime per-message overhead dominates at these sizes; these rows\n"
+      "record algorithm coverage, not the 2x band.");
+  three_way_short(7);
   return 0;
 }

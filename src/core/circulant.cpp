@@ -1,0 +1,209 @@
+// Träff circulant-graph long-vector primitives (arXiv 2410.14234: "Optimal,
+// Non-pipelined Reduce-scatter and Allreduce Algorithms").
+//
+// The group is viewed as a circulant graph: round k exchanges data between
+// ranks at ring distance 2^k, for k = 0 .. ceil(log2 d) - 1.  Round k moves
+// s_k = min(2^k, d - 2^k) blocks per rank, so the total volume per rank is
+// sum_k s_k = d - 1 blocks — the bucket algorithm's optimal (d-1)/d * n —
+// while the startup count drops from the ring's d - 1 to ceil(log2 d), for
+// ANY d (the MST-based composites only reach that latency cleanly at powers
+// of two).  Unlike Bruck's formulation there is no rotated intermediate
+// layout: blocks live at their natural global offsets, so a round's block
+// set is at most two contiguous element runs (one wrap split), each carried
+// by one message.
+//
+// The reduce-scatter is the collect's data flow reversed (rounds descending)
+// with an element-wise combine per received block; contributions arrive in a
+// sender-dependent order, so the combine must be commutative (all of the
+// library's ReduceOps are).
+#include <algorithm>
+
+#include "intercom/core/primitives.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom::planner {
+
+namespace {
+
+void check_runs(const Group& group, const std::vector<ElemRange>& pieces) {
+  INTERCOM_REQUIRE(static_cast<int>(pieces.size()) == group.size(),
+                   "one piece per group member required");
+  for (std::size_t i = 1; i < pieces.size(); ++i) {
+    INTERCOM_REQUIRE(pieces[i].lo == pieces[i - 1].hi,
+                     "pieces must be ascending and contiguous");
+  }
+}
+
+int wrap(int v, int d) { return ((v % d) + d) % d; }
+
+// Element runs of the cyclic block set {b0 .. b0+cnt-1} (mod d): at most two
+// contiguous ranges (split at the wrap), empty ranges dropped.  Sender and
+// receiver derive the same list for the same (b0, cnt), which is what pairs
+// the m-th send with the m-th recv.
+std::vector<ElemRange> block_runs(const std::vector<ElemRange>& pieces, int b0,
+                                  int cnt) {
+  const int d = static_cast<int>(pieces.size());
+  std::vector<ElemRange> runs;
+  const int first = std::min(cnt, d - b0);
+  const ElemRange head{pieces[static_cast<std::size_t>(b0)].lo,
+                       pieces[static_cast<std::size_t>(b0 + first - 1)].hi};
+  if (!head.empty()) runs.push_back(head);
+  if (cnt > first) {
+    const ElemRange tail{pieces[0].lo,
+                         pieces[static_cast<std::size_t>(cnt - first - 1)].hi};
+    if (!tail.empty()) runs.push_back(tail);
+  }
+  return runs;
+}
+
+}  // namespace
+
+void circulant_collect(Ctx& ctx, const Group& group,
+                       const std::vector<ElemRange>& pieces) {
+  check_runs(group, pieces);
+  const int d = group.size();
+  const ElemRange whole{pieces.front().lo, pieces.back().hi};
+  for (int r = 0; r < d; ++r) {
+    ctx.sched.reserve_slice(group.physical(r),
+                            slice_of(whole, ctx.elem_size, kUserBuf));
+  }
+  for (int dist = 1; dist < d; dist *= 2) {
+    const int cnt = std::min(dist, d - dist);
+    // Rank i sends blocks {i .. i+cnt-1} to rank i - dist; the runs double
+    // as rank (i - dist)'s receive layout, one tag per run.
+    std::vector<std::vector<ElemRange>> sruns(static_cast<std::size_t>(d));
+    std::vector<std::vector<int>> tags(static_cast<std::size_t>(d));
+    for (int i = 0; i < d; ++i) {
+      sruns[static_cast<std::size_t>(i)] = block_runs(pieces, i, cnt);
+      for (std::size_t m = 0; m < sruns[static_cast<std::size_t>(i)].size();
+           ++m) {
+        tags[static_cast<std::size_t>(i)].push_back(ctx.sched.fresh_tag());
+      }
+    }
+    for (int i = 0; i < d; ++i) {
+      const int to = wrap(i - dist, d);
+      const int from = wrap(i + dist, d);
+      const auto& send_runs = sruns[static_cast<std::size_t>(i)];
+      const auto& recv_runs = sruns[static_cast<std::size_t>(from)];
+      auto& ops = ctx.sched.program(group.physical(i)).ops;
+      const std::size_t n = std::max(send_runs.size(), recv_runs.size());
+      for (std::size_t m = 0; m < n; ++m) {
+        const bool snd = m < send_runs.size();
+        const bool rcv = m < recv_runs.size();
+        const BufSlice src =
+            snd ? slice_of(send_runs[m], ctx.elem_size, kUserBuf) : BufSlice{};
+        const BufSlice dst =
+            rcv ? slice_of(recv_runs[m], ctx.elem_size, kUserBuf) : BufSlice{};
+        if (snd && rcv) {
+          ops.push_back(Op::sendrecv(group.physical(to), src,
+                                     tags[static_cast<std::size_t>(i)][m],
+                                     group.physical(from), dst,
+                                     tags[static_cast<std::size_t>(from)][m]));
+        } else if (snd) {
+          ops.push_back(Op::send(group.physical(to), src,
+                                 tags[static_cast<std::size_t>(i)][m]));
+        } else if (rcv) {
+          ops.push_back(Op::recv(group.physical(from), dst,
+                                 tags[static_cast<std::size_t>(from)][m]));
+        }
+      }
+    }
+  }
+}
+
+void circulant_distributed_combine(Ctx& ctx, const Group& group,
+                                   const std::vector<ElemRange>& pieces) {
+  check_runs(group, pieces);
+  const int d = group.size();
+  const ElemRange whole{pieces.front().lo, pieces.back().hi};
+  // Rounds run in the collect's reverse order; before the round at distance
+  // `dist` rank i is accumulating blocks {i .. i+2*dist-1}, sends the far
+  // half's partials onward and folds in the near blocks it stays responsible
+  // for.  Scratch must hold one round's full receive set.
+  int rounds = 0;
+  std::size_t max_recv_bytes = 0;
+  for (int dist = 1; dist < d; dist *= 2) {
+    const int cnt = std::min(dist, d - dist);
+    for (int i = 0; i < d; ++i) {
+      std::size_t bytes = 0;
+      for (const ElemRange& run : block_runs(pieces, i, cnt)) {
+        bytes += run.elems() * ctx.elem_size;
+      }
+      max_recv_bytes = std::max(max_recv_bytes, bytes);
+    }
+    ++rounds;
+  }
+  for (int r = 0; r < d; ++r) {
+    ctx.sched.reserve_slice(group.physical(r),
+                            slice_of(whole, ctx.elem_size, kUserBuf));
+    if (max_recv_bytes > 0) {
+      ctx.sched.reserve_slice(group.physical(r),
+                              BufSlice{kScratchBuf, 0, max_recv_bytes});
+    }
+  }
+  for (int k = rounds - 1; k >= 0; --k) {
+    const int dist = 1 << k;
+    const int cnt = std::min(dist, d - dist);
+    // Rank i sends the partials of blocks {i+dist .. i+dist+cnt-1} to rank
+    // i + dist — exactly that receiver's keep set {j .. j+cnt-1}, so the
+    // sender's run list at base i+dist is also the receiver's layout.
+    std::vector<std::vector<ElemRange>> sruns(static_cast<std::size_t>(d));
+    std::vector<std::vector<int>> tags(static_cast<std::size_t>(d));
+    for (int i = 0; i < d; ++i) {
+      sruns[static_cast<std::size_t>(i)] =
+          block_runs(pieces, wrap(i + dist, d), cnt);
+      for (std::size_t m = 0; m < sruns[static_cast<std::size_t>(i)].size();
+           ++m) {
+        tags[static_cast<std::size_t>(i)].push_back(ctx.sched.fresh_tag());
+      }
+    }
+    for (int i = 0; i < d; ++i) {
+      const int to = wrap(i + dist, d);
+      const int from = wrap(i - dist, d);
+      const auto& send_runs = sruns[static_cast<std::size_t>(i)];
+      const auto& recv_runs = sruns[static_cast<std::size_t>(from)];
+      auto& ops = ctx.sched.program(group.physical(i)).ops;
+      const std::size_t n = std::max(send_runs.size(), recv_runs.size());
+      std::size_t scratch_at = 0;
+      for (std::size_t m = 0; m < n; ++m) {
+        const bool snd = m < send_runs.size();
+        const bool rcv = m < recv_runs.size();
+        const BufSlice src =
+            snd ? slice_of(send_runs[m], ctx.elem_size, kUserBuf) : BufSlice{};
+        BufSlice user_dst{};
+        BufSlice scratch{};
+        if (rcv) {
+          user_dst = slice_of(recv_runs[m], ctx.elem_size, kUserBuf);
+          scratch = BufSlice{kScratchBuf, scratch_at, user_dst.bytes};
+          scratch_at += user_dst.bytes;
+        }
+        if (snd && rcv) {
+          ops.push_back(Op::sendrecv(group.physical(to), src,
+                                     tags[static_cast<std::size_t>(i)][m],
+                                     group.physical(from), scratch,
+                                     tags[static_cast<std::size_t>(from)][m]));
+          ops.push_back(Op::combine(scratch, user_dst));
+        } else if (snd) {
+          ops.push_back(Op::send(group.physical(to), src,
+                                 tags[static_cast<std::size_t>(i)][m]));
+        } else if (rcv) {
+          ops.push_back(Op::recv(group.physical(from), scratch,
+                                 tags[static_cast<std::size_t>(from)][m]));
+          ops.push_back(Op::combine(scratch, user_dst));
+        }
+      }
+    }
+  }
+}
+
+void circulant_collect(Ctx& ctx, const Group& group, ElemRange range) {
+  circulant_collect(ctx, group, block_partition(range, group.size()));
+}
+
+void circulant_distributed_combine(Ctx& ctx, const Group& group,
+                                   ElemRange range) {
+  circulant_distributed_combine(ctx, group,
+                                block_partition(range, group.size()));
+}
+
+}  // namespace intercom::planner

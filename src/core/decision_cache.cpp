@@ -1,0 +1,539 @@
+#include "intercom/core/decision_cache.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace intercom {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+// ---- minimal JSON (exactly what the cache format needs) --------------------
+//
+// The parser is deliberately tolerant of nothing: any deviation from
+// well-formed JSON throws, load() catches, and the cache falls back to model
+// seeding — a corrupt or truncated file must never take the runtime down.
+
+struct JsonValue {
+  enum Type { kNull, kNumber, kString, kArray, kObject };
+  Type type = kNull;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    if (type != kObject || it == object.end()) {
+      throw std::runtime_error("missing key '" + key + "'");
+    }
+    return it->second;
+  }
+  double num() const {
+    if (type != kNumber) throw std::runtime_error("expected number");
+    return number;
+  }
+  const std::string& string() const {
+    if (type != kString) throw std::runtime_error("expected string");
+    return str;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (at_ != text_.size()) throw std::runtime_error("trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (at_ < text_.size() &&
+           (text_[at_] == ' ' || text_[at_] == '\t' || text_[at_] == '\n' ||
+            text_[at_] == '\r')) {
+      ++at_;
+    }
+  }
+  char peek() {
+    if (at_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[at_];
+  }
+  void expect(char c) {
+    if (peek() != c) throw std::runtime_error("unexpected character");
+    ++at_;
+  }
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    return number_value();
+  }
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++at_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string_value().str;
+      skip_ws();
+      expect(':');
+      v.object.emplace(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++at_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++at_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++at_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+  JsonValue string_value() {
+    JsonValue v;
+    v.type = JsonValue::kString;
+    expect('"');
+    while (true) {
+      if (at_ >= text_.size()) throw std::runtime_error("unterminated string");
+      const char c = text_[at_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (at_ >= text_.size()) throw std::runtime_error("bad escape");
+        const char e = text_[at_++];
+        if (e == '"' || e == '\\' || e == '/') {
+          v.str.push_back(e);
+        } else {
+          throw std::runtime_error("unsupported escape");
+        }
+      } else {
+        v.str.push_back(c);
+      }
+    }
+  }
+  JsonValue number_value() {
+    const std::size_t start = at_;
+    while (at_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[at_])) ||
+            text_[at_] == '-' || text_[at_] == '+' || text_[at_] == '.' ||
+            text_[at_] == 'e' || text_[at_] == 'E')) {
+      ++at_;
+    }
+    if (at_ == start) throw std::runtime_error("expected value");
+    JsonValue v;
+    v.type = JsonValue::kNumber;
+    try {
+      v.number = std::stod(std::string(text_.substr(start, at_ - start)));
+    } catch (const std::exception&) {
+      throw std::runtime_error("bad number");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t at_ = 0;
+};
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+bool collective_from_string(const std::string& name, Collective* out) {
+  static const Collective kAll[] = {
+      Collective::kBroadcast,    Collective::kScatter,
+      Collective::kGather,       Collective::kCollect,
+      Collective::kCombineToOne, Collective::kCombineToAll,
+      Collective::kDistributedCombine,
+  };
+  for (Collective c : kAll) {
+    if (to_string(c) == name) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+void set_error(std::string* error, std::string text) {
+  if (error != nullptr) *error = std::move(text);
+}
+
+// Empirically best candidate by minimum observed duration (see
+// Candidate::best_ns), iterated in model order so exact ties resolve to the
+// model's ranking deterministically; seed-best when nothing has been
+// measured yet.  Caller holds cell.mu.
+int best_measured(const DecisionCell& cell) {
+  int best = -1;
+  for (int idx : cell.seed_order) {
+    const auto& c = cell.candidates[static_cast<std::size_t>(idx)];
+    if (c.observations == 0) continue;
+    if (best < 0 ||
+        c.best_ns < cell.candidates[static_cast<std::size_t>(best)].best_ns) {
+      best = idx;
+    }
+  }
+  return best >= 0 ? best : cell.seed_order.front();
+}
+
+// Least-measured candidate, seed order breaking ties.  Caller holds cell.mu.
+int least_observed(const DecisionCell& cell) {
+  int pick = cell.seed_order.front();
+  for (int idx : cell.seed_order) {
+    if (cell.candidates[static_cast<std::size_t>(idx)].observations <
+        cell.candidates[static_cast<std::size_t>(pick)].observations) {
+      pick = idx;
+    }
+  }
+  return pick;
+}
+
+}  // namespace
+
+DecisionCache::DecisionCache(const MachineParams& params, std::string fabric)
+    : params_hash_(hash_params(params)), fabric_(std::move(fabric)) {}
+
+int DecisionCache::bucket_of(std::size_t nbytes) {
+  int b = 0;
+  while (nbytes > 0) {
+    ++b;
+    nbytes >>= 1;
+  }
+  return b;
+}
+
+std::uint64_t DecisionCache::hash_params(const MachineParams& params) {
+  const double fields[] = {params.alpha,
+                           params.beta,
+                           params.gamma,
+                           params.link_capacity,
+                           params.per_level_overhead,
+                           params.tau_per_hop,
+                           static_cast<double>(params.long_threshold_bytes),
+                           params.alpha_long,
+                           params.beta_long};
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (double f : fields) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &f, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  }
+  return h;
+}
+
+DecisionCell* DecisionCache::find(const CellKey& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = cells_.find(key);
+  return it != cells_.end() ? it->second.get() : nullptr;
+}
+
+DecisionCell* DecisionCache::acquire(
+    const CellKey& key, std::vector<DecisionCell::Candidate> candidates,
+    int exploration_budget) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = cells_.find(key);
+  if (it != cells_.end()) return it->second.get();
+  auto cell = std::make_unique<DecisionCell>();
+  cell->candidates = std::move(candidates);
+  cell->budget = std::max(0, exploration_budget);
+  cell->group_size = std::max(1, key.p);
+  const std::size_t n = cell->candidates.size();
+  cell->seed_order.resize(n);
+  std::iota(cell->seed_order.begin(), cell->seed_order.end(), 0);
+  std::stable_sort(cell->seed_order.begin(), cell->seed_order.end(),
+                   [&](int a, int b) {
+                     const auto& ca = cell->candidates[static_cast<std::size_t>(a)];
+                     const auto& cb = cell->candidates[static_cast<std::size_t>(b)];
+                     if (ca.predicted_seconds != cb.predicted_seconds) {
+                       return ca.predicted_seconds < cb.predicted_seconds;
+                     }
+                     return ca.label < cb.label;
+                   });
+  const int slots = std::max(1, cell->budget);
+  cell->choices = std::make_unique<std::atomic<int>[]>(
+      static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) {
+    cell->choices[static_cast<std::size_t>(i)].store(
+        -1, std::memory_order_relaxed);
+  }
+  auto lit = loaded_.find(key);
+  if (lit != loaded_.end()) {
+    for (const LoadedCandidate& lc : lit->second.candidates) {
+      for (auto& c : cell->candidates) {
+        if (c.label == lc.label) {
+          c.best_ns = lc.best_ns;
+          c.ewma_ns = lc.ewma_ns;
+          c.observations = lc.observations;
+          break;
+        }
+      }
+    }
+    if (!lit->second.winner.empty()) {
+      for (std::size_t i = 0; i < cell->candidates.size(); ++i) {
+        if (cell->candidates[i].label == lit->second.winner) {
+          cell->locked.store(static_cast<int>(i), std::memory_order_release);
+          break;
+        }
+      }
+    }
+    loaded_.erase(lit);
+  }
+  DecisionCell* ptr = cell.get();
+  cells_.emplace(key, std::move(cell));
+  return ptr;
+}
+
+int DecisionCache::choose(DecisionCell& cell, std::uint64_t trial,
+                          AutotuneMode mode) {
+  const int locked = cell.locked.load(std::memory_order_acquire);
+  if (locked >= 0) return locked;
+  if (cell.candidates.size() <= 1 || mode != AutotuneMode::kOnline) {
+    return cell.seed_order.front();
+  }
+  if (trial >= static_cast<std::uint64_t>(cell.budget)) {
+    int best;
+    {
+      std::lock_guard<std::mutex> lk(cell.mu);
+      best = best_measured(cell);
+    }
+    int expected = -1;
+    cell.locked.compare_exchange_strong(expected, best,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+    return cell.locked.load(std::memory_order_acquire);
+  }
+  std::atomic<int>& slot = cell.choices[trial];
+  const int published = slot.load(std::memory_order_acquire);
+  if (published >= 0) return published;
+  int pick;
+  {
+    std::lock_guard<std::mutex> lk(cell.mu);
+    const std::uint64_t ncand = cell.candidates.size();
+    if (trial < ncand) {
+      // Initial sweep: every candidate once, model order.
+      pick = cell.seed_order[trial];
+    } else if ((trial - ncand) % 2 == 0) {
+      pick = best_measured(cell);
+    } else {
+      pick = least_observed(cell);
+    }
+  }
+  int expected = -1;
+  if (slot.compare_exchange_strong(expected, pick, std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    return pick;
+  }
+  return expected;  // another member published first; adopt its choice
+}
+
+void DecisionCache::observe(DecisionCell& cell, int candidate, double ns) {
+  if (cell.locked.load(std::memory_order_relaxed) >= 0) return;
+  if (candidate < 0 ||
+      candidate >= static_cast<int>(cell.candidates.size())) {
+    return;
+  }
+  std::lock_guard<std::mutex> lk(cell.mu);
+  auto& c = cell.candidates[static_cast<std::size_t>(candidate)];
+  // Fold this member's span into the in-flight trial; commit a sample only
+  // once every member has reported, so the statistic is the trial's slowest
+  // member (the critical path), not the luckiest one.  A member that fails
+  // mid-trial never reports and the window slides — the max then merges
+  // adjacent trials of the same candidate, which can only overestimate.
+  c.trial_max_ns = std::max(c.trial_max_ns, ns);
+  if (++c.trial_members < cell.group_size) return;
+  const double trial_ns = c.trial_max_ns;
+  c.trial_max_ns = 0.0;
+  c.trial_members = 0;
+  // Selection reads the min over trials (one-sided noise); the EWMA (1/4
+  // step) tracks the recent mean for reporting and drift visibility.
+  c.best_ns = c.observations == 0 ? trial_ns : std::min(c.best_ns, trial_ns);
+  c.ewma_ns =
+      c.observations == 0 ? trial_ns : 0.75 * c.ewma_ns + 0.25 * trial_ns;
+  ++c.observations;
+}
+
+bool DecisionCache::load(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    set_error(error, "cannot read '" + path + "'");
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  JsonValue root;
+  try {
+    root = JsonParser(text).parse();
+    if (root.type != JsonValue::kObject) {
+      throw std::runtime_error("top level is not an object");
+    }
+    const int version = static_cast<int>(root.at("version").num());
+    if (version != kFormatVersion) {
+      set_error(error, "version mismatch (file " + std::to_string(version) +
+                           ", expected " + std::to_string(kFormatVersion) +
+                           ")");
+      return false;
+    }
+    if (root.at("fabric").string() != fabric_) {
+      set_error(error, "fabric mismatch (file '" +
+                           root.at("fabric").string() + "', machine '" +
+                           fabric_ + "')");
+      return false;
+    }
+    if (root.at("params_hash").string() != std::to_string(params_hash_)) {
+      set_error(error, "machine-parameter hash mismatch");
+      return false;
+    }
+    std::map<CellKey, LoadedCell> loaded;
+    const JsonValue& cells = root.at("cells");
+    if (cells.type != JsonValue::kArray) {
+      throw std::runtime_error("'cells' is not an array");
+    }
+    for (const JsonValue& jc : cells.array) {
+      CellKey key;
+      if (!collective_from_string(jc.at("collective").string(),
+                                  &key.collective)) {
+        throw std::runtime_error("unknown collective name");
+      }
+      key.p = static_cast<int>(jc.at("p").num());
+      key.n_bucket = static_cast<int>(jc.at("n_bucket").num());
+      LoadedCell cell;
+      cell.winner = jc.at("winner").string();
+      const JsonValue& jcands = jc.at("candidates");
+      if (jcands.type != JsonValue::kArray) {
+        throw std::runtime_error("'candidates' is not an array");
+      }
+      for (const JsonValue& jcand : jcands.array) {
+        LoadedCandidate cand;
+        cand.label = jcand.at("label").string();
+        cand.best_ns = jcand.at("best_ns").num();
+        cand.ewma_ns = jcand.at("ewma_ns").num();
+        cand.observations =
+            static_cast<std::uint64_t>(jcand.at("count").num());
+        cell.candidates.push_back(std::move(cand));
+      }
+      loaded.emplace(key, std::move(cell));
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [key, cell] : loaded) loaded_[key] = std::move(cell);
+  } catch (const std::exception& e) {
+    set_error(error, std::string("malformed decision cache: ") + e.what());
+    return false;
+  }
+  return true;
+}
+
+bool DecisionCache::save(const std::string& path, std::string* error) const {
+  std::ostringstream os;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    os << "{\n  \"version\": " << kFormatVersion << ",\n  \"fabric\": ";
+    write_escaped(os, fabric_);
+    os << ",\n  \"params_hash\": \"" << params_hash_ << "\",\n  \"cells\": [";
+    bool first = true;
+    auto emit_cell = [&](const CellKey& key, const std::string& winner,
+                         const std::vector<LoadedCandidate>& cands) {
+      os << (first ? "\n" : ",\n") << "    {\"collective\": ";
+      write_escaped(os, to_string(key.collective));
+      os << ", \"p\": " << key.p << ", \"n_bucket\": " << key.n_bucket
+         << ", \"winner\": ";
+      write_escaped(os, winner);
+      os << ", \"candidates\": [";
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n") << "      {\"label\": ";
+        write_escaped(os, cands[i].label);
+        os << ", \"best_ns\": " << cands[i].best_ns << ", \"ewma_ns\": "
+           << cands[i].ewma_ns << ", \"count\": " << cands[i].observations
+           << "}";
+      }
+      os << (cands.empty() ? "]}" : "\n    ]}");
+      first = false;
+    };
+    for (const auto& [key, cell] : cells_) {
+      std::vector<LoadedCandidate> cands;
+      std::string winner;
+      {
+        std::lock_guard<std::mutex> clk(cell->mu);
+        for (const auto& c : cell->candidates) {
+          cands.push_back(
+              LoadedCandidate{c.label, c.best_ns, c.ewma_ns, c.observations});
+        }
+      }
+      winner = cell->winner_label();
+      emit_cell(key, winner, cands);
+    }
+    for (const auto& [key, cell] : loaded_) {
+      emit_cell(key, cell.winner, cell.candidates);
+    }
+    os << (first ? "]\n}\n" : "\n  ]\n}\n");
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      set_error(error, "cannot write '" + tmp + "'");
+      return false;
+    }
+    out << os.str();
+    out.flush();
+    if (!out) {
+      set_error(error, "short write to '" + tmp + "'");
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, "cannot rename '" + tmp + "' to '" + path + "'");
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::size_t DecisionCache::cell_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cells_.size();
+}
+
+}  // namespace intercom

@@ -20,6 +20,13 @@ std::vector<HybridStrategy> Planner::candidate_strategies(
     const Group& group) const {
   const int p = group.size();
   auto candidates = enumerate_strategies(p, max_dims_);
+  if (p >= 2) {
+    // Träff's circulant algorithms: pure single-dimension candidates for the
+    // all-to-all-shaped collectives.  hybrid_cost returns a sentinel for the
+    // collectives they do not implement, so carrying them unconditionally is
+    // safe at every ranking site.
+    candidates.push_back(HybridStrategy{{p}, InnerAlg::kCirculant, false});
+  }
   if (mesh_) {
     const GroupLayout layout = analyze_group(*mesh_, group);
     if (layout.structure == GroupStructure::kRectSubmesh) {
@@ -94,6 +101,30 @@ Schedule Planner::plan_with_strategy(Collective collective, const Group& group,
   planner::Ctx ctx{sched, elem_size};
   const ElemRange range{0, elems};
   const std::span<const int> dims(strategy.dims);
+  if (strategy.inner == InnerAlg::kCirculant) {
+    INTERCOM_REQUIRE(strategy.dims.size() == 1,
+                     "circulant strategies are single-dimension");
+    switch (collective) {
+      case Collective::kCollect:
+        planner::circulant_collect(ctx, group, range);
+        break;
+      case Collective::kDistributedCombine:
+        planner::circulant_distributed_combine(ctx, group, range);
+        break;
+      case Collective::kCombineToAll:
+        planner::circulant_distributed_combine(ctx, group, range);
+        planner::circulant_collect(ctx, group, range);
+        break;
+      default:
+        INTERCOM_REQUIRE(false,
+                         "circulant strategy does not apply to collective");
+    }
+    sched.set_algorithm(to_string(collective) + "/" + strategy.label());
+    const Cost cc = hybrid_cost(collective, strategy,
+                                static_cast<double>(elems * elem_size));
+    sched.set_levels(static_cast<int>(std::lround(cc.levels)));
+    return sched;
+  }
   switch (collective) {
     case Collective::kBroadcast:
       planner::hybrid_broadcast(ctx, group, range, root, dims,
@@ -179,13 +210,22 @@ Schedule Planner::plan_collectv(const Group& group,
   const std::size_t total = pieces.empty() ? 0 : pieces.back().hi;
   const double nbytes = static_cast<double>(total * elem_size);
   const int p = group.size();
-  // Ring vs gather+broadcast by predicted cost (irregular pieces make the
-  // hybrid staging's contiguous-run bookkeeping inapplicable in general).
+  // Ring vs circulant vs gather+broadcast by predicted cost (irregular
+  // pieces make the hybrid staging's contiguous-run bookkeeping inapplicable
+  // in general, but both ring and circulant take arbitrary piece runs).
   const Cost ring = costs::bucket_collect(p, nbytes);
+  const Cost circ = costs::circulant_collect(p, nbytes);
   const Cost gb = costs::mst_gather(p, nbytes) + costs::mst_broadcast(p, nbytes);
+  const double ring_s = ring.seconds(params_);
+  const double circ_s = p >= 2 ? circ.seconds(params_) : ring_s;
+  const double gb_s = gb.seconds(params_);
   Schedule sched;
   planner::Ctx ctx{sched, elem_size};
-  if (ring.seconds(params_) <= gb.seconds(params_)) {
+  if (p >= 2 && circ_s <= ring_s && circ_s <= gb_s) {
+    planner::circulant_collect(ctx, group, pieces);
+    sched.set_algorithm("collectv/circulant");
+    sched.set_levels(ceil_log2(p));
+  } else if (ring_s <= gb_s) {
     planner::bucket_collect(ctx, group, pieces);
     sched.set_algorithm("collectv/bucket");
     sched.set_levels(1);
@@ -202,12 +242,23 @@ Schedule Planner::plan_distributed_combinev(
     const Group& group, const std::vector<std::size_t>& counts,
     std::size_t elem_size) const {
   INTERCOM_REQUIRE(elem_size >= 1, "element size must be at least 1");
+  const auto pieces = pieces_from_counts(group, counts);
+  const std::size_t total = pieces.empty() ? 0 : pieces.back().hi;
+  const double nbytes = static_cast<double>(total * elem_size);
+  const int p = group.size();
+  const Cost ring = costs::bucket_distributed_combine(p, nbytes);
+  const Cost circ = costs::circulant_distributed_combine(p, nbytes);
   Schedule sched;
   planner::Ctx ctx{sched, elem_size};
-  planner::bucket_distributed_combine(ctx, group,
-                                      pieces_from_counts(group, counts));
-  sched.set_algorithm("distributed-combinev/bucket");
-  sched.set_levels(1);
+  if (p >= 2 && circ.seconds(params_) <= ring.seconds(params_)) {
+    planner::circulant_distributed_combine(ctx, group, pieces);
+    sched.set_algorithm("distributed-combinev/circulant");
+    sched.set_levels(ceil_log2(p));
+  } else {
+    planner::bucket_distributed_combine(ctx, group, pieces);
+    sched.set_algorithm("distributed-combinev/bucket");
+    sched.set_levels(1);
+  }
   return sched;
 }
 

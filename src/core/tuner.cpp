@@ -23,10 +23,21 @@ TuneResult tune_strategy(const Planner& planner, const WormholeSimulator& sim,
     ranked.push_back(std::move(entry));
   }
   INTERCOM_CHECK(!ranked.empty());
-  std::sort(ranked.begin(), ranked.end(),
-            [](const TuneEntry& a, const TuneEntry& b) {
-              return a.predicted_seconds < b.predicted_seconds;
-            });
+  // Deterministic ranking: exact cost ties (common for short vectors, where
+  // several strategies share an alpha count) are broken by strategy label,
+  // and the sort itself is stable, so the table — and therefore the top-k
+  // cut and the tuner's final answer — never depends on candidate
+  // enumeration order or sort implementation.
+  const auto by_cost_then_label = [](double cost_a, const TuneEntry& a,
+                                     double cost_b, const TuneEntry& b) {
+    if (cost_a != cost_b) return cost_a < cost_b;
+    return a.strategy.label() < b.strategy.label();
+  };
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](const TuneEntry& a, const TuneEntry& b) {
+                     return by_cost_then_label(a.predicted_seconds, a,
+                                               b.predicted_seconds, b);
+                   });
   if (static_cast<int>(ranked.size()) > top_k) {
     ranked.resize(static_cast<std::size_t>(top_k));
   }
@@ -35,10 +46,11 @@ TuneResult tune_strategy(const Planner& planner, const WormholeSimulator& sim,
         collective, group, elems, elem_size, root, entry.strategy);
     entry.simulated_seconds = sim.run(schedule).seconds;
   }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const TuneEntry& a, const TuneEntry& b) {
-              return a.simulated_seconds < b.simulated_seconds;
-            });
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](const TuneEntry& a, const TuneEntry& b) {
+                     return by_cost_then_label(a.simulated_seconds, a,
+                                               b.simulated_seconds, b);
+                   });
   TuneResult result;
   result.best = ranked.front().strategy;
   result.best_seconds = ranked.front().simulated_seconds;

@@ -1,0 +1,206 @@
+// Online autotuned algorithm selection (the decision cache).
+//
+// The planner's analytic model picks good strategies when its parameters
+// describe the machine, but a model is still a model: the paper itself keeps
+// a measured table beside the predicted one (Table 3) precisely because the
+// two diverge.  The decision cache closes that loop at runtime: each
+// (collective, group size, vector-size bucket) cell starts from the model's
+// ranking, explores the candidate set for a bounded number of trials while
+// feeding back measured per-collective durations, then locks in the
+// empirically fastest candidate.  Locked cells persist to disk (versioned,
+// atomic-rename write, keyed by fabric name and a machine-parameter hash) so
+// a warm start skips exploration entirely.
+//
+// Cross-member determinism without communication: every member of a
+// communicator must issue the same collective sequence (the ordering
+// contract), so each member's per-shape trial counter advances identically.
+// The per-trial candidate choice is published through a write-once slot: the
+// first member to reach trial t computes a choice from its view of the
+// mutable statistics and CAS-publishes it; every other member adopts the
+// published value.  Members therefore always execute the same schedule for
+// the same trial even though their measured timings differ.
+//
+// Thread-safety: acquire/load/save take the cache mutex (cold paths —
+// plan-cache miss, setup, teardown).  choose() after lock-in and observe()
+// after lock-in are single relaxed/acquire atomic loads with no allocation,
+// preserving the runtime's warm-path zero-allocation invariant.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "intercom/collective.hpp"
+#include "intercom/model/machine_params.hpp"
+#include "intercom/model/strategy.hpp"
+
+namespace intercom {
+
+/// Autotuning mode of a Multicomputer / Communicator.
+enum class AutotuneMode {
+  kOff,     ///< static heuristic: the model's argmin, no cache consulted
+  kSeed,    ///< decision cache consulted (warm-start winners honoured) but
+            ///< never explored or updated
+  kOnline,  ///< explore/exploit with measured feedback, then lock in
+};
+
+/// The autotuning knob (Multicomputer::set_autotune /
+/// Communicator::set_autotune).
+struct AutotuneConfig {
+  AutotuneMode mode = AutotuneMode::kOff;
+  /// Decision-cache file for warm starts ("" = in-memory only).
+  std::string cache_path;
+  /// Trials per cell before the empirical winner is locked in.  The first
+  /// |candidates| trials sweep every candidate once in model order; the rest
+  /// alternate exploiting the current best and re-measuring the least
+  /// observed.
+  int exploration_budget = 24;
+};
+
+/// One decision cell: the candidate set for a (collective, p, size-bucket)
+/// shape with model seeding, measured statistics, and the write-once
+/// per-trial choice log.
+struct DecisionCell {
+  struct Candidate {
+    HybridStrategy strategy;
+    std::string label;  ///< strategy.label(), precomputed
+    double predicted_seconds = 0.0;
+    /// The selection statistic: minimum over trials of the trial's maximum
+    /// member duration.  Each member reports its own span, and a collective
+    /// is only as fast as its slowest member, so observe() folds the
+    /// per-member reports into a per-trial max (the critical-path estimate)
+    /// — a min over raw member spans would reward the algorithm whose
+    /// luckiest rank finishes earliest.  Across trials the min is the right
+    /// reducer: wall-clock noise on a shared host is one-sided (scheduling
+    /// only ever adds time), so the fastest complete trial is the robust
+    /// estimate of what a candidate can deliver.  Guarded by mu; 0 = never
+    /// observed.
+    double best_ns = 0.0;
+    double ewma_ns = 0.0;             ///< recency-weighted mean of trial
+                                      ///< maxima (reporting / drift
+                                      ///< visibility); guarded by mu
+    std::uint64_t observations = 0;   ///< committed trials; guarded by mu
+    /// In-flight trial aggregation (see best_ns): max member duration and
+    /// member-report count of the trial being folded.  Guarded by mu; never
+    /// persisted.
+    double trial_max_ns = 0.0;
+    int trial_members = 0;
+  };
+
+  std::vector<Candidate> candidates;  ///< fixed after construction
+  /// Candidate indices sorted by (predicted cost, label) — the model's
+  /// ranking with a deterministic tie-break.
+  std::vector<int> seed_order;
+  int budget = 0;
+  /// Member count of the shape (CellKey::p): observe() commits one trial
+  /// sample per group_size member reports.
+  int group_size = 1;
+  /// choices[t] is the candidate index chosen for trial t; -1 = not yet
+  /// published.  Write-once via CAS.
+  std::unique_ptr<std::atomic<int>[]> choices;
+  /// Locked-in winner index, -1 while still exploring.
+  std::atomic<int> locked{-1};
+  /// Guards ewma_ns / observations and the choice computation (not the
+  /// publication, which is the CAS).
+  std::mutex mu;
+
+  /// Label of the locked winner, "" while exploring.
+  std::string winner_label() const {
+    const int w = locked.load(std::memory_order_acquire);
+    return w >= 0 ? candidates[static_cast<std::size_t>(w)].label
+                  : std::string();
+  }
+};
+
+/// Machine-wide table of decision cells plus the disk format.  Owned by the
+/// Multicomputer and shared by every communicator of every node thread.
+class DecisionCache {
+ public:
+  /// Cell identity within one cache.  The fabric name and machine-parameter
+  /// hash are cache-level (file-level on disk), not per-cell: a cache file
+  /// recorded on one fabric or parameter set never seeds another.
+  struct CellKey {
+    Collective collective = Collective::kBroadcast;
+    int p = 0;
+    int n_bucket = 0;  ///< bucket_of(elems * elem_size)
+
+    bool operator<(const CellKey& o) const {
+      if (collective != o.collective) return collective < o.collective;
+      if (p != o.p) return p < o.p;
+      return n_bucket < o.n_bucket;
+    }
+  };
+
+  DecisionCache(const MachineParams& params, std::string fabric);
+
+  const std::string& fabric() const { return fabric_; }
+  std::uint64_t params_hash() const { return params_hash_; }
+
+  /// Log2 size bucket: vectors within a factor of two share a cell.
+  static int bucket_of(std::size_t nbytes);
+
+  /// FNV-1a over the bit patterns of every model parameter — two caches with
+  /// different machine descriptions never share decisions.
+  static std::uint64_t hash_params(const MachineParams& params);
+
+  /// The cell for `key`, or nullptr if never acquired.
+  DecisionCell* find(const CellKey& key);
+
+  /// Find-or-create.  On creation the candidate list (with model-predicted
+  /// seconds) seeds the cell; a matching entry loaded from disk restores its
+  /// statistics and, if it recorded a winner, locks the cell immediately
+  /// (the warm start).  When the cell already exists `candidates` is
+  /// discarded — planning is deterministic, so every member builds the same
+  /// list.
+  DecisionCell* acquire(const CellKey& key,
+                        std::vector<DecisionCell::Candidate> candidates,
+                        int exploration_budget);
+
+  /// Deterministic cross-member candidate choice for `trial` (see file
+  /// comment).  After lock-in: one acquire load.
+  int choose(DecisionCell& cell, std::uint64_t trial, AutotuneMode mode);
+
+  /// Measured-duration feedback (kOnline only; the caller gates on mode).
+  /// No-op once the cell is locked.
+  void observe(DecisionCell& cell, int candidate, double ns);
+
+  /// Loads a cache file.  Returns false (with a human-readable reason in
+  /// `*error`) — never throws — on unreadable, truncated or garbage JSON,
+  /// a version mismatch, or a fabric / parameter-hash mismatch; the cache
+  /// then simply stays model-seeded.
+  bool load(const std::string& path, std::string* error);
+
+  /// Saves every cell (live ones, plus loaded-but-unused ones so partial
+  /// runs do not erase prior knowledge) via write-to-temporary +
+  /// atomic rename.  Returns false with a reason on I/O failure.
+  bool save(const std::string& path, std::string* error) const;
+
+  std::size_t cell_count() const;
+
+ private:
+  struct LoadedCandidate {
+    std::string label;
+    double best_ns = 0.0;
+    double ewma_ns = 0.0;
+    std::uint64_t observations = 0;
+  };
+  struct LoadedCell {
+    std::string winner;
+    std::vector<LoadedCandidate> candidates;
+  };
+
+  std::uint64_t params_hash_;
+  std::string fabric_;
+  mutable std::mutex mu_;
+  std::map<CellKey, std::unique_ptr<DecisionCell>> cells_;
+  /// Cells read from disk, applied lazily when acquire() learns the live
+  /// candidate set; entries are consumed on use.
+  std::map<CellKey, LoadedCell> loaded_;
+};
+
+}  // namespace intercom

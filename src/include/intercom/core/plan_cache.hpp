@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <tuple>
@@ -24,6 +25,7 @@
 namespace intercom {
 
 class CompiledPlan;
+struct DecisionCell;
 
 /// LRU-less bounded cache of planned schedules keyed by the request shape
 /// (the group is fixed per cache instance, so it is not part of the key).
@@ -36,10 +38,19 @@ class PlanCache {
                          std::size_t /*elem_size*/, int /*root*/>;
 
   /// One cached plan: the schedule, and (after first execution) its
-  /// compiled form.
+  /// compiled form.  When the communicator autotunes this shape the entry
+  /// additionally carries its decision cell (owned by the machine's
+  /// DecisionCache, which outlives every plan cache), the candidate index the
+  /// schedule was planned with, and the per-shape trial counter that drives
+  /// the cell's explore/exploit sequence.  Eviction resets the counter; the
+  /// cell's write-once choice log replays the same decisions, so members
+  /// that evict at different times still agree.
   struct CachedPlan {
     std::shared_ptr<const Schedule> schedule;
     std::shared_ptr<const CompiledPlan> compiled;
+    DecisionCell* cell = nullptr;
+    int candidate = -1;
+    std::uint64_t trial = 0;
   };
 
   /// Returns the cached entry — mutable so the runtime can attach the
@@ -51,6 +62,7 @@ class PlanCache {
   /// entry; with capacity 0 the entry is not retained beyond the next call.
   CachedPlan& insert(const Key& key, Schedule schedule);
 
+  std::size_t capacity() const { return capacity_; }
   std::size_t size() const { return entries_.size(); }
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }

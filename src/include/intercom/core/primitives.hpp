@@ -65,10 +65,33 @@ void bucket_collect(Ctx& ctx, const Group& group,
 void bucket_distributed_combine(Ctx& ctx, const Group& group,
                                 const std::vector<ElemRange>& pieces);
 
+/// Träff circulant collect (allgather; arXiv 2410.14234): rank i starts
+/// owning pieces[i]; after ceil(log2 d) rounds every rank owns all pieces.
+/// Round k (k = 0..ceil(log2 d)-1) sends the s_k = min(2^k, d - 2^k) blocks
+/// {i .. i+s_k-1} (mod d) to rank (i - 2^k) mod d and receives blocks
+/// {i+2^k .. i+2^k+s_k-1} from rank (i + 2^k) mod d — latency-optimal
+/// (ceil(log2 d) startups) at the bucket algorithm's optimal volume, for any
+/// d including non-powers-of-two.  Pieces must be ascending contiguous runs;
+/// empty pieces are allowed (v-variants).
+void circulant_collect(Ctx& ctx, const Group& group,
+                       const std::vector<ElemRange>& pieces);
+
+/// Träff circulant distributed combine (reduce-scatter): the collect's data
+/// flow reversed with an element-wise combine per received block.  Every rank
+/// starts with full-length partials covering the union of `pieces`; after
+/// ceil(log2 d) rounds rank i holds the fully combined pieces[i].  Incoming
+/// blocks stage through kScratchBuf.  Requires a commutative combine (all of
+/// the library's ReduceOps are).
+void circulant_distributed_combine(Ctx& ctx, const Group& group,
+                                   const std::vector<ElemRange>& pieces);
+
 /// Convenience overloads using the canonical block partition of `range`.
 void mst_scatter(Ctx& ctx, const Group& group, ElemRange range, int root);
 void mst_gather(Ctx& ctx, const Group& group, ElemRange range, int root);
 void bucket_collect(Ctx& ctx, const Group& group, ElemRange range);
 void bucket_distributed_combine(Ctx& ctx, const Group& group, ElemRange range);
+void circulant_collect(Ctx& ctx, const Group& group, ElemRange range);
+void circulant_distributed_combine(Ctx& ctx, const Group& group,
+                                   ElemRange range);
 
 }  // namespace intercom::planner

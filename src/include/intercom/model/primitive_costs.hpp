@@ -36,6 +36,22 @@ Cost bucket_collect(int d, double nbytes, double conflict = 1.0,
 Cost bucket_distributed_combine(int d, double nbytes, double conflict = 1.0,
                                 int latency_steps = -1);
 
+/// Träff circulant allgather (arXiv 2410.14234): ceil(log2 d) rounds; round k
+/// moves s_k = min(2^k, d - 2^k) blocks of n/d bytes between ranks at ring
+/// distance 2^k.  Latency-optimal (ceil(log2 d) startups) at the optimal
+/// ((d-1)/d)*n volume for ANY d, unlike the power-of-two-only MST composites.
+/// On a linear array the distance-2^k exchanges of round k overlap s_k deep
+/// on the busiest link, so the conflict-charged beta term is
+/// sum_k s_k^2 * (n/d) * conflict — the model deliberately over-charges
+/// conflict-free fabrics, which is exactly the misprediction the online
+/// decision cache corrects from measurement.
+Cost circulant_collect(int d, double nbytes, double conflict = 1.0);
+
+/// Träff circulant reduce-scatter: the allgather run in reverse with an
+/// element-wise combine per received block — same alpha/beta shape plus
+/// ((d-1)/d)*n*gamma of combining.
+Cost circulant_distributed_combine(int d, double nbytes, double conflict = 1.0);
+
 /// Composed short-vector algorithm costs (Section 5.1) for a whole group of
 /// d nodes (no hybrids, conflict 1): the four primitives are themselves the
 /// implementations of broadcast/scatter/gather/combine-to-one; collect =

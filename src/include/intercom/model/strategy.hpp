@@ -25,6 +25,12 @@ namespace intercom {
 enum class InnerAlg {
   kShortVector,     ///< the collective's short-vector (MST-based) algorithm
   kScatterCollect,  ///< the collective's long-vector stage-1/stage-2 pair
+  /// Träff's optimal non-pipelined circulant-graph algorithm (arXiv
+  /// 2410.14234): ceil(log2 p) rounds, optimal (p-1)/p * n volume, any p.
+  /// Applies to collect (allgather), distributed combine (reduce-scatter)
+  /// and combine-to-all (reduce-scatter + allgather); only as the pure
+  /// single-dimension strategy dims = {p}.
+  kCirculant,
 };
 
 /// A logical-mesh hybrid strategy.
@@ -42,7 +48,8 @@ struct HybridStrategy {
 
   int node_count() const;
 
-  /// Paper-style label, e.g. "2x3x5,SSMCC" or "1x30,M" or "2x15,SSCC".
+  /// Paper-style label, e.g. "2x3x5,SSMCC" or "1x30,M" or "2x15,SSCC"; the
+  /// circulant strategy renders as "1x30,T" (T for Träff).
   std::string label() const;
 
   friend bool operator==(const HybridStrategy&, const HybridStrategy&) = default;

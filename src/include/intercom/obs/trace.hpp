@@ -78,6 +78,13 @@ namespace intercom {
 ///   kRevoke:     instant when a communicator context is revoked (locally or
 ///                by a received control frame); ctx = the revoked context
 ///                base, peer = the origin node, label = "revoke".
+///   kAutotune:   instant at a decision-cache transition (see
+///                core/decision_cache.hpp); label = "seed" (cell created from
+///                the model ranking) / "explore" (an exploration trial
+///                replanned to a different candidate) / "load-failed" (a
+///                stale or corrupt cache file was rejected at set_autotune),
+///                label2 = the candidate's strategy label (or the load
+///                error), a0 = the trial number.
 enum class EventKind : std::uint32_t {
   kRun,
   kCollective,
@@ -90,6 +97,7 @@ enum class EventKind : std::uint32_t {
   kAsyncIssue,
   kHealth,
   kRevoke,
+  kAutotune,
 };
 
 /// TraceEvent::a2 layout for kCollective spans.

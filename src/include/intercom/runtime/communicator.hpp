@@ -282,6 +282,16 @@ class Communicator {
   /// call only between collectives.
   void set_plan_cache_capacity(std::size_t capacity);
 
+  /// Per-communicator autotuning override (the default is inherited from
+  /// Multicomputer::set_autotune at construction).  Uses the machine's
+  /// shared decision cache — `config.cache_path` is a machine-level knob and
+  /// is ignored here; load/save go through the Multicomputer.  Collective
+  /// call: every member must call it with the same config at the same point
+  /// in the collective sequence (the trial counters that drive exploration
+  /// restart together).  Drops all cached plans.
+  void set_autotune(const AutotuneConfig& config);
+  const AutotuneConfig& autotune() const { return autotune_; }
+
   /// This communicator's context namespace base (see collective_context);
   /// members of one group with one color agree on it without communicating.
   std::uint64_t context_base() const { return ctx_base_; }
@@ -338,6 +348,26 @@ class Communicator {
   /// Plan-cache state of a traced collective (TraceEvent::a2 low bits).
   enum class CacheState : std::uint64_t { kMiss = 0, kHit = 1, kUncached = 2 };
 
+  /// The plan-cache lookup + autotuned strategy selection shared by run()
+  /// and irun().  On a miss: plans (through the decision cell's chosen
+  /// candidate when this shape autotunes, else the model argmin) and inserts.
+  /// On a hit with a decision cell: advances the entry's trial counter,
+  /// consults the cell, and replans only when exploration switches
+  /// candidates — after lock-in the choice is one atomic load and the cached
+  /// schedule is reused as-is, so the warm path stays allocation-free.
+  /// Always returns an entry with the compiled form attached.
+  PlanCache::CachedPlan* prepare_plan(Collective collective, std::size_t elems,
+                                      std::size_t elem_size, int root,
+                                      const PlanCache::Key& key,
+                                      CacheState* state);
+
+  /// The decision cell for this shape, or nullptr when the shape does not
+  /// autotune (mode off, single-candidate collectives, trivial groups).
+  /// Creating a cell (first miss machine-wide) seeds it from the model
+  /// ranking over candidate_strategies with inapplicable (sentinel-priced)
+  /// candidates dropped.
+  DecisionCell* autotune_cell(Collective collective, std::size_t nbytes);
+
   /// Executes the plan — through `compiled` with the communicator's
   /// persistent arena when given (the cached path; allocation-free when the
   /// arena is warm), else by interpreting `schedule` (the one-shot
@@ -350,12 +380,16 @@ class Communicator {
   /// and the predicted critical-path time of the executed schedule for the
   /// model-vs-measured report).  `memo_key` keys the prediction memo (null
   /// for the uncached v-variants, whose schedules have no cache identity).
+  /// `cell`/`candidate` identify the autotuned choice this execution
+  /// measures: in online mode a successful run feeds its duration back to
+  /// the decision cell (null cell / negative candidate = not autotuned).
   void execute_collective(const char* name, const Schedule& schedule,
                           const CompiledPlan* compiled,
                           std::span<std::byte> buf, std::uint64_t ctx,
                           const ReduceOp* op, std::size_t elems,
                           CacheState cache_state,
-                          const PlanCache::Key* memo_key);
+                          const PlanCache::Key* memo_key, DecisionCell* cell,
+                          int candidate);
 
   /// Predicted critical-path ns of `schedule` for the model-vs-measured
   /// join, memoized under `memo_key` when given (keyed by request shape,
@@ -423,6 +457,13 @@ class Communicator {
   Counter* metric_cache_hit_ = nullptr;
   Counter* metric_cache_miss_ = nullptr;
   Counter* metric_errors_ = nullptr;
+  Counter* metric_autotune_hit_ = nullptr;
+  Counter* metric_autotune_explore_ = nullptr;
+  /// Autotuning config (copied from the machine at construction, overridable
+  /// per communicator) and the machine's shared decision cache (null when
+  /// the mode is off, so the off path costs one pointer test).
+  AutotuneConfig autotune_;
+  DecisionCache* autotune_cache_ = nullptr;
   /// Predicted critical-path ns by plan-cache key; traced runs only, so
   /// cache hits skip re-running analyze().
   std::map<PlanCache::Key, std::uint64_t> predicted_ns_;

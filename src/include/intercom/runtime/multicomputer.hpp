@@ -7,7 +7,9 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 
+#include "intercom/core/decision_cache.hpp"
 #include "intercom/core/planner.hpp"
 #include "intercom/model/machine_params.hpp"
 #include "intercom/obs/metrics.hpp"
@@ -81,6 +83,29 @@ class Multicomputer {
     transport_.set_rendezvous_threshold(bytes);
   }
 
+  // --- Online autotuned algorithm selection (see core/decision_cache.hpp
+  // and docs/performance.md) ---
+
+  /// Machine-wide autotuning default, inherited by every communicator
+  /// constructed afterwards.  With a non-empty cache_path the decision-cache
+  /// file is loaded here: a matching file (format version, fabric name,
+  /// machine-parameter hash) warm-starts every recorded cell past
+  /// exploration; a missing file is a clean cold start; a corrupt or stale
+  /// file is rejected with an "autotune.load.failure" counter bump and, under
+  /// an armed tracer, a kAutotune "load-failed" instant — never an exception.
+  /// Configure between run_spmd calls, not from inside a node body.
+  void set_autotune(const AutotuneConfig& config);
+  const AutotuneConfig& autotune() const { return autotune_; }
+
+  /// The machine's decision cache, created on first use (thread-safe — node
+  /// threads reach it through Communicator plan-cache misses).
+  DecisionCache& autotune_cache();
+
+  /// Persists the decision cache to the configured cache_path (write to
+  /// temporary + atomic rename).  False with a reason when autotuning was
+  /// never configured with a path or the write fails.
+  bool save_autotune(std::string* error = nullptr);
+
   // --- Failure detection and survivable mode (see health.hpp and
   // docs/robustness.md) ---
 
@@ -129,6 +154,9 @@ class Multicomputer {
   HealthMonitor health_;
   bool health_monitoring_ = false;
   bool survivable_ = false;
+  AutotuneConfig autotune_;
+  std::unique_ptr<DecisionCache> autotune_cache_;
+  std::mutex autotune_mutex_;  ///< guards autotune_cache_ creation
 };
 
 }  // namespace intercom

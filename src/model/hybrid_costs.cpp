@@ -136,6 +136,27 @@ Cost hybrid_cost(Collective collective, const HybridStrategy& strategy,
     INTERCOM_REQUIRE(d >= 1, "strategy dimensions must be positive");
   }
   const int p = strategy.node_count();
+  if (strategy.inner == InnerAlg::kCirculant) {
+    // The circulant algorithms are pure single-dimension strategies for the
+    // all-to-all-shaped collectives; for everything else (and for hybrid
+    // stagings) they do not apply — return a cost no selector will pick, so
+    // the candidate set can carry them unconditionally without a special
+    // case at every ranking site.
+    if (strategy.dims.size() == 1) {
+      switch (collective) {
+        case Collective::kCollect:
+          return costs::circulant_collect(p, nbytes);
+        case Collective::kDistributedCombine:
+          return costs::circulant_distributed_combine(p, nbytes);
+        case Collective::kCombineToAll:
+          return costs::circulant_distributed_combine(p, nbytes) +
+                 costs::circulant_collect(p, nbytes);
+        default:
+          break;
+      }
+    }
+    return Cost{1e30, 1e30, 0.0, 0.0};
+  }
   switch (collective) {
     case Collective::kBroadcast:
       return in_out_hybrid(

@@ -1,5 +1,7 @@
 #include "intercom/model/primitive_costs.hpp"
 
+#include <algorithm>
+
 #include "intercom/util/error.hpp"
 #include "intercom/util/factorization.hpp"
 
@@ -45,6 +47,27 @@ Cost bucket_collect(int d, double nbytes, double conflict, int latency_steps) {
 Cost bucket_distributed_combine(int d, double nbytes, double conflict,
                                 int latency_steps) {
   Cost c = bucket_collect(d, nbytes, conflict, latency_steps);
+  const double frac = d > 1 ? static_cast<double>(d - 1) / d : 0.0;
+  c.gamma_bytes = frac * nbytes;
+  return c;
+}
+
+Cost circulant_collect(int d, double nbytes, double conflict) {
+  check_args(d, nbytes);
+  Cost c;
+  if (d <= 1) return c;
+  const double block = nbytes / d;
+  for (int dist = 1; dist < d; dist *= 2) {
+    const double sk = std::min(dist, d - dist);
+    c.alpha_terms += 1.0;
+    c.beta_bytes += sk * sk * block * conflict;
+    c.levels += 1.0;
+  }
+  return c;
+}
+
+Cost circulant_distributed_combine(int d, double nbytes, double conflict) {
+  Cost c = circulant_collect(d, nbytes, conflict);
   const double frac = d > 1 ? static_cast<double>(d - 1) / d : 0.0;
   c.gamma_bytes = frac * nbytes;
   return c;

@@ -25,7 +25,9 @@ std::string HybridStrategy::label() const {
   }
   os << ',';
   const std::size_t k = dims.size();
-  if (inner == InnerAlg::kShortVector) {
+  if (inner == InnerAlg::kCirculant) {
+    for (std::size_t i = 0; i < k; ++i) os << 'T';
+  } else if (inner == InnerAlg::kShortVector) {
     // S...S M C...C with k-1 scatters/collects.
     for (std::size_t i = 0; i + 1 < k; ++i) os << 'S';
     os << 'M';

@@ -66,6 +66,7 @@ const char* category(EventKind kind) {
     case EventKind::kAsyncIssue: return "collective";
     case EventKind::kHealth:
     case EventKind::kRevoke: return "failure";
+    case EventKind::kAutotune: return "autotune";
   }
   return "?";
 }
@@ -73,7 +74,8 @@ const char* category(EventKind kind) {
 bool is_instant(EventKind kind) {
   return kind == EventKind::kRetransmit || kind == EventKind::kAbort ||
          kind == EventKind::kError || kind == EventKind::kAsyncIssue ||
-         kind == EventKind::kHealth || kind == EventKind::kRevoke;
+         kind == EventKind::kHealth || kind == EventKind::kRevoke ||
+         kind == EventKind::kAutotune;
 }
 
 void write_args(const Tracer& tracer, const TraceEvent& e, std::ostream& os) {
@@ -119,6 +121,11 @@ void write_args(const Tracer& tracer, const TraceEvent& e, std::ostream& os) {
       break;
     case EventKind::kRevoke:
       os << ",\"origin\":" << e.peer;
+      break;
+    case EventKind::kAutotune:
+      os << ",\"phase\":\"" << json_escape(tracer.label_text(e.label))
+         << "\",\"candidate\":\"" << json_escape(tracer.label_text(e.label2))
+         << "\",\"trial\":" << e.a0;
       break;
     case EventKind::kRun:
       break;

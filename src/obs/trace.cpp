@@ -72,6 +72,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kAsyncIssue: return "async-issue";
     case EventKind::kHealth: return "health";
     case EventKind::kRevoke: return "revoke";
+    case EventKind::kAutotune: return "autotune";
   }
   return "?";
 }

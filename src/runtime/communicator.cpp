@@ -112,6 +112,11 @@ struct AsyncCollectiveState {
   std::uint64_t predicted = 0;
   std::uint32_t label = 0;   ///< interned collective name (traced only)
   std::uint32_t label2 = 0;  ///< interned algorithm name (traced only)
+  /// Autotuned choice this request measures (see execute_collective): a
+  /// successful completion in online mode feeds issue->completion ns back to
+  /// the decision cell.
+  DecisionCell* cell = nullptr;
+  int candidate = -1;
 };
 
 Communicator Node::world() {
@@ -145,6 +150,12 @@ Communicator::Communicator(Multicomputer& machine, Group group, int my_rank,
   metric_cache_hit_ = &metrics.counter("planner.cache.hit");
   metric_cache_miss_ = &metrics.counter("planner.cache.miss");
   metric_errors_ = &metrics.counter("collective.errors");
+  metric_autotune_hit_ = &metrics.counter("autotune.hit");
+  metric_autotune_explore_ = &metrics.counter("autotune.explore");
+  autotune_ = machine.autotune();
+  if (autotune_.mode != AutotuneMode::kOff) {
+    autotune_cache_ = &machine.autotune_cache();
+  }
 }
 
 // Defined out of line where AsyncCollectiveState is complete.
@@ -160,15 +171,126 @@ void Communicator::run(Collective collective, std::span<std::byte> buf,
                    "buffer length must be a multiple of the element size");
   const std::size_t elems = buf.size() / elem_size;
   // Every member plans the same schedule deterministically; no coordination
-  // messages are needed (the plan is a pure function of the request).
-  // Repeated shapes hit the plan cache.
+  // messages are needed (the plan is a pure function of the request, and
+  // autotuned choices are published through the decision cache's write-once
+  // slots).  Repeated shapes hit the plan cache.
   const PlanCache::Key key{collective, elems, elem_size, root};
+  CacheState state;
+  PlanCache::CachedPlan* entry =
+      prepare_plan(collective, elems, elem_size, root, key, &state);
+  const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
+  Transport::CollectiveScope scope(ctx_base_, collective_deadline_ns());
+  execute_collective(collective_name(collective), *entry->schedule,
+                     entry->compiled.get(), buf, ctx, op, elems, state, &key,
+                     entry->cell, entry->candidate);
+}
+
+DecisionCell* Communicator::autotune_cell(Collective collective,
+                                          std::size_t nbytes) {
+  if (autotune_cache_ == nullptr || autotune_.mode == AutotuneMode::kOff) {
+    return nullptr;
+  }
+  // Shapes with a single reasonable algorithm (and trivial groups) do not
+  // explore: scatter/gather are planned as MSTs whatever the strategy says.
+  if (collective == Collective::kScatter ||
+      collective == Collective::kGather || group_.size() < 2) {
+    return nullptr;
+  }
+  const DecisionCache::CellKey key{collective, group_.size(),
+                                   DecisionCache::bucket_of(nbytes)};
+  DecisionCell* cell = autotune_cache_->find(key);
+  if (cell != nullptr) return cell;
+  // First miss machine-wide: seed the cell from the model.  Candidates the
+  // cost model prices at the inapplicability sentinel (e.g. the circulant
+  // for rooted collectives) must not enter the cell — exploration would
+  // execute them.
+  const Planner& planner = machine_->planner();
+  std::vector<DecisionCell::Candidate> candidates;
+  for (const HybridStrategy& strategy : planner.candidate_strategies(group_)) {
+    const double seconds =
+        planner.predict(collective, strategy, nbytes).seconds(planner.params());
+    if (!(seconds < 1e28)) continue;
+    DecisionCell::Candidate candidate;
+    candidate.strategy = strategy;
+    candidate.label = strategy.label();
+    candidate.predicted_seconds = seconds;
+    candidates.push_back(std::move(candidate));
+  }
+  if (candidates.size() < 2) return nullptr;
+  cell = autotune_cache_->acquire(key, std::move(candidates),
+                                  autotune_.exploration_budget);
+  Tracer& tracer = machine_->tracer();
+  if (tracer.armed()) {
+    TraceEvent event;
+    event.kind = EventKind::kAutotune;
+    event.start_ns = event.end_ns = tracer.now_ns();
+    event.label = tracer.intern("seed");
+    event.label2 = tracer.intern(
+        cell->candidates[static_cast<std::size_t>(cell->seed_order.front())]
+            .label);
+    tracer.record(group_.physical(my_rank_), event);
+  }
+  return cell;
+}
+
+PlanCache::CachedPlan* Communicator::prepare_plan(Collective collective,
+                                                  std::size_t elems,
+                                                  std::size_t elem_size,
+                                                  int root,
+                                                  const PlanCache::Key& key,
+                                                  CacheState* state) {
+  const Planner& planner = machine_->planner();
   PlanCache::CachedPlan* entry = cache_.find(key);
-  const bool cache_hit = entry != nullptr;
-  if (!cache_hit) {
-    entry = &cache_.insert(
-        key, machine_->planner().plan(collective, group_, elems, elem_size,
-                                      root));
+  *state = entry != nullptr ? CacheState::kHit : CacheState::kMiss;
+  if (entry == nullptr) {
+    DecisionCell* cell = autotune_cell(collective, elems * elem_size);
+    if (cell != nullptr) {
+      const int idx = autotune_cache_->choose(*cell, 0, autotune_.mode);
+      entry = &cache_.insert(
+          key, planner.plan_with_strategy(
+                   collective, group_, elems, elem_size, root,
+                   cell->candidates[static_cast<std::size_t>(idx)].strategy));
+      entry->cell = cell;
+      entry->candidate = idx;
+      entry->trial = 1;
+      const bool locked =
+          cell->locked.load(std::memory_order_relaxed) >= 0 ||
+          autotune_.mode != AutotuneMode::kOnline;
+      (locked ? metric_autotune_hit_ : metric_autotune_explore_)->inc();
+    } else {
+      entry = &cache_.insert(
+          key, planner.plan(collective, group_, elems, elem_size, root));
+    }
+  } else if (entry->cell != nullptr && autotune_cache_ != nullptr) {
+    DecisionCell& cell = *entry->cell;
+    const std::uint64_t trial = entry->trial++;
+    const int idx = autotune_cache_->choose(cell, trial, autotune_.mode);
+    if (idx != entry->candidate) {
+      // Exploration (or a late lock-in) switched candidates: replan this
+      // shape.  Happens at most `budget` times per shape — after lock-in the
+      // choice is stable and this branch never runs again.
+      entry->schedule = std::make_shared<const Schedule>(planner.plan_with_strategy(
+          collective, group_, elems, elem_size, root,
+          cell.candidates[static_cast<std::size_t>(idx)].strategy));
+      entry->compiled.reset();
+      entry->candidate = idx;
+      // The memoized prediction describes the previous candidate's schedule.
+      predicted_ns_.erase(key);
+      Tracer& tracer = machine_->tracer();
+      if (tracer.armed()) {
+        TraceEvent event;
+        event.kind = EventKind::kAutotune;
+        event.start_ns = event.end_ns = tracer.now_ns();
+        event.label = tracer.intern("explore");
+        event.label2 =
+            tracer.intern(cell.candidates[static_cast<std::size_t>(idx)].label);
+        event.a0 = trial;
+        tracer.record(group_.physical(my_rank_), event);
+      }
+    }
+    const bool locked = cell.locked.load(std::memory_order_relaxed) >= 0 ||
+                        autotune_.mode != AutotuneMode::kOnline;
+    (locked ? metric_autotune_hit_ : metric_autotune_explore_)->inc();
   }
   if (!entry->compiled) {
     // Compile once per cached schedule: slices resolved, scratch packed,
@@ -177,11 +299,18 @@ void Communicator::run(Collective collective, std::span<std::byte> buf,
     entry->compiled = std::make_shared<const CompiledPlan>(
         *entry->schedule, &machine_->tracer());
   }
-  const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
-  Transport::CollectiveScope scope(ctx_base_, collective_deadline_ns());
-  execute_collective(collective_name(collective), *entry->schedule,
-                     entry->compiled.get(), buf, ctx, op, elems,
-                     cache_hit ? CacheState::kHit : CacheState::kMiss, &key);
+  return entry;
+}
+
+void Communicator::set_autotune(const AutotuneConfig& config) {
+  autotune_ = config;
+  autotune_cache_ = config.mode == AutotuneMode::kOff
+                        ? nullptr
+                        : &machine_->autotune_cache();
+  // Cached entries may reference decision cells and candidate choices made
+  // under the previous config; start the shapes over.
+  cache_ = PlanCache(cache_.capacity());
+  predicted_ns_.clear();
 }
 
 void Communicator::update_metrics(std::uint64_t duration_ns, std::size_t bytes,
@@ -229,7 +358,8 @@ void Communicator::execute_collective(const char* name,
                                       std::uint64_t ctx, const ReduceOp* op,
                                       std::size_t elems,
                                       CacheState cache_state,
-                                      const PlanCache::Key* memo_key) {
+                                      const PlanCache::Key* memo_key,
+                                      DecisionCell* cell, int candidate) {
   const int node = group_.physical(my_rank_);
   Transport& transport = machine_->transport();
   const auto execute = [&] {
@@ -237,6 +367,18 @@ void Communicator::execute_collective(const char* name,
       execute_compiled(transport, *compiled, node, buf, ctx, op, arena_);
     } else {
       execute_program(transport, schedule, node, buf, ctx, op);
+    }
+  };
+  // Online feedback: only successful executions are evidence about an
+  // algorithm's speed (a failed one measures the fault, not the plan).
+  // After lock-in observe() is one relaxed load — warm paths stay
+  // allocation-free.
+  const auto observe = [&](std::uint64_t duration_ns) {
+    if (cell != nullptr && candidate >= 0 &&
+        autotune_.mode == AutotuneMode::kOnline &&
+        autotune_cache_ != nullptr) {
+      autotune_cache_->observe(*cell, candidate,
+                               static_cast<double>(duration_ns));
     }
   };
   Tracer& tracer = machine_->tracer();
@@ -252,7 +394,9 @@ void Communicator::execute_collective(const char* name,
       update_metrics(mono_ns() - t0, buf.size(), cache_state, /*error=*/true);
       throw;
     }
-    update_metrics(mono_ns() - t0, buf.size(), cache_state, /*error=*/false);
+    const std::uint64_t duration = mono_ns() - t0;
+    update_metrics(duration, buf.size(), cache_state, /*error=*/false);
+    observe(duration);
     return;
   }
   TraceEvent event;
@@ -281,6 +425,7 @@ void Communicator::execute_collective(const char* name,
   tracer.record(node, event);
   update_metrics(event.end_ns - event.start_ns, buf.size(), cache_state,
                  /*error=*/false);
+  observe(event.end_ns - event.start_ns);
 }
 
 void Communicator::broadcast_bytes(std::span<std::byte> buf,
@@ -349,17 +494,9 @@ Request Communicator::irun(Collective collective, std::span<std::byte> buf,
                    "buffer length must be a multiple of the element size");
   const std::size_t elems = buf.size() / elem_size;
   const PlanCache::Key key{collective, elems, elem_size, root};
-  PlanCache::CachedPlan* entry = cache_.find(key);
-  const bool cache_hit = entry != nullptr;
-  if (!cache_hit) {
-    entry = &cache_.insert(
-        key, machine_->planner().plan(collective, group_, elems, elem_size,
-                                      root));
-  }
-  if (!entry->compiled) {
-    entry->compiled = std::make_shared<const CompiledPlan>(
-        *entry->schedule, &machine_->tracer());
-  }
+  CacheState cache_state;
+  PlanCache::CachedPlan* entry =
+      prepare_plan(collective, elems, elem_size, root, key, &cache_state);
   const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
   Tracer& tracer = machine_->tracer();
   AsyncCollectiveState* state = acquire_async_state();
@@ -371,8 +508,9 @@ Request Communicator::irun(Collective collective, std::span<std::byte> buf,
   state->ctx = ctx;
   state->bytes = buf.size();
   state->elems = elems;
-  state->cache_state = static_cast<std::uint64_t>(
-      cache_hit ? CacheState::kHit : CacheState::kMiss);
+  state->cache_state = static_cast<std::uint64_t>(cache_state);
+  state->cell = entry->cell;
+  state->candidate = entry->candidate;
   state->ctx_base = ctx_base_;
   state->deadline_ns = collective_deadline_ns();
   state->traced = tracer.armed();
@@ -414,6 +552,12 @@ void Communicator::finalize_async(AsyncCollectiveState* state, bool error) {
   const std::uint64_t end_ns = state->traced ? tracer.now_ns() : mono_ns();
   update_metrics(end_ns - state->issue_ns, state->bytes,
                  static_cast<CacheState>(state->cache_state), error);
+  if (!error && state->cell != nullptr && state->candidate >= 0 &&
+      autotune_.mode == AutotuneMode::kOnline && autotune_cache_ != nullptr) {
+    // Issue -> completion ns, same observable the blocking twin feeds back.
+    autotune_cache_->observe(*state->cell, state->candidate,
+                             static_cast<double>(end_ns - state->issue_ns));
+  }
   if (!state->traced) return;
   // Issue -> completion span: overlapped compute inflates it relative to
   // the blocking twin, which is exactly the observable the bench reports.
@@ -574,7 +718,8 @@ void Communicator::scatterv_bytes(std::span<std::byte> buf,
   const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
   Transport::CollectiveScope scope(ctx_base_, collective_deadline_ns());
   execute_collective("scatterv", schedule, nullptr, buf, ctx, nullptr,
-                     total_elems(counts), CacheState::kUncached, nullptr);
+                     total_elems(counts), CacheState::kUncached, nullptr,
+                     nullptr, -1);
 }
 
 void Communicator::gatherv_bytes(std::span<std::byte> buf,
@@ -586,7 +731,8 @@ void Communicator::gatherv_bytes(std::span<std::byte> buf,
   const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
   Transport::CollectiveScope scope(ctx_base_, collective_deadline_ns());
   execute_collective("gatherv", schedule, nullptr, buf, ctx, nullptr,
-                     total_elems(counts), CacheState::kUncached, nullptr);
+                     total_elems(counts), CacheState::kUncached, nullptr,
+                     nullptr, -1);
 }
 
 void Communicator::collectv_bytes(std::span<std::byte> buf,
@@ -598,7 +744,8 @@ void Communicator::collectv_bytes(std::span<std::byte> buf,
   const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
   Transport::CollectiveScope scope(ctx_base_, collective_deadline_ns());
   execute_collective("collectv", schedule, nullptr, buf, ctx, nullptr,
-                     total_elems(counts), CacheState::kUncached, nullptr);
+                     total_elems(counts), CacheState::kUncached, nullptr,
+                     nullptr, -1);
 }
 
 void Communicator::reduce_scatterv_bytes(
@@ -610,7 +757,8 @@ void Communicator::reduce_scatterv_bytes(
   const std::uint64_t ctx = collective_context(ctx_base_, seq_++);
   Transport::CollectiveScope scope(ctx_base_, collective_deadline_ns());
   execute_collective("reduce_scatterv", schedule, nullptr, buf, ctx, &op,
-                     total_elems(counts), CacheState::kUncached, nullptr);
+                     total_elems(counts), CacheState::kUncached, nullptr,
+                     nullptr, -1);
 }
 
 ElemRange Communicator::piece_of(std::size_t elems, int rank) const {

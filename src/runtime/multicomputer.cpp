@@ -29,6 +29,48 @@ Multicomputer::Multicomputer(Mesh2D mesh, MachineParams params,
   transport_.set_health(&health_);
 }
 
+DecisionCache& Multicomputer::autotune_cache() {
+  std::lock_guard<std::mutex> lock(autotune_mutex_);
+  if (!autotune_cache_) {
+    autotune_cache_ = std::make_unique<DecisionCache>(
+        planner_.params(), std::string(transport_.fabric_name()));
+  }
+  return *autotune_cache_;
+}
+
+void Multicomputer::set_autotune(const AutotuneConfig& config) {
+  autotune_ = config;
+  if (config.mode == AutotuneMode::kOff) return;
+  DecisionCache& cache = autotune_cache();
+  if (config.cache_path.empty()) return;
+  std::string error;
+  if (cache.load(config.cache_path, &error)) return;
+  // A missing file is the expected cold start; anything else (corrupt JSON,
+  // version/fabric/parameter mismatch) is worth a warning — but never an
+  // exception: the cache simply stays model-seeded.
+  if (error.rfind("cannot read", 0) == 0) return;
+  metrics_.counter("autotune.load.failure").inc();
+  if (tracer_.armed()) {
+    TraceEvent event;
+    event.kind = EventKind::kAutotune;
+    event.start_ns = event.end_ns = tracer_.now_ns();
+    event.label = tracer_.intern("load-failed");
+    event.label2 = tracer_.intern(error);
+    tracer_.record(0, event);
+  }
+}
+
+bool Multicomputer::save_autotune(std::string* error) {
+  std::lock_guard<std::mutex> lock(autotune_mutex_);
+  if (!autotune_cache_ || autotune_.cache_path.empty()) {
+    if (error != nullptr) {
+      *error = "autotuning is not configured with a cache path";
+    }
+    return false;
+  }
+  return autotune_cache_->save(autotune_.cache_path, error);
+}
+
 void Multicomputer::run_spmd(const std::function<void(Node&)>& body) {
   INTERCOM_REQUIRE(static_cast<bool>(body), "SPMD body must be callable");
   std::vector<std::thread> threads;

@@ -1,0 +1,265 @@
+// Träff circulant primitive tests (arXiv 2410.14234): collect and
+// distributed combine at powers of two and — the algorithms' whole point —
+// at non-powers-of-two, plus round-count, uneven/empty pieces, strided
+// groups, and the allreduce composition through the planner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "intercom/core/planner.hpp"
+#include "intercom/core/primitives.hpp"
+#include "intercom/ir/validate.hpp"
+#include "intercom/util/factorization.hpp"
+#include "testing/reference.hpp"
+
+namespace intercom {
+namespace {
+
+using testing::RefExec;
+
+class CirculantCollectP : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(CirculantCollectP, EveryNodeEndsWithEverything) {
+  const auto [p, elems_i] = GetParam();
+  const std::size_t elems = static_cast<std::size_t>(elems_i);
+  const Group g = Group::contiguous(p);
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  const auto pieces = block_partition(ElemRange{0, elems}, p);
+  planner::circulant_collect(ctx, g, pieces);
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (int r = 0; r < p; ++r) {
+    const ElemRange piece = pieces[static_cast<std::size_t>(r)];
+    for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+      exec.user(r)[i] = 1000.0 * r + static_cast<double>(i);
+    }
+  }
+  exec.run();
+  for (int r = 0; r < p; ++r) {
+    for (int owner = 0; owner < p; ++owner) {
+      const ElemRange piece = pieces[static_cast<std::size_t>(owner)];
+      for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+        EXPECT_DOUBLE_EQ(exec.user(r)[i],
+                         1000.0 * owner + static_cast<double>(i))
+            << "at rank " << r;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndLengths, CirculantCollectP,
+    ::testing::Values(std::make_tuple(1, 5), std::make_tuple(2, 8),
+                      std::make_tuple(3, 10), std::make_tuple(4, 4),
+                      std::make_tuple(5, 23), std::make_tuple(6, 17),
+                      std::make_tuple(7, 29), std::make_tuple(8, 64),
+                      std::make_tuple(12, 7),  // fewer elems than nodes
+                      std::make_tuple(13, 40), std::make_tuple(16, 33),
+                      std::make_tuple(30, 61)));
+
+TEST(CirculantCollectTest, CeilLog2Rounds) {
+  // Each round is one sendrecv, except wrap-split rounds which carry two
+  // messages per direction — never more (at most one wrap per block run).
+  for (int p : {2, 3, 5, 6, 7, 8, 12, 16, 31}) {
+    Schedule s;
+    planner::Ctx ctx{s, 1};
+    planner::circulant_collect(ctx, Group::contiguous(p),
+                               ElemRange{0, static_cast<std::size_t>(4 * p)});
+    const std::size_t rounds = static_cast<std::size_t>(ceil_log2(p));
+    for (const auto& prog : s.programs()) {
+      EXPECT_GE(prog.ops.size(), rounds) << "p=" << p;
+      EXPECT_LE(prog.ops.size(), 2 * rounds) << "p=" << p;
+    }
+  }
+}
+
+TEST(CirculantCollectTest, StridedGroupRunsCleanly) {
+  const Group g = Group::strided(2, 3, 5);  // 2,5,8,11,14
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  const auto pieces = block_partition(ElemRange{0, 20}, 5);
+  planner::circulant_collect(ctx, g, pieces);
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (int r = 0; r < 5; ++r) {
+    const ElemRange piece = pieces[static_cast<std::size_t>(r)];
+    for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+      exec.user(g.physical(r))[i] = static_cast<double>(r);
+    }
+  }
+  exec.run();
+  EXPECT_DOUBLE_EQ(exec.user(2)[19], 4.0);
+  EXPECT_DOUBLE_EQ(exec.user(14)[0], 0.0);
+}
+
+TEST(CirculantCollectTest, UnevenAndEmptyPieces) {
+  const Group g = Group::contiguous(5);
+  std::vector<ElemRange> runs{{0, 5}, {5, 5}, {5, 11}, {11, 12}, {12, 12}};
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  planner::circulant_collect(ctx, g, runs);
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (int r = 0; r < 5; ++r) {
+    for (std::size_t i = runs[static_cast<std::size_t>(r)].lo;
+         i < runs[static_cast<std::size_t>(r)].hi; ++i) {
+      exec.user(r)[i] = 10.0 * r + 1.0;
+    }
+  }
+  exec.run();
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_DOUBLE_EQ(exec.user(r)[0], 1.0);
+    EXPECT_DOUBLE_EQ(exec.user(r)[5], 21.0);
+    EXPECT_DOUBLE_EQ(exec.user(r)[11], 31.0);
+  }
+}
+
+class CirculantReduceScatterP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CirculantReduceScatterP, EachNodeGetsItsCombinedPiece) {
+  const int p = GetParam();
+  const std::size_t elems = 29;
+  const Group g = Group::contiguous(p);
+  Schedule s;
+  planner::Ctx ctx{s, sizeof(double)};
+  const auto pieces = block_partition(ElemRange{0, elems}, p);
+  planner::circulant_distributed_combine(ctx, g, pieces);
+  validate_or_throw(s);
+  RefExec<double> exec(s);
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < elems; ++i) {
+      exec.user(r)[i] = static_cast<double>(r + 1);
+    }
+  }
+  exec.run();
+  const double want = p * (p + 1) / 2.0;
+  for (int r = 0; r < p; ++r) {
+    const ElemRange piece = pieces[static_cast<std::size_t>(r)];
+    for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+      EXPECT_DOUBLE_EQ(exec.user(r)[i], want) << "rank " << r << " elem " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CirculantReduceScatterP,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 12, 13, 15,
+                                           30));
+
+TEST(CirculantReduceScatterTest, EveryContributionCountedExactlyOnce) {
+  // Power-of-ten contributions: any double-count or drop of one rank's
+  // partial shows up as a wrong digit, not a near-miss.
+  for (int p : {3, 4, 5, 7}) {
+    const std::size_t elems = 8;
+    const Group g = Group::contiguous(p);
+    Schedule s;
+    planner::Ctx ctx{s, sizeof(double)};
+    const auto pieces = block_partition(ElemRange{0, elems}, p);
+    planner::circulant_distributed_combine(ctx, g, pieces);
+    RefExec<double> exec(s);
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < elems; ++i) {
+        exec.user(r)[i] = std::pow(10.0, r) * (static_cast<double>(i) + 1.0);
+      }
+    }
+    exec.run();
+    double ones = 0.0;
+    for (int r = 0; r < p; ++r) ones += std::pow(10.0, r);
+    for (int r = 0; r < p; ++r) {
+      const ElemRange piece = pieces[static_cast<std::size_t>(r)];
+      for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+        EXPECT_DOUBLE_EQ(exec.user(r)[i],
+                         ones * (static_cast<double>(i) + 1.0))
+            << "p=" << p << " rank " << r;
+      }
+    }
+  }
+}
+
+TEST(CirculantTest, RejectsGappedRuns) {
+  Schedule s;
+  planner::Ctx ctx{s, 8};
+  std::vector<ElemRange> gapped{{0, 2}, {3, 4}};
+  EXPECT_THROW(planner::circulant_collect(ctx, Group::contiguous(2), gapped),
+               Error);
+  EXPECT_THROW(
+      planner::circulant_distributed_combine(ctx, Group::contiguous(2), gapped),
+      Error);
+}
+
+TEST(CirculantPlannerTest, AllreduceCompositionIsCorrect) {
+  // Through the planner: reduce-scatter then collect over the same block
+  // partition — Träff's optimal non-pipelined allreduce.
+  const Planner planner;
+  for (int p : {3, 5, 6, 7, 12}) {
+    const std::size_t elems = 31;
+    const Group g = Group::contiguous(p);
+    const HybridStrategy strategy{{p}, InnerAlg::kCirculant, false};
+    const Schedule s = planner.plan_with_strategy(
+        Collective::kCombineToAll, g, elems, sizeof(double), 0, strategy);
+    validate_or_throw(s);
+    EXPECT_NE(s.algorithm().find(",T"), std::string::npos);
+    RefExec<double> exec(s);
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < elems; ++i) {
+        exec.user(r)[i] = static_cast<double>(r + 1);
+      }
+    }
+    exec.run();
+    const double want = p * (p + 1) / 2.0;
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < elems; ++i) {
+        EXPECT_DOUBLE_EQ(exec.user(r)[i], want)
+            << "p=" << p << " rank " << r << " elem " << i;
+      }
+    }
+  }
+}
+
+TEST(CirculantPlannerTest, CandidateSetCarriesCirculant) {
+  const Planner planner(MachineParams::paragon());
+  for (int p : {2, 5, 12}) {
+    const auto candidates =
+        planner.candidate_strategies(Group::contiguous(p));
+    bool found = false;
+    for (const auto& c : candidates) {
+      if (c.inner == InnerAlg::kCirculant) {
+        ASSERT_EQ(c.dims.size(), 1u);
+        EXPECT_EQ(c.dims[0], p);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "p=" << p;
+  }
+}
+
+TEST(CirculantPlannerTest, WinsShortAllgatherAtPrimeGroupSize) {
+  // At prime p = 7 no multi-dimensional hybrid exists, so the short-vector
+  // race is ring (6 startups) vs gather+broadcast (6) vs circulant
+  // (ceil(log2 7) = 3) — the model must select the circulant.
+  const Planner planner(MachineParams::paragon());
+  const Group g = Group::contiguous(7);
+  const HybridStrategy s =
+      planner.select_strategy(Collective::kCollect, g, 56);
+  EXPECT_EQ(s.inner, InnerAlg::kCirculant) << s.label();
+  const Schedule sched = planner.plan(Collective::kCollect, g, 7, 8, 0);
+  EXPECT_NE(sched.algorithm().find(",T"), std::string::npos)
+      << sched.algorithm();
+}
+
+TEST(CirculantPlannerTest, RejectsCirculantForRootedCollectives) {
+  const Planner planner;
+  const Group g = Group::contiguous(4);
+  const HybridStrategy strategy{{4}, InnerAlg::kCirculant, false};
+  EXPECT_THROW(planner.plan_with_strategy(Collective::kBroadcast, g, 8, 8, 0,
+                                          strategy),
+               Error);
+  // And the cost model prices it out instead of throwing, so rankers can
+  // carry it unconditionally.
+  const Cost c = hybrid_cost(Collective::kBroadcast, strategy, 64.0);
+  EXPECT_GE(c.alpha_terms, 1e29);
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,318 @@
+// Decision-cache tests: model seeding with deterministic tie-breaks, the
+// explore/exploit schedule, write-once cross-member choice publication,
+// lock-in, persistence round-trips, and — the robustness contract — corrupt
+// or stale cache files falling back to model seeding instead of throwing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "intercom/core/decision_cache.hpp"
+
+namespace intercom {
+namespace {
+
+std::vector<DecisionCell::Candidate> three_candidates() {
+  std::vector<DecisionCell::Candidate> cands;
+  DecisionCell::Candidate a;
+  a.strategy = HybridStrategy{{8}, InnerAlg::kScatterCollect, false};
+  a.label = "1x8,SC";
+  a.predicted_seconds = 2.0;
+  DecisionCell::Candidate b;
+  b.strategy = HybridStrategy{{8}, InnerAlg::kShortVector, false};
+  b.label = "1x8,M";
+  b.predicted_seconds = 1.0;
+  DecisionCell::Candidate c;
+  c.strategy = HybridStrategy{{8}, InnerAlg::kCirculant, false};
+  c.label = "1x8,T";
+  c.predicted_seconds = 3.0;
+  cands.push_back(a);
+  cands.push_back(b);
+  cands.push_back(c);
+  return cands;
+}
+
+DecisionCache::CellKey key_of(Collective c, int p, std::size_t nbytes) {
+  return DecisionCache::CellKey{c, p, DecisionCache::bucket_of(nbytes)};
+}
+
+/// One full trial's worth of member reports: every member of the
+/// group_size-wide shape reports `ns`, committing exactly one sample.
+void observe_trial(DecisionCache& cache, DecisionCell& cell, int candidate,
+                   double ns) {
+  for (int member = 0; member < cell.group_size; ++member) {
+    cache.observe(cell, candidate, ns);
+  }
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "decision_cache_test_" + name;
+}
+
+TEST(DecisionCacheTest, BucketOfIsLog2) {
+  EXPECT_EQ(DecisionCache::bucket_of(0), 0);
+  EXPECT_EQ(DecisionCache::bucket_of(1), 1);
+  EXPECT_EQ(DecisionCache::bucket_of(2), 2);
+  EXPECT_EQ(DecisionCache::bucket_of(3), 2);
+  EXPECT_EQ(DecisionCache::bucket_of(4), 3);
+  EXPECT_EQ(DecisionCache::bucket_of(1 << 20), 21);
+  EXPECT_EQ(DecisionCache::bucket_of((1 << 20) + 1), 21);
+}
+
+TEST(DecisionCacheTest, SeedOrderFollowsModelWithLabelTieBreak) {
+  DecisionCache cache(MachineParams::unit(), "inproc");
+  auto cands = three_candidates();
+  cands[0].predicted_seconds = 1.0;  // tie with cands[1]
+  DecisionCell* cell =
+      cache.acquire(key_of(Collective::kCollect, 8, 64), cands, 8);
+  ASSERT_NE(cell, nullptr);
+  ASSERT_EQ(cell->seed_order.size(), 3u);
+  // "1x8,M" < "1x8,SC" lexicographically on equal cost; "1x8,T" is last.
+  EXPECT_EQ(cell->candidates[cell->seed_order[0]].label, "1x8,M");
+  EXPECT_EQ(cell->candidates[cell->seed_order[1]].label, "1x8,SC");
+  EXPECT_EQ(cell->candidates[cell->seed_order[2]].label, "1x8,T");
+}
+
+TEST(DecisionCacheTest, AcquireIsIdempotent) {
+  DecisionCache cache(MachineParams::unit(), "inproc");
+  const auto key = key_of(Collective::kCollect, 8, 64);
+  DecisionCell* first = cache.acquire(key, three_candidates(), 8);
+  DecisionCell* second = cache.acquire(key, {}, 8);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(cache.find(key), first);
+  EXPECT_EQ(cache.cell_count(), 1u);
+  EXPECT_EQ(cache.find(key_of(Collective::kCollect, 8, 1 << 20)), nullptr);
+}
+
+TEST(DecisionCacheTest, InitialSweepVisitsEveryCandidateInModelOrder) {
+  DecisionCache cache(MachineParams::unit(), "inproc");
+  DecisionCell* cell = cache.acquire(key_of(Collective::kCollect, 8, 64),
+                                     three_candidates(), 8);
+  EXPECT_EQ(cache.choose(*cell, 0, AutotuneMode::kOnline),
+            cell->seed_order[0]);
+  EXPECT_EQ(cache.choose(*cell, 1, AutotuneMode::kOnline),
+            cell->seed_order[1]);
+  EXPECT_EQ(cache.choose(*cell, 2, AutotuneMode::kOnline),
+            cell->seed_order[2]);
+}
+
+TEST(DecisionCacheTest, ChoicePublicationIsWriteOnce) {
+  DecisionCache cache(MachineParams::unit(), "inproc");
+  DecisionCell* cell = cache.acquire(key_of(Collective::kCollect, 8, 64),
+                                     three_candidates(), 8);
+  const int first = cache.choose(*cell, 4, AutotuneMode::kOnline);
+  // Feed measurements that would flip a fresh computation; the published
+  // choice for trial 4 must not move (all members adopt the first writer).
+  observe_trial(cache, *cell, (first + 1) % 3, 1.0);
+  observe_trial(cache, *cell, (first + 1) % 3, 1.0);
+  EXPECT_EQ(cache.choose(*cell, 4, AutotuneMode::kOnline), first);
+}
+
+TEST(DecisionCacheTest, LocksInMeasuredBestAfterBudget) {
+  DecisionCache cache(MachineParams::unit(), "inproc");
+  const int budget = 6;
+  DecisionCell* cell = cache.acquire(key_of(Collective::kCollect, 8, 64),
+                                     three_candidates(), budget);
+  // The model says "1x8,M"; measurement says the circulant is 10x faster.
+  for (int t = 0; t < budget; ++t) {
+    const int idx = cache.choose(*cell, static_cast<std::uint64_t>(t),
+                                 AutotuneMode::kOnline);
+    const bool circulant = cell->candidates[idx].label == "1x8,T";
+    observe_trial(cache, *cell, idx, circulant ? 100.0 : 1000.0);
+  }
+  const int final_idx =
+      cache.choose(*cell, budget, AutotuneMode::kOnline);
+  EXPECT_EQ(cell->candidates[final_idx].label, "1x8,T");
+  EXPECT_EQ(cell->winner_label(), "1x8,T");
+  // Locked: further observations are ignored, choices stay put.
+  const std::uint64_t obs_at_lock = cell->candidates[final_idx].observations;
+  observe_trial(cache, *cell, final_idx, 1e9);
+  EXPECT_EQ(cache.choose(*cell, budget + 50, AutotuneMode::kOnline),
+            final_idx);
+  EXPECT_EQ(cell->candidates[final_idx].observations, obs_at_lock);
+}
+
+TEST(DecisionCacheTest, TrialStatisticIsMinOverTrialsOfMaxOverMembers) {
+  DecisionCache cache(MachineParams::unit(), "inproc");
+  DecisionCell* cell = cache.acquire(key_of(Collective::kCollect, 4, 64),
+                                     three_candidates(), 8);
+  ASSERT_EQ(cell->group_size, 4);
+  // Trial 1: three fast members, one straggler — the trial is as slow as
+  // its slowest member.
+  cache.observe(*cell, 0, 10.0);
+  cache.observe(*cell, 0, 12.0);
+  cache.observe(*cell, 0, 11.0);
+  EXPECT_EQ(cell->candidates[0].observations, 0u);  // trial still in flight
+  cache.observe(*cell, 0, 500.0);
+  EXPECT_EQ(cell->candidates[0].observations, 1u);
+  EXPECT_DOUBLE_EQ(cell->candidates[0].best_ns, 500.0);
+  // Trial 2: uniformly slower members but no straggler — the faster
+  // complete trial wins the min.
+  observe_trial(cache, *cell, 0, 80.0);
+  EXPECT_EQ(cell->candidates[0].observations, 2u);
+  EXPECT_DOUBLE_EQ(cell->candidates[0].best_ns, 80.0);
+}
+
+TEST(DecisionCacheTest, SeedModeNeverExplores) {
+  DecisionCache cache(MachineParams::unit(), "inproc");
+  DecisionCell* cell = cache.acquire(key_of(Collective::kCollect, 8, 64),
+                                     three_candidates(), 8);
+  for (std::uint64_t t = 0; t < 20; ++t) {
+    EXPECT_EQ(cache.choose(*cell, t, AutotuneMode::kSeed),
+              cell->seed_order[0]);
+  }
+  EXPECT_EQ(cell->winner_label(), "");
+}
+
+TEST(DecisionCacheTest, PersistenceRoundTripWarmStartsLocked) {
+  const std::string path = temp_path("roundtrip.json");
+  const MachineParams params = MachineParams::paragon();
+  {
+    DecisionCache cache(params, "inproc");
+    const int budget = 6;
+    DecisionCell* cell = cache.acquire(key_of(Collective::kCollect, 8, 64),
+                                       three_candidates(), budget);
+    for (int t = 0; t <= budget; ++t) {
+      const int idx = cache.choose(*cell, static_cast<std::uint64_t>(t),
+                                   AutotuneMode::kOnline);
+      observe_trial(cache, *cell, idx,
+                    cell->candidates[idx].label == "1x8,T" ? 100.0 : 1000.0);
+    }
+    ASSERT_EQ(cell->winner_label(), "1x8,T");
+    std::string error;
+    ASSERT_TRUE(cache.save(path, &error)) << error;
+    // Atomic-rename write: no temporary left behind.
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  }
+  {
+    DecisionCache warm(params, "inproc");
+    std::string error;
+    ASSERT_TRUE(warm.load(path, &error)) << error;
+    DecisionCell* cell = warm.acquire(key_of(Collective::kCollect, 8, 64),
+                                      three_candidates(), 6);
+    // Warm start: locked immediately, trial 0 already returns the winner —
+    // no exploration.
+    EXPECT_EQ(cell->winner_label(), "1x8,T");
+    const int idx = warm.choose(*cell, 0, AutotuneMode::kOnline);
+    EXPECT_EQ(cell->candidates[idx].label, "1x8,T");
+    EXPECT_GT(cell->candidates[idx].observations, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DecisionCacheTest, GarbageFileFallsBackWithoutThrowing) {
+  const std::string path = temp_path("garbage.json");
+  {
+    std::ofstream out(path);
+    out << "{\"version\": 1, \"fabric\": \"inp";  // truncated mid-string
+  }
+  DecisionCache cache(MachineParams::unit(), "inproc");
+  std::string error;
+  EXPECT_FALSE(cache.load(path, &error));
+  EXPECT_NE(error.find("malformed"), std::string::npos) << error;
+  {
+    std::ofstream out(path);
+    out << "complete garbage, not JSON at all }{";
+  }
+  EXPECT_FALSE(cache.load(path, &error));
+  // The cache still works, model-seeded.
+  DecisionCell* cell = cache.acquire(key_of(Collective::kCollect, 8, 64),
+                                     three_candidates(), 8);
+  EXPECT_EQ(cache.choose(*cell, 0, AutotuneMode::kOnline),
+            cell->seed_order[0]);
+  std::remove(path.c_str());
+}
+
+TEST(DecisionCacheTest, MissingFileIsAcleanMiss) {
+  DecisionCache cache(MachineParams::unit(), "inproc");
+  std::string error;
+  EXPECT_FALSE(cache.load(temp_path("does_not_exist.json"), &error));
+  EXPECT_NE(error.find("cannot read"), std::string::npos) << error;
+}
+
+TEST(DecisionCacheTest, StaleFilesAreRejected) {
+  const MachineParams params = MachineParams::paragon();
+  const std::string path = temp_path("stale.json");
+  {
+    DecisionCache cache(params, "inproc");
+    DecisionCell* cell = cache.acquire(key_of(Collective::kCollect, 8, 64),
+                                       three_candidates(), 0);
+    cache.choose(*cell, 0, AutotuneMode::kOnline);  // budget 0: instant lock
+    std::string error;
+    ASSERT_TRUE(cache.save(path, &error)) << error;
+  }
+  std::string error;
+  // Different fabric.
+  DecisionCache other_fabric(params, "sim");
+  EXPECT_FALSE(other_fabric.load(path, &error));
+  EXPECT_NE(error.find("fabric"), std::string::npos) << error;
+  // Different machine parameters.
+  DecisionCache other_params(MachineParams::delta(), "inproc");
+  EXPECT_FALSE(other_params.load(path, &error));
+  EXPECT_NE(error.find("hash"), std::string::npos) << error;
+  // Doctored version number.
+  {
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const auto at = text.find("\"version\": 1");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 12, "\"version\": 9");
+    std::ofstream out(path);
+    out << text;
+  }
+  DecisionCache same(params, "inproc");
+  EXPECT_FALSE(same.load(path, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(DecisionCacheTest, ParamsHashDistinguishesPresets) {
+  EXPECT_NE(DecisionCache::hash_params(MachineParams::paragon()),
+            DecisionCache::hash_params(MachineParams::delta()));
+  EXPECT_NE(DecisionCache::hash_params(MachineParams::paragon()),
+            DecisionCache::hash_params(MachineParams::sunmos()));
+  EXPECT_EQ(DecisionCache::hash_params(MachineParams::paragon()),
+            DecisionCache::hash_params(MachineParams::paragon()));
+}
+
+TEST(DecisionCacheTest, SaveMergesUnconsumedLoadedCells) {
+  const MachineParams params = MachineParams::unit();
+  const std::string path = temp_path("merge.json");
+  {
+    DecisionCache cache(params, "inproc");
+    DecisionCell* a = cache.acquire(key_of(Collective::kCollect, 8, 64),
+                                    three_candidates(), 0);
+    DecisionCell* b = cache.acquire(
+        key_of(Collective::kDistributedCombine, 4, 256), three_candidates(),
+        0);
+    cache.choose(*a, 0, AutotuneMode::kOnline);
+    cache.choose(*b, 0, AutotuneMode::kOnline);
+    std::string error;
+    ASSERT_TRUE(cache.save(path, &error)) << error;
+  }
+  {
+    // Touch only one of the two cells, then save again: the untouched cell
+    // must survive the round trip.
+    DecisionCache cache(params, "inproc");
+    std::string error;
+    ASSERT_TRUE(cache.load(path, &error)) << error;
+    cache.acquire(key_of(Collective::kCollect, 8, 64), three_candidates(), 0);
+    ASSERT_TRUE(cache.save(path, &error)) << error;
+  }
+  {
+    DecisionCache cache(params, "inproc");
+    std::string error;
+    ASSERT_TRUE(cache.load(path, &error)) << error;
+    DecisionCell* b = cache.acquire(
+        key_of(Collective::kDistributedCombine, 4, 256), three_candidates(),
+        8);
+    EXPECT_FALSE(b->winner_label().empty());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace intercom

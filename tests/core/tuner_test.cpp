@@ -78,6 +78,37 @@ TEST(TunerTest, TopKOneDegeneratesToModelChoice) {
   EXPECT_EQ(tuned.entries.size(), 1u);
 }
 
+TEST(TunerTest, RankingIsDeterministicWithLabelTieBreak) {
+  // Under unit parameters short-vector costs tie across whole families of
+  // strategies; the ranking must still be reproducible run to run (stable
+  // sort + label tie-break), so repeated tuner invocations — and the
+  // decision cache seeded from the same ranking — agree exactly.
+  const Planner planner(MachineParams::unit());
+  const WormholeSimulator sim(Mesh2D(1, 12), unit_sim());
+  const Group g = Group::contiguous(12);
+  const TuneResult first = tune_strategy(
+      planner, sim, Collective::kBroadcast, g, 8, 1, 0, 10);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const TuneResult again = tune_strategy(
+        planner, sim, Collective::kBroadcast, g, 8, 1, 0, 10);
+    ASSERT_EQ(again.entries.size(), first.entries.size());
+    for (std::size_t i = 0; i < first.entries.size(); ++i) {
+      EXPECT_EQ(again.entries[i].strategy.label(),
+                first.entries[i].strategy.label())
+          << "rank " << i << " changed between identical invocations";
+    }
+  }
+  // Ties are ordered by label: among equal simulated times the labels must
+  // ascend.
+  for (std::size_t i = 1; i < first.entries.size(); ++i) {
+    if (first.entries[i - 1].simulated_seconds ==
+        first.entries[i].simulated_seconds) {
+      EXPECT_LT(first.entries[i - 1].strategy.label(),
+                first.entries[i].strategy.label());
+    }
+  }
+}
+
 TEST(TunerTest, RejectsBadTopK) {
   const Planner planner;
   const WormholeSimulator sim(Mesh2D(1, 4), unit_sim());

@@ -78,15 +78,26 @@ namespace {
 /// outstanding together, one completed by a test() polling loop and one by
 /// wait() — the pooled request states and per-request arenas must recycle
 /// without touching the heap just like the blocking path.
+/// With `autotune_budget` > 0 the machine runs online autotuned selection;
+/// the warm-up window is stretched past the exploration budget so every
+/// decision cell has locked in before measurement — the invariant under test
+/// is that a locked cell's per-collective work (one atomic choice load, a
+/// no-op observe, a counter bump) adds zero allocations to the warm path.
 std::uint64_t measured_allocs(const FabricSpec& fabric, std::size_t elems,
                               std::size_t rendezvous_threshold,
-                              bool use_async = false) {
+                              bool use_async = false, int autotune_budget = 0) {
   constexpr int kNodes = 4;
-  constexpr int kWarmupRounds = 3;
+  const int kWarmupRounds = autotune_budget > 0 ? autotune_budget + 2 : 3;
   constexpr int kMeasuredRounds = 8;
 
   Multicomputer mc(Mesh2D(1, kNodes), MachineParams::paragon(), fabric);
   mc.set_rendezvous_threshold(rendezvous_threshold);
+  if (autotune_budget > 0) {
+    AutotuneConfig config;
+    config.mode = AutotuneMode::kOnline;
+    config.exploration_budget = autotune_budget;
+    mc.set_autotune(config);
+  }
 
   std::barrier sync(kNodes);
   std::atomic<std::uint64_t> before{0};
@@ -182,6 +193,24 @@ TEST_P(SteadyStateAllocTest, AsyncRendezvousRegimeAllocatesNothingOnCacheHit) {
   EXPECT_EQ(measured_allocs(spec(), /*elems=*/65536,
                             Transport::kDefaultRendezvousThreshold,
                             /*use_async=*/true),
+            0u);
+}
+
+// Online autotuned selection after lock-in: the decision-cache consultation
+// on every cache hit must be free.  The warm-up runs the whole exploration
+// (which replans and allocates, deliberately); once locked, the measured
+// rounds go through choose()'s single atomic load and a no-op observe().
+TEST_P(SteadyStateAllocTest, AutotunedSelectionAddsNothingAfterLockIn) {
+  EXPECT_EQ(measured_allocs(spec(), /*elems=*/64,
+                            /*rendezvous_threshold=*/std::size_t{1} << 30,
+                            /*use_async=*/false, /*autotune_budget=*/4),
+            0u);
+}
+
+TEST_P(SteadyStateAllocTest, AsyncAutotunedSelectionAddsNothingAfterLockIn) {
+  EXPECT_EQ(measured_allocs(spec(), /*elems=*/64,
+                            /*rendezvous_threshold=*/std::size_t{1} << 30,
+                            /*use_async=*/true, /*autotune_budget=*/4),
             0u);
 }
 

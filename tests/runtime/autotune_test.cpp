@@ -1,0 +1,338 @@
+// Online autotuned algorithm selection on the threaded runtime (see
+// core/decision_cache.hpp): mode semantics (off / seed-only / online),
+// explore-then-lock-in, warm starts from a persisted cache file, graceful
+// rejection of garbage files, async feedback, and — because the online sweep
+// executes *every* candidate — end-to-end correctness of the Träff circulant
+// reduce-scatter/allreduce strategies at non-powers-of-two on both fabrics,
+// eager and rendezvous.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "intercom/core/decision_cache.hpp"
+#include "intercom/runtime/communicator.hpp"
+#include "intercom/runtime/executor.hpp"
+#include "fabric_fixture.hpp"
+
+namespace intercom {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+AutotuneConfig online(int budget, std::string path = "") {
+  AutotuneConfig config;
+  config.mode = AutotuneMode::kOnline;
+  config.exploration_budget = budget;
+  config.cache_path = std::move(path);
+  return config;
+}
+
+/// One verified allreduce round: rank-dependent partials in, the closed-form
+/// sum out on every member.  Each round re-derives the inputs so a corrupted
+/// schedule from any explored candidate fails loudly.
+void allreduce_round(Communicator& world, std::size_t elems) {
+  std::vector<double> buf(elems);
+  for (std::size_t i = 0; i < elems; ++i) {
+    buf[i] = static_cast<double>(world.rank() + 1) + static_cast<double>(i);
+  }
+  world.all_reduce_sum(std::span<double>(buf));
+  const int p = world.size();
+  for (std::size_t i = 0; i < elems; ++i) {
+    const double want = p * (p + 1) / 2.0 +
+                        static_cast<double>(p) * static_cast<double>(i);
+    ASSERT_DOUBLE_EQ(buf[i], want) << "rank " << world.rank() << " elem " << i;
+  }
+}
+
+/// One verified reduce-scatter round: every member checks its own piece.
+void reduce_scatter_round(Communicator& world, std::size_t elems) {
+  std::vector<double> buf(elems);
+  for (std::size_t i = 0; i < elems; ++i) {
+    buf[i] = static_cast<double>(world.rank() + 1);
+  }
+  world.reduce_scatter_sum(std::span<double>(buf));
+  const int p = world.size();
+  const ElemRange piece = world.piece_of(elems, world.rank());
+  for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+    ASSERT_DOUBLE_EQ(buf[i], p * (p + 1) / 2.0) << "rank " << world.rank();
+  }
+}
+
+class AutotuneFabricTest : public FabricParamTest {};
+
+TEST_P(AutotuneFabricTest, OffByDefaultTouchesNoDecisionState) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  mc.run_spmd([](Node& node) {
+    Communicator world = node.world();
+    for (int round = 0; round < 3; ++round) allreduce_round(world, 16);
+  });
+  EXPECT_EQ(mc.metrics().counter("autotune.hit").value(), 0u);
+  EXPECT_EQ(mc.metrics().counter("autotune.explore").value(), 0u);
+  EXPECT_EQ(mc.autotune().mode, AutotuneMode::kOff);
+}
+
+TEST_P(AutotuneFabricTest, OnlineModeExploresThenLocksIn) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  mc.set_autotune(online(/*budget=*/40));
+  mc.run_spmd([](Node& node) {
+    Communicator world = node.world();
+    for (int round = 0; round < 48; ++round) allreduce_round(world, 32);
+  });
+  const DecisionCache::CellKey key{Collective::kCombineToAll, 4,
+                                   DecisionCache::bucket_of(32 * 8)};
+  DecisionCell* cell = mc.autotune_cache().find(key);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_GE(cell->locked.load(), 0);
+  EXPECT_FALSE(cell->winner_label().empty());
+  EXPECT_GT(mc.metrics().counter("autotune.explore").value(), 0u);
+  EXPECT_GT(mc.metrics().counter("autotune.hit").value(), 0u);
+}
+
+TEST_P(AutotuneFabricTest, OnlineSweepExecutesEveryCandidateCorrectly) {
+  // The initial exploration sweep visits every candidate once in model
+  // order, so after |candidates| verified rounds every algorithm in the set
+  // — including the Träff circulant reduce-scatter and its allreduce
+  // composition — has moved real data over this fabric.  p = 6: the
+  // non-power-of-two case the circulant algorithms exist for.
+  Multicomputer& mc = machine(Mesh2D(1, 6));
+  mc.set_autotune(online(/*budget=*/96));
+  mc.run_spmd([](Node& node) {
+    Communicator world = node.world();
+    allreduce_round(world, 30);
+    reduce_scatter_round(world, 30);
+  });
+  const DecisionCache::CellKey ar_key{Collective::kCombineToAll, 6,
+                                      DecisionCache::bucket_of(30 * 8)};
+  const DecisionCache::CellKey rs_key{Collective::kDistributedCombine, 6,
+                                      DecisionCache::bucket_of(30 * 8)};
+  DecisionCell* ar = mc.autotune_cache().find(ar_key);
+  DecisionCell* rs = mc.autotune_cache().find(rs_key);
+  ASSERT_NE(ar, nullptr);
+  ASSERT_NE(rs, nullptr);
+  bool ar_has_circulant = false;
+  bool rs_has_circulant = false;
+  for (const auto& c : ar->candidates) {
+    if (c.strategy.inner == InnerAlg::kCirculant) ar_has_circulant = true;
+  }
+  for (const auto& c : rs->candidates) {
+    if (c.strategy.inner == InnerAlg::kCirculant) rs_has_circulant = true;
+  }
+  EXPECT_TRUE(ar_has_circulant);
+  EXPECT_TRUE(rs_has_circulant);
+  const std::size_t ar_rounds = ar->candidates.size() + 2;
+  const std::size_t rs_rounds = rs->candidates.size() + 2;
+  mc.run_spmd([&](Node& node) {
+    Communicator world = node.world();
+    // The write-once choice log replays the first trial, then the sweep
+    // continues: by round |candidates| every candidate has run at least once.
+    for (std::size_t round = 0; round < ar_rounds; ++round) {
+      allreduce_round(world, 30);
+    }
+    for (std::size_t round = 0; round < rs_rounds; ++round) {
+      reduce_scatter_round(world, 30);
+    }
+  });
+  for (const auto& c : ar->candidates) {
+    EXPECT_GE(c.observations, 1u) << "allreduce candidate " << c.label
+                                  << " never executed";
+  }
+  for (const auto& c : rs->candidates) {
+    EXPECT_GE(c.observations, 1u) << "reduce-scatter candidate " << c.label
+                                  << " never executed";
+  }
+}
+
+class AutotuneNonPow2Test : public FabricCrossTest<int> {};
+
+TEST_P(AutotuneNonPow2Test, CirculantSchedulesMoveRealData) {
+  // Direct wire-level execution of the forced circulant strategies (not
+  // gated on what exploration happens to pick): reduce-scatter and the
+  // allreduce composition at every awkward p, on both fabrics.
+  const int p = arg();
+  Transport t(p, make_fabric(spec(), Mesh2D(1, p)));
+  const Planner planner;
+  const Group g = Group::contiguous(p);
+  const HybridStrategy strategy{{p}, InnerAlg::kCirculant, false};
+  const std::size_t elems = 23;
+  for (Collective collective :
+       {Collective::kDistributedCombine, Collective::kCombineToAll}) {
+    const Schedule schedule = planner.plan_with_strategy(
+        collective, g, elems, sizeof(double), 0, strategy);
+    std::vector<std::vector<double>> bufs(static_cast<std::size_t>(p));
+    std::vector<std::thread> threads;
+    const ReduceOp op = sum_op<double>();
+    for (int r = 0; r < p; ++r) {
+      auto& buf = bufs[static_cast<std::size_t>(r)];
+      buf.assign(elems, static_cast<double>(r + 1));
+      threads.emplace_back([&t, &schedule, r, &buf, &op] {
+        execute_program(t, schedule, r,
+                        std::as_writable_bytes(std::span<double>(buf)),
+                        /*ctx=*/7777, &op);
+      });
+    }
+    for (auto& th : threads) th.join();
+    const double want = p * (p + 1) / 2.0;
+    for (int r = 0; r < p; ++r) {
+      const ElemRange piece = block_piece(ElemRange{0, elems}, p, r);
+      for (std::size_t i = piece.lo; i < piece.hi; ++i) {
+        EXPECT_DOUBLE_EQ(bufs[static_cast<std::size_t>(r)][i], want)
+            << to_string(collective) << " p=" << p << " rank " << r;
+      }
+      if (collective == Collective::kCombineToAll) {
+        for (std::size_t i = 0; i < elems; ++i) {
+          EXPECT_DOUBLE_EQ(bufs[static_cast<std::size_t>(r)][i], want)
+              << "allreduce p=" << p << " rank " << r;
+        }
+      }
+    }
+  }
+}
+
+INTERCOM_INSTANTIATE_FABRIC_CROSS_SUITE(AutotuneNonPow2Test,
+                                        ::testing::Values(3, 5, 6, 7, 12));
+
+TEST_P(AutotuneFabricTest, RendezvousPathSweepsCleanly) {
+  // Same exploration sweep with every payload forced through the rendezvous
+  // protocol (threshold 1 byte): candidate schedules must be correct on the
+  // sender-waits path too.
+  Multicomputer& mc = machine(Mesh2D(1, 5));
+  mc.set_rendezvous_threshold(1);
+  mc.set_autotune(online(/*budget=*/24));
+  mc.run_spmd([](Node& node) {
+    Communicator world = node.world();
+    for (int round = 0; round < 26; ++round) allreduce_round(world, 17);
+  });
+  const DecisionCache::CellKey key{Collective::kCombineToAll, 5,
+                                   DecisionCache::bucket_of(17 * 8)};
+  DecisionCell* cell = mc.autotune_cache().find(key);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_GE(cell->locked.load(), 0);
+}
+
+TEST_P(AutotuneFabricTest, AsyncCollectivesFeedTheCacheToo) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  mc.set_autotune(online(/*budget=*/12));
+  mc.run_spmd([](Node& node) {
+    Communicator world = node.world();
+    for (int round = 0; round < 16; ++round) {
+      std::vector<double> buf(24);
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf[i] = static_cast<double>(world.rank() + 1);
+      }
+      Request r = world.iall_reduce_sum(std::span<double>(buf));
+      r.wait();
+      const int p = world.size();
+      for (const double v : buf) ASSERT_DOUBLE_EQ(v, p * (p + 1) / 2.0);
+    }
+  });
+  const DecisionCache::CellKey key{Collective::kCombineToAll, 4,
+                                   DecisionCache::bucket_of(24 * 8)};
+  DecisionCell* cell = mc.autotune_cache().find(key);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_GE(cell->locked.load(), 0);
+  std::uint64_t total_observations = 0;
+  for (const auto& c : cell->candidates) total_observations += c.observations;
+  EXPECT_GT(total_observations, 0u);
+}
+
+TEST_P(AutotuneFabricTest, SeedModeConsultsButNeverExplores) {
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  AutotuneConfig config;
+  config.mode = AutotuneMode::kSeed;
+  mc.set_autotune(config);
+  mc.run_spmd([](Node& node) {
+    Communicator world = node.world();
+    for (int round = 0; round < 10; ++round) allreduce_round(world, 16);
+  });
+  EXPECT_EQ(mc.metrics().counter("autotune.explore").value(), 0u);
+  EXPECT_GT(mc.metrics().counter("autotune.hit").value(), 0u);
+  const DecisionCache::CellKey key{Collective::kCombineToAll, 4,
+                                   DecisionCache::bucket_of(16 * 8)};
+  DecisionCell* cell = mc.autotune_cache().find(key);
+  ASSERT_NE(cell, nullptr);
+  // Seed-only mode records nothing: no measurements, no lock-in.
+  EXPECT_LT(cell->locked.load(), 0);
+  for (const auto& c : cell->candidates) EXPECT_EQ(c.observations, 0u);
+}
+
+TEST_P(AutotuneFabricTest, WarmStartSkipsExplorationEntirely) {
+  const std::string path = temp_path("warm_" + fabric() + ".json");
+  std::remove(path.c_str());
+  {
+    Multicomputer& mc = machine(Mesh2D(1, 4));
+    mc.set_autotune(online(/*budget=*/10, path));
+    mc.run_spmd([](Node& node) {
+      Communicator world = node.world();
+      for (int round = 0; round < 14; ++round) allreduce_round(world, 16);
+    });
+    const DecisionCache::CellKey key{Collective::kCombineToAll, 4,
+                                     DecisionCache::bucket_of(16 * 8)};
+    ASSERT_NE(mc.autotune_cache().find(key), nullptr);
+    ASSERT_GE(mc.autotune_cache().find(key)->locked.load(), 0);
+    std::string error;
+    ASSERT_TRUE(mc.save_autotune(&error)) << error;
+  }
+  // Fresh machine, same fabric and parameters: the loaded winner applies
+  // from the very first collective — zero exploration replans.
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  mc.set_autotune(online(/*budget=*/10, path));
+  mc.run_spmd([](Node& node) {
+    Communicator world = node.world();
+    for (int round = 0; round < 6; ++round) allreduce_round(world, 16);
+  });
+  EXPECT_EQ(mc.metrics().counter("autotune.explore").value(), 0u);
+  EXPECT_GT(mc.metrics().counter("autotune.hit").value(), 0u);
+  const DecisionCache::CellKey key{Collective::kCombineToAll, 4,
+                                   DecisionCache::bucket_of(16 * 8)};
+  DecisionCell* cell = mc.autotune_cache().find(key);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_GE(cell->locked.load(), 0);
+  std::remove(path.c_str());
+}
+
+TEST_P(AutotuneFabricTest, GarbageCacheFileFallsBackToModelSeeding) {
+  const std::string path = temp_path("garbage_" + fabric() + ".json");
+  {
+    std::ofstream out(path);
+    out << "{\"version\": 1, \"cells\": [truncated mid-";
+  }
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  mc.set_autotune(online(/*budget=*/8, path));  // must not throw
+  EXPECT_EQ(mc.metrics().counter("autotune.load.failure").value(), 1u);
+  // The machine still autotunes from the model seed as if cold.
+  mc.run_spmd([](Node& node) {
+    Communicator world = node.world();
+    for (int round = 0; round < 10; ++round) allreduce_round(world, 16);
+  });
+  const DecisionCache::CellKey key{Collective::kCombineToAll, 4,
+                                   DecisionCache::bucket_of(16 * 8)};
+  EXPECT_NE(mc.autotune_cache().find(key), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST_P(AutotuneFabricTest, PerCommunicatorOverrideOptsIn) {
+  // Machine-level default stays off; the communicator opts in collectively.
+  Multicomputer& mc = machine(Mesh2D(1, 4));
+  mc.run_spmd([](Node& node) {
+    Communicator world = node.world();
+    world.set_autotune(online(/*budget=*/6));
+    for (int round = 0; round < 8; ++round) allreduce_round(world, 16);
+  });
+  const DecisionCache::CellKey key{Collective::kCombineToAll, 4,
+                                   DecisionCache::bucket_of(16 * 8)};
+  DecisionCell* cell = mc.autotune_cache().find(key);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_GE(cell->locked.load(), 0);
+  EXPECT_EQ(mc.autotune().mode, AutotuneMode::kOff);
+}
+
+INTERCOM_INSTANTIATE_FABRIC_SUITE(AutotuneFabricTest);
+
+}  // namespace
+}  // namespace intercom

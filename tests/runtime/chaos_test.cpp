@@ -522,6 +522,45 @@ INTERCOM_INSTANTIATE_FABRIC_CROSS_SUITE(
     ::testing::Values(std::size_t{1},  // everything rendezvous-gated
                       std::size_t{1} << 30));  // everything eager
 
+// Online autotuned selection under chaos: the exploration sweep executes
+// every candidate schedule — including the circulant reduce-scatter/
+// allreduce — on a faulty wire.  The reliability layer must heal each one
+// (bitwise-correct results every round) and the decision cell must still
+// complete its budget and lock in.
+TEST_P(ChaosCollectiveTest, AutotunedExplorationHealsUnderChaos) {
+  Multicomputer& mc = machine(Mesh2D(1, 5));
+  auto injector = std::make_shared<FaultInjector>(97u);
+  FaultSpec spec;
+  spec.drop = 0.05;
+  spec.duplicate = 0.05;
+  spec.reorder = 0.05;
+  injector->set_default(spec);
+  mc.set_fault_injector(injector);
+  mc.set_reliable(true);
+  mc.set_retry_policy(/*max_retries=*/20, /*base_rto_ms=*/2);
+  AutotuneConfig config;
+  config.mode = AutotuneMode::kOnline;
+  config.exploration_budget = 10;
+  mc.set_autotune(config);
+  mc.run_spmd([](Node& node) {
+    Communicator world = node.world();
+    const int p = world.size();
+    for (int round = 0; round < 14; ++round) {
+      std::vector<double> buf(21);
+      for (auto& v : buf) v = world.rank() + 1.0;
+      world.all_reduce_sum(std::span<double>(buf));
+      for (double v : buf) ASSERT_DOUBLE_EQ(v, p * (p + 1) / 2.0);
+    }
+  });
+  const DecisionCache::CellKey key{Collective::kCombineToAll, 5,
+                                   DecisionCache::bucket_of(21 * 8)};
+  DecisionCell* cell = mc.autotune_cache().find(key);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_GE(cell->locked.load(), 0);
+  const auto stats = injector->stats();
+  EXPECT_GT(stats.dropped + stats.duplicated + stats.reordered, 0u);
+}
+
 TEST_P(ChaosCollectiveTest, IccChaosKnobHealsGdsum) {
   Multicomputer& mc = machine(Mesh2D(1, 4));
   auto injector = icc::icc_set_chaos(mc, /*seed=*/5u, /*drop=*/0.05,
