@@ -24,6 +24,7 @@
 // within 2x of the analytic prediction across that range.
 #include <chrono>
 #include <cstddef>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <thread>
@@ -234,6 +235,81 @@ void three_way_short(int p) {
   std::cout << "\n";
 }
 
+/// Wall-clock cost of a real wire: the same auto-planned broadcast +
+/// all-reduce on the ideal in-process fabric and on both cross-process
+/// backends (threaded mode — every payload still crosses the shm rings /
+/// TCP loopback and the pump thread).  Rows land in
+/// BENCH_fabric_contention.json keyed by backend so CI can track the
+/// wire tax per backend over time.
+struct WireRow {
+  std::string backend;
+  std::string collective;
+  int p = 0;
+  std::size_t bytes = 0;
+  double ns_per_op = 0.0;
+};
+
+void wire_backend_table(int p, std::size_t bytes,
+                        std::vector<WireRow>* json_rows) {
+  const Mesh2D mesh(1, p);
+  const std::size_t elems = bytes / sizeof(double);
+  constexpr int kRounds = 4;
+
+  std::cout << "p = " << p << ", " << format_bytes(bytes)
+            << " vector (Paragon parameters, wall clock)\n";
+  TextTable table({"backend", "broadcast (s/op)", "all-reduce (s/op)"});
+  for (const char* backend : {"inproc", "shm", "socket"}) {
+    FabricSpec spec;
+    spec.name = backend;
+    Multicomputer mc(mesh, MachineParams::paragon(), spec);
+    auto run_rounds = [&](bool reduce) {
+      mc.run_spmd([&](Node& node) {
+        Communicator world = node.world();
+        std::vector<double> buf(elems, static_cast<double>(node.id()));
+        for (int r = 0; r < kRounds; ++r) {
+          if (reduce) {
+            world.all_reduce_sum(std::span<double>(buf));
+          } else {
+            world.broadcast(std::span<double>(buf), 0);
+          }
+        }
+      });
+    };
+    run_rounds(false);  // warmup: plan caches, pools, wire staging depth
+    run_rounds(true);
+    const auto t0 = std::chrono::steady_clock::now();
+    run_rounds(false);
+    const auto t1 = std::chrono::steady_clock::now();
+    run_rounds(true);
+    const auto t2 = std::chrono::steady_clock::now();
+    const double bcast_s =
+        std::chrono::duration<double>(t1 - t0).count() / kRounds;
+    const double ar_s =
+        std::chrono::duration<double>(t2 - t1).count() / kRounds;
+    table.add_row({backend, format_seconds(bcast_s), format_seconds(ar_s)});
+    json_rows->push_back(
+        {backend, "broadcast", p, bytes, bcast_s * 1e9});
+    json_rows->push_back(
+        {backend, "all_reduce", p, bytes, ar_s * 1e9});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void write_wire_json(const std::vector<WireRow>& rows, const char* path) {
+  std::ofstream os(path);
+  if (!os) return;
+  os << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const WireRow& r = rows[i];
+    os << "  {\"backend\": \"" << r.backend << "\", \"collective\": \""
+       << r.collective << "\", \"p\": " << r.p << ", \"bytes\": " << r.bytes
+       << ", \"ns_per_op\": " << r.ns_per_op << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
 }  // namespace
 
 int main() {
@@ -263,5 +339,15 @@ int main() {
       "Runtime per-message overhead dominates at these sizes; these rows\n"
       "record algorithm coverage, not the 2x band.");
   three_way_short(7);
+
+  bench::print_header(
+      "Cross-process wire tax: inproc vs shm rings vs TCP loopback",
+      "The identical policy stack on the three real-data fabrics.  The\n"
+      "shm and socket columns pay serialization into the wire plus a pump\n"
+      "crossing per payload; rows land in BENCH_fabric_contention.json.");
+  std::vector<WireRow> wire_rows;
+  wire_backend_table(8, 1048576, &wire_rows);
+  wire_backend_table(8, 65536, &wire_rows);
+  write_wire_json(wire_rows, "BENCH_fabric_contention.json");
   return 0;
 }

@@ -253,8 +253,18 @@ std::uint64_t DecisionCache::hash_params(const MachineParams& params) {
                            params.beta_long};
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
   for (double f : fields) {
+    // Canonicalize before taking the bit pattern: -0.0 compares equal to
+    // 0.0 but has a different representation, and NaN has 2^52-ish payloads
+    // — hashing raw bits would put equal-parameter machines in different
+    // cache generations (a stale-cache miss that is invisible in tests
+    // because it is still *correct*, just never warm).
+    if (f == 0.0) f = 0.0;  // folds -0.0 into +0.0
     std::uint64_t bits = 0;
-    std::memcpy(&bits, &f, sizeof(bits));
+    if (f != f) {
+      bits = 0x7ff8000000000000ull;  // every NaN hashes as the quiet NaN
+    } else {
+      std::memcpy(&bits, &f, sizeof(bits));
+    }
     for (int i = 0; i < 8; ++i) {
       h ^= (bits >> (8 * i)) & 0xffu;
       h *= 1099511628211ull;  // FNV prime

@@ -76,6 +76,15 @@ class BufferPool {
     std::vector<Buf> free_list;
   };
 
+  /// Freelist-miss stocking: classes at or below kStockMaxBytes are grown
+  /// by kStockBatch extra slabs per miss (and their freelist vector
+  /// reserved to kFreeListReserve entries), so steady-state depth jitter
+  /// draws from headroom instead of malloc.  Large classes grow one slab
+  /// at a time — stocking them would pin real memory.
+  static constexpr std::size_t kStockMaxBytes = std::size_t{1} << 20;
+  static constexpr std::size_t kStockBatch = 4;
+  static constexpr std::size_t kFreeListReserve = 32;
+
   static std::size_t class_index(std::size_t n);
   static std::size_t class_bytes(std::size_t index);
 

@@ -26,14 +26,21 @@
 // try_wait_recv: they either complete the operation exactly as the blocking
 // verb would or leave every piece of wire state untouched.
 //
-// Two fabrics ship today: InProcFabric, the original sharded-channel data
+// Four fabrics ship today: InProcFabric, the original sharded-channel data
 // path (one mutex + condvar + pending list per (src, dst) wire, pooled
-// slabs, waiter-counted notify elision, bounded yield-spin), and SimFabric
+// slabs, waiter-counted notify elision, bounded yield-spin); SimFabric
 // (sim_fabric.hpp), which derives from it and paces every wire crossing
 // through the wormhole-mesh model so real payloads experience modeled
-// contention.  The seam between them is one protected hook: carry(), called
-// once per wire crossing with the payload size, while the crossing's channel
-// state is stable.
+// contention; and the two cross-process backends (wire_fabric.hpp):
+// ShmFabric (per-(src,dst) byte rings in an mmap-ed shared segment with
+// futex wakeups) and SocketFabric (TCP framing over loopback or a real
+// network).  SimFabric's seam is one protected hook — carry(), called once
+// per wire crossing with the payload size while the crossing's channel
+// state is stable.  The wire backends derive from WireFabric, which reuses
+// the InProcFabric channel state as the receive-side staging area and
+// overrides the send-side verbs to serialize every crossing through a real
+// OS transport; for that, the channel internals below are protected, not
+// private.
 #pragma once
 
 #include <atomic>
@@ -232,6 +239,12 @@ class Fabric {
   virtual void poison() = 0;
   bool poisoned() const { return poisoned_.load(std::memory_order_relaxed); }
 
+  /// Diagnostic note attached to a fabric-initiated poison (e.g. "peer
+  /// process died"), folded into the transport's AbortedError message.
+  /// Empty when the poison came from the policy layer (which carries its own
+  /// reason) or never fired.
+  virtual std::string poison_note() const { return ""; }
+
   /// Non-destructive wakeup: bumps the interrupt epoch and wakes every
   /// parked blocking verb, which returns kInterrupted without completing or
   /// withdrawing anything.  The health detector fires this when a peer is
@@ -327,7 +340,10 @@ class InProcFabric : public Fabric {
   /// the calling thread here by the wormhole-mesh model.
   virtual void carry(int src, int dst, std::size_t bytes);
 
- private:
+  // The channel state below is protected (not private) for WireFabric: the
+  // cross-process backends stage pumped wire messages straight into these
+  // channels so every receive-side verb — wait, try_wait, wait_frame, the
+  // judged scans — runs unchanged on top of a real OS transport.
   struct MsgNode {
     FabricKey key;
     FabricMsg msg;

@@ -15,6 +15,7 @@
 
 #include "intercom/runtime/fabric.hpp"
 #include "intercom/runtime/sim_fabric.hpp"
+#include "intercom/runtime/wire_fabric.hpp"
 #include "intercom/topo/mesh.hpp"
 
 namespace intercom {
@@ -27,6 +28,9 @@ struct FabricSpec {
   /// Consulted by the "sim" backend (and any registered backend that wants
   /// a machine model); ignored by "inproc".
   SimFabricConfig sim{};
+  /// Consulted by the cross-process backends ("shm", "socket"); ignored by
+  /// the in-process ones.
+  WireFabricConfig wire{};
 };
 
 /// Builds a fabric for `spec` over `mesh` (the spec the factory receives is

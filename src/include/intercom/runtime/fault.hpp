@@ -27,12 +27,13 @@ struct FaultSpec {
   double duplicate = 0.0;  ///< Frame delivered twice.
   double reorder = 0.0;    ///< Frame held back behind the wire's next frame.
   double corrupt = 0.0;    ///< One payload bit flipped in flight.
+  double corrupt_header = 0.0;  ///< One frame-header bit flipped in flight.
   double delay = 0.0;      ///< Sender stalled for `delay_ms` (slow link).
   long delay_ms = 0;
 
   bool any() const {
     return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0 ||
-           (delay > 0 && delay_ms > 0);
+           corrupt_header > 0 || (delay > 0 && delay_ms > 0);
   }
 };
 
@@ -76,14 +77,18 @@ class FaultInjector {
   bool on_step(int node, std::size_t step);
 
   /// The fate of one frame delivery attempt.  `corrupt_bit` is the payload
-  /// bit index to flip when `corrupt` is set.
+  /// bit index to flip when `corrupt` is set.  `header_bit` is raw 64-bit
+  /// entropy for `corrupt_header`: the transport reduces it modulo its own
+  /// header width, so the fault layer stays ignorant of the frame layout.
   struct Decision {
     bool drop = false;
     bool duplicate = false;
     bool reorder = false;
     bool corrupt = false;
+    bool corrupt_header = false;
     long delay_ms = 0;
     std::size_t corrupt_bit = 0;
+    std::uint64_t header_bit = 0;
   };
 
   /// Pure function of (seed, coordinates): deterministic across runs and
@@ -105,6 +110,7 @@ class FaultInjector {
     std::uint64_t duplicated = 0;
     std::uint64_t reordered = 0;
     std::uint64_t corrupted = 0;
+    std::uint64_t header_corrupted = 0;
     std::uint64_t delayed = 0;
     std::uint64_t fail_stops = 0;
   };
@@ -143,6 +149,7 @@ class FaultInjector {
   mutable std::atomic<std::uint64_t> duplicated_{0};
   mutable std::atomic<std::uint64_t> reordered_{0};
   mutable std::atomic<std::uint64_t> corrupted_{0};
+  mutable std::atomic<std::uint64_t> header_corrupted_{0};
   mutable std::atomic<std::uint64_t> delayed_{0};
   mutable std::atomic<std::uint64_t> fail_stops_fired_{0};
 };

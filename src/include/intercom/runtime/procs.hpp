@@ -1,0 +1,78 @@
+// Process-launch mode of the multicomputer: one OS process per node over a
+// cross-process fabric ("shm" or "socket").
+//
+// run_spmd_procs is the fork-based counterpart of Multicomputer::run_spmd.
+// The parent creates the bootstrap shared-memory segment (pid/port tables,
+// barrier, and — for shm — the data rings), forks one child per rank, and
+// reaps them under a watchdog deadline.  Each child constructs its own
+// Multicomputer on the named backend with local_rank set, runs `body` on
+// its node, and exits with a status code the parent reports.
+//
+// Exit discipline: children synchronize on a teardown barrier (piggybacked
+// on the bootstrap segment's ready counter) before exiting, so a rank that
+// finishes early does not vanish from the wire while peers are still mid-
+// collective — an exited process is indistinguishable from a crashed one
+// at the fabric level, and the peer-death detector would (correctly)
+// poison the survivors.  The barrier is bounded and peer-liveness-checked:
+// if a sibling really did die, waiters drain out instead of wedging.
+//
+// This is deliberately a free function, not a Multicomputer method: the
+// parent process never owns a machine — each child builds its own against
+// the shared bootstrap name.
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "intercom/model/machine_params.hpp"
+#include "intercom/topo/mesh.hpp"
+
+namespace intercom {
+
+class Node;
+
+/// Child exit codes (the parent reports them verbatim in ProcReport).
+constexpr int kProcOk = 0;         ///< body returned normally
+constexpr int kProcError = 1;      ///< body threw an intercom::Error
+constexpr int kProcException = 2;  ///< body threw something else
+
+struct ProcOptions {
+  MachineParams params = MachineParams::paragon();
+  /// Per-ring capacity for the shm backend (ignored by socket).
+  std::size_t ring_bytes = std::size_t{1} << 18;
+  /// Wire pump tick: bounds peer-death detection latency.
+  long tick_ms = 25;
+  /// How long a child waits for the full cohort at the bootstrap (and
+  /// teardown) barrier.
+  long bootstrap_timeout_ms = 10000;
+  /// Parent-side watchdog: children still alive after this are SIGKILLed
+  /// and reported with killed_by_watchdog set.
+  long deadline_ms = 30000;
+};
+
+/// What became of one rank's process.
+struct ProcReport {
+  int rank = -1;
+  pid_t pid = -1;
+  bool exited = false;    ///< terminated on its own (exit or signal)
+  int exit_code = -1;     ///< valid when the child exited normally
+  int term_signal = 0;    ///< nonzero when the child died to a signal
+  bool killed_by_watchdog = false;
+
+  bool ok() const { return exited && term_signal == 0 && exit_code == kProcOk; }
+};
+
+/// Runs `body` on every rank of `mesh`, one forked process per rank, over
+/// the named cross-process backend ("shm" or "socket").  Returns one report
+/// per rank after every child has been reaped.  Throws on launcher-side
+/// failures (bad backend, fork failure); child failures are reported, not
+/// thrown — crash-containment is the point of process mode.
+std::vector<ProcReport> run_spmd_procs(const Mesh2D& mesh,
+                                       const std::string& backend,
+                                       const std::function<void(Node&)>& body,
+                                       const ProcOptions& options = {});
+
+}  // namespace intercom

@@ -1,0 +1,159 @@
+// ShmFabric: cross-process delivery over per-(src, dst) byte rings in one
+// mmap-ed POSIX shared-memory segment.
+//
+// Layout of the segment (all offsets 64-byte aligned; see docs/fabrics.md):
+//
+//   header     magic / version / nodes / per-ring capacity, plus the
+//              bootstrap barrier (an atomic ready counter every attaching
+//              endpoint increments and then waits on)
+//   pid[n]     each endpoint's OS pid, published before the barrier — the
+//              liveness probe (kill(pid, 0) == ESRCH) that turns a dead
+//              peer process into a poisoned fabric instead of a hang
+//   port[n]    listener ports, published the same way; unused by shm itself
+//              but lets SocketFabric bootstrap off the identical segment
+//   bell[n]    per-endpoint doorbell: a futex word the endpoint's pump
+//              parks on (bounded by the wire tick) plus a waiter flag so
+//              producers skip the FUTEX_WAKE syscall when nobody sleeps
+//   ring ctl   n*n SPSC byte rings, producer-indexed [from * n + to]:
+//              free-running head (consumer) / tail (producer) counters
+//   ring data  n*n data areas of ring capacity bytes each
+//
+// Each ring is a byte *stream*, not a slot queue: a wire message (40-byte
+// WireHeader + payload) is written contiguously in ring order, and payloads
+// larger than the ring stream through it in chunks — the producer publishes
+// the tail after every chunk and waits (bounded, peer-liveness-checked) for
+// the consumer to free space.  The consumer side never blocks mid-message:
+// the pump keeps per-ring reassembly state and makes incremental progress
+// on every ring each sweep, so one partially-arrived large payload cannot
+// stall the other wires.
+//
+// Threaded mode creates a private segment (unlinked immediately — it dies
+// with the process) and hosts every rank on one endpoint; every src != dst
+// payload still round-trips through the rings and the pump.  Process mode
+// attaches the launcher-created bootstrap segment by name, publishes its
+// pid, and barrier-waits for the full cohort.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "intercom/runtime/wire_fabric.hpp"
+
+namespace intercom {
+
+/// Per-endpoint doorbell: `value` is the futex word (bumped on every
+/// publish), `waiters` gates the wake syscall.
+struct alignas(64) ShmDoorbell {
+  std::atomic<std::uint32_t> value;
+  std::atomic<std::uint32_t> waiters;
+};
+
+/// One SPSC byte ring's control block.  head/tail are free-running byte
+/// counters (consumer / producer); `tail - head` bytes are readable.
+struct alignas(64) ShmRingCtl {
+  std::atomic<std::uint64_t> head;
+  std::atomic<std::uint64_t> tail;
+};
+
+/// The shared bootstrap + data segment.  Create/attach/unlink semantics:
+/// the creating side (launcher, or a threaded-mode fabric) owns the name;
+/// attaching sides map it read-write and never unlink.  Movable, not
+/// copyable; unmaps on destruction.
+class ShmSegment {
+ public:
+  ShmSegment() = default;
+  ShmSegment(ShmSegment&& other) noexcept;
+  ShmSegment& operator=(ShmSegment&& other) noexcept;
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+  ~ShmSegment();
+
+  /// Creates and maps `/name` sized for `nodes` endpoints with
+  /// `ring_bytes` per ring (rounded up to a power of two; 0 = bootstrap
+  /// tables only, no rings — the socket backend's port-exchange segment).
+  /// With `unlink_now` the name is removed immediately after mapping
+  /// (threaded mode: the segment is process-private and leak-proof).
+  static ShmSegment create(const std::string& name, int nodes,
+                           std::size_t ring_bytes, bool unlink_now);
+  /// Maps an existing `/name`, retrying until it appears or `timeout_ms`
+  /// elapses (the launcher creates it before forking, so one attempt
+  /// normally suffices).  Throws on timeout or layout mismatch.
+  static ShmSegment attach(const std::string& name, long timeout_ms);
+
+  /// Removes the name (owner side; idempotent).  Mappings stay valid.
+  void unlink();
+
+  bool valid() const { return base_ != nullptr; }
+  const std::string& name() const { return name_; }
+  int nodes() const;
+  std::size_t ring_cap() const;
+
+  std::atomic<std::uint32_t>& ready();
+  std::atomic<std::int32_t>& pid(int rank);
+  std::atomic<std::uint32_t>& port(int rank);
+  ShmDoorbell& doorbell(int ep);
+  ShmRingCtl& ring_ctl(int from, int to);
+  std::byte* ring_data(int from, int to);
+
+ private:
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+  std::string name_;
+  bool owner_ = false;
+};
+
+/// The shared-memory fabric.  See the header comment for the data path; the
+/// WireFabric base supplies channels, rendezvous adverts, peer-death
+/// policy, and the bounded-tick receive parks.
+class ShmFabric final : public WireFabric {
+ public:
+  ShmFabric(int node_count, const WireFabricConfig& config);
+  ~ShmFabric() override;
+
+  std::string_view name() const override { return "shm"; }
+
+ protected:
+  void wire_send(const WireHeader& h,
+                 std::span<const std::byte> payload) override;
+  bool wire_quiet(int src, int dst) override;
+  bool probe_peer(int rank) override;
+
+ private:
+  /// Producer side: appends `n` bytes to ring (from, to), chunking through
+  /// ring-full waits.  False when the write was abandoned because the
+  /// consuming endpoint's process died (the stream is then dead anyway).
+  bool push_bytes(int from, int to, const std::byte* p, std::size_t n);
+  /// Consumer side: drains whatever ring (from, to) holds into its
+  /// reassembly state, dispatching every completed message.  True if any
+  /// byte moved.
+  bool drain_ring(int from, int to);
+  void pump_main();
+  /// Endpoint that consumes messages routed by header `h` (adverts flow
+  /// receiver -> sender, everything else sender -> receiver).
+  static bool advert_kind(const WireHeader& h);
+
+  /// Mid-message reassembly for one ring.  Only the pump touches the
+  /// fields; `busy` is the cross-thread view (wire_quiet) of "a message is
+  /// half-consumed on this ring".
+  struct Reassembly {
+    bool have_header = false;
+    std::size_t got = 0;  ///< bytes of header or payload received so far
+    WireHeader header;
+    BufferPool::Buf slab;
+    std::atomic<bool> busy{false};
+  };
+
+  ShmSegment seg_;
+  std::size_t ring_cap_ = 0;
+  int my_ep_ = 0;  ///< doorbell index: local_rank in process mode, 0 threaded
+  std::vector<std::mutex> wire_mutex_;  ///< per-ring producer serialization
+  std::vector<Reassembly> reassembly_;  ///< per-ring, consumer == this endpoint
+  std::thread pump_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace intercom

@@ -1,0 +1,98 @@
+// SocketFabric: cross-process delivery over TCP (loopback by default).
+//
+// Every endpoint owns one listening socket.  Wires are unidirectional TCP
+// connections dialed lazily by the producing endpoint on its first send to
+// a peer; the first bytes on a fresh connection are a HELLO wire header
+// identifying the dialing endpoint, after which the connection carries
+// ordinary wire messages (40-byte WireHeader + payload — see
+// wire_fabric.hpp for the kinds).  TCP gives per-wire FIFO and reliable
+// bytes; loss, reordering, and corruption are injected *above* the fabric
+// by the fault layer, so the transport's seq/checksum/RTO machinery is
+// exercised for real: a dropped frame genuinely never crosses the socket
+// and the retransmitted copy genuinely crosses it again.
+//
+// Sends are blocking writes on the dialing side (serialized per wire by a
+// send mutex); receives run through a poll()-driven pump that keeps a
+// per-connection reassembly state machine and never blocks mid-message.
+// TCP_NODELAY is set on every wire — collective traffic is latency-bound
+// request/response, the worst case for Nagle.
+//
+// Bootstrap.  Threaded mode (one endpoint hosting every rank) needs no
+// rendezvous: the endpoint dials its own listener.  Process mode reuses
+// the shm bootstrap segment (rings disabled, tables only): each rank
+// publishes pid + listener port, barrier-waits for the cohort, then reads
+// peer ports to dial.  Peer death is observed two ways: EOF on the peer's
+// connection after its buffered bytes drain (the pump marks the peer dead)
+// and the pid probe against the bootstrap table for peers that died before
+// ever dialing us.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "intercom/runtime/shm_fabric.hpp"
+#include "intercom/runtime/wire_fabric.hpp"
+
+namespace intercom {
+
+class SocketFabric final : public WireFabric {
+ public:
+  SocketFabric(int node_count, const WireFabricConfig& config);
+  ~SocketFabric() override;
+
+  std::string_view name() const override { return "socket"; }
+
+ protected:
+  void wire_send(const WireHeader& h,
+                 std::span<const std::byte> payload) override;
+  bool wire_quiet(int src, int dst) override;
+  bool probe_peer(int rank) override;
+
+ private:
+  /// One inbound connection (accepted): non-blocking fd + the reassembly
+  /// state machine the pump advances.  `remote_ep` is -1 until the HELLO
+  /// header arrives.
+  struct Inbound {
+    int fd = -1;
+    std::atomic<int> remote_ep{-1};  ///< -1 until HELLO; read by wire_quiet
+    bool have_header = false;
+    std::size_t got = 0;
+    WireHeader header;
+    BufferPool::Buf slab;
+    std::atomic<bool> busy{false};  ///< mid-message (wire_quiet's view)
+    bool eof = false;
+  };
+  /// One outbound wire (dialed): blocking fd + send mutex.  The fd is
+  /// atomic because the send error path tears it down under the send mutex
+  /// while a later dial inspects it under the dial mutex.
+  struct Outbound {
+    std::atomic<int> fd{-1};
+    std::mutex mutex;
+  };
+
+  /// The outbound wire to endpoint `ep`, dialed on first use.
+  Outbound& outbound(int ep);
+  /// Advances one inbound connection; true if any byte moved.
+  bool drain_inbound(Inbound& in);
+  void pump_main();
+  void close_all();
+
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe: wakes poll() for shutdown
+  ShmSegment bootstrap_;         ///< process mode only (pid + port tables)
+  std::mutex dial_mutex_;
+  std::vector<std::unique_ptr<Outbound>> outbound_;  ///< by endpoint
+  std::mutex inbound_mutex_;  ///< guards the inbound list shape (pump owns
+                              ///< the elements themselves)
+  std::vector<std::unique_ptr<Inbound>> inbound_;
+  std::thread pump_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace intercom

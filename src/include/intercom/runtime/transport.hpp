@@ -111,6 +111,10 @@ class Transport {
   /// Runs over a caller-supplied fabric (see fabric_registry.hpp for
   /// name-based construction).  The fabric's node count must match.
   Transport(int node_count, std::unique_ptr<Fabric> fabric);
+  /// Tears the fabric down first: a cross-process backend's pump thread
+  /// releases slabs into pool_ until joined, so the fabric must die while
+  /// the pool (declared after it) is still alive.
+  ~Transport();
 
   int node_count() const { return node_count_; }
 

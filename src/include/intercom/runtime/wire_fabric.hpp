@@ -1,0 +1,244 @@
+// WireFabric: the shared core of the cross-process delivery backends.
+//
+// The in-process fabric completes every verb against channel state in one
+// address space.  A cross-process backend cannot: payloads must serialize
+// through a real OS transport (a shared-memory ring, a TCP stream) and
+// deserialize on the receiving side.  WireFabric keeps the InProcFabric
+// channel machinery as the *receive-side staging area* — posted tickets,
+// pending queues, judged frame scans, condvar wakeups all work exactly as
+// before — and reroutes the *send-side* verbs over the wire:
+//
+//   deposit / deliver    serialized as wire messages; a pump thread on the
+//                        receiving endpoint deserializes them and stages
+//                        them into the ordinary channels
+//   claim (fill)         the handshake commits against local channel state
+//                        (same endpoint) or a remote post advert (peer
+//                        endpoint); the payload then crosses the wire as a
+//                        CLAIM_FILL message that the pump lands into the
+//                        claimed ticket
+//   wait / claim parks   re-implemented as bounded ticks (wire.tick_ms) so
+//                        a parked receiver re-checks peer liveness — the
+//                        fabric-seam contract "timeout 0 waits forever" is
+//                        preserved for the caller but no longer translates
+//                        into an unbounded futex sleep that a dead peer
+//                        process can never satisfy
+//
+// Endpoints and the two launch modes.  An endpoint is one OS process's
+// attachment to the fabric.  In *threaded* mode (wire.local_rank == -1, the
+// default) a single endpoint hosts every rank: the machine still runs one
+// thread per node, but every src != dst payload genuinely crosses the OS
+// transport and comes back through the pump — this is the mode the
+// parameterized test suites and benchmarks run, with the whole policy stack
+// (reliability, fault injection, eager/rendezvous, tracing, async progress)
+// exercised over a real wire.  In *process* mode (wire.local_rank >= 0, one
+// process per rank, launched by run_spmd_procs) the endpoint hosts exactly
+// one rank; posts are advertised to peer endpoints so rendezvous claims
+// work without shared memory, and peer process death is detected (pid
+// probes on shm, EOF on sockets) and converted into a poisoned fabric so
+// blocked receivers unblock with AbortedError instead of hanging.
+//
+// Ordering.  Each (src, dst) wire is FIFO (a byte ring or one TCP stream),
+// and the pump stages messages in arrival order, so per-key FIFO at the
+// channels is preserved.  A claim that commits while an older eager message
+// for the same key is still in flight cannot steal its receive: the pump
+// refuses to land a CLAIM_FILL past a pending message for the key and
+// stages it as pending instead, which restores the arrival order the
+// in-process fabric enforces under one lock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "intercom/runtime/fabric.hpp"
+
+namespace intercom {
+
+/// Configuration shared by the cross-process backends ("shm", "socket").
+struct WireFabricConfig {
+  /// Rank hosted by this endpoint; -1 = threaded mode (this process hosts
+  /// every rank and the wire loops through the local OS transport).
+  int local_rank = -1;
+  /// Name of the bootstrap shm segment (process mode: created by the
+  /// launcher, attached by every rank process; it carries the start
+  /// barrier, the pid table, and — for "socket" — the port table).  Empty in
+  /// threaded mode: the backend creates a private segment and unlinks it
+  /// immediately.
+  std::string bootstrap;
+  /// Per-(src, dst) ring capacity of the shm backend.  Payloads larger than
+  /// the ring stream through it in chunks.
+  std::size_t ring_bytes = std::size_t{1} << 18;
+  /// Bounded tick for parked waits: a blocked wait/claim re-checks poison,
+  /// interrupts, and peer liveness at least this often (the clip-to-
+  /// watchdog-tick rule, applied at the fabric seam).
+  long tick_ms = 25;
+  /// Process-mode bootstrap barrier timeout: how long an attaching rank
+  /// waits for every peer to publish before giving up.
+  long bootstrap_timeout_ms = 10000;
+};
+
+/// Wire message kinds (the cross-process framing; see docs/fabrics.md).
+enum class WireKind : std::uint8_t {
+  kDeposit = 1,      ///< raw eager payload
+  kFrame = 2,        ///< reliability-layer frame (opaque to the fabric)
+  kClaimFill = 3,    ///< rendezvous payload for a committed claim
+  kClaimTake = 4,    ///< process mode: consume a remote posted ticket
+  kPostNotify = 5,   ///< process mode: a receive was posted (advert)
+  kPostWithdraw = 6, ///< process mode: a posted receive was withdrawn
+  kControl = 7,      ///< ControlFrame broadcast (revocation)
+  kPoison = 8,       ///< fail-fast abort propagation
+};
+
+/// On-wire message header; payload_len bytes follow.
+struct WireHeader {
+  std::uint32_t magic = 0x1CFAB301u;
+  std::uint8_t version = 1;
+  std::uint8_t kind = 0;
+  std::uint8_t flags = 0;  ///< bit 0: frame hold-back (reorder injection)
+  std::uint8_t pad = 0;
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  std::uint64_t ctx = 0;
+  std::int32_t tag = 0;
+  std::uint32_t payload_len = 0;
+  std::uint64_t aux = 0;  ///< control token / claim length
+};
+static_assert(sizeof(WireHeader) == 40, "wire header layout is part of the protocol");
+
+constexpr std::uint8_t kWireFlagHoldBack = 1u;
+
+/// Cross-process fabric core: InProcFabric channels as the receive side, a
+/// subclass-provided OS transport as the send side, and a pump thread (run
+/// by the subclass) that replays wire messages into the channels.
+class WireFabric : public InProcFabric {
+ public:
+  WireFabric(int node_count, const WireFabricConfig& config);
+  ~WireFabric() override;
+
+  // Send-side verbs rerouted over the wire.
+  void deposit(int src, int dst, const FabricKey& key,
+               std::span<const std::byte> data) override;
+  void deliver(int src, int dst, const FabricKey& key, FabricMsg frame,
+               bool hold_back) override;
+  FabricStatus claim(int src, int dst, const FabricKey& key,
+                     std::span<const std::byte> data, bool fill,
+                     long timeout_ms) override;
+  FabricStatus try_claim(int src, int dst, const FabricKey& key,
+                         std::span<const std::byte> data, bool fill,
+                         void (*presend)(void*), void* presend_ctx) override;
+
+  // Receive-side parks re-expressed as bounded ticks with peer-liveness
+  // checks (the timeout-0-hangs-forever fix).
+  FabricStatus wait(PostedRecv& ticket, long timeout_ms) override;
+  FabricStatus wait_frame(PostedRecv& ticket, FrameJudge judge, void* judge_ctx,
+                          FabricMsg* frame, long rto_ms) override;
+
+  // Process-mode rendezvous adverts ride on post/unpost.
+  void post(PostedRecv& ticket) override;
+  void unpost(PostedRecv& ticket) override;
+
+  void poison() override;
+  void interrupt() override;
+  std::string poison_note() const override;
+  void broadcast_control(const ControlFrame& frame) override;
+  /// Base reset after quiescing the wire: in-flight messages are drained
+  /// through the pump first so a stale payload cannot leak into the next
+  /// run.
+  void reset() override;
+
+  const WireFabricConfig& config() const { return config_; }
+  /// True when `rank` is hosted by this endpoint (always, in threaded mode).
+  bool local(int rank) const {
+    return config_.local_rank < 0 || rank == config_.local_rank;
+  }
+
+ protected:
+  // --- subclass transport interface -------------------------------------
+  /// Serializes one message onto the (h.src, h.dst) wire.  Must preserve
+  /// per-wire FIFO order; may block for flow control but must keep making
+  /// progress while the destination pump drains (and bail out when the
+  /// fabric is poisoned mid-wait).
+  virtual void wire_send(const WireHeader& h,
+                         std::span<const std::byte> payload) = 0;
+  /// True when the (src, dst) wire has nothing buffered or half-parsed —
+  /// used by the peer-death path to distinguish "message still in flight"
+  /// from "nothing is coming".
+  virtual bool wire_quiet(int src, int dst) = 0;
+  /// Active liveness probe for `rank`'s endpoint process (shm: pid probe).
+  /// Backends whose death signal is edge-triggered (socket EOF) report via
+  /// mark_peer_dead from the pump instead.  Threaded mode: never called.
+  virtual bool probe_peer(int /*rank*/) { return false; }
+
+  /// True when `rank`'s endpoint process is known dead (sticky flag fed by
+  /// mark_peer_dead and probe_peer).  Always false for local ranks.
+  bool peer_down(int rank);
+
+  // --- pump-side entry points (called by the subclass pump thread) ------
+  /// Dispatches one deserialized wire message into the channel state.
+  /// `msg.buf` holds the payload (pool slab, ownership transferred).
+  void pump_dispatch(const WireHeader& h, FabricMsg msg);
+
+  /// Marks `rank`'s endpoint dead and wakes parked verbs so they can
+  /// observe it.  Idempotent.
+  void mark_peer_dead(int rank, const std::string& why);
+
+  /// Monotonic count of wire messages this endpoint's pump has dispatched;
+  /// a parked receiver uses it to detect a stalled half-delivered message
+  /// from a dead peer.
+  std::uint64_t pump_progress() const {
+    return pump_progress_.load(std::memory_order_acquire);
+  }
+
+  WireFabricConfig config_;
+
+ private:
+  /// Claim against local channel state (same-endpoint receiver): handshake
+  /// via the base claim, then length-check / unclaim / wire the payload.
+  FabricStatus claim_local(int src, int dst, const FabricKey& key,
+                           std::span<const std::byte> data, bool fill,
+                           long timeout_ms);
+  /// Claim against the advert table (remote receiver, process mode).
+  FabricStatus claim_remote(int src, int dst, const FabricKey& key,
+                            std::span<const std::byte> data, bool fill,
+                            long timeout_ms, void (*presend)(void*),
+                            void* presend_ctx, bool blocking);
+  /// Looks up the consumed ticket for `key` and reports its buffer length;
+  /// false when the receiver already withdrew it.
+  bool claimed_len(int src, int dst, const FabricKey& key, std::size_t* len);
+  void unclaim(int src, int dst, const FabricKey& key);
+  /// Lands a CLAIM_FILL payload: into the claimed ticket when per-key FIFO
+  /// allows, else staged as a pending message.
+  void pump_claim_fill(const WireHeader& h, FabricMsg msg);
+  void pump_deposit(const WireHeader& h, FabricMsg msg);
+  void pump_claim_take(const WireHeader& h, FabricMsg msg);
+  void pump_post_notify(const WireHeader& h);
+  void pump_post_withdraw(const WireHeader& h);
+
+  /// One advert: a receive posted at a remote endpoint.  Stale entries are
+  /// harmless — a claim against a withdrawn post degenerates into an eager
+  /// deposit at the receiver, which per-key FIFO delivers correctly.
+  struct Advert {
+    int src;
+    int dst;
+    FabricKey key;
+    std::size_t len;
+  };
+  std::mutex advert_mutex_;
+  std::condition_variable advert_cv_;
+  std::vector<Advert> adverts_;
+  /// advert list index for (src,dst,key), or npos (advert_mutex_ held).
+  std::size_t find_advert_locked(int src, int dst, const FabricKey& key);
+
+  std::atomic<std::uint64_t> pump_progress_{0};
+  mutable std::mutex peer_mutex_;
+  std::vector<bool> peer_dead_;
+  std::string peer_note_;
+};
+
+}  // namespace intercom

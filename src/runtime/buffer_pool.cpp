@@ -33,13 +33,33 @@ BufferPool::Buf BufferPool::acquire(std::size_t n) {
       return buf;
     }
   }
-  allocations_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t bytes = class_bytes(index);
   Buf buf;
   // make_unique<std::byte[]> would value-initialize (memset) the slab;
   // callers overwrite the prefix they use, so skip it.
   buf.data.reset(new std::byte[bytes]);
   buf.cap = bytes;
+  // A freelist miss is the cold path, so grow small classes by a batch
+  // rather than one slab.  The stocked headroom absorbs transient depth
+  // excursions — a fabric pump staging inbound payloads ahead of the
+  // receivers can momentarily hold more slabs live than any previous
+  // round did — keeping the warm path off malloc under concurrency
+  // jitter, not just under the exact depth the warmup happened to reach.
+  std::uint64_t created = 1;
+  if (bytes <= kStockMaxBytes) {
+    Buf stock[kStockBatch];
+    for (Buf& s : stock) {
+      s.data.reset(new std::byte[bytes]);
+      s.cap = bytes;
+    }
+    created += kStockBatch;
+    std::lock_guard<std::mutex> lock(cls.mutex);
+    if (cls.free_list.capacity() < kFreeListReserve) {
+      cls.free_list.reserve(kFreeListReserve);
+    }
+    for (Buf& s : stock) cls.free_list.push_back(std::move(s));
+  }
+  allocations_.fetch_add(created, std::memory_order_relaxed);
   return buf;
 }
 

@@ -78,6 +78,15 @@ InProcFabric::InProcFabric(int node_count)
       channels_(static_cast<std::size_t>(node_count) *
                 static_cast<std::size_t>(node_count)) {
   INTERCOM_REQUIRE(node_count >= 1, "fabric needs at least one node");
+  // Queue depth on a channel depends on arrival/consumption interleaving,
+  // not just the traffic pattern, so capacity grown during a warmup pass
+  // is no guarantee for later rounds.  Reserving up front keeps the
+  // steady-state staging vectors off the heap under scheduling jitter
+  // (the zero-alloc warm-path invariant the alloc suite enforces).
+  for (Channel& ch : channels_) {
+    ch.pending.reserve(16);
+    ch.posted.reserve(8);
+  }
 }
 
 InProcFabric::~InProcFabric() = default;

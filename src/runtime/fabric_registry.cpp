@@ -6,6 +6,8 @@
 #include <sstream>
 #include <utility>
 
+#include "intercom/runtime/shm_fabric.hpp"
+#include "intercom/runtime/socket_fabric.hpp"
 #include "intercom/util/error.hpp"
 
 namespace intercom {
@@ -29,6 +31,13 @@ Registry& registry() {
     r->factories.emplace("sim", [](const Mesh2D& mesh, const FabricSpec& spec) {
       return std::make_unique<SimFabric>(mesh, spec.sim);
     });
+    r->factories.emplace("shm", [](const Mesh2D& mesh, const FabricSpec& spec) {
+      return std::make_unique<ShmFabric>(mesh.node_count(), spec.wire);
+    });
+    r->factories.emplace(
+        "socket", [](const Mesh2D& mesh, const FabricSpec& spec) {
+          return std::make_unique<SocketFabric>(mesh.node_count(), spec.wire);
+        });
     return r;
   }();
   return *instance;

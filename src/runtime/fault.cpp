@@ -98,6 +98,11 @@ FaultInjector::Decision FaultInjector::decide(int src, int dst,
                                                    (payload_bytes * 8));
     corrupted_.fetch_add(1, std::memory_order_relaxed);
   }
+  if (draw(h, 6) < spec.corrupt_header) {
+    d.corrupt_header = true;
+    d.header_bit = mix64(h ^ 11);
+    header_corrupted_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (draw(h, 3) < spec.duplicate) {
     d.duplicate = true;
     duplicated_.fetch_add(1, std::memory_order_relaxed);
@@ -141,6 +146,7 @@ FaultInjector::Stats FaultInjector::stats() const {
   s.duplicated = duplicated_.load(std::memory_order_relaxed);
   s.reordered = reordered_.load(std::memory_order_relaxed);
   s.corrupted = corrupted_.load(std::memory_order_relaxed);
+  s.header_corrupted = header_corrupted_.load(std::memory_order_relaxed);
   s.delayed = delayed_.load(std::memory_order_relaxed);
   s.fail_stops = fail_stops_fired_.load(std::memory_order_relaxed);
   return s;

@@ -1,0 +1,155 @@
+#include "intercom/runtime/procs.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "intercom/runtime/communicator.hpp"
+#include "intercom/runtime/multicomputer.hpp"
+#include "intercom/runtime/shm_fabric.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+
+/// The child side: build a machine on the shared bootstrap, run the body,
+/// rendezvous with the cohort at the teardown barrier, exit.  Never
+/// returns.  Uses _Exit so the parent's inherited atexit handlers and
+/// stdio buffers don't run/flush twice.
+[[noreturn]] void child_main(const Mesh2D& mesh, const std::string& backend,
+                             const std::function<void(Node&)>& body, int rank,
+                             const std::string& segment,
+                             const ProcOptions& options) {
+  int code = kProcOk;
+  try {
+    FabricSpec spec;
+    spec.name = backend;
+    spec.wire.local_rank = rank;
+    spec.wire.bootstrap = segment;
+    spec.wire.ring_bytes = options.ring_bytes;
+    spec.wire.tick_ms = options.tick_ms;
+    spec.wire.bootstrap_timeout_ms = options.bootstrap_timeout_ms;
+    Multicomputer mc(mesh, options.params, spec);
+    Node node(mc, rank);
+    try {
+      body(node);
+    } catch (const Error&) {
+      code = kProcError;
+    } catch (...) {
+      code = kProcException;
+    }
+    // Teardown barrier: don't leave the wire while siblings are still
+    // using it — our exit would read as a crash.  The bootstrap ready
+    // counter already counted every rank once (attach), so the cohort is
+    // fully down when it reaches 2n.  Bounded and liveness-checked: a
+    // sibling that really crashed never arrives, and waiting out the full
+    // deadline for it would serve nobody.
+    ShmSegment boot =
+        ShmSegment::attach(segment, options.bootstrap_timeout_ms);
+    const auto n = static_cast<std::uint32_t>(mesh.node_count());
+    boot.ready().fetch_add(1, std::memory_order_acq_rel);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options.bootstrap_timeout_ms);
+    while (boot.ready().load(std::memory_order_acquire) < 2 * n &&
+           std::chrono::steady_clock::now() < deadline) {
+      bool peer_gone = false;
+      for (int r = 0; r < mesh.node_count(); ++r) {
+        const std::int32_t pid = boot.pid(r).load(std::memory_order_acquire);
+        if (pid > 0 && kill(pid, 0) != 0 && errno == ESRCH) {
+          peer_gone = true;
+          break;
+        }
+      }
+      if (peer_gone) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  } catch (...) {
+    if (code == kProcOk) code = kProcException;
+  }
+  std::_Exit(code);
+}
+
+}  // namespace
+
+std::vector<ProcReport> run_spmd_procs(const Mesh2D& mesh,
+                                       const std::string& backend,
+                                       const std::function<void(Node&)>& body,
+                                       const ProcOptions& options) {
+  INTERCOM_REQUIRE(backend == "shm" || backend == "socket",
+                   "run_spmd_procs needs a cross-process backend");
+  const int n = mesh.node_count();
+
+  // The segment name is the rendezvous point; children inherit it through
+  // fork, so it only needs to be unique on this host.
+  static std::atomic<int> launch_counter{0};
+  const std::string segment =
+      "/intercom-boot-" + std::to_string(static_cast<long>(getpid())) + "-" +
+      std::to_string(launch_counter.fetch_add(1, std::memory_order_relaxed));
+  ShmSegment boot = ShmSegment::create(
+      segment, n, backend == "shm" ? options.ring_bytes : 0,
+      /*unlink_now=*/false);
+
+  std::vector<ProcReport> reports(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    reports[static_cast<std::size_t>(r)].rank = r;
+    const pid_t pid = fork();
+    if (pid == 0) {
+      child_main(mesh, backend, body, r, segment, options);  // never returns
+    }
+    if (pid < 0) {
+      // Launcher failure: tear down what we started and report it as ours.
+      for (int k = 0; k < r; ++k) {
+        const pid_t p = reports[static_cast<std::size_t>(k)].pid;
+        kill(p, SIGKILL);
+        waitpid(p, nullptr, 0);
+      }
+      boot.unlink();
+      throw Error("run_spmd_procs: fork failed");
+    }
+    reports[static_cast<std::size_t>(r)].pid = pid;
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options.deadline_ms);
+  int remaining = n;
+  while (remaining > 0) {
+    bool progressed = false;
+    for (ProcReport& report : reports) {
+      if (report.exited || report.killed_by_watchdog) continue;
+      int status = 0;
+      const pid_t w = waitpid(report.pid, &status, WNOHANG);
+      if (w != report.pid) continue;
+      report.exited = true;
+      if (WIFEXITED(status)) report.exit_code = WEXITSTATUS(status);
+      if (WIFSIGNALED(status)) report.term_signal = WTERMSIG(status);
+      --remaining;
+      progressed = true;
+    }
+    if (remaining == 0) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      for (ProcReport& report : reports) {
+        if (report.exited || report.killed_by_watchdog) continue;
+        kill(report.pid, SIGKILL);
+        waitpid(report.pid, nullptr, 0);
+        report.killed_by_watchdog = true;
+        --remaining;
+      }
+      break;
+    }
+    if (!progressed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  boot.unlink();
+  return reports;
+}
+
+}  // namespace intercom

@@ -1,0 +1,488 @@
+#include "intercom/runtime/shm_fabric.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "intercom/util/error.hpp"
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#endif
+
+namespace intercom {
+
+namespace {
+
+constexpr std::uint32_t kSegMagic = 0x1C5E63A7u;
+constexpr std::uint32_t kSegVersion = 1;
+constexpr std::size_t kMinRingBytes = 4096;
+
+/// Shared-segment header (offset 0).  Everything after it is computed from
+/// `nodes` and `ring_cap` by seg_layout().
+struct SegHeader {
+  /// Published last by the creator with release order; attachers spin on
+  /// it with acquire, which makes every plain field before it visible.
+  /// (An atomic rather than a fence pair: GCC's TSan cannot instrument
+  /// atomic_thread_fence and -Werror makes that fatal.)
+  std::atomic<std::uint32_t> magic;
+  std::uint32_t version;
+  std::int32_t nodes;
+  std::uint32_t pad;
+  std::uint64_t ring_cap;
+  std::atomic<std::uint32_t> ready;  ///< bootstrap barrier counter
+};
+
+struct SegLayout {
+  std::size_t pid_off;
+  std::size_t port_off;
+  std::size_t bell_off;
+  std::size_t ctl_off;
+  std::size_t data_off;
+  std::size_t total;
+};
+
+std::size_t align_up(std::size_t v, std::size_t a) {
+  return (v + a - 1) / a * a;
+}
+
+SegLayout seg_layout(int nodes, std::size_t ring_cap) {
+  const std::size_t n = static_cast<std::size_t>(nodes);
+  SegLayout l;
+  l.pid_off = align_up(sizeof(SegHeader), 64);
+  l.port_off = align_up(l.pid_off + n * sizeof(std::atomic<std::int32_t>), 64);
+  l.bell_off = align_up(l.port_off + n * sizeof(std::atomic<std::uint32_t>), 64);
+  l.ctl_off = align_up(l.bell_off + n * sizeof(ShmDoorbell), 64);
+  l.data_off = align_up(l.ctl_off + n * n * sizeof(ShmRingCtl), 64);
+  l.total = align_up(l.data_off + n * n * ring_cap, 4096);
+  return l;
+}
+
+std::size_t round_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+std::string shm_name(const std::string& name) {
+  return name.empty() || name[0] == '/' ? name : "/" + name;
+}
+
+// Futex wrappers for the doorbell words.  The words live in a shared
+// mapping, so the non-private FUTEX ops are required.  Non-Linux fallback:
+// a short sleep — correctness is unaffected because every futex park here
+// is already bounded by the wire tick.
+#ifdef __linux__
+void bell_wait(std::atomic<std::uint32_t>* word, std::uint32_t expected,
+               long timeout_ms) {
+  timespec ts;
+  ts.tv_sec = timeout_ms / 1000;
+  ts.tv_nsec = (timeout_ms % 1000) * 1000000L;
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAIT,
+          expected, &ts, nullptr, 0);
+}
+void bell_wake(std::atomic<std::uint32_t>* word) {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAKE,
+          std::numeric_limits<int>::max(), nullptr, nullptr, 0);
+}
+#else
+void bell_wait(std::atomic<std::uint32_t>* /*word*/, std::uint32_t /*expected*/,
+               long timeout_ms) {
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(std::min<long>(timeout_ms, 2)));
+}
+void bell_wake(std::atomic<std::uint32_t>* /*word*/) {}
+#endif
+
+SegHeader* seg_header(void* base) { return static_cast<SegHeader*>(base); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShmSegment
+
+ShmSegment::ShmSegment(ShmSegment&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      name_(std::move(other.name_)),
+      owner_(std::exchange(other.owner_, false)) {}
+
+ShmSegment& ShmSegment::operator=(ShmSegment&& other) noexcept {
+  if (this != &other) {
+    this->~ShmSegment();
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    name_ = std::move(other.name_);
+    owner_ = std::exchange(other.owner_, false);
+  }
+  return *this;
+}
+
+ShmSegment::~ShmSegment() {
+  if (owner_) unlink();
+  if (base_ != nullptr) ::munmap(base_, size_);
+  base_ = nullptr;
+}
+
+void ShmSegment::unlink() {
+  if (!name_.empty()) ::shm_unlink(name_.c_str());
+  owner_ = false;
+}
+
+ShmSegment ShmSegment::create(const std::string& name, int nodes,
+                              std::size_t ring_bytes, bool unlink_now) {
+  INTERCOM_REQUIRE(nodes >= 1, "shm segment needs at least one endpoint");
+  const std::size_t ring_cap =
+      ring_bytes == 0 ? 0 : round_pow2(std::max(ring_bytes, kMinRingBytes));
+  const std::string path = shm_name(name);
+  int fd = ::shm_open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0 && errno == EEXIST) {
+    // Stale segment from a crashed run with the same name: reclaim it.
+    ::shm_unlink(path.c_str());
+    fd = ::shm_open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  }
+  INTERCOM_REQUIRE(fd >= 0, "shm_open(create) failed for " + path);
+  const SegLayout layout = seg_layout(nodes, ring_cap);
+  if (::ftruncate(fd, static_cast<off_t>(layout.total)) != 0) {
+    ::close(fd);
+    ::shm_unlink(path.c_str());
+    INTERCOM_REQUIRE(false, "ftruncate failed for " + path);
+  }
+  void* base = ::mmap(nullptr, layout.total, PROT_READ | PROT_WRITE,
+                      MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    ::shm_unlink(path.c_str());
+    INTERCOM_REQUIRE(false, "mmap failed for " + path);
+  }
+  // Fresh shm pages are zero-filled, which is a valid initial state for
+  // every atomic below; only the header needs explicit values.
+  SegHeader* h = seg_header(base);
+  h->nodes = nodes;
+  h->ring_cap = ring_cap;
+  h->version = kSegVersion;
+  h->magic.store(kSegMagic, std::memory_order_release);
+  ShmSegment seg;
+  seg.base_ = base;
+  seg.size_ = layout.total;
+  seg.name_ = path;
+  seg.owner_ = !unlink_now;
+  if (unlink_now) ::shm_unlink(path.c_str());
+  return seg;
+}
+
+ShmSegment ShmSegment::attach(const std::string& name, long timeout_ms) {
+  const std::string path = shm_name(name);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  int fd = -1;
+  for (;;) {
+    fd = ::shm_open(path.c_str(), O_RDWR, 0600);
+    if (fd >= 0) break;
+    INTERCOM_REQUIRE(std::chrono::steady_clock::now() < deadline,
+                     "timed out waiting for shm segment " + path);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < static_cast<off_t>(sizeof(SegHeader))) {
+    ::close(fd);
+    INTERCOM_REQUIRE(false, "shm segment " + path + " has no header");
+  }
+  void* base = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                      PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  INTERCOM_REQUIRE(base != MAP_FAILED, "mmap failed for " + path);
+  SegHeader* h = seg_header(base);
+  // The creator publishes magic last; wait for it (the launcher normally
+  // finishes initialization long before any child attaches).
+  while (h->magic.load(std::memory_order_acquire) != kSegMagic) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ::munmap(base, static_cast<std::size_t>(st.st_size));
+      INTERCOM_REQUIRE(false, "shm segment " + path + " never initialized");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  INTERCOM_REQUIRE(h->version == kSegVersion,
+                   "shm segment " + path + " has an incompatible layout");
+  ShmSegment seg;
+  seg.base_ = base;
+  seg.size_ = static_cast<std::size_t>(st.st_size);
+  seg.name_ = path;
+  seg.owner_ = false;
+  return seg;
+}
+
+int ShmSegment::nodes() const { return seg_header(base_)->nodes; }
+std::size_t ShmSegment::ring_cap() const {
+  return static_cast<std::size_t>(seg_header(base_)->ring_cap);
+}
+std::atomic<std::uint32_t>& ShmSegment::ready() {
+  return seg_header(base_)->ready;
+}
+
+std::atomic<std::int32_t>& ShmSegment::pid(int rank) {
+  const SegLayout l = seg_layout(nodes(), ring_cap());
+  auto* table = reinterpret_cast<std::atomic<std::int32_t>*>(
+      static_cast<std::byte*>(base_) + l.pid_off);
+  return table[rank];
+}
+
+std::atomic<std::uint32_t>& ShmSegment::port(int rank) {
+  const SegLayout l = seg_layout(nodes(), ring_cap());
+  auto* table = reinterpret_cast<std::atomic<std::uint32_t>*>(
+      static_cast<std::byte*>(base_) + l.port_off);
+  return table[rank];
+}
+
+ShmDoorbell& ShmSegment::doorbell(int ep) {
+  const SegLayout l = seg_layout(nodes(), ring_cap());
+  auto* bells =
+      reinterpret_cast<ShmDoorbell*>(static_cast<std::byte*>(base_) + l.bell_off);
+  return bells[ep];
+}
+
+ShmRingCtl& ShmSegment::ring_ctl(int from, int to) {
+  const SegLayout l = seg_layout(nodes(), ring_cap());
+  auto* ctl =
+      reinterpret_cast<ShmRingCtl*>(static_cast<std::byte*>(base_) + l.ctl_off);
+  return ctl[static_cast<std::size_t>(from) * static_cast<std::size_t>(nodes()) +
+             static_cast<std::size_t>(to)];
+}
+
+std::byte* ShmSegment::ring_data(int from, int to) {
+  const SegLayout l = seg_layout(nodes(), ring_cap());
+  const std::size_t index =
+      static_cast<std::size_t>(from) * static_cast<std::size_t>(nodes()) +
+      static_cast<std::size_t>(to);
+  return static_cast<std::byte*>(base_) + l.data_off + index * ring_cap();
+}
+
+// ---------------------------------------------------------------------------
+// ShmFabric
+
+ShmFabric::ShmFabric(int node_count, const WireFabricConfig& config)
+    : WireFabric(node_count, config),
+      wire_mutex_(static_cast<std::size_t>(node_count) *
+                  static_cast<std::size_t>(node_count)),
+      reassembly_(static_cast<std::size_t>(node_count) *
+                  static_cast<std::size_t>(node_count)) {
+  if (config_.local_rank < 0) {
+    // Threaded mode: private segment, unlinked at birth (dies with us).
+    static std::atomic<std::uint64_t> counter{0};
+    const std::string name =
+        "/intercom-" + std::to_string(::getpid()) + "-" +
+        std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+    seg_ = ShmSegment::create(name, node_count, config_.ring_bytes,
+                              /*unlink_now=*/true);
+    for (int r = 0; r < node_count; ++r) {
+      seg_.pid(r).store(::getpid(), std::memory_order_relaxed);
+    }
+    seg_.ready().store(static_cast<std::uint32_t>(node_count),
+                       std::memory_order_release);
+    my_ep_ = 0;
+  } else {
+    // Process mode: attach the launcher's bootstrap segment, publish our
+    // pid, and barrier-wait for the full cohort.
+    INTERCOM_REQUIRE(!config_.bootstrap.empty(),
+                     "process-mode shm fabric needs a bootstrap segment name");
+    seg_ = ShmSegment::attach(config_.bootstrap, config_.bootstrap_timeout_ms);
+    INTERCOM_REQUIRE(seg_.nodes() == node_count,
+                     "bootstrap segment node count mismatch");
+    INTERCOM_REQUIRE(seg_.ring_cap() > 0,
+                     "bootstrap segment has no rings (socket-only layout?)");
+    my_ep_ = config_.local_rank;
+    seg_.pid(my_ep_).store(static_cast<std::int32_t>(::getpid()),
+                           std::memory_order_release);
+    seg_.ready().fetch_add(1, std::memory_order_acq_rel);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(config_.bootstrap_timeout_ms);
+    while (seg_.ready().load(std::memory_order_acquire) <
+           static_cast<std::uint32_t>(node_count)) {
+      INTERCOM_REQUIRE(std::chrono::steady_clock::now() < deadline,
+                       "timed out waiting for peer endpoints to attach");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ring_cap_ = seg_.ring_cap();
+  pump_ = std::thread([this] { pump_main(); });
+}
+
+ShmFabric::~ShmFabric() {
+  stop_.store(true, std::memory_order_release);
+  ShmDoorbell& bell = seg_.doorbell(my_ep_);
+  bell.value.fetch_add(1, std::memory_order_release);
+  bell_wake(&bell.value);
+  if (pump_.joinable()) pump_.join();
+}
+
+bool ShmFabric::advert_kind(const WireHeader& h) {
+  return h.kind == static_cast<std::uint8_t>(WireKind::kPostNotify) ||
+         h.kind == static_cast<std::uint8_t>(WireKind::kPostWithdraw);
+}
+
+void ShmFabric::wire_send(const WireHeader& h,
+                          std::span<const std::byte> payload) {
+  // Adverts flow receiver endpoint -> sender endpoint; everything else
+  // sender -> receiver.  In process mode the producer index is always our
+  // rank (SPSC holds: one process produces into ring (me, *)).
+  const int from = advert_kind(h) ? h.dst : h.src;
+  const int to = advert_kind(h) ? h.src : h.dst;
+  const std::size_t idx =
+      static_cast<std::size_t>(from) * static_cast<std::size_t>(node_count()) +
+      static_cast<std::size_t>(to);
+  std::lock_guard<std::mutex> lock(wire_mutex_[idx]);
+  if (!push_bytes(from, to, reinterpret_cast<const std::byte*>(&h), sizeof(h))) {
+    return;  // consuming endpoint died: the stream is dead, drop the rest
+  }
+  push_bytes(from, to, payload.data(), payload.size());
+}
+
+bool ShmFabric::push_bytes(int from, int to, const std::byte* p,
+                           std::size_t n) {
+  if (n == 0) return true;
+  ShmRingCtl& ctl = seg_.ring_ctl(from, to);
+  std::byte* data = seg_.ring_data(from, to);
+  const int bell_ep = config_.local_rank < 0 ? 0 : to;
+  while (n > 0) {
+    const std::uint64_t head = ctl.head.load(std::memory_order_acquire);
+    const std::uint64_t tail = ctl.tail.load(std::memory_order_relaxed);
+    const std::size_t space = ring_cap_ - static_cast<std::size_t>(tail - head);
+    if (space == 0) {
+      // Ring full: the consumer's pump frees space continuously (it never
+      // stops draining, even poisoned), so this resolves unless the
+      // consuming process died.
+      if (config_.local_rank >= 0 && peer_down(to)) return false;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    const std::size_t take = std::min(space, n);
+    const std::size_t pos = static_cast<std::size_t>(tail) & (ring_cap_ - 1);
+    const std::size_t first = std::min(take, ring_cap_ - pos);
+    std::memcpy(data + pos, p, first);
+    if (take > first) std::memcpy(data, p + first, take - first);
+    ctl.tail.store(tail + take, std::memory_order_release);
+    p += take;
+    n -= take;
+    ShmDoorbell& bell = seg_.doorbell(bell_ep);
+    bell.value.fetch_add(1, std::memory_order_release);
+    if (bell.waiters.load(std::memory_order_acquire) != 0) {
+      bell_wake(&bell.value);
+    }
+  }
+  return true;
+}
+
+bool ShmFabric::drain_ring(int from, int to) {
+  ShmRingCtl& ctl = seg_.ring_ctl(from, to);
+  const std::byte* data = seg_.ring_data(from, to);
+  Reassembly& ra =
+      reassembly_[static_cast<std::size_t>(from) *
+                      static_cast<std::size_t>(node_count()) +
+                  static_cast<std::size_t>(to)];
+  bool progressed = false;
+  for (;;) {
+    const std::uint64_t tail = ctl.tail.load(std::memory_order_acquire);
+    std::uint64_t head = ctl.head.load(std::memory_order_relaxed);
+    std::size_t avail = static_cast<std::size_t>(tail - head);
+    if (avail == 0) return progressed;
+    auto copy_out = [&](std::byte* dst, std::size_t want) {
+      const std::size_t pos = static_cast<std::size_t>(head) & (ring_cap_ - 1);
+      const std::size_t first = std::min(want, ring_cap_ - pos);
+      std::memcpy(dst, data + pos, first);
+      if (want > first) std::memcpy(dst + first, data, want - first);
+      head += want;
+      ctl.head.store(head, std::memory_order_release);
+      avail -= want;
+      progressed = true;
+    };
+    if (!ra.have_header) {
+      const std::size_t want =
+          std::min(sizeof(WireHeader) - ra.got, avail);
+      ra.busy.store(true, std::memory_order_relaxed);
+      copy_out(reinterpret_cast<std::byte*>(&ra.header) + ra.got, want);
+      ra.got += want;
+      if (ra.got < sizeof(WireHeader)) continue;
+      INTERCOM_REQUIRE(ra.header.magic == 0x1CFAB301u && ra.header.version == 1,
+                       "shm ring stream desynchronized (bad wire header)");
+      ra.have_header = true;
+      ra.got = 0;
+      ra.slab = pool_->acquire(ra.header.payload_len);
+    }
+    const std::size_t remaining = ra.header.payload_len - ra.got;
+    if (remaining > 0) {
+      const std::size_t want = std::min(remaining, avail);
+      if (want == 0) continue;
+      copy_out(ra.slab.data.get() + ra.got, want);
+      ra.got += want;
+      if (ra.got < ra.header.payload_len) continue;
+    }
+    FabricMsg msg;
+    msg.buf = std::move(ra.slab);
+    msg.len = ra.header.payload_len;
+    const WireHeader h = ra.header;
+    ra.have_header = false;
+    ra.got = 0;
+    ra.busy.store(false, std::memory_order_release);
+    pump_dispatch(h, std::move(msg));
+  }
+}
+
+void ShmFabric::pump_main() {
+  const int n = node_count();
+  auto sweep = [&] {
+    bool progressed = false;
+    for (int from = 0; from < n; ++from) {
+      if (config_.local_rank < 0) {
+        for (int to = 0; to < n; ++to) progressed |= drain_ring(from, to);
+      } else if (from != config_.local_rank) {
+        progressed |= drain_ring(from, config_.local_rank);
+      }
+    }
+    return progressed;
+  };
+  ShmDoorbell& bell = seg_.doorbell(my_ep_);
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (sweep()) continue;
+    const std::uint32_t val = bell.value.load(std::memory_order_acquire);
+    bell.waiters.store(1, std::memory_order_seq_cst);
+    // Re-sweep after registering as a waiter: a producer that bumped the
+    // bell between our sweep and the store would otherwise be missed.
+    if (!sweep() && !stop_.load(std::memory_order_acquire)) {
+      bell_wait(&bell.value, val, config_.tick_ms);
+    }
+    bell.waiters.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool ShmFabric::wire_quiet(int src, int dst) {
+  const ShmRingCtl& ctl = seg_.ring_ctl(src, dst);
+  if (ctl.tail.load(std::memory_order_acquire) !=
+      ctl.head.load(std::memory_order_acquire)) {
+    return false;
+  }
+  const Reassembly& ra =
+      reassembly_[static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(node_count()) +
+                  static_cast<std::size_t>(dst)];
+  return !ra.busy.load(std::memory_order_acquire);
+}
+
+bool ShmFabric::probe_peer(int rank) {
+  const std::int32_t pid = seg_.pid(rank).load(std::memory_order_acquire);
+  if (pid <= 0) return false;
+  return ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
+}
+
+}  // namespace intercom

@@ -1,0 +1,343 @@
+#include "intercom/runtime/socket_fabric.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/ioctl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+
+/// First header on a fresh connection: identifies the dialing endpoint.
+/// Kind 0 is reserved for it (real wire kinds start at 1).
+constexpr std::uint8_t kHelloKind = 0;
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Blocking full-buffer send; false on a broken connection.
+bool send_all(int fd, const std::byte* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t wrote = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += static_cast<std::size_t>(wrote);
+    n -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketFabric::SocketFabric(int node_count, const WireFabricConfig& config)
+    : WireFabric(node_count, config) {
+  const int endpoints = config_.local_rank < 0 ? 1 : node_count;
+  outbound_.resize(static_cast<std::size_t>(endpoints));
+  for (auto& out : outbound_) out = std::make_unique<Outbound>();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  INTERCOM_REQUIRE(listen_fd_ >= 0, "socket() failed for the fabric listener");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  INTERCOM_REQUIRE(
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "bind() failed for the fabric listener");
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  listen_port_ = ntohs(addr.sin_port);
+  INTERCOM_REQUIRE(::listen(listen_fd_, node_count * 2 + 8) == 0,
+                   "listen() failed for the fabric listener");
+  set_nonblocking(listen_fd_);
+  INTERCOM_REQUIRE(::pipe(wake_pipe_) == 0, "pipe() failed for the pump wake");
+  set_nonblocking(wake_pipe_[0]);
+
+  if (config_.local_rank >= 0) {
+    // Process mode: publish pid + port in the bootstrap segment (tables
+    // only — the launcher creates it with ring_bytes = 0) and barrier.
+    INTERCOM_REQUIRE(!config_.bootstrap.empty(),
+                     "process-mode socket fabric needs a bootstrap segment");
+    bootstrap_ =
+        ShmSegment::attach(config_.bootstrap, config_.bootstrap_timeout_ms);
+    INTERCOM_REQUIRE(bootstrap_.nodes() == node_count,
+                     "bootstrap segment node count mismatch");
+    bootstrap_.pid(config_.local_rank)
+        .store(static_cast<std::int32_t>(::getpid()), std::memory_order_release);
+    bootstrap_.port(config_.local_rank)
+        .store(listen_port_, std::memory_order_release);
+    bootstrap_.ready().fetch_add(1, std::memory_order_acq_rel);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(config_.bootstrap_timeout_ms);
+    while (bootstrap_.ready().load(std::memory_order_acquire) <
+           static_cast<std::uint32_t>(node_count)) {
+      INTERCOM_REQUIRE(std::chrono::steady_clock::now() < deadline,
+                       "timed out waiting for peer endpoints to attach");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  pump_ = std::thread([this] { pump_main(); });
+}
+
+SocketFabric::~SocketFabric() {
+  stop_.store(true, std::memory_order_release);
+  const char byte = 1;
+  [[maybe_unused]] ssize_t rc = ::write(wake_pipe_[1], &byte, 1);
+  if (pump_.joinable()) pump_.join();
+  close_all();
+}
+
+void SocketFabric::close_all() {
+  for (auto& out : outbound_) {
+    const int fd = out->fd.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) ::close(fd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(inbound_mutex_);
+    for (auto& in : inbound_) {
+      if (in->fd >= 0) ::close(in->fd);
+      in->fd = -1;
+    }
+    inbound_.clear();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+SocketFabric::Outbound& SocketFabric::outbound(int ep) {
+  Outbound& out = *outbound_[static_cast<std::size_t>(ep)];
+  std::lock_guard<std::mutex> dial(dial_mutex_);
+  if (out.fd.load(std::memory_order_acquire) >= 0) return out;
+  const std::uint16_t port =
+      config_.local_rank < 0
+          ? listen_port_
+          : static_cast<std::uint16_t>(
+                bootstrap_.port(ep).load(std::memory_order_acquire));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  INTERCOM_REQUIRE(fd >= 0, "socket() failed dialing a fabric wire");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    ::close(fd);
+    INTERCOM_REQUIRE(false, "connect() failed dialing a fabric wire");
+  }
+  set_nodelay(fd);
+  WireHeader hello;
+  hello.kind = kHelloKind;
+  hello.src = config_.local_rank < 0 ? 0 : config_.local_rank;
+  hello.dst = ep;
+  send_all(fd, reinterpret_cast<const std::byte*>(&hello), sizeof(hello));
+  out.fd.store(fd, std::memory_order_release);
+  return out;
+}
+
+void SocketFabric::wire_send(const WireHeader& h,
+                             std::span<const std::byte> payload) {
+  // Adverts flow receiver endpoint -> sender endpoint; everything else
+  // sender -> receiver.  Threaded mode collapses every route onto the one
+  // self-dialed wire (endpoint 0).
+  const bool advert =
+      h.kind == static_cast<std::uint8_t>(WireKind::kPostNotify) ||
+      h.kind == static_cast<std::uint8_t>(WireKind::kPostWithdraw);
+  const int rank = advert ? h.src : h.dst;
+  const int ep = config_.local_rank < 0 ? 0 : rank;
+  Outbound& out = outbound(ep);
+  std::lock_guard<std::mutex> lock(out.mutex);
+  const int fd = out.fd.load(std::memory_order_acquire);
+  if (fd < 0) return;  // wire already torn down
+  if (!send_all(fd, reinterpret_cast<const std::byte*>(&h), sizeof(h)) ||
+      !send_all(fd, payload.data(), payload.size())) {
+    // Broken pipe: the peer endpoint went away.  Process mode converts
+    // that into peer death; threaded mode only sees this during teardown.
+    ::close(fd);
+    out.fd.store(-1, std::memory_order_release);
+    if (config_.local_rank >= 0) {
+      mark_peer_dead(rank, "peer endpoint " + std::to_string(rank) +
+                               " closed its fabric wire");
+    }
+  }
+}
+
+bool SocketFabric::drain_inbound(Inbound& in) {
+  bool progressed = false;
+  for (;;) {
+    if (!in.have_header) {
+      std::byte* dst = reinterpret_cast<std::byte*>(&in.header) + in.got;
+      const std::size_t want = sizeof(WireHeader) - in.got;
+      const ssize_t n = ::read(in.fd, dst, want);
+      if (n == 0) {
+        in.eof = true;
+        return progressed;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return progressed;
+        in.eof = true;
+        return progressed;
+      }
+      progressed = true;
+      if (in.got == 0) in.busy.store(true, std::memory_order_relaxed);
+      in.got += static_cast<std::size_t>(n);
+      if (in.got < sizeof(WireHeader)) continue;
+      INTERCOM_REQUIRE(in.header.magic == 0x1CFAB301u && in.header.version == 1,
+                       "socket wire stream desynchronized (bad header)");
+      in.got = 0;
+      if (in.header.kind == kHelloKind) {
+        in.remote_ep.store(in.header.src, std::memory_order_release);
+        in.busy.store(false, std::memory_order_release);
+        continue;
+      }
+      in.have_header = true;
+      in.slab = pool_->acquire(in.header.payload_len);
+    }
+    const std::size_t remaining = in.header.payload_len - in.got;
+    if (remaining > 0) {
+      const ssize_t n = ::read(in.fd, in.slab.data.get() + in.got, remaining);
+      if (n == 0) {
+        in.eof = true;
+        return progressed;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return progressed;
+        in.eof = true;
+        return progressed;
+      }
+      progressed = true;
+      in.got += static_cast<std::size_t>(n);
+      if (in.got < in.header.payload_len) continue;
+    }
+    FabricMsg msg;
+    msg.buf = std::move(in.slab);
+    msg.len = in.header.payload_len;
+    const WireHeader h = in.header;
+    in.have_header = false;
+    in.got = 0;
+    in.busy.store(false, std::memory_order_release);
+    pump_dispatch(h, std::move(msg));
+  }
+}
+
+void SocketFabric::pump_main() {
+  std::vector<pollfd> fds;
+  std::vector<Inbound*> polled;
+  while (!stop_.load(std::memory_order_acquire)) {
+    fds.clear();
+    polled.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(inbound_mutex_);
+      for (auto& in : inbound_) {
+        fds.push_back(pollfd{in->fd, POLLIN, 0});
+        polled.push_back(in.get());
+      }
+    }
+    const int rc =
+        ::poll(fds.data(), fds.size(), static_cast<int>(config_.tick_ms));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        set_nodelay(fd);
+        auto in = std::make_unique<Inbound>();
+        in->fd = fd;
+        std::lock_guard<std::mutex> lock(inbound_mutex_);
+        inbound_.push_back(std::move(in));
+      }
+    }
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      Inbound* in = polled[i];
+      if ((fds[i + 2].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      drain_inbound(*in);
+      if (in->eof) {
+        // The peer's buffered bytes are fully drained (read returned 0);
+        // now — and only now — the death is declarable.
+        const int remote = in->remote_ep.load(std::memory_order_acquire);
+        if (config_.local_rank >= 0 && remote >= 0) {
+          mark_peer_dead(remote, "peer endpoint " + std::to_string(remote) +
+                                     " disconnected mid-run");
+        }
+        std::unique_ptr<Inbound> dead;
+        {
+          std::lock_guard<std::mutex> lock(inbound_mutex_);
+          auto it = std::find_if(
+              inbound_.begin(), inbound_.end(),
+              [in](const std::unique_ptr<Inbound>& p) { return p.get() == in; });
+          if (it != inbound_.end()) {
+            dead = std::move(*it);
+            inbound_.erase(it);
+          }
+        }
+        if (dead && dead->fd >= 0) ::close(dead->fd);
+      }
+    }
+  }
+}
+
+bool SocketFabric::wire_quiet(int src, int /*dst*/) {
+  const int ep = config_.local_rank < 0 ? 0 : src;
+  std::lock_guard<std::mutex> lock(inbound_mutex_);
+  for (const auto& in : inbound_) {
+    const int remote = in->remote_ep.load(std::memory_order_acquire);
+    if (remote != ep && remote != -1) continue;
+    if (in->busy.load(std::memory_order_acquire)) return false;
+    int queued = 0;
+    if (::ioctl(in->fd, FIONREAD, &queued) == 0 && queued > 0) return false;
+  }
+  return true;
+}
+
+bool SocketFabric::probe_peer(int rank) {
+  if (!bootstrap_.valid()) return false;
+  const std::int32_t pid = bootstrap_.pid(rank).load(std::memory_order_acquire);
+  if (pid <= 0) return false;
+  return ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
+}
+
+}  // namespace intercom

@@ -28,18 +28,25 @@ struct ThreadScope {
 thread_local ThreadScope t_scope;
 
 // Wire format of the reliability layer: a fixed header followed by the
-// payload.  The checksum covers the payload only, so in-flight bit-flips are
-// detected at the receiver and the frame is discarded as if lost (the
-// retransmission path then repairs it from the sender's clean log).  The
-// framing is entirely Transport's: the fabric carries frames as opaque
-// byte ranges.
+// payload.  The checksum is a digest over the header's own version and
+// sequence fields, the payload length, and the payload bytes — so an
+// in-flight bit-flip anywhere in the frame (header included) is detected
+// at the receiver and the frame is discarded as if lost (the
+// retransmission path then repairs it from the sender's clean log).
+// Frame version 1 digested the payload only, which let a flipped
+// sequence-number bit masquerade as a valid future frame and poison the
+// receiver's reorder buffer; version 2 closed that hole, and the magic
+// was bumped so v1 frames are rejected outright rather than misparsed.
+// The framing is entirely Transport's: the fabric carries frames as
+// opaque byte ranges.
 struct FrameHeader {
   std::uint32_t magic;
-  std::uint32_t reserved;
+  std::uint32_t version;
   std::uint64_t seq;
   std::uint64_t checksum;
 };
-constexpr std::uint32_t kFrameMagic = 0x1CC0F7A5u;
+constexpr std::uint32_t kFrameMagic = 0x1CC0F7B2u;
+constexpr std::uint32_t kFrameVersion = 2;
 constexpr std::size_t kHeaderBytes = sizeof(FrameHeader);
 constexpr long kMaxRtoMs = 1000;
 /// Trace events shown per node in the recv-timeout diagnostic.
@@ -78,26 +85,42 @@ std::uint64_t payload_checksum(std::span<const std::byte> data) {
   return h ^ (h >> 32);
 }
 
+/// Frame digest: the payload checksum (which folds in the payload length)
+/// finalized over the header's version and sequence fields.  Any single
+/// bit-flip in version, seq, length, or payload changes the digest.
+std::uint64_t frame_digest(std::uint64_t seq,
+                           std::span<const std::byte> payload) {
+  std::uint64_t h = payload_checksum(payload);
+  h ^= seq + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= static_cast<std::uint64_t>(kFrameVersion) << 32;
+  h = (h ^ (h >> 29)) * 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 32);
+}
+
 /// Writes a framed copy of `payload` into `dest` (already sized).
 void write_frame(std::byte* dest, std::uint64_t seq,
                  std::span<const std::byte> payload) {
-  FrameHeader header{kFrameMagic, 0, seq, payload_checksum(payload)};
+  FrameHeader header{kFrameMagic, kFrameVersion, seq,
+                     frame_digest(seq, payload)};
   std::memcpy(dest, &header, kHeaderBytes);
   if (!payload.empty()) {
     std::memcpy(dest + kHeaderBytes, payload.data(), payload.size());
   }
 }
 
-/// Parses and integrity-checks a buffered frame; returns false on bad magic,
-/// short frame, or checksum mismatch.
+/// Parses and integrity-checks a buffered frame; returns false on bad
+/// magic, unknown version, short frame, or digest mismatch.  The digest
+/// covers the header's mutable fields, so a bit-flipped sequence number
+/// fails here rather than being honoured as a (dropped or future) frame.
 bool parse_frame(const std::byte* data, std::size_t len, std::uint64_t* seq) {
   if (len < kHeaderBytes) return false;
   FrameHeader header;
   std::memcpy(&header, data, kHeaderBytes);
   if (header.magic != kFrameMagic) return false;
+  if (header.version != kFrameVersion) return false;
   const std::span<const std::byte> payload(data + kHeaderBytes,
                                            len - kHeaderBytes);
-  if (header.checksum != payload_checksum(payload)) return false;
+  if (header.checksum != frame_digest(header.seq, payload)) return false;
   *seq = header.seq;
   return true;
 }
@@ -165,6 +188,8 @@ Transport::Transport(int node_count, std::unique_ptr<Fabric> fabric)
   fabric_->attach_pool(pool_);
   fabric_->set_control_sink(&Transport::control_sink, this);
 }
+
+Transport::~Transport() { fabric_.reset(); }
 
 Transport::CollectiveScope::CollectiveScope(std::uint64_t ctx_base,
                                             std::uint64_t deadline_ns)
@@ -340,6 +365,11 @@ void Transport::throw_aborted() const {
   {
     std::lock_guard<std::mutex> lock(abort_mutex_);
     reason = abort_reason_;
+  }
+  // A cross-process fabric may know *why* the wire died (peer process
+  // gone); surface that alongside the local abort reason.
+  if (const std::string note = fabric_->poison_note(); !note.empty()) {
+    reason += " [fabric: " + note + "]";
   }
   throw AbortedError("transport aborted (fail-fast propagation): " + reason);
 }
@@ -952,6 +982,16 @@ void Transport::deliver_frame(int src, int dst, const CKey& key, Msg frame,
       // Zero-length payload: flip a stored-checksum bit instead.
       frame.buf.data[kHeaderBytes - 1] ^= std::byte{1};
     }
+  }
+  if (fate.corrupt_header) {
+    // Flip one bit anywhere in the frame header — magic, version,
+    // sequence, or the stored digest.  Every one of those must make
+    // parse_frame reject the frame (the digest covers the mutable header
+    // fields; magic and version are checked directly), so the receiver
+    // treats it as a loss and recovers via retransmission.
+    const std::size_t bit =
+        static_cast<std::size_t>(fate.header_bit % (kHeaderBytes * 8));
+    frame.buf.data[bit / 8] ^= std::byte{1} << (bit % 8);
   }
   // Reorder hold-back is only eligible for first attempts — retransmissions
   // are the recovery path and must make progress.  A frame that is held

@@ -1,0 +1,566 @@
+#include "intercom/runtime/wire_fabric.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "intercom/runtime/reduce.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+constexpr std::uint8_t kWireFlagFill = 2u;
+
+/// Copy or element-wise fold into a posted buffer (the same landing the
+/// in-process fabric performs; duplicated here because the original is file-
+/// local to fabric.cpp).
+void land(std::span<std::byte> out, const std::byte* payload, std::size_t n,
+          const ReduceOp* accumulate) {
+  if (n == 0) return;
+  if (accumulate != nullptr) {
+    accumulate->fn(out.data(), payload, n);
+  } else {
+    std::memcpy(out.data(), payload, n);
+  }
+}
+
+WireHeader make_header(WireKind kind, int src, int dst, const FabricKey& key,
+                       std::size_t payload_len, std::uint8_t flags = 0,
+                       std::uint64_t aux = 0) {
+  WireHeader h;
+  h.kind = static_cast<std::uint8_t>(kind);
+  h.flags = flags;
+  h.src = src;
+  h.dst = dst;
+  h.ctx = key.ctx;
+  h.tag = key.tag;
+  h.payload_len = static_cast<std::uint32_t>(payload_len);
+  h.aux = aux;
+  return h;
+}
+
+}  // namespace
+
+WireFabric::WireFabric(int node_count, const WireFabricConfig& config)
+    : InProcFabric(node_count),
+      config_(config),
+      peer_dead_(static_cast<std::size_t>(node_count), false) {
+  INTERCOM_REQUIRE(config_.tick_ms > 0, "wire tick must be positive");
+  INTERCOM_REQUIRE(config_.local_rank < node_count,
+                   "wire local rank out of range");
+  // Adverts follow the same steady-state rule as the channel staging
+  // vectors (reserved by the InProcFabric base): capacity up front, so
+  // rendezvous advertisement bursts never grow the vector on the warm path.
+  adverts_.reserve(64);
+}
+
+WireFabric::~WireFabric() = default;
+
+// ---------------------------------------------------------------------------
+// Send side: every crossing serializes onto the OS transport.
+
+void WireFabric::deposit(int src, int dst, const FabricKey& key,
+                         std::span<const std::byte> data) {
+  wire_send(make_header(WireKind::kDeposit, src, dst, key, data.size()), data);
+}
+
+void WireFabric::deliver(int src, int dst, const FabricKey& key, FabricMsg frame,
+                         bool hold_back) {
+  const std::uint8_t flags = hold_back ? kWireFlagHoldBack : 0;
+  wire_send(make_header(WireKind::kFrame, src, dst, key, frame.len, flags),
+            std::span<const std::byte>(frame.buf.data.get(), frame.len));
+  pool_->release(std::move(frame.buf));
+}
+
+FabricStatus WireFabric::claim(int src, int dst, const FabricKey& key,
+                               std::span<const std::byte> data, bool fill,
+                               long timeout_ms) {
+  if (local(dst)) return claim_local(src, dst, key, data, fill, timeout_ms);
+  return claim_remote(src, dst, key, data, fill, timeout_ms, nullptr, nullptr,
+                      /*blocking=*/true);
+}
+
+FabricStatus WireFabric::try_claim(int src, int dst, const FabricKey& key,
+                                   std::span<const std::byte> data, bool fill,
+                                   void (*presend)(void*), void* presend_ctx) {
+  if (!local(dst)) {
+    return claim_remote(src, dst, key, data, fill, 0, presend, presend_ctx,
+                        /*blocking=*/false);
+  }
+  // Same-endpoint probe: commit against channel state (mismatch checked
+  // before presend, exactly like the in-process fabric), then ship the fill
+  // payload over the wire outside the lock.
+  {
+    Channel& ch = channel(src, dst);
+    std::unique_lock<std::mutex> lock(ch.mutex);
+    if (poisoned()) return FabricStatus::kAborted;
+    if (find_pending_locked(ch, key) != kNpos) return FabricStatus::kNotReady;
+    PostedRecv* ticket = find_posted_locked(ch, key);
+    if (ticket == nullptr) return FabricStatus::kNotReady;
+    if (fill && ticket->out.size() != data.size()) {
+      return FabricStatus::kMismatch;
+    }
+    if (presend != nullptr) presend(presend_ctx);
+    ticket->consumed = true;
+    if (!fill) return FabricStatus::kOk;
+  }
+  wire_send(make_header(WireKind::kClaimFill, src, dst, key, data.size()),
+            data);
+  return FabricStatus::kOk;
+}
+
+FabricStatus WireFabric::claim_local(int src, int dst, const FabricKey& key,
+                                     std::span<const std::byte> data, bool fill,
+                                     long timeout_ms) {
+  // Handshake against local channel state, parked in bounded ticks so a
+  // poisoned fabric or (process mode) a dead peer is observed promptly even
+  // with timeout 0 ("wait forever").
+  long waited = 0;
+  for (;;) {
+    long window = config_.tick_ms;
+    if (timeout_ms > 0) window = std::min(window, timeout_ms - waited);
+    const FabricStatus st =
+        InProcFabric::claim(src, dst, key, data, /*fill=*/false, window);
+    if (st == FabricStatus::kOk) break;
+    if (st != FabricStatus::kNotReady) return st;
+    waited += window;
+    if (timeout_ms > 0 && waited >= timeout_ms) return FabricStatus::kNotReady;
+    if (peer_down(dst)) {
+      poison();
+      return FabricStatus::kAborted;
+    }
+  }
+  if (!fill) return FabricStatus::kOk;
+  std::size_t len = 0;
+  if (claimed_len(src, dst, key, &len) && len != data.size()) {
+    unclaim(src, dst, key);
+    return FabricStatus::kMismatch;
+  }
+  // The receiver may have withdrawn the ticket (timeout) between the
+  // handshake and here; the pump then stages the payload as a pending
+  // message, which per-key FIFO hands to the receive it belongs to.
+  wire_send(make_header(WireKind::kClaimFill, src, dst, key, data.size()),
+            data);
+  return FabricStatus::kOk;
+}
+
+FabricStatus WireFabric::claim_remote(int src, int dst, const FabricKey& key,
+                                      std::span<const std::byte> data,
+                                      bool fill, long timeout_ms,
+                                      void (*presend)(void*), void* presend_ctx,
+                                      bool blocking) {
+  const std::uint64_t epoch0 = interrupt_epoch();
+  long waited = 0;
+  {
+    std::unique_lock<std::mutex> lock(advert_mutex_);
+    for (;;) {
+      if (poisoned()) return FabricStatus::kAborted;
+      const std::size_t i = find_advert_locked(src, dst, key);
+      if (i != kNpos) {
+        if (fill && adverts_[i].len != data.size()) {
+          return FabricStatus::kMismatch;
+        }
+        if (presend != nullptr) presend(presend_ctx);
+        adverts_.erase(adverts_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      if (!blocking) return FabricStatus::kNotReady;
+      if (interrupt_epoch() != epoch0) return FabricStatus::kInterrupted;
+      if (peer_down(dst)) {
+        lock.unlock();
+        poison();
+        return FabricStatus::kAborted;
+      }
+      long window = config_.tick_ms;
+      if (timeout_ms > 0) {
+        window = std::min(window, timeout_ms - waited);
+        if (window <= 0) return FabricStatus::kNotReady;
+      }
+      advert_cv_.wait_for(lock, std::chrono::milliseconds(window));
+      if (timeout_ms > 0) {
+        waited += window;
+        if (waited >= timeout_ms) return FabricStatus::kNotReady;
+      }
+    }
+  }
+  const std::uint8_t flags = fill ? kWireFlagFill : 0;
+  wire_send(make_header(WireKind::kClaimTake, src, dst, key,
+                        fill ? data.size() : 0, flags),
+            fill ? data : std::span<const std::byte>{});
+  return FabricStatus::kOk;
+}
+
+bool WireFabric::claimed_len(int src, int dst, const FabricKey& key,
+                             std::size_t* len) {
+  Channel& ch = channel(src, dst);
+  std::lock_guard<std::mutex> lock(ch.mutex);
+  for (PostedRecv* ticket : ch.posted) {
+    if (ticket->consumed && ticket->ctx == key.ctx && ticket->tag == key.tag) {
+      *len = ticket->out.size();
+      return true;
+    }
+  }
+  return false;
+}
+
+void WireFabric::unclaim(int src, int dst, const FabricKey& key) {
+  Channel& ch = channel(src, dst);
+  std::lock_guard<std::mutex> lock(ch.mutex);
+  for (PostedRecv* ticket : ch.posted) {
+    if (ticket->consumed && ticket->ctx == key.ctx && ticket->tag == key.tag) {
+      ticket->consumed = false;
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive side: bounded-tick parks with peer-liveness checks.
+
+FabricStatus WireFabric::wait(PostedRecv& ticket, long timeout_ms) {
+  long waited = 0;
+  bool src_was_down = false;
+  std::uint64_t last_progress = pump_progress();
+  for (;;) {
+    long window = config_.tick_ms;
+    if (timeout_ms > 0) window = std::min(window, timeout_ms - waited);
+    const FabricStatus st = InProcFabric::wait(ticket, window);
+    if (st != FabricStatus::kNotReady) return st;
+    // Base wait withdrew the ticket on kNotReady; decide whether this is the
+    // caller's timeout, a dead peer, or just a tick.
+    waited += window;
+    if (timeout_ms > 0 && waited >= timeout_ms) return FabricStatus::kNotReady;
+    if (peer_down(ticket.src)) {
+      // Abort only once nothing more can arrive: the wire to us is quiet, or
+      // a whole tick passed with the pump making no progress (a message cut
+      // off mid-stream by the death).
+      const std::uint64_t progress = pump_progress();
+      if (wire_quiet(ticket.src, ticket.dst) ||
+          (src_was_down && progress == last_progress)) {
+        poison();
+        return FabricStatus::kAborted;
+      }
+      src_was_down = true;
+      last_progress = progress;
+    }
+    InProcFabric::post(ticket);  // re-arm for the next tick
+  }
+}
+
+FabricStatus WireFabric::wait_frame(PostedRecv& ticket, FrameJudge judge,
+                                    void* judge_ctx, FabricMsg* frame,
+                                    long rto_ms) {
+  // The RTO window is already bounded (the retransmission clock), so the
+  // base park suffices; a dead peer whose wire is drained is surfaced here
+  // at entry, which the caller's retry loop reaches within one RTO.
+  if (peer_down(ticket.src) && wire_quiet(ticket.src, ticket.dst)) {
+    poison();
+    return FabricStatus::kAborted;
+  }
+  return InProcFabric::wait_frame(ticket, judge, judge_ctx, frame, rto_ms);
+}
+
+void WireFabric::post(PostedRecv& ticket) {
+  InProcFabric::post(ticket);
+  // Process mode: advertise the post to the sender's endpoint so its
+  // rendezvous claim can commit without shared channel state.
+  if (config_.local_rank >= 0 && ticket.src >= 0 && !local(ticket.src)) {
+    const FabricKey key{ticket.ctx, ticket.tag};
+    wire_send(make_header(WireKind::kPostNotify, ticket.src, ticket.dst, key, 0,
+                          0, ticket.out.size()),
+              {});
+  }
+}
+
+void WireFabric::unpost(PostedRecv& ticket) {
+  InProcFabric::unpost(ticket);
+  if (config_.local_rank >= 0 && ticket.src >= 0 && !local(ticket.src)) {
+    const FabricKey key{ticket.ctx, ticket.tag};
+    wire_send(
+        make_header(WireKind::kPostWithdraw, ticket.src, ticket.dst, key, 0),
+        {});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control plane.
+
+void WireFabric::poison() {
+  InProcFabric::poison();
+  {
+    std::lock_guard<std::mutex> lock(advert_mutex_);
+  }
+  advert_cv_.notify_all();
+  // Process mode: best-effort propagation to peer endpoints (their own
+  // peer-death detection is the backstop when a wire is wedged).
+  if (config_.local_rank >= 0) {
+    const FabricKey key{0, 0};
+    for (int peer = 0; peer < node_count(); ++peer) {
+      if (local(peer) || peer_down(peer)) continue;
+      try {
+        wire_send(make_header(WireKind::kPoison, config_.local_rank, peer, key,
+                              0),
+                  {});
+      } catch (...) {
+        // A dead or wedged peer wire must not mask the local abort.
+      }
+    }
+  }
+}
+
+void WireFabric::interrupt() {
+  InProcFabric::interrupt();
+  {
+    std::lock_guard<std::mutex> lock(advert_mutex_);
+  }
+  advert_cv_.notify_all();
+}
+
+std::string WireFabric::poison_note() const {
+  std::lock_guard<std::mutex> lock(peer_mutex_);
+  return peer_note_;
+}
+
+void WireFabric::broadcast_control(const ControlFrame& frame) {
+  // Local sink + interrupt (the whole story in threaded mode, where every
+  // rank shares this endpoint's sink)...
+  Fabric::broadcast_control(frame);
+  // ...plus, in process mode, serialization to every peer endpoint.
+  if (config_.local_rank >= 0) {
+    const FabricKey key{frame.token, static_cast<int>(frame.kind)};
+    for (int peer = 0; peer < node_count(); ++peer) {
+      if (local(peer) || peer_down(peer)) continue;
+      try {
+        wire_send(make_header(WireKind::kControl, config_.local_rank, peer, key,
+                              0, 0, static_cast<std::uint64_t>(frame.origin)),
+                  {});
+      } catch (...) {
+      }
+    }
+  }
+}
+
+void WireFabric::reset() {
+  // Quiesce: let the pump drain in-flight wire messages so a stale payload
+  // from the failed run cannot surface in the next one.  Bounded — a wire
+  // wedged by a dead peer must not hang the reset.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  for (;;) {
+    bool quiet = true;
+    for (int dst = 0; dst < node_count() && quiet; ++dst) {
+      if (!local(dst)) continue;
+      for (int src = 0; src < node_count(); ++src) {
+        if (src == dst) continue;
+        if (!wire_quiet(src, dst)) {
+          quiet = false;
+          break;
+        }
+      }
+    }
+    if (quiet || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    std::lock_guard<std::mutex> lock(advert_mutex_);
+    adverts_.clear();
+  }
+  InProcFabric::reset();
+}
+
+// ---------------------------------------------------------------------------
+// Pump side.
+
+void WireFabric::pump_dispatch(const WireHeader& h, FabricMsg msg) {
+  const FabricKey key{h.ctx, h.tag};
+  switch (static_cast<WireKind>(h.kind)) {
+    case WireKind::kDeposit:
+      pump_deposit(h, std::move(msg));
+      break;
+    case WireKind::kFrame:
+      // The frame's parse cache does not survive the wire: the judge on this
+      // side re-validates (checksums are exactly the policy that must work
+      // cross-process).
+      msg.seq = 0;
+      msg.validated = false;
+      InProcFabric::deliver(h.src, h.dst, key, std::move(msg),
+                            (h.flags & kWireFlagHoldBack) != 0);
+      break;
+    case WireKind::kClaimFill:
+      pump_claim_fill(h, std::move(msg));
+      break;
+    case WireKind::kClaimTake:
+      pump_claim_take(h, std::move(msg));
+      break;
+    case WireKind::kPostNotify:
+      pump_post_notify(h);
+      break;
+    case WireKind::kPostWithdraw:
+      pump_post_withdraw(h);
+      break;
+    case WireKind::kControl: {
+      ControlFrame frame;
+      frame.kind = static_cast<ControlFrame::Kind>(h.tag);
+      frame.token = h.ctx;
+      frame.origin = static_cast<int>(h.aux);
+      if (control_sink_ != nullptr) control_sink_(control_ctx_, frame);
+      InProcFabric::interrupt();
+      break;
+    }
+    case WireKind::kPoison: {
+      {
+        std::lock_guard<std::mutex> lock(peer_mutex_);
+        if (peer_note_.empty()) {
+          peer_note_ =
+              "aborted by peer endpoint " + std::to_string(h.src);
+        }
+      }
+      InProcFabric::poison();
+      {
+        std::lock_guard<std::mutex> lock(advert_mutex_);
+      }
+      advert_cv_.notify_all();
+      break;
+    }
+  }
+  pump_progress_.fetch_add(1, std::memory_order_release);
+}
+
+void WireFabric::pump_deposit(const WireHeader& h, FabricMsg msg) {
+  const FabricKey key{h.ctx, h.tag};
+  Channel& ch = channel(h.src, h.dst);
+  std::unique_lock<std::mutex> lock(ch.mutex);
+  // Same opportunistic direct fill as the in-process deposit, from the
+  // staged slab instead of the sender's buffer.
+  PostedRecv* ticket = find_posted_locked(ch, key);
+  if (ticket != nullptr && ticket->out.size() == msg.len &&
+      find_pending_locked(ch, key) == kNpos) {
+    land(ticket->out, msg.buf.data.get(), msg.len, ticket->accumulate);
+    ticket->consumed = true;
+    ticket->filled = true;
+    unpost_locked(ch, *ticket);
+    ++ch.version;
+    const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+    lock.unlock();
+    if (wake) ch.cv.notify_all();
+    pool_->release(std::move(msg.buf));
+    return;
+  }
+  ch.pending.push_back(MsgNode{key, std::move(msg)});
+  ++ch.version;
+  const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  lock.unlock();
+  if (wake) ch.cv.notify_all();
+}
+
+void WireFabric::pump_claim_fill(const WireHeader& h, FabricMsg msg) {
+  const FabricKey key{h.ctx, h.tag};
+  Channel& ch = channel(h.src, h.dst);
+  std::unique_lock<std::mutex> lock(ch.mutex);
+  // Per-key FIFO: an older in-flight message for the key was staged before
+  // this fill, so the fill must queue behind it, not jump into the ticket.
+  if (find_pending_locked(ch, key) == kNpos) {
+    for (PostedRecv* ticket : ch.posted) {
+      if (ticket->ctx == key.ctx && ticket->tag == key.tag &&
+          ticket->out.size() == msg.len) {
+        land(ticket->out, msg.buf.data.get(), msg.len, ticket->accumulate);
+        ticket->consumed = true;
+        ticket->filled = true;
+        unpost_locked(ch, *ticket);
+        ++ch.version;
+        const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+        lock.unlock();
+        if (wake) ch.cv.notify_all();
+        pool_->release(std::move(msg.buf));
+        return;
+      }
+    }
+  }
+  // Receiver withdrew (timeout) or FIFO forbids the direct landing: stage as
+  // an ordinary pending message.
+  ch.pending.push_back(MsgNode{key, std::move(msg)});
+  ++ch.version;
+  const bool wake = ch.waiters.load(std::memory_order_relaxed) > 0;
+  lock.unlock();
+  if (wake) ch.cv.notify_all();
+}
+
+void WireFabric::pump_claim_take(const WireHeader& h, FabricMsg msg) {
+  if ((h.flags & kWireFlagFill) != 0) {
+    pump_claim_fill(h, std::move(msg));
+    return;
+  }
+  // Handshake-only take: mark the posted ticket consumed; the payload
+  // follows as framed deliveries.
+  const FabricKey key{h.ctx, h.tag};
+  Channel& ch = channel(h.src, h.dst);
+  std::lock_guard<std::mutex> lock(ch.mutex);
+  if (PostedRecv* ticket = find_posted_locked(ch, key)) {
+    ticket->consumed = true;
+  }
+}
+
+void WireFabric::pump_post_notify(const WireHeader& h) {
+  {
+    std::lock_guard<std::mutex> lock(advert_mutex_);
+    adverts_.push_back(
+        Advert{h.src, h.dst, FabricKey{h.ctx, h.tag}, h.aux});
+  }
+  advert_cv_.notify_all();
+}
+
+void WireFabric::pump_post_withdraw(const WireHeader& h) {
+  std::lock_guard<std::mutex> lock(advert_mutex_);
+  const std::size_t i = find_advert_locked(h.src, h.dst, FabricKey{h.ctx, h.tag});
+  if (i != kNpos) {
+    adverts_.erase(adverts_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+std::size_t WireFabric::find_advert_locked(int src, int dst,
+                                           const FabricKey& key) {
+  for (std::size_t i = 0; i < adverts_.size(); ++i) {
+    if (adverts_[i].src == src && adverts_[i].dst == dst &&
+        adverts_[i].key == key) {
+      return i;
+    }
+  }
+  return kNpos;
+}
+
+bool WireFabric::peer_down(int rank) {
+  if (rank < 0 || local(rank)) return false;
+  {
+    std::lock_guard<std::mutex> lock(peer_mutex_);
+    if (peer_dead_[static_cast<std::size_t>(rank)]) return true;
+  }
+  if (probe_peer(rank)) {
+    mark_peer_dead(rank, "peer process for node " + std::to_string(rank) +
+                             " died before completing the exchange");
+    return true;
+  }
+  return false;
+}
+
+void WireFabric::mark_peer_dead(int rank, const std::string& why) {
+  {
+    std::lock_guard<std::mutex> lock(peer_mutex_);
+    if (peer_dead_[static_cast<std::size_t>(rank)]) return;
+    peer_dead_[static_cast<std::size_t>(rank)] = true;
+    if (peer_note_.empty()) peer_note_ = why;
+  }
+  // Wake parked verbs so their next tick observes the death.
+  InProcFabric::interrupt();
+  {
+    std::lock_guard<std::mutex> lock(advert_mutex_);
+  }
+  advert_cv_.notify_all();
+}
+
+}  // namespace intercom

@@ -4,8 +4,11 @@
 // or stale cache files falling back to model seeding instead of throwing.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -276,6 +279,36 @@ TEST(DecisionCacheTest, ParamsHashDistinguishesPresets) {
             DecisionCache::hash_params(MachineParams::sunmos()));
   EXPECT_EQ(DecisionCache::hash_params(MachineParams::paragon()),
             DecisionCache::hash_params(MachineParams::paragon()));
+}
+
+// The hash must be a function of parameter *values*, not bit patterns:
+// -0.0 == 0.0 and all NaNs are equally "unset", but their representations
+// differ, and a raw bit-cast would silently fork the cache generation —
+// the persisted decisions would never warm-start a machine whose config
+// round-tripped a negative zero.
+TEST(DecisionCacheTest, ParamsHashCanonicalizesFloatRepresentations) {
+  MachineParams plus_zero = MachineParams::paragon();
+  MachineParams minus_zero = plus_zero;
+  plus_zero.per_level_overhead = 0.0;
+  minus_zero.per_level_overhead = -0.0;
+  EXPECT_EQ(DecisionCache::hash_params(plus_zero),
+            DecisionCache::hash_params(minus_zero));
+
+  MachineParams quiet_nan = MachineParams::paragon();
+  MachineParams payload_nan = quiet_nan;
+  quiet_nan.gamma = std::numeric_limits<double>::quiet_NaN();
+  payload_nan.gamma =
+      std::bit_cast<double>(std::bit_cast<std::uint64_t>(
+                                std::numeric_limits<double>::quiet_NaN()) |
+                            0x2au);  // same NaN, different payload bits
+  EXPECT_EQ(DecisionCache::hash_params(quiet_nan),
+            DecisionCache::hash_params(payload_nan));
+
+  // Canonicalization must not collapse genuinely distinct values.
+  MachineParams other = MachineParams::paragon();
+  other.per_level_overhead = 1.0;
+  EXPECT_NE(DecisionCache::hash_params(plus_zero),
+            DecisionCache::hash_params(other));
 }
 
 TEST(DecisionCacheTest, SaveMergesUnconsumedLoadedCells) {

@@ -322,6 +322,58 @@ TEST_P(ReliabilityTest, ZeroLengthPayloadCorruptionIsStillDetected) {
   EXPECT_THROW(t.recv(0, 1, 6, 1, empty), CorruptionError);
 }
 
+// Regression for the v1 framing hole: the digest used to cover the payload
+// only, so a bit-flip in the header's sequence number produced a frame that
+// still checksummed clean — it was honoured as a (stale or future) frame
+// and could poison the reorder buffer.  v2 digests version+seq+length, so
+// every header flip — magic, version, seq, or stored digest — must be
+// rejected as corrupt and repaired by retransmission.
+TEST_P(ReliabilityTest, HeaderBitFlipsAreRejectedAndRepaired) {
+  Transport& t = transport(2);
+  auto injector = std::make_shared<FaultInjector>(31u);
+  FaultSpec spec;
+  spec.corrupt_header = 0.5;  // per attempt; retransmissions re-roll
+  injector->set_default(spec);
+  t.set_fault_injector(injector);
+  t.set_retry_policy(/*max_retries=*/14, /*base_rto_ms=*/2);
+
+  const int kMessages = 20;
+  std::thread sender([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      std::vector<std::byte> payload(sizeof(int));
+      std::memcpy(payload.data(), &i, sizeof(int));
+      t.send(0, 1, 8, 0, payload);
+    }
+  });
+  for (int i = 0; i < kMessages; ++i) {
+    std::vector<std::byte> out(sizeof(int));
+    t.recv(0, 1, 8, 0, out);
+    int value = -1;
+    std::memcpy(&value, out.data(), sizeof(int));
+    EXPECT_EQ(value, i) << "a header-corrupted frame leaked through";
+  }
+  sender.join();
+  EXPECT_GT(injector->stats().header_corrupted, 0u);
+  EXPECT_GT(t.reliability_stats().corrupt_discards, 0u)
+      << "header flips must be discarded as corrupt, not honoured";
+  EXPECT_GT(t.reliability_stats().retransmits, 0u);
+}
+
+TEST_P(ReliabilityTest, PersistentHeaderCorruptionRaisesCorruptionError) {
+  Transport& t = transport(2);
+  auto injector = std::make_shared<FaultInjector>(32u);
+  FaultSpec spec;
+  spec.corrupt_header = 1.0;  // every attempt, retransmissions included
+  injector->set_default(spec);
+  t.set_fault_injector(injector);
+  t.set_retry_policy(/*max_retries=*/3, /*base_rto_ms=*/2);
+
+  t.send(0, 1, 8, 1, bytes_of("payload"));
+  std::vector<std::byte> out(7);
+  EXPECT_THROW(t.recv(0, 1, 8, 1, out), CorruptionError);
+  EXPECT_GT(t.reliability_stats().corrupt_discards, 0u);
+}
+
 TEST_P(ReliabilityTest, ScopedRulesOnlyAffectMatchingWires) {
   Transport& t = transport(3);
   auto injector = std::make_shared<FaultInjector>(21u);

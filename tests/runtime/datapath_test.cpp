@@ -54,9 +54,13 @@ TEST_P(RendezvousTest, LargeTransferBypassesTheSlabPool) {
   sender.join();
   EXPECT_EQ(out, payload);
   // The payload went straight from the sender's span into the posted buffer;
-  // no staging slab was ever acquired.
-  const auto stats = t.pool().stats();
-  EXPECT_EQ(stats.allocations + stats.reuses, 0u);
+  // no staging slab was ever acquired.  On the cross-process backends the
+  // payload necessarily stages once through the receiving pump's slab, so
+  // the zero-copy property is in-process only.
+  if (!cross_process()) {
+    const auto stats = t.pool().stats();
+    EXPECT_EQ(stats.allocations + stats.reuses, 0u);
+  }
 }
 
 TEST_P(RendezvousTest, SendBlocksUntilReceiverPosts) {
@@ -162,7 +166,11 @@ TEST_P(RendezvousTest, ThresholdKnobSelectsTheRegime) {
     t.recv(0, 1, 1, 0, out);
     sender.join();
     EXPECT_EQ(out, payload);
-    EXPECT_EQ(t.pool().stats().allocations, 0u);
+    // Slab-free rendezvous is an in-process property; the wire backends
+    // stage each crossing once in the pump (see LargeTransferBypasses...).
+    if (!cross_process()) {
+      EXPECT_EQ(t.pool().stats().allocations, 0u);
+    }
   }
 }
 

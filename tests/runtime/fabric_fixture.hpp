@@ -1,13 +1,19 @@
 // Shared fixture parameterizing runtime suites over the delivery fabric.
 //
 // Every TEST_P in a suite derived from FabricParamTest runs once per
-// registered backend under test: "inproc" (the ideal in-process wire) and
+// registered backend under test: "inproc" (the ideal in-process wire),
 // "sim" (the wormhole-mesh model with time_scale = 0, i.e. full link and
-// conflict accounting but no wall-clock pacing, so the suites stay fast).
-// The point is the layering guarantee of fabric.hpp: reliability, fault
-// injection, the eager/rendezvous split, abort propagation, tracing and the
-// async progress engine are policy *above* the fabric seam, so every
-// behavioural contract they promise must hold bit-for-bit on any backend.
+// conflict accounting but no wall-clock pacing, so the suites stay fast),
+// "shm" (cross-process byte rings in a shared segment, run in threaded mode
+// so every payload round-trips through the rings and the pump), and
+// "socket" (TCP loopback framing, threaded mode likewise).  The point is
+// the layering guarantee of fabric.hpp: reliability, fault injection, the
+// eager/rendezvous split, abort propagation, tracing and the async progress
+// engine are policy *above* the fabric seam, so every behavioural contract
+// they promise must hold bit-for-bit on any backend.
+//
+// Setting INTERCOM_FABRIC=<name> restricts the instantiations to that one
+// backend — the CI legs run the whole runtime suite per backend that way.
 //
 // Usage:
 //   class MySuite : public FabricParamTest {};
@@ -20,10 +26,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <tuple>
 #include <utility>
+#include <vector>
 
 #include "intercom/runtime/fabric_registry.hpp"
 #include "intercom/runtime/multicomputer.hpp"
@@ -32,12 +40,29 @@
 
 namespace intercom {
 
+/// The backends the parameterized suites instantiate over: all four, or the
+/// single backend INTERCOM_FABRIC names.
+inline const std::vector<std::string>& fabrics_under_test() {
+  static const std::vector<std::string> fabrics = [] {
+    const char* only = std::getenv("INTERCOM_FABRIC");
+    if (only != nullptr && *only != '\0') {
+      return std::vector<std::string>{only};
+    }
+    return std::vector<std::string>{"inproc", "sim", "shm", "socket"};
+  }();
+  return fabrics;
+}
+
 /// FabricSpec for backend `name` as the test suites use it: the sim backend
-/// keeps its accounting but never sleeps.
+/// keeps its accounting but never sleeps; the wire backends run with small
+/// rings (so large-payload chunk streaming is exercised) and a short tick
+/// (so bounded-wait regressions surface fast).
 inline FabricSpec test_fabric_spec(const std::string& name) {
   FabricSpec spec;
   spec.name = name;
   spec.sim.time_scale = 0.0;
+  spec.wire.ring_bytes = std::size_t{1} << 16;
+  spec.wire.tick_ms = 10;
   return spec;
 }
 
@@ -46,6 +71,10 @@ class FabricParamTest : public ::testing::TestWithParam<std::string> {
  protected:
   const std::string& fabric() const { return GetParam(); }
   FabricSpec spec() const { return test_fabric_spec(fabric()); }
+  /// True for the cross-process backends, whose payloads serialize through
+  /// a real OS transport — per-crossing staging (one pump-side slab) is
+  /// inherent there, so in-process zero-copy assertions don't apply.
+  bool cross_process() const { return fabric() == "shm" || fabric() == "socket"; }
 
   /// A machine of shape `mesh` on the fabric under test.  Owned by the
   /// fixture (Multicomputer is not movable); each call replaces the last.
@@ -90,24 +119,27 @@ class FabricCrossTest
 
 }  // namespace intercom
 
-/// Instantiates `Suite` over both built-in backends.  The test name suffix
-/// is the backend, so `--gtest_filter=*.*/sim` selects the sim-fabric leg.
+/// Instantiates `Suite` over every backend under test.  The test name
+/// suffix is the backend, so `--gtest_filter=*.*/sim` selects the
+/// sim-fabric leg (likewise /shm, /socket).
 #define INTERCOM_INSTANTIATE_FABRIC_SUITE(Suite)                       \
   INSTANTIATE_TEST_SUITE_P(                                            \
-      Fabrics, Suite, ::testing::Values("inproc", "sim"),              \
+      Fabrics, Suite,                                                  \
+      ::testing::ValuesIn(::intercom::fabrics_under_test()),           \
       [](const ::testing::TestParamInfo<std::string>& info) {          \
         return info.param;                                             \
       })
 
-/// Instantiates a FabricCrossTest<T> `Suite` over both backends crossed
-/// with `...` (a ::testing::Values(...) of the suite's own parameter).
-/// Names render as <fabric>_<index>, e.g. Fabrics/MySuite.Case/sim_1.
+/// Instantiates a FabricCrossTest<T> `Suite` over every backend under test
+/// crossed with `...` (a ::testing::Values(...) of the suite's own
+/// parameter).  Names render as <fabric>_<index>, e.g.
+/// Fabrics/MySuite.Case/sim_1.
 #define INTERCOM_INSTANTIATE_FABRIC_CROSS_SUITE(Suite, ...)            \
   INSTANTIATE_TEST_SUITE_P(                                            \
       Fabrics, Suite,                                                  \
-      ::testing::Combine(::testing::Values(std::string("inproc"),      \
-                                           std::string("sim")),        \
-                         __VA_ARGS__),                                 \
+      ::testing::Combine(                                              \
+          ::testing::ValuesIn(::intercom::fabrics_under_test()),       \
+          __VA_ARGS__),                                                \
       [](const ::testing::TestParamInfo<typename Suite::ParamType>&    \
              info) {                                                   \
         return std::get<0>(info.param) + "_" +                         \

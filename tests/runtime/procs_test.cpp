@@ -1,0 +1,165 @@
+// Process-launch mode: one OS process per rank over the cross-process
+// fabrics.  These are the tests that a threaded harness cannot express —
+// real fork/exec isolation, real pid-death detection, real "my peer's
+// process is gone" recovery.
+//
+// Kept out of the sanitizer suites: fork() composes badly with the TSan
+// and ASan runtimes (the child inherits an instrumented-but-singular
+// thread state), so the whole binary skips itself when built under either.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "intercom/runtime/communicator.hpp"
+#include "intercom/runtime/multicomputer.hpp"
+#include "intercom/runtime/procs.hpp"
+#include "intercom/util/error.hpp"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define INTERCOM_PROCS_SANITIZED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define INTERCOM_PROCS_SANITIZED 1
+#endif
+#endif
+
+namespace intercom {
+namespace {
+
+class ProcsTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+#ifdef INTERCOM_PROCS_SANITIZED
+    GTEST_SKIP() << "fork-based suites do not run under sanitizers";
+#endif
+  }
+  const std::string& backend() const { return GetParam(); }
+};
+
+// Every rank is a real OS process; the collectives must come out
+// bit-correct across the wire.  The child verifies its own results and
+// reports through its exit code — a parent-side EXPECT cannot see into a
+// forked child.
+TEST_P(ProcsTest, BroadcastAndAllReduceAcrossProcesses) {
+  const Mesh2D mesh(2, 2);
+  const auto reports = run_spmd_procs(
+      mesh, backend(),
+      [](Node& node) {
+        Communicator world = node.world();
+        const int id = node.id();
+        constexpr std::size_t kElems = 1024;
+        for (int round = 0; round < 3; ++round) {
+          std::vector<double> data(kElems);
+          std::vector<double> sums(kElems);
+          for (std::size_t i = 0; i < kElems; ++i) {
+            data[i] = id == 0 ? static_cast<double>(i + round) : 0.0;
+            sums[i] = static_cast<double>(id);
+          }
+          world.broadcast(std::span<double>(data), 0);
+          world.all_reduce_sum(std::span<double>(sums));
+          for (std::size_t i = 0; i < kElems; ++i) {
+            if (data[i] != static_cast<double>(i + round)) {
+              throw std::runtime_error("broadcast mismatch");
+            }
+            if (sums[i] != 0.0 + 1.0 + 2.0 + 3.0) {
+              throw std::runtime_error("all_reduce mismatch");
+            }
+          }
+        }
+      });
+  ASSERT_EQ(reports.size(), 4u);
+  for (const ProcReport& report : reports) {
+    EXPECT_TRUE(report.ok())
+        << "rank " << report.rank << ": exit_code=" << report.exit_code
+        << " signal=" << report.term_signal
+        << " watchdog=" << report.killed_by_watchdog;
+  }
+}
+
+// Regression for the "wait forever" hang: a receiver parked with
+// timeout 0 on a wire whose peer process dies must unwind with an error
+// in bounded time — not sit in an unbounded futex/poll wait until the
+// launcher watchdog shoots it.  Rank 1 SIGKILLs itself (a real crash, no
+// teardown courtesy); rank 0's infinite-timeout recv must turn into an
+// intercom error, and the run must finish well inside the watchdog
+// deadline.
+TEST_P(ProcsTest, KilledPeerUnblocksParkedReceiver) {
+  const Mesh2D mesh(1, 2);
+  ProcOptions options;
+  options.tick_ms = 10;        // peer-death detection latency bound
+  options.deadline_ms = 20000;  // watchdog only; the test must not need it
+  const auto reports = run_spmd_procs(
+      mesh, backend(),
+      [](Node& node) {
+        Transport& t = node.machine().transport();
+        if (node.id() == 1) {
+          raise(SIGKILL);  // hard crash: no exit handlers, no teardown
+        }
+        // timeout 0 = wait forever: the receiver has no deadline of its
+        // own, so only peer-death detection can unblock it.
+        std::vector<std::byte> out(8);
+        t.recv(/*src=*/1, /*dst=*/0, /*ctx=*/1, /*tag=*/0,
+               std::span<std::byte>(out));
+      },
+      options);
+  ASSERT_EQ(reports.size(), 2u);
+
+  const ProcReport& receiver = reports[0];
+  const ProcReport& killed = reports[1];
+  EXPECT_TRUE(killed.exited);
+  EXPECT_EQ(killed.term_signal, SIGKILL);
+  // The receiver must have unwound on its own: alive long enough to see
+  // the peer die, then out with an intercom error — never watchdog-killed
+  // (that would be the hang this regression pins down).
+  EXPECT_TRUE(receiver.exited);
+  EXPECT_FALSE(receiver.killed_by_watchdog) << "parked receiver hung";
+  EXPECT_EQ(receiver.term_signal, 0);
+  EXPECT_EQ(receiver.exit_code, kProcError)
+      << "recv from a dead peer must throw an intercom error";
+}
+
+// A crashed rank must not wedge ranks that never talk to it directly
+// either: peer death poisons the fabric, and fail-fast propagation takes
+// the whole cohort down in bounded time.
+TEST_P(ProcsTest, PeerDeathFailsTheCohortFast) {
+  const Mesh2D mesh(1, 4);
+  ProcOptions options;
+  options.tick_ms = 10;
+  options.deadline_ms = 20000;
+  const auto reports = run_spmd_procs(
+      mesh, backend(),
+      [](Node& node) {
+        if (node.id() == 3) raise(SIGKILL);
+        Communicator world = node.world();
+        for (int round = 0; round < 1000; ++round) {
+          std::vector<double> sums(256, 1.0);
+          world.all_reduce_sum(std::span<double>(sums));
+        }
+      },
+      options);
+  ASSERT_EQ(reports.size(), 4u);
+  EXPECT_EQ(reports[3].term_signal, SIGKILL);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_TRUE(reports[static_cast<std::size_t>(r)].exited);
+    EXPECT_FALSE(reports[static_cast<std::size_t>(r)].killed_by_watchdog)
+        << "rank " << r << " wedged on the dead peer";
+    EXPECT_EQ(reports[static_cast<std::size_t>(r)].exit_code, kProcError)
+        << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CrossProcess, ProcsTest,
+                         ::testing::Values("shm", "socket"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace intercom
