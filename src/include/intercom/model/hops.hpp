@@ -1,0 +1,45 @@
+// Per-topology hop statistics for the cost model.
+//
+// The paper's machine model charges tau per hop on every wormhole crossing
+// (Section 2), so the *distance structure* of the interconnect enters the
+// predicted cost of any algorithm that sends over non-neighbor pairs.  With
+// the topology layer now pluggable (mesh, torus, hypercube, fat-tree,
+// dragonfly), the model needs those distances without hard-coding a mesh
+// formula: this module derives them from Topology::min_hops, the same
+// oracle the routing property tests check the canonical routes against.
+//
+// For machines up to a few thousand nodes the full O(n^2) pair scan is
+// cheap and exact.  Past the threshold the scan samples pairs with a seeded
+// generator instead, so a 4k-node sweep stays fast and two runs with the
+// same seed report identical statistics (the repo-wide determinism
+// contract).  The diameter of a sampled scan is a lower bound; callers that
+// need the exact diameter of a large machine should compute it analytically
+// from the topology parameters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "intercom/topo/topology.hpp"
+
+namespace intercom {
+
+/// Distance summary of one topology under its canonical minimal routing.
+struct HopStats {
+  int diameter = 0;       ///< max hops over the scanned (src, dst) pairs
+  double mean_hops = 0.0; ///< mean hops over scanned pairs with src != dst
+  std::uint64_t pairs = 0;  ///< pairs scanned (n*(n-1) when exact)
+  bool exact = false;       ///< full pair scan (vs. seeded sampling)
+};
+
+/// Scans `topology`'s ordered (src, dst) pairs, src != dst.  Exact when
+/// n*(n-1) <= max_exact_pairs; otherwise samples `sample_pairs` pairs with a
+/// seeded generator (deterministic for a given seed).  Throws ConfigError if
+/// `topology` is null or `sample_pairs` is zero when sampling is needed.
+HopStats hop_stats(const Topology& topology,
+                   std::uint64_t max_exact_pairs = 1u << 22,
+                   std::uint64_t sample_pairs = 1u << 18,
+                   std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+}  // namespace intercom

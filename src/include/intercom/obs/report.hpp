@@ -39,6 +39,10 @@ struct ModelVsMeasuredRow {
   /// their timings in distinct rows instead of silently averaging two
   /// different machines into one.
   std::string fabric;
+  /// Simulated interconnect label (Tracer::topology(); empty when the
+  /// fabric does not model one).  Rows group by it too, so the same
+  /// workload on a mesh and a fat-tree stays distinguishable.
+  std::string topology;
   std::size_t elems = 0;
   std::size_t bytes = 0;
   std::uint64_t calls = 0;          ///< collective instances aggregated

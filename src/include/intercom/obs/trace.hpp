@@ -210,6 +210,12 @@ class Tracer {
   void set_fabric(std::string fabric) { fabric_ = std::move(fabric); }
   const std::string& fabric() const { return fabric_; }
 
+  /// Tags every export/report with the simulated interconnect's label
+  /// (e.g. "mesh16x32", "fattree2L3").  Empty (rendered "-") on fabrics
+  /// that do not model a topology.  Set once at machine construction.
+  void set_topology(std::string topology) { topology_ = std::move(topology); }
+  const std::string& topology() const { return topology_; }
+
   /// Node buffer access for exporters and diagnostics.
   const NodeTraceBuffer* buffer(int node) const;
 
@@ -225,6 +231,7 @@ class Tracer {
   std::size_t capacity_;
   std::vector<std::unique_ptr<NodeTraceBuffer>> buffers_;  // sized on arm()
   std::string fabric_ = "inproc";
+  std::string topology_;
   std::atomic<bool> armed_{false};
   std::chrono::steady_clock::time_point epoch_{};
 

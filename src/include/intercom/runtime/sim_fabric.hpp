@@ -1,29 +1,34 @@
-// SimFabric: the runtime's delivery fabric bridged through the wormhole-mesh
+// SimFabric: the runtime's delivery fabric bridged through the network
 // model, so real collectives — real threads, real payloads, the identical
 // Communicator/CompiledPlan/PlanCursor stack — experience *modeled* network
 // behaviour instead of the ideal in-process wire.
 //
 // The bridge is one hook: InProcFabric calls carry(src, dst, bytes) once per
-// wire crossing.  SimFabric resolves the crossing's XY route (precomputed per
-// (src, dst) pair), occupies every directed link of the route in a
-// LinkLoadTracker (sim/network.hpp — the same fluid link-sharing bookkeeping
-// the discrete-event simulator uses), and paces the calling thread by the
-// paper's machine model:
+// wire crossing.  Two contention engines price the crossing over a pluggable
+// Topology (mesh, torus, hypercube, fat-tree, dragonfly):
 //
-//     t = alpha(n) + tau_per_hop * hops + n * beta(n) * s
+//   * SimEngine::kPacket (default): the discrete-event packet engine
+//     (sim/event_engine.hpp).  Each node keeps a causal virtual clock; a
+//     crossing is injected at the source's clock, simulated to delivery
+//     through per-channel busy/free events, and the destination clock takes
+//     the max with the delivery time.  Per-crossing cost is O(route packets),
+//     independent of machine size, which is what lets the fabric run the
+//     paper's full 512-node Paragon and beyond.  Because all times derive
+//     from the per-node clocks (and clock merges are commutative maxima),
+//     conflict-free schedules — the paper's own headline property — produce
+//     bit-identical virtual clocks under any thread interleaving; contention
+//     between racing crossings is resolved in arrival order.
 //
-// where s is the route's bandwidth-sharing factor under the *current* load —
-// re-sampled across the transfer in chunks, so a crossing that starts alone
-// and is joined mid-flight by a conflicting one slows down partway, the
-// discrete setting's approximation of the simulator's fluid rate recompute.
-// This is what makes the paper's Table 2 story observable end-to-end: two
-// schedules that move identical byte counts diverge in wall time exactly
-// when their routes share links, which the ideal fabric can never show.
+//   * SimEngine::kFluid: the original fluid link-sharing model.  The route
+//     occupies a LinkLoadTracker and the crossing is paced by
+//     t = alpha(n) + tau_per_hop * hops + n * beta(n) * s with the sharing
+//     factor s re-sampled per chunk — O(links * crossings) accounting that
+//     tops out around p = 64 but remains the regression baseline.
 //
 // Virtual-time pacing: modeled seconds are converted to wall sleeps by
 // `time_scale`.  1.0 paces in real time (for measurements comparable against
 // the analytic model); 0 disables the sleeps but keeps all accounting —
-// link-conflict statistics and the virtual clock — which is how the test
+// link-conflict statistics and the virtual clocks — which is how the test
 // suites assert every runtime invariant on this fabric without paying
 // modeled latencies per message.
 //
@@ -37,49 +42,68 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string_view>
 #include <vector>
 
 #include "intercom/model/machine_params.hpp"
 #include "intercom/runtime/fabric.hpp"
+#include "intercom/sim/engine.hpp"
+#include "intercom/sim/event_engine.hpp"
 #include "intercom/sim/network.hpp"
 #include "intercom/topo/mesh.hpp"
+#include "intercom/topo/topology.hpp"
 
 namespace intercom {
 
-/// Configuration of the simulated wire.
+/// Configuration of the simulated wire.  SimFabric validates these at
+/// construction and throws ConfigError on out-of-domain values.
 struct SimFabricConfig {
   /// Machine model for the pacing formula (alpha/beta/tau/link_capacity).
   MachineParams machine = MachineParams::paragon();
+  /// Contention engine; the event-driven packet engine is the default.
+  SimEngine engine = SimEngine::kPacket;
   /// Modeled-seconds -> wall-seconds multiplier.  1.0 paces crossings in
-  /// real modeled time; values below 1 compress it; 0 (or negative)
-  /// disables pacing entirely while keeping link/conflict accounting and
-  /// the virtual clock (the test-fixture mode).
+  /// real modeled time; values below 1 compress it; 0 disables pacing
+  /// entirely while keeping link/conflict accounting and the virtual clocks
+  /// (the test-fixture mode).  Negative is a ConfigError.
   double time_scale = 1.0;
-  /// Number of chunks a crossing's drain is split into, each re-sampling
-  /// the route's sharing factor (the fluid-model approximation).  1 samples
-  /// once at the start.
+  /// Fluid engine: number of chunks a crossing's drain is split into, each
+  /// re-sampling the route's sharing factor.  Must be positive.
   int chunks = 8;
-  /// Crossings at or below this size drain in a single chunk — re-sampling
-  /// a short transfer is all overhead and no fidelity.
+  /// Fluid engine: crossings at or below this size drain in a single chunk.
+  /// Must be positive.
   std::size_t min_chunk_bytes = 4096;
+  /// Packet engine: packet payload size.  Must be positive.
+  std::size_t packet_bytes = 4096;
+  /// Packet engine: seed for same-instant tie-breaking.
+  std::uint64_t seed = 0x1c0ffee;
+  /// Simulate a different interconnect than the machine's node mesh.  The
+  /// topology must have exactly the machine's node count (ConfigError
+  /// otherwise); ranks map to topology nodes by id.
+  std::optional<TopologySpec> topology;
 };
 
-/// InProcFabric with every wire crossing paced through the wormhole-mesh
-/// machine model and accounted against per-link load.
+/// InProcFabric with every wire crossing paced through the network model and
+/// accounted against per-channel contention state.
 class SimFabric final : public InProcFabric {
  public:
+  /// The interconnect is config.topology when set, else the node mesh.
   SimFabric(const Mesh2D& mesh, const SimFabricConfig& config);
+  /// Simulate over an explicit topology (ranks = topology nodes).
+  SimFabric(std::shared_ptr<const Topology> topology,
+            const SimFabricConfig& config);
 
   std::string_view name() const override { return "sim"; }
 
-  /// Base reset plus the simulated wire's state: link loads, conflict
-  /// statistics, and the virtual clock all restart at zero.
+  /// Base reset plus the simulated wire's state: channel horizons, link
+  /// loads, conflict statistics, and the virtual clocks all restart at zero.
   void reset() override;
 
-  const Mesh2D& mesh() const { return mesh_; }
   const SimFabricConfig& config() const { return config_; }
+  const Topology& topology() const { return *topology_; }
 
   /// Contention accounting, accumulated since construction or reset().
   /// Valid whenever no crossing is in flight (e.g. after run_spmd returns).
@@ -89,7 +113,10 @@ class SimFabric final : public InProcFabric {
                                              ///< least one link in flight
     std::uint64_t bytes = 0;       ///< payload bytes carried
     std::uint64_t virtual_ns = 0;  ///< summed modeled time of all crossings
-    int peak_link_load = 0;        ///< max concurrent flows on one channel
+    /// Event engine: the furthest per-node virtual clock, i.e. the modeled
+    /// makespan of everything carried so far (0 under the fluid engine).
+    double virtual_clock_s = 0.0;
+    int peak_link_load = 0;        ///< max transfers co-occupying one channel
     std::vector<std::uint64_t> link_transfers;  ///< crossings per directed
                                                 ///< link (dense indices)
     std::vector<std::uint64_t> link_conflicts;  ///< co-occupied arrivals per
@@ -101,21 +128,32 @@ class SimFabric final : public InProcFabric {
   void carry(int src, int dst, std::size_t bytes) override;
 
  private:
+  void validate() const;
+  void carry_event(int src, int dst, std::size_t bytes,
+                   std::chrono::steady_clock::time_point wall_start);
+  void carry_fluid(int src, int dst, std::size_t bytes,
+                   std::chrono::steady_clock::time_point wall_start);
+
   /// Sleeps until `start` + `modeled_seconds` (scaled by time_scale) of wall
   /// time has passed.  Deadline-based so a chunked crossing's repeated sleeps
   /// do not accumulate scheduler-granularity overshoot.
   void pace(std::chrono::steady_clock::time_point start,
             double modeled_seconds) const;
 
-  Mesh2D mesh_;
+  std::shared_ptr<const Topology> topology_;
   SimFabricConfig config_;
-  /// Precomputed XY routes as dense link indices, [src * n + dst].
-  std::vector<std::vector<int>> routes_;
 
-  mutable std::mutex link_mutex_;
-  LinkLoadTracker loads_;
-  std::vector<std::uint64_t> link_transfers_;
-  std::vector<std::uint64_t> link_conflicts_;
+  // One engine mutex guards whichever contention state the engine uses:
+  // the packet network + per-node clocks (kPacket) or the route table +
+  // fluid load tracker (kFluid).
+  mutable std::mutex engine_mutex_;
+  std::unique_ptr<PacketNetwork> net_;   // kPacket
+  std::vector<double> node_clock_;       // kPacket: causal per-node time
+  double max_clock_ = 0.0;               // kPacket: furthest clock
+  std::unique_ptr<RouteTable> routes_;   // kFluid
+  LinkLoadTracker loads_;                // kFluid
+  std::vector<std::uint64_t> link_transfers_;  // kFluid (kPacket: in net_)
+  std::vector<std::uint64_t> link_conflicts_;  // kFluid (kPacket: in net_)
 
   std::atomic<std::uint64_t> transfers_{0};
   std::atomic<std::uint64_t> conflicted_transfers_{0};

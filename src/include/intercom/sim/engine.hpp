@@ -30,11 +30,33 @@
 
 namespace intercom {
 
-/// Simulation inputs beyond the machine model.
+/// Which contention model prices link sharing.
+enum class SimEngine {
+  /// Fluid processor sharing: active flows split link bandwidth evenly and
+  /// rates are resampled whenever any flow starts or finishes.  Exact for
+  /// the paper's Section 7.1 model, but resampling is O(links * crossings).
+  kFluid,
+  /// Discrete-event packet engine (sim/event_engine.hpp): per-channel
+  /// busy/free events at packet granularity.  Scales to thousands of nodes
+  /// and is bit-deterministic under the seeded tie-breaking.
+  kPacket,
+};
+
+/// Simulation inputs beyond the machine model.  WormholeSimulator validates
+/// these at construction (ConfigError on out-of-domain values).
 struct SimParams {
   MachineParams machine;
+  /// Contention engine.  Fluid remains the default for the schedule
+  /// simulator so historical Table 2 sharing factors reproduce exactly;
+  /// large topologies want kPacket.
+  SimEngine engine = SimEngine::kFluid;
+  /// Packet payload for SimEngine::kPacket.  Must be positive.
+  std::size_t packet_bytes = 4096;
+  /// Seed for the packet engine's same-instant tie-breaking.
+  std::uint64_t tie_seed = 0x1c0ffee;
   /// Mean of the exponential extra startup delay added to every transfer
-  /// (0 disables jitter).  Used by the Section 8 ablation.
+  /// (0 disables jitter; negative is a ConfigError).  Used by the Section 8
+  /// ablation.
   double jitter_mean = 0.0;
   std::uint64_t jitter_seed = 0x1c0ffee;
   /// When true, SimResult::trace records every transfer (posting, start of

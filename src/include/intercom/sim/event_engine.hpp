@@ -1,0 +1,201 @@
+// Discrete-event packet network: the event-driven contention engine.
+//
+// Models a transfer as ceil(bytes / packet_bytes) cut-through packets walking
+// the topology's route.  State is per directed channel: a busy-until horizon
+// and a wait queue; the global event queue carries channel-free, channel-
+// request and delivery events on a double-precision virtual clock.  Timing:
+//   * every packet of a transfer becomes ready on the first channel at
+//     start + alpha(bytes) + tau (header fall-through to the first link);
+//   * a granted packet holds the channel for ser = packet_bytes * beta(bytes)
+//     and its head requests the next channel tau later (virtual cut-through
+//     with unbounded buffers: a blocked head queues at the next channel
+//     without stalling upstream);
+//   * the transfer is delivered when its last packet clears the last channel.
+// Zero load this reduces to alpha + hops*tau + n*beta exactly — the paper's
+// Section 2 model — while contention serializes packets per channel instead
+// of the fluid tracker's O(links * crossings) rate resampling.
+//
+// Determinism: ties are broken by (ready time, seeded per-transfer key,
+// packet index) inside each wait queue and by (time, kind, submission order)
+// in the global queue, so a given submission sequence replays bit-identically.
+// Submissions whose start time lies before already-processed events are
+// legal (SimFabric's per-node clocks advance unevenly); packets on disjoint
+// channels are timed independently of processing order, which is what makes
+// conflict-free schedules bit-identical under any thread interleaving.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "intercom/model/machine_params.hpp"
+#include "intercom/sim/network.hpp"
+#include "intercom/topo/topology.hpp"
+
+namespace intercom {
+
+/// Packet-engine inputs beyond the machine model.
+struct PacketNetParams {
+  MachineParams machine;
+  /// Maximum packet payload; a transfer serializes into packets of this
+  /// size (the Paragon's wormhole packetization).  Must be positive.
+  std::size_t packet_bytes = 4096;
+  /// Seed for the per-transfer tie-break key used when two packets become
+  /// ready on one channel at the same instant.
+  std::uint64_t seed = 0x1c0ffee;
+};
+
+/// The event-driven network.  Not thread-safe; callers serialize access
+/// (SimFabric holds one behind its engine mutex).
+class PacketNetwork {
+ public:
+  /// Invoked when a transfer's last packet clears its last channel.
+  using DeliveryHandler = std::function<void(int xfer, double time)>;
+
+  /// Throws ConfigError when packet_bytes == 0; Error on a null topology.
+  PacketNetwork(std::shared_ptr<const Topology> topology,
+                PacketNetParams params);
+
+  /// Injects a transfer; returns its id.  `start` is the virtual time the
+  /// send is posted at the source (may precede already-processed events).
+  int submit(int src, int dst, std::size_t bytes, double start);
+
+  bool idle() const { return events_.empty(); }
+  /// Virtual time of the earliest pending event.  Requires !idle().
+  double next_time() const;
+  /// Processes the earliest pending event.  Requires !idle().
+  void step();
+  /// Runs until no events remain.
+  void drain();
+  /// Runs until `xfer` is delivered.
+  void run_until_delivered(int xfer);
+
+  bool delivered(int xfer) const;
+  /// Virtual time the transfer's last packet cleared the last channel.
+  double delivery_time(int xfer) const;
+  /// Virtual time the source finished injecting (last packet cleared the
+  /// first channel); the source is free to start its next send then.
+  double injection_end(int xfer) const;
+  /// True when any packet of the transfer waited behind another transfer.
+  bool conflicted(int xfer) const;
+  /// Forgets a delivered transfer (its events have all fired).
+  void recycle(int xfer);
+  void set_delivery_handler(DeliveryHandler handler);
+
+  /// Highest number of distinct transfers whose busy windows co-occupied
+  /// one directed channel in virtual time; 1 certifies conflict-freedom.
+  int peak_link_load() const { return peak_link_load_; }
+  /// Cumulative distinct transfer crossings per directed channel.
+  const std::vector<std::uint64_t>& link_transfers() const {
+    return link_transfers_;
+  }
+  /// Cumulative conflicted crossings per directed channel.
+  const std::vector<std::uint64_t>& link_conflicts() const {
+    return link_conflicts_;
+  }
+  std::uint64_t packets_granted() const { return packets_granted_; }
+
+  /// Drops all state (in-flight transfers included) and zeroes the stats.
+  void reset();
+
+  const Topology& topology() const { return *topology_; }
+  const PacketNetParams& params() const { return params_; }
+
+ private:
+  // Event kinds double as same-time ordering ranks: a channel frees before
+  // same-instant requests are examined, so a queued packet is never bypassed.
+  enum : int { kFree = 0, kDeliver = 1, kRequest = 2 };
+
+  struct Event {
+    double time = 0.0;
+    int kind = kRequest;
+    std::uint64_t seq = 0;
+    int link = -1;
+    int xfer = -1;
+    int pkt = 0;
+    int hop = 0;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.kind != b.kind) return a.kind > b.kind;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Waiter {
+    double ready = 0.0;
+    std::uint64_t tie = 0;
+    int xfer = -1;
+    int pkt = 0;
+    int hop = 0;
+  };
+  struct WaiterLater {
+    bool operator()(const Waiter& a, const Waiter& b) const {
+      if (a.ready != b.ready) return a.ready > b.ready;
+      if (a.tie != b.tie) return a.tie > b.tie;
+      return a.pkt > b.pkt;
+    }
+  };
+
+  struct Channel {
+    double busy_until = 0.0;
+    bool free_pending = false;  // a kFree event for this channel is queued
+    std::uint64_t last_serial = 0;  // serial of the last granted transfer
+    // Busy intervals (end time, transfer serial) that may still overlap
+    // future grants in *virtual* time; co-occupancy is measured against
+    // these so the peak is exact even when transfers are submitted out of
+    // processing order (SimFabric serializes whole crossings).  Purged
+    // lazily.
+    std::vector<std::pair<double, std::uint64_t>> recent;
+    std::priority_queue<Waiter, std::vector<Waiter>, WaiterLater> waiters;
+  };
+
+  // Transfer state lives in a pooled slot: submit() reuses a recycled slot
+  // so the steady-state data path allocates nothing — SimFabric rides the
+  // runtime's zero-alloc warm-path contract.
+  // Channels identify transfers by `serial` (monotone, never reused), so a
+  // reused slot id can't alias its predecessor in conflict detection.
+  struct Xfer {
+    int src = -1;
+    int dst = -1;
+    std::size_t bytes = 0;
+    double start = 0.0;
+    double serialization = 0.0;  // per byte
+    std::size_t last_packet_bytes = 0;
+    int packets = 0;
+    int pending = 0;  // packets not yet off the last channel
+    const std::vector<int>* route = nullptr;  // stable storage in routes_
+    std::uint64_t serial = 0;  // 1-based submission number; 0 = free slot
+    std::uint64_t tie = 0;
+    bool delivered = false;
+    bool conflicted = false;
+    double delivery_time = 0.0;
+    double injection_end = 0.0;
+  };
+
+  void push(Event ev);
+  void handle(const Event& ev);
+  void grant(int link, const Waiter& w, double t);
+  const Xfer& xfer_at(int id) const;
+  double packet_seconds(const Xfer& x, int pkt) const;
+
+  std::shared_ptr<const Topology> topology_;
+  PacketNetParams params_;
+  RouteTable routes_;
+  std::vector<Channel> channels_;
+  std::vector<Xfer> xfers_;      // slot pool; id = index
+  std::vector<int> free_slots_;  // recycled slot ids, LIFO
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  DeliveryHandler on_delivery_;
+  std::uint64_t next_serial_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t packets_granted_ = 0;
+  int peak_link_load_ = 0;
+  std::vector<std::uint64_t> link_transfers_;
+  std::vector<std::uint64_t> link_conflicts_;
+};
+
+}  // namespace intercom

@@ -9,9 +9,13 @@
 // simultaneously without penalty").
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "intercom/topo/mesh.hpp"
+#include "intercom/topo/topology.hpp"
 
 namespace intercom {
 
@@ -40,7 +44,23 @@ class LinkLoadTracker {
   int peak_load_ = 0;
 };
 
-/// Dense link indices of the XY route between two nodes.
-std::vector<int> route_links(const Mesh2D& mesh, int src, int dst);
+/// Lazy per-(src, dst) cache over Topology::route.  Both contention engines
+/// and SimFabric resolve routes through one of these, so route computation
+/// lives in exactly one place (the Topology) and repeated pairs — every
+/// collective reuses a handful — cost one lookup.  References returned by
+/// of() stay valid for the table's lifetime.  Not thread-safe.
+class RouteTable {
+ public:
+  explicit RouteTable(std::shared_ptr<const Topology> topology);
+
+  /// The dense directed-channel route src -> dst (empty when src == dst).
+  const std::vector<int>& of(int src, int dst);
+
+  const Topology& topology() const { return *topology_; }
+
+ private:
+  std::shared_ptr<const Topology> topology_;
+  std::unordered_map<std::uint64_t, std::vector<int>> cache_;
+};
 
 }  // namespace intercom

@@ -1,0 +1,66 @@
+// A canonical dragonfly (Kim/Dally/Scott/Abts ISCA'08) with minimal
+// local-global-local routing.
+//
+// Groups of `a` routers, each router with `p` hosts and `h` global channels;
+// the balanced configuration has g = a*h + 1 groups so every pair of groups
+// is joined by exactly one global channel.  Global channel k of group gi
+// (k in [0, a*h)) lands in group (gi + k + 1) mod g on router k / h — the
+// standard consecutive (palmtree) assignment.  Minimal routing is at most
+// five hops: host up, local to the exit router, global, local to the
+// destination router, host down.  With local channels used only before and
+// after the (single) global hop, the channel dependency graph is acyclic and
+// the minimal route is deadlock-free without virtual channels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "intercom/topo/topology.hpp"
+
+namespace intercom {
+
+class Dragonfly final : public Topology {
+ public:
+  /// What a directed channel index decodes to; tests assert the
+  /// local-global-local pattern through this.
+  enum class LinkKind { kHostUp, kHostDown, kLocal, kGlobal };
+
+  /// Constructs the balanced dragonfly: `routers_per_group` routers per
+  /// group, `hosts_per_router` hosts and `global_links_per_router` global
+  /// channels per router, hence routers_per_group * global_links_per_router
+  /// + 1 groups.  Throws ConfigError on non-positive parameters or a host
+  /// count above 2^22.
+  Dragonfly(int routers_per_group, int hosts_per_router,
+            int global_links_per_router);
+
+  int routers_per_group() const { return a_; }
+  int hosts_per_router() const { return p_; }
+  int global_links_per_router() const { return h_; }
+  int groups() const { return g_; }
+
+  int node_count() const override { return g_ * a_ * p_; }
+  int directed_link_count() const override;
+  std::vector<int> route(int src, int dst) const override;
+  std::string name() const override { return "dragonfly"; }
+  std::string label() const override;
+  int min_hops(int src, int dst) const override;
+
+  /// Decodes a directed channel index.
+  LinkKind link_kind(int link) const;
+
+ private:
+  void check_node(int node) const;
+  /// Channel from router `from` to router `to` inside `group` (from != to).
+  int local_index(int group, int from, int to) const;
+  /// Global channel k (in [0, a*h)) leaving `group`.
+  int global_index(int group, int k) const;
+
+  int a_;
+  int p_;
+  int h_;
+  int g_;
+  int local_base_;
+  int global_base_;
+};
+
+}  // namespace intercom

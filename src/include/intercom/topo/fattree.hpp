@@ -1,0 +1,67 @@
+// A k-ary fat-tree with up/down (nearest-common-ancestor) routing.
+//
+// The tree has `levels` switch levels below a single root: level 0 is the
+// root, level levels-1 holds the leaf switches, and arity^levels hosts hang
+// off the leaves.  "Fat" means the channel from a level-l switch up to its
+// parent is really m(l) = arity^(levels-l) parallel channels — full bisection
+// bandwidth, Leiserson's original construction.  Routes climb to the nearest
+// common ancestor and descend; the parallel channel on each hop is chosen
+// D-mod-k style (src mod m going up, dst mod m coming down), the static
+// load-spreading rule used by InfiniBand up*/down* fabrics.  Up/down routing
+// is deadlock-free: every route crosses all its up channels before any down
+// channel, so no cycle can form in the channel dependency graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "intercom/topo/topology.hpp"
+
+namespace intercom {
+
+class FatTree final : public Topology {
+ public:
+  /// What a directed channel index decodes to; tests use this to assert the
+  /// up-before-down property without reimplementing the index math.
+  enum class LinkKind { kHostUp, kHostDown, kUp, kDown };
+
+  /// Constructs an `arity`-ary fat-tree with `levels` switch levels
+  /// (arity^levels hosts).  Throws ConfigError when arity < 2, levels < 1,
+  /// or the host count exceeds 2^22.
+  FatTree(int arity, int levels);
+
+  int arity() const { return arity_; }
+  int levels() const { return levels_; }
+  int node_count() const override { return hosts_; }
+  int directed_link_count() const override { return 2 * hosts_ * levels_; }
+  std::vector<int> route(int src, int dst) const override;
+  std::string name() const override { return "fattree"; }
+  std::string label() const override;
+  int min_hops(int src, int dst) const override;
+
+  /// Multiplicity of the fat channel from a level-l switch to its parent.
+  int multiplicity(int level) const;
+
+  /// Decodes a directed channel index.
+  LinkKind link_kind(int link) const;
+
+ private:
+  void check_node(int node) const;
+  /// Index of the subtree containing `host` among the switches of `level`.
+  int subtree_at(int host, int level) const;
+  /// Channel `slot` of the fat link from switch (level, index) to its parent.
+  int up_index(int level, int index, int slot) const;
+  /// Channel `slot` of the fat link from the parent down into (level, index).
+  int down_index(int level, int index, int slot) const;
+
+  int arity_;
+  int levels_;
+  int hosts_;
+  // pow_[k] == arity^k, k in [0, levels].
+  std::vector<int> pow_;
+  // First channel index of each level's up (resp. down) block, levels 1..L-1.
+  std::vector<int> up_base_;
+  std::vector<int> down_base_;
+};
+
+}  // namespace intercom

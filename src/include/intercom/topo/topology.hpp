@@ -8,13 +8,18 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "intercom/topo/mesh.hpp"
 
 namespace intercom {
 
-/// Interface the worm-hole simulator routes against.
+/// Interface the network simulators route against.  Implementations provide
+/// the node count, the dense directed-channel space, and a deterministic
+/// (oblivious) route per (src, dst) pair; everything above — the fluid and
+/// packet contention engines, SimFabric, the hop-count model — consumes
+/// routes only through this seam.
 class Topology {
  public:
   virtual ~Topology() = default;
@@ -24,6 +29,16 @@ class Topology {
   /// Dense directed-channel indices traversed from src to dst (empty when
   /// src == dst).  Deterministic (oblivious routing).
   virtual std::vector<int> route(int src, int dst) const = 0;
+
+  /// Family name ("mesh", "torus", "hypercube", "fattree", "dragonfly").
+  virtual std::string name() const { return "custom"; }
+  /// Shape-qualified label for reports, e.g. "mesh4x4", "fattree2L3".
+  virtual std::string label() const { return name(); }
+  /// Number of links on a shortest path src -> dst.  The default walks
+  /// route(); topologies with closed forms override it.
+  virtual int min_hops(int src, int dst) const {
+    return static_cast<int>(route(src, dst).size());
+  }
 };
 
 /// Mesh2D as a Topology (XY dimension-order routing).
@@ -36,6 +51,11 @@ class MeshTopology final : public Topology {
     return mesh_.directed_link_count();
   }
   std::vector<int> route(int src, int dst) const override;
+  std::string name() const override { return "mesh"; }
+  std::string label() const override;
+  int min_hops(int src, int dst) const override {
+    return mesh_.distance(src, dst);
+  }
 
   const Mesh2D& mesh() const { return mesh_; }
 
@@ -55,6 +75,9 @@ class Hypercube final : public Topology {
   /// Each node has `dims` outgoing channels (one per dimension).
   int directed_link_count() const override { return node_count() * dims_; }
   std::vector<int> route(int src, int dst) const override;
+  std::string name() const override { return "hypercube"; }
+  std::string label() const override;
+  int min_hops(int src, int dst) const override;
 
   /// The neighbor of `node` across dimension `dim`.
   int neighbor(int node, int dim) const;
@@ -88,6 +111,9 @@ class Torus2D final : public Topology {
   /// along a dimension of extent 1 exist but are never routed over.
   int directed_link_count() const override { return node_count() * 4; }
   std::vector<int> route(int src, int dst) const override;
+  std::string name() const override { return "torus"; }
+  std::string label() const override;
+  int min_hops(int src, int dst) const override;
 
   /// Directed channel index for node's East(0)/West(1)/South(2)/North(3).
   int link_index(int node, int direction) const;
@@ -97,5 +123,38 @@ class Torus2D final : public Topology {
   int rows_;
   int cols_;
 };
+
+/// Declarative topology description: a name-addressable shape that the
+/// fabric registry (and config files) can carry without constructing the
+/// topology yet.  `make_topology` validates and instantiates it.
+struct TopologySpec {
+  enum class Kind { kMesh, kTorus, kHypercube, kFatTree, kDragonfly };
+
+  Kind kind = Kind::kMesh;
+  // kMesh / kTorus shape.
+  int rows = 1;
+  int cols = 1;
+  // kHypercube shape.
+  int dims = 0;
+  // kFatTree shape: `arity`-ary tree of `levels` switch levels.
+  int arity = 2;
+  int levels = 1;
+  // kDragonfly shape: `routers_per_group` routers with `hosts_per_router`
+  // hosts and `global_links_per_router` global channels each.
+  int routers_per_group = 1;
+  int hosts_per_router = 1;
+  int global_links_per_router = 1;
+
+  static TopologySpec mesh(int rows, int cols);
+  static TopologySpec torus(int rows, int cols);
+  static TopologySpec hypercube(int dims);
+  static TopologySpec fat_tree(int arity, int levels);
+  static TopologySpec dragonfly(int routers_per_group, int hosts_per_router,
+                                int global_links_per_router);
+};
+
+/// Instantiates the described topology.  Throws ConfigError for shapes
+/// outside the documented domain (non-positive extents, absurd sizes).
+std::shared_ptr<const Topology> make_topology(const TopologySpec& spec);
 
 }  // namespace intercom

@@ -56,6 +56,15 @@ class RevokedError : public Error {
   explicit RevokedError(const std::string& what) : Error(what) {}
 };
 
+/// A configuration value is out of its documented domain (simulator params,
+/// fabric specs, topology shapes).  Thrown at construction time, before any
+/// machine state exists, so callers can distinguish "you asked for something
+/// impossible" from runtime faults.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 /// Throws intercom::Error with a formatted location-tagged message.
 [[noreturn]] void throw_error(const char* file, int line, const char* expr,

@@ -1,0 +1,67 @@
+#include "intercom/model/hops.hpp"
+
+#include <algorithm>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+
+// splitmix64: tiny, seedable, and good enough for pair sampling.  Not
+// std::mt19937 so the sampled statistic is identical across standard
+// libraries.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HopStats hop_stats(const Topology& topology, std::uint64_t max_exact_pairs,
+                   std::uint64_t sample_pairs, std::uint64_t seed) {
+  const auto n = static_cast<std::uint64_t>(topology.node_count());
+  HopStats stats;
+  if (n < 2) {
+    stats.exact = true;
+    return stats;
+  }
+  const std::uint64_t total_pairs = n * (n - 1);
+  std::uint64_t hop_sum = 0;
+  if (total_pairs <= max_exact_pairs) {
+    for (std::uint64_t src = 0; src < n; ++src) {
+      for (std::uint64_t dst = 0; dst < n; ++dst) {
+        if (src == dst) continue;
+        const int hops = topology.min_hops(static_cast<int>(src),
+                                           static_cast<int>(dst));
+        stats.diameter = std::max(stats.diameter, hops);
+        hop_sum += static_cast<std::uint64_t>(hops);
+      }
+    }
+    stats.pairs = total_pairs;
+    stats.exact = true;
+  } else {
+    if (sample_pairs == 0) {
+      throw ConfigError("hop_stats: sample_pairs must be positive");
+    }
+    std::uint64_t state = seed;
+    for (std::uint64_t i = 0; i < sample_pairs; ++i) {
+      const auto src = static_cast<int>(mix64(state++) % n);
+      // Skip-self encoding keeps the draw uniform over the n-1 others.
+      auto dst = static_cast<int>(mix64(state++) % (n - 1));
+      if (dst >= src) ++dst;
+      const int hops = topology.min_hops(src, dst);
+      stats.diameter = std::max(stats.diameter, hops);
+      hop_sum += static_cast<std::uint64_t>(hops);
+    }
+    stats.pairs = sample_pairs;
+    stats.exact = false;
+  }
+  stats.mean_hops =
+      static_cast<double>(hop_sum) / static_cast<double>(stats.pairs);
+  return stats;
+}
+
+}  // namespace intercom

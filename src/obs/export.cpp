@@ -137,7 +137,11 @@ void write_args(const Tracer& tracer, const TraceEvent& e, std::ostream& os) {
 
 void export_chrome_trace(const Tracer& tracer, std::ostream& os) {
   os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"fabric\":\""
-     << json_escape(tracer.fabric()) << "\"},\"traceEvents\":[";
+     << json_escape(tracer.fabric()) << '"';
+  if (!tracer.topology().empty()) {
+    os << ",\"topology\":\"" << json_escape(tracer.topology()) << '"';
+  }
+  os << "},\"traceEvents\":[";
   bool first = true;
   for (int node = 0; node < tracer.node_count(); ++node) {
     if (!first) os << ',';

@@ -12,12 +12,13 @@ namespace intercom {
 namespace {
 
 // Shape key: one report row per (collective, algorithm, elems, bytes,
-// fabric).  The fabric lives in the key so traces from different delivery
-// backends never aggregate into one row — "identical bytes, different
-// machine" is exactly the distinction the sim-fabric comparison exists to
-// surface.
+// fabric, topology).  The fabric lives in the key so traces from different
+// delivery backends never aggregate into one row — "identical bytes,
+// different machine" is exactly the distinction the sim-fabric comparison
+// exists to surface.  The topology label keeps the same workload on, say, a
+// mesh and a fat-tree in distinct rows for the same reason.
 using ShapeKey = std::tuple<std::string, std::string, std::size_t,
-                            std::size_t, std::string>;
+                            std::size_t, std::string, std::string>;
 
 struct Instance {
   std::uint64_t max_duration_ns = 0;  // max over nodes = critical node
@@ -40,7 +41,8 @@ void collect(const Tracer& tracer, std::map<ShapeKey, ShapeAgg>& shapes) {
       const ShapeKey key{tracer.label_text(e.label),
                          tracer.label_text(e.label2),
                          static_cast<std::size_t>(e.a0),
-                         static_cast<std::size_t>(e.bytes), tracer.fabric()};
+                         static_cast<std::size_t>(e.bytes), tracer.fabric(),
+                         tracer.topology()};
       Instance& inst = shapes[key].instances[e.ctx];
       const std::uint64_t duration = e.end_ns - e.start_ns;
       inst.max_duration_ns = std::max(inst.max_duration_ns, duration);
@@ -58,8 +60,8 @@ std::vector<ModelVsMeasuredRow> rows_of(
   rows.reserve(shapes.size());
   for (const auto& [key, agg] : shapes) {
     ModelVsMeasuredRow row;
-    std::tie(row.collective, row.algorithm, row.elems, row.bytes,
-             row.fabric) = key;
+    std::tie(row.collective, row.algorithm, row.elems, row.bytes, row.fabric,
+             row.topology) = key;
     std::uint64_t total_ns = 0, max_ns = 0, predicted_ns = 0;
     for (const auto& [ctx, inst] : agg.instances) {
       ++row.calls;
@@ -81,8 +83,10 @@ std::vector<ModelVsMeasuredRow> rows_of(
   }
   std::sort(rows.begin(), rows.end(),
             [](const ModelVsMeasuredRow& a, const ModelVsMeasuredRow& b) {
-              return std::tie(a.collective, a.elems, a.algorithm, a.fabric) <
-                     std::tie(b.collective, b.elems, b.algorithm, b.fabric);
+              return std::tie(a.collective, a.elems, a.algorithm, a.fabric,
+                              a.topology) <
+                     std::tie(b.collective, b.elems, b.algorithm, b.fabric,
+                              b.topology);
             });
   return rows;
 }
@@ -112,8 +116,8 @@ void render_model_vs_measured(const std::vector<ModelVsMeasuredRow>& rows,
     os << "(no collective spans in trace)\n";
     return;
   }
-  TextTable table({"collective", "algorithm", "fabric", "elems", "bytes",
-                   "calls", "cached", "async", "errors", "predicted",
+  TextTable table({"collective", "algorithm", "fabric", "topology", "elems",
+                   "bytes", "calls", "cached", "async", "errors", "predicted",
                    "measured", "worst", "meas/pred"});
   for (const ModelVsMeasuredRow& row : rows) {
     std::ostringstream ratio;
@@ -124,6 +128,7 @@ void render_model_vs_measured(const std::vector<ModelVsMeasuredRow>& rows,
       ratio << "-";
     }
     table.add_row({row.collective, row.algorithm, row.fabric,
+                   row.topology.empty() ? "-" : row.topology,
                    std::to_string(row.elems), format_bytes(row.bytes),
                    std::to_string(row.calls), std::to_string(row.cache_hits),
                    std::to_string(row.async_calls), std::to_string(row.errors),

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "intercom/runtime/communicator.hpp"
+#include "intercom/runtime/sim_fabric.hpp"
 #include "intercom/util/error.hpp"
 
 namespace intercom {
@@ -21,6 +22,9 @@ Multicomputer::Multicomputer(Mesh2D mesh, MachineParams params,
       tracer_(mesh.node_count()),
       health_(mesh.node_count()) {
   tracer_.set_fabric(std::string(transport_.fabric_name()));
+  if (const auto* sim = dynamic_cast<const SimFabric*>(&transport_.fabric())) {
+    tracer_.set_topology(sim->topology().label());
+  }
   transport_.set_tracer(&tracer_);
   transport_.set_metrics(&metrics_);
   health_.configure(HealthConfig::defaults_for(transport_.fabric_name()));

@@ -8,25 +8,70 @@
 
 namespace intercom {
 
-SimFabric::SimFabric(const Mesh2D& mesh, const SimFabricConfig& config)
-    : InProcFabric(mesh.node_count()),
-      mesh_(mesh),
-      config_(config),
-      loads_(mesh),
-      link_transfers_(static_cast<std::size_t>(mesh.directed_link_count()), 0),
-      link_conflicts_(static_cast<std::size_t>(mesh.directed_link_count()),
-                      0) {
-  INTERCOM_REQUIRE(config_.chunks >= 1, "sim fabric needs at least one chunk");
-  const int n = mesh_.node_count();
-  routes_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
-  for (int src = 0; src < n; ++src) {
-    for (int dst = 0; dst < n; ++dst) {
-      if (src == dst) continue;
-      routes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
-              static_cast<std::size_t>(dst)] = route_links(mesh_, src, dst);
-    }
+namespace {
+
+int checked_node_count(const std::shared_ptr<const Topology>& topology) {
+  INTERCOM_REQUIRE(topology != nullptr, "topology must not be null");
+  return topology->node_count();
+}
+
+std::shared_ptr<const Topology> resolve_topology(const Mesh2D& mesh,
+                                                 const SimFabricConfig& cfg) {
+  if (!cfg.topology.has_value()) {
+    return std::make_shared<MeshTopology>(mesh);
+  }
+  std::shared_ptr<const Topology> topo = make_topology(*cfg.topology);
+  if (topo->node_count() != mesh.node_count()) {
+    throw ConfigError("sim fabric: topology " + topo->label() + " has " +
+                      std::to_string(topo->node_count()) +
+                      " nodes but the machine has " +
+                      std::to_string(mesh.node_count()));
+  }
+  return topo;
+}
+
+}  // namespace
+
+void SimFabric::validate() const {
+  if (config_.chunks <= 0) {
+    throw ConfigError("sim fabric: chunks must be positive");
+  }
+  if (config_.min_chunk_bytes == 0) {
+    throw ConfigError("sim fabric: min_chunk_bytes must be positive");
+  }
+  if (config_.time_scale < 0.0) {
+    throw ConfigError("sim fabric: time_scale must be nonnegative");
+  }
+  if (config_.packet_bytes == 0) {
+    throw ConfigError("sim fabric: packet_bytes must be positive");
   }
 }
+
+SimFabric::SimFabric(std::shared_ptr<const Topology> topology,
+                     const SimFabricConfig& config)
+    : InProcFabric(checked_node_count(topology)),
+      topology_(std::move(topology)),
+      config_(config),
+      loads_(0) {
+  validate();
+  const auto links = static_cast<std::size_t>(topology_->directed_link_count());
+  if (config_.engine == SimEngine::kPacket) {
+    PacketNetParams net;
+    net.machine = config_.machine;
+    net.packet_bytes = config_.packet_bytes;
+    net.seed = config_.seed;
+    net_ = std::make_unique<PacketNetwork>(topology_, std::move(net));
+    node_clock_.assign(static_cast<std::size_t>(topology_->node_count()), 0.0);
+  } else {
+    routes_ = std::make_unique<RouteTable>(topology_);
+    loads_ = LinkLoadTracker(topology_->directed_link_count());
+    link_transfers_.assign(links, 0);
+    link_conflicts_.assign(links, 0);
+  }
+}
+
+SimFabric::SimFabric(const Mesh2D& mesh, const SimFabricConfig& config)
+    : SimFabric(resolve_topology(mesh, config), config) {}
 
 void SimFabric::pace(std::chrono::steady_clock::time_point start,
                      double modeled_seconds) const {
@@ -46,20 +91,72 @@ void SimFabric::pace(std::chrono::steady_clock::time_point start,
 }
 
 void SimFabric::carry(int src, int dst, std::size_t bytes) {
-  const std::vector<int>& links =
-      routes_[static_cast<std::size_t>(src) *
-                  static_cast<std::size_t>(mesh_.node_count()) +
-              static_cast<std::size_t>(dst)];
-  const MachineParams& m = config_.machine;
   const auto wall_start = std::chrono::steady_clock::now();
-  // Startup: protocol-aware alpha plus the per-hop wormhole header latency.
-  double modeled =
-      m.alpha_for(bytes) + m.tau_per_hop * static_cast<double>(links.size());
+  if (net_ != nullptr) {
+    carry_event(src, dst, bytes, wall_start);
+  } else {
+    carry_fluid(src, dst, bytes, wall_start);
+  }
+}
+
+// Event engine: inject the crossing at the source's causal clock, run the
+// network until it is delivered, and merge the delivery time into the
+// destination's clock.  Whole crossings are simulated back to back under the
+// engine mutex; contention shows up through the channels' persistent
+// busy-until horizons (a racing crossing whose virtual window overlaps a
+// prior one queues behind it), resolved in arrival order.  For conflict-free
+// schedules every time below is a pure function of the per-node clocks, so
+// results are bit-identical regardless of thread interleaving.
+void SimFabric::carry_event(int src, int dst, std::size_t bytes,
+                            std::chrono::steady_clock::time_point wall_start) {
+  double modeled = 0.0;
   bool conflicted = false;
   {
-    std::lock_guard<std::mutex> lock(link_mutex_);
-    loads_.add(links);
-    for (int link : links) {
+    std::lock_guard<std::mutex> lock(engine_mutex_);
+    const double start = node_clock_[static_cast<std::size_t>(src)];
+    const int id = net_->submit(src, dst, bytes, start);
+    net_->run_until_delivered(id);
+    const double delivery = net_->delivery_time(id);
+    const double injected = net_->injection_end(id);
+    conflicted = net_->conflicted(id);
+    net_->recycle(id);
+    // The source is busy until its last packet cleared the first channel;
+    // the destination cannot have seen the payload before delivery.  Both
+    // merges are maxima, hence commutative across crossings.
+    node_clock_[static_cast<std::size_t>(src)] =
+        std::max(node_clock_[static_cast<std::size_t>(src)], injected);
+    node_clock_[static_cast<std::size_t>(dst)] =
+        std::max(node_clock_[static_cast<std::size_t>(dst)], delivery);
+    max_clock_ = std::max(max_clock_, delivery);
+    modeled = delivery - start;
+  }
+  pace(wall_start, modeled);
+  transfers_.fetch_add(1, std::memory_order_relaxed);
+  if (conflicted) conflicted_transfers_.fetch_add(1, std::memory_order_relaxed);
+  bytes_carried_.fetch_add(bytes, std::memory_order_relaxed);
+  virtual_ns_.fetch_add(static_cast<std::uint64_t>(modeled * 1e9),
+                        std::memory_order_relaxed);
+}
+
+// Fluid engine: occupy the route in the load tracker for the crossing's
+// real-time duration, re-sampling the sharing factor per chunk (the fluid
+// simulator's rate recompute, discretised).
+void SimFabric::carry_fluid(int src, int dst, std::size_t bytes,
+                            std::chrono::steady_clock::time_point wall_start) {
+  const MachineParams& m = config_.machine;
+  bool conflicted = false;
+  double modeled = 0.0;
+  const std::vector<int>* links = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(engine_mutex_);
+    // Route references stay valid after unlock (RouteTable storage is
+    // node-stable); lookups and inserts stay under the engine mutex.
+    links = &routes_->of(src, dst);
+    // Startup: protocol-aware alpha plus the per-hop wormhole header latency.
+    modeled = m.alpha_for(bytes) +
+              m.tau_per_hop * static_cast<double>(links->size());
+    loads_.add(*links);
+    for (int link : *links) {
       ++link_transfers_[static_cast<std::size_t>(link)];
       if (loads_.load(link) > 1) {
         ++link_conflicts_[static_cast<std::size_t>(link)];
@@ -69,11 +166,9 @@ void SimFabric::carry(int src, int dst, std::size_t bytes) {
   }
   pace(wall_start, modeled);
   // Drain: n * beta * s, with the sharing factor re-sampled per chunk so a
-  // conflicting flow arriving mid-transfer slows the remainder (the fluid
-  // simulator's rate recompute, discretised).
+  // conflicting flow arriving mid-transfer slows the remainder.
   if (bytes > 0) {
-    const int chunks =
-        bytes > config_.min_chunk_bytes ? config_.chunks : 1;
+    const int chunks = bytes > config_.min_chunk_bytes ? config_.chunks : 1;
     const double beta = m.beta_for(bytes);
     std::size_t sent = 0;
     for (int c = 0; c < chunks; ++c) {
@@ -82,8 +177,8 @@ void SimFabric::carry(int src, int dst, std::size_t bytes) {
                                     : bytes / static_cast<std::size_t>(chunks);
       double sharing;
       {
-        std::lock_guard<std::mutex> lock(link_mutex_);
-        sharing = loads_.sharing(links, m.link_capacity);
+        std::lock_guard<std::mutex> lock(engine_mutex_);
+        sharing = loads_.sharing(*links, m.link_capacity);
       }
       if (sharing > 1.0) conflicted = true;
       const double dt = static_cast<double>(chunk) * beta * sharing;
@@ -93,8 +188,8 @@ void SimFabric::carry(int src, int dst, std::size_t bytes) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(link_mutex_);
-    loads_.remove(links);
+    std::lock_guard<std::mutex> lock(engine_mutex_);
+    loads_.remove(*links);
   }
   transfers_.fetch_add(1, std::memory_order_relaxed);
   if (conflicted) conflicted_transfers_.fetch_add(1, std::memory_order_relaxed);
@@ -105,10 +200,16 @@ void SimFabric::carry(int src, int dst, std::size_t bytes) {
 
 void SimFabric::reset() {
   InProcFabric::reset();
-  std::lock_guard<std::mutex> lock(link_mutex_);
-  loads_ = LinkLoadTracker(mesh_);
-  std::fill(link_transfers_.begin(), link_transfers_.end(), 0u);
-  std::fill(link_conflicts_.begin(), link_conflicts_.end(), 0u);
+  std::lock_guard<std::mutex> lock(engine_mutex_);
+  if (net_ != nullptr) {
+    net_->reset();
+    std::fill(node_clock_.begin(), node_clock_.end(), 0.0);
+    max_clock_ = 0.0;
+  } else {
+    loads_ = LinkLoadTracker(topology_->directed_link_count());
+    std::fill(link_transfers_.begin(), link_transfers_.end(), 0u);
+    std::fill(link_conflicts_.begin(), link_conflicts_.end(), 0u);
+  }
   transfers_.store(0, std::memory_order_relaxed);
   conflicted_transfers_.store(0, std::memory_order_relaxed);
   bytes_carried_.store(0, std::memory_order_relaxed);
@@ -122,10 +223,17 @@ SimFabric::Stats SimFabric::stats() const {
       conflicted_transfers_.load(std::memory_order_relaxed);
   s.bytes = bytes_carried_.load(std::memory_order_relaxed);
   s.virtual_ns = virtual_ns_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(link_mutex_);
-  s.peak_link_load = loads_.peak_load();
-  s.link_transfers = link_transfers_;
-  s.link_conflicts = link_conflicts_;
+  std::lock_guard<std::mutex> lock(engine_mutex_);
+  if (net_ != nullptr) {
+    s.virtual_clock_s = max_clock_;
+    s.peak_link_load = net_->peak_link_load();
+    s.link_transfers = net_->link_transfers();
+    s.link_conflicts = net_->link_conflicts();
+  } else {
+    s.peak_link_load = loads_.peak_load();
+    s.link_transfers = link_transfers_;
+    s.link_conflicts = link_conflicts_;
+  }
   return s;
 }
 

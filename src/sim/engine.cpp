@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <queue>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
 
+#include "intercom/sim/event_engine.hpp"
 #include "intercom/sim/network.hpp"
 #include "intercom/topo/topology.hpp"
 #include "intercom/util/error.hpp"
@@ -84,13 +86,24 @@ struct EventLater {
 
 class Engine {
  public:
-  Engine(const Topology& topology, const SimParams& params,
+  Engine(std::shared_ptr<const Topology> topology, const SimParams& params,
          const Schedule& schedule)
-      : topology_(topology),
+      : topology_(*topology),
         params_(params),
         schedule_(schedule),
-        loads_(topology.directed_link_count()),
-        rng_(params.jitter_seed) {}
+        loads_(topology->directed_link_count()),
+        rng_(params.jitter_seed) {
+    if (params_.engine == SimEngine::kPacket) {
+      PacketNetParams net;
+      net.machine = params_.machine;
+      net.packet_bytes = params_.packet_bytes;
+      net.seed = params_.tie_seed;
+      net_ = std::make_unique<PacketNetwork>(std::move(topology),
+                                             std::move(net));
+      net_->set_delivery_handler(
+          [this](int xfer, double time) { finish_packet_flow(xfer, time); });
+    }
+  }
 
   SimResult run() {
     for (const auto& prog : schedule_.programs()) {
@@ -103,8 +116,19 @@ class Engine {
       (void)state;
       progress(node, 0.0);
     }
-    while (!events_.empty()) {
-      const double t = events_.top().time;
+    // Two event sources share the virtual clock: the node/flow queue and
+    // (packet mode) the network.  The earlier timestamp advances; schedule
+    // events win exact ties so same-instant stage batches stay batched.
+    constexpr double kNever = std::numeric_limits<double>::infinity();
+    while (!events_.empty() || (net_ != nullptr && !net_->idle())) {
+      const double tn =
+          net_ != nullptr && !net_->idle() ? net_->next_time() : kNever;
+      const double ts = events_.empty() ? kNever : events_.top().time;
+      if (tn < ts) {
+        net_->step();
+        continue;
+      }
+      const double t = ts;
       advance_flows(t);
       // Drain every event scheduled for this instant before recomputing
       // rates once; synchronized stages (e.g. ring steps) produce large
@@ -127,7 +151,8 @@ class Engine {
     SimResult result;
     result.seconds = finish_time_ + schedule_.levels() *
                                         params_.machine.per_level_overhead;
-    result.peak_link_load = loads_.peak_load();
+    result.peak_link_load =
+        net_ != nullptr ? net_->peak_link_load() : loads_.peak_load();
     result.transfers = transfer_count_;
     result.bytes_moved = bytes_moved_;
     result.trace = std::move(trace_);
@@ -259,23 +284,56 @@ class Engine {
     Flow f;
     f.src = a;
     f.dst = b;
-    f.links = topology_.route(a, b);
     f.remaining = static_cast<double>(bytes);
     f.beta = params_.machine.beta_for(bytes);
     f.bytes = bytes;
     f.posted = t;
-    // Protocol-aware startup plus the per-hop worm-hole header latency.
-    double startup = params_.machine.alpha_for(bytes) +
-                     params_.machine.tau_per_hop *
-                         static_cast<double>(f.links.size());
-    flows_.push_back(std::move(f));
     ++transfer_count_;
     bytes_moved_ += bytes;
-    if (params_.jitter_mean > 0.0) {
-      startup += rng_.next_exponential(params_.jitter_mean);
+    const double jitter = params_.jitter_mean > 0.0
+                              ? rng_.next_exponential(params_.jitter_mean)
+                              : 0.0;
+    if (net_ != nullptr) {
+      // Packet mode: the network charges alpha and the per-hop latency
+      // itself; jitter shifts the posting instant.
+      f.data_start = t + jitter + params_.machine.alpha_for(bytes);
+      flows_.push_back(std::move(f));
+      const int xfer = net_->submit(a, b, bytes, t + jitter);
+      net_flow_.emplace(xfer, flows_.size() - 1);
+      return;
     }
+    f.links = topology_.route(a, b);
+    // Protocol-aware startup plus the per-hop worm-hole header latency.
+    const double startup = params_.machine.alpha_for(bytes) +
+                           params_.machine.tau_per_hop *
+                               static_cast<double>(f.links.size()) +
+                           jitter;
+    flows_.push_back(std::move(f));
     push(Event{t + startup, 0, EventKind::kDataStart, flows_.size() - 1, 0,
                -1});
+  }
+
+  // Packet-mode flow completion: the network delivered transfer `xfer` at
+  // virtual time `t`.
+  void finish_packet_flow(int xfer, double t) {
+    const auto it = net_flow_.find(xfer);
+    INTERCOM_CHECK(it != net_flow_.end());
+    const std::size_t index = it->second;
+    net_flow_.erase(it);
+    net_->recycle(xfer);
+    Flow& f = flows_[index];
+    f.done = true;
+    finish_time_ = std::max(finish_time_, t);
+    if (params_.record_trace) {
+      trace_.push_back(
+          TransferRecord{f.src, f.dst, f.bytes, f.posted, f.data_start, t});
+    }
+    // Copy the endpoints: completing a half can create new flows, which
+    // reallocates flows_ and would dangle `f`.
+    const int src = f.src;
+    const int dst = f.dst;
+    complete_half(src, /*send=*/true, t);
+    complete_half(dst, /*send=*/false, t);
   }
 
   // Integrates every active flow's drained bytes up to time t.
@@ -322,6 +380,8 @@ class Engine {
   std::unordered_map<int, PendingHalf> pending_recv_;
   std::vector<Flow> flows_;
   LinkLoadTracker loads_;
+  std::unique_ptr<PacketNetwork> net_;
+  std::unordered_map<int, std::size_t> net_flow_;
   Rng rng_;
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   std::uint64_t seq_ = 0;
@@ -339,13 +399,19 @@ WormholeSimulator::WormholeSimulator(std::shared_ptr<const Topology> topology,
                                      SimParams params)
     : topology_(std::move(topology)), params_(params) {
   INTERCOM_REQUIRE(topology_ != nullptr, "topology must not be null");
+  if (params_.packet_bytes == 0) {
+    throw ConfigError("sim params: packet_bytes must be positive");
+  }
+  if (params_.jitter_mean < 0.0) {
+    throw ConfigError("sim params: jitter_mean must be nonnegative");
+  }
 }
 
 WormholeSimulator::WormholeSimulator(Mesh2D mesh, SimParams params)
     : WormholeSimulator(std::make_shared<MeshTopology>(mesh), params) {}
 
 SimResult WormholeSimulator::run(const Schedule& schedule) const {
-  Engine engine(*topology_, params_, schedule);
+  Engine engine(topology_, params_, schedule);
   return engine.run();
 }
 

@@ -1,0 +1,257 @@
+#include "intercom/sim/event_engine.hpp"
+
+#include <algorithm>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+// splitmix64: mixes (seed, transfer id) into the wait-queue tie-break key.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+PacketNetwork::PacketNetwork(std::shared_ptr<const Topology> topology,
+                             PacketNetParams params)
+    : topology_(std::move(topology)), params_(params), routes_(topology_) {
+  INTERCOM_REQUIRE(topology_ != nullptr, "topology must not be null");
+  if (params_.packet_bytes == 0) {
+    throw ConfigError("packet network: packet_bytes must be positive");
+  }
+  const auto links = static_cast<std::size_t>(topology_->directed_link_count());
+  channels_.resize(links);
+  link_transfers_.assign(links, 0);
+  link_conflicts_.assign(links, 0);
+}
+
+double PacketNetwork::packet_seconds(const Xfer& x, int pkt) const {
+  const std::size_t payload =
+      pkt + 1 == x.packets ? x.last_packet_bytes : params_.packet_bytes;
+  return static_cast<double>(payload) * x.serialization;
+}
+
+int PacketNetwork::submit(int src, int dst, std::size_t bytes, double start) {
+  const int n = topology_->node_count();
+  INTERCOM_REQUIRE(src >= 0 && src < n && dst >= 0 && dst < n,
+                   "transfer endpoint outside the topology");
+  // Reuse a recycled slot; grow only when all slots are live, so
+  // steady-state traffic never touches the heap.
+  int id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = static_cast<int>(xfers_.size());
+    xfers_.emplace_back();
+  }
+  Xfer& x = xfers_[static_cast<std::size_t>(id)];
+  x.src = src;
+  x.dst = dst;
+  x.bytes = bytes;
+  x.start = start;
+  x.route = &routes_.of(src, dst);
+  x.serial = ++next_serial_;
+  x.tie = mix64(params_.seed ^ (x.serial << 1));
+  const std::size_t per = params_.packet_bytes;
+  x.packets = bytes == 0 ? 1 : static_cast<int>((bytes + per - 1) / per);
+  x.last_packet_bytes =
+      bytes == 0 ? 0 : bytes - per * static_cast<std::size_t>(x.packets - 1);
+  x.serialization = params_.machine.beta_for(bytes);
+  x.pending = x.packets;
+  x.delivered = false;
+  x.conflicted = false;
+  x.delivery_time = 0.0;
+  x.injection_end = 0.0;
+  const double alpha = params_.machine.alpha_for(bytes);
+  const double tau = params_.machine.tau_per_hop;
+  if (x.route->empty()) {
+    // Self-transfer (or degenerate route): pure startup, no channels.
+    x.pending = 1;
+    push(Event{start + alpha, kDeliver, 0, -1, id, 0, 0});
+    return id;
+  }
+  // Every packet becomes ready on the first channel once the header falls
+  // through to it; the channel itself serializes them in packet order.
+  const double ready = start + alpha + tau;
+  for (int pkt = 0; pkt < x.packets; ++pkt) {
+    push(Event{ready, kRequest, 0, (*x.route)[0], id, pkt, 0});
+  }
+  return id;
+}
+
+void PacketNetwork::push(Event ev) {
+  ev.seq = ++next_seq_;
+  events_.push(ev);
+}
+
+double PacketNetwork::next_time() const {
+  INTERCOM_CHECK(!events_.empty());
+  return events_.top().time;
+}
+
+void PacketNetwork::step() {
+  INTERCOM_CHECK(!events_.empty());
+  const Event ev = events_.top();
+  events_.pop();
+  handle(ev);
+}
+
+void PacketNetwork::drain() {
+  while (!events_.empty()) step();
+}
+
+void PacketNetwork::run_until_delivered(int xfer) {
+  while (!delivered(xfer)) {
+    INTERCOM_CHECK(!events_.empty());
+    step();
+  }
+}
+
+void PacketNetwork::handle(const Event& ev) {
+  switch (ev.kind) {
+    case kRequest: {
+      Channel& ch = channels_[static_cast<std::size_t>(ev.link)];
+      Xfer& x = xfers_[static_cast<std::size_t>(ev.xfer)];
+      // Packet 0 is granted first on every hop of its transfer (the wait
+      // queue breaks same-transfer ties by packet index), so its request
+      // marks the transfer's one crossing of this channel.
+      if (ev.pkt == 0) {
+        ++link_transfers_[static_cast<std::size_t>(ev.link)];
+      }
+      const Waiter w{ev.time, x.tie, ev.xfer, ev.pkt, ev.hop};
+      // No free event in flight means the waiter queue is empty (the last
+      // free drained it), so the packet starts as soon as the channel's busy
+      // horizon allows — which may be later than now when the submission's
+      // start time lay in the processed past.
+      if (!ch.free_pending) {
+        grant(ev.link, w, std::max(ev.time, ch.busy_until));
+      } else {
+        ch.waiters.push(w);
+      }
+      break;
+    }
+    case kFree: {
+      Channel& ch = channels_[static_cast<std::size_t>(ev.link)];
+      ch.free_pending = false;
+      if (!ch.waiters.empty()) {
+        const Waiter w = ch.waiters.top();
+        ch.waiters.pop();
+        grant(ev.link, w, std::max(ev.time, w.ready));
+      }
+      break;
+    }
+    case kDeliver: {
+      Xfer& x = xfers_[static_cast<std::size_t>(ev.xfer)];
+      if (--x.pending == 0) {
+        x.delivered = true;
+        x.delivery_time = ev.time;
+        if (on_delivery_) on_delivery_(ev.xfer, ev.time);
+      }
+      break;
+    }
+  }
+}
+
+void PacketNetwork::grant(int link, const Waiter& w, double t) {
+  Channel& ch = channels_[static_cast<std::size_t>(link)];
+  Xfer& x = xfers_[static_cast<std::size_t>(w.xfer)];
+  if (t > w.ready && ch.last_serial != x.serial && ch.last_serial != 0) {
+    x.conflicted = true;
+    ++link_conflicts_[static_cast<std::size_t>(link)];
+  }
+  ch.last_serial = x.serial;
+  ++packets_granted_;
+  const double ser = packet_seconds(x, w.pkt);
+  const double free_at = t + ser;
+  // Virtual-time co-occupancy: drop busy windows that ended before this
+  // packet wanted the channel; one window per transfer, extended as its
+  // packets stream through, so the entry count is the distinct-transfer
+  // occupancy.
+  std::erase_if(ch.recent,
+                [&](const auto& iv) { return iv.first <= w.ready; });
+  bool extended = false;
+  for (auto& iv : ch.recent) {
+    if (iv.second == x.serial) {
+      iv.first = std::max(iv.first, free_at);
+      extended = true;
+      break;
+    }
+  }
+  if (!extended) ch.recent.emplace_back(free_at, x.serial);
+  peak_link_load_ =
+      std::max(peak_link_load_, static_cast<int>(ch.recent.size()));
+  ch.busy_until = free_at;
+  ch.free_pending = true;
+  push(Event{free_at, kFree, 0, link, w.xfer, w.pkt, w.hop});
+  if (w.hop == 0) {
+    x.injection_end = std::max(x.injection_end, free_at);
+  }
+  if (static_cast<std::size_t>(w.hop) + 1 == x.route->size()) {
+    push(Event{free_at, kDeliver, 0, -1, w.xfer, w.pkt, 0});
+  } else {
+    // Cut-through: the head moves on one hop latency after the grant.
+    push(Event{t + params_.machine.tau_per_hop, kRequest, 0,
+               (*x.route)[static_cast<std::size_t>(w.hop) + 1], w.xfer, w.pkt,
+               w.hop + 1});
+  }
+}
+
+const PacketNetwork::Xfer& PacketNetwork::xfer_at(int id) const {
+  INTERCOM_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < xfers_.size() &&
+                       xfers_[static_cast<std::size_t>(id)].serial != 0,
+                   "unknown transfer id");
+  return xfers_[static_cast<std::size_t>(id)];
+}
+
+bool PacketNetwork::delivered(int xfer) const {
+  return xfer_at(xfer).delivered;
+}
+
+double PacketNetwork::delivery_time(int xfer) const {
+  const Xfer& x = xfer_at(xfer);
+  INTERCOM_REQUIRE(x.delivered, "transfer not yet delivered");
+  return x.delivery_time;
+}
+
+double PacketNetwork::injection_end(int xfer) const {
+  const Xfer& x = xfer_at(xfer);
+  INTERCOM_REQUIRE(x.delivered, "transfer not yet delivered");
+  // A self-transfer never occupies a channel; injection ends at delivery.
+  return x.route->empty() ? x.delivery_time : x.injection_end;
+}
+
+bool PacketNetwork::conflicted(int xfer) const {
+  return xfer_at(xfer).conflicted;
+}
+
+void PacketNetwork::recycle(int xfer) {
+  const Xfer& x = xfer_at(xfer);
+  INTERCOM_REQUIRE(x.delivered, "only delivered transfers can be recycled");
+  xfers_[static_cast<std::size_t>(xfer)].serial = 0;
+  free_slots_.push_back(xfer);
+}
+
+void PacketNetwork::set_delivery_handler(DeliveryHandler handler) {
+  on_delivery_ = std::move(handler);
+}
+
+void PacketNetwork::reset() {
+  const auto links = channels_.size();
+  channels_.assign(links, Channel{});
+  xfers_.clear();
+  free_slots_.clear();
+  events_ = {};
+  next_serial_ = 0;
+  next_seq_ = 0;
+  packets_granted_ = 0;
+  peak_link_load_ = 0;
+  link_transfers_.assign(links, 0);
+  link_conflicts_.assign(links, 0);
+}
+
+}  // namespace intercom

@@ -48,12 +48,20 @@ int LinkLoadTracker::load(int link_index) const {
   return load_[static_cast<std::size_t>(link_index)];
 }
 
-std::vector<int> route_links(const Mesh2D& mesh, int src, int dst) {
-  std::vector<int> ids;
-  for (const Link& link : mesh.route(src, dst)) {
-    ids.push_back(mesh.link_index(link));
+RouteTable::RouteTable(std::shared_ptr<const Topology> topology)
+    : topology_(std::move(topology)) {
+  INTERCOM_REQUIRE(topology_ != nullptr, "topology must not be null");
+}
+
+const std::vector<int>& RouteTable::of(int src, int dst) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint32_t>(dst);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, topology_->route(src, dst)).first;
   }
-  return ids;
+  return it->second;
 }
 
 }  // namespace intercom

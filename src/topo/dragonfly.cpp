@@ -1,0 +1,117 @@
+#include "intercom/topo/dragonfly.hpp"
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+constexpr long kMaxHosts = 1L << 22;
+
+void require_config(bool ok, const std::string& message) {
+  if (!ok) throw ConfigError("dragonfly: " + message);
+}
+}  // namespace
+
+Dragonfly::Dragonfly(int routers_per_group, int hosts_per_router,
+                     int global_links_per_router)
+    : a_(routers_per_group), p_(hosts_per_router), h_(global_links_per_router) {
+  require_config(a_ >= 1, "routers per group must be at least 1");
+  require_config(p_ >= 1, "hosts per router must be at least 1");
+  require_config(h_ >= 1, "global links per router must be at least 1");
+  const long groups = static_cast<long>(a_) * h_ + 1;
+  const long hosts = groups * a_ * p_;
+  require_config(hosts <= kMaxHosts, "host count exceeds 2^22");
+  g_ = static_cast<int>(groups);
+  // Channel layout: host up [0, N), host down [N, 2N), then per group
+  // a*(a-1) local channels, then per group a*h global channels.
+  local_base_ = 2 * static_cast<int>(hosts);
+  global_base_ = local_base_ + g_ * a_ * (a_ - 1);
+}
+
+int Dragonfly::directed_link_count() const {
+  return global_base_ + g_ * a_ * h_;
+}
+
+void Dragonfly::check_node(int node) const {
+  INTERCOM_REQUIRE(node >= 0 && node < node_count(), "node id out of range");
+}
+
+int Dragonfly::local_index(int group, int from, int to) const {
+  INTERCOM_CHECK(from != to);
+  // Each router has a-1 outgoing local channels, skipping itself.
+  return local_base_ + group * a_ * (a_ - 1) + from * (a_ - 1) +
+         (to < from ? to : to - 1);
+}
+
+int Dragonfly::global_index(int group, int k) const {
+  return global_base_ + group * a_ * h_ + k;
+}
+
+Dragonfly::LinkKind Dragonfly::link_kind(int link) const {
+  INTERCOM_REQUIRE(link >= 0 && link < directed_link_count(),
+                   "link index out of range");
+  const int hosts = g_ * a_ * p_;
+  if (link < hosts) return LinkKind::kHostUp;
+  if (link < 2 * hosts) return LinkKind::kHostDown;
+  if (link < global_base_) return LinkKind::kLocal;
+  return LinkKind::kGlobal;
+}
+
+std::vector<int> Dragonfly::route(int src, int dst) const {
+  check_node(src);
+  check_node(dst);
+  std::vector<int> ids;
+  if (src == dst) return ids;
+  const int hosts = g_ * a_ * p_;
+  const int ru = src / p_;  // global router id
+  const int rv = dst / p_;
+  ids.push_back(src);  // host up
+  if (ru != rv) {
+    const int gi = ru / a_;
+    const int gj = rv / a_;
+    if (gi == gj) {
+      ids.push_back(local_index(gi, ru % a_, rv % a_));
+    } else {
+      // Consecutive assignment: channel k of gi reaches group gi + k + 1,
+      // leaving from router k / h; it arrives on gj's channel k' toward gi,
+      // i.e. at router k' / h.
+      const int k = ((gj - gi - 1) % g_ + g_) % g_;
+      const int exit_router = k / h_;
+      const int entry_router = (((gi - gj - 1) % g_ + g_) % g_) / h_;
+      if (ru % a_ != exit_router) {
+        ids.push_back(local_index(gi, ru % a_, exit_router));
+      }
+      ids.push_back(global_index(gi, k));
+      if (entry_router != rv % a_) {
+        ids.push_back(local_index(gj, entry_router, rv % a_));
+      }
+    }
+  }
+  ids.push_back(hosts + dst);  // host down
+  return ids;
+}
+
+int Dragonfly::min_hops(int src, int dst) const {
+  check_node(src);
+  check_node(dst);
+  if (src == dst) return 0;
+  const int ru = src / p_;
+  const int rv = dst / p_;
+  if (ru == rv) return 2;
+  const int gi = ru / a_;
+  const int gj = rv / a_;
+  if (gi == gj) return 3;
+  const int k = ((gj - gi - 1) % g_ + g_) % g_;
+  const int entry_k = ((gi - gj - 1) % g_ + g_) % g_;
+  int hops = 3;  // host up, global, host down
+  if (ru % a_ != k / h_) ++hops;
+  if (entry_k / h_ != rv % a_) ++hops;
+  return hops;
+}
+
+std::string Dragonfly::label() const {
+  return "dragonfly" + std::to_string(a_) + "x" + std::to_string(p_) + "x" +
+         std::to_string(h_);
+}
+
+}  // namespace intercom

@@ -1,0 +1,106 @@
+#include "intercom/topo/fattree.hpp"
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+
+namespace {
+constexpr long kMaxHosts = 1L << 22;
+
+void require_config(bool ok, const std::string& message) {
+  if (!ok) throw ConfigError("fat-tree: " + message);
+}
+}  // namespace
+
+FatTree::FatTree(int arity, int levels) : arity_(arity), levels_(levels) {
+  require_config(arity >= 2, "arity must be at least 2");
+  require_config(levels >= 1, "levels must be at least 1");
+  long hosts = 1;
+  pow_.assign(static_cast<std::size_t>(levels) + 1, 1);
+  for (int l = 1; l <= levels; ++l) {
+    hosts *= arity;
+    require_config(hosts <= kMaxHosts, "host count exceeds 2^22");
+    pow_[static_cast<std::size_t>(l)] = static_cast<int>(hosts);
+  }
+  hosts_ = static_cast<int>(hosts);
+  // Channel layout: host up [0, H), host down [H, 2H), then per level
+  // l = 1..L-1 an up block and a down block of H channels each (a^l switches
+  // times m(l) = a^(L-l) parallel channels is a^L = H either way).
+  up_base_.assign(static_cast<std::size_t>(levels), 0);
+  down_base_.assign(static_cast<std::size_t>(levels), 0);
+  int next = 2 * hosts_;
+  for (int l = 1; l < levels; ++l) {
+    up_base_[static_cast<std::size_t>(l)] = next;
+    down_base_[static_cast<std::size_t>(l)] = next + hosts_;
+    next += 2 * hosts_;
+  }
+}
+
+void FatTree::check_node(int node) const {
+  INTERCOM_REQUIRE(node >= 0 && node < hosts_, "node id out of range");
+}
+
+int FatTree::multiplicity(int level) const {
+  INTERCOM_REQUIRE(level >= 1 && level < levels_, "level has no parent link");
+  return pow_[static_cast<std::size_t>(levels_ - level)];
+}
+
+int FatTree::subtree_at(int host, int level) const {
+  return host / pow_[static_cast<std::size_t>(levels_ - level)];
+}
+
+int FatTree::up_index(int level, int index, int slot) const {
+  return up_base_[static_cast<std::size_t>(level)] +
+         index * multiplicity(level) + slot;
+}
+
+int FatTree::down_index(int level, int index, int slot) const {
+  return down_base_[static_cast<std::size_t>(level)] +
+         index * multiplicity(level) + slot;
+}
+
+FatTree::LinkKind FatTree::link_kind(int link) const {
+  INTERCOM_REQUIRE(link >= 0 && link < directed_link_count(),
+                   "link index out of range");
+  if (link < hosts_) return LinkKind::kHostUp;
+  if (link < 2 * hosts_) return LinkKind::kHostDown;
+  return (link - 2 * hosts_) % (2 * hosts_) < hosts_ ? LinkKind::kUp
+                                                     : LinkKind::kDown;
+}
+
+std::vector<int> FatTree::route(int src, int dst) const {
+  check_node(src);
+  check_node(dst);
+  std::vector<int> ids;
+  if (src == dst) return ids;
+  ids.push_back(src);  // host up
+  // Deepest level whose subtrees still contain both endpoints: climb from
+  // the leaves until the indices coincide (level 0, the root, always does).
+  int lc = levels_ - 1;
+  while (subtree_at(src, lc) != subtree_at(dst, lc)) --lc;
+  // Up to the common ancestor, D-mod-k channel spreading on the fat links.
+  for (int l = levels_ - 1; l > lc; --l) {
+    ids.push_back(up_index(l, subtree_at(src, l), src % multiplicity(l)));
+  }
+  // Down to the destination leaf.
+  for (int l = lc + 1; l <= levels_ - 1; ++l) {
+    ids.push_back(down_index(l, subtree_at(dst, l), dst % multiplicity(l)));
+  }
+  ids.push_back(hosts_ + dst);  // host down
+  return ids;
+}
+
+int FatTree::min_hops(int src, int dst) const {
+  check_node(src);
+  check_node(dst);
+  if (src == dst) return 0;
+  int lc = levels_ - 1;
+  while (subtree_at(src, lc) != subtree_at(dst, lc)) --lc;
+  return 2 + 2 * (levels_ - 1 - lc);
+}
+
+std::string FatTree::label() const {
+  return "fattree" + std::to_string(arity_) + "L" + std::to_string(levels_);
+}
+
+}  // namespace intercom

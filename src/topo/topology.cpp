@@ -1,5 +1,10 @@
 #include "intercom/topo/topology.hpp"
 
+#include <algorithm>
+#include <bit>
+
+#include "intercom/topo/dragonfly.hpp"
+#include "intercom/topo/fattree.hpp"
 #include "intercom/util/error.hpp"
 
 namespace intercom {
@@ -10,6 +15,11 @@ std::vector<int> MeshTopology::route(int src, int dst) const {
     ids.push_back(mesh_.link_index(link));
   }
   return ids;
+}
+
+std::string MeshTopology::label() const {
+  return "mesh" + std::to_string(mesh_.rows()) + "x" +
+         std::to_string(mesh_.cols());
 }
 
 Hypercube::Hypercube(int dims) : dims_(dims) {
@@ -46,6 +56,16 @@ std::vector<int> Hypercube::route(int src, int dst) const {
     }
   }
   return ids;
+}
+
+std::string Hypercube::label() const {
+  return "hypercube" + std::to_string(dims_) + "d";
+}
+
+int Hypercube::min_hops(int src, int dst) const {
+  check_node(src);
+  check_node(dst);
+  return std::popcount(static_cast<unsigned>(src ^ dst));
 }
 
 std::vector<int> Hypercube::gray_ring() const {
@@ -101,6 +121,97 @@ std::vector<int> Torus2D::route(int src, int dst) const {
     }
   }
   return ids;
+}
+
+std::string Torus2D::label() const {
+  return "torus" + std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+int Torus2D::min_hops(int src, int dst) const {
+  check_node(src);
+  check_node(dst);
+  const int dc = ((dst % cols_ - src % cols_) % cols_ + cols_) % cols_;
+  const int dr = ((dst / cols_ - src / cols_) % rows_ + rows_) % rows_;
+  return std::min(dc, cols_ - dc) + std::min(dr, rows_ - dr);
+}
+
+TopologySpec TopologySpec::mesh(int rows, int cols) {
+  TopologySpec s;
+  s.kind = Kind::kMesh;
+  s.rows = rows;
+  s.cols = cols;
+  return s;
+}
+
+TopologySpec TopologySpec::torus(int rows, int cols) {
+  TopologySpec s;
+  s.kind = Kind::kTorus;
+  s.rows = rows;
+  s.cols = cols;
+  return s;
+}
+
+TopologySpec TopologySpec::hypercube(int dims) {
+  TopologySpec s;
+  s.kind = Kind::kHypercube;
+  s.dims = dims;
+  return s;
+}
+
+TopologySpec TopologySpec::fat_tree(int arity, int levels) {
+  TopologySpec s;
+  s.kind = Kind::kFatTree;
+  s.arity = arity;
+  s.levels = levels;
+  return s;
+}
+
+TopologySpec TopologySpec::dragonfly(int routers_per_group,
+                                     int hosts_per_router,
+                                     int global_links_per_router) {
+  TopologySpec s;
+  s.kind = Kind::kDragonfly;
+  s.routers_per_group = routers_per_group;
+  s.hosts_per_router = hosts_per_router;
+  s.global_links_per_router = global_links_per_router;
+  return s;
+}
+
+std::shared_ptr<const Topology> make_topology(const TopologySpec& spec) {
+  constexpr long kMaxNodes = 1L << 22;
+  switch (spec.kind) {
+    case TopologySpec::Kind::kMesh: {
+      if (spec.rows < 1 || spec.cols < 1) {
+        throw ConfigError("mesh: dimensions must be at least 1 x 1");
+      }
+      if (static_cast<long>(spec.rows) * spec.cols > kMaxNodes) {
+        throw ConfigError("mesh: node count exceeds 2^22");
+      }
+      return std::make_shared<MeshTopology>(Mesh2D(spec.rows, spec.cols));
+    }
+    case TopologySpec::Kind::kTorus: {
+      if (spec.rows < 1 || spec.cols < 1) {
+        throw ConfigError("torus: dimensions must be at least 1 x 1");
+      }
+      if (static_cast<long>(spec.rows) * spec.cols > kMaxNodes) {
+        throw ConfigError("torus: node count exceeds 2^22");
+      }
+      return std::make_shared<Torus2D>(spec.rows, spec.cols);
+    }
+    case TopologySpec::Kind::kHypercube: {
+      if (spec.dims < 0 || spec.dims > 20) {
+        throw ConfigError("hypercube: dimension must be in [0, 20]");
+      }
+      return std::make_shared<Hypercube>(spec.dims);
+    }
+    case TopologySpec::Kind::kFatTree:
+      return std::make_shared<FatTree>(spec.arity, spec.levels);
+    case TopologySpec::Kind::kDragonfly:
+      return std::make_shared<Dragonfly>(spec.routers_per_group,
+                                         spec.hosts_per_router,
+                                         spec.global_links_per_router);
+  }
+  throw ConfigError("unknown topology kind");
 }
 
 }  // namespace intercom

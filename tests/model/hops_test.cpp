@@ -1,0 +1,76 @@
+// Hop statistics derived from the topology layer's min_hops oracle.
+#include "intercom/model/hops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "intercom/topo/fattree.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(HopStatsTest, MeshDiameterAndMeanAreExact) {
+  MeshTopology mesh(Mesh2D(4, 4));
+  const HopStats s = hop_stats(mesh);
+  EXPECT_TRUE(s.exact);
+  EXPECT_EQ(s.diameter, 6);  // corner to corner
+  EXPECT_EQ(s.pairs, 16u * 15u);
+  // Mean Manhattan distance on a 4x4 grid: 2 * (mean 1-D distance) with
+  // mean |i-j| over ordered distinct pairs = (sum of distances) / pairs.
+  EXPECT_NEAR(s.mean_hops, 8.0 / 3.0, 1e-12);
+}
+
+TEST(HopStatsTest, HypercubeMeanIsHalfTheDimensions) {
+  Hypercube cube(6);
+  const HopStats s = hop_stats(cube);
+  EXPECT_TRUE(s.exact);
+  EXPECT_EQ(s.diameter, 6);
+  // Mean popcount over nonzero masks: d * 2^(d-1) / (2^d - 1).
+  EXPECT_NEAR(s.mean_hops, 6.0 * 32.0 / 63.0, 1e-12);
+}
+
+TEST(HopStatsTest, FatTreeDiameterIsTwiceTheLevels) {
+  FatTree tree(2, 3);
+  const HopStats s = hop_stats(tree);
+  EXPECT_TRUE(s.exact);
+  EXPECT_EQ(s.diameter, 6);
+}
+
+TEST(HopStatsTest, TorusBeatsTheMeshOnDiameter) {
+  MeshTopology mesh(Mesh2D(8, 8));
+  Torus2D torus(8, 8);
+  EXPECT_LT(hop_stats(torus).diameter, hop_stats(mesh).diameter);
+}
+
+TEST(HopStatsTest, SampledScanIsSeededAndDeterministic) {
+  MeshTopology mesh(Mesh2D(16, 32));  // 512 nodes: 261632 ordered pairs
+  const HopStats a = hop_stats(mesh, /*max_exact_pairs=*/1000,
+                               /*sample_pairs=*/5000, /*seed=*/42);
+  const HopStats b = hop_stats(mesh, 1000, 5000, 42);
+  EXPECT_FALSE(a.exact);
+  EXPECT_EQ(a.pairs, 5000u);
+  EXPECT_EQ(a.diameter, b.diameter);
+  EXPECT_EQ(a.mean_hops, b.mean_hops);  // bitwise
+  // The sampled mean should land near the exact one.
+  const HopStats exact = hop_stats(mesh);
+  EXPECT_TRUE(exact.exact);
+  EXPECT_NEAR(a.mean_hops, exact.mean_hops, exact.mean_hops * 0.05);
+}
+
+TEST(HopStatsTest, TrivialTopologyHasNoPairs) {
+  MeshTopology mesh(Mesh2D(1, 1));
+  const HopStats s = hop_stats(mesh);
+  EXPECT_TRUE(s.exact);
+  EXPECT_EQ(s.pairs, 0u);
+  EXPECT_EQ(s.diameter, 0);
+}
+
+TEST(HopStatsTest, RejectsZeroSampleBudget) {
+  MeshTopology mesh(Mesh2D(16, 32));
+  EXPECT_THROW(hop_stats(mesh, 10, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace intercom

@@ -29,6 +29,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -61,6 +62,16 @@ inline FabricSpec test_fabric_spec(const std::string& name) {
   FabricSpec spec;
   spec.name = name;
   spec.sim.time_scale = 0.0;
+  // INTERCOM_SIM_ENGINE=fluid|packet pins the sim backend's contention
+  // model — the CI fluid leg proves every behavioural contract still holds
+  // on the pre-event-engine model.
+  if (const char* engine = std::getenv("INTERCOM_SIM_ENGINE")) {
+    if (std::string_view(engine) == "fluid") {
+      spec.sim.engine = SimEngine::kFluid;
+    } else if (std::string_view(engine) == "packet") {
+      spec.sim.engine = SimEngine::kPacket;
+    }
+  }
   spec.wire.ring_bytes = std::size_t{1} << 16;
   spec.wire.tick_ms = 10;
   return spec;

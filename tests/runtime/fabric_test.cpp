@@ -225,6 +225,114 @@ TEST(SimFabricTest, ResetClearsSimState) {
 }
 
 // ---------------------------------------------------------------------------
+// Engine selection, topology overrides, and configuration validation.
+
+TEST(SimFabricTest, FluidEngineRemainsSelectable) {
+  // The historical fluid model stays available for regression comparison.
+  SimFabricConfig config;
+  config.machine = MachineParams::unit();
+  config.engine = SimEngine::kFluid;
+  config.time_scale = 0.0;
+  config.chunks = 1;
+  Transport t(2, std::make_unique<SimFabric>(Mesh2D(1, 2), config));
+  auto& fabric = static_cast<SimFabric&>(t.fabric());
+
+  const std::size_t n = 1024;
+  std::vector<std::byte> payload(n, std::byte{0x42});
+  t.send(0, 1, 1, 0, payload);
+  std::vector<std::byte> out(n);
+  t.recv(0, 1, 1, 0, out);
+  const MachineParams& m = config.machine;
+  const double expected_s = m.alpha_for(n) + m.tau_per_hop +
+                            static_cast<double>(n) * m.beta_for(n);
+  const SimFabric::Stats stats = fabric.stats();
+  EXPECT_NEAR(static_cast<double>(stats.virtual_ns) * 1e-9, expected_s,
+              expected_s * 1e-6);
+  EXPECT_EQ(stats.virtual_clock_s, 0.0);  // fluid mode keeps no event clock
+}
+
+TEST(SimFabricTest, EventEngineVirtualClockIsDeterministic) {
+  // The event engine's headline property: a conflict-free workload's
+  // virtual-clock makespan is a pure function of the traffic, bit-identical
+  // across runs and thread schedules.  The guarantee is scoped to
+  // conflict-free traffic (docs/simulation.md: contention between racing
+  // crossings resolves in arrival order), so the payload is kept short
+  // enough that the planner picks the pure MST broadcast, whose stages use
+  // disjoint channels on a line — and the premise is asserted, not assumed.
+  const auto run_once = [] {
+    Multicomputer mc(Mesh2D(1, 8), MachineParams::paragon(),
+                     test_fabric_spec("sim"));
+    mc.run_spmd([](Node& node) {
+      std::vector<double> data(64, node.id() == 0 ? 1.0 : 0.0);
+      node.world().broadcast(std::span<double>(data), 0);
+    });
+    return sim_of(mc).stats();
+  };
+  const SimFabric::Stats a = run_once();
+  const SimFabric::Stats b = run_once();
+  const SimFabric::Stats c = run_once();
+  EXPECT_EQ(a.conflicted_transfers, 0u);  // the conflict-free premise
+  EXPECT_GT(a.virtual_clock_s, 0.0);
+  EXPECT_EQ(a.virtual_clock_s, b.virtual_clock_s);  // bitwise
+  EXPECT_EQ(b.virtual_clock_s, c.virtual_clock_s);
+  EXPECT_EQ(a.virtual_ns, b.virtual_ns);
+  EXPECT_EQ(b.virtual_ns, c.virtual_ns);
+}
+
+TEST(SimFabricTest, TopologyOverrideRunsCollectivesOnEveryFamily) {
+  // A 4-node machine exercised over every topology family the sim fabric
+  // can model; collectives must stay correct (the topology only changes the
+  // timing model, never delivery semantics).
+  const std::vector<TopologySpec> shapes = {
+      TopologySpec::torus(2, 2),
+      TopologySpec::hypercube(2),
+      TopologySpec::fat_tree(2, 2),
+      TopologySpec::dragonfly(1, 2, 1),
+  };
+  for (const TopologySpec& shape : shapes) {
+    FabricSpec spec = test_fabric_spec("sim");
+    spec.sim.topology = shape;
+    Multicomputer mc(Mesh2D(2, 2), MachineParams::paragon(), spec);
+    mc.run_spmd([](Node& node) {
+      std::vector<int> data(64, node.id());
+      node.world().all_reduce_sum(std::span<int>(data));
+      for (int v : data) ASSERT_EQ(v, 0 + 1 + 2 + 3);
+    });
+    const SimFabric& fabric = sim_of(mc);
+    EXPECT_GT(fabric.stats().transfers, 0u);
+    EXPECT_EQ(mc.tracer().topology(), fabric.topology().label());
+  }
+}
+
+TEST(SimFabricTest, TopologyNodeCountMismatchIsAConfigError) {
+  FabricSpec spec = test_fabric_spec("sim");
+  spec.sim.topology = TopologySpec::torus(3, 3);  // 9 nodes vs the machine's 4
+  EXPECT_THROW(SimFabric(Mesh2D(2, 2), spec.sim), ConfigError);
+}
+
+TEST(SimFabricTest, RejectsOutOfDomainConfig) {
+  const auto reject = [](auto&& tweak) {
+    SimFabricConfig config;
+    config.time_scale = 0.0;
+    tweak(config);
+    EXPECT_THROW(SimFabric(Mesh2D(1, 2), config), ConfigError);
+  };
+  reject([](SimFabricConfig& c) { c.chunks = 0; });
+  reject([](SimFabricConfig& c) { c.chunks = -3; });
+  reject([](SimFabricConfig& c) { c.min_chunk_bytes = 0; });
+  reject([](SimFabricConfig& c) { c.time_scale = -0.5; });
+  reject([](SimFabricConfig& c) { c.packet_bytes = 0; });
+}
+
+TEST(SimFabricTest, TracerCarriesTheTopologyLabel) {
+  Multicomputer mc(Mesh2D(2, 2), MachineParams::paragon(),
+                   test_fabric_spec("sim"));
+  EXPECT_EQ(mc.tracer().topology(), "mesh2x2");
+  Multicomputer ideal(Mesh2D(2, 2));
+  EXPECT_EQ(ideal.tracer().topology(), "");  // inproc models no interconnect
+}
+
+// ---------------------------------------------------------------------------
 // reset()/teardown audit, on both fabrics.
 
 class FabricResetTest : public FabricParamTest {};

@@ -1,0 +1,224 @@
+// The discrete-event packet network: zero-load exactness against the
+// machine model, per-channel serialization under contention, conflict and
+// peak-load accounting, and bit-identical determinism.
+#include "intercom/sim/event_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+PacketNetParams unit_net() {
+  PacketNetParams p;
+  p.machine = MachineParams::unit();  // alpha = 1, beta = 1, tau = 0
+  return p;
+}
+
+std::shared_ptr<const Topology> line(int n) {
+  return std::make_shared<MeshTopology>(Mesh2D(1, n));
+}
+
+TEST(PacketNetworkTest, ZeroLoadMatchesAlphaPlusHopsTauPlusNBeta) {
+  PacketNetParams p = unit_net();
+  p.machine.tau_per_hop = 0.25;
+  PacketNetwork net(line(8), p);
+  const int id = net.submit(0, 5, 100, 0.0);
+  net.run_until_delivered(id);
+  // 5 hops: alpha + 5*tau + n*beta, single packet.
+  EXPECT_DOUBLE_EQ(net.delivery_time(id), 1.0 + 5 * 0.25 + 100.0);
+  EXPECT_EQ(net.peak_link_load(), 1);
+  EXPECT_FALSE(net.conflicted(id));
+}
+
+TEST(PacketNetworkTest, MultiPacketTransferKeepsTheZeroLoadLaw) {
+  // Packetization must not change the uncontended total: packets stream
+  // back to back over every channel (virtual cut-through), so the last
+  // packet clears the last channel at alpha + hops*tau + n*beta.
+  PacketNetParams p = unit_net();
+  p.machine.tau_per_hop = 0.5;
+  p.packet_bytes = 64;
+  PacketNetwork net(line(8), p);
+  const int id = net.submit(0, 4, 1000, 0.0);  // 16 packets
+  net.run_until_delivered(id);
+  EXPECT_NEAR(net.delivery_time(id), 1.0 + 4 * 0.5 + 1000.0, 1e-9);
+  EXPECT_EQ(net.peak_link_load(), 1);
+}
+
+TEST(PacketNetworkTest, SelfTransferCostsAlphaOnly) {
+  PacketNetwork net(line(4), unit_net());
+  const int id = net.submit(2, 2, 512, 3.0);
+  net.run_until_delivered(id);
+  EXPECT_DOUBLE_EQ(net.delivery_time(id), 3.0 + 1.0);
+  EXPECT_DOUBLE_EQ(net.injection_end(id), net.delivery_time(id));
+}
+
+TEST(PacketNetworkTest, SharedChannelSerializesAndFlagsTheWaiter) {
+  // 0->2 and 1->2 share channel 1->2; the later-granted transfer waits the
+  // full serialization of the earlier one.
+  PacketNetwork net(line(4), unit_net());
+  const int a = net.submit(0, 2, 100, 0.0);
+  const int b = net.submit(1, 2, 100, 0.0);
+  net.drain();
+  const double ta = net.delivery_time(a);
+  const double tb = net.delivery_time(b);
+  // One of them pays the other's 100-byte drain on the shared channel.
+  EXPECT_DOUBLE_EQ(std::min(ta, tb), 1.0 + 100.0);
+  EXPECT_GE(std::max(ta, tb), 1.0 + 200.0 - 1e-9);
+  EXPECT_EQ(net.peak_link_load(), 2);
+  EXPECT_TRUE(net.conflicted(a) || net.conflicted(b));
+  // Exactly one waited: the winner streamed unhindered.
+  EXPECT_FALSE(net.conflicted(a) && net.conflicted(b));
+}
+
+TEST(PacketNetworkTest, DisjointTransfersDoNotInteract) {
+  PacketNetwork net(line(6), unit_net());
+  const int a = net.submit(0, 1, 100, 0.0);
+  const int b = net.submit(3, 4, 100, 0.0);
+  net.drain();
+  EXPECT_DOUBLE_EQ(net.delivery_time(a), 1.0 + 100.0);
+  EXPECT_DOUBLE_EQ(net.delivery_time(b), 1.0 + 100.0);
+  EXPECT_EQ(net.peak_link_load(), 1);
+}
+
+TEST(PacketNetworkTest, PastTimeSubmissionStillTimesCorrectly) {
+  // SimFabric's per-node clocks advance unevenly: a submission whose start
+  // lies before already-processed virtual time must still be timed from its
+  // own start on idle channels.
+  PacketNetwork net(line(8), unit_net());
+  const int a = net.submit(0, 1, 1000, 50.0);
+  net.run_until_delivered(a);
+  const int b = net.submit(4, 5, 100, 0.0);  // starts in the processed past
+  net.run_until_delivered(b);
+  EXPECT_DOUBLE_EQ(net.delivery_time(b), 0.0 + 1.0 + 100.0);
+}
+
+TEST(PacketNetworkTest, BusyChannelDefersAPastTimeSubmission) {
+  PacketNetwork net(line(4), unit_net());
+  const int a = net.submit(0, 1, 1000, 0.0);
+  net.run_until_delivered(a);  // channel 0->1 busy until 1001
+  const int b = net.submit(0, 1, 100, 0.0);
+  net.run_until_delivered(b);
+  // b's packet waits for a's drain on the shared channel.
+  EXPECT_GE(net.delivery_time(b), 1001.0);
+  EXPECT_TRUE(net.conflicted(b));
+}
+
+TEST(PacketNetworkTest, DeterministicAcrossRunsAndSlotReuse) {
+  const auto run_once = [](std::uint64_t seed) {
+    PacketNetParams p = unit_net();
+    p.seed = seed;
+    p.packet_bytes = 128;
+    PacketNetwork net(line(16), p);
+    std::vector<double> times;
+    // Several waves with recycling in between, so slot reuse is exercised.
+    for (int wave = 0; wave < 3; ++wave) {
+      std::vector<int> ids;
+      for (int src = 0; src < 8; ++src) {
+        ids.push_back(
+            net.submit(src, 15 - src, 500 + 64 * src, wave * 10.0));
+      }
+      net.drain();
+      for (int id : ids) {
+        times.push_back(net.delivery_time(id));
+        net.recycle(id);
+      }
+    }
+    return times;
+  };
+  // Bit-identical replay for a fixed seed.
+  EXPECT_EQ(run_once(7), run_once(7));
+  // The tie-break seed only matters when same-instant ties exist; this
+  // pattern has them (same-start submissions share channels), so at least
+  // the runs must stay internally consistent.
+  EXPECT_EQ(run_once(9), run_once(9));
+}
+
+TEST(PacketNetworkTest, SameInstantTieGoesToTheSeededKey) {
+  // Two packets ready at the same instant on one channel: the grant order
+  // is decided by the per-transfer seeded key, not submission order alone,
+  // and replays identically.
+  const auto winner_of = [](std::uint64_t seed) {
+    PacketNetParams p = unit_net();
+    p.seed = seed;
+    PacketNetwork net(line(4), p);
+    // Make the shared channel busy first so both requests queue as waiters
+    // and the tie is resolved by the wait-queue comparator.
+    const int warm = net.submit(1, 2, 1000, 0.0);
+    const int a = net.submit(0, 2, 100, 0.0);
+    const int b = net.submit(1, 2, 100, 0.0);
+    net.drain();
+    (void)warm;
+    return net.delivery_time(a) < net.delivery_time(b) ? 'a' : 'b';
+  };
+  EXPECT_EQ(winner_of(1), winner_of(1));
+  EXPECT_EQ(winner_of(2), winner_of(2));
+}
+
+TEST(PacketNetworkTest, LinkCountersAccumulatePerDistinctTransfer) {
+  PacketNetParams p = unit_net();
+  p.packet_bytes = 64;
+  PacketNetwork net(line(4), p);
+  const int a = net.submit(0, 2, 1000, 0.0);  // 16 packets, 2 hops
+  net.run_until_delivered(a);
+  std::uint64_t crossings = 0;
+  for (std::uint64_t c : net.link_transfers()) crossings += c;
+  EXPECT_EQ(crossings, 2u);  // distinct transfers per channel, not packets
+  EXPECT_EQ(net.packets_granted(), 32u);
+}
+
+TEST(PacketNetworkTest, ResetClearsStateAndStats) {
+  PacketNetwork net(line(4), unit_net());
+  const int a = net.submit(0, 2, 100, 0.0);
+  const int b = net.submit(1, 2, 100, 0.0);
+  net.drain();
+  (void)a;
+  (void)b;
+  EXPECT_EQ(net.peak_link_load(), 2);
+  net.reset();
+  EXPECT_EQ(net.peak_link_load(), 0);
+  EXPECT_EQ(net.packets_granted(), 0u);
+  EXPECT_TRUE(net.idle());
+  const int c = net.submit(0, 1, 100, 0.0);
+  net.run_until_delivered(c);
+  EXPECT_DOUBLE_EQ(net.delivery_time(c), 1.0 + 100.0);
+}
+
+TEST(PacketNetworkTest, RecycledIdsAreRejectedUntilReused) {
+  PacketNetwork net(line(4), unit_net());
+  const int id = net.submit(0, 1, 10, 0.0);
+  net.run_until_delivered(id);
+  net.recycle(id);
+  EXPECT_THROW(net.delivery_time(id), Error);
+  EXPECT_THROW(net.recycle(id), Error);
+}
+
+TEST(PacketNetworkTest, RejectsBadConfigAndEndpoints) {
+  PacketNetParams p = unit_net();
+  p.packet_bytes = 0;
+  EXPECT_THROW(PacketNetwork(line(4), p), ConfigError);
+  PacketNetwork net(line(4), unit_net());
+  EXPECT_THROW(net.submit(0, 4, 10, 0.0), Error);
+  EXPECT_THROW(net.submit(-1, 2, 10, 0.0), Error);
+}
+
+TEST(PacketNetworkTest, DeliveryHandlerFiresOnce) {
+  PacketNetwork net(line(4), unit_net());
+  int fired = 0;
+  double at = -1.0;
+  net.set_delivery_handler([&](int, double t) {
+    ++fired;
+    at = t;
+  });
+  const int id = net.submit(0, 3, 100, 0.0);
+  net.drain();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(at, net.delivery_time(id));
+}
+
+}  // namespace
+}  // namespace intercom

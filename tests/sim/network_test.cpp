@@ -2,16 +2,25 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "intercom/topo/topology.hpp"
 #include "intercom/util/error.hpp"
 
 namespace intercom {
 namespace {
 
+// Routes now come from the shared Topology oracle (the sim and the fabric
+// consume the same ones); these tests pair it with the load tracker.
+std::vector<int> xy_route(const Mesh2D& mesh, int src, int dst) {
+  return MeshTopology(mesh).route(src, dst);
+}
+
 TEST(LinkLoadTest, AddRemoveTracksLoadsAndPeak) {
   Mesh2D mesh(1, 4);
   LinkLoadTracker loads(mesh);
-  const auto r02 = route_links(mesh, 0, 2);
-  const auto r13 = route_links(mesh, 1, 3);
+  const auto r02 = xy_route(mesh, 0, 2);
+  const auto r13 = xy_route(mesh, 1, 3);
   loads.add(r02);
   loads.add(r13);
   // Link 1->2 is shared by both routes.
@@ -25,7 +34,7 @@ TEST(LinkLoadTest, AddRemoveTracksLoadsAndPeak) {
 TEST(LinkLoadTest, SharingFactorUsesCapacity) {
   Mesh2D mesh(1, 3);
   LinkLoadTracker loads(mesh);
-  const auto r01 = route_links(mesh, 0, 1);
+  const auto r01 = xy_route(mesh, 0, 1);
   loads.add(r01);
   loads.add(r01);
   loads.add(r01);
@@ -39,8 +48,8 @@ TEST(LinkLoadTest, SharingFactorUsesCapacity) {
 TEST(LinkLoadTest, OppositeDirectionsDoNotShare) {
   Mesh2D mesh(1, 5);
   LinkLoadTracker loads(mesh);
-  const auto right = route_links(mesh, 0, 4);
-  const auto left = route_links(mesh, 4, 0);
+  const auto right = xy_route(mesh, 0, 4);
+  const auto left = xy_route(mesh, 4, 0);
   loads.add(right);
   EXPECT_DOUBLE_EQ(loads.sharing(left, 1.0), 1.0);
 }
@@ -48,13 +57,29 @@ TEST(LinkLoadTest, OppositeDirectionsDoNotShare) {
 TEST(LinkLoadTest, RemoveBelowZeroIsAnError) {
   Mesh2D mesh(1, 2);
   LinkLoadTracker loads(mesh);
-  EXPECT_THROW(loads.remove(route_links(mesh, 0, 1)), Error);
+  EXPECT_THROW(loads.remove(xy_route(mesh, 0, 1)), Error);
 }
 
-TEST(RouteLinksTest, LengthMatchesDistance) {
-  Mesh2D mesh(4, 4);
-  EXPECT_EQ(route_links(mesh, 0, 15).size(), 6u);
-  EXPECT_TRUE(route_links(mesh, 3, 3).empty());
+TEST(RouteTableTest, LengthMatchesDistance) {
+  RouteTable table(std::make_shared<MeshTopology>(Mesh2D(4, 4)));
+  EXPECT_EQ(table.of(0, 15).size(), 6u);
+  EXPECT_TRUE(table.of(3, 3).empty());
+}
+
+TEST(RouteTableTest, CachedRouteReferenceIsStable) {
+  RouteTable table(std::make_shared<MeshTopology>(Mesh2D(4, 4)));
+  const std::vector<int>* first = &table.of(0, 15);
+  // Populate many other entries; the first reference must survive (callers
+  // hold routes across unlocked regions).
+  for (int src = 0; src < 16; ++src) {
+    for (int dst = 0; dst < 16; ++dst) table.of(src, dst);
+  }
+  EXPECT_EQ(first, &table.of(0, 15));
+  EXPECT_EQ(first->size(), 6u);
+}
+
+TEST(RouteTableTest, NullTopologyIsAnError) {
+  EXPECT_THROW(RouteTable(nullptr), Error);
 }
 
 }  // namespace

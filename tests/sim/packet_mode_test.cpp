@@ -1,0 +1,150 @@
+// The schedule simulator on the packet engine (SimEngine::kPacket): the
+// zero-load law must match the fluid engine exactly, replays must be
+// bit-identical, and — the property the fluid model is kept around to
+// regression-check — the two engines must rank competing algorithms the
+// same way at the paper's machine sizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "intercom/core/planner.hpp"
+#include "intercom/sim/engine.hpp"
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+SimParams params_for(SimEngine engine) {
+  SimParams p;
+  p.machine = MachineParams::unit();
+  p.engine = engine;
+  return p;
+}
+
+BufSlice user(std::size_t offset, std::size_t bytes) {
+  return BufSlice{kUserBuf, offset, bytes};
+}
+
+TEST(PacketModeTest, SingleTransferMatchesTheFluidEngineExactly) {
+  Schedule s;
+  s.set_levels(0);
+  s.add_transfer(0, 5, user(0, 100), user(0, 100));
+  WormholeSimulator fluid(Mesh2D(1, 8), params_for(SimEngine::kFluid));
+  WormholeSimulator packet(Mesh2D(1, 8), params_for(SimEngine::kPacket));
+  EXPECT_DOUBLE_EQ(packet.run(s).seconds, fluid.run(s).seconds);
+  EXPECT_DOUBLE_EQ(packet.run(s).seconds, 1.0 + 100.0);
+}
+
+TEST(PacketModeTest, ConflictFreeSchedulesAgreeAcrossEngines) {
+  // Disjoint pairs: no sharing, both engines reduce to alpha + n*beta.
+  Schedule s;
+  s.set_levels(0);
+  for (int i = 0; i < 4; ++i) {
+    s.add_transfer(2 * i, 2 * i + 1, user(0, 400), user(0, 400));
+  }
+  WormholeSimulator fluid(Mesh2D(1, 8), params_for(SimEngine::kFluid));
+  WormholeSimulator packet(Mesh2D(1, 8), params_for(SimEngine::kPacket));
+  const SimResult rf = fluid.run(s);
+  const SimResult rp = packet.run(s);
+  EXPECT_DOUBLE_EQ(rp.seconds, rf.seconds);
+  EXPECT_EQ(rp.peak_link_load, 1);
+  EXPECT_EQ(rf.peak_link_load, 1);
+}
+
+TEST(PacketModeTest, ContendedScheduleDetectsTheConflict) {
+  // 0->3 and 1->2 run concurrently (distinct endpoints, so program order
+  // cannot serialize them) and share channel 1->2; the packet engine must
+  // surface the contention in both the makespan and the peak certificate.
+  Schedule s;
+  s.set_levels(0);
+  s.add_transfer(0, 3, user(0, 100), user(0, 100));
+  s.add_transfer(1, 2, user(0, 100), user(0, 100));
+  WormholeSimulator packet(Mesh2D(1, 4), params_for(SimEngine::kPacket));
+  const SimResult r = packet.run(s);
+  EXPECT_EQ(r.peak_link_load, 2);
+  // The loser serializes behind the winner's full drain on the shared
+  // channel.
+  EXPECT_GE(r.seconds, 1.0 + 200.0 - 1e-9);
+}
+
+TEST(PacketModeTest, ReplaysAreBitIdentical) {
+  const Planner planner(MachineParams::unit());
+  const HybridStrategy sc{{64}, InnerAlg::kScatterCollect, false};
+  const Schedule s = planner.plan_with_strategy(
+      Collective::kCollect, Group::contiguous(64), 64 * 128, 1, 0, sc);
+  WormholeSimulator sim(Mesh2D(8, 8), params_for(SimEngine::kPacket));
+  const SimResult a = sim.run(s);
+  const SimResult b = sim.run(s);
+  EXPECT_EQ(a.seconds, b.seconds);  // bitwise, not just close
+  EXPECT_EQ(a.peak_link_load, b.peak_link_load);
+}
+
+TEST(PacketModeTest, TieSeedChangesNothingWithoutTies) {
+  Schedule s;
+  s.set_levels(0);
+  s.add_transfer(0, 1, user(0, 256), user(0, 256));
+  SimParams p = params_for(SimEngine::kPacket);
+  p.tie_seed = 1;
+  WormholeSimulator a(Mesh2D(1, 4), p);
+  p.tie_seed = 99;
+  WormholeSimulator b(Mesh2D(1, 4), p);
+  EXPECT_EQ(a.run(s).seconds, b.run(s).seconds);
+}
+
+TEST(PacketModeTest, RejectsOutOfDomainParams) {
+  SimParams p = params_for(SimEngine::kPacket);
+  p.packet_bytes = 0;
+  EXPECT_THROW(WormholeSimulator(Mesh2D(1, 4), p), ConfigError);
+  SimParams j = params_for(SimEngine::kFluid);
+  j.jitter_mean = -1.0;
+  EXPECT_THROW(WormholeSimulator(Mesh2D(1, 4), j), ConfigError);
+}
+
+// The acceptance bar for swapping the default contention model: at the
+// paper's machine sizes the packet engine must rank competing algorithms
+// exactly as the fluid engine does, so every conclusion drawn from the
+// fluid-era reports survives the engine change.
+TEST(PacketModeTest, EnginesAgreeOnAlgorithmRankingAt64Nodes) {
+  const int p = 64;
+  const Planner planner(MachineParams::paragon());
+  const std::vector<HybridStrategy> candidates = {
+      {{p}, InnerAlg::kShortVector, false},
+      {{p}, InnerAlg::kScatterCollect, false},
+      {{8, 8}, InnerAlg::kScatterCollect, false},
+      {{p}, InnerAlg::kCirculant, false},
+  };
+  for (const std::size_t n : {std::size_t{512}, std::size_t{65536}}) {
+    std::vector<double> fluid_s, packet_s;
+    for (const HybridStrategy& strat : candidates) {
+      const Schedule s = planner.plan_with_strategy(
+          Collective::kCollect, Group::contiguous(p), n, 8, 0, strat);
+      SimParams sp;
+      sp.machine = MachineParams::paragon();
+      sp.engine = SimEngine::kFluid;
+      WormholeSimulator fluid(Mesh2D(8, 8), sp);
+      sp.engine = SimEngine::kPacket;
+      WormholeSimulator packet(Mesh2D(8, 8), sp);
+      fluid_s.push_back(fluid.run(s).seconds);
+      packet_s.push_back(packet.run(s).seconds);
+    }
+    // Same ranking: the permutation that sorts one sorts the other.
+    std::vector<std::size_t> by_fluid(candidates.size());
+    std::vector<std::size_t> by_packet(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      by_fluid[i] = by_packet[i] = i;
+    }
+    std::sort(by_fluid.begin(), by_fluid.end(),
+              [&](std::size_t a, std::size_t b) {
+                return fluid_s[a] < fluid_s[b];
+              });
+    std::sort(by_packet.begin(), by_packet.end(),
+              [&](std::size_t a, std::size_t b) {
+                return packet_s[a] < packet_s[b];
+              });
+    EXPECT_EQ(by_fluid, by_packet) << "n = " << n;
+  }
+}
+
+}  // namespace
+}  // namespace intercom

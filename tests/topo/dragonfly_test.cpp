@@ -1,0 +1,95 @@
+// Dragonfly construction and minimal local-global-local routing.
+#include "intercom/topo/dragonfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(DragonflyTest, BalancedShapeAndLabel) {
+  // a=2, p=2, h=1: g = a*h + 1 = 3 groups, 12 hosts.
+  Dragonfly d(2, 2, 1);
+  EXPECT_EQ(d.groups(), 3);
+  EXPECT_EQ(d.node_count(), 12);
+  EXPECT_EQ(d.name(), "dragonfly");
+  EXPECT_EQ(d.label(), "dragonfly2x2x1");
+}
+
+TEST(DragonflyTest, SameRouterPairIsUpDown) {
+  Dragonfly d(2, 2, 1);
+  // Hosts 0 and 1 hang off router 0 of group 0.
+  const auto route = d.route(0, 1);
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_EQ(d.link_kind(route[0]), Dragonfly::LinkKind::kHostUp);
+  EXPECT_EQ(d.link_kind(route[1]), Dragonfly::LinkKind::kHostDown);
+}
+
+TEST(DragonflyTest, SameGroupPairUsesOneLocalHop) {
+  Dragonfly d(2, 2, 1);
+  // Host 0 (router 0) to host 2 (router 1), both group 0.
+  const auto route = d.route(0, 2);
+  ASSERT_EQ(route.size(), 3u);
+  EXPECT_EQ(d.link_kind(route[0]), Dragonfly::LinkKind::kHostUp);
+  EXPECT_EQ(d.link_kind(route[1]), Dragonfly::LinkKind::kLocal);
+  EXPECT_EQ(d.link_kind(route[2]), Dragonfly::LinkKind::kHostDown);
+  EXPECT_EQ(d.min_hops(0, 2), 3);
+}
+
+TEST(DragonflyTest, CrossGroupRouteUsesExactlyOneGlobalHop) {
+  Dragonfly d(2, 2, 2);  // g = 5 groups, 20 hosts
+  const int n = d.node_count();
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      int globals = 0;
+      for (int link : d.route(src, dst)) {
+        if (d.link_kind(link) == Dragonfly::LinkKind::kGlobal) ++globals;
+      }
+      const bool cross_group = src / (2 * 2) != dst / (2 * 2);
+      EXPECT_EQ(globals, cross_group ? 1 : 0)
+          << "src=" << src << " dst=" << dst;
+    }
+  }
+}
+
+TEST(DragonflyTest, MinimalRouteIsAtMostFiveHops) {
+  Dragonfly d(3, 2, 2);  // g = 7 groups, 42 hosts
+  const int n = d.node_count();
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      EXPECT_LE(d.route(src, dst).size(), 5u);
+    }
+  }
+}
+
+TEST(DragonflyTest, EveryGroupPairHasAGlobalChannel) {
+  // Balanced consecutive assignment: any cross-group pair routes with one
+  // global hop, so the route exists and is minimal for every pair.
+  Dragonfly d(2, 1, 1);  // 3 groups, 6 hosts
+  const int n = d.node_count();
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      EXPECT_EQ(d.route(src, dst).size(),
+                static_cast<std::size_t>(d.min_hops(src, dst)));
+    }
+  }
+}
+
+TEST(DragonflyTest, SelfRouteIsEmpty) {
+  Dragonfly d(2, 2, 1);
+  EXPECT_TRUE(d.route(5, 5).empty());
+  EXPECT_EQ(d.min_hops(5, 5), 0);
+}
+
+TEST(DragonflyTest, RejectsOutOfDomainShapes) {
+  EXPECT_THROW(Dragonfly(0, 1, 1), ConfigError);
+  EXPECT_THROW(Dragonfly(1, 0, 1), ConfigError);
+  EXPECT_THROW(Dragonfly(1, 1, 0), ConfigError);
+  EXPECT_THROW(Dragonfly(1024, 1024, 1024), ConfigError);  // host-count cap
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,78 @@
+// Fat-tree construction and up/down routing.
+#include "intercom/topo/fattree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "intercom/util/error.hpp"
+
+namespace intercom {
+namespace {
+
+TEST(FatTreeTest, ShapeAndLabel) {
+  FatTree t(2, 3);
+  EXPECT_EQ(t.node_count(), 8);
+  EXPECT_EQ(t.directed_link_count(), 2 * 8 * 3);
+  EXPECT_EQ(t.name(), "fattree");
+  EXPECT_EQ(t.label(), "fattree2L3");
+}
+
+TEST(FatTreeTest, MultiplicityDoublesTowardTheRoot) {
+  // Leiserson fat channels: the link from a level-l switch up to its parent
+  // is arity^(levels - l) parallel channels.
+  FatTree t(2, 3);
+  EXPECT_EQ(t.multiplicity(2), 2);  // leaf switches
+  EXPECT_EQ(t.multiplicity(1), 4);  // one level up
+}
+
+TEST(FatTreeTest, SameLeafPairUsesTwoHops) {
+  FatTree t(2, 3);
+  // Hosts 0 and 1 share a leaf switch: host-up then host-down.
+  const auto route = t.route(0, 1);
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_EQ(t.link_kind(route[0]), FatTree::LinkKind::kHostUp);
+  EXPECT_EQ(t.link_kind(route[1]), FatTree::LinkKind::kHostDown);
+  EXPECT_EQ(t.min_hops(0, 1), 2);
+}
+
+TEST(FatTreeTest, CrossTreeRouteClimbsToTheRootAndBack) {
+  FatTree t(2, 3);
+  // Hosts 0 and 7 only share the root: 3 hops up, 3 down.
+  const auto route = t.route(0, 7);
+  ASSERT_EQ(route.size(), 6u);
+  EXPECT_EQ(t.min_hops(0, 7), 6);
+  EXPECT_EQ(t.link_kind(route[0]), FatTree::LinkKind::kHostUp);
+  EXPECT_EQ(t.link_kind(route[1]), FatTree::LinkKind::kUp);
+  EXPECT_EQ(t.link_kind(route[2]), FatTree::LinkKind::kUp);
+  EXPECT_EQ(t.link_kind(route[3]), FatTree::LinkKind::kDown);
+  EXPECT_EQ(t.link_kind(route[4]), FatTree::LinkKind::kDown);
+  EXPECT_EQ(t.link_kind(route[5]), FatTree::LinkKind::kHostDown);
+}
+
+TEST(FatTreeTest, SelfRouteIsEmpty) {
+  FatTree t(2, 2);
+  EXPECT_TRUE(t.route(3, 3).empty());
+  EXPECT_EQ(t.min_hops(3, 3), 0);
+}
+
+TEST(FatTreeTest, DmodKSpreadsSiblingFlowsOverParallelChannels) {
+  // Two sources under one leaf switch sending into the same remote subtree
+  // must take distinct up channels (src mod m slot selection).
+  FatTree t(2, 3);
+  const auto a = t.route(0, 7);
+  const auto b = t.route(1, 7);
+  ASSERT_EQ(a.size(), 6u);
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_NE(a[1], b[1]);  // first switch-level up hop differs
+  // Same destination: the down path is dst-chosen, hence shared.
+  EXPECT_EQ(a[3], b[3]);
+  EXPECT_EQ(a[5], b[5]);
+}
+
+TEST(FatTreeTest, RejectsOutOfDomainShapes) {
+  EXPECT_THROW(FatTree(1, 3), ConfigError);
+  EXPECT_THROW(FatTree(2, 0), ConfigError);
+  EXPECT_THROW(FatTree(2, 30), ConfigError);  // 2^30 hosts > the 2^22 cap
+}
+
+}  // namespace
+}  // namespace intercom

@@ -1,0 +1,184 @@
+// Cross-topology routing properties: every Topology the simulator can price
+// schedules against must produce routes that are in-bounds, loop-free, and
+// minimal, and each family's canonical routing discipline must hold (the
+// deadlock-freedom arguments rest on those disciplines).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "intercom/topo/dragonfly.hpp"
+#include "intercom/topo/fattree.hpp"
+#include "intercom/topo/topology.hpp"
+
+namespace intercom {
+namespace {
+
+std::vector<std::shared_ptr<const Topology>> topologies_under_test() {
+  return {
+      std::make_shared<MeshTopology>(Mesh2D(4, 5)),
+      std::make_shared<MeshTopology>(Mesh2D(1, 16)),
+      std::make_shared<Torus2D>(4, 5),
+      std::make_shared<Torus2D>(1, 7),
+      std::make_shared<Hypercube>(4),
+      std::make_shared<FatTree>(2, 3),
+      std::make_shared<FatTree>(3, 2),
+      std::make_shared<Dragonfly>(2, 2, 1),
+      std::make_shared<Dragonfly>(2, 2, 2),
+  };
+}
+
+class RoutingPropertyTest
+    : public ::testing::TestWithParam<std::shared_ptr<const Topology>> {};
+
+TEST_P(RoutingPropertyTest, RoutesAreInBoundsLoopFreeAndMinimal) {
+  const Topology& t = *GetParam();
+  const int n = t.node_count();
+  const int links = t.directed_link_count();
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      const auto route = t.route(src, dst);
+      if (src == dst) {
+        EXPECT_TRUE(route.empty()) << t.label();
+        continue;
+      }
+      // Minimal: the canonical route realizes the shortest-path length.
+      EXPECT_EQ(route.size(), static_cast<std::size_t>(t.min_hops(src, dst)))
+          << t.label() << " src=" << src << " dst=" << dst;
+      // In-bounds and loop-free: a channel repeated within one route would
+      // mean the worm crosses itself.
+      std::set<int> seen;
+      for (int link : route) {
+        EXPECT_GE(link, 0) << t.label();
+        EXPECT_LT(link, links) << t.label();
+        EXPECT_TRUE(seen.insert(link).second)
+            << t.label() << ": channel " << link << " repeated on route "
+            << src << "->" << dst;
+      }
+    }
+  }
+}
+
+TEST_P(RoutingPropertyTest, RoutingIsDeterministic) {
+  const Topology& t = *GetParam();
+  const int n = t.node_count();
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      EXPECT_EQ(t.route(src, dst), t.route(src, dst)) << t.label();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, RoutingPropertyTest,
+    ::testing::ValuesIn(topologies_under_test()),
+    [](const ::testing::TestParamInfo<std::shared_ptr<const Topology>>& info) {
+      std::string label = info.param->label();
+      for (char& c : label) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return label;
+    });
+
+// Dimension-order (XY) routing on mesh and torus: the route resolves the
+// column dimension completely before the row dimension, i.e. it passes
+// through the corner node (src_row, dst_col) and equals the concatenation of
+// the two one-dimensional legs.  Dimension-order is the classic
+// deadlock-freedom argument for meshes: no channel dependency can turn from
+// row back to column.
+template <typename Topo>
+void expect_dimension_order(const Topo& t, int cols) {
+  const int n = t.node_count();
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      const int corner = (src / cols) * cols + (dst % cols);
+      auto expected = t.route(src, corner);
+      const auto second = t.route(corner, dst);
+      expected.insert(expected.end(), second.begin(), second.end());
+      EXPECT_EQ(t.route(src, dst), expected)
+          << t.label() << " src=" << src << " dst=" << dst;
+    }
+  }
+}
+
+TEST(DimensionOrderTest, MeshRoutesColumnFirst) {
+  expect_dimension_order(MeshTopology(Mesh2D(4, 5)), 5);
+}
+
+TEST(DimensionOrderTest, TorusRoutesColumnFirst) {
+  expect_dimension_order(Torus2D(4, 5), 5);
+}
+
+// E-cube on the hypercube: differing address bits are resolved in ascending
+// dimension order (the hypercube's dimension-order discipline).
+TEST(DimensionOrderTest, HypercubeResolvesBitsAscending) {
+  Hypercube h(4);
+  for (int src = 0; src < h.node_count(); ++src) {
+    for (int dst = 0; dst < h.node_count(); ++dst) {
+      int at = src;
+      int last_dim = -1;
+      for (int link : h.route(src, dst)) {
+        const int node = link / h.dims();
+        const int dim = link % h.dims();
+        EXPECT_EQ(node, at);
+        EXPECT_GT(dim, last_dim);
+        last_dim = dim;
+        at = h.neighbor(at, dim);
+      }
+      EXPECT_EQ(at, dst);
+    }
+  }
+}
+
+// Up/down routing on the fat-tree: every route crosses all of its up
+// channels strictly before any down channel — the standard acyclicity
+// argument for up*/down* fabrics.
+TEST(UpDownTest, FatTreeNeverTurnsBackUp) {
+  FatTree t(2, 3);
+  const int n = t.node_count();
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      bool descending = false;
+      for (int link : t.route(src, dst)) {
+        const auto kind = t.link_kind(link);
+        const bool down = kind == FatTree::LinkKind::kDown ||
+                          kind == FatTree::LinkKind::kHostDown;
+        if (down) descending = true;
+        EXPECT_FALSE(descending && !down)
+            << "route " << src << "->" << dst << " climbed after descending";
+      }
+    }
+  }
+}
+
+// Minimal dragonfly routing follows the local-global-local pattern: any
+// local hops after the single global hop stay in the destination group, so
+// the channel dependency chain host-up -> local -> global -> local ->
+// host-down never cycles.
+TEST(UpDownTest, DragonflyFollowsLocalGlobalLocal) {
+  Dragonfly d(3, 2, 2);
+  const int n = d.node_count();
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      int stage = 0;  // 0=host-up, 1=local, 2=global, 3=local, 4=host-down
+      for (int link : d.route(src, dst)) {
+        int next = 0;
+        switch (d.link_kind(link)) {
+          case Dragonfly::LinkKind::kHostUp: next = 0; break;
+          case Dragonfly::LinkKind::kLocal: next = stage <= 1 ? 1 : 3; break;
+          case Dragonfly::LinkKind::kGlobal: next = 2; break;
+          case Dragonfly::LinkKind::kHostDown: next = 4; break;
+        }
+        EXPECT_GE(next, stage) << "route " << src << "->" << dst
+                               << " violated local-global-local order";
+        stage = next;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace intercom
